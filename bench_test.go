@@ -1,0 +1,488 @@
+// Benchmarks regenerating the paper's evaluation artifacts: one benchmark
+// per table and figure (see the per-experiment index in DESIGN.md), plus
+// ablations for the design choices called out there. Run with:
+//
+//	go test -bench=. -benchmem .
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/aclgen"
+	"repro/internal/bdd"
+	"repro/internal/cisco"
+	"repro/internal/core"
+	"repro/internal/ddnf"
+	"repro/internal/headerloc"
+	"repro/internal/ir"
+	"repro/internal/juniper"
+	"repro/internal/minesweeper"
+	"repro/internal/netaddr"
+	"repro/internal/policygen"
+	"repro/internal/semdiff"
+	"repro/internal/srp"
+	"repro/internal/symbolic"
+	"repro/internal/testnets"
+)
+
+const figure1a = `hostname cisco_router
+ip prefix-list NETS permit 10.9.0.0/16 le 32
+ip prefix-list NETS permit 10.100.0.0/16 le 32
+ip community-list standard COMM permit 10:10
+ip community-list standard COMM permit 10:11
+route-map POL deny 10
+ match ip address NETS
+route-map POL deny 20
+ match community COMM
+route-map POL permit 30
+ set local-preference 30
+`
+
+const figure1b = `system { host-name juniper_router; }
+policy-options {
+    prefix-list NETS {
+        10.9.0.0/16;
+        10.100.0.0/16;
+    }
+    community COMM members [ 10:10 10:11 ];
+    policy-statement POL {
+        term rule1 { from prefix-list NETS; then reject; }
+        term rule2 { from community COMM; then reject; }
+        term rule3 { then { local-preference 30; accept; } }
+    }
+}
+`
+
+func mustFigure1(b *testing.B) (*ir.Config, *ir.Config) {
+	b.Helper()
+	c, err := cisco.Parse("c.cfg", figure1a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	j, err := juniper.Parse("j.cfg", figure1b)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c, j
+}
+
+// BenchmarkFigure1RouteMapDiff regenerates Table 2: the full SemanticDiff
+// + HeaderLocalize pipeline on the Figure 1 route maps.
+func BenchmarkFigure1RouteMapDiff(b *testing.B) {
+	c, j := mustFigure1(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := core.Diff(c, j, core.Options{Components: []core.Component{core.ComponentRouteMaps}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.RouteMapDiffs) != 2 {
+			b.Fatalf("diffs = %d", len(rep.RouteMapDiffs))
+		}
+	}
+}
+
+// BenchmarkMinesweeperFirstCounterexample regenerates Table 3: the
+// monolithic baseline's single-counterexample query.
+func BenchmarkMinesweeperFirstCounterexample(b *testing.B) {
+	c, j := mustFigure1(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch, err := minesweeper.NewRouteMapChecker(c, c.RouteMaps["POL"], j, j.RouteMaps["POL"])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, ok := ch.NextCounterexample(); !ok {
+			b.Fatal("no counterexample")
+		}
+	}
+}
+
+// BenchmarkStaticStructuralDiff regenerates Table 4.
+func BenchmarkStaticStructuralDiff(b *testing.B) {
+	c, _ := cisco.Parse("c.cfg", "ip route 10.1.1.2 255.255.255.254 10.2.2.2\n")
+	j, _ := juniper.Parse("j.cfg", "routing-options { static { } }\n")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := core.Diff(c, j, core.Options{Components: []core.Component{core.ComponentStatic}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Structural) != 1 {
+			b.Fatal("want 1 diff")
+		}
+	}
+}
+
+// BenchmarkMinesweeperStatic regenerates Table 5.
+func BenchmarkMinesweeperStatic(b *testing.B) {
+	c, _ := cisco.Parse("c.cfg", "ip route 10.1.1.2 255.255.255.254 10.2.2.2\n")
+	j, _ := juniper.Parse("j.cfg", "routing-options { static { } }\n")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := minesweeper.StaticForwardingCounterexample(c, j); !ok {
+			b.Fatal("no counterexample")
+		}
+	}
+}
+
+// BenchmarkDatacenterScenario1 regenerates Table 6 row 1 (redundant ToR
+// pairs: BGP + static differences).
+func BenchmarkDatacenterScenario1(b *testing.B) {
+	pairs := testnets.DatacenterToRPairs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		total := 0
+		for _, p := range pairs {
+			rep, err := core.Diff(p.Config1, p.Config2, core.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			total += len(rep.RouteMapDiffs)
+		}
+		if total != 5 {
+			b.Fatalf("bgp diffs = %d", total)
+		}
+	}
+}
+
+// BenchmarkDatacenterScenario2 regenerates Table 6 row 2 (replacement).
+func BenchmarkDatacenterScenario2(b *testing.B) {
+	p := testnets.DatacenterReplacement()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := core.Diff(p.Config1, p.Config2, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.RouteMapDiffs) != 4 {
+			b.Fatal("want 4 diffs")
+		}
+	}
+}
+
+// BenchmarkDatacenterScenario3 regenerates Table 6 row 3 and Table 7
+// (gateway ACLs).
+func BenchmarkDatacenterScenario3(b *testing.B) {
+	p := testnets.DatacenterGateway()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := core.Diff(p.Config1, p.Config2, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.ACLDiffs) != 3 {
+			b.Fatal("want 3 diffs")
+		}
+	}
+}
+
+// BenchmarkUniversityCore and BenchmarkUniversityBorder regenerate
+// Table 8 (and the §5.4 claim that a pair compares in seconds).
+func BenchmarkUniversityCore(b *testing.B) {
+	p := testnets.UniversityCore()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Diff(p.Config1, p.Config2, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUniversityBorder(b *testing.B) {
+	p := testnets.UniversityBorder()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Diff(p.Config1, p.Config2, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure2PathEnumeration regenerates Figure 2: partitioning the
+// Figure 1(a) route map into equivalence classes.
+func BenchmarkFigure2PathEnumeration(b *testing.B) {
+	c, j := mustFigure1(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc := symbolic.NewRouteEncoding(c, j)
+		paths, err := enc.EnumeratePaths(c, c.RouteMaps["POL"])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(paths) != 3 {
+			b.Fatal("want 3 classes")
+		}
+	}
+}
+
+// BenchmarkFigure3GetMatch regenerates Figure 3: the ddNF DAG build and
+// the GetMatch traversal.
+func BenchmarkFigure3GetMatch(b *testing.B) {
+	rB := netaddr.MustParsePrefixRange("10.0.0.0/8 : 8-32")
+	rC := netaddr.MustParsePrefixRange("20.0.0.0/8 : 8-32")
+	rD := netaddr.MustParsePrefixRange("10.1.0.0/16 : 16-32")
+	rE := netaddr.MustParsePrefixRange("10.2.0.0/16 : 16-32")
+	rF := netaddr.MustParsePrefixRange("20.1.0.0/16 : 16-32")
+	rG := netaddr.MustParsePrefixRange("20.1.1.0/24 : 24-32")
+	enc := symbolic.NewRouteEncoding()
+	ops := ddnf.SetOps{F: enc.F, RangeBDD: enc.PrefixRangeBDD, Universe: enc.WellFormed}
+	s := enc.F.OrN(
+		enc.F.Diff(enc.F.And(ops.RangeBDD(rB), ops.Universe), ops.RangeBDD(rD)),
+		enc.F.Diff(enc.F.And(ops.RangeBDD(rC), ops.Universe), ops.RangeBDD(rF)),
+		enc.F.And(ops.RangeBDD(rG), ops.Universe),
+	)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := ddnf.Build([]netaddr.PrefixRange{rB, rC, rD, rE, rF, rG})
+		terms, exact := d.GetMatch(ops, s)
+		if !exact || len(ddnf.Simplify(terms)) != 3 {
+			b.Fatal("unexpected GetMatch result")
+		}
+	}
+}
+
+// BenchmarkTheoremSRPSolve regenerates the Theorem 3.3 experiment: one
+// whole-network SRP solve through the Figure 1 policy.
+func BenchmarkTheoremSRPSolve(b *testing.B) {
+	c, _ := mustFigure1(b)
+	adverts := []*ir.Route{
+		ir.NewRoute(netaddr.MustParsePrefix("10.9.1.0/24")),
+		ir.NewRoute(netaddr.MustParsePrefix("192.0.2.0/24")),
+	}
+	for _, r := range adverts {
+		r.ASPath = []int64{65002}
+	}
+	net := &srp.BGPNetwork{
+		Nodes: 3,
+		Sessions: []srp.BGPSession{
+			{Edge: srp.Edge{From: 0, To: 1}, FromASN: 65002, ToASN: 65001,
+				ImportConfig: c, Import: []string{"POL"}},
+			{Edge: srp.Edge{From: 1, To: 2}, FromASN: 65001, ToASN: 65001},
+		},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := net.NewBGPProblem(0, adverts).Solve(); !ok {
+			b.Fatal("no convergence")
+		}
+	}
+}
+
+// BenchmarkMinesweeperEnumeration regenerates the §2 fragility
+// measurement: counterexamples until Difference 1's ranges are covered.
+func BenchmarkMinesweeperEnumeration(b *testing.B) {
+	c, j := mustFigure1(b)
+	targets := []func(*ir.Route) bool{
+		func(r *ir.Route) bool {
+			return netaddr.MustParsePrefixRange("10.9.0.0/16 : 17-32").ContainsPrefix(r.Prefix)
+		},
+		func(r *ir.Route) bool {
+			return netaddr.MustParsePrefixRange("10.100.0.0/16 : 17-32").ContainsPrefix(r.Prefix)
+		},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch, err := minesweeper.NewRouteMapChecker(c, c.RouteMaps["POL"], j, j.RouteMaps["POL"])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, covered := ch.CountUntilCovered(targets, 2000); !covered {
+			b.Fatal("not covered")
+		}
+	}
+}
+
+// benchACLDiff is the §5.4 scalability harness: generated
+// nearly-equivalent ACL pairs with 10 injected differences.
+func benchACLDiff(b *testing.B, rules int) {
+	pair := aclgen.Generate(aclgen.Params{Seed: 1, Rules: rules, Differences: 10})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc := symbolic.NewPacketEncoding()
+		diffs := semdiff.DiffACLs(enc, pair.Cisco, pair.Juniper)
+		if len(diffs) == 0 {
+			b.Fatal("expected diffs")
+		}
+	}
+}
+
+func BenchmarkSemanticDiffACL100(b *testing.B)   { benchACLDiff(b, 100) }
+func BenchmarkSemanticDiffACL1000(b *testing.B)  { benchACLDiff(b, 1000) }
+func BenchmarkSemanticDiffACL10000(b *testing.B) { benchACLDiff(b, 10000) }
+
+// BenchmarkACLParse measures the parsing side of §5.4 (the paper compares
+// Batfish's 13 s parse at 10k rules against the 15 s diff).
+func BenchmarkACLParse1000(b *testing.B) {
+	pair := aclgen.Generate(aclgen.Params{Seed: 1, Rules: 1000, Differences: 10})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cisco.Parse("c.cfg", pair.CiscoText); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := juniper.Parse("j.cfg", pair.JuniperText); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFullPairDiff measures the §5.4 end-to-end claim: a full router
+// pair comparison (all components) in seconds.
+func BenchmarkFullPairDiff(b *testing.B) {
+	pairs := []testnets.Pair{
+		testnets.UniversityCore(), testnets.UniversityBorder(),
+		testnets.DatacenterReplacement(), testnets.DatacenterGateway(),
+	}
+	pairs = append(pairs, testnets.DatacenterToRPairs()...)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range pairs {
+			if _, err := core.Diff(p.Config1, p.Config2, core.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// --- Ablations (design choices called out in DESIGN.md) ---
+
+// BenchmarkSemanticDiffPruning vs BenchmarkSemanticDiffNaive: the
+// difference-set pruning pass against the quadratic class product.
+func BenchmarkSemanticDiffPruning(b *testing.B) {
+	pair := aclgen.Generate(aclgen.Params{Seed: 2, Rules: 2000, Differences: 10})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc := symbolic.NewPacketEncoding()
+		semdiff.DiffACLs(enc, pair.Cisco, pair.Juniper)
+	}
+}
+
+func BenchmarkSemanticDiffNaive(b *testing.B) {
+	pair := aclgen.Generate(aclgen.Params{Seed: 2, Rules: 2000, Differences: 10})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc := symbolic.NewPacketEncoding()
+		semdiff.DiffACLsNaive(enc, pair.Cisco, pair.Juniper)
+	}
+}
+
+// The pruning win is largest on equal pairs: the XOR short-circuits the
+// whole product.
+func BenchmarkSemanticDiffPruningEqualPair(b *testing.B) {
+	pair := aclgen.Generate(aclgen.Params{Seed: 2, Rules: 2000, Differences: 0})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc := symbolic.NewPacketEncoding()
+		if len(semdiff.DiffACLs(enc, pair.Cisco, pair.Juniper)) != 0 {
+			b.Fatal("equal pair")
+		}
+	}
+}
+
+func BenchmarkSemanticDiffNaiveEqualPair(b *testing.B) {
+	pair := aclgen.Generate(aclgen.Params{Seed: 2, Rules: 2000, Differences: 0})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc := symbolic.NewPacketEncoding()
+		if len(semdiff.DiffACLsNaive(enc, pair.Cisco, pair.Juniper)) != 0 {
+			b.Fatal("equal pair")
+		}
+	}
+}
+
+// BenchmarkHeaderLocalizeDDNF vs BenchmarkHeaderLocalizeCubes: rendering
+// a difference's prefix space via the ddNF DAG against raw BDD cube
+// enumeration.
+func BenchmarkHeaderLocalizeDDNF(b *testing.B) {
+	c, j := mustFigure1(b)
+	enc := symbolic.NewRouteEncoding(c, j)
+	diffs, err := semdiff.DiffRouteMaps(enc, c, c.RouteMaps["POL"], j, j.RouteMaps["POL"])
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		loc := headerloc.NewRouteLocalizer(enc, c, j)
+		for _, d := range diffs {
+			if l := loc.Localize(d.Inputs); len(l.Terms) == 0 {
+				b.Fatal("no terms")
+			}
+		}
+	}
+}
+
+func BenchmarkHeaderLocalizeCubes(b *testing.B) {
+	c, j := mustFigure1(b)
+	enc := symbolic.NewRouteEncoding(c, j)
+	diffs, err := semdiff.DiffRouteMaps(enc, c, c.RouteMaps["POL"], j, j.RouteMaps["POL"])
+	if err != nil {
+		b.Fatal(err)
+	}
+	nonPrefix := enc.NonPrefixVars()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, d := range diffs {
+			projected := enc.F.Exists(d.Inputs, nonPrefix)
+			count := 0
+			enc.F.WalkCubes(projected, func(bdd.Assignment) bool {
+				count++
+				return count < 100000
+			})
+			if count == 0 {
+				b.Fatal("no cubes")
+			}
+		}
+	}
+}
+
+// BenchmarkBDDOps tracks the raw engine cost of the symbolic substrate.
+func BenchmarkBDDOps(b *testing.B) {
+	f := bdd.NewFactory(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := bdd.True
+		for v := 0; v < 64; v += 2 {
+			n = f.And(n, f.Or(f.Var(v), f.NVar(v+1)))
+		}
+		if n == bdd.False {
+			b.Fatal("unexpected")
+		}
+	}
+}
+
+// BenchmarkConfigParse measures the vendor parsers on the university
+// configurations.
+func BenchmarkConfigParse(b *testing.B) {
+	p := testnets.UniversityCore()
+	_ = p
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		testnets.UniversityCore()
+	}
+}
+
+// benchRouteMapDiff scales SemanticDiff on generated cross-vendor policy
+// pairs (route maps are the paper's other semantic component; its
+// scalability experiment covered ACLs only).
+func benchRouteMapDiff(b *testing.B, clauses int) {
+	pair := policygen.Generate(policygen.Params{Seed: 3, Clauses: clauses, Differences: 5})
+	c, err := cisco.Parse("c.cfg", pair.CiscoText)
+	if err != nil {
+		b.Fatal(err)
+	}
+	j, err := juniper.Parse("j.cfg", pair.JuniperText)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc := symbolic.NewRouteEncoding(c, j)
+		if _, err := semdiff.DiffRouteMaps(enc, c, c.RouteMaps[pair.PolicyName], j, j.RouteMaps[pair.PolicyName]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSemanticDiffRouteMap20(b *testing.B)  { benchRouteMapDiff(b, 20) }
+func BenchmarkSemanticDiffRouteMap100(b *testing.B) { benchRouteMapDiff(b, 100) }
+func BenchmarkSemanticDiffRouteMap300(b *testing.B) { benchRouteMapDiff(b, 300) }

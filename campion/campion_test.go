@@ -1,0 +1,139 @@
+package campion
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const ciscoText = `hostname r1
+ip route 10.1.1.2 255.255.255.254 10.2.2.2
+router bgp 65001
+ neighbor 10.0.12.2 remote-as 65002
+`
+
+const juniperText = `system { host-name r2; }
+routing-options {
+    static {
+        route 10.1.1.2/31 next-hop 10.2.2.2;
+    }
+    autonomous-system 65001;
+}
+protocols {
+    bgp {
+        group peers {
+            type external;
+            peer-as 65002;
+            neighbor 10.0.12.2;
+        }
+    }
+}
+`
+
+func TestDetectVendor(t *testing.T) {
+	if DetectVendor(ciscoText) != VendorCisco {
+		t.Error("cisco text misdetected")
+	}
+	if DetectVendor(juniperText) != VendorJuniper {
+		t.Error("juniper text misdetected")
+	}
+	if DetectVendor("random words") != VendorUnknown {
+		t.Error("unknown text misdetected")
+	}
+}
+
+func TestParseAndDiff(t *testing.T) {
+	c1, err := Parse("r1.cfg", ciscoText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Parse("r2.cfg", juniperText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.Vendor != VendorCisco || c2.Vendor != VendorJuniper {
+		t.Error("vendor fields wrong")
+	}
+	rep, err := Diff(c1, c2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The static routes match (same prefix, next hop) except the
+	// admin-distance default difference (IOS 1 vs JunOS 5) — reported as
+	// an attribute diff; send-community differs too (JunOS default true).
+	var sawStatic, sawSendComm bool
+	for _, d := range rep.Structural {
+		if d.Component == "static-route" {
+			sawStatic = true
+		}
+		if d.Component == "bgp-neighbor" && d.Field == "send-community" {
+			sawSendComm = true
+		}
+	}
+	if !sawStatic {
+		t.Error("expected static route attribute difference (AD defaults)")
+	}
+	if !sawSendComm {
+		t.Error("expected send-community difference")
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Difference 1") {
+		t.Error("formatted output missing differences")
+	}
+	var sum bytes.Buffer
+	WriteSummary(&sum, rep)
+	if sum.Len() == 0 {
+		t.Error("summary empty")
+	}
+	if _, err := JSON(rep); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseAsAndErrors(t *testing.T) {
+	if _, err := ParseAs(VendorCisco, "x", ciscoText); err != nil {
+		t.Error(err)
+	}
+	if _, err := ParseAs(VendorJuniper, "x", juniperText); err != nil {
+		t.Error(err)
+	}
+	if _, err := ParseAs(VendorUnknown, "x", "zzz"); err == nil {
+		t.Error("unknown vendor should error")
+	}
+	if _, err := Parse("x", "no recognizable dialect"); err == nil {
+		t.Error("undetectable text should error")
+	}
+}
+
+func TestLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "r1.cfg")
+	if err := os.WriteFile(path, []byte(ciscoText), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Hostname != "r1" {
+		t.Errorf("hostname = %q", cfg.Hostname)
+	}
+	if _, err := LoadFile(filepath.Join(dir, "missing.cfg")); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestParseAsArista(t *testing.T) {
+	cfg, err := ParseAs(VendorArista, "a.cfg", "hostname sw1\nip route 10.0.0.0 255.0.0.0 192.0.2.1\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Vendor != VendorArista || cfg.Hostname != "sw1" {
+		t.Errorf("cfg = %v %q", cfg.Vendor, cfg.Hostname)
+	}
+}

@@ -1,0 +1,131 @@
+package campion
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// FilePair is a matched pair of configuration files across two
+// directories.
+type FilePair struct {
+	Name         string // shared base name (extension stripped)
+	Path1, Path2 string
+}
+
+// PairFiles matches configuration files in two directories by base name
+// (extension-insensitive) — the workflow of the paper's data-center
+// operators, who compared every pair of backup routers. Files without a
+// partner are returned separately.
+func PairFiles(dir1, dir2 string) (pairs []FilePair, only1, only2 []string, err error) {
+	list := func(dir string) (map[string]string, error) {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		out := map[string]string{}
+		for _, e := range entries {
+			if e.IsDir() {
+				continue
+			}
+			name := e.Name()
+			key := strings.TrimSuffix(name, filepath.Ext(name))
+			out[key] = filepath.Join(dir, name)
+		}
+		return out, nil
+	}
+	m1, err := list(dir1)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	m2, err := list(dir2)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	for key, p1 := range m1 {
+		if p2, ok := m2[key]; ok {
+			pairs = append(pairs, FilePair{Name: key, Path1: p1, Path2: p2})
+		} else {
+			only1 = append(only1, p1)
+		}
+	}
+	for key, p2 := range m2 {
+		if _, ok := m1[key]; !ok {
+			only2 = append(only2, p2)
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].Name < pairs[j].Name })
+	sort.Strings(only1)
+	sort.Strings(only2)
+	return pairs, only1, only2, nil
+}
+
+// PairResult is the outcome of diffing one file pair.
+type PairResult struct {
+	Pair   FilePair
+	Report *Report
+	Err    error
+}
+
+// DiffDirs loads and compares every matched configuration pair across two
+// directories, running pairs in parallel (each pair's symbolic state is
+// independent). Parse or diff failures are recorded per pair, not fatal.
+func DiffDirs(dir1, dir2 string, opts Options) ([]PairResult, error) {
+	pairs, only1, only2, err := PairFiles(dir1, dir2)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]PairResult, len(pairs))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(pairs) {
+		workers = len(pairs)
+	}
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				p := pairs[i]
+				res := PairResult{Pair: p}
+				cfg1, err := LoadFile(p.Path1)
+				if err != nil {
+					res.Err = err
+					results[i] = res
+					continue
+				}
+				cfg2, err := LoadFile(p.Path2)
+				if err != nil {
+					res.Err = err
+					results[i] = res
+					continue
+				}
+				res.Report, res.Err = Diff(cfg1, cfg2, opts)
+				results[i] = res
+			}
+		}()
+	}
+	for i := range pairs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for _, p := range only1 {
+		results = append(results, PairResult{
+			Pair: FilePair{Name: filepath.Base(p), Path1: p},
+			Err:  fmt.Errorf("no matching configuration in %s", dir2),
+		})
+	}
+	for _, p := range only2 {
+		results = append(results, PairResult{
+			Pair: FilePair{Name: filepath.Base(p), Path2: p},
+			Err:  fmt.Errorf("no matching configuration in %s", dir1),
+		})
+	}
+	return results, nil
+}

@@ -1,0 +1,79 @@
+package campion
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestPairFilesAndDiffDirs(t *testing.T) {
+	dir1, dir2 := t.TempDir(), t.TempDir()
+	write := func(dir, name, text string) {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(text), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write(dir1, "tor1.cfg", ciscoText)
+	write(dir2, "tor1.conf", juniperText)
+	write(dir1, "lonely.cfg", ciscoText)
+	write(dir2, "other.cfg", juniperText)
+	if err := os.Mkdir(filepath.Join(dir1, "subdir"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	pairs, only1, only2, err := PairFiles(dir1, dir2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 1 || pairs[0].Name != "tor1" {
+		t.Fatalf("pairs = %+v", pairs)
+	}
+	if len(only1) != 1 || len(only2) != 1 {
+		t.Errorf("unmatched = %v / %v", only1, only2)
+	}
+
+	results, err := DiffDirs(dir1, dir2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("results = %d", len(results))
+	}
+	var matched, errored int
+	for _, r := range results {
+		if r.Err != nil {
+			errored++
+		} else {
+			matched++
+			if r.Report == nil {
+				t.Error("matched pair should carry a report")
+			}
+		}
+	}
+	if matched != 1 || errored != 2 {
+		t.Errorf("matched=%d errored=%d", matched, errored)
+	}
+	if _, _, _, err := PairFiles("/nonexistent", dir2); err == nil {
+		t.Error("missing directory should error")
+	}
+	if _, err := DiffDirs(dir1, "/nonexistent", Options{}); err == nil {
+		t.Error("missing directory should error")
+	}
+}
+
+func TestDiffDirsUnparseablePair(t *testing.T) {
+	dir1, dir2 := t.TempDir(), t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir1, "r.cfg"), []byte("complete gibberish"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir2, "r.cfg"), []byte(juniperText), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	results, err := DiffDirs(dir1, dir2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].Err == nil {
+		t.Errorf("unparseable side should yield a per-pair error: %+v", results)
+	}
+}

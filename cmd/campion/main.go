@@ -1,0 +1,198 @@
+// Command campion compares two router configurations and reports every
+// behavioral difference, localized to the affected message headers and
+// the responsible configuration lines (Tang et al., SIGCOMM 2021).
+//
+// Usage:
+//
+//	campion [flags] CONFIG1 CONFIG2
+//
+// Flags:
+//
+//	-components=route-maps,acls,static,connected,bgp,ospf,admin
+//	    restrict the comparison to the listed components
+//	-format=text|json|summary
+//	    output format (default text tables)
+//	-vendor1, -vendor2=auto|cisco|juniper
+//	    override dialect detection
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/campion"
+	"repro/internal/minesweeper"
+)
+
+func main() {
+	components := flag.String("components", "", "comma-separated component list (default: all)")
+	format := flag.String("format", "text", "output format: text, json, or summary")
+	vendor1 := flag.String("vendor1", "auto", "dialect of CONFIG1: auto, cisco, juniper, arista")
+	vendor2 := flag.String("vendor2", "auto", "dialect of CONFIG2: auto, cisco, juniper, arista")
+	exhaustiveComms := flag.Bool("exhaustive-communities", false,
+		"localize the community dimension of route-map differences exhaustively")
+	baseline := flag.Bool("baseline", false,
+		"additionally run the monolithic Minesweeper-style baseline on matched route maps (the paper's §2 comparison)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: campion [flags] CONFIG1 CONFIG2\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var opts0 campion.Options
+	opts0.ExhaustiveCommunities = *exhaustiveComms
+	if *components != "" {
+		for _, c := range strings.Split(*components, ",") {
+			opts0.Components = append(opts0.Components, campion.Component(strings.TrimSpace(c)))
+		}
+	}
+
+	// Directory mode: compare every matched pair across two directories
+	// (the "all pairs of backup routers" workflow of §5.1).
+	if isDir(flag.Arg(0)) && isDir(flag.Arg(1)) {
+		os.Exit(diffDirs(flag.Arg(0), flag.Arg(1), opts0, *format))
+	}
+
+	cfg1, err := load(flag.Arg(0), *vendor1)
+	if err != nil {
+		fatal(err)
+	}
+	cfg2, err := load(flag.Arg(1), *vendor2)
+	if err != nil {
+		fatal(err)
+	}
+
+	rep, err := campion.Diff(cfg1, cfg2, opts0)
+	if err != nil {
+		fatal(err)
+	}
+	switch *format {
+	case "json":
+		data, err := campion.JSON(rep)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(data))
+	case "summary":
+		campion.WriteSummary(os.Stdout, rep)
+	default:
+		if err := campion.Write(os.Stdout, rep); err != nil {
+			fatal(err)
+		}
+	}
+	if *baseline {
+		runBaseline(cfg1, cfg2)
+	}
+	if rep.TotalDifferences() > 0 {
+		os.Exit(1) // differences found: non-zero, like diff(1)
+	}
+}
+
+// runBaseline runs the monolithic checker on every matched policy pair
+// and prints its one-counterexample-at-a-time view, so the two outputs
+// can be compared directly (the paper's §2 exercise).
+func runBaseline(cfg1, cfg2 *campion.Config) {
+	fmt.Println("=== monolithic baseline (single counterexamples, no localization) ===")
+	names := map[string]bool{}
+	for n := range cfg1.RouteMaps {
+		if _, ok := cfg2.RouteMaps[n]; ok {
+			names[n] = true
+		}
+	}
+	var sorted []string
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+	for _, n := range sorted {
+		ch, err := minesweeper.NewRouteMapChecker(cfg1, cfg1.RouteMaps[n], cfg2, cfg2.RouteMaps[n])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "campion: baseline:", err)
+			continue
+		}
+		if ch.Equivalent() {
+			fmt.Printf("route map %s: equivalent\n", n)
+			continue
+		}
+		cex, _ := ch.NextCounterexample()
+		fmt.Printf("route map %s: NOT equivalent\n", n)
+		fmt.Printf("  counterexample route: %v\n", cex.Route)
+		fmt.Printf("  %s action: %v; %s action: %v\n",
+			cfg1.Hostname, cex.Result1.Action, cfg2.Hostname, cex.Result2.Action)
+	}
+}
+
+func isDir(path string) bool {
+	fi, err := os.Stat(path)
+	return err == nil && fi.IsDir()
+}
+
+// diffDirs compares every matched pair and prints one section per pair.
+// Exit status: 0 all equivalent, 1 differences found, 2 errors.
+func diffDirs(dir1, dir2 string, opts campion.Options, format string) int {
+	results, err := campion.DiffDirs(dir1, dir2, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "campion:", err)
+		return 2
+	}
+	status := 0
+	for _, res := range results {
+		fmt.Printf("=== pair %s ===\n", res.Pair.Name)
+		switch {
+		case res.Err != nil:
+			fmt.Printf("error: %v\n\n", res.Err)
+			status = 2
+		case res.Report.TotalDifferences() == 0:
+			fmt.Printf("equivalent\n\n")
+		default:
+			if status == 0 {
+				status = 1
+			}
+			if format == "summary" {
+				campion.WriteSummary(os.Stdout, res.Report)
+				fmt.Println()
+			} else {
+				campion.Write(os.Stdout, res.Report)
+			}
+		}
+	}
+	return status
+}
+
+func load(path, vendor string) (*campion.Config, error) {
+	switch vendor {
+	case "auto", "":
+		return campion.LoadFile(path)
+	case "cisco":
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return campion.ParseAs(campion.VendorCisco, path, string(data))
+	case "juniper":
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return campion.ParseAs(campion.VendorJuniper, path, string(data))
+	case "arista":
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return campion.ParseAs(campion.VendorArista, path, string(data))
+	}
+	return nil, fmt.Errorf("unknown vendor %q", vendor)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "campion:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,147 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md's per-experiment index), printing the
+// paper-reported values next to the measured ones. Absolute timings
+// differ from the paper's 2.2 GHz testbed; the shapes are the claim.
+//
+// Usage:
+//
+//	experiments              # run everything
+//	experiments -run table2  # one experiment
+//	experiments -run table6,table8
+//	experiments -quick       # skip the 10k-rule scalability point
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+type experiment struct {
+	name  string
+	title string
+	run   func(*ctx) error
+}
+
+type ctx struct {
+	quick bool
+}
+
+var experiments = []experiment{
+	{"table1", "Table 1: components and the check used for each", table1},
+	{"table2", "Table 2: Campion on the Figure 1 route maps", table2},
+	{"table3", "Table 3: Minesweeper baseline on the Figure 1 route maps", table3},
+	{"table4", "Table 4: Campion on the static route example", table4},
+	{"table5", "Table 5: Minesweeper baseline on the static route example", table5},
+	{"table6", "Table 6: data center network results", table6},
+	{"table7", "Table 7: gateway ACL debugging example", table7},
+	{"table8", "Table 8: university network results", table8},
+	{"figure2", "Figure 2: equivalence classes of the Figure 1(a) route map", figure2},
+	{"figure3", "Figure 3: ddNF DAG and GetMatch walk-through", figure3},
+	{"figure4", "Figure 4: routing/forwarding components and their modules", figure4},
+	{"theorem", "Theorem 3.3: locally equivalent networks route identically", theorem},
+	{"fragility", "§2: counterexamples needed by the iterated baseline", fragility},
+	{"scalability", "§5.4: SemanticDiff scalability on generated ACLs", scalability},
+	{"runtime", "§5.4: end-to-end runtime per router pair", runtime},
+}
+
+func main() {
+	run := flag.String("run", "", "comma-separated experiment names (default: all)")
+	quick := flag.Bool("quick", false, "skip the slowest scalability points")
+	list := flag.Bool("list", false, "list experiment names")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments {
+			fmt.Printf("%-12s %s\n", e.name, e.title)
+		}
+		return
+	}
+	selected := map[string]bool{}
+	if *run != "" {
+		for _, n := range strings.Split(*run, ",") {
+			selected[strings.TrimSpace(n)] = true
+		}
+		for n := range selected {
+			if !known(n) {
+				fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", n)
+				os.Exit(2)
+			}
+		}
+	}
+	c := &ctx{quick: *quick}
+	failed := 0
+	for _, e := range experiments {
+		if len(selected) > 0 && !selected[e.name] {
+			continue
+		}
+		fmt.Printf("==================================================================\n")
+		fmt.Printf("%s — %s\n", e.name, e.title)
+		fmt.Printf("==================================================================\n")
+		if err := e.run(c); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s failed: %v\n", e.name, err)
+			failed++
+		}
+		fmt.Println()
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+func known(name string) bool {
+	for _, e := range experiments {
+		if e.name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// row prints an aligned paper-vs-measured table row.
+func row(w *tabular, cols ...string) { w.add(cols) }
+
+type tabular struct {
+	rows [][]string
+}
+
+func (t *tabular) add(cols []string) { t.rows = append(t.rows, cols) }
+
+func (t *tabular) print() {
+	if len(t.rows) == 0 {
+		return
+	}
+	widths := make([]int, len(t.rows[0]))
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	for _, r := range t.rows {
+		var parts []string
+		for i, c := range r {
+			parts = append(parts, pad(c, widths[i]))
+		}
+		fmt.Println("  " + strings.Join(parts, "  "))
+	}
+}
+
+func pad(s string, n int) string {
+	for len(s) < n {
+		s += " "
+	}
+	return s
+}
+
+func sortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

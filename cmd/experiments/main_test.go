@@ -1,0 +1,49 @@
+package main
+
+import (
+	"testing"
+)
+
+// TestAllExperimentsRun executes every experiment (quick mode) and fails
+// on any error — the regression net for the evaluation harness itself.
+func TestAllExperimentsRun(t *testing.T) {
+	c := &ctx{quick: true}
+	for _, e := range experiments {
+		e := e
+		t.Run(e.name, func(t *testing.T) {
+			if err := e.run(c); err != nil {
+				t.Fatalf("%s failed: %v", e.name, err)
+			}
+		})
+	}
+}
+
+func TestKnown(t *testing.T) {
+	if !known("table2") || known("bogus") {
+		t.Error("known() misbehaves")
+	}
+}
+
+func TestTabular(t *testing.T) {
+	tab := &tabular{}
+	row(tab, "a", "bb")
+	row(tab, "ccc", "d")
+	tab.print() // visual only; must not panic
+	if pad("x", 3) != "x  " {
+		t.Error("pad")
+	}
+	if len(sortedKeys(map[string]int{"b": 1, "a": 2})) != 2 {
+		t.Error("sortedKeys")
+	}
+	empty := &tabular{}
+	empty.print()
+}
+
+func TestReplaceOnce(t *testing.T) {
+	if replaceOnce("aXbXc", "X", "Y") != "aYbXc" {
+		t.Error("replaceOnce should replace only the first occurrence")
+	}
+	if replaceOnce("abc", "Z", "Y") != "abc" {
+		t.Error("no-op when absent")
+	}
+}

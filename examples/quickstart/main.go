@@ -1,0 +1,78 @@
+// Quickstart: compare the two route maps of the paper's Figure 1 — a
+// Cisco policy and its intended Juniper translation — and print every
+// behavioral difference with header and text localization (the paper's
+// Table 2).
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/campion"
+)
+
+const ciscoConfig = `hostname cisco_router
+ip prefix-list NETS permit 10.9.0.0/16 le 32
+ip prefix-list NETS permit 10.100.0.0/16 le 32
+!
+ip community-list standard COMM permit 10:10
+ip community-list standard COMM permit 10:11
+!
+route-map POL deny 10
+ match ip address NETS
+route-map POL deny 20
+ match community COMM
+route-map POL permit 30
+ set local-preference 30
+`
+
+const juniperConfig = `system { host-name juniper_router; }
+policy-options {
+    prefix-list NETS {
+        10.9.0.0/16;
+        10.100.0.0/16;
+    }
+    community COMM members [ 10:10 10:11 ];
+    policy-statement POL {
+        term rule1 {
+            from prefix-list NETS;
+            then reject;
+        }
+        term rule2 {
+            from community COMM;
+            then reject;
+        }
+        term rule3 {
+            then {
+                local-preference 30;
+                accept;
+            }
+        }
+    }
+}
+`
+
+func main() {
+	cfg1, err := campion.Parse("cisco.cfg", ciscoConfig)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg2, err := campion.Parse("juniper.cfg", juniperConfig)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	report, err := campion.Diff(cfg1, cfg2, campion.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Comparing %s (%s) with %s (%s): %d difference(s)\n\n",
+		cfg1.Hostname, cfg1.Vendor, cfg2.Hostname, cfg2.Vendor,
+		report.TotalDifferences())
+	if err := campion.Write(os.Stdout, report); err != nil {
+		log.Fatal(err)
+	}
+}

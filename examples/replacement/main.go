@@ -1,0 +1,124 @@
+// Replacement: proactively validate a router replacement before the
+// maintenance window — the paper's §5.1 Scenario 2. An aging Cisco
+// aggregation router is being replaced by a Juniper device; the operator
+// has manually rewritten the configuration and wants to know whether the
+// rewrite is behaviorally identical. The rewrite below contains the four
+// bugs the paper reports finding across 30 replacements: three wrong
+// local preferences (one on the route-reflector policy — the would-be
+// severe outage) and one wrong community number.
+//
+// Run with: go run ./examples/replacement [-json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/campion"
+)
+
+const oldCisco = `hostname agg-old-cisco
+!
+ip prefix-list TIER1 permit 10.30.0.0/16 le 24
+ip prefix-list TIER2 permit 10.31.0.0/16 le 24
+ip prefix-list TIER3 permit 10.32.0.0/16 le 24
+ip prefix-list TAGGED permit 10.33.0.0/16 le 24
+!
+route-map RR-POLICY permit 10
+ match ip address TIER1
+ set local-preference 400
+route-map RR-POLICY permit 20
+ match ip address TIER2
+ set local-preference 300
+route-map RR-POLICY permit 30
+ match ip address TIER3
+ set local-preference 200
+route-map RR-POLICY permit 40
+ match ip address TAGGED
+ set community 65010:100 additive
+route-map RR-POLICY deny 50
+!
+router bgp 65010
+ neighbor 10.140.1.2 remote-as 65010
+ neighbor 10.140.1.2 route-reflector-client
+ neighbor 10.140.1.2 route-map RR-POLICY out
+ neighbor 10.140.1.2 send-community
+`
+
+const newJuniper = `system { host-name agg-new-juniper; }
+policy-options {
+    community TAG members 65010:101;
+    policy-statement RR-POLICY {
+        term tier1 {
+            from { route-filter 10.30.0.0/16 upto /24; }
+            then { local-preference 410; accept; }
+        }
+        term tier2 {
+            from { route-filter 10.31.0.0/16 upto /24; }
+            then { local-preference 310; accept; }
+        }
+        term tier3 {
+            from { route-filter 10.32.0.0/16 upto /24; }
+            then { local-preference 210; accept; }
+        }
+        term tagged {
+            from { route-filter 10.33.0.0/16 upto /24; }
+            then { community add TAG; accept; }
+        }
+        term final { then reject; }
+    }
+}
+routing-options { autonomous-system 65010; }
+protocols {
+    bgp {
+        group rr-clients {
+            type internal;
+            cluster 10.140.0.2;
+            neighbor 10.140.1.2 {
+                export RR-POLICY;
+            }
+        }
+    }
+}
+`
+
+func main() {
+	asJSON := flag.Bool("json", false, "emit the report as JSON")
+	flag.Parse()
+
+	oldCfg, err := campion.Parse("agg-old.cfg", oldCisco)
+	if err != nil {
+		log.Fatal(err)
+	}
+	newCfg, err := campion.Parse("agg-new.cfg", newJuniper)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := campion.Diff(oldCfg, newCfg, campion.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *asJSON {
+		data, err := campion.JSON(report)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(string(data))
+		return
+	}
+
+	if report.TotalDifferences() == 0 {
+		fmt.Println("replacement validated: the new configuration is behaviorally identical")
+		return
+	}
+	fmt.Printf("DO NOT PROCEED: %d behavioral difference(s) between the old and new router\n\n",
+		report.TotalDifferences())
+	if err := campion.Write(os.Stdout, report); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("summary by component:")
+	campion.WriteSummary(os.Stdout, report)
+}

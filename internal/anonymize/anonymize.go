@@ -1,0 +1,159 @@
+// Package anonymize rewrites configuration text for confidential sharing
+// — the paper's own evaluation anonymized the Table 7 addresses and names
+// before publication. Addresses are mapped with a prefix-preserving
+// permutation (two addresses share an n-bit prefix before anonymization
+// exactly when they do afterwards, in the style of Crypto-PAn), so
+// Campion's difference structure — which is built from prefix containment
+// — is preserved: diffing two configurations anonymized under the same
+// key yields the same differences as diffing the originals.
+package anonymize
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/netaddr"
+)
+
+// Anonymizer rewrites configuration text under a fixed key.
+type Anonymizer struct {
+	key uint64
+}
+
+// New returns an anonymizer for the key. The same key always produces the
+// same mapping, so a pair of configurations anonymized together stays
+// consistently renamed.
+func New(key uint64) *Anonymizer {
+	return &Anonymizer{key: key ^ 0x616e6f6e796d697a}
+}
+
+// prf is a small keyed pseudo-random function over (key, value).
+func (a *Anonymizer) prf(v uint64) uint64 {
+	h := a.key ^ v
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// Addr maps an address prefix-preservingly: bit i of the output is bit i
+// of the input XORed with a PRF of the input's first i bits.
+func (a *Anonymizer) Addr(ip netaddr.Addr) netaddr.Addr {
+	var out uint32
+	var prefix uint64 = 1 // leading 1 marks the prefix length
+	for i := 0; i < 32; i++ {
+		bit := uint32(0)
+		if ip.Bit(i) {
+			bit = 1
+		}
+		flip := uint32(a.prf(prefix) & 1)
+		out = out<<1 | (bit ^ flip)
+		prefix = prefix<<1 | uint64(bit)
+	}
+	return netaddr.Addr(out)
+}
+
+// keepVerbatim reports whether a dotted quad is structural rather than an
+// address: contiguous netmasks (255.255.254.0), contiguous wildcard masks
+// (0.0.1.255), and the zero address.
+func keepVerbatim(ip netaddr.Addr) bool {
+	if ip == 0 {
+		return true
+	}
+	if _, ok := netaddr.PrefixFromMask(0, ip); ok {
+		return true // contiguous netmask
+	}
+	w := netaddr.Wildcard{Addr: 0, Mask: ip}
+	if _, ok := w.AsPrefix(); ok {
+		return true // contiguous wildcard
+	}
+	return false
+}
+
+// Text anonymizes a configuration: every embedded IPv4 address is mapped
+// prefix-preservingly (masks and wildcards are left alone, and a
+// prefix/mask length after '/' is untouched), and hostname lines are
+// replaced with a keyed pseudonym. Other identifiers (policy and filter
+// names, communities) are left as-is, since they carry the structure
+// operators need to read the diff; rename them beforehand if they are
+// sensitive.
+func (a *Anonymizer) Text(text string) string {
+	var b strings.Builder
+	i := 0
+	for i < len(text) {
+		start, quad, ok := nextQuad(text, i)
+		if !ok {
+			b.WriteString(text[i:])
+			break
+		}
+		b.WriteString(text[i:start])
+		if ip, err := netaddr.ParseAddr(quad); err == nil && !keepVerbatim(ip) {
+			b.WriteString(a.Addr(ip).String())
+		} else {
+			b.WriteString(quad)
+		}
+		i = start + len(quad)
+	}
+	return a.renameHostnames(b.String())
+}
+
+// nextQuad scans for the next dotted-quad token at or after position i.
+// It requires the quad to be delimited (not part of a longer number run).
+func nextQuad(s string, i int) (int, string, bool) {
+	isDigit := func(c byte) bool { return c >= '0' && c <= '9' }
+	for ; i < len(s); i++ {
+		if !isDigit(s[i]) {
+			continue
+		}
+		if i > 0 && (isDigit(s[i-1]) || s[i-1] == '.') {
+			continue
+		}
+		// Try to read d+.d+.d+.d+
+		j := i
+		dots := 0
+		for j < len(s) && (isDigit(s[j]) || s[j] == '.') {
+			if s[j] == '.' {
+				// Reject consecutive dots.
+				if j+1 >= len(s) || !isDigit(s[j+1]) {
+					break
+				}
+				dots++
+				if dots > 3 {
+					break
+				}
+			}
+			j++
+		}
+		if dots == 3 {
+			quad := s[i:j]
+			// Each octet must be 0..255 (ParseAddr validates later;
+			// cheap sanity: length bound).
+			if len(quad) <= 15 {
+				return i, quad, true
+			}
+		}
+		i = j
+	}
+	return 0, "", false
+}
+
+// renameHostnames rewrites IOS "hostname X" and JunOS "host-name X;"
+// declarations with a keyed pseudonym.
+func (a *Anonymizer) renameHostnames(text string) string {
+	lines := strings.Split(text, "\n")
+	for i, line := range lines {
+		f := strings.Fields(line)
+		if len(f) >= 2 && (f[0] == "hostname" || f[0] == "host-name") {
+			var sum uint64
+			for _, c := range f[1] {
+				sum = sum*31 + uint64(c)
+			}
+			pseudo := fmt.Sprintf("router-%04x", a.prf(sum)&0xffff)
+			old := f[1]
+			lines[i] = strings.Replace(line, old, pseudo, 1)
+		}
+	}
+	return strings.Join(lines, "\n")
+}

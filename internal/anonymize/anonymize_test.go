@@ -1,0 +1,160 @@
+package anonymize
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/campiontest"
+	"repro/internal/core"
+	"repro/internal/netaddr"
+)
+
+func TestAddrDeterministicAndBijectiveish(t *testing.T) {
+	a := New(42)
+	x := netaddr.MustParseAddr("10.9.1.7")
+	if a.Addr(x) != a.Addr(x) {
+		t.Error("mapping must be deterministic")
+	}
+	if New(42).Addr(x) != a.Addr(x) {
+		t.Error("same key, same mapping")
+	}
+	if New(43).Addr(x) == a.Addr(x) {
+		t.Log("different keys usually differ (not guaranteed, just informative)")
+	}
+	// Injectivity on a sample set.
+	seen := map[netaddr.Addr]netaddr.Addr{}
+	for i := uint32(0); i < 4096; i++ {
+		in := netaddr.Addr(i * 1048583)
+		out := a.Addr(in)
+		if prev, dup := seen[out]; dup {
+			t.Fatalf("collision: %v and %v both map to %v", prev, in, out)
+		}
+		seen[out] = in
+	}
+}
+
+// TestPrefixPreservation is the defining property: common prefix lengths
+// are exactly preserved.
+func TestPrefixPreservation(t *testing.T) {
+	a := New(7)
+	common := func(x, y netaddr.Addr) int {
+		for i := 0; i < 32; i++ {
+			if x.Bit(i) != y.Bit(i) {
+				return i
+			}
+		}
+		return 32
+	}
+	f := func(x, y uint32) bool {
+		ax, ay := netaddr.Addr(x), netaddr.Addr(y)
+		return common(ax, ay) == common(a.Addr(ax), a.Addr(ay))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKeepVerbatim(t *testing.T) {
+	keep := []string{"255.255.255.0", "255.255.255.255", "0.0.0.0", "0.0.1.255", "0.255.255.255"}
+	for _, s := range keep {
+		if !keepVerbatim(netaddr.MustParseAddr(s)) {
+			t.Errorf("%s should be kept verbatim", s)
+		}
+	}
+	change := []string{"10.0.0.1", "192.0.2.7", "9.140.0.3"}
+	for _, s := range change {
+		if keepVerbatim(netaddr.MustParseAddr(s)) {
+			t.Errorf("%s should be anonymized", s)
+		}
+	}
+}
+
+func TestTextRewriting(t *testing.T) {
+	a := New(99)
+	in := `hostname core-cisco
+ip route 10.1.1.2 255.255.255.254 10.2.2.2
+ip prefix-list NETS permit 10.9.0.0/16 le 32
+access-list 101 deny ip 9.140.0.0 0.0.1.255 any
+`
+	out := a.Text(in)
+	if strings.Contains(out, "core-cisco") {
+		t.Error("hostname should be renamed")
+	}
+	if !strings.Contains(out, "255.255.255.254") || !strings.Contains(out, "0.0.1.255") {
+		t.Error("masks and wildcards must stay verbatim")
+	}
+	if strings.Contains(out, "10.1.1.2 ") || strings.Contains(out, "10.9.0.0/16") {
+		t.Errorf("addresses should change:\n%s", out)
+	}
+	if !strings.Contains(out, "/16 le 32") {
+		t.Error("prefix lengths must stay")
+	}
+	if !strings.Contains(out, "access-list 101 deny ip ") {
+		t.Error("non-address tokens unchanged")
+	}
+	// Deterministic.
+	if a.Text(in) != out {
+		t.Error("Text must be deterministic")
+	}
+}
+
+// TestDiffStructurePreserved is the headline invariant: anonymizing both
+// configurations under the same key preserves Campion's difference
+// counts per component.
+func TestDiffStructurePreserved(t *testing.T) {
+	c1Text, c2Text := campiontest.Figure1Cisco, campiontest.Figure1Juniper
+	a := New(1234)
+	origC, err := campiontest.ParseCisco(c1Text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	origJ, err := campiontest.ParseJuniper(c2Text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anonC, err := campiontest.ParseCisco(a.Text(c1Text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	anonJ, err := campiontest.ParseJuniper(a.Text(c2Text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := core.Diff(origC, origJ, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := core.Diff(anonC, anonJ, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(before.RouteMapDiffs) != len(after.RouteMapDiffs) {
+		t.Errorf("route map diffs changed: %d vs %d",
+			len(before.RouteMapDiffs), len(after.RouteMapDiffs))
+	}
+	if len(before.Structural) != len(after.Structural) {
+		t.Errorf("structural diffs changed: %d vs %d",
+			len(before.Structural), len(after.Structural))
+	}
+}
+
+func TestNextQuadEdgeCases(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+		ok   bool
+	}{
+		{"x 10.1.2.3 y", "10.1.2.3", true},
+		{"no quads here 1.2.3", "", false},
+		{"ver 1.2.3.4.5 trailing", "", false}, // 5-part runs (versions) are skipped
+		{"", "", false},
+		{"10.1.2.3/24", "10.1.2.3", true},
+	}
+	for _, c := range cases {
+		_, quad, ok := nextQuad(c.in, 0)
+		if ok != c.ok || (ok && quad != c.want) {
+			t.Errorf("nextQuad(%q) = %q,%v want %q,%v", c.in, quad, ok, c.want, c.ok)
+		}
+	}
+}

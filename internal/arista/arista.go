@@ -1,0 +1,38 @@
+// Package arista parses Arista EOS configurations. EOS's configuration
+// language is IOS-compatible for every component Campion models (§1 of
+// the paper motivates router replacement with a Juniper → Arista
+// upgrade), so the parser delegates to the shared IOS-family parser after
+// normalizing the few EOS spelling differences, and applies EOS's default
+// administrative distances (eBGP and iBGP are both 200 on EOS, unlike
+// IOS's 20/200).
+package arista
+
+import (
+	"strings"
+
+	"repro/internal/cisco"
+	"repro/internal/ir"
+)
+
+// Parse parses an EOS configuration.
+func Parse(file, text string) (*ir.Config, error) {
+	return cisco.ParseWithVendor(ir.VendorArista, file, normalize(text))
+}
+
+// normalize rewrites EOS spellings into their IOS equivalents:
+//
+//   - "ip access-list NAME" (EOS access lists are extended by default)
+//   - "maximum-routes N" on static routes and similar EOS-only suffixes
+//     are left to the lenient parser's unrecognized handling
+func normalize(text string) string {
+	lines := strings.Split(text, "\n")
+	for i, line := range lines {
+		trimmed := strings.TrimSpace(line)
+		f := strings.Fields(trimmed)
+		if len(f) == 3 && f[0] == "ip" && f[1] == "access-list" {
+			// EOS: "ip access-list NAME" opens an extended ACL.
+			lines[i] = strings.Replace(line, "ip access-list ", "ip access-list extended ", 1)
+		}
+	}
+	return strings.Join(lines, "\n")
+}

@@ -1,0 +1,611 @@
+// Package bdd implements reduced ordered binary decision diagrams (ROBDDs),
+// the symbolic set representation underlying Campion's SemanticDiff and
+// HeaderLocalize algorithms (the role JavaBDD plays in the original system).
+//
+// A Factory owns an arena of nodes; a Node is an index into that arena.
+// Nodes are hash-consed, so structural equality of the Node values implies
+// semantic equivalence of the represented boolean functions, which makes
+// equivalence checks O(1) once the operands are built.
+package bdd
+
+import (
+	"fmt"
+	"math"
+)
+
+// Node is a reference to a BDD node inside its Factory. The zero value is
+// the constant false; True is the constant true.
+type Node int32
+
+// Terminal nodes.
+const (
+	False Node = 0
+	True  Node = 1
+)
+
+type nodeData struct {
+	level     int32 // variable index; terminals use the factory's var count
+	low, high Node
+}
+
+const (
+	opAnd = iota + 1
+	opOr
+	opXor
+	opNot
+	opExists
+	opIte
+)
+
+// opCacheEntry is a slot of the direct-mapped operation cache. Collisions
+// overwrite; a miss merely recomputes, so the cache never affects
+// correctness.
+type opCacheEntry struct {
+	op     uint32
+	a, b   Node
+	result Node
+}
+
+const opCacheBits = 18 // 256k entries ≈ 4 MB
+
+// Factory allocates and operates on BDD nodes over a fixed number of
+// boolean variables. Variable i branches before variable j whenever i < j.
+// A Factory is not safe for concurrent use.
+type Factory struct {
+	nodes   []nodeData
+	numVars int
+
+	// unique is an open-addressed hash table over the node arena
+	// (hash-consing). Entries hold node index + 1; 0 is empty.
+	unique     []int32
+	uniqueMask uint32
+
+	cache  []opCacheEntry
+	iteTmp map[[3]Node]Node
+
+	// quantification scratch, reused across Exists calls
+	existsMask []bool
+}
+
+// NewFactory creates a factory over numVars variables.
+func NewFactory(numVars int) *Factory {
+	if numVars < 0 || numVars >= 1<<20 {
+		panic(fmt.Sprintf("bdd: invalid variable count %d", numVars))
+	}
+	f := &Factory{
+		nodes:      make([]nodeData, 2, 1024),
+		unique:     make([]int32, 1024),
+		uniqueMask: 1023,
+		cache:      make([]opCacheEntry, 1<<opCacheBits),
+		iteTmp:     make(map[[3]Node]Node),
+		numVars:    numVars,
+	}
+	f.nodes[False] = nodeData{level: int32(numVars), low: False, high: False}
+	f.nodes[True] = nodeData{level: int32(numVars), low: True, high: True}
+	return f
+}
+
+func nodeHash(level int32, low, high Node) uint32 {
+	h := uint64(uint32(level))*0x9e3779b1 ^ uint64(uint32(low))*0x85ebca77 ^ uint64(uint32(high))*0xc2b2ae3d
+	h ^= h >> 29
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 32
+	return uint32(h)
+}
+
+func (f *Factory) rehashUnique() {
+	newSize := uint32(len(f.unique)) * 2
+	table := make([]int32, newSize)
+	mask := newSize - 1
+	for i := 2; i < len(f.nodes); i++ {
+		d := f.nodes[i]
+		h := nodeHash(d.level, d.low, d.high) & mask
+		for table[h] != 0 {
+			h = (h + 1) & mask
+		}
+		table[h] = int32(i) + 1
+	}
+	f.unique = table
+	f.uniqueMask = mask
+}
+
+func (f *Factory) cacheLookup(op uint32, a, b Node) (Node, bool) {
+	idx := (uint32(a)*0x9e3779b1 ^ uint32(b)*0x85ebca77 ^ op*0x27d4eb2f) & (1<<opCacheBits - 1)
+	e := &f.cache[idx]
+	if e.op == op && e.a == a && e.b == b {
+		return e.result, true
+	}
+	return 0, false
+}
+
+func (f *Factory) cacheStore(op uint32, a, b, result Node) {
+	idx := (uint32(a)*0x9e3779b1 ^ uint32(b)*0x85ebca77 ^ op*0x27d4eb2f) & (1<<opCacheBits - 1)
+	f.cache[idx] = opCacheEntry{op: op, a: a, b: b, result: result}
+}
+
+// NumVars returns the number of variables the factory was created with.
+func (f *Factory) NumVars() int { return f.numVars }
+
+// Size returns the number of live nodes in the arena (including terminals).
+func (f *Factory) Size() int { return len(f.nodes) }
+
+// NodeCount returns the number of distinct nodes reachable from n,
+// excluding terminals — the conventional "BDD size" metric.
+func (f *Factory) NodeCount(n Node) int {
+	seen := map[Node]bool{}
+	var walk func(Node)
+	var count int
+	walk = func(m Node) {
+		if m <= True || seen[m] {
+			return
+		}
+		seen[m] = true
+		count++
+		walk(f.nodes[m].low)
+		walk(f.nodes[m].high)
+	}
+	walk(n)
+	return count
+}
+
+func (f *Factory) mk(level int32, low, high Node) Node {
+	if low == high {
+		return low
+	}
+	h := nodeHash(level, low, high) & f.uniqueMask
+	for {
+		slot := f.unique[h]
+		if slot == 0 {
+			break
+		}
+		d := f.nodes[slot-1]
+		if d.level == level && d.low == low && d.high == high {
+			return Node(slot - 1)
+		}
+		h = (h + 1) & f.uniqueMask
+	}
+	n := Node(len(f.nodes))
+	f.nodes = append(f.nodes, nodeData{level: level, low: low, high: high})
+	f.unique[h] = int32(n) + 1
+	if uint32(len(f.nodes))*4 > uint32(len(f.unique))*3 {
+		f.rehashUnique()
+	}
+	return n
+}
+
+// Var returns the BDD for "variable i is true".
+func (f *Factory) Var(i int) Node {
+	f.checkVar(i)
+	return f.mk(int32(i), False, True)
+}
+
+// NVar returns the BDD for "variable i is false".
+func (f *Factory) NVar(i int) Node {
+	f.checkVar(i)
+	return f.mk(int32(i), True, False)
+}
+
+func (f *Factory) checkVar(i int) {
+	if i < 0 || i >= f.numVars {
+		panic(fmt.Sprintf("bdd: variable %d out of range [0,%d)", i, f.numVars))
+	}
+}
+
+// Lit returns Var(i) if val, else NVar(i).
+func (f *Factory) Lit(i int, val bool) Node {
+	if val {
+		return f.Var(i)
+	}
+	return f.NVar(i)
+}
+
+// Not returns the negation of n.
+func (f *Factory) Not(n Node) Node {
+	switch n {
+	case False:
+		return True
+	case True:
+		return False
+	}
+	if r, ok := f.cacheLookup(opNot, n, 0); ok {
+		return r
+	}
+	d := f.nodes[n]
+	r := f.mk(d.level, f.Not(d.low), f.Not(d.high))
+	f.cacheStore(opNot, n, 0, r)
+	return r
+}
+
+// And returns the conjunction of a and b.
+func (f *Factory) And(a, b Node) Node {
+	switch {
+	case a == False || b == False:
+		return False
+	case a == True:
+		return b
+	case b == True:
+		return a
+	case a == b:
+		return a
+	}
+	if a > b {
+		a, b = b, a
+	}
+	if r, ok := f.cacheLookup(opAnd, a, b); ok {
+		return r
+	}
+	r := f.apply(opAnd, a, b)
+	f.cacheStore(opAnd, a, b, r)
+	return r
+}
+
+// Or returns the disjunction of a and b.
+func (f *Factory) Or(a, b Node) Node {
+	switch {
+	case a == True || b == True:
+		return True
+	case a == False:
+		return b
+	case b == False:
+		return a
+	case a == b:
+		return a
+	}
+	if a > b {
+		a, b = b, a
+	}
+	if r, ok := f.cacheLookup(opOr, a, b); ok {
+		return r
+	}
+	r := f.apply(opOr, a, b)
+	f.cacheStore(opOr, a, b, r)
+	return r
+}
+
+// Xor returns the exclusive-or of a and b — the "symmetric difference" of
+// the two sets, which is exactly the space of behavioral differences when
+// a and b encode two components' accept sets.
+func (f *Factory) Xor(a, b Node) Node {
+	switch {
+	case a == b:
+		return False
+	case a == False:
+		return b
+	case b == False:
+		return a
+	case a == True:
+		return f.Not(b)
+	case b == True:
+		return f.Not(a)
+	}
+	if a > b {
+		a, b = b, a
+	}
+	if r, ok := f.cacheLookup(opXor, a, b); ok {
+		return r
+	}
+	r := f.apply(opXor, a, b)
+	f.cacheStore(opXor, a, b, r)
+	return r
+}
+
+func (f *Factory) apply(op uint8, a, b Node) Node {
+	da, db := f.nodes[a], f.nodes[b]
+	level := da.level
+	if db.level < level {
+		level = db.level
+	}
+	al, ah := a, a
+	if da.level == level {
+		al, ah = da.low, da.high
+	}
+	bl, bh := b, b
+	if db.level == level {
+		bl, bh = db.low, db.high
+	}
+	var lo, hi Node
+	switch op {
+	case opAnd:
+		lo, hi = f.And(al, bl), f.And(ah, bh)
+	case opOr:
+		lo, hi = f.Or(al, bl), f.Or(ah, bh)
+	case opXor:
+		lo, hi = f.Xor(al, bl), f.Xor(ah, bh)
+	default:
+		panic("bdd: unknown op")
+	}
+	return f.mk(level, lo, hi)
+}
+
+// Diff returns a ∧ ¬b, the set difference.
+func (f *Factory) Diff(a, b Node) Node { return f.And(a, f.Not(b)) }
+
+// Imp returns ¬a ∨ b, logical implication.
+func (f *Factory) Imp(a, b Node) Node { return f.Or(f.Not(a), b) }
+
+// Equiv returns the biconditional of a and b as a BDD.
+func (f *Factory) Equiv(a, b Node) Node { return f.Not(f.Xor(a, b)) }
+
+// Implies reports whether a ⊆ b as sets (a → b is a tautology).
+func (f *Factory) Implies(a, b Node) bool { return f.Diff(a, b) == False }
+
+// Ite returns if-then-else(c, t, e).
+func (f *Factory) Ite(c, t, e Node) Node {
+	switch {
+	case c == True:
+		return t
+	case c == False:
+		return e
+	case t == e:
+		return t
+	case t == True && e == False:
+		return c
+	case t == False && e == True:
+		return f.Not(c)
+	}
+	key := [3]Node{c, t, e}
+	if r, ok := f.iteTmp[key]; ok {
+		return r
+	}
+	dc, dt, de := f.nodes[c], f.nodes[t], f.nodes[e]
+	level := dc.level
+	if dt.level < level {
+		level = dt.level
+	}
+	if de.level < level {
+		level = de.level
+	}
+	branch := func(n Node, d nodeData, high bool) Node {
+		if d.level != level {
+			return n
+		}
+		if high {
+			return d.high
+		}
+		return d.low
+	}
+	lo := f.Ite(branch(c, dc, false), branch(t, dt, false), branch(e, de, false))
+	hi := f.Ite(branch(c, dc, true), branch(t, dt, true), branch(e, de, true))
+	r := f.mk(level, lo, hi)
+	f.iteTmp[key] = r
+	return r
+}
+
+// AndN folds And over its arguments; AndN() is True.
+func (f *Factory) AndN(ns ...Node) Node {
+	r := True
+	for _, n := range ns {
+		r = f.And(r, n)
+		if r == False {
+			return False
+		}
+	}
+	return r
+}
+
+// OrN folds Or over its arguments; OrN() is False.
+func (f *Factory) OrN(ns ...Node) Node {
+	r := False
+	for _, n := range ns {
+		r = f.Or(r, n)
+		if r == True {
+			return True
+		}
+	}
+	return r
+}
+
+// Exists existentially quantifies the given variables out of n.
+func (f *Factory) Exists(n Node, vars []int) Node {
+	if len(vars) == 0 || n <= True {
+		return n
+	}
+	if f.existsMask == nil {
+		f.existsMask = make([]bool, f.numVars)
+	}
+	for _, v := range vars {
+		f.checkVar(v)
+		f.existsMask[v] = true
+	}
+	memo := make(map[Node]Node)
+	r := f.exists(n, memo)
+	for _, v := range vars {
+		f.existsMask[v] = false
+	}
+	return r
+}
+
+func (f *Factory) exists(n Node, memo map[Node]Node) Node {
+	if n <= True {
+		return n
+	}
+	if r, ok := memo[n]; ok {
+		return r
+	}
+	d := f.nodes[n]
+	lo := f.exists(d.low, memo)
+	hi := f.exists(d.high, memo)
+	var r Node
+	if f.existsMask[d.level] {
+		r = f.Or(lo, hi)
+	} else {
+		r = f.mk(d.level, lo, hi)
+	}
+	memo[n] = r
+	return r
+}
+
+// Restrict fixes variable v to val inside n.
+func (f *Factory) Restrict(n Node, v int, val bool) Node {
+	f.checkVar(v)
+	memo := make(map[Node]Node)
+	var walk func(Node) Node
+	walk = func(m Node) Node {
+		if m <= True {
+			return m
+		}
+		d := f.nodes[m]
+		if int(d.level) > v {
+			return m
+		}
+		if r, ok := memo[m]; ok {
+			return r
+		}
+		var r Node
+		if int(d.level) == v {
+			if val {
+				r = d.high
+			} else {
+				r = d.low
+			}
+		} else {
+			r = f.mk(d.level, walk(d.low), walk(d.high))
+		}
+		memo[m] = r
+		return r
+	}
+	return walk(n)
+}
+
+// Assignment is a partial truth assignment: for each variable index,
+// 0 means false, 1 means true, -1 means don't-care.
+type Assignment []int8
+
+// AnySat returns one satisfying partial assignment of n, or nil if n is
+// unsatisfiable. Unmentioned variables are -1 (don't care).
+func (f *Factory) AnySat(n Node) Assignment {
+	if n == False {
+		return nil
+	}
+	a := make(Assignment, f.numVars)
+	for i := range a {
+		a[i] = -1
+	}
+	for n != True {
+		d := f.nodes[n]
+		if d.low != False {
+			a[d.level] = 0
+			n = d.low
+		} else {
+			a[d.level] = 1
+			n = d.high
+		}
+	}
+	return a
+}
+
+// Eval evaluates n under a total assignment (don't-cares treated as false).
+func (f *Factory) Eval(n Node, a Assignment) bool {
+	for n > True {
+		d := f.nodes[n]
+		if int(d.level) < len(a) && a[d.level] == 1 {
+			n = d.high
+		} else {
+			n = d.low
+		}
+	}
+	return n == True
+}
+
+// Cube returns the conjunction of literals described by the assignment
+// (don't-care entries are skipped).
+func (f *Factory) Cube(a Assignment) Node {
+	r := True
+	for i := len(a) - 1; i >= 0; i-- {
+		switch a[i] {
+		case 0:
+			r = f.mk(int32(i), r, False)
+		case 1:
+			r = f.mk(int32(i), False, r)
+		}
+	}
+	return r
+}
+
+// SatCount returns the number of total assignments satisfying n,
+// as a float64 (it can exceed 2^63 for wide factories).
+func (f *Factory) SatCount(n Node) float64 {
+	memo := map[Node]float64{}
+	var walk func(Node) float64
+	walk = func(m Node) float64 {
+		if m == False {
+			return 0
+		}
+		if m == True {
+			return 1
+		}
+		if c, ok := memo[m]; ok {
+			return c
+		}
+		d := f.nodes[m]
+		cl := walk(d.low) * math.Exp2(float64(f.nodes[d.low].level-d.level-1))
+		ch := walk(d.high) * math.Exp2(float64(f.nodes[d.high].level-d.level-1))
+		c := cl + ch
+		memo[m] = c
+		return c
+	}
+	return walk(n) * math.Exp2(float64(f.nodes[n].level))
+}
+
+// Support returns the sorted list of variables n depends on.
+func (f *Factory) Support(n Node) []int {
+	seen := map[Node]bool{}
+	inSupport := make([]bool, f.numVars)
+	var walk func(Node)
+	walk = func(m Node) {
+		if m <= True || seen[m] {
+			return
+		}
+		seen[m] = true
+		inSupport[f.nodes[m].level] = true
+		walk(f.nodes[m].low)
+		walk(f.nodes[m].high)
+	}
+	walk(n)
+	var vars []int
+	for i, b := range inSupport {
+		if b {
+			vars = append(vars, i)
+		}
+	}
+	return vars
+}
+
+// WalkCubes calls fn for each cube (path to True) of n, passing a partial
+// assignment valid only for the duration of the call. It stops early if fn
+// returns false. The number of cubes can be exponential; callers should
+// bound their own iteration.
+func (f *Factory) WalkCubes(n Node, fn func(Assignment) bool) {
+	a := make(Assignment, f.numVars)
+	for i := range a {
+		a[i] = -1
+	}
+	var walk func(Node) bool
+	walk = func(m Node) bool {
+		if m == False {
+			return true
+		}
+		if m == True {
+			return fn(a)
+		}
+		d := f.nodes[m]
+		a[d.level] = 0
+		if !walk(d.low) {
+			return false
+		}
+		a[d.level] = 1
+		if !walk(d.high) {
+			return false
+		}
+		a[d.level] = -1
+		return true
+	}
+	walk(n)
+}
+
+// Level exposes the variable index at the root of n (numVars for terminals).
+func (f *Factory) Level(n Node) int { return int(f.nodes[n].level) }
+
+// Low and High expose node structure for traversals (terminals self-loop).
+func (f *Factory) Low(n Node) Node  { return f.nodes[n].low }
+func (f *Factory) High(n Node) Node { return f.nodes[n].high }

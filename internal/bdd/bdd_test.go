@@ -1,0 +1,518 @@
+package bdd
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTerminals(t *testing.T) {
+	f := NewFactory(4)
+	if f.Not(True) != False || f.Not(False) != True {
+		t.Error("Not on terminals")
+	}
+	if f.And(True, False) != False || f.And(True, True) != True {
+		t.Error("And on terminals")
+	}
+	if f.Or(True, False) != True || f.Or(False, False) != False {
+		t.Error("Or on terminals")
+	}
+	if f.Xor(True, True) != False || f.Xor(True, False) != True {
+		t.Error("Xor on terminals")
+	}
+}
+
+func TestVarBasics(t *testing.T) {
+	f := NewFactory(3)
+	x := f.Var(0)
+	if f.Not(f.Not(x)) != x {
+		t.Error("double negation should be identity (hash consing)")
+	}
+	if f.NVar(0) != f.Not(x) {
+		t.Error("NVar should equal Not(Var)")
+	}
+	if f.And(x, f.Not(x)) != False {
+		t.Error("x ∧ ¬x should be false")
+	}
+	if f.Or(x, f.Not(x)) != True {
+		t.Error("x ∨ ¬x should be true")
+	}
+	if f.Lit(1, true) != f.Var(1) || f.Lit(1, false) != f.NVar(1) {
+		t.Error("Lit dispatch")
+	}
+}
+
+func TestVarOutOfRangePanics(t *testing.T) {
+	f := NewFactory(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("Var(5) should panic")
+		}
+	}()
+	f.Var(5)
+}
+
+func TestHashConsingCanonicity(t *testing.T) {
+	f := NewFactory(4)
+	a := f.Or(f.And(f.Var(0), f.Var(1)), f.And(f.Var(2), f.Var(3)))
+	b := f.Or(f.And(f.Var(2), f.Var(3)), f.And(f.Var(1), f.Var(0)))
+	if a != b {
+		t.Error("equivalent formulas should be the same node")
+	}
+	// De Morgan.
+	l := f.Not(f.And(f.Var(0), f.Var(1)))
+	r := f.Or(f.Not(f.Var(0)), f.Not(f.Var(1)))
+	if l != r {
+		t.Error("De Morgan should hold structurally")
+	}
+}
+
+// truth builds the full truth table of a node over nvars variables.
+func truth(f *Factory, n Node, nvars int) []bool {
+	out := make([]bool, 1<<uint(nvars))
+	a := make(Assignment, nvars)
+	for m := 0; m < len(out); m++ {
+		for i := 0; i < nvars; i++ {
+			if m&(1<<uint(i)) != 0 {
+				a[i] = 1
+			} else {
+				a[i] = 0
+			}
+		}
+		out[m] = f.Eval(n, a)
+	}
+	return out
+}
+
+// randomNode builds a node from a seed via a little expression generator,
+// so quick.Check can explore the operation algebra.
+func randomNode(f *Factory, seed uint64, nvars int, depth int) Node {
+	if depth == 0 {
+		v := int(seed % uint64(nvars))
+		if (seed>>8)%2 == 0 {
+			return f.Var(v)
+		}
+		return f.NVar(v)
+	}
+	l := randomNode(f, seed/7, nvars, depth-1)
+	r := randomNode(f, seed/13+5, nvars, depth-1)
+	switch (seed >> 4) % 4 {
+	case 0:
+		return f.And(l, r)
+	case 1:
+		return f.Or(l, r)
+	case 2:
+		return f.Xor(l, r)
+	default:
+		return f.Not(l)
+	}
+}
+
+func TestOpsAgainstTruthTables(t *testing.T) {
+	const nvars = 5
+	check := func(s1, s2 uint64) bool {
+		f := NewFactory(nvars)
+		a := randomNode(f, s1, nvars, 3)
+		b := randomNode(f, s2, nvars, 3)
+		ta, tb := truth(f, a, nvars), truth(f, b, nvars)
+		tAnd := truth(f, f.And(a, b), nvars)
+		tOr := truth(f, f.Or(a, b), nvars)
+		tXor := truth(f, f.Xor(a, b), nvars)
+		tNot := truth(f, f.Not(a), nvars)
+		tIte := truth(f, f.Ite(a, b, f.Not(b)), nvars)
+		for i := range ta {
+			if tAnd[i] != (ta[i] && tb[i]) {
+				return false
+			}
+			if tOr[i] != (ta[i] || tb[i]) {
+				return false
+			}
+			if tXor[i] != (ta[i] != tb[i]) {
+				return false
+			}
+			if tNot[i] != !ta[i] {
+				return false
+			}
+			want := tb[i]
+			if !ta[i] {
+				want = !tb[i]
+			}
+			if tIte[i] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExists(t *testing.T) {
+	f := NewFactory(3)
+	// n = (x0 ∧ x1) ∨ (¬x0 ∧ x2)
+	n := f.Or(f.And(f.Var(0), f.Var(1)), f.And(f.NVar(0), f.Var(2)))
+	// ∃x0. n  =  x1 ∨ x2
+	got := f.Exists(n, []int{0})
+	want := f.Or(f.Var(1), f.Var(2))
+	if got != want {
+		t.Errorf("Exists: got node %d, want %d", got, want)
+	}
+	// Quantifying everything from a satisfiable node yields True.
+	if f.Exists(n, []int{0, 1, 2}) != True {
+		t.Error("Exists over all vars of satisfiable node should be True")
+	}
+	if f.Exists(False, []int{0, 1, 2}) != False {
+		t.Error("Exists of False should be False")
+	}
+	if f.Exists(n, nil) != n {
+		t.Error("Exists over no vars should be identity")
+	}
+}
+
+func TestExistsAgainstTruthTables(t *testing.T) {
+	const nvars = 5
+	check := func(s uint64, vraw uint8) bool {
+		f := NewFactory(nvars)
+		n := randomNode(f, s, nvars, 3)
+		v := int(vraw) % nvars
+		q := f.Exists(n, []int{v})
+		tn, tq := truth(f, n, nvars), truth(f, q, nvars)
+		for i := range tq {
+			// q(i) should equal n(i with v=0) || n(i with v=1)
+			lo := i &^ (1 << uint(v))
+			hi := i | 1<<uint(v)
+			if tq[i] != (tn[lo] || tn[hi]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRestrict(t *testing.T) {
+	f := NewFactory(3)
+	n := f.Or(f.And(f.Var(0), f.Var(1)), f.And(f.NVar(0), f.Var(2)))
+	if f.Restrict(n, 0, true) != f.Var(1) {
+		t.Error("restrict x0=1 should give x1")
+	}
+	if f.Restrict(n, 0, false) != f.Var(2) {
+		t.Error("restrict x0=0 should give x2")
+	}
+	if f.Restrict(n, 2, true) == n {
+		t.Error("restrict on a support variable should change the node")
+	}
+}
+
+func TestAnySatAndEval(t *testing.T) {
+	f := NewFactory(4)
+	n := f.AndN(f.Var(0), f.NVar(2), f.Var(3))
+	a := f.AnySat(n)
+	if a == nil {
+		t.Fatal("satisfiable node returned nil assignment")
+	}
+	if a[0] != 1 || a[2] != 0 || a[3] != 1 {
+		t.Errorf("AnySat = %v, want fixed 1,_,0,1", a)
+	}
+	if a[1] != -1 {
+		t.Errorf("variable 1 should be don't-care, got %d", a[1])
+	}
+	if !f.Eval(n, Assignment{1, 0, 0, 1}) {
+		t.Error("Eval should satisfy")
+	}
+	if f.Eval(n, Assignment{0, 0, 0, 1}) {
+		t.Error("Eval should reject x0=0")
+	}
+	if f.AnySat(False) != nil {
+		t.Error("AnySat(False) should be nil")
+	}
+}
+
+func TestAnySatSatisfies(t *testing.T) {
+	check := func(s uint64) bool {
+		const nvars = 6
+		f := NewFactory(nvars)
+		n := randomNode(f, s, nvars, 4)
+		a := f.AnySat(n)
+		if n == False {
+			return a == nil
+		}
+		// Complete don't-cares with 0 and with 1; both must satisfy.
+		for _, fill := range []int8{0, 1} {
+			b := make(Assignment, len(a))
+			for i, v := range a {
+				if v == -1 {
+					b[i] = fill
+				} else {
+					b[i] = v
+				}
+			}
+			if !f.Eval(n, b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCube(t *testing.T) {
+	f := NewFactory(4)
+	a := Assignment{1, -1, 0, -1}
+	c := f.Cube(a)
+	want := f.And(f.Var(0), f.NVar(2))
+	if c != want {
+		t.Error("Cube should build the literal conjunction")
+	}
+	if f.Cube(Assignment{-1, -1, -1, -1}) != True {
+		t.Error("all-don't-care cube should be True")
+	}
+}
+
+func TestSatCount(t *testing.T) {
+	f := NewFactory(4)
+	if got := f.SatCount(True); got != 16 {
+		t.Errorf("SatCount(True) = %v, want 16", got)
+	}
+	if got := f.SatCount(False); got != 0 {
+		t.Errorf("SatCount(False) = %v, want 0", got)
+	}
+	if got := f.SatCount(f.Var(0)); got != 8 {
+		t.Errorf("SatCount(x0) = %v, want 8", got)
+	}
+	n := f.And(f.Var(0), f.Var(3))
+	if got := f.SatCount(n); got != 4 {
+		t.Errorf("SatCount(x0∧x3) = %v, want 4", got)
+	}
+}
+
+func TestSatCountAgainstTruthTables(t *testing.T) {
+	check := func(s uint64) bool {
+		const nvars = 6
+		f := NewFactory(nvars)
+		n := randomNode(f, s, nvars, 4)
+		tt := truth(f, n, nvars)
+		var want float64
+		for _, b := range tt {
+			if b {
+				want++
+			}
+		}
+		return f.SatCount(n) == want
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSupport(t *testing.T) {
+	f := NewFactory(5)
+	n := f.Or(f.And(f.Var(1), f.Var(3)), f.NVar(4))
+	got := f.Support(n)
+	want := []int{1, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("Support = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Support = %v, want %v", got, want)
+		}
+	}
+	if f.Support(True) != nil {
+		t.Error("Support of terminal should be empty")
+	}
+}
+
+func TestWalkCubes(t *testing.T) {
+	f := NewFactory(3)
+	n := f.Or(f.And(f.Var(0), f.Var(1)), f.NVar(0))
+	var count int
+	var total float64
+	f.WalkCubes(n, func(a Assignment) bool {
+		count++
+		free := 0
+		for _, v := range a {
+			if v == -1 {
+				free++
+			}
+		}
+		total += float64(int(1) << uint(free))
+		return true
+	})
+	if count == 0 {
+		t.Fatal("expected cubes")
+	}
+	if total != f.SatCount(n) {
+		t.Errorf("cube weights sum to %v, SatCount is %v", total, f.SatCount(n))
+	}
+	// Early termination.
+	calls := 0
+	f.WalkCubes(n, func(Assignment) bool {
+		calls++
+		return false
+	})
+	if calls != 1 {
+		t.Errorf("early-stop walk made %d calls, want 1", calls)
+	}
+}
+
+func TestImpliesAndDiff(t *testing.T) {
+	f := NewFactory(3)
+	a := f.And(f.Var(0), f.Var(1))
+	b := f.Var(0)
+	if !f.Implies(a, b) {
+		t.Error("x0∧x1 should imply x0")
+	}
+	if f.Implies(b, a) {
+		t.Error("x0 should not imply x0∧x1")
+	}
+	if f.Diff(a, b) != False {
+		t.Error("Diff of subset should be empty")
+	}
+	d := f.Diff(b, a)
+	if d != f.And(f.Var(0), f.NVar(1)) {
+		t.Error("Diff(x0, x0∧x1) should be x0∧¬x1")
+	}
+}
+
+func TestEquivIte(t *testing.T) {
+	f := NewFactory(3)
+	a, b := f.Var(0), f.Var(1)
+	if f.Equiv(a, a) != True {
+		t.Error("Equiv(a,a) should be True")
+	}
+	got := f.Ite(a, b, b)
+	if got != b {
+		t.Error("Ite with equal branches should collapse")
+	}
+	if f.Ite(a, True, False) != a {
+		t.Error("Ite(a, 1, 0) should be a")
+	}
+	if f.Ite(a, False, True) != f.Not(a) {
+		t.Error("Ite(a, 0, 1) should be ¬a")
+	}
+}
+
+func TestNodeCount(t *testing.T) {
+	f := NewFactory(4)
+	if f.NodeCount(True) != 0 || f.NodeCount(False) != 0 {
+		t.Error("terminals have node count 0")
+	}
+	if f.NodeCount(f.Var(0)) != 1 {
+		t.Error("a literal has node count 1")
+	}
+	n := f.And(f.Var(0), f.And(f.Var(1), f.Var(2)))
+	if f.NodeCount(n) != 3 {
+		t.Errorf("chain of 3 conjuncts should have 3 nodes, got %d", f.NodeCount(n))
+	}
+}
+
+func TestLargeConjunction(t *testing.T) {
+	const nvars = 64
+	f := NewFactory(nvars)
+	n := True
+	for i := 0; i < nvars; i++ {
+		n = f.And(n, f.Lit(i, i%2 == 0))
+	}
+	if f.SatCount(n) != 1 {
+		t.Error("full cube should have exactly one model")
+	}
+	a := f.AnySat(n)
+	for i := 0; i < nvars; i++ {
+		want := int8(0)
+		if i%2 == 0 {
+			want = 1
+		}
+		if a[i] != want {
+			t.Fatalf("var %d = %d, want %d", i, a[i], want)
+		}
+	}
+}
+
+func TestExistsMultiVarAgainstTruthTables(t *testing.T) {
+	const nvars = 6
+	check := func(s uint64, v1raw, v2raw uint8) bool {
+		f := NewFactory(nvars)
+		n := randomNode(f, s, nvars, 3)
+		v1 := int(v1raw) % nvars
+		v2 := int(v2raw) % nvars
+		if v1 == v2 {
+			return true
+		}
+		q := f.Exists(n, []int{v1, v2})
+		tn, tq := truth(f, n, nvars), truth(f, q, nvars)
+		for i := range tq {
+			want := false
+			for b1 := 0; b1 < 2 && !want; b1++ {
+				for b2 := 0; b2 < 2 && !want; b2++ {
+					j := i &^ (1 << uint(v1)) &^ (1 << uint(v2))
+					j |= b1 << uint(v1)
+					j |= b2 << uint(v2)
+					want = want || tn[j]
+				}
+			}
+			if tq[i] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRestrictAgainstTruthTables(t *testing.T) {
+	const nvars = 6
+	check := func(s uint64, vraw uint8, val bool) bool {
+		f := NewFactory(nvars)
+		n := randomNode(f, s, nvars, 3)
+		v := int(vraw) % nvars
+		r := f.Restrict(n, v, val)
+		tn, tr := truth(f, n, nvars), truth(f, r, nvars)
+		for i := range tr {
+			j := i &^ (1 << uint(v))
+			if val {
+				j |= 1 << uint(v)
+			}
+			if tr[i] != tn[j] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestUniqueTableGrowth forces several rehashes and checks canonicity
+// survives them.
+func TestUniqueTableGrowth(t *testing.T) {
+	f := NewFactory(24)
+	// Build a large structure, then rebuild it and require identical
+	// node identities (hash consing across rehashes).
+	build := func() Node {
+		n := True
+		for i := 0; i < 24; i += 2 {
+			n = f.And(n, f.Or(f.Var(i), f.Var(i+1)))
+		}
+		m := False
+		for i := 0; i < 24; i += 3 {
+			m = f.Or(m, f.And(f.Var(i), f.NVar((i+5)%24)))
+		}
+		return f.Xor(n, m)
+	}
+	a := build()
+	b := build()
+	if a != b {
+		t.Error("hash consing must survive table growth")
+	}
+	if f.Size() < 100 {
+		t.Errorf("expected a non-trivial arena, got %d nodes", f.Size())
+	}
+}

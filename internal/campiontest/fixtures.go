@@ -1,0 +1,84 @@
+// Package campiontest provides the shared test fixtures of the
+// repository: the paper's Figure 1 configurations in both vendor
+// dialects, plus parse helpers. Tests across packages reuse these so the
+// canonical example is written once.
+package campiontest
+
+import (
+	"repro/internal/cisco"
+	"repro/internal/ir"
+	"repro/internal/juniper"
+)
+
+// Figure1Cisco is the Cisco route map of the paper's Figure 1(a).
+const Figure1Cisco = `hostname cisco_router
+ip prefix-list NETS permit 10.9.0.0/16 le 32
+ip prefix-list NETS permit 10.100.0.0/16 le 32
+!
+ip community-list standard COMM permit 10:10
+ip community-list standard COMM permit 10:11
+!
+route-map POL deny 10
+ match ip address NETS
+route-map POL deny 20
+ match community COMM
+route-map POL permit 30
+ set local-preference 30
+`
+
+// Figure1Juniper is the (buggy) Juniper translation of Figure 1(b).
+const Figure1Juniper = `system { host-name juniper_router; }
+policy-options {
+    prefix-list NETS {
+        10.9.0.0/16;
+        10.100.0.0/16;
+    }
+    community COMM members [ 10:10 10:11 ];
+    policy-statement POL {
+        term rule1 {
+            from prefix-list NETS;
+            then reject;
+        }
+        term rule2 {
+            from community COMM;
+            then reject;
+        }
+        term rule3 {
+            then {
+                local-preference 30;
+                accept;
+            }
+        }
+    }
+}
+`
+
+// Figure1JuniperFixed is a behaviorally faithful JunOS translation of
+// Figure 1(a) — the policy the university operators intended to write.
+const Figure1JuniperFixed = `system { host-name juniper_router; }
+policy-options {
+    community C10 members 10:10;
+    community C11 members 10:11;
+    policy-statement POL {
+        term rule1 {
+            from {
+                route-filter 10.9.0.0/16 orlonger;
+                route-filter 10.100.0.0/16 orlonger;
+            }
+            then reject;
+        }
+        term rule2 { from community [ C10 C11 ]; then reject; }
+        term rule3 { then { local-preference 30; accept; } }
+    }
+}
+`
+
+// ParseCisco parses IOS text with a fixed file name.
+func ParseCisco(text string) (*ir.Config, error) {
+	return cisco.Parse("cisco.cfg", text)
+}
+
+// ParseJuniper parses JunOS text with a fixed file name.
+func ParseJuniper(text string) (*ir.Config, error) {
+	return juniper.Parse("juniper.cfg", text)
+}

@@ -1,0 +1,86 @@
+package cisco
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestParseNeverPanics mutates a realistic configuration — truncations,
+// duplicated lines, corrupted tokens, random byte flips — and checks that
+// the parser always returns (leniently) instead of panicking, and that
+// whatever it cannot interpret lands in Unrecognized rather than being
+// silently dropped.
+func TestParseNeverPanics(t *testing.T) {
+	base := figure1a + `
+interface GigabitEthernet0/0
+ ip address 10.0.12.1 255.255.255.0
+router bgp 65001
+ neighbor 10.0.12.2 remote-as 65002
+ip route 10.1.1.2 255.255.255.254 10.2.2.2
+access-list 101 permit tcp any any eq 80
+`
+	f := func(seed uint32) bool {
+		rng := seed
+		next := func(n int) int {
+			rng = rng*1664525 + 1013904223
+			if n <= 0 {
+				return 0
+			}
+			return int(rng>>16) % n
+		}
+		lines := strings.Split(base, "\n")
+		// Apply up to 5 random mutations.
+		for k := 0; k < 1+next(5); k++ {
+			if len(lines) == 0 {
+				break
+			}
+			i := next(len(lines))
+			switch next(5) {
+			case 0: // truncate the line
+				if len(lines[i]) > 0 {
+					lines[i] = lines[i][:next(len(lines[i]))]
+				}
+			case 1: // duplicate
+				lines = append(lines[:i], append([]string{lines[i]}, lines[i:]...)...)
+			case 2: // delete
+				lines = append(lines[:i], lines[i+1:]...)
+			case 3: // corrupt a token
+				fields := strings.Fields(lines[i])
+				if len(fields) > 0 {
+					fields[next(len(fields))] = "###"
+					lines[i] = " " + strings.Join(fields, " ")
+				}
+			case 4: // inject garbage
+				lines = append(lines[:i], append([]string{"%$ garbage \x01 line"}, lines[i:]...)...)
+			}
+		}
+		cfg, err := Parse("mut.cfg", strings.Join(lines, "\n"))
+		return err == nil && cfg != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseEmptyAndWeirdInputs(t *testing.T) {
+	for _, text := range []string{
+		"",
+		"\n\n\n",
+		"!",
+		"ip",
+		"ip route",
+		"route-map",
+		"router",
+		"neighbor 1.2.3.4 remote-as 1", // mode line with no mode
+		strings.Repeat("x", 100000),
+		"ip prefix-list X permit 999.1.1.1/8",
+		"access-list 101 permit tcp",
+		"ip route 1.2.3.4 255.0.255.0 5.6.7.8", // non-contiguous mask
+	} {
+		cfg, err := Parse("t", text)
+		if err != nil || cfg == nil {
+			t.Errorf("Parse(%.30q) errored: %v", text, err)
+		}
+	}
+}

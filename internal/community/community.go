@@ -1,0 +1,329 @@
+// Package community implements matching and atomization of BGP community
+// tags. Route maps test communities either as literals ("10:10") or as
+// vendor regular expressions ("^10:1[01]$", "_65000_"). Campion's symbolic
+// encoding assigns one BDD variable per *relevant* community string; this
+// package computes that finite universe and evaluates every matcher over
+// it, so that semantically equal regexes written differently do not raise
+// spurious differences, while regexes that genuinely differ are separated
+// by generated witness strings (exemplars).
+package community
+
+import (
+	"fmt"
+	"regexp"
+	"regexp/syntax"
+	"sort"
+	"strings"
+)
+
+// Matcher is a compiled community matcher: either an exact literal or a
+// vendor regular expression.
+type Matcher struct {
+	pattern string
+	literal bool
+	re      *regexp.Regexp
+}
+
+// IsRegexPattern reports whether a vendor community expression needs regex
+// interpretation (it contains metacharacters) rather than exact matching.
+func IsRegexPattern(s string) bool {
+	return strings.ContainsAny(s, "^$*+?.[]()|\\_")
+}
+
+// CompileLiteral returns a matcher for the exact community string.
+func CompileLiteral(s string) *Matcher {
+	return &Matcher{pattern: s, literal: true}
+}
+
+// Compile compiles a vendor (IOS-style) community regular expression.
+// The IOS "_" metacharacter matches a delimiter: start or end of the
+// community string or a colon. Patterns are unanchored unless they use
+// ^/$, matching IOS semantics.
+func Compile(pattern string) (*Matcher, error) {
+	translated := translate(pattern)
+	re, err := regexp.Compile(translated)
+	if err != nil {
+		return nil, fmt.Errorf("community: bad regex %q: %v", pattern, err)
+	}
+	return &Matcher{pattern: pattern, re: re}, nil
+}
+
+// MustCompile is Compile that panics on error, for tests and tables.
+func MustCompile(pattern string) *Matcher {
+	m, err := Compile(pattern)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// translate rewrites an IOS-flavored regex into Go regexp syntax.
+func translate(pattern string) string {
+	var b strings.Builder
+	for i := 0; i < len(pattern); i++ {
+		c := pattern[i]
+		switch c {
+		case '_':
+			// IOS delimiter: start/end of string, colon (communities),
+			// or whitespace/braces/parens (as-path lists).
+			b.WriteString(`(?:^|$|[:,\s{}()])`)
+		case '\\':
+			if i+1 < len(pattern) {
+				b.WriteByte(c)
+				i++
+				b.WriteByte(pattern[i])
+			} else {
+				b.WriteString(`\\`)
+			}
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// Pattern returns the original vendor pattern text.
+func (m *Matcher) Pattern() string { return m.pattern }
+
+// IsLiteral reports whether the matcher is an exact literal.
+func (m *Matcher) IsLiteral() bool { return m.literal }
+
+// Matches reports whether the community string satisfies the matcher.
+func (m *Matcher) Matches(comm string) bool {
+	if m.literal {
+		return m.pattern == comm
+	}
+	return m.re.MatchString(comm)
+}
+
+// String implements fmt.Stringer.
+func (m *Matcher) String() string {
+	if m.literal {
+		return m.pattern
+	}
+	return "regex:" + m.pattern
+}
+
+// Exemplars generates up to limit community strings matched by the
+// pattern, by bounded enumeration of the regex syntax tree. Exemplars from
+// two different regexes seed the atom universe so that regexes differing
+// in behaviour get separating atoms even when no config literal separates
+// them.
+func Exemplars(pattern string, limit int) []string {
+	re, err := syntax.Parse(translate(pattern), syntax.Perl)
+	if err != nil {
+		return nil
+	}
+	re = re.Simplify()
+	seen := map[string]bool{}
+	var out []string
+	var emit func(parts []string) bool
+	gen := exemplarGen{limit: limit}
+	emit = func(parts []string) bool {
+		s := strings.Join(parts, "")
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+		return len(out) < limit
+	}
+	gen.enumerate(re, nil, emit)
+	sort.Strings(out)
+	return out
+}
+
+type exemplarGen struct {
+	limit int
+}
+
+// enumerate walks the syntax tree accumulating string fragments and calls
+// emit for each complete expansion. It bounds repetition operators at
+// small counts to keep enumeration finite.
+func (g *exemplarGen) enumerate(re *syntax.Regexp, prefix []string, emit func([]string) bool) bool {
+	switch re.Op {
+	case syntax.OpEmptyMatch, syntax.OpBeginText, syntax.OpEndText,
+		syntax.OpBeginLine, syntax.OpEndLine, syntax.OpWordBoundary,
+		syntax.OpNoWordBoundary:
+		return emit(prefix)
+	case syntax.OpLiteral:
+		return emit(append(prefix, string(re.Rune)))
+	case syntax.OpCharClass:
+		// Expand a few representatives: up to 4 runes from the class,
+		// preferring digits so community-shaped strings come out.
+		runes := classReps(re, 4)
+		for _, r := range runes {
+			if !emit(append(prefix, string(r))) {
+				return false
+			}
+		}
+		return true
+	case syntax.OpAnyChar, syntax.OpAnyCharNotNL:
+		for _, r := range []rune{'0', '1', ':'} {
+			if !emit(append(prefix, string(r))) {
+				return false
+			}
+		}
+		return true
+	case syntax.OpStar, syntax.OpQuest:
+		// zero occurrences, then one.
+		if !emit(prefix) {
+			return false
+		}
+		return g.enumerate(re.Sub[0], prefix, emit)
+	case syntax.OpPlus:
+		// one occurrence, then two.
+		if !g.enumerate(re.Sub[0], prefix, emit) {
+			return false
+		}
+		return g.enumerate(re.Sub[0], prefix, func(p []string) bool {
+			return g.enumerate(re.Sub[0], p, emit)
+		})
+	case syntax.OpRepeat:
+		min := re.Min
+		if min == 0 {
+			if !emit(prefix) {
+				return false
+			}
+			min = 1
+		}
+		// Emit the minimum repetition count only.
+		var rep func(n int, p []string) bool
+		rep = func(n int, p []string) bool {
+			if n == 0 {
+				return emit(p)
+			}
+			return g.enumerate(re.Sub[0], p, func(q []string) bool {
+				return rep(n-1, q)
+			})
+		}
+		return rep(min, prefix)
+	case syntax.OpCapture:
+		return g.enumerate(re.Sub[0], prefix, emit)
+	case syntax.OpConcat:
+		var chain func(i int, p []string) bool
+		chain = func(i int, p []string) bool {
+			if i == len(re.Sub) {
+				return emit(p)
+			}
+			return g.enumerate(re.Sub[i], p, func(q []string) bool {
+				return chain(i+1, q)
+			})
+		}
+		return chain(0, prefix)
+	case syntax.OpAlternate:
+		for _, sub := range re.Sub {
+			if !g.enumerate(sub, prefix, emit) {
+				return false
+			}
+		}
+		return true
+	}
+	return emit(prefix)
+}
+
+// classReps picks up to n representative runes from a character class,
+// digits first.
+func classReps(re *syntax.Regexp, n int) []rune {
+	var digits, others []rune
+	for i := 0; i+1 < len(re.Rune); i += 2 {
+		lo, hi := re.Rune[i], re.Rune[i+1]
+		for r := lo; r <= hi && len(digits)+len(others) < 64; r++ {
+			if r >= '0' && r <= '9' {
+				digits = append(digits, r)
+			} else if r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') {
+				others = append(others, r)
+			}
+		}
+	}
+	reps := append(digits, others...)
+	if len(reps) > n {
+		reps = reps[:n]
+	}
+	return reps
+}
+
+// Universe is the finite set of community strings over which all matchers
+// in a pair of configurations are evaluated. Each atom corresponds to one
+// BDD variable in the symbolic route encoding.
+type Universe struct {
+	atoms []string
+	index map[string]int
+}
+
+// NewUniverse builds a universe from literal community strings and vendor
+// regex patterns appearing in the two configurations. Literals enter
+// directly; each regex contributes bounded exemplars so that behaviourally
+// different regexes are separated by at least one atom whenever the
+// difference is witnessed within the exemplar bound.
+func NewUniverse(literals []string, regexes []string) *Universe {
+	seen := map[string]bool{}
+	var atoms []string
+	add := func(s string) {
+		if s == "" || seen[s] {
+			return
+		}
+		seen[s] = true
+		atoms = append(atoms, s)
+	}
+	for _, l := range literals {
+		add(l)
+	}
+	for _, r := range regexes {
+		for _, e := range Exemplars(r, 16) {
+			if looksLikeCommunity(e) {
+				add(e)
+			}
+		}
+	}
+	sort.Strings(atoms)
+	u := &Universe{atoms: atoms, index: make(map[string]int, len(atoms))}
+	for i, a := range atoms {
+		u.index[a] = i
+	}
+	return u
+}
+
+// looksLikeCommunity filters exemplar junk: a community atom should be a
+// non-empty string of digits and at most one colon separating two digit
+// runs ("NN:NN" or plain "NN").
+func looksLikeCommunity(s string) bool {
+	if s == "" {
+		return false
+	}
+	colons := 0
+	for i := 0; i < len(s); i++ {
+		switch {
+		case s[i] == ':':
+			colons++
+			if colons > 1 || i == 0 || i == len(s)-1 {
+				return false
+			}
+		case s[i] < '0' || s[i] > '9':
+			return false
+		}
+	}
+	return true
+}
+
+// Atoms returns the sorted universe atoms.
+func (u *Universe) Atoms() []string { return u.atoms }
+
+// Size returns the number of atoms.
+func (u *Universe) Size() int { return len(u.atoms) }
+
+// Index returns the variable index of a community atom.
+func (u *Universe) Index(comm string) (int, bool) {
+	i, ok := u.index[comm]
+	return i, ok
+}
+
+// MatchSet returns the indices of universe atoms matched by m, sorted.
+func (u *Universe) MatchSet(m *Matcher) []int {
+	var out []int
+	for i, a := range u.atoms {
+		if m.Matches(a) {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,175 @@
+package community
+
+import (
+	"testing"
+)
+
+func TestLiteralMatcher(t *testing.T) {
+	m := CompileLiteral("10:10")
+	if !m.Matches("10:10") {
+		t.Error("literal should match itself")
+	}
+	if m.Matches("10:100") || m.Matches("110:10") {
+		t.Error("literal should not match supersets")
+	}
+	if !m.IsLiteral() {
+		t.Error("IsLiteral")
+	}
+	if m.Pattern() != "10:10" {
+		t.Error("Pattern")
+	}
+}
+
+func TestRegexMatcher(t *testing.T) {
+	cases := []struct {
+		pattern string
+		comm    string
+		want    bool
+	}{
+		{"^10:1[01]$", "10:10", true},
+		{"^10:1[01]$", "10:11", true},
+		{"^10:1[01]$", "10:12", false},
+		{"^10:1[01]$", "110:10", false},
+		// Unanchored IOS semantics: substring match.
+		{"10:1", "10:10", true},
+		{"10:1", "210:15", true},
+		{"10:1", "10:2", false},
+		// IOS "_" delimiter: start, end, or colon.
+		{"_65000_", "65000:100", true},
+		{"_65000_", "100:65000", true},
+		{"_65000_", "165000:1", false},
+		{"_65000_", "65000", true},
+		{"^10:.*$", "10:999", true},
+		{"^10:.*$", "11:999", false},
+	}
+	for _, c := range cases {
+		m, err := Compile(c.pattern)
+		if err != nil {
+			t.Fatalf("Compile(%q): %v", c.pattern, err)
+		}
+		if got := m.Matches(c.comm); got != c.want {
+			t.Errorf("%q.Matches(%q) = %v, want %v", c.pattern, c.comm, got, c.want)
+		}
+	}
+}
+
+func TestCompileError(t *testing.T) {
+	if _, err := Compile("[unclosed"); err == nil {
+		t.Error("bad regex should fail to compile")
+	}
+}
+
+func TestIsRegexPattern(t *testing.T) {
+	if IsRegexPattern("10:10") {
+		t.Error("plain literal should not be regex")
+	}
+	for _, p := range []string{"^10:10$", "10:1*", "10:1[01]", "_65000_"} {
+		if !IsRegexPattern(p) {
+			t.Errorf("%q should be detected as regex", p)
+		}
+	}
+}
+
+func TestExemplarsMatchTheirPattern(t *testing.T) {
+	patterns := []string{
+		"^10:1[01]$",
+		"^10:1[012]$",
+		"^65000:[0-9]+$",
+		"^10:(10|20)$",
+		"10:1.*",
+		"_65000_",
+	}
+	for _, p := range patterns {
+		ex := Exemplars(p, 16)
+		if len(ex) == 0 {
+			t.Errorf("Exemplars(%q) produced nothing", p)
+			continue
+		}
+		m := MustCompile(p)
+		for _, e := range ex {
+			if !m.Matches(e) {
+				t.Errorf("exemplar %q of %q does not match its own pattern", e, p)
+			}
+		}
+	}
+}
+
+func TestExemplarsSeparateDifferentRegexes(t *testing.T) {
+	// The university border-router bugs (Export 3/4) were differences in
+	// community regexes. The universe must contain a separating atom.
+	r1, r2 := "^10:1[01]$", "^10:1[012]$"
+	u := NewUniverse(nil, []string{r1, r2})
+	m1, m2 := MustCompile(r1), MustCompile(r2)
+	var separated bool
+	for _, a := range u.Atoms() {
+		if m1.Matches(a) != m2.Matches(a) {
+			separated = true
+			break
+		}
+	}
+	if !separated {
+		t.Errorf("universe %v fails to separate %q from %q", u.Atoms(), r1, r2)
+	}
+}
+
+func TestEquivalentRegexesNotSeparated(t *testing.T) {
+	// Semantically equal regexes written differently must agree on every
+	// atom, so they raise no spurious difference.
+	r1, r2 := "^10:(10|11)$", "^10:1[01]$"
+	u := NewUniverse([]string{"10:10", "10:11", "10:12"}, []string{r1, r2})
+	m1, m2 := MustCompile(r1), MustCompile(r2)
+	for _, a := range u.Atoms() {
+		if m1.Matches(a) != m2.Matches(a) {
+			t.Errorf("atom %q separates equivalent regexes %q and %q", a, r1, r2)
+		}
+	}
+}
+
+func TestUniverse(t *testing.T) {
+	u := NewUniverse([]string{"10:10", "10:11", "10:10"}, nil)
+	if u.Size() != 2 {
+		t.Fatalf("universe size = %d, want 2 (dedup)", u.Size())
+	}
+	i, ok := u.Index("10:10")
+	if !ok {
+		t.Fatal("10:10 should be in universe")
+	}
+	if u.Atoms()[i] != "10:10" {
+		t.Error("Index/Atoms disagree")
+	}
+	if _, ok := u.Index("99:99"); ok {
+		t.Error("99:99 should not be in universe")
+	}
+	ms := u.MatchSet(MustCompile("^10:1[01]$"))
+	if len(ms) != 2 {
+		t.Errorf("MatchSet = %v, want both atoms", ms)
+	}
+	ms = u.MatchSet(CompileLiteral("10:11"))
+	if len(ms) != 1 || u.Atoms()[ms[0]] != "10:11" {
+		t.Errorf("literal MatchSet = %v", ms)
+	}
+}
+
+func TestLooksLikeCommunity(t *testing.T) {
+	good := []string{"10:10", "65000:100", "100", "0:0"}
+	bad := []string{"", ":", "10:", ":10", "10:10:10", "1a:10", "10 10"}
+	for _, s := range good {
+		if !looksLikeCommunity(s) {
+			t.Errorf("%q should look like a community", s)
+		}
+	}
+	for _, s := range bad {
+		if looksLikeCommunity(s) {
+			t.Errorf("%q should not look like a community", s)
+		}
+	}
+}
+
+func TestUniverseFiltersJunkExemplars(t *testing.T) {
+	u := NewUniverse(nil, []string{".*"})
+	for _, a := range u.Atoms() {
+		if !looksLikeCommunity(a) {
+			t.Errorf("universe contains junk atom %q", a)
+		}
+	}
+}

@@ -1,0 +1,462 @@
+// Package core implements Campion's top-level ConfigDiff algorithm (§3):
+// corresponding configuration components of two routers are paired up by
+// the MatchPolicies heuristics (§4), each pair is dispatched to
+// SemanticDiff or StructuralDiff per the paper's Table 1, and every
+// difference is localized — headers via HeaderLocalize, text via the
+// source spans the parsers preserved.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/headerloc"
+	"repro/internal/ir"
+	"repro/internal/semdiff"
+	"repro/internal/structdiff"
+	"repro/internal/symbolic"
+)
+
+// Component selects which checks Diff runs.
+type Component string
+
+// The comparable components, mirroring Table 1 of the paper.
+const (
+	ComponentRouteMaps Component = "route-maps" // SemanticDiff
+	ComponentACLs      Component = "acls"       // SemanticDiff
+	ComponentStatic    Component = "static"     // StructuralDiff
+	ComponentConnected Component = "connected"  // StructuralDiff
+	ComponentBGP       Component = "bgp"        // StructuralDiff
+	ComponentOSPF      Component = "ospf"       // StructuralDiff
+	ComponentAdmin     Component = "admin"      // StructuralDiff
+)
+
+// AllComponents lists every component in canonical order.
+var AllComponents = []Component{
+	ComponentRouteMaps, ComponentACLs, ComponentStatic, ComponentConnected,
+	ComponentBGP, ComponentOSPF, ComponentAdmin,
+}
+
+// CheckKind names the analysis used for a component (Table 1).
+func CheckKind(c Component) string {
+	switch c {
+	case ComponentRouteMaps, ComponentACLs:
+		return "SemanticDiff"
+	default:
+		return "StructuralDiff"
+	}
+}
+
+// Options configures a Diff run.
+type Options struct {
+	// Components restricts the checks; empty means all.
+	Components []Component
+	// ExhaustiveCommunities additionally localizes the community
+	// dimension of every route-map difference completely (the §4
+	// HeaderLocalize extension), instead of the default single example.
+	ExhaustiveCommunities bool
+}
+
+func (o Options) enabled(c Component) bool {
+	if len(o.Components) == 0 {
+		return true
+	}
+	for _, x := range o.Components {
+		if x == c {
+			return true
+		}
+	}
+	return false
+}
+
+// PolicyPair identifies a matched pair of routing policies.
+type PolicyPair struct {
+	// Kind is "bgp-import", "bgp-export", or "redistribution".
+	Kind string
+	// Neighbor is the shared peer address (bgp kinds) or the source
+	// protocol (redistribution).
+	Neighbor string
+	// Name1 and Name2 are the policy-chain names on each router;
+	// "(none)" when a side applies no policy.
+	Name1, Name2 string
+}
+
+func (p PolicyPair) String() string {
+	return fmt.Sprintf("%s %s: %s vs %s", p.Kind, p.Neighbor, p.Name1, p.Name2)
+}
+
+// RouteMapDiff is one localized behavioral difference between a matched
+// pair of routing policies.
+type RouteMapDiff struct {
+	Pair PolicyPair
+	// Localization carries the included/excluded prefix ranges and the
+	// single-example fields.
+	Localization headerloc.RouteLocalization
+	// Action1/Action2 render each router's disposition (REJECT, ACCEPT,
+	// ACCEPT + sets).
+	Action1, Action2 string
+	// Text1/Text2 are the responsible configuration lines.
+	Text1, Text2 ir.TextSpan
+}
+
+// ACLPairDiff is one localized behavioral difference between a matched
+// pair of ACLs.
+type ACLPairDiff struct {
+	Name1, Name2     string
+	Localization     headerloc.ACLLocalization
+	Action1, Action2 string
+	Text1, Text2     ir.TextSpan
+}
+
+// Report is the full result of comparing two router configurations.
+type Report struct {
+	Config1, Config2 *ir.Config
+
+	RouteMapDiffs []RouteMapDiff
+	ACLDiffs      []ACLPairDiff
+	Structural    []structdiff.Difference
+
+	// UnmatchedACLs lists ACL names present on exactly one router.
+	UnmatchedACLs1, UnmatchedACLs2 []string
+}
+
+// TotalDifferences counts every reported difference.
+func (r *Report) TotalDifferences() int {
+	return len(r.RouteMapDiffs) + len(r.ACLDiffs) + len(r.Structural) +
+		len(r.UnmatchedACLs1) + len(r.UnmatchedACLs2)
+}
+
+// Diff runs Campion's full comparison of two router configurations.
+func Diff(c1, c2 *ir.Config, opts Options) (*Report, error) {
+	rep := &Report{Config1: c1, Config2: c2}
+
+	if opts.enabled(ComponentRouteMaps) {
+		if err := diffRouteMaps(rep, c1, c2, opts); err != nil {
+			return nil, err
+		}
+	}
+	if opts.enabled(ComponentACLs) {
+		diffACLs(rep, c1, c2)
+	}
+	if opts.enabled(ComponentStatic) {
+		rep.Structural = append(rep.Structural, structdiff.DiffStaticRoutes(c1, c2)...)
+	}
+	if opts.enabled(ComponentConnected) {
+		rep.Structural = append(rep.Structural, structdiff.DiffConnectedRoutes(c1, c2)...)
+	}
+	if opts.enabled(ComponentBGP) {
+		rep.Structural = append(rep.Structural, structdiff.DiffBGPConfig(c1, c2)...)
+		rep.Structural = append(rep.Structural, structdiff.DiffBGPNeighbors(c1, c2)...)
+	}
+	if opts.enabled(ComponentOSPF) {
+		rep.Structural = append(rep.Structural, structdiff.DiffOSPF(c1, c2)...)
+	}
+	if opts.enabled(ComponentAdmin) {
+		rep.Structural = append(rep.Structural, structdiff.DiffAdminDistances(c1, c2)...)
+	}
+	return rep, nil
+}
+
+// MatchPolicies pairs up the routing policies of the two configurations
+// using the paper's heuristics: BGP policies are matched per shared
+// neighbor address and direction; redistribution policies per source
+// protocol.
+func MatchPolicies(c1, c2 *ir.Config) []PolicyPair {
+	var pairs []PolicyPair
+	if c1.BGP != nil && c2.BGP != nil {
+		for _, addr := range c1.BGP.NeighborAddrs() {
+			n1 := c1.BGP.Neighbors[addr]
+			n2 := c2.BGP.Neighbors[addr]
+			if n2 == nil {
+				continue // presence handled by StructuralDiff
+			}
+			pairs = append(pairs,
+				PolicyPair{Kind: "bgp-import", Neighbor: addr,
+					Name1: chainName(n1.ImportPolicies), Name2: chainName(n2.ImportPolicies)},
+				PolicyPair{Kind: "bgp-export", Neighbor: addr,
+					Name1: chainName(n1.ExportPolicies), Name2: chainName(n2.ExportPolicies)},
+			)
+		}
+	}
+	// Redistribution policies, paired by target process + source protocol.
+	redistPairs := func(kind string, r1, r2 []ir.Redistribution) {
+		byProto := func(rs []ir.Redistribution) map[ir.Protocol]ir.Redistribution {
+			m := map[ir.Protocol]ir.Redistribution{}
+			for _, r := range rs {
+				m[r.From] = r
+			}
+			return m
+		}
+		m1, m2 := byProto(r1), byProto(r2)
+		var protos []int
+		for p := range m1 {
+			protos = append(protos, int(p))
+		}
+		sort.Ints(protos)
+		for _, pi := range protos {
+			p := ir.Protocol(pi)
+			if r2, ok := m2[p]; ok {
+				r1 := m1[p]
+				pairs = append(pairs, PolicyPair{
+					Kind: kind, Neighbor: p.String(),
+					Name1: chainName(sliceIfNonEmpty(r1.RouteMap)),
+					Name2: chainName(sliceIfNonEmpty(r2.RouteMap)),
+				})
+			}
+		}
+	}
+	if c1.BGP != nil && c2.BGP != nil {
+		redistPairs("redistribution-bgp", c1.BGP.Redistribute, c2.BGP.Redistribute)
+	}
+	if c1.OSPF != nil && c2.OSPF != nil {
+		redistPairs("redistribution-ospf", c1.OSPF.Redistribute, c2.OSPF.Redistribute)
+	}
+	return pairs
+}
+
+func sliceIfNonEmpty(s string) []string {
+	if s == "" {
+		return nil
+	}
+	return []string{s}
+}
+
+func chainName(names []string) string {
+	if len(names) == 0 {
+		return "(none)"
+	}
+	out := names[0]
+	for _, n := range names[1:] {
+		out += "+" + n
+	}
+	return out
+}
+
+// resolveChain turns a policy chain into a single route map: an empty
+// chain is the identity policy (accept everything unchanged); a JunOS
+// chain concatenates the policies' terms with the protocol's
+// default-accept at the end; an IOS chain is its single route map.
+func resolveChain(cfg *ir.Config, names []string) *ir.RouteMap {
+	if len(names) == 0 {
+		return &ir.RouteMap{Name: "(none)", DefaultAction: ir.Permit}
+	}
+	if len(names) == 1 {
+		if rm := cfg.RouteMaps[names[0]]; rm != nil {
+			return rm
+		}
+		// A referenced but undefined policy: IOS treats it as permit-all.
+		return &ir.RouteMap{Name: names[0], DefaultAction: ir.Permit}
+	}
+	merged := &ir.RouteMap{Name: chainName(names), DefaultAction: ir.Permit}
+	for _, n := range names {
+		rm := cfg.RouteMaps[n]
+		if rm == nil {
+			continue
+		}
+		merged.Clauses = append(merged.Clauses, rm.Clauses...)
+		merged.Span = merged.Span.Merge(rm.Span)
+		merged.DefaultAction = rm.DefaultAction
+	}
+	return merged
+}
+
+// maxCommunityTerms bounds exhaustive community localization output.
+const maxCommunityTerms = 64
+
+func diffRouteMaps(rep *Report, c1, c2 *ir.Config, opts Options) error {
+	pairs := MatchPolicies(c1, c2)
+	if len(pairs) == 0 {
+		// No BGP context: compare same-named route maps directly, so
+		// standalone policy files can still be checked.
+		names := map[string]bool{}
+		for n := range c1.RouteMaps {
+			if _, ok := c2.RouteMaps[n]; ok {
+				names[n] = true
+			}
+		}
+		var sorted []string
+		for n := range names {
+			sorted = append(sorted, n)
+		}
+		sort.Strings(sorted)
+		for _, n := range sorted {
+			pairs = append(pairs, PolicyPair{Kind: "route-map", Neighbor: n, Name1: n, Name2: n})
+		}
+	}
+	if len(pairs) == 0 {
+		return nil
+	}
+
+	enc := symbolic.NewRouteEncoding(c1, c2)
+	loc := headerloc.NewRouteLocalizer(enc, c1, c2)
+
+	// Deduplicate repeated (name1, name2) comparisons: the same export
+	// policy applied to many neighbors is compared once, then reported
+	// per pair.
+	type key struct{ n1, n2 string }
+	cache := map[key][]semdiff.RouteMapDiff{}
+	for _, pair := range pairs {
+		k := key{pair.Name1, pair.Name2}
+		diffs, ok := cache[k]
+		if !ok {
+			var names1, names2 []string
+			if pair.Name1 != "(none)" {
+				names1 = splitChain(pair.Name1)
+			}
+			if pair.Name2 != "(none)" {
+				names2 = splitChain(pair.Name2)
+			}
+			rm1 := resolveChain(c1, names1)
+			rm2 := resolveChain(c2, names2)
+			var err error
+			diffs, err = semdiff.DiffRouteMaps(enc, c1, rm1, c2, rm2)
+			if err != nil {
+				return err
+			}
+			cache[k] = diffs
+		}
+		for _, d := range diffs {
+			localization := loc.Localize(d.Inputs)
+			if opts.ExhaustiveCommunities {
+				localization.CommunityTerms, localization.CommunityComplete =
+					loc.LocalizeCommunities(d.Inputs, maxCommunityTerms)
+			}
+			rep.RouteMapDiffs = append(rep.RouteMapDiffs, RouteMapDiff{
+				Pair:         pair,
+				Localization: localization,
+				Action1:      describeRouteAction(d.Path1),
+				Action2:      describeRouteAction(d.Path2),
+				Text1:        routePathText(d.Path1),
+				Text2:        routePathText(d.Path2),
+			})
+		}
+	}
+	// Avoid re-reporting shared policies per neighbor: collapse exact
+	// duplicates (same pair names and same localization text).
+	rep.RouteMapDiffs = dedupeRouteMapDiffs(rep.RouteMapDiffs)
+	return nil
+}
+
+func splitChain(name string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(name); i++ {
+		if i == len(name) || name[i] == '+' {
+			if i > start {
+				out = append(out, name[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}
+
+func dedupeRouteMapDiffs(ds []RouteMapDiff) []RouteMapDiff {
+	seen := map[string]bool{}
+	var out []RouteMapDiff
+	for _, d := range ds {
+		k := d.Pair.Kind + "|" + d.Pair.Neighbor + "|" + d.Pair.Name1 + "|" + d.Pair.Name2 + "|" +
+			d.Action1 + "|" + d.Action2 + "|" + d.Text1.Location() + "|" + d.Text2.Location()
+		for _, t := range d.Localization.Terms {
+			k += "|" + t.String()
+		}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, d)
+	}
+	return out
+}
+
+// describeRouteAction renders a path's action for the Action row of the
+// report (REJECT, ACCEPT, or ACCEPT with its attribute sets).
+func describeRouteAction(p symbolic.RoutePath) string {
+	if !p.Accept {
+		return "REJECT"
+	}
+	if p.Transform.IsIdentity() {
+		return "ACCEPT"
+	}
+	return p.Transform.String() + "\nACCEPT"
+}
+
+// routePathText returns the deciding clause's text span; for the default
+// action it synthesizes a descriptive pseudo-span.
+func routePathText(p symbolic.RoutePath) ir.TextSpan {
+	if p.Terminal != nil {
+		return p.Terminal.Span
+	}
+	return ir.TextSpan{Lines: []string{"(default action: no clause matched)"}}
+}
+
+func diffACLs(rep *Report, c1, c2 *ir.Config) {
+	// MatchPolicies for ACLs: same name (§4).
+	var shared []string
+	for name := range c1.ACLs {
+		if _, ok := c2.ACLs[name]; ok {
+			shared = append(shared, name)
+		} else {
+			rep.UnmatchedACLs1 = append(rep.UnmatchedACLs1, name)
+		}
+	}
+	for name := range c2.ACLs {
+		if _, ok := c1.ACLs[name]; !ok {
+			rep.UnmatchedACLs2 = append(rep.UnmatchedACLs2, name)
+		}
+	}
+	sort.Strings(shared)
+	sort.Strings(rep.UnmatchedACLs1)
+	sort.Strings(rep.UnmatchedACLs2)
+
+	// Each ACL pair gets its own packet encoding, so pairs are
+	// independent and compared in parallel.
+	perName := make([][]ACLPairDiff, len(shared))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i, name := range shared {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			acl1, acl2 := c1.ACLs[name], c2.ACLs[name]
+			enc := symbolic.NewPacketEncoding()
+			diffs := semdiff.DiffACLs(enc, acl1, acl2)
+			if len(diffs) == 0 {
+				return
+			}
+			loc := headerloc.NewACLLocalizer(enc, acl1, acl2)
+			for _, d := range diffs {
+				perName[i] = append(perName[i], ACLPairDiff{
+					Name1: name, Name2: name,
+					Localization: loc.Localize(d.Inputs),
+					Action1:      describeACLAction(d.Path1.Accept),
+					Action2:      describeACLAction(d.Path2.Accept),
+					Text1:        aclPathText(d.Path1),
+					Text2:        aclPathText(d.Path2),
+				})
+			}
+		}(i, name)
+	}
+	wg.Wait()
+	for _, ds := range perName {
+		rep.ACLDiffs = append(rep.ACLDiffs, ds...)
+	}
+}
+
+func describeACLAction(accept bool) string {
+	if accept {
+		return "ACCEPT"
+	}
+	return "REJECT"
+}
+
+func aclPathText(p symbolic.ACLPath) ir.TextSpan {
+	if p.Line != nil {
+		return p.Line.Span
+	}
+	return ir.TextSpan{Lines: []string{"(implicit deny: no rule matched)"}}
+}

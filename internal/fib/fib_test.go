@@ -1,0 +1,204 @@
+package fib
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cisco"
+	"repro/internal/ir"
+	"repro/internal/juniper"
+	"repro/internal/netaddr"
+)
+
+func entry(prefix string, nh string, proto ir.Protocol, ad int) Entry {
+	e := Entry{
+		Prefix:        netaddr.MustParsePrefix(prefix),
+		Protocol:      proto,
+		AdminDistance: ad,
+	}
+	if nh != "" {
+		e.NextHop = netaddr.MustParseAddr(nh)
+		e.HasNextHop = true
+	}
+	return e
+}
+
+func TestLongestPrefixMatch(t *testing.T) {
+	tb := New()
+	tb.Insert(entry("0.0.0.0/0", "192.0.2.1", ir.ProtoStatic, 1))
+	tb.Insert(entry("10.0.0.0/8", "10.0.0.1", ir.ProtoBGP, 20))
+	tb.Insert(entry("10.1.0.0/16", "10.0.0.2", ir.ProtoOSPF, 110))
+	tb.Insert(entry("10.1.2.0/24", "10.0.0.3", ir.ProtoStatic, 1))
+
+	cases := []struct {
+		dst  string
+		want string
+	}{
+		{"10.1.2.3", "10.0.0.3"},
+		{"10.1.9.9", "10.0.0.2"},
+		{"10.9.9.9", "10.0.0.1"},
+		{"8.8.8.8", "192.0.2.1"},
+	}
+	for _, c := range cases {
+		e, ok := tb.Lookup(netaddr.MustParseAddr(c.dst))
+		if !ok || e.NextHop.String() != c.want {
+			t.Errorf("Lookup(%s) = %v ok=%v, want via %s", c.dst, e, ok, c.want)
+		}
+	}
+	if tb.Size() != 4 {
+		t.Errorf("size = %d", tb.Size())
+	}
+}
+
+func TestLookupMiss(t *testing.T) {
+	tb := New()
+	tb.Insert(entry("10.0.0.0/8", "10.0.0.1", ir.ProtoStatic, 1))
+	if _, ok := tb.Lookup(netaddr.MustParseAddr("192.0.2.1")); ok {
+		t.Error("no default route: lookup should miss")
+	}
+	if _, ok := New().Lookup(netaddr.MustParseAddr("1.2.3.4")); ok {
+		t.Error("empty table should miss")
+	}
+}
+
+// TestLPMAgainstBruteForce is the property test: trie lookup must agree
+// with a linear scan choosing the longest containing prefix.
+func TestLPMAgainstBruteForce(t *testing.T) {
+	f := func(seedAddrs []uint32, probe uint32) bool {
+		if len(seedAddrs) > 40 {
+			seedAddrs = seedAddrs[:40]
+		}
+		tb := New()
+		var entries []Entry
+		for i, a := range seedAddrs {
+			p := netaddr.NewPrefix(netaddr.Addr(a), uint8((a>>3)%33))
+			e := Entry{Prefix: p, NextHop: netaddr.Addr(uint32(i) + 1), HasNextHop: true, Protocol: ir.ProtoStatic}
+			tb.Insert(e)
+			// Last write wins for duplicate prefixes, like Insert.
+			replaced := false
+			for j := range entries {
+				if entries[j].Prefix == p {
+					entries[j] = e
+					replaced = true
+					break
+				}
+			}
+			if !replaced {
+				entries = append(entries, e)
+			}
+		}
+		dst := netaddr.Addr(probe)
+		var want *Entry
+		for i := range entries {
+			if entries[i].Prefix.Contains(dst) {
+				if want == nil || entries[i].Prefix.Len > want.Prefix.Len {
+					want = &entries[i]
+				}
+			}
+		}
+		got, ok := tb.Lookup(dst)
+		if want == nil {
+			return !ok
+		}
+		return ok && got == *want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuildSelectionByAdminDistance(t *testing.T) {
+	cfg, _ := cisco.Parse("t", `interface Gi0/0
+ ip address 10.0.12.1 255.255.255.0
+ip route 10.50.0.0 255.255.0.0 10.0.12.9
+`)
+	learned := []*ir.Route{
+		// BGP route for the same prefix as the static: static (ad 1) wins.
+		func() *ir.Route {
+			r := ir.NewRoute(netaddr.MustParsePrefix("10.50.0.0/16"))
+			r.NextHop = netaddr.MustParseAddr("10.0.12.77")
+			return r
+		}(),
+		// BGP route for the connected subnet: connected (ad 0) wins.
+		func() *ir.Route {
+			r := ir.NewRoute(netaddr.MustParsePrefix("10.0.12.0/24"))
+			r.NextHop = netaddr.MustParseAddr("10.0.12.78")
+			return r
+		}(),
+		// BGP-only prefix installs.
+		func() *ir.Route {
+			r := ir.NewRoute(netaddr.MustParsePrefix("203.0.113.0/24"))
+			r.NextHop = netaddr.MustParseAddr("10.0.12.79")
+			return r
+		}(),
+	}
+	tb := Build(cfg, learned)
+	e, _ := tb.Lookup(netaddr.MustParseAddr("10.50.1.1"))
+	if e.Protocol != ir.ProtoStatic || e.NextHop.String() != "10.0.12.9" {
+		t.Errorf("static should win: %v", e)
+	}
+	e, _ = tb.Lookup(netaddr.MustParseAddr("10.0.12.5"))
+	if e.Protocol != ir.ProtoConnected {
+		t.Errorf("connected should win: %v", e)
+	}
+	e, _ = tb.Lookup(netaddr.MustParseAddr("203.0.113.5"))
+	if e.Protocol != ir.ProtoBGP {
+		t.Errorf("bgp should install: %v", e)
+	}
+	if proto, ok := tb.Forwards(netaddr.MustParseAddr("203.0.113.5")); !ok || proto != ir.ProtoBGP {
+		t.Error("Forwards")
+	}
+	if _, ok := tb.Forwards(netaddr.MustParseAddr("8.8.8.8")); ok {
+		t.Error("no route: should not forward")
+	}
+}
+
+// TestTable5ViaFIB re-derives the paper's Table 5 through the data plane:
+// the Cisco FIB forwards to 10.1.1.2 via a static route; the Juniper FIB
+// does not forward at all.
+func TestTable5ViaFIB(t *testing.T) {
+	c, _ := cisco.Parse("c.cfg", "ip route 10.1.1.2 255.255.255.254 10.2.2.2\n")
+	j, _ := juniper.Parse("j.cfg", "routing-options { static { } }\n")
+	fc, fj := Build(c, nil), Build(j, nil)
+	dst := netaddr.MustParseAddr("10.1.1.2")
+	if proto, ok := fc.Forwards(dst); !ok || proto != ir.ProtoStatic {
+		t.Error("cisco should forward via static")
+	}
+	if _, ok := fj.Forwards(dst); ok {
+		t.Error("juniper should not forward")
+	}
+	if fc.Equal(fj) {
+		t.Error("tables differ")
+	}
+}
+
+func TestEqualAndString(t *testing.T) {
+	a, b := New(), New()
+	e := entry("10.0.0.0/8", "10.0.0.1", ir.ProtoStatic, 1)
+	a.Insert(e)
+	b.Insert(e)
+	if !a.Equal(b) {
+		t.Error("identical tables should be equal")
+	}
+	b.Insert(entry("10.0.0.0/8", "10.0.0.2", ir.ProtoStatic, 1))
+	if a.Equal(b) {
+		t.Error("replaced entry should break equality")
+	}
+	if a.String() == "" || len(a.Entries()) != 1 {
+		t.Error("rendering")
+	}
+}
+
+func TestDefaultRouteAndHostRoute(t *testing.T) {
+	tb := New()
+	tb.Insert(entry("0.0.0.0/0", "1.1.1.1", ir.ProtoStatic, 1))
+	tb.Insert(entry("10.1.1.2/32", "2.2.2.2", ir.ProtoStatic, 1))
+	e, ok := tb.Lookup(netaddr.MustParseAddr("10.1.1.2"))
+	if !ok || e.NextHop.String() != "2.2.2.2" {
+		t.Errorf("host route should win: %v", e)
+	}
+	e, ok = tb.Lookup(netaddr.MustParseAddr("10.1.1.3"))
+	if !ok || e.NextHop.String() != "1.1.1.1" {
+		t.Errorf("default should catch: %v", e)
+	}
+}

@@ -1,0 +1,204 @@
+package integration
+
+import (
+	"testing"
+
+	"repro/internal/bdd"
+	"repro/internal/cisco"
+	"repro/internal/ir"
+	"repro/internal/juniper"
+	"repro/internal/netaddr"
+	"repro/internal/policygen"
+	"repro/internal/semdiff"
+	"repro/internal/srp"
+	"repro/internal/symbolic"
+)
+
+// TestTheorem33RandomPolicies validates the soundness theorem across
+// randomly generated policy pairs: whenever SemanticDiff finds no
+// difference between the Cisco and Juniper renderings, the two networks
+// built from them compute identical routing solutions for advertisements
+// sampled from the policies' own prefix vocabulary. When differences
+// exist, some sampled advertisement must witness a divergence inside the
+// localized input sets.
+func TestTheorem33RandomPolicies(t *testing.T) {
+	for seed := uint64(100); seed < 112; seed++ {
+		nDiffs := int(seed % 3) // 0, 1, or 2 injected differences
+		pair := policygen.Generate(policygen.Params{Seed: seed, Clauses: 8, Differences: nDiffs})
+		c, err := cisco.Parse("c.cfg", pair.CiscoText)
+		if err != nil {
+			t.Fatal(err)
+		}
+		j, err := juniper.Parse("j.cfg", pair.JuniperText)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rm1, rm2 := c.RouteMaps[pair.PolicyName], j.RouteMaps[pair.PolicyName]
+		enc := symbolic.NewRouteEncoding(c, j)
+		diffs, err := semdiff.DiffRouteMaps(enc, c, rm1, j, rm2)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Sample advertisements from both policies' prefix vocabulary.
+		var adverts []*ir.Route
+		seen := map[netaddr.Prefix]bool{}
+		addPrefix := func(p netaddr.Prefix) {
+			if seen[p] {
+				return
+			}
+			seen[p] = true
+			r := ir.NewRoute(p)
+			r.ASPath = []int64{65002}
+			adverts = append(adverts, r)
+		}
+		for _, cfg := range []*ir.Config{c, j} {
+			for _, pl := range cfg.PrefixLists {
+				for _, e := range pl.Entries {
+					addPrefix(netaddr.NewPrefix(e.Range.Prefix.Addr, e.Range.Lo))
+					addPrefix(netaddr.NewPrefix(e.Range.Prefix.Addr, e.Range.Hi))
+				}
+			}
+			for _, rm := range cfg.RouteMaps {
+				for _, cl := range rm.Clauses {
+					for _, m := range cl.Matches {
+						if mr, ok := m.(ir.MatchPrefixRanges); ok {
+							for _, rg := range mr.Ranges {
+								addPrefix(netaddr.NewPrefix(rg.Prefix.Addr, rg.Lo))
+								addPrefix(netaddr.NewPrefix(rg.Prefix.Addr, rg.Hi))
+							}
+						}
+					}
+				}
+			}
+		}
+		addPrefix(netaddr.MustParsePrefix("203.0.113.0/24"))
+
+		solve := func(mid *ir.Config) *srp.Solution {
+			net := &srp.BGPNetwork{
+				Nodes: 3,
+				Sessions: []srp.BGPSession{
+					{Edge: srp.Edge{From: 0, To: 1}, FromASN: 65002, ToASN: 65001,
+						ImportConfig: mid, Import: []string{pair.PolicyName}},
+					{Edge: srp.Edge{From: 1, To: 2}, FromASN: 65001, ToASN: 65001},
+				},
+			}
+			sol, ok := net.NewBGPProblem(0, adverts).Solve()
+			if !ok {
+				t.Fatal("no convergence")
+			}
+			return sol
+		}
+		cSol, jSol := solve(c), solve(j)
+
+		if len(diffs) == 0 {
+			if !cSol.Equal(jSol) {
+				t.Errorf("seed %d: Campion-equivalent pair routed differently (Theorem 3.3 violated)", seed)
+			}
+			continue
+		}
+		// With differences: any advertisement where the solutions diverge
+		// must lie inside some localized difference's input set.
+		for _, r := range adverts {
+			c2 := cSol.Selected[2][r.Prefix]
+			j2 := jSol.Selected[2][r.Prefix]
+			diverge := (c2 == nil) != (j2 == nil) ||
+				(c2 != nil && j2 != nil && !c2.Equal(j2))
+			if !diverge {
+				continue
+			}
+			cube := enc.RouteCube(r)
+			var localized bool
+			for _, d := range diffs {
+				if enc.F.And(d.Inputs, cube) != bdd.False {
+					localized = true
+					break
+				}
+			}
+			if !localized {
+				t.Errorf("seed %d: divergence on %v not covered by any localized difference", seed, r.Prefix)
+			}
+		}
+	}
+}
+
+// TestTheorem33RandomTopologies extends the validation to random
+// topologies: a ring of ASes with random chords, where every eBGP edge
+// applies the same generated import policy — once as the Cisco rendering,
+// once as the Juniper rendering. Locally equivalent by construction, the
+// two networks must compute identical solutions on every topology.
+func TestTheorem33RandomTopologies(t *testing.T) {
+	for seed := uint64(0); seed < 8; seed++ {
+		pair := policygen.Generate(policygen.Params{Seed: 500 + seed, Clauses: 6, Differences: 0})
+		c, err := cisco.Parse("c.cfg", pair.CiscoText)
+		if err != nil {
+			t.Fatal(err)
+		}
+		j, err := juniper.Parse("j.cfg", pair.JuniperText)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		rng := seed*2654435761 + 1
+		next := func(n int) int {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			return int((rng >> 33) % uint64(n))
+		}
+		nodes := 4 + next(4)
+		type edgeSpec struct {
+			from, to   int
+			withPolicy bool
+		}
+		var edges []edgeSpec
+		for i := 0; i < nodes; i++ {
+			edges = append(edges,
+				edgeSpec{i, (i + 1) % nodes, next(2) == 0},
+				edgeSpec{(i + 1) % nodes, i, next(2) == 0})
+		}
+		for k := 0; k < next(3); k++ {
+			a, b := next(nodes), next(nodes)
+			if a != b {
+				edges = append(edges, edgeSpec{a, b, next(2) == 0})
+			}
+		}
+		build := func(cfg *ir.Config) *srp.BGPNetwork {
+			net := &srp.BGPNetwork{Nodes: nodes}
+			for _, e := range edges {
+				s := srp.BGPSession{
+					Edge:    srp.Edge{From: e.from, To: e.to},
+					FromASN: int64(65000 + e.from),
+					ToASN:   int64(65000 + e.to),
+				}
+				if e.withPolicy {
+					s.ImportConfig = cfg
+					s.Import = []string{pair.PolicyName}
+				}
+				net.Sessions = append(net.Sessions, s)
+			}
+			return net
+		}
+		var adverts []*ir.Route
+		for _, pl := range c.PrefixLists {
+			for _, e := range pl.Entries {
+				r := ir.NewRoute(netaddr.NewPrefix(e.Range.Prefix.Addr, e.Range.Lo))
+				r.ASPath = []int64{65000}
+				adverts = append(adverts, r)
+				if len(adverts) >= 6 {
+					break
+				}
+			}
+			if len(adverts) >= 6 {
+				break
+			}
+		}
+		cSol, ok1 := build(c).NewBGPProblem(0, adverts).Solve()
+		jSol, ok2 := build(j).NewBGPProblem(0, adverts).Solve()
+		if !ok1 || !ok2 {
+			t.Fatalf("seed %d: no convergence", seed)
+		}
+		if !cSol.Equal(jSol) {
+			t.Errorf("seed %d (%d nodes, %d edges): locally equivalent networks diverged",
+				seed, nodes, len(edges))
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package ir
+
+import (
+	"sort"
+
+	"repro/internal/netaddr"
+)
+
+// BGPNeighbor holds the per-peer BGP session configuration — the unit
+// Campion's MatchPolicies heuristic pairs across the two routers (by
+// neighbor address) and whose non-route-map attributes StructuralDiff
+// compares (Table 1, "Other BGP Properties").
+type BGPNeighbor struct {
+	Addr        netaddr.Addr
+	RemoteAS    int64
+	Description string
+
+	// Policy chains applied to routes received from / advertised to the
+	// peer; names refer to Config.RouteMaps. These are compared with
+	// SemanticDiff, not StructuralDiff.
+	ImportPolicies []string
+	ExportPolicies []string
+
+	RouteReflectorClient bool
+	SendCommunity        bool
+	NextHopSelf          bool
+	EBGPMultihop         bool
+	Shutdown             bool
+	LocalAS              int64
+	Weight               int64
+
+	Span TextSpan
+}
+
+// IsIBGP reports whether the session is internal given the router's ASN.
+func (n *BGPNeighbor) IsIBGP(localAS int64) bool {
+	return n.RemoteAS == localAS
+}
+
+// Redistribution injects routes from one protocol into another, filtered
+// through an optional route map.
+type Redistribution struct {
+	From     Protocol
+	RouteMap string
+	Metric   int64
+	Span     TextSpan
+}
+
+// BGPConfig is the router's BGP process configuration.
+type BGPConfig struct {
+	ASN          int64
+	RouterID     netaddr.Addr
+	Neighbors    map[string]*BGPNeighbor // keyed by peer address string
+	Redistribute []Redistribution
+	Networks     []netaddr.Prefix // locally originated prefixes
+	Span         TextSpan
+}
+
+// NewBGPConfig allocates an empty BGP process.
+func NewBGPConfig(asn int64) *BGPConfig {
+	return &BGPConfig{ASN: asn, Neighbors: map[string]*BGPNeighbor{}}
+}
+
+// NeighborAddrs returns the peer addresses in sorted order, for
+// deterministic iteration.
+func (b *BGPConfig) NeighborAddrs() []string {
+	out := make([]string, 0, len(b.Neighbors))
+	for a := range b.Neighbors {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// OSPFInterface holds the per-link OSPF attributes StructuralDiff compares
+// (Table 1, "OSPF Properties").
+type OSPFInterface struct {
+	Name          string
+	Cost          int
+	Area          int64
+	Passive       bool
+	HelloInterval int
+	DeadInterval  int
+	NetworkType   string
+	Subnet        netaddr.Prefix
+	Span          TextSpan
+}
+
+// OSPFConfig is the router's OSPF process configuration.
+type OSPFConfig struct {
+	ProcessID    int
+	RouterID     netaddr.Addr
+	Interfaces   map[string]*OSPFInterface // keyed by interface name
+	Redistribute []Redistribution
+	Span         TextSpan
+}
+
+// NewOSPFConfig allocates an empty OSPF process.
+func NewOSPFConfig(pid int) *OSPFConfig {
+	return &OSPFConfig{ProcessID: pid, Interfaces: map[string]*OSPFInterface{}}
+}
+
+// InterfaceNames returns interface names in sorted order.
+func (o *OSPFConfig) InterfaceNames() []string {
+	out := make([]string, 0, len(o.Interfaces))
+	for n := range o.Interfaces {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DefaultAdminDistances returns the vendor's default administrative
+// distances for the protocols Campion models.
+func DefaultAdminDistances(v Vendor) map[Protocol]int {
+	switch v {
+	case VendorJuniper:
+		// JunOS route preferences.
+		return map[Protocol]int{
+			ProtoConnected: 0,
+			ProtoStatic:    5,
+			ProtoOSPF:      10,
+			ProtoBGP:       170,
+			ProtoIBGP:      170,
+		}
+	case VendorArista:
+		// EOS distances (eBGP and iBGP both 200).
+		return map[Protocol]int{
+			ProtoConnected: 0,
+			ProtoStatic:    1,
+			ProtoOSPF:      110,
+			ProtoBGP:       200,
+			ProtoIBGP:      200,
+		}
+	default:
+		// IOS administrative distances.
+		return map[Protocol]int{
+			ProtoConnected: 0,
+			ProtoStatic:    1,
+			ProtoOSPF:      110,
+			ProtoBGP:       20,
+			ProtoIBGP:      200,
+		}
+	}
+}

@@ -1,0 +1,272 @@
+package ir
+
+import (
+	"repro/internal/community"
+	"repro/internal/netaddr"
+)
+
+// PolicyResult is the outcome of evaluating a route map on a route.
+type PolicyResult struct {
+	Action Action
+	Route  *Route          // transformed route (nil when denied)
+	Clause *RouteMapClause // deciding clause, nil when the default applied
+}
+
+// EvalRouteMap runs the route through the route map under the
+// configuration's named lists, implementing the concrete semantics that
+// the symbolic encoding must agree with (tests cross-check the two).
+func (c *Config) EvalRouteMap(rm *RouteMap, in *Route) PolicyResult {
+	r := in.Clone()
+	for _, cl := range rm.Clauses {
+		if !c.clauseMatches(cl, r) {
+			continue
+		}
+		switch cl.Action {
+		case ClauseDeny:
+			return PolicyResult{Action: Deny, Clause: cl}
+		case ClausePermit:
+			c.applySets(cl.Sets, r)
+			return PolicyResult{Action: Permit, Route: r, Clause: cl}
+		case ClauseFallthrough:
+			c.applySets(cl.Sets, r)
+		}
+	}
+	if rm.DefaultAction == Permit {
+		return PolicyResult{Action: Permit, Route: r}
+	}
+	return PolicyResult{Action: Deny}
+}
+
+func (c *Config) clauseMatches(cl *RouteMapClause, r *Route) bool {
+	for _, m := range cl.Matches {
+		if !c.matchHolds(m, r) {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *Config) matchHolds(m Match, r *Route) bool {
+	switch m := m.(type) {
+	case MatchPrefixList:
+		for _, name := range m.Lists {
+			pl := c.PrefixLists[name]
+			if pl == nil {
+				continue // unknown list matches nothing
+			}
+			if act, ok := pl.Matches(r.Prefix); ok && act == Permit {
+				return true
+			}
+		}
+		return false
+	case MatchPrefixListFilter:
+		pl := c.PrefixLists[m.List]
+		if pl == nil {
+			return false
+		}
+		for _, e := range pl.Entries {
+			rg := ApplyRangeModifier(e.Range, m.Modifier)
+			if rg.ContainsPrefix(r.Prefix) {
+				return e.Action == Permit
+			}
+		}
+		return false
+	case MatchPrefixRanges:
+		for _, pr := range m.Ranges {
+			if pr.ContainsPrefix(r.Prefix) {
+				return true
+			}
+		}
+		return false
+	case MatchCommunity:
+		for _, name := range m.Lists {
+			clist := c.CommunityLists[name]
+			if clist == nil {
+				continue
+			}
+			if act, ok := communityListMatches(clist, r); ok && act == Permit {
+				return true
+			}
+		}
+		return false
+	case MatchASPath:
+		for _, name := range m.Lists {
+			al := c.ASPathLists[name]
+			if al == nil {
+				continue
+			}
+			if act, ok := asPathListMatches(al, r); ok && act == Permit {
+				return true
+			}
+		}
+		return false
+	case MatchMED:
+		return r.MED == m.Value
+	case MatchTag:
+		return r.Tag == m.Value
+	case MatchProtocol:
+		for _, p := range m.Protocols {
+			if r.Protocol == p {
+				return true
+			}
+		}
+		return false
+	case MatchNextHop:
+		for _, name := range m.Lists {
+			pl := c.PrefixLists[name]
+			if pl == nil {
+				continue
+			}
+			nh := netaddr.Prefix{Addr: r.NextHop, Len: 32}
+			if act, ok := pl.Matches(nh); ok && act == Permit {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// ApplyRangeModifier widens a prefix range per a JunOS match-type
+// modifier ("exact" leaves it unchanged, "orlonger" extends the upper
+// length bound to 32, "longer" additionally excludes the entry's own
+// lengths).
+func ApplyRangeModifier(r netaddr.PrefixRange, modifier string) netaddr.PrefixRange {
+	switch modifier {
+	case "orlonger":
+		return netaddr.PrefixRange{Prefix: r.Prefix, Lo: r.Lo, Hi: 32}
+	case "longer":
+		lo := r.Hi + 1
+		return netaddr.PrefixRange{Prefix: r.Prefix, Lo: lo, Hi: 32}
+	}
+	return r
+}
+
+// communityListMatches returns the action of the first entry whose
+// conjuncts all match some community of the route, or (Deny, false) when
+// no entry matches.
+func communityListMatches(l *CommunityList, r *Route) (Action, bool) {
+	for _, e := range l.Entries {
+		if communityEntryMatches(e, r) {
+			return e.Action, true
+		}
+	}
+	return Deny, false
+}
+
+func communityEntryMatches(e CommunityListEntry, r *Route) bool {
+	for _, m := range e.Conjuncts {
+		if !routeHasCommunityMatching(r, m) {
+			return false
+		}
+	}
+	return len(e.Conjuncts) > 0
+}
+
+func routeHasCommunityMatching(r *Route, m CommunityMatcher) bool {
+	if m.Regex == "" {
+		return r.Communities[m.Literal]
+	}
+	cm, err := community.Compile(m.Regex)
+	if err != nil {
+		return false
+	}
+	for comm, ok := range r.Communities {
+		if ok && cm.Matches(comm) {
+			return true
+		}
+	}
+	return false
+}
+
+func asPathListMatches(l *ASPathList, r *Route) (Action, bool) {
+	path := r.ASPathString()
+	for _, e := range l.Entries {
+		m, err := community.Compile(e.Regex)
+		if err != nil {
+			continue
+		}
+		if m.Matches(path) {
+			return e.Action, true
+		}
+	}
+	return Deny, false
+}
+
+func (c *Config) applySets(sets []SetAction, r *Route) {
+	for _, s := range sets {
+		switch s := s.(type) {
+		case SetLocalPref:
+			r.LocalPref = s.Value
+		case SetMED:
+			r.MED = s.Value
+		case SetWeight:
+			r.Weight = s.Value
+		case SetTag:
+			r.Tag = s.Value
+		case SetNextHop:
+			r.NextHop = s.Addr
+		case SetCommunities:
+			if !s.Additive {
+				r.Communities = map[string]bool{}
+			}
+			for _, comm := range s.Communities {
+				r.Communities[comm] = true
+			}
+		case DeleteCommunity:
+			clist := c.CommunityLists[s.List]
+			if clist == nil {
+				continue
+			}
+			for comm := range r.Communities {
+				if deleteListMatchesCommunity(clist, comm) {
+					delete(r.Communities, comm)
+				}
+			}
+		case SetASPathPrepend:
+			r.ASPath = append(append([]int64{}, s.ASNs...), r.ASPath...)
+		}
+	}
+}
+
+// deleteListMatchesCommunity applies the comm-list delete semantics: a
+// community is deleted when a single-matcher permit entry matches it.
+func deleteListMatchesCommunity(l *CommunityList, comm string) bool {
+	for _, e := range l.Entries {
+		if len(e.Conjuncts) != 1 {
+			continue
+		}
+		m := e.Conjuncts[0]
+		var hit bool
+		if m.Regex == "" {
+			hit = m.Literal == comm
+		} else if cm, err := community.Compile(m.Regex); err == nil {
+			hit = cm.Matches(comm)
+		}
+		if hit {
+			return e.Action == Permit
+		}
+	}
+	return false
+}
+
+// EvalPolicyChain evaluates a sequence of route maps (a JunOS policy
+// chain): the first map that explicitly decides wins; a route permitted by
+// map i is *not* re-examined by map i+1 in IOS semantics, so for IOS we
+// only ever build single-element chains. For JunOS the chain semantics is
+// first-terminal-action-wins with set accumulation; the juniper parser
+// therefore pre-merges chains into a single RouteMap, and this helper only
+// deals with the degenerate single-policy case plus an explicit default.
+func (c *Config) EvalPolicyChain(names []string, in *Route, def Action) PolicyResult {
+	for _, name := range names {
+		rm := c.RouteMaps[name]
+		if rm == nil {
+			continue
+		}
+		return c.EvalRouteMap(rm, in)
+	}
+	if def == Permit {
+		return PolicyResult{Action: Permit, Route: in.Clone()}
+	}
+	return PolicyResult{Action: Deny}
+}

@@ -1,0 +1,300 @@
+package ir
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/netaddr"
+)
+
+// ClauseAction is the disposition of a route-map clause when its matches
+// succeed.
+type ClauseAction int
+
+// Clause actions. Fallthrough models JunOS terms that set attributes but
+// have no terminal accept/reject: processing continues with the next term.
+const (
+	ClauseDeny ClauseAction = iota
+	ClausePermit
+	ClauseFallthrough
+)
+
+func (a ClauseAction) String() string {
+	switch a {
+	case ClausePermit:
+		return "permit"
+	case ClauseDeny:
+		return "deny"
+	}
+	return "fallthrough"
+}
+
+// Match is a route-map match condition. All matches in a clause must hold
+// (conjunction); values within one match are alternatives (disjunction),
+// mirroring both IOS and JunOS semantics.
+type Match interface {
+	isMatch()
+	String() string
+}
+
+// MatchPrefixList matches when any named prefix list permits the route's
+// prefix.
+type MatchPrefixList struct{ Lists []string }
+
+// MatchPrefixRanges matches the route's prefix against inline prefix
+// ranges (JunOS route-filter).
+type MatchPrefixRanges struct{ Ranges []netaddr.PrefixRange }
+
+// MatchPrefixListFilter matches the route's prefix against a named prefix
+// list with a JunOS match-type modifier applied to every entry:
+// "exact" (entry ranges as written), "orlonger" (entry length .. 32), or
+// "longer" (entry length+1 .. 32).
+type MatchPrefixListFilter struct {
+	List     string
+	Modifier string
+}
+
+// MatchCommunity matches when any named community list matches the route.
+type MatchCommunity struct{ Lists []string }
+
+// MatchASPath matches when any named as-path list matches the route.
+type MatchASPath struct{ Lists []string }
+
+// MatchMED matches the route's MED exactly.
+type MatchMED struct{ Value int64 }
+
+// MatchTag matches the route's tag exactly.
+type MatchTag struct{ Value int64 }
+
+// MatchProtocol matches the route's source protocol (redistribution
+// policies).
+type MatchProtocol struct{ Protocols []Protocol }
+
+// MatchNextHop matches the route's next hop against named prefix lists.
+type MatchNextHop struct{ Lists []string }
+
+func (MatchPrefixList) isMatch()       {}
+func (MatchPrefixListFilter) isMatch() {}
+func (MatchPrefixRanges) isMatch()     {}
+func (MatchCommunity) isMatch()        {}
+func (MatchASPath) isMatch()           {}
+func (MatchMED) isMatch()              {}
+func (MatchTag) isMatch()              {}
+func (MatchProtocol) isMatch()         {}
+func (MatchNextHop) isMatch()          {}
+
+func (m MatchPrefixList) String() string {
+	return "prefix-list " + strings.Join(m.Lists, " ")
+}
+func (m MatchPrefixListFilter) String() string {
+	return "prefix-list-filter " + m.List + " " + m.Modifier
+}
+func (m MatchPrefixRanges) String() string {
+	parts := make([]string, len(m.Ranges))
+	for i, r := range m.Ranges {
+		parts[i] = r.String()
+	}
+	return "route-filter " + strings.Join(parts, " ")
+}
+func (m MatchCommunity) String() string {
+	return "community " + strings.Join(m.Lists, " ")
+}
+func (m MatchASPath) String() string {
+	return "as-path " + strings.Join(m.Lists, " ")
+}
+func (m MatchMED) String() string { return fmt.Sprintf("metric %d", m.Value) }
+func (m MatchTag) String() string { return fmt.Sprintf("tag %d", m.Value) }
+func (m MatchProtocol) String() string {
+	parts := make([]string, len(m.Protocols))
+	for i, p := range m.Protocols {
+		parts[i] = p.String()
+	}
+	return "protocol " + strings.Join(parts, " ")
+}
+func (m MatchNextHop) String() string {
+	return "next-hop " + strings.Join(m.Lists, " ")
+}
+
+// SetAction is a route attribute transformation applied by a permitting
+// (or falling-through) clause.
+type SetAction interface {
+	isSet()
+	String() string
+}
+
+// SetLocalPref sets the BGP local preference.
+type SetLocalPref struct{ Value int64 }
+
+// SetMED sets the multi-exit discriminator.
+type SetMED struct{ Value int64 }
+
+// SetCommunities sets or adds community tags. With Additive the tags are
+// added to the route's existing set, otherwise they replace it.
+type SetCommunities struct {
+	Communities []string
+	Additive    bool
+}
+
+// DeleteCommunity removes communities matching a named community list.
+type DeleteCommunity struct{ List string }
+
+// SetNextHop rewrites the route's next hop.
+type SetNextHop struct{ Addr netaddr.Addr }
+
+// SetWeight sets the Cisco-proprietary weight.
+type SetWeight struct{ Value int64 }
+
+// SetTag sets the route tag.
+type SetTag struct{ Value int64 }
+
+// SetASPathPrepend prepends ASNs to the as-path.
+type SetASPathPrepend struct{ ASNs []int64 }
+
+func (SetLocalPref) isSet()     {}
+func (SetMED) isSet()           {}
+func (SetCommunities) isSet()   {}
+func (DeleteCommunity) isSet()  {}
+func (SetNextHop) isSet()       {}
+func (SetWeight) isSet()        {}
+func (SetTag) isSet()           {}
+func (SetASPathPrepend) isSet() {}
+
+func (s SetLocalPref) String() string { return fmt.Sprintf("local-preference %d", s.Value) }
+func (s SetMED) String() string       { return fmt.Sprintf("metric %d", s.Value) }
+func (s SetCommunities) String() string {
+	mode := ""
+	if s.Additive {
+		mode = " additive"
+	}
+	return "community " + strings.Join(s.Communities, " ") + mode
+}
+func (s DeleteCommunity) String() string { return "comm-list " + s.List + " delete" }
+func (s SetNextHop) String() string      { return "next-hop " + s.Addr.String() }
+func (s SetWeight) String() string       { return fmt.Sprintf("weight %d", s.Value) }
+func (s SetTag) String() string          { return fmt.Sprintf("tag %d", s.Value) }
+func (s SetASPathPrepend) String() string {
+	parts := make([]string, len(s.ASNs))
+	for i, a := range s.ASNs {
+		parts[i] = fmt.Sprintf("%d", a)
+	}
+	return "as-path prepend " + strings.Join(parts, " ")
+}
+
+// RouteMapClause is one term of a routing policy.
+type RouteMapClause struct {
+	Seq     int
+	Name    string // JunOS term name, empty for IOS
+	Action  ClauseAction
+	Matches []Match
+	Sets    []SetAction
+	Span    TextSpan
+}
+
+// RouteMap is an ordered routing policy with an explicit default action
+// for routes matching no clause. IOS route-maps default to deny; JunOS
+// policy default actions depend on the protocol context and are resolved
+// by the parser/translator.
+type RouteMap struct {
+	Name          string
+	Clauses       []*RouteMapClause
+	DefaultAction Action
+	Span          TextSpan
+}
+
+// Route is a concrete route advertisement: the input to route-map
+// evaluation, the unit the SRP simulator propagates, and the form in
+// which counterexamples are rendered.
+type Route struct {
+	Prefix      netaddr.Prefix
+	Communities map[string]bool
+	LocalPref   int64
+	MED         int64
+	Weight      int64
+	Tag         int64
+	NextHop     netaddr.Addr
+	ASPath      []int64
+	Protocol    Protocol
+}
+
+// NewRoute returns a route for the prefix with BGP-default attributes.
+func NewRoute(p netaddr.Prefix) *Route {
+	return &Route{
+		Prefix:      p,
+		Communities: map[string]bool{},
+		LocalPref:   100,
+		Protocol:    ProtoBGP,
+	}
+}
+
+// Clone deep-copies the route so transfer functions can mutate freely.
+func (r *Route) Clone() *Route {
+	out := *r
+	out.Communities = make(map[string]bool, len(r.Communities))
+	for c, v := range r.Communities {
+		out.Communities[c] = v
+	}
+	out.ASPath = append([]int64(nil), r.ASPath...)
+	return &out
+}
+
+// CommunityStrings returns the route's communities in sorted order.
+func (r *Route) CommunityStrings() []string {
+	out := make([]string, 0, len(r.Communities))
+	for c, ok := range r.Communities {
+		if ok {
+			out = append(out, c)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ASPathString renders the as-path as a space-separated string for regex
+// matching, e.g. "65001 65002".
+func (r *Route) ASPathString() string {
+	parts := make([]string, len(r.ASPath))
+	for i, a := range r.ASPath {
+		parts[i] = fmt.Sprintf("%d", a)
+	}
+	return strings.Join(parts, " ")
+}
+
+// Equal reports full attribute equality, used by the SRP solver's fixpoint
+// detection and by tests.
+func (r *Route) Equal(o *Route) bool {
+	if r == nil || o == nil {
+		return r == o
+	}
+	if r.Prefix != o.Prefix || r.LocalPref != o.LocalPref || r.MED != o.MED ||
+		r.Weight != o.Weight || r.Tag != o.Tag || r.NextHop != o.NextHop ||
+		r.Protocol != o.Protocol || len(r.ASPath) != len(o.ASPath) {
+		return false
+	}
+	for i := range r.ASPath {
+		if r.ASPath[i] != o.ASPath[i] {
+			return false
+		}
+	}
+	if len(r.CommunityStrings()) != len(o.CommunityStrings()) {
+		return false
+	}
+	for _, c := range r.CommunityStrings() {
+		if !o.Communities[c] {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *Route) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s lp=%d med=%d", r.Prefix, r.LocalPref, r.MED)
+	if cs := r.CommunityStrings(); len(cs) > 0 {
+		fmt.Fprintf(&b, " comm=[%s]", strings.Join(cs, " "))
+	}
+	if len(r.ASPath) > 0 {
+		fmt.Fprintf(&b, " path=[%s]", r.ASPathString())
+	}
+	return b.String()
+}

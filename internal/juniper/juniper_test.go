@@ -1,0 +1,586 @@
+package juniper
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/netaddr"
+)
+
+// figure1b is the Juniper excerpt from Figure 1(b) of the paper (formatted
+// as standard JunOS).
+const figure1b = `policy-options {
+    prefix-list NETS {
+        10.9.0.0/16;
+        10.100.0.0/16;
+    }
+    community COMM members [ 10:10 10:11 ];
+    policy-statement POL {
+        term rule1 {
+            from prefix-list NETS;
+            then reject;
+        }
+        term rule2 {
+            from community COMM;
+            then reject;
+        }
+        term rule3 {
+            then {
+                local-preference 30;
+                accept;
+            }
+        }
+    }
+}
+`
+
+func TestParseFigure1b(t *testing.T) {
+	cfg, err := Parse("juniper.cfg", figure1b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range cfg.Unrecognized {
+		t.Errorf("unrecognized: %s %q", u.Location(), u.Text())
+	}
+	pl := cfg.PrefixLists["NETS"]
+	if pl == nil || len(pl.Entries) != 2 {
+		t.Fatalf("NETS = %+v", pl)
+	}
+	// Juniper prefix-list entries are EXACT: 16-16, not 16-32. This is
+	// Difference 1 of the paper.
+	want := netaddr.MustParsePrefixRange("10.9.0.0/16 : 16-16")
+	if !pl.Entries[0].Range.Equal(want) {
+		t.Errorf("NETS[0] = %v, want %v", pl.Entries[0].Range, want)
+	}
+
+	cl := cfg.CommunityLists["COMM"]
+	if cl == nil || len(cl.Entries) != 1 {
+		t.Fatalf("COMM = %+v", cl)
+	}
+	// Juniper members are a conjunction: the route must carry BOTH
+	// communities. This is Difference 2 of the paper.
+	if len(cl.Entries[0].Conjuncts) != 2 {
+		t.Errorf("COMM conjuncts = %+v", cl.Entries[0].Conjuncts)
+	}
+
+	rm := cfg.RouteMaps["POL"]
+	if rm == nil || len(rm.Clauses) != 3 {
+		t.Fatalf("POL = %+v", rm)
+	}
+	if rm.DefaultAction != ir.Permit {
+		t.Error("JunOS policy default should be permit")
+	}
+	if rm.Clauses[0].Name != "rule1" || rm.Clauses[0].Action != ir.ClauseDeny {
+		t.Errorf("rule1 = %+v", rm.Clauses[0])
+	}
+	if m, ok := rm.Clauses[0].Matches[0].(ir.MatchPrefixList); !ok || m.Lists[0] != "NETS" {
+		t.Errorf("rule1 match = %+v", rm.Clauses[0].Matches)
+	}
+	if rm.Clauses[2].Action != ir.ClausePermit {
+		t.Errorf("rule3 = %+v", rm.Clauses[2])
+	}
+	if s, ok := rm.Clauses[2].Sets[0].(ir.SetLocalPref); !ok || s.Value != 30 {
+		t.Errorf("rule3 sets = %+v", rm.Clauses[2].Sets)
+	}
+	// Text localization: rule3's span includes its then block.
+	if !strings.Contains(rm.Clauses[2].Span.Text(), "local-preference 30") {
+		t.Errorf("rule3 text = %q", rm.Clauses[2].Span.Text())
+	}
+}
+
+func TestParseInterfacesAndFilters(t *testing.T) {
+	cfg, err := Parse("t", `system { host-name borderJ; }
+interfaces {
+    ge-0/0/0 {
+        description "uplink to ISP";
+        unit 0 {
+            family inet {
+                address 10.0.12.2/24;
+                filter {
+                    input EDGE_IN;
+                    output EDGE_OUT;
+                }
+            }
+        }
+    }
+    ge-0/0/1 {
+        disable;
+        unit 0 { family inet { address 192.0.2.1/30; } }
+    }
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Hostname != "borderJ" {
+		t.Errorf("hostname = %q", cfg.Hostname)
+	}
+	if len(cfg.Interfaces) != 2 {
+		t.Fatalf("interfaces = %d", len(cfg.Interfaces))
+	}
+	i0 := cfg.Interfaces[0]
+	if i0.Name != "ge-0/0/0.0" {
+		t.Errorf("i0 name = %q", i0.Name)
+	}
+	if !i0.HasAddress || i0.Subnet.String() != "10.0.12.0/24" || i0.Address.String() != "10.0.12.2" {
+		t.Errorf("i0 addr = %+v", i0)
+	}
+	if i0.ACLIn != "EDGE_IN" || i0.ACLOut != "EDGE_OUT" {
+		t.Errorf("i0 filters = %q %q", i0.ACLIn, i0.ACLOut)
+	}
+	if i0.Description != "uplink to ISP" {
+		t.Errorf("i0 description = %q", i0.Description)
+	}
+	if !cfg.Interfaces[1].Shutdown {
+		t.Error("disabled interface should be shutdown")
+	}
+}
+
+func TestParseFirewallFilter(t *testing.T) {
+	cfg, err := Parse("t", `firewall {
+    family inet {
+        filter VM_FILTER {
+            term permit_whitelist {
+                from {
+                    source-address {
+                        9.140.0.0/23;
+                    }
+                    protocol tcp;
+                    destination-port [ 80 443 ];
+                }
+                then accept;
+            }
+            term block_icmp {
+                from {
+                    protocol icmp;
+                    icmp-type echo-request;
+                }
+                then {
+                    count rejected;
+                    discard;
+                }
+            }
+            term allow-established {
+                from {
+                    protocol tcp;
+                    tcp-established;
+                    source-port 1024-65535;
+                }
+                then accept;
+            }
+        }
+    }
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acl := cfg.ACLs["VM_FILTER"]
+	if acl == nil || len(acl.Lines) != 3 {
+		t.Fatalf("VM_FILTER = %+v (unrecognized %v)", acl, cfg.Unrecognized)
+	}
+	l0 := acl.Lines[0]
+	if l0.Action != ir.Permit || l0.Protocol.Number != ir.ProtoNumTCP {
+		t.Errorf("l0 = %+v", l0)
+	}
+	if len(l0.Src) != 1 || !l0.Src[0].Matches(netaddr.MustParseAddr("9.140.1.9")) {
+		t.Errorf("l0 src = %+v", l0.Src)
+	}
+	if len(l0.DstPorts) != 2 || l0.DstPorts[1].Lo != 443 {
+		t.Errorf("l0 ports = %+v", l0.DstPorts)
+	}
+	l1 := acl.Lines[1]
+	if l1.Action != ir.Deny || l1.ICMPType != 8 {
+		t.Errorf("l1 = %+v", l1)
+	}
+	l2 := acl.Lines[2]
+	if !l2.Established || len(l2.SrcPorts) != 1 || l2.SrcPorts[0].Lo != 1024 || l2.SrcPorts[0].Hi != 65535 {
+		t.Errorf("l2 = %+v", l2)
+	}
+}
+
+func TestParseStaticRoutes(t *testing.T) {
+	cfg, err := Parse("t", `routing-options {
+    static {
+        route 10.1.1.2/31 {
+            next-hop 10.2.2.2;
+            preference 7;
+            tag 500;
+        }
+        route 0.0.0.0/0 next-hop 192.0.2.1;
+        route 10.5.0.0/16 discard;
+    }
+    autonomous-system 65001;
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.StaticRoutes) != 3 {
+		t.Fatalf("routes = %d", len(cfg.StaticRoutes))
+	}
+	r0 := cfg.StaticRoutes[0]
+	if r0.Prefix.String() != "10.1.1.2/31" || !r0.HasNextHop || r0.NextHop.String() != "10.2.2.2" {
+		t.Errorf("r0 = %+v", r0)
+	}
+	if r0.AdminDistance != 7 || !r0.HasTag || r0.Tag != 500 {
+		t.Errorf("r0 attrs = %+v", r0)
+	}
+	r1 := cfg.StaticRoutes[1]
+	if r1.Prefix.Len != 0 || !r1.HasNextHop || r1.AdminDistance != 5 {
+		t.Errorf("r1 = %+v (JunOS default preference is 5)", r1)
+	}
+	if cfg.StaticRoutes[2].Interface != "discard" {
+		t.Errorf("r2 = %+v", cfg.StaticRoutes[2])
+	}
+	if cfg.BGP == nil || cfg.BGP.ASN != 65001 {
+		t.Errorf("asn = %+v", cfg.BGP)
+	}
+}
+
+func TestParseBGP(t *testing.T) {
+	cfg, err := Parse("t", `routing-options { autonomous-system 65001; }
+protocols {
+    bgp {
+        group ebgp-peers {
+            type external;
+            peer-as 65002;
+            export [ EXP1 EXP2 ];
+            neighbor 10.0.12.1 {
+                description "to core";
+                import IMP1;
+            }
+            neighbor 10.0.12.5 {
+                peer-as 65003;
+                export EXP3;
+            }
+        }
+        group rr-clients {
+            type internal;
+            cluster 10.0.0.2;
+            neighbor 10.0.13.3;
+        }
+    }
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := cfg.BGP
+	if b == nil || b.ASN != 65001 {
+		t.Fatalf("bgp = %+v", b)
+	}
+	n1 := b.Neighbors["10.0.12.1"]
+	if n1 == nil || n1.RemoteAS != 65002 || n1.Description != "to core" {
+		t.Fatalf("n1 = %+v", n1)
+	}
+	if len(n1.ImportPolicies) != 1 || n1.ImportPolicies[0] != "IMP1" {
+		t.Errorf("n1 import = %v", n1.ImportPolicies)
+	}
+	if len(n1.ExportPolicies) != 2 || n1.ExportPolicies[0] != "EXP1" {
+		t.Errorf("n1 export (group inherit) = %v", n1.ExportPolicies)
+	}
+	if !n1.SendCommunity {
+		t.Error("JunOS neighbors send communities by default")
+	}
+	n2 := b.Neighbors["10.0.12.5"]
+	if n2.RemoteAS != 65003 {
+		t.Errorf("neighbor peer-as should override group: %+v", n2)
+	}
+	if len(n2.ExportPolicies) != 1 || n2.ExportPolicies[0] != "EXP3" {
+		t.Errorf("n2 export override = %v", n2.ExportPolicies)
+	}
+	rr := b.Neighbors["10.0.13.3"]
+	if rr == nil || !rr.RouteReflectorClient {
+		t.Errorf("cluster group should make clients: %+v", rr)
+	}
+	if rr.RemoteAS != 65001 {
+		t.Errorf("internal group should default peer-as to local: %+v", rr)
+	}
+}
+
+func TestParseOSPF(t *testing.T) {
+	cfg, err := Parse("t", `interfaces {
+    ge-0/0/0 { unit 0 { family inet { address 10.0.12.2/24; } } }
+}
+protocols {
+    ospf {
+        export BGP-TO-OSPF;
+        area 0.0.0.0 {
+            interface ge-0/0/0.0 {
+                metric 5;
+                hello-interval 10;
+                dead-interval 40;
+            }
+            interface lo0.0 {
+                passive;
+            }
+        }
+    }
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := cfg.OSPF
+	if o == nil {
+		t.Fatal("no ospf")
+	}
+	oi := o.Interfaces["ge-0/0/0.0"]
+	if oi == nil || oi.Cost != 5 || oi.Area != 0 || oi.HelloInterval != 10 || oi.DeadInterval != 40 {
+		t.Fatalf("oi = %+v", oi)
+	}
+	if oi.Subnet.String() != "10.0.12.0/24" {
+		t.Errorf("oi subnet = %v", oi.Subnet)
+	}
+	lo := o.Interfaces["lo0.0"]
+	if lo == nil || !lo.Passive {
+		t.Errorf("lo = %+v", lo)
+	}
+	if len(o.Redistribute) != 1 || o.Redistribute[0].RouteMap != "BGP-TO-OSPF" {
+		t.Errorf("redistribute = %+v", o.Redistribute)
+	}
+}
+
+func TestRouteFilterModifiers(t *testing.T) {
+	cfg, err := Parse("t", `policy-options {
+    policy-statement RF {
+        term t1 {
+            from {
+                route-filter 10.0.0.0/8 orlonger;
+                route-filter 10.9.0.0/16 exact;
+                route-filter 10.10.0.0/16 upto /24;
+                route-filter 10.11.0.0/16 prefix-length-range /20-/24;
+                route-filter 10.12.0.0/16 longer;
+            }
+            then accept;
+        }
+    }
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm := cfg.RouteMaps["RF"]
+	if rm == nil || len(rm.Clauses) != 1 {
+		t.Fatalf("RF = %+v", rm)
+	}
+	m, ok := rm.Clauses[0].Matches[0].(ir.MatchPrefixRanges)
+	if !ok || len(m.Ranges) != 5 {
+		t.Fatalf("ranges = %+v", rm.Clauses[0].Matches)
+	}
+	wants := []string{
+		"10.0.0.0/8 : 8-32",
+		"10.9.0.0/16 : 16-16",
+		"10.10.0.0/16 : 16-24",
+		"10.11.0.0/16 : 20-24",
+		"10.12.0.0/16 : 17-32",
+	}
+	for i, want := range wants {
+		if got := m.Ranges[i].String(); got != want {
+			t.Errorf("range %d = %s, want %s", i, got, want)
+		}
+	}
+}
+
+func TestPolicyActionsAndCommunitySets(t *testing.T) {
+	cfg, err := Parse("t", `policy-options {
+    community TAG members 65000:99;
+    policy-statement ACT {
+        term add-tag {
+            from protocol static;
+            then {
+                community add TAG;
+                metric 10;
+                next term;
+            }
+        }
+        term reroute {
+            from {
+                metric 10;
+                tag 5;
+            }
+            then {
+                next-hop 10.0.0.254;
+                as-path-prepend 65000 65000;
+                reject;
+            }
+        }
+    }
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm := cfg.RouteMaps["ACT"]
+	if rm == nil || len(rm.Clauses) != 2 {
+		t.Fatalf("ACT = %+v", rm)
+	}
+	t1 := rm.Clauses[0]
+	if t1.Action != ir.ClauseFallthrough {
+		t.Errorf("next term should fall through: %+v", t1)
+	}
+	if sc, ok := t1.Sets[0].(ir.SetCommunities); !ok || !sc.Additive || sc.Communities[0] != "65000:99" {
+		t.Errorf("community add = %+v", t1.Sets)
+	}
+	if mp, ok := t1.Matches[0].(ir.MatchProtocol); !ok || mp.Protocols[0] != ir.ProtoStatic {
+		t.Errorf("from protocol = %+v", t1.Matches)
+	}
+	t2 := rm.Clauses[1]
+	if t2.Action != ir.ClauseDeny {
+		t.Errorf("t2 action = %v", t2.Action)
+	}
+	if len(t2.Matches) != 2 {
+		t.Errorf("t2 matches = %+v", t2.Matches)
+	}
+	var sawNH, sawPrepend bool
+	for _, s := range t2.Sets {
+		switch s := s.(type) {
+		case ir.SetNextHop:
+			sawNH = s.Addr.String() == "10.0.0.254"
+		case ir.SetASPathPrepend:
+			sawPrepend = len(s.ASNs) == 2
+		}
+	}
+	if !sawNH || !sawPrepend {
+		t.Errorf("t2 sets = %+v", t2.Sets)
+	}
+}
+
+func TestTermWithoutThenFallsThrough(t *testing.T) {
+	cfg, _ := Parse("t", `policy-options {
+    policy-statement P {
+        term silent {
+            from protocol bgp;
+        }
+        term final {
+            then accept;
+        }
+    }
+}
+`)
+	rm := cfg.RouteMaps["P"]
+	if rm.Clauses[0].Action != ir.ClauseFallthrough {
+		t.Error("term without then should fall through")
+	}
+}
+
+func TestRegexCommunityMembers(t *testing.T) {
+	cfg, _ := Parse("t", `policy-options {
+    community WILD members "^65000:.*$";
+    community PLAIN members 65000:1;
+}
+`)
+	wild := cfg.CommunityLists["WILD"]
+	if wild == nil || wild.Entries[0].Conjuncts[0].Regex != "^65000:.*$" {
+		t.Fatalf("WILD = %+v", wild)
+	}
+	plain := cfg.CommunityLists["PLAIN"]
+	if plain == nil || plain.Entries[0].Conjuncts[0].Literal != "65000:1" {
+		t.Fatalf("PLAIN = %+v", plain)
+	}
+}
+
+func TestCommentsAndStrings(t *testing.T) {
+	cfg, err := Parse("t", `/* block
+comment */
+system {
+    # line comment
+    host-name r1;
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Hostname != "r1" {
+		t.Errorf("hostname = %q", cfg.Hostname)
+	}
+}
+
+func TestSyntaxErrors(t *testing.T) {
+	if _, err := Parse("t", `system { host-name r1;`); err == nil {
+		t.Error("missing brace should error")
+	}
+	if _, err := Parse("t", `system { "unterminated`); err == nil {
+		t.Error("unterminated string should error")
+	}
+	if _, err := Parse("t", `a { b [ c; }`); err == nil {
+		t.Error("unterminated bracket list should error")
+	}
+	if _, err := Parse("t", `}`); err == nil {
+		t.Error("stray brace should error")
+	}
+}
+
+func TestUnrecognizedCollected(t *testing.T) {
+	cfg, _ := Parse("t", `snmp { community public; }
+policy-options {
+    policy-statement P {
+        term t {
+            from { rib inet.0; }
+            then accept;
+        }
+    }
+}
+`)
+	if len(cfg.Unrecognized) != 2 {
+		t.Errorf("unrecognized = %d: %v", len(cfg.Unrecognized), cfg.Unrecognized)
+	}
+}
+
+func TestAnonymousTerm(t *testing.T) {
+	// JunOS allows from/then directly under the policy-statement.
+	cfg, _ := Parse("t", `policy-options {
+    policy-statement SIMPLE {
+        from protocol bgp;
+        then accept;
+    }
+}
+`)
+	rm := cfg.RouteMaps["SIMPLE"]
+	if rm == nil || len(rm.Clauses) != 1 {
+		t.Fatalf("SIMPLE = %+v", rm)
+	}
+	if rm.Clauses[0].Action != ir.ClausePermit || len(rm.Clauses[0].Matches) != 1 {
+		t.Errorf("clause = %+v", rm.Clauses[0])
+	}
+}
+
+func TestPrefixListFilterModifiers(t *testing.T) {
+	cfg, err := Parse("t", `policy-options {
+    prefix-list NETS {
+        10.9.0.0/16;
+    }
+    policy-statement P {
+        term t1 {
+            from {
+                prefix-list-filter NETS orlonger;
+            }
+            then accept;
+        }
+        term t2 { then reject; }
+    }
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := cfg.RouteMaps["P"].Clauses[0].Matches[0].(ir.MatchPrefixListFilter)
+	if !ok || m.List != "NETS" || m.Modifier != "orlonger" {
+		t.Fatalf("match = %+v", cfg.RouteMaps["P"].Clauses[0].Matches)
+	}
+	// Concrete semantics: orlonger matches the /24 refinement.
+	r := ir.NewRoute(netaddr.MustParsePrefix("10.9.1.0/24"))
+	if res := cfg.EvalRouteMap(cfg.RouteMaps["P"], r); res.Action != ir.Permit {
+		t.Error("orlonger should match the /24")
+	}
+	r16 := ir.NewRoute(netaddr.MustParsePrefix("10.9.0.0/16"))
+	if res := cfg.EvalRouteMap(cfg.RouteMaps["P"], r16); res.Action != ir.Permit {
+		t.Error("orlonger should match the exact /16 too")
+	}
+	out := ir.NewRoute(netaddr.MustParsePrefix("10.10.0.0/16"))
+	if res := cfg.EvalRouteMap(cfg.RouteMaps["P"], out); res.Action != ir.Deny {
+		t.Error("outside the list should be rejected")
+	}
+}

@@ -1,0 +1,92 @@
+package juniper
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestParseNeverPanics mutates a realistic JunOS configuration and checks
+// the parser either succeeds leniently or returns a syntax error —
+// never panicking.
+func TestParseNeverPanics(t *testing.T) {
+	base := figure1b + `
+interfaces {
+    ge-0/0/0 { unit 0 { family inet { address 10.0.12.2/24; } } }
+}
+routing-options {
+    static { route 10.1.1.2/31 next-hop 10.2.2.2; }
+    autonomous-system 65001;
+}
+protocols {
+    bgp {
+        group peers { type external; peer-as 65002; neighbor 10.0.12.1; }
+    }
+}
+`
+	f := func(seed uint32) bool {
+		rng := seed
+		next := func(n int) int {
+			rng = rng*1664525 + 1013904223
+			if n <= 0 {
+				return 0
+			}
+			return int(rng>>16) % n
+		}
+		text := []byte(base)
+		for k := 0; k < 1+next(6); k++ {
+			if len(text) == 0 {
+				break
+			}
+			i := next(len(text))
+			switch next(4) {
+			case 0:
+				text[i] = byte("{};\"[]#"[next(7)])
+			case 1:
+				text = append(text[:i], text[i+1:]...)
+			case 2:
+				text = append(text[:i], append([]byte("}"), text[i:]...)...)
+			case 3:
+				text = append(text[:i], append([]byte("{"), text[i:]...)...)
+			}
+		}
+		// Either outcome is fine; panicking is not.
+		cfg, err := Parse("mut.cfg", string(text))
+		return err != nil || cfg != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseWeirdInputs(t *testing.T) {
+	// These must not panic; syntax errors are acceptable.
+	for _, text := range []string{
+		"",
+		";;;",
+		"a;",
+		"a { }",
+		"a { b { c; } }",
+		"[ ]",
+		strings.Repeat("a { ", 1000) + strings.Repeat("} ", 1000),
+		`policy-options { prefix-list X { 999.9.9.9/99; } }`,
+		`routing-options { static { route bogus next-hop 1.2.3.4; } }`,
+	} {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("Parse(%.30q) panicked: %v", text, r)
+				}
+			}()
+			Parse("t", text)
+		}()
+	}
+}
+
+func TestDeeplyNestedDoesNotOverflow(t *testing.T) {
+	depth := 10000
+	text := strings.Repeat("a { ", depth) + "b;" + strings.Repeat(" }", depth)
+	if _, err := Parse("t", text); err != nil {
+		t.Logf("deep nesting rejected: %v (acceptable)", err)
+	}
+}

@@ -1,0 +1,237 @@
+package juniper
+
+import (
+	"fmt"
+	"strings"
+)
+
+// JunOS configurations are stored and exchanged in two formats: the
+// curly-brace hierarchy and the "display set" form, where every leaf is a
+// full path from the root:
+//
+//	set policy-options policy-statement POL term rule1 from prefix-list NETS
+//	set policy-options policy-statement POL term rule1 then reject
+//
+// isSetFormat detects the latter; buildSetTree folds the set lines into
+// the same statement tree the brace parser produces, so the semantic
+// walker is shared between the two formats.
+func isSetFormat(text string) bool {
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		return strings.HasPrefix(line, "set ") || line == "set" ||
+			strings.HasPrefix(line, "delete ")
+	}
+	return false
+}
+
+// blockArity decides whether a keyword opens a sub-block in the given
+// ancestor context and how many following tokens belong to its header.
+// A return of -1 means the keyword is a leaf statement (the rest of the
+// line is its words). This is the small schema real set-format tools also
+// need: the flat form does not itself mark where hierarchy ends.
+func blockArity(path []string, word string) int {
+	parent := ""
+	if len(path) > 0 {
+		parent = path[len(path)-1]
+	}
+	has := func(w string) bool {
+		for _, p := range path {
+			if p == w {
+				return true
+			}
+		}
+		return false
+	}
+	switch word {
+	case "system", "policy-options", "firewall", "interfaces",
+		"routing-options", "protocols":
+		if len(path) == 0 {
+			return 0
+		}
+	case "policy-statement":
+		if parent == "policy-options" {
+			return 1
+		}
+	case "prefix-list":
+		// A block under policy-options; a leaf condition under from.
+		if parent == "policy-options" {
+			return 1
+		}
+	case "term":
+		if parent == "policy-statement" || parent == "filter" {
+			return 1
+		}
+	case "from", "then":
+		if parent == "term" || parent == "policy-statement" {
+			return 0
+		}
+	case "source-address", "destination-address", "address":
+		// Blocks inside firewall-filter from clauses; the interface
+		// "address 10.0.0.1/24" falls through to the leaf default.
+		if has("filter") && parent == "from" {
+			return 0
+		}
+	case "family":
+		if parent == "firewall" || has("interfaces") {
+			return 1
+		}
+	case "filter":
+		if has("firewall") {
+			return 1
+		}
+		if has("interfaces") {
+			return 0 // interface filter { input X; output Y; }
+		}
+	case "unit":
+		if has("interfaces") {
+			return 1
+		}
+	case "static":
+		if parent == "routing-options" {
+			return 0
+		}
+	case "route":
+		if parent == "static" {
+			return 1
+		}
+	case "bgp", "ospf":
+		if parent == "protocols" {
+			return 0
+		}
+	case "group":
+		if parent == "bgp" {
+			return 1
+		}
+	case "neighbor":
+		if parent == "group" {
+			return 1
+		}
+	case "area":
+		if parent == "ospf" {
+			return 1
+		}
+	case "interface":
+		if parent == "area" {
+			return 1
+		}
+	}
+	return -1
+}
+
+// buildSetTree parses a display-set configuration into statement trees.
+func buildSetTree(text string) ([]*stmt, error) {
+	root := &stmt{}
+	lines := strings.Split(text, "\n")
+	for lineNo, raw := range lines {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		toks, err := tokenize(line)
+		if err != nil {
+			return nil, fmt.Errorf("juniper: set line %d: %v", lineNo+1, err)
+		}
+		words := make([]string, 0, len(toks))
+		for _, t := range toks {
+			switch t.kind {
+			case tokWord:
+				words = append(words, t.text)
+			case tokLBracket, tokRBracket:
+				// brackets in set lines delimit value lists; drop them
+			case tokSemi:
+				// tolerated trailing semicolons
+			default:
+				return nil, fmt.Errorf("juniper: set line %d: unexpected %q", lineNo+1, t.text)
+			}
+		}
+		if len(words) == 0 {
+			continue
+		}
+		switch words[0] {
+		case "set":
+			words = words[1:]
+		case "delete", "deactivate", "activate":
+			// Deletions/deactivations cannot be applied without the full
+			// candidate config; skip them (they are rare in snapshots).
+			continue
+		default:
+			return nil, fmt.Errorf("juniper: set line %d: expected 'set', got %q", lineNo+1, words[0])
+		}
+		if err := insertSetPath(root, nil, words, lineNo+1); err != nil {
+			return nil, err
+		}
+	}
+	return root.children, nil
+}
+
+// insertSetPath walks/creates the block chain for one set line and
+// attaches the trailing leaf statement.
+func insertSetPath(cur *stmt, path []string, words []string, line int) error {
+	for len(words) > 0 {
+		w := words[0]
+		arity := blockArity(path, w)
+		if arity < 0 {
+			// Leaf: the rest of the line is one statement.
+			leaf := &stmt{words: words, startLine: line, endLine: line}
+			cur.children = append(cur.children, leaf)
+			touchSpan(cur, line)
+			return nil
+		}
+		if len(words) < 1+arity {
+			return fmt.Errorf("juniper: set line %d: %q needs %d argument(s)", line, w, arity)
+		}
+		header := words[:1+arity]
+		words = words[1+arity:]
+		cur = getOrCreateChild(cur, header, line)
+		path = append(path, w)
+		// Special shape: under "interfaces" the next token is itself a
+		// block (the interface name).
+		if w == "interfaces" && len(words) > 0 {
+			cur = getOrCreateChild(cur, words[:1], line)
+			words = words[1:]
+			path = append(path, "ifname")
+		}
+	}
+	// The line named a block with no leaf (e.g. "set protocols bgp group X
+	// neighbor 1.2.3.4"): the empty block is meaningful and already built.
+	return nil
+}
+
+func touchSpan(s *stmt, line int) {
+	if s.startLine == 0 || line < s.startLine {
+		s.startLine = line
+	}
+	if line > s.endLine {
+		s.endLine = line
+	}
+}
+
+// getOrCreateChild finds a child block with the same header words or
+// appends a new one.
+func getOrCreateChild(cur *stmt, header []string, line int) *stmt {
+	for _, c := range cur.children {
+		if sameWords(c.words, header) {
+			touchSpan(c, line)
+			return c
+		}
+	}
+	c := &stmt{words: append([]string{}, header...), startLine: line, endLine: line}
+	cur.children = append(cur.children, c)
+	touchSpan(cur, line)
+	return c
+}
+
+func sameWords(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,196 @@
+package juniper
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/netaddr"
+)
+
+// figure1bSet is Figure 1(b) in "display set" form.
+const figure1bSet = `set policy-options prefix-list NETS 10.9.0.0/16
+set policy-options prefix-list NETS 10.100.0.0/16
+set policy-options community COMM members [ 10:10 10:11 ]
+set policy-options policy-statement POL term rule1 from prefix-list NETS
+set policy-options policy-statement POL term rule1 then reject
+set policy-options policy-statement POL term rule2 from community COMM
+set policy-options policy-statement POL term rule2 then reject
+set policy-options policy-statement POL term rule3 then local-preference 30
+set policy-options policy-statement POL term rule3 then accept
+`
+
+func TestSetFormatDetection(t *testing.T) {
+	if !isSetFormat(figure1bSet) {
+		t.Error("set format should be detected")
+	}
+	if isSetFormat("policy-options {\n}") {
+		t.Error("brace format misdetected")
+	}
+	if !isSetFormat("# comment\nset system host-name r1\n") {
+		t.Error("comments before set lines")
+	}
+}
+
+func TestParseSetFormatFigure1b(t *testing.T) {
+	cfg, err := Parse("j.set", figure1bSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range cfg.Unrecognized {
+		t.Errorf("unrecognized: %q", u.Text())
+	}
+	pl := cfg.PrefixLists["NETS"]
+	if pl == nil || len(pl.Entries) != 2 {
+		t.Fatalf("NETS = %+v", pl)
+	}
+	if !pl.Entries[0].Range.Equal(netaddr.MustParsePrefixRange("10.9.0.0/16 : 16-16")) {
+		t.Errorf("NETS[0] = %v", pl.Entries[0].Range)
+	}
+	cl := cfg.CommunityLists["COMM"]
+	if cl == nil || len(cl.Entries[0].Conjuncts) != 2 {
+		t.Fatalf("COMM = %+v", cl)
+	}
+	rm := cfg.RouteMaps["POL"]
+	if rm == nil || len(rm.Clauses) != 3 {
+		t.Fatalf("POL = %+v", rm)
+	}
+	if rm.Clauses[0].Action != ir.ClauseDeny || rm.Clauses[0].Name != "rule1" {
+		t.Errorf("rule1 = %+v", rm.Clauses[0])
+	}
+	if rm.Clauses[2].Action != ir.ClausePermit {
+		t.Errorf("rule3 = %+v", rm.Clauses[2])
+	}
+	if s, ok := rm.Clauses[2].Sets[0].(ir.SetLocalPref); !ok || s.Value != 30 {
+		t.Errorf("rule3 sets = %+v", rm.Clauses[2].Sets)
+	}
+	// Text localization points at the contributing set lines.
+	if !strings.Contains(rm.Clauses[0].Span.Text(), "term rule1") {
+		t.Errorf("rule1 text = %q", rm.Clauses[0].Span.Text())
+	}
+}
+
+// TestSetAndBraceFormatsAgree parses the same configuration in both forms
+// and checks the IRs are semantically interchangeable (no diffs).
+func TestSetAndBraceFormatsAgree(t *testing.T) {
+	braceCfg, err := Parse("brace.cfg", figure1b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	setCfg, err := Parse("set.cfg", figure1bSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Structural spot checks (full behavioral agreement is covered by the
+	// semdiff-based tests in internal/policygen).
+	for name, pl1 := range braceCfg.PrefixLists {
+		pl2 := setCfg.PrefixLists[name]
+		if pl2 == nil || len(pl2.Entries) != len(pl1.Entries) {
+			t.Fatalf("prefix list %s differs", name)
+		}
+		for i := range pl1.Entries {
+			if !pl1.Entries[i].Range.Equal(pl2.Entries[i].Range) {
+				t.Errorf("%s entry %d: %v vs %v", name, i, pl1.Entries[i].Range, pl2.Entries[i].Range)
+			}
+		}
+	}
+	rm1, rm2 := braceCfg.RouteMaps["POL"], setCfg.RouteMaps["POL"]
+	if len(rm1.Clauses) != len(rm2.Clauses) {
+		t.Fatalf("clause counts differ: %d vs %d", len(rm1.Clauses), len(rm2.Clauses))
+	}
+	for i := range rm1.Clauses {
+		if rm1.Clauses[i].Action != rm2.Clauses[i].Action {
+			t.Errorf("clause %d action: %v vs %v", i, rm1.Clauses[i].Action, rm2.Clauses[i].Action)
+		}
+	}
+}
+
+func TestSetFormatFullRouter(t *testing.T) {
+	cfg, err := Parse("r.set", `set system host-name setrouter
+set interfaces ge-0/0/0 description "uplink to core"
+set interfaces ge-0/0/0 unit 0 family inet address 10.0.12.2/24
+set interfaces ge-0/0/0 unit 0 family inet filter input EDGE_IN
+set firewall family inet filter EDGE_IN term web from protocol tcp
+set firewall family inet filter EDGE_IN term web from destination-address 10.60.0.0/16
+set firewall family inet filter EDGE_IN term web from destination-port [ 80 443 ]
+set firewall family inet filter EDGE_IN term web then accept
+set firewall family inet filter EDGE_IN term final then discard
+set routing-options static route 10.1.1.2/31 next-hop 10.2.2.2
+set routing-options static route 10.1.1.2/31 preference 7
+set routing-options autonomous-system 65001
+set protocols bgp group peers type external
+set protocols bgp group peers peer-as 65002
+set protocols bgp group peers neighbor 10.0.12.1 export POL
+set protocols ospf area 0.0.0.0 interface ge-0/0/0.0 metric 5
+set protocols ospf area 0.0.0.0 interface ge-0/0/0.0 hello-interval 10
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range cfg.Unrecognized {
+		t.Errorf("unrecognized: %q", u.Text())
+	}
+	if cfg.Hostname != "setrouter" {
+		t.Errorf("hostname = %q", cfg.Hostname)
+	}
+	if len(cfg.Interfaces) != 1 {
+		t.Fatalf("interfaces = %d", len(cfg.Interfaces))
+	}
+	ifc := cfg.Interfaces[0]
+	if ifc.Name != "ge-0/0/0.0" || !ifc.HasAddress || ifc.Subnet.String() != "10.0.12.0/24" {
+		t.Errorf("interface = %+v", ifc)
+	}
+	if ifc.ACLIn != "EDGE_IN" || ifc.Description != "uplink to core" {
+		t.Errorf("interface attrs = %+v", ifc)
+	}
+	acl := cfg.ACLs["EDGE_IN"]
+	if acl == nil || len(acl.Lines) != 2 {
+		t.Fatalf("EDGE_IN = %+v", acl)
+	}
+	if acl.Lines[0].Action != ir.Permit || len(acl.Lines[0].DstPorts) != 2 {
+		t.Errorf("web term = %+v", acl.Lines[0])
+	}
+	if !acl.Lines[0].Dst[0].Matches(netaddr.MustParseAddr("10.60.1.1")) {
+		t.Error("web term dst")
+	}
+	if len(cfg.StaticRoutes) != 1 {
+		t.Fatalf("static routes = %d", len(cfg.StaticRoutes))
+	}
+	sr := cfg.StaticRoutes[0]
+	if sr.Prefix.String() != "10.1.1.2/31" || sr.NextHop.String() != "10.2.2.2" || sr.AdminDistance != 7 {
+		t.Errorf("static = %+v", sr)
+	}
+	if cfg.BGP == nil || cfg.BGP.ASN != 65001 {
+		t.Fatalf("bgp = %+v", cfg.BGP)
+	}
+	n := cfg.BGP.Neighbors["10.0.12.1"]
+	if n == nil || n.RemoteAS != 65002 || len(n.ExportPolicies) != 1 || n.ExportPolicies[0] != "POL" {
+		t.Errorf("neighbor = %+v", n)
+	}
+	oi := cfg.OSPF.Interfaces["ge-0/0/0.0"]
+	if oi == nil || oi.Cost != 5 || oi.HelloInterval != 10 {
+		t.Errorf("ospf = %+v", oi)
+	}
+}
+
+func TestSetFormatDeleteLinesSkipped(t *testing.T) {
+	cfg, err := Parse("r.set", `set system host-name r1
+delete system host-name r2
+deactivate protocols bgp
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Hostname != "r1" {
+		t.Errorf("hostname = %q", cfg.Hostname)
+	}
+}
+
+func TestSetFormatErrors(t *testing.T) {
+	if _, err := Parse("t", "set\nbogus line without keyword\n"); err == nil {
+		t.Error("non-set line in set file should error")
+	}
+	if _, err := Parse("t", "set policy-options policy-statement\n"); err == nil {
+		t.Error("missing block argument should error")
+	}
+}

@@ -1,0 +1,225 @@
+package juniper
+
+import (
+	"fmt"
+	"strings"
+)
+
+// stmt is a node of the JunOS curly-brace syntax tree. A statement is
+// either a leaf ("words ... ;") or a block ("words ... { children }").
+// Bracketed lists are spliced into the word list, so
+// "export [ A B ];" has words {"export", "A", "B"}.
+type stmt struct {
+	words     []string
+	children  []*stmt
+	startLine int // 1-based
+	endLine   int
+}
+
+type token struct {
+	text string
+	line int
+	kind tokenKind
+}
+
+type tokenKind int
+
+const (
+	tokWord tokenKind = iota
+	tokLBrace
+	tokRBrace
+	tokSemi
+	tokLBracket
+	tokRBracket
+)
+
+// tokenize splits JunOS configuration text into tokens, handling quoted
+// strings, '#' line comments, and '/* */' block comments.
+func tokenize(text string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	for i < len(text) {
+		c := text[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '#':
+			for i < len(text) && text[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < len(text) && text[i+1] == '*':
+			i += 2
+			for i+1 < len(text) && !(text[i] == '*' && text[i+1] == '/') {
+				if text[i] == '\n' {
+					line++
+				}
+				i++
+			}
+			i += 2
+		case c == '{':
+			toks = append(toks, token{"{", line, tokLBrace})
+			i++
+		case c == '}':
+			toks = append(toks, token{"}", line, tokRBrace})
+			i++
+		case c == ';':
+			toks = append(toks, token{";", line, tokSemi})
+			i++
+		case c == '[':
+			toks = append(toks, token{"[", line, tokLBracket})
+			i++
+		case c == ']':
+			toks = append(toks, token{"]", line, tokRBracket})
+			i++
+		case c == '"':
+			j := i + 1
+			for j < len(text) && text[j] != '"' {
+				if text[j] == '\n' {
+					line++
+				}
+				j++
+			}
+			if j >= len(text) {
+				return nil, fmt.Errorf("juniper: unterminated string at line %d", line)
+			}
+			toks = append(toks, token{text[i+1 : j], line, tokWord})
+			i = j + 1
+		default:
+			j := i
+			for j < len(text) && !strings.ContainsRune(" \t\r\n{};[]#\"", rune(text[j])) {
+				j++
+			}
+			toks = append(toks, token{text[i:j], line, tokWord})
+			i = j
+		}
+	}
+	return toks, nil
+}
+
+// parseTree parses a token stream into a list of top-level statements.
+func parseTree(toks []token) ([]*stmt, error) {
+	p := &treeParser{toks: toks}
+	stmts, err := p.statements()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos < len(p.toks) {
+		return nil, fmt.Errorf("juniper: unexpected %q at line %d", p.toks[p.pos].text, p.toks[p.pos].line)
+	}
+	return stmts, nil
+}
+
+type treeParser struct {
+	toks []token
+	pos  int
+}
+
+func (p *treeParser) peek() (token, bool) {
+	if p.pos >= len(p.toks) {
+		return token{}, false
+	}
+	return p.toks[p.pos], true
+}
+
+// statements parses a sequence of statements until '}' or EOF.
+func (p *treeParser) statements() ([]*stmt, error) {
+	var out []*stmt
+	for {
+		t, ok := p.peek()
+		if !ok || t.kind == tokRBrace {
+			return out, nil
+		}
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+}
+
+// statement parses "words [bracket-lists] (; | { statements })".
+func (p *treeParser) statement() (*stmt, error) {
+	t, ok := p.peek()
+	if !ok {
+		return nil, fmt.Errorf("juniper: unexpected end of input")
+	}
+	if t.kind != tokWord {
+		return nil, fmt.Errorf("juniper: unexpected %q at line %d", t.text, t.line)
+	}
+	s := &stmt{startLine: t.line}
+	for {
+		t, ok := p.peek()
+		if !ok {
+			// Tolerate a missing trailing semicolon at EOF.
+			s.endLine = s.startLine
+			if len(s.words) > 0 {
+				return s, nil
+			}
+			return nil, fmt.Errorf("juniper: unexpected end of input")
+		}
+		switch t.kind {
+		case tokWord:
+			s.words = append(s.words, t.text)
+			p.pos++
+		case tokLBracket:
+			p.pos++
+			for {
+				t, ok := p.peek()
+				if !ok {
+					return nil, fmt.Errorf("juniper: unterminated [ list")
+				}
+				if t.kind == tokRBracket {
+					p.pos++
+					break
+				}
+				if t.kind != tokWord {
+					return nil, fmt.Errorf("juniper: unexpected %q in [ list at line %d", t.text, t.line)
+				}
+				s.words = append(s.words, t.text)
+				p.pos++
+			}
+		case tokSemi:
+			s.endLine = t.line
+			p.pos++
+			return s, nil
+		case tokLBrace:
+			p.pos++
+			children, err := p.statements()
+			if err != nil {
+				return nil, err
+			}
+			t2, ok := p.peek()
+			if !ok || t2.kind != tokRBrace {
+				return nil, fmt.Errorf("juniper: missing } for block at line %d", s.startLine)
+			}
+			p.pos++
+			s.children = children
+			s.endLine = t2.line
+			return s, nil
+		default:
+			return nil, fmt.Errorf("juniper: unexpected %q at line %d", t.text, t.line)
+		}
+	}
+}
+
+// find returns the first child whose first word is w, or nil.
+func (s *stmt) find(w string) *stmt {
+	for _, c := range s.children {
+		if len(c.words) > 0 && c.words[0] == w {
+			return c
+		}
+	}
+	return nil
+}
+
+// word returns word i or "".
+func (s *stmt) word(i int) string {
+	if i < len(s.words) {
+		return s.words[i]
+	}
+	return ""
+}

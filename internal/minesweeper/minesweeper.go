@@ -1,0 +1,369 @@
+// Package minesweeper implements the monolithic baseline Campion is
+// compared against in §2 of the paper: a Minesweeper-style equivalence
+// checker that models both components as one symbolic relation and
+// reports a single concrete counterexample at a time, with no header or
+// text localization. The iterative mode excludes each concrete model and
+// re-queries, reproducing the paper's observation that many
+// counterexamples are needed before every relevant prefix range of a
+// single underlying difference is witnessed (7 for Figure 1, 27 after
+// changing "le 32" to "le 31").
+package minesweeper
+
+import (
+	"sort"
+
+	"repro/internal/bdd"
+	"repro/internal/fib"
+	"repro/internal/headerloc"
+	"repro/internal/ir"
+	"repro/internal/netaddr"
+	"repro/internal/semdiff"
+	"repro/internal/symbolic"
+)
+
+// lcg is a small deterministic generator used to complete don't-care
+// variables of a model, mimicking an SMT solver's arbitrary choices.
+type lcg struct{ state uint64 }
+
+func (l *lcg) next() uint64 {
+	l.state = l.state*6364136223846793005 + 1442695040888963407
+	return l.state >> 33
+}
+
+// Counterexample is one concrete route advertisement treated differently
+// by the two route maps — the entirety of what the monolithic baseline
+// reports (compare the paper's Table 3).
+type Counterexample struct {
+	Route *ir.Route
+	// Result1 and Result2 are the two routers' concrete dispositions.
+	Result1, Result2 ir.PolicyResult
+}
+
+// RouteMapChecker checks behavioral equivalence of two route maps
+// monolithically.
+type RouteMapChecker struct {
+	Enc        *symbolic.RouteEncoding
+	cfg1, cfg2 *ir.Config
+	rm1, rm2   *ir.RouteMap
+
+	full    bdd.Node // the full difference relation
+	pending bdd.Node // full minus the blocked models
+	// candidates are boundary regions derived from the constants of the
+	// symbolic formula (prefix-range endpoints), emulating how an SMT
+	// solver assembles models from the constraint constants. They are
+	// consumed in a seeded pseudo-random order.
+	candidates []bdd.Node
+	rng        lcg
+}
+
+// NewRouteMapChecker builds the monolithic difference relation for the
+// pair of route maps.
+func NewRouteMapChecker(cfg1 *ir.Config, rm1 *ir.RouteMap, cfg2 *ir.Config, rm2 *ir.RouteMap) (*RouteMapChecker, error) {
+	enc := symbolic.NewRouteEncoding(cfg1, cfg2)
+	diffs, err := semdiff.DiffRouteMaps(enc, cfg1, rm1, cfg2, rm2)
+	if err != nil {
+		return nil, err
+	}
+	// Collapse the localized differences into one monolithic relation —
+	// the baseline has no notion of per-class structure.
+	full := bdd.Node(bdd.False)
+	for _, d := range diffs {
+		full = enc.F.Or(full, d.Inputs)
+	}
+	c := &RouteMapChecker{
+		Enc: enc, cfg1: cfg1, cfg2: cfg2, rm1: rm1, rm2: rm2,
+		full: full, pending: full, rng: lcg{state: seedFor(cfg1, cfg2)},
+	}
+	c.candidates = boundaryCandidates(enc, cfg1, cfg2, &c.rng)
+	return c, nil
+}
+
+// seedFor hashes the configurations' prefix-range constants so that — as
+// with a real solver — any edit to the formula perturbs the whole model
+// sequence (the fragility §2 demonstrates).
+func seedFor(cfgs ...*ir.Config) uint64 {
+	var ranges []string
+	for _, cfg := range cfgs {
+		for _, r := range headerloc.ConfigPrefixRanges(cfg) {
+			ranges = append(ranges, r.String())
+		}
+	}
+	sort.Strings(ranges)
+	h := uint64(1469598103934665603) // FNV offset basis
+	for _, s := range ranges {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= 1099511628211
+		}
+	}
+	return h ^ 0x5eed
+}
+
+// boundaryCandidates derives solver-style model seeds from the prefix
+// ranges mentioned in the two configurations: for each range, the
+// region's exact base prefix at its lower and upper length bounds.
+// The order is shuffled deterministically, emulating the unpredictable
+// model choices the paper observed.
+func boundaryCandidates(enc *symbolic.RouteEncoding, cfg1, cfg2 *ir.Config, rng *lcg) []bdd.Node {
+	var ranges []netaddr.PrefixRange
+	ranges = append(ranges, headerloc.ConfigPrefixRanges(cfg1)...)
+	ranges = append(ranges, headerloc.ConfigPrefixRanges(cfg2)...)
+	sort.Slice(ranges, func(i, j int) bool { return ranges[i].Compare(ranges[j]) < 0 })
+	var out []bdd.Node
+	seen := map[netaddr.Prefix]bool{}
+	for _, r := range ranges {
+		if r.IsEmpty() {
+			continue
+		}
+		for _, l := range []uint8{r.Lo, r.Hi, r.Lo + 1, r.Hi - 1, (r.Lo + r.Hi) / 2} {
+			if l > 32 || l < r.Prefix.Len {
+				continue
+			}
+			p := netaddr.NewPrefix(r.Prefix.Addr, l)
+			if seen[p] {
+				continue
+			}
+			seen[p] = true
+			out = append(out, enc.PrefixBDD(p))
+		}
+	}
+	// Deterministic shuffle.
+	for i := len(out) - 1; i > 0; i-- {
+		j := int(rng.next() % uint64(i+1))
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+// Equivalent reports whether the two route maps are behaviorally equal.
+func (c *RouteMapChecker) Equivalent() bool { return c.full == bdd.False }
+
+// Reset restores the excluded-model state so enumeration starts over.
+func (c *RouteMapChecker) Reset() {
+	c.pending = c.full
+	c.rng = lcg{state: seedFor(c.cfg1, c.cfg2)}
+	c.candidates = boundaryCandidates(c.Enc, c.cfg1, c.cfg2, &c.rng)
+}
+
+// NextCounterexample returns one more concrete differing route, blocking
+// the returned model from future queries (the "add a blocking clause and
+// re-solve" loop of the paper's modified Minesweeper). Models are drawn
+// from the boundary candidates while any remain satisfiable, then from
+// the canonical residue. It returns false when the difference space is
+// exhausted of enumerable models.
+func (c *RouteMapChecker) NextCounterexample() (*Counterexample, bool) {
+	var a bdd.Assignment
+	// A solver mixes boundary-derived models with arbitrary ones; draw
+	// from the shuffled boundary queue roughly every other query.
+	if c.rng.next()%3 == 0 {
+		for len(c.candidates) > 0 && a == nil {
+			cand := c.candidates[0]
+			c.candidates = c.candidates[1:]
+			a = c.Enc.F.AnySat(c.Enc.F.And(c.pending, cand))
+		}
+	}
+	if a == nil {
+		a = c.Enc.F.AnySat(c.pending)
+	}
+	if a == nil {
+		return nil, false
+	}
+	// Complete don't-cares pseudo-randomly (any completion of a
+	// satisfying partial assignment still satisfies the relation), then
+	// block the full concrete model.
+	total := make(bdd.Assignment, len(a))
+	copy(total, a)
+	for i, v := range total {
+		if v == -1 {
+			total[i] = int8(c.rng.next() & 1)
+		}
+	}
+	c.pending = c.Enc.F.Diff(c.pending, c.Enc.F.Cube(total))
+	route := c.Enc.RouteFromAssignment(total)
+	return &Counterexample{
+		Route:   route,
+		Result1: c.cfg1.EvalRouteMap(c.rm1, route),
+		Result2: c.cfg2.EvalRouteMap(c.rm2, route),
+	}, true
+}
+
+// CountUntilCovered enumerates counterexamples until every predicate in
+// targets has been witnessed by at least one concrete counterexample, up
+// to the iteration bound. It returns the number of counterexamples
+// consumed and whether coverage was reached — the measurement behind the
+// paper's "7 counterexamples / 27 counterexamples" fragility experiment.
+func (c *RouteMapChecker) CountUntilCovered(targets []func(*ir.Route) bool, max int) (int, bool) {
+	covered := make([]bool, len(targets))
+	remaining := len(targets)
+	for n := 1; n <= max; n++ {
+		cex, ok := c.NextCounterexample()
+		if !ok {
+			return n - 1, remaining == 0
+		}
+		for i, f := range targets {
+			if !covered[i] && f(cex.Route) {
+				covered[i] = true
+				remaining--
+			}
+		}
+		if remaining == 0 {
+			return n, true
+		}
+	}
+	return max, false
+}
+
+// StaticCounterexample is the monolithic static-route result (compare the
+// paper's Table 5): one destination address forwarded by exactly one of
+// the routers, with no indication of which static route or line is
+// responsible.
+type StaticCounterexample struct {
+	DstIP              netaddr.Addr
+	Forward1, Forward2 bool
+}
+
+// StaticForwardingCounterexample finds one destination address covered by
+// the static routes of exactly one configuration.
+func StaticForwardingCounterexample(c1, c2 *ir.Config) (*StaticCounterexample, bool) {
+	f := bdd.NewFactory(32)
+	cover := func(cfg *ir.Config) bdd.Node {
+		out := bdd.Node(bdd.False)
+		for _, r := range cfg.StaticRoutes {
+			cube := bdd.Node(bdd.True)
+			for i := 0; i < int(r.Prefix.Len); i++ {
+				cube = f.And(cube, f.Lit(i, r.Prefix.Addr.Bit(i)))
+			}
+			out = f.Or(out, cube)
+		}
+		return out
+	}
+	s1, s2 := cover(c1), cover(c2)
+	diff := f.Xor(s1, s2)
+	a := f.AnySat(diff)
+	if a == nil {
+		return nil, false
+	}
+	var addr uint32
+	for i := 0; i < 32; i++ {
+		addr <<= 1
+		if a[i] == 1 {
+			addr |= 1
+		}
+	}
+	dst := netaddr.Addr(addr)
+	return &StaticCounterexample{
+		DstIP:    dst,
+		Forward1: coversAddr(c1, dst),
+		Forward2: coversAddr(c2, dst),
+	}, true
+}
+
+func coversAddr(cfg *ir.Config, a netaddr.Addr) bool {
+	for _, r := range cfg.StaticRoutes {
+		if r.Prefix.Contains(a) {
+			return true
+		}
+	}
+	return false
+}
+
+// ACLChecker is the monolithic ACL equivalence baseline.
+type ACLChecker struct {
+	Enc        *symbolic.PacketEncoding
+	acl1, acl2 *ir.ACL
+	full       bdd.Node
+	pending    bdd.Node
+	rng        lcg
+}
+
+// NewACLChecker builds the monolithic packet difference relation.
+func NewACLChecker(acl1, acl2 *ir.ACL) *ACLChecker {
+	enc := symbolic.NewPacketEncoding()
+	diff := enc.F.Xor(enc.AcceptSet(acl1), enc.AcceptSet(acl2))
+	return &ACLChecker{Enc: enc, acl1: acl1, acl2: acl2, full: diff,
+		pending: diff, rng: lcg{state: 0x5eed}}
+}
+
+// Equivalent reports whether the ACLs accept the same packets.
+func (c *ACLChecker) Equivalent() bool { return c.full == bdd.False }
+
+// NextCounterexample returns one more concrete differing packet,
+// blocking it from future queries.
+func (c *ACLChecker) NextCounterexample() (ir.Packet, bool) {
+	a := c.Enc.F.AnySat(c.pending)
+	if a == nil {
+		return ir.Packet{}, false
+	}
+	total := make(bdd.Assignment, len(a))
+	copy(total, a)
+	for i, v := range total {
+		if v == -1 {
+			total[i] = int8(c.rng.next() & 1)
+		}
+	}
+	c.pending = c.Enc.F.Diff(c.pending, c.Enc.F.Cube(total))
+	return c.Enc.PacketFromAssignment(total), true
+}
+
+// RouterCounterexample is the whole-router result of the baseline
+// (the paper's Table 3): one received route advertisement, one concrete
+// packet, and which router would forward it — with no indication of the
+// responsible component or lines.
+type RouterCounterexample struct {
+	Advert             *ir.Route
+	DstIP              netaddr.Addr
+	Forward1, Forward2 bool
+	Proto1, Proto2     ir.Protocol
+}
+
+// FullRouterCounterexample checks whole-router forwarding equivalence the
+// monolithic way: the advertisements are run through each router's import
+// policy, the survivors are installed into a FIB together with the
+// router's static and connected routes, and destination addresses derived
+// from the advertised prefixes are probed until the two FIBs disagree.
+// Only the first disagreement is reported, like the baseline.
+func FullRouterCounterexample(cfg1, cfg2 *ir.Config, policy1, policy2 []string, adverts []*ir.Route) (*RouterCounterexample, bool) {
+	accept := func(cfg *ir.Config, chain []string) []*ir.Route {
+		var out []*ir.Route
+		for _, r := range adverts {
+			res := cfg.EvalPolicyChain(chain, r, ir.Permit)
+			if res.Action == ir.Permit {
+				out = append(out, res.Route)
+			}
+		}
+		return out
+	}
+	f1 := fib.Build(cfg1, accept(cfg1, policy1))
+	f2 := fib.Build(cfg2, accept(cfg2, policy2))
+
+	probeFor := func(p netaddr.Prefix) []netaddr.Addr {
+		base := p.Addr
+		return []netaddr.Addr{base, base + 1, base | netaddr.Addr(^uint32(netaddr.Mask(int(p.Len))))}
+	}
+	var probes []netaddr.Addr
+	for _, r := range adverts {
+		probes = append(probes, probeFor(r.Prefix)...)
+	}
+	for _, cfg := range []*ir.Config{cfg1, cfg2} {
+		for _, sr := range cfg.StaticRoutes {
+			probes = append(probes, probeFor(sr.Prefix)...)
+		}
+	}
+	for _, dst := range probes {
+		p1, ok1 := f1.Forwards(dst)
+		p2, ok2 := f2.Forwards(dst)
+		if ok1 != ok2 || (ok1 && p1 != p2) {
+			cex := &RouterCounterexample{
+				DstIP: dst, Forward1: ok1, Forward2: ok2, Proto1: p1, Proto2: p2,
+			}
+			for _, r := range adverts {
+				if r.Prefix.Contains(dst) {
+					cex.Advert = r
+					break
+				}
+			}
+			return cex, true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,236 @@
+package minesweeper
+
+import (
+	"testing"
+
+	"repro/internal/cisco"
+	"repro/internal/ir"
+	"repro/internal/juniper"
+	"repro/internal/netaddr"
+)
+
+const figure1a = `ip prefix-list NETS permit 10.9.0.0/16 le 32
+ip prefix-list NETS permit 10.100.0.0/16 le 32
+ip community-list standard COMM permit 10:10
+ip community-list standard COMM permit 10:11
+route-map POL deny 10
+ match ip address NETS
+route-map POL deny 20
+ match community COMM
+route-map POL permit 30
+ set local-preference 30
+`
+
+const figure1b = `policy-options {
+    prefix-list NETS {
+        10.9.0.0/16;
+        10.100.0.0/16;
+    }
+    community COMM members [ 10:10 10:11 ];
+    policy-statement POL {
+        term rule1 { from prefix-list NETS; then reject; }
+        term rule2 { from community COMM; then reject; }
+        term rule3 { then { local-preference 30; accept; } }
+    }
+}
+`
+
+func figure1Checker(t *testing.T) *RouteMapChecker {
+	t.Helper()
+	c, err := cisco.Parse("c.cfg", figure1a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := juniper.Parse("j.cfg", figure1b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := NewRouteMapChecker(c, c.RouteMaps["POL"], j, j.RouteMaps["POL"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ch
+}
+
+// TestSingleCounterexampleTable3 reproduces the shape of the paper's
+// Table 3: the baseline yields one concrete route treated differently,
+// with no localization.
+func TestSingleCounterexampleTable3(t *testing.T) {
+	ch := figure1Checker(t)
+	if ch.Equivalent() {
+		t.Fatal("Figure 1 maps are not equivalent")
+	}
+	cex, ok := ch.NextCounterexample()
+	if !ok {
+		t.Fatal("expected a counterexample")
+	}
+	// The concrete route must genuinely be treated differently.
+	if (cex.Result1.Action == ir.Permit) == (cex.Result2.Action == ir.Permit) &&
+		cex.Result1.Action == cex.Result2.Action {
+		// Both same action: if both permit, the transforms must differ —
+		// not possible here, so this is a failure.
+		t.Errorf("counterexample not differing: %v / %v on %v",
+			cex.Result1.Action, cex.Result2.Action, cex.Route)
+	}
+}
+
+func TestCounterexamplesAreDistinctAndReal(t *testing.T) {
+	ch := figure1Checker(t)
+	seen := map[string]bool{}
+	for i := 0; i < 50; i++ {
+		cex, ok := ch.NextCounterexample()
+		if !ok {
+			t.Fatalf("expected 50 counterexamples, got %d", i)
+		}
+		a1 := cex.Result1.Action == ir.Permit
+		a2 := cex.Result2.Action == ir.Permit
+		if a1 == a2 {
+			t.Fatalf("iteration %d: not a real difference: %v", i, cex.Route)
+		}
+		key := cex.Route.String() + "|" + cex.Route.NextHop.String() + "|" + cex.Route.Protocol.String()
+		seen[key] = true
+	}
+	// Concrete models are blocked one by one, so most must be distinct.
+	if len(seen) < 40 {
+		t.Errorf("only %d distinct rendered counterexamples out of 50", len(seen))
+	}
+}
+
+// TestFragilityExperiment reproduces the §2 observation: a single
+// localized difference (Difference 1) spans multiple prefix ranges, and
+// the model-by-model baseline needs several counterexamples before every
+// range is witnessed, while Campion reports the whole class at once.
+func TestFragilityExperiment(t *testing.T) {
+	ch := figure1Checker(t)
+	// Difference 1's relevant ranges: sub-prefixes of 10.9/16 and
+	// 10.100/16 with length > 16 (the exact /16s are excluded).
+	targets := []func(*ir.Route) bool{
+		func(r *ir.Route) bool {
+			return netaddr.MustParsePrefixRange("10.9.0.0/16 : 17-32").ContainsPrefix(r.Prefix)
+		},
+		func(r *ir.Route) bool {
+			return netaddr.MustParsePrefixRange("10.100.0.0/16 : 17-32").ContainsPrefix(r.Prefix)
+		},
+	}
+	n, covered := ch.CountUntilCovered(targets, 500)
+	if !covered {
+		t.Fatalf("coverage not reached in %d counterexamples", n)
+	}
+	if n < 2 {
+		t.Errorf("coverage in %d counterexamples; expected the baseline to need several", n)
+	}
+	t.Logf("baseline needed %d counterexamples to cover Difference 1's ranges", n)
+
+	// The le 32 → le 31 variant makes coverage strictly harder or equal.
+	ch.Reset()
+	n2, _ := ch.CountUntilCovered(targets, 500)
+	if n2 != n {
+		t.Errorf("reset should reproduce the deterministic count: %d vs %d", n, n2)
+	}
+}
+
+func TestEquivalentMapsNoCounterexample(t *testing.T) {
+	c1, _ := cisco.Parse("a.cfg", figure1a)
+	c2, _ := cisco.Parse("b.cfg", figure1a)
+	ch, err := NewRouteMapChecker(c1, c1.RouteMaps["POL"], c2, c2.RouteMaps["POL"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ch.Equivalent() {
+		t.Fatal("identical maps should be equivalent")
+	}
+	if _, ok := ch.NextCounterexample(); ok {
+		t.Error("no counterexample expected")
+	}
+}
+
+// TestStaticForwardingTable5 reproduces the shape of the paper's Table 5:
+// the baseline reports a destination address forwarded by one router
+// only, without identifying the static route.
+func TestStaticForwardingTable5(t *testing.T) {
+	c, _ := cisco.Parse("c.cfg", "ip route 10.1.1.2 255.255.255.254 10.2.2.2\n")
+	j, _ := juniper.Parse("j.cfg", "routing-options { static { } }\n")
+	cex, ok := StaticForwardingCounterexample(c, j)
+	if !ok {
+		t.Fatal("expected a counterexample")
+	}
+	if !cex.Forward1 || cex.Forward2 {
+		t.Errorf("cex = %+v, want forwarded by router 1 only", cex)
+	}
+	if cex.DstIP != netaddr.MustParseAddr("10.1.1.2") && cex.DstIP != netaddr.MustParseAddr("10.1.1.3") {
+		t.Errorf("dst = %v, want inside 10.1.1.2/31", cex.DstIP)
+	}
+	// Equal static routes: no counterexample.
+	c2, _ := cisco.Parse("c2.cfg", "ip route 10.1.1.2 255.255.255.254 10.9.9.9\n")
+	if _, ok := StaticForwardingCounterexample(c, c2); ok {
+		t.Error("same prefixes should have no forwarding counterexample (next hops differ but coverage is equal)")
+	}
+}
+
+func TestACLChecker(t *testing.T) {
+	permit80 := ir.NewACLLine(ir.Permit)
+	permit80.Protocol = ir.ProtoNumber(ir.ProtoNumTCP)
+	permit80.DstPorts = []netaddr.PortRange{{Lo: 80, Hi: 80}}
+	acl1 := &ir.ACL{Name: "A", Lines: []*ir.ACLLine{permit80}}
+
+	permitBoth := ir.NewACLLine(ir.Permit)
+	permitBoth.Protocol = ir.ProtoNumber(ir.ProtoNumTCP)
+	permitBoth.DstPorts = []netaddr.PortRange{{Lo: 80, Hi: 80}, {Lo: 443, Hi: 443}}
+	acl2 := &ir.ACL{Name: "A", Lines: []*ir.ACLLine{permitBoth}}
+
+	ch := NewACLChecker(acl1, acl2)
+	if ch.Equivalent() {
+		t.Fatal("ACLs differ")
+	}
+	pkt, ok := ch.NextCounterexample()
+	if !ok {
+		t.Fatal("expected packet")
+	}
+	a1, _ := acl1.Evaluate(pkt)
+	a2, _ := acl2.Evaluate(pkt)
+	if a1 == a2 {
+		t.Errorf("packet %+v not differing", pkt)
+	}
+	if pkt.DstPort != 443 || pkt.Protocol != ir.ProtoNumTCP {
+		t.Errorf("differing packet should be tcp/443: %+v", pkt)
+	}
+	same := NewACLChecker(acl1, acl1)
+	if !same.Equivalent() {
+		t.Error("identical ACLs equivalent")
+	}
+	if _, ok := same.NextCounterexample(); ok {
+		t.Error("no counterexample for identical ACLs")
+	}
+}
+
+// TestFullRouterTable3 reproduces the whole-router shape of the paper's
+// Table 3: the Juniper router forwards a packet for 10.9.0.0 (it accepted
+// the 10.9.0.0/17 advertisement through the buggy policy) while the Cisco
+// router does not.
+func TestFullRouterTable3(t *testing.T) {
+	c, _ := cisco.Parse("c.cfg", figure1a)
+	j, _ := juniper.Parse("j.cfg", figure1b)
+	advert := ir.NewRoute(netaddr.MustParsePrefix("10.9.0.0/17"))
+	advert.NextHop = netaddr.MustParseAddr("198.18.0.1")
+	cex, ok := FullRouterCounterexample(c, j, []string{"POL"}, []string{"POL"}, []*ir.Route{advert})
+	if !ok {
+		t.Fatal("expected a forwarding counterexample")
+	}
+	if cex.Forward1 || !cex.Forward2 {
+		t.Errorf("cex = %+v: juniper should forward, cisco should not (Table 3)", cex)
+	}
+	if cex.Proto2 != ir.ProtoBGP {
+		t.Errorf("juniper forwards via %v, want bgp", cex.Proto2)
+	}
+	if cex.Advert == nil || cex.Advert.Prefix.String() != "10.9.0.0/17" {
+		t.Errorf("advert = %+v", cex.Advert)
+	}
+	if !advert.Prefix.Contains(cex.DstIP) {
+		t.Errorf("dst %v should be inside the advertised prefix", cex.DstIP)
+	}
+	// Equivalent routers: no counterexample.
+	c2, _ := cisco.Parse("c2.cfg", figure1a)
+	if _, ok := FullRouterCounterexample(c, c2, []string{"POL"}, []string{"POL"}, []*ir.Route{advert}); ok {
+		t.Error("identical routers should have no forwarding counterexample")
+	}
+}

@@ -1,0 +1,257 @@
+// Package policygen generates random routing-policy pairs rendered into
+// both the Cisco IOS and Juniper JunOS dialects, equivalent by
+// construction except for a configurable number of injected differences.
+// It is the route-map analogue of internal/aclgen: the workload for
+// scaling SemanticDiff on policies and for cross-vendor round-trip
+// property tests (parse(renderCisco(spec)) ≡ parse(renderJuniper(spec))).
+package policygen
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/netaddr"
+)
+
+// Params controls generation; the same Seed yields the same pair.
+type Params struct {
+	Seed        uint64
+	Clauses     int
+	Communities int // size of the community vocabulary
+	Differences int // differences injected into the Juniper copy
+}
+
+// Pair is a generated policy pair in both vendor syntaxes.
+type Pair struct {
+	PolicyName  string
+	CiscoText   string
+	JuniperText string
+	Injected    []string
+}
+
+type rng struct{ state uint64 }
+
+func (r *rng) next() uint64 {
+	r.state = r.state*6364136223846793005 + 1442695040888963407
+	return r.state >> 33
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// clause is the vendor-neutral policy clause spec.
+type clause struct {
+	deny    bool
+	ranges  []netaddr.PrefixRange // OR; empty = no prefix condition
+	comms   []string              // OR of community literals; empty = none
+	lp      int64                 // 0 = unset
+	med     int64                 // 0 = unset
+	addComm string                // "" = none
+}
+
+// Generate builds a deterministic pair.
+func Generate(p Params) *Pair {
+	if p.Clauses <= 0 {
+		p.Clauses = 20
+	}
+	if p.Communities <= 0 {
+		p.Communities = 8
+	}
+	r := &rng{state: p.Seed ^ 0xabcdef12345}
+
+	vocab := make([]string, p.Communities)
+	for i := range vocab {
+		vocab[i] = fmt.Sprintf("65000:%d", 100+i)
+	}
+
+	mkRange := func(i int) netaddr.PrefixRange {
+		base := netaddr.NewPrefix(netaddr.Addr(uint32(10)<<24|uint32(i&0x3fff)<<10), uint8(16+r.intn(7)))
+		lo := base.Len + uint8(r.intn(3))
+		hi := lo + uint8(r.intn(int(32-lo)+1))
+		return netaddr.PrefixRange{Prefix: base, Lo: lo, Hi: hi}
+	}
+
+	clauses := make([]clause, p.Clauses)
+	for i := range clauses {
+		cl := clause{deny: r.intn(4) == 0}
+		nr := 1 + r.intn(3)
+		for k := 0; k < nr; k++ {
+			cl.ranges = append(cl.ranges, mkRange(i*4+k))
+		}
+		if r.intn(3) == 0 {
+			cl.comms = append(cl.comms, vocab[r.intn(len(vocab))])
+			if r.intn(2) == 0 {
+				cl.comms = append(cl.comms, vocab[r.intn(len(vocab))])
+			}
+		}
+		if !cl.deny {
+			switch r.intn(4) {
+			case 0:
+				cl.lp = int64(50 + r.intn(400))
+			case 1:
+				cl.med = int64(1 + r.intn(100))
+			case 2:
+				cl.addComm = vocab[r.intn(len(vocab))]
+			}
+		}
+		clauses[i] = cl
+	}
+
+	// Copy for the Juniper side, then inject differences.
+	jclauses := append([]clause{}, clauses...)
+	var injected []string
+	for d := 0; d < p.Differences && len(jclauses) > 0; d++ {
+		i := r.intn(len(jclauses))
+		cl := jclauses[i]
+		cl.ranges = append([]netaddr.PrefixRange{}, cl.ranges...)
+		cl.comms = append([]string{}, cl.comms...)
+		switch r.intn(4) {
+		case 0:
+			cl.deny = !cl.deny
+			injected = append(injected, fmt.Sprintf("clause %d: flipped action", i))
+		case 1:
+			if cl.lp != 0 {
+				cl.lp += 10
+				injected = append(injected, fmt.Sprintf("clause %d: local-pref +10", i))
+			} else {
+				cl.lp = 777
+				injected = append(injected, fmt.Sprintf("clause %d: local-pref set", i))
+			}
+		case 2:
+			rg := &cl.ranges[r.intn(len(cl.ranges))]
+			if rg.Hi < 32 {
+				rg.Hi++
+			} else if rg.Lo > rg.Prefix.Len {
+				rg.Lo--
+			} else {
+				rg.Hi--
+			}
+			injected = append(injected, fmt.Sprintf("clause %d: range bound changed", i))
+		default:
+			cl.comms = append(cl.comms, "65000:999")
+			injected = append(injected, fmt.Sprintf("clause %d: extra community alternative", i))
+		}
+		jclauses[i] = cl
+	}
+
+	name := fmt.Sprintf("GENPOL_%d", p.Seed)
+	return &Pair{
+		PolicyName:  name,
+		CiscoText:   renderCisco(name, clauses),
+		JuniperText: renderJuniper(name, jclauses),
+		Injected:    injected,
+	}
+}
+
+// renderCisco emits prefix-lists, community-lists, and the route-map.
+func renderCisco(name string, clauses []clause) string {
+	var b strings.Builder
+	b.WriteString("hostname genpol-cisco\n")
+	for i, cl := range clauses {
+		for _, rg := range cl.ranges {
+			fmt.Fprintf(&b, "ip prefix-list PL%d permit %s", i, rg.Prefix)
+			if rg.Lo != rg.Prefix.Len || rg.Hi != rg.Prefix.Len {
+				if rg.Lo != rg.Prefix.Len {
+					fmt.Fprintf(&b, " ge %d", rg.Lo)
+				}
+				fmt.Fprintf(&b, " le %d", rg.Hi)
+			}
+			b.WriteString("\n")
+		}
+		// One standard community-list per clause with OR semantics
+		// (one literal per line).
+		for _, c := range cl.comms {
+			fmt.Fprintf(&b, "ip community-list standard CL%d permit %s\n", i, c)
+		}
+	}
+	b.WriteString("!\n")
+	for i, cl := range clauses {
+		action := "permit"
+		if cl.deny {
+			action = "deny"
+		}
+		fmt.Fprintf(&b, "route-map %s %s %d\n", name, action, (i+1)*10)
+		if len(cl.ranges) > 0 {
+			fmt.Fprintf(&b, " match ip address prefix-list PL%d\n", i)
+		}
+		if len(cl.comms) > 0 {
+			fmt.Fprintf(&b, " match community CL%d\n", i)
+		}
+		if !cl.deny {
+			if cl.lp != 0 {
+				fmt.Fprintf(&b, " set local-preference %d\n", cl.lp)
+			}
+			if cl.med != 0 {
+				fmt.Fprintf(&b, " set metric %d\n", cl.med)
+			}
+			if cl.addComm != "" {
+				fmt.Fprintf(&b, " set community %s additive\n", cl.addComm)
+			}
+		}
+	}
+	return b.String()
+}
+
+// renderJuniper emits communities and the policy-statement using
+// route-filter ranges (prefix-length-range expresses the ge/le bounds)
+// and an explicit final reject matching IOS's implicit deny.
+func renderJuniper(name string, clauses []clause) string {
+	var b strings.Builder
+	b.WriteString("system { host-name genpol-juniper; }\npolicy-options {\n")
+	commName := func(i, k int) string { return fmt.Sprintf("T%d_%d", i, k) }
+	for i, cl := range clauses {
+		for k, c := range cl.comms {
+			fmt.Fprintf(&b, "    community %s members %s;\n", commName(i, k), c)
+		}
+	}
+	fmt.Fprintf(&b, "    policy-statement %s {\n", name)
+	for i, cl := range clauses {
+		fmt.Fprintf(&b, "        term t%d {\n", i)
+		if len(cl.ranges) > 0 || len(cl.comms) > 0 {
+			b.WriteString("            from {\n")
+			for _, rg := range cl.ranges {
+				fmt.Fprintf(&b, "                route-filter %s prefix-length-range /%d-/%d;\n",
+					rg.Prefix, rg.Lo, rg.Hi)
+			}
+			if len(cl.comms) > 0 {
+				names := make([]string, len(cl.comms))
+				for k := range cl.comms {
+					names[k] = commName(i, k)
+				}
+				fmt.Fprintf(&b, "                community [ %s ];\n", strings.Join(names, " "))
+			}
+			b.WriteString("            }\n")
+		}
+		if cl.deny {
+			b.WriteString("            then reject;\n")
+		} else {
+			b.WriteString("            then {\n")
+			if cl.lp != 0 {
+				fmt.Fprintf(&b, "                local-preference %d;\n", cl.lp)
+			}
+			if cl.med != 0 {
+				fmt.Fprintf(&b, "                metric %d;\n", cl.med)
+			}
+			if cl.addComm != "" {
+				fmt.Fprintf(&b, "                community add ADD%d;\n", i)
+			}
+			b.WriteString("                accept;\n")
+			b.WriteString("            }\n")
+		}
+		b.WriteString("        }\n")
+	}
+	b.WriteString("        term final { then reject; }\n")
+	b.WriteString("    }\n}\n")
+	// Emit the add-communities after use sites are known.
+	var adds strings.Builder
+	for i, cl := range clauses {
+		if !cl.deny && cl.addComm != "" {
+			fmt.Fprintf(&adds, "    community ADD%d members %s;\n", i, cl.addComm)
+		}
+	}
+	out := b.String()
+	if adds.Len() > 0 {
+		out = strings.Replace(out, "policy-options {\n",
+			"policy-options {\n"+adds.String(), 1)
+	}
+	return out
+}

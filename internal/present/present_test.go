@@ -1,0 +1,269 @@
+package present
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/cisco"
+	"repro/internal/core"
+	"repro/internal/juniper"
+)
+
+const ciscoSide = `hostname cisco_router
+ip prefix-list NETS permit 10.9.0.0/16 le 32
+ip prefix-list NETS permit 10.100.0.0/16 le 32
+ip community-list standard COMM permit 10:10
+ip community-list standard COMM permit 10:11
+route-map POL deny 10
+ match ip address NETS
+route-map POL deny 20
+ match community COMM
+route-map POL permit 30
+ set local-preference 30
+ip route 10.1.1.2 255.255.255.254 10.2.2.2
+router bgp 65001
+ neighbor 10.0.12.2 remote-as 65002
+ neighbor 10.0.12.2 route-map POL out
+`
+
+const juniperSide = `system { host-name juniper_router; }
+policy-options {
+    prefix-list NETS {
+        10.9.0.0/16;
+        10.100.0.0/16;
+    }
+    community COMM members [ 10:10 10:11 ];
+    policy-statement POL {
+        term rule1 { from prefix-list NETS; then reject; }
+        term rule2 { from community COMM; then reject; }
+        term rule3 { then { local-preference 30; accept; } }
+    }
+}
+routing-options { autonomous-system 65001; }
+protocols {
+    bgp {
+        group peers {
+            type external;
+            peer-as 65002;
+            neighbor 10.0.12.2 { export POL; }
+        }
+    }
+}
+`
+
+func report(t *testing.T) *core.Report {
+	t.Helper()
+	c, err := cisco.Parse("cisco.cfg", ciscoSide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := juniper.Parse("juniper.cfg", juniperSide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := core.Diff(c, j, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestFormatTable2Content checks that the rendered report carries the
+// content of the paper's Table 2: included/excluded prefixes, the policy
+// names, the actions, and the original text of both sides.
+func TestFormatTable2Content(t *testing.T) {
+	rep := report(t)
+	var buf bytes.Buffer
+	if err := Format(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"cisco_router",
+		"juniper_router",
+		"10.9.0.0/16 : 16-32",
+		"10.9.0.0/16 : 16-16",
+		"10.100.0.0/16 : 16-32",
+		"0.0.0.0/0 : 0-32",
+		"Included Prefixes",
+		"Excluded Prefixes",
+		"Community",
+		"REJECT",
+		"SET LOCAL PREF 30",
+		"route-map POL deny 10",
+		"match ip address NETS",
+		"rule3",
+		"10.1.1.2/31", // Table 4 static route
+		"next-hop 10.2.2.2",
+		"None",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted output missing %q", want)
+		}
+	}
+}
+
+func TestFormatNoDifferences(t *testing.T) {
+	c1, _ := cisco.Parse("a.cfg", ciscoSide)
+	c2, _ := cisco.Parse("b.cfg", ciscoSide)
+	rep, _ := core.Diff(c1, c2, core.Options{})
+	var buf bytes.Buffer
+	if err := Format(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "No differences found") {
+		t.Errorf("output = %q", buf.String())
+	}
+}
+
+func TestToJSON(t *testing.T) {
+	rep := report(t)
+	data, err := ToJSON(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed map[string]interface{}
+	if err := json.Unmarshal(data, &parsed); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if parsed["router1"] != "cisco_router" || parsed["router2"] != "juniper_router" {
+		t.Errorf("routers = %v %v", parsed["router1"], parsed["router2"])
+	}
+	rmd, ok := parsed["routeMapDiffs"].([]interface{})
+	if !ok || len(rmd) != 2 {
+		t.Fatalf("routeMapDiffs = %v", parsed["routeMapDiffs"])
+	}
+	first := rmd[0].(map[string]interface{})
+	if first["policy1"] != "POL" || first["action1"] != "REJECT" {
+		t.Errorf("first diff = %v", first)
+	}
+	if first["exact"] != true {
+		t.Error("localization should be exact")
+	}
+	if _, ok := parsed["structuralDiffs"]; !ok {
+		t.Error("structural diffs missing")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	rep := report(t)
+	var buf bytes.Buffer
+	Summary(&buf, rep)
+	out := buf.String()
+	if !strings.Contains(out, "route-policy (bgp-export)") || !strings.Contains(out, "2") {
+		t.Errorf("summary = %q", out)
+	}
+	if !strings.Contains(out, "static-route") {
+		t.Errorf("summary missing static-route: %q", out)
+	}
+}
+
+func TestClipAndTitle(t *testing.T) {
+	if clip("short", 10) != "short" {
+		t.Error("clip short")
+	}
+	if got := clip("aaaaaaaaaaaaaaaa", 5); len(got) > 7 { // ellipsis is multibyte
+		t.Errorf("clip long = %q", got)
+	}
+	if titleCase("presence") != "Presence" || titleCase("") != "" {
+		t.Error("titleCase")
+	}
+}
+
+const gwCisco = `hostname gw-cisco
+ip access-list extended VM_FILTER_1
+ 2299 deny ipv4 9.140.0.0 0.0.1.255 any
+ 2300 permit tcp any 10.60.0.0 0.0.255.255 eq 80 443
+`
+
+const gwJuniper = `system { host-name gw-juniper; }
+firewall {
+    family inet {
+        filter VM_FILTER_1 {
+            term web {
+                from {
+                    protocol tcp;
+                    destination-address { 10.60.0.0/16; }
+                    destination-port [ 80 443 ];
+                }
+                then accept;
+            }
+            term final { then discard; }
+        }
+    }
+}
+`
+
+func TestFormatACLDiffsAndJSON(t *testing.T) {
+	c, err := cisco.Parse("c.cfg", gwCisco)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := juniper.Parse("j.cfg", gwJuniper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := core.Diff(c, j, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.ACLDiffs) == 0 {
+		t.Fatal("expected ACL diffs")
+	}
+	var buf bytes.Buffer
+	if err := Format(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"ACL VM_FILTER_1", "Src Packets", "9.140.0.0", "2299 deny ipv4"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	data, err := ToJSON(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed map[string]interface{}
+	if err := json.Unmarshal(data, &parsed); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := parsed["aclDiffs"]; !ok {
+		t.Error("JSON missing aclDiffs")
+	}
+}
+
+func TestFormatExhaustiveCommunitiesAndUnmatchedACLs(t *testing.T) {
+	c, _ := cisco.Parse("c.cfg", ciscoSide+`
+ip access-list extended ONLY_C
+ permit ip any any
+`)
+	j, _ := juniper.Parse("j.cfg", juniperSide)
+	rep, err := core.Diff(c, j, core.Options{ExhaustiveCommunities: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Format(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Communities (all)") {
+		t.Error("exhaustive community row missing")
+	}
+	if !strings.Contains(out, "ACL ONLY_C present only on") {
+		t.Error("unmatched ACL section missing")
+	}
+	data, err := ToJSON(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "communityTerms") {
+		t.Error("JSON missing communityTerms")
+	}
+	if !strings.Contains(string(data), "aclsOnlyOnRouter1") {
+		t.Error("JSON missing unmatched ACLs")
+	}
+}

@@ -1,0 +1,151 @@
+// Package semdiff implements Campion's SemanticDiff algorithm (§3.1):
+// each of a pair of components (route maps or ACLs) is partitioned into
+// path equivalence classes, and every intersecting pair of classes with
+// differing actions is reported as a behavioral difference
+// (i, a₁, a₂, t₁, t₂) — the impacted input set, the two actions, and the
+// two text locations.
+package semdiff
+
+import (
+	"repro/internal/bdd"
+	"repro/internal/ir"
+	"repro/internal/symbolic"
+)
+
+// RouteMapDiff is one behavioral difference between two route maps.
+type RouteMapDiff struct {
+	// Inputs is the set of route advertisements treated differently
+	// (λ₁ ∩ λ₂ in the paper), as a BDD over the shared route encoding.
+	Inputs bdd.Node
+	// Path1 and Path2 are the equivalence classes involved; their Accept,
+	// Transform, and Terminal fields carry the actions and text.
+	Path1, Path2 symbolic.RoutePath
+}
+
+// pathActionsDiffer reports whether two route-map classes act differently:
+// one accepts and the other rejects, or both accept with different
+// attribute transformations.
+func pathActionsDiffer(p1, p2 symbolic.RoutePath) bool {
+	if p1.Accept != p2.Accept {
+		return true
+	}
+	if !p1.Accept {
+		return false
+	}
+	return !p1.Transform.Equal(p2.Transform)
+}
+
+// DiffRouteMaps reports every behavioral difference between two route
+// maps under their respective configurations. The two configurations must
+// share the given encoding (constructed over both).
+func DiffRouteMaps(enc *symbolic.RouteEncoding, cfg1 *ir.Config, rm1 *ir.RouteMap, cfg2 *ir.Config, rm2 *ir.RouteMap) ([]RouteMapDiff, error) {
+	paths1, err := enc.EnumeratePaths(cfg1, rm1)
+	if err != nil {
+		return nil, err
+	}
+	paths2, err := enc.EnumeratePaths(cfg2, rm2)
+	if err != nil {
+		return nil, err
+	}
+	var diffs []RouteMapDiff
+	for _, p1 := range paths1 {
+		for _, p2 := range paths2 {
+			if !pathActionsDiffer(p1, p2) {
+				continue
+			}
+			inter := enc.F.And(p1.Guard, p2.Guard)
+			if inter == bdd.False {
+				continue
+			}
+			diffs = append(diffs, RouteMapDiff{Inputs: inter, Path1: p1, Path2: p2})
+		}
+	}
+	return diffs, nil
+}
+
+// EquivalentRouteMaps reports whether the two route maps are behaviorally
+// identical (no differences).
+func EquivalentRouteMaps(enc *symbolic.RouteEncoding, cfg1 *ir.Config, rm1 *ir.RouteMap, cfg2 *ir.Config, rm2 *ir.RouteMap) (bool, error) {
+	d, err := DiffRouteMaps(enc, cfg1, rm1, cfg2, rm2)
+	return len(d) == 0, err
+}
+
+// ACLDiff is one behavioral difference between two ACLs.
+type ACLDiff struct {
+	Inputs       bdd.Node
+	Path1, Path2 symbolic.ACLPath
+}
+
+// DiffACLs reports every behavioral difference between two ACLs. Because
+// ACL actions are binary, the space of differing packets is exactly
+// Accept₁ ⊕ Accept₂; the pairwise class product is pruned to the classes
+// that intersect it, keeping the check near-linear for large, mostly
+// equal ACLs (§5.4 scalability).
+func DiffACLs(enc *symbolic.PacketEncoding, acl1, acl2 *ir.ACL) []ACLDiff {
+	diffSet := enc.F.Xor(enc.AcceptSet(acl1), enc.AcceptSet(acl2))
+	if diffSet == bdd.False {
+		return nil
+	}
+	paths1 := enc.EnumerateACLPaths(acl1)
+	paths2 := enc.EnumerateACLPaths(acl2)
+
+	// Restrict the second component's classes to the differing space once.
+	var hot2 []symbolic.ACLPath
+	for _, p2 := range paths2 {
+		g := enc.F.And(p2.Guard, diffSet)
+		if g == bdd.False {
+			continue
+		}
+		hot2 = append(hot2, symbolic.ACLPath{Guard: g, Accept: p2.Accept, Line: p2.Line})
+	}
+
+	var diffs []ACLDiff
+	for _, p1 := range paths1 {
+		d1 := enc.F.And(p1.Guard, diffSet)
+		if d1 == bdd.False {
+			continue
+		}
+		for i := range hot2 {
+			p2 := hot2[i]
+			inter := enc.F.And(d1, p2.Guard)
+			if inter == bdd.False {
+				continue
+			}
+			// Within diffSet, intersecting classes necessarily act
+			// differently; record with the original (unrestricted)
+			// class actions and lines.
+			diffs = append(diffs, ACLDiff{Inputs: inter, Path1: p1, Path2: p2})
+			d1 = enc.F.Diff(d1, inter)
+			if d1 == bdd.False {
+				break
+			}
+		}
+	}
+	return diffs
+}
+
+// DiffACLsNaive is the unpruned quadratic product, kept as the ablation
+// baseline for the pruning optimization (see DESIGN.md).
+func DiffACLsNaive(enc *symbolic.PacketEncoding, acl1, acl2 *ir.ACL) []ACLDiff {
+	paths1 := enc.EnumerateACLPaths(acl1)
+	paths2 := enc.EnumerateACLPaths(acl2)
+	var diffs []ACLDiff
+	for _, p1 := range paths1 {
+		for _, p2 := range paths2 {
+			if p1.Accept == p2.Accept {
+				continue
+			}
+			inter := enc.F.And(p1.Guard, p2.Guard)
+			if inter == bdd.False {
+				continue
+			}
+			diffs = append(diffs, ACLDiff{Inputs: inter, Path1: p1, Path2: p2})
+		}
+	}
+	return diffs
+}
+
+// EquivalentACLs reports whether two ACLs accept exactly the same packets.
+func EquivalentACLs(enc *symbolic.PacketEncoding, acl1, acl2 *ir.ACL) bool {
+	return enc.F.Xor(enc.AcceptSet(acl1), enc.AcceptSet(acl2)) == bdd.False
+}

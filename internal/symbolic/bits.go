@@ -1,0 +1,120 @@
+// Package symbolic compiles IR configuration components (ACLs and route
+// maps) into BDD-backed symbolic form: an encoding of packet headers and
+// route advertisements over boolean variables, and the enumeration of a
+// component's execution paths into equivalence classes (guard BDD, action,
+// text), which is the input representation for Campion's SemanticDiff
+// (§3.1 of the paper).
+package symbolic
+
+import (
+	"repro/internal/bdd"
+)
+
+// bitVec is a fixed-width big-endian field of BDD variables: bit 0 is the
+// most significant.
+type bitVec struct {
+	f     *bdd.Factory
+	first int // variable index of the MSB
+	width int
+}
+
+// eqConst returns the BDD for "field == value".
+func (v bitVec) eqConst(value uint64) bdd.Node {
+	n := bdd.True
+	for i := v.width - 1; i >= 0; i-- {
+		bit := value&(1<<uint(v.width-1-i)) != 0
+		n = v.f.And(v.f.Lit(v.first+i, bit), n)
+	}
+	return n
+}
+
+// geqConst returns the BDD for "field >= value".
+func (v bitVec) geqConst(value uint64) bdd.Node {
+	if value == 0 {
+		return bdd.True
+	}
+	// Build from LSB to MSB: at each bit, if the constant bit is 1 the
+	// field bit must be 1 and the rest must be >=; if 0, a 1 here makes
+	// the field strictly greater regardless of lower bits.
+	n := bdd.True
+	for i := v.width - 1; i >= 0; i-- {
+		bit := value&(1<<uint(v.width-1-i)) != 0
+		x := v.f.Var(v.first + i)
+		if bit {
+			n = v.f.And(x, n)
+		} else {
+			n = v.f.Or(x, n)
+		}
+	}
+	return n
+}
+
+// leqConst returns the BDD for "field <= value".
+func (v bitVec) leqConst(value uint64) bdd.Node {
+	n := bdd.True
+	for i := v.width - 1; i >= 0; i-- {
+		bit := value&(1<<uint(v.width-1-i)) != 0
+		x := v.f.Var(v.first + i)
+		if bit {
+			n = v.f.Or(v.f.Not(x), n)
+		} else {
+			n = v.f.And(v.f.Not(x), n)
+		}
+	}
+	return n
+}
+
+// rangeConst returns the BDD for "lo <= field <= hi".
+func (v bitVec) rangeConst(lo, hi uint64) bdd.Node {
+	if lo > hi {
+		return bdd.False
+	}
+	return v.f.And(v.geqConst(lo), v.leqConst(hi))
+}
+
+// prefixMatch returns the BDD constraining the top plen bits to match the
+// corresponding bits of value.
+func (v bitVec) prefixMatch(value uint64, plen int) bdd.Node {
+	n := bdd.True
+	for i := plen - 1; i >= 0; i-- {
+		bit := value&(1<<uint(v.width-1-i)) != 0
+		n = v.f.And(v.f.Lit(v.first+i, bit), n)
+	}
+	return n
+}
+
+// maskedMatch returns the BDD constraining field bits where care is set to
+// equal the corresponding bits of value (wildcard matching).
+func (v bitVec) maskedMatch(value, care uint64) bdd.Node {
+	n := bdd.True
+	for i := v.width - 1; i >= 0; i-- {
+		m := uint64(1) << uint(v.width-1-i)
+		if care&m == 0 {
+			continue
+		}
+		n = v.f.And(v.f.Lit(v.first+i, value&m != 0), n)
+	}
+	return n
+}
+
+// valueOf extracts the field's value from an assignment; don't-care bits
+// read as 0.
+func (v bitVec) valueOf(a bdd.Assignment) uint64 {
+	var out uint64
+	for i := 0; i < v.width; i++ {
+		out <<= 1
+		if a[v.first+i] == 1 {
+			out |= 1
+		}
+	}
+	return out
+}
+
+// vars returns the variable indices of the field.
+func (v bitVec) vars() []int {
+	out := make([]int, v.width)
+	for i := range out {
+		out[i] = v.first + i
+	}
+	return out
+}

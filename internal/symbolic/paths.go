@@ -1,0 +1,146 @@
+package symbolic
+
+import (
+	"fmt"
+
+	"repro/internal/bdd"
+	"repro/internal/ir"
+)
+
+// RoutePath is one equivalence class of a route map: all routes that take
+// the same branches through the policy. The triple (Guard, action,
+// Terminal text) is the (λ, a, t) of the paper's SemanticDiff (§3.1).
+type RoutePath struct {
+	// Guard is the symbolic set of routes in the class, already
+	// intersected with the encoding's WellFormed constraint.
+	Guard bdd.Node
+	// Accept reports whether routes in the class are permitted.
+	Accept bool
+	// Transform is the net attribute change applied to accepted routes.
+	Transform Transform
+	// Terminal is the deciding clause; nil when the route map's default
+	// action decided.
+	Terminal *ir.RouteMapClause
+	// Taken lists the matched clauses along the path, including
+	// fall-through clauses and the terminal.
+	Taken []*ir.RouteMapClause
+}
+
+// MaxPaths bounds route-map path enumeration. Fall-through clauses can in
+// principle double the path count, so a runaway policy is reported rather
+// than looping. It is a variable only so tests can exercise the guard
+// cheaply.
+var MaxPaths = 100000
+
+// EnumeratePaths partitions the route space into the route map's
+// equivalence classes. Classes with empty guards are dropped.
+func (e *RouteEncoding) EnumeratePaths(cfg *ir.Config, rm *ir.RouteMap) ([]RoutePath, error) {
+	var out []RoutePath
+	var walk func(i int, guard bdd.Node, sets []ir.SetAction, taken []*ir.RouteMapClause) error
+	walk = func(i int, guard bdd.Node, sets []ir.SetAction, taken []*ir.RouteMapClause) error {
+		if guard == bdd.False {
+			return nil
+		}
+		if len(out) >= MaxPaths {
+			return fmt.Errorf("symbolic: route map %s exceeds %d paths", rm.Name, MaxPaths)
+		}
+		if i == len(rm.Clauses) {
+			p := RoutePath{
+				Guard:  guard,
+				Accept: rm.DefaultAction == ir.Permit,
+				Taken:  append([]*ir.RouteMapClause{}, taken...),
+			}
+			if p.Accept {
+				p.Transform = e.TransformOf(cfg, sets)
+			}
+			out = append(out, p)
+			return nil
+		}
+		cl := rm.Clauses[i]
+		m := e.ClauseGuardBDD(cfg, cl)
+		takenGuard := e.F.And(guard, m)
+		if takenGuard != bdd.False {
+			switch cl.Action {
+			case ir.ClausePermit:
+				p := RoutePath{
+					Guard:     takenGuard,
+					Accept:    true,
+					Transform: e.TransformOf(cfg, append(append([]ir.SetAction{}, sets...), cl.Sets...)),
+					Terminal:  cl,
+					Taken:     append(append([]*ir.RouteMapClause{}, taken...), cl),
+				}
+				out = append(out, p)
+			case ir.ClauseDeny:
+				p := RoutePath{
+					Guard:    takenGuard,
+					Accept:   false,
+					Terminal: cl,
+					Taken:    append(append([]*ir.RouteMapClause{}, taken...), cl),
+				}
+				out = append(out, p)
+			case ir.ClauseFallthrough:
+				if err := walk(i+1, takenGuard,
+					append(append([]ir.SetAction{}, sets...), cl.Sets...),
+					append(append([]*ir.RouteMapClause{}, taken...), cl)); err != nil {
+					return err
+				}
+			}
+		}
+		notTaken := e.F.And(guard, e.F.Not(m))
+		return walk(i+1, notTaken, sets, taken)
+	}
+	if err := walk(0, e.WellFormed, nil, nil); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ACLPath is one equivalence class of an ACL: the packets that reach and
+// match one line (or fall off the end to the implicit deny).
+type ACLPath struct {
+	Guard  bdd.Node
+	Accept bool
+	// Line is the matching ACL line; nil for the implicit deny.
+	Line *ir.ACLLine
+}
+
+// EnumerateACLPaths partitions the packet space into the ACL's equivalence
+// classes under first-match-wins semantics. Lines that can never be
+// reached produce no class.
+func (e *PacketEncoding) EnumerateACLPaths(acl *ir.ACL) []ACLPath {
+	var out []ACLPath
+	remaining := bdd.Node(bdd.True)
+	for _, l := range acl.Lines {
+		g := e.F.And(remaining, e.LineBDD(l))
+		if g != bdd.False {
+			out = append(out, ACLPath{Guard: g, Accept: l.Action == ir.Permit, Line: l})
+		}
+		remaining = e.F.And(remaining, e.F.Not(e.LineBDD(l)))
+		if remaining == bdd.False {
+			break
+		}
+	}
+	if remaining != bdd.False {
+		out = append(out, ACLPath{Guard: remaining, Accept: false, Line: nil})
+	}
+	return out
+}
+
+// AcceptSet returns the full accept set of the ACL in one BDD — the
+// monolithic form used by the Minesweeper-style baseline and the pruning
+// pass of SemanticDiff.
+func (e *PacketEncoding) AcceptSet(acl *ir.ACL) bdd.Node {
+	out := bdd.False
+	remaining := bdd.Node(bdd.True)
+	for _, l := range acl.Lines {
+		m := e.LineBDD(l)
+		if l.Action == ir.Permit {
+			out = e.F.Or(out, e.F.And(remaining, m))
+		}
+		remaining = e.F.And(remaining, e.F.Not(m))
+		if remaining == bdd.False {
+			break
+		}
+	}
+	return out
+}

@@ -1,0 +1,627 @@
+package symbolic
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bdd"
+	"repro/internal/community"
+	"repro/internal/ir"
+	"repro/internal/netaddr"
+)
+
+// protocolOrder fixes the one-hot encoding order of route protocols.
+var protocolOrder = []ir.Protocol{
+	ir.ProtoConnected, ir.ProtoStatic, ir.ProtoOSPF, ir.ProtoBGP,
+	ir.ProtoIBGP, ir.ProtoAggregate, ir.ProtoLocal,
+}
+
+// RouteEncoding maps route advertisements onto BDD variables. The
+// vocabulary (community atoms, as-path atoms, MED/tag constants) is
+// derived from the pair of configurations being compared, following the
+// finite-atomization approach of the paper's Batfish/Bonsai substrate.
+type RouteEncoding struct {
+	F *bdd.Factory
+
+	prefixBits bitVec // 32 vars: advertised prefix address bits
+	prefixLen  bitVec // 6 vars: advertised prefix length (0..32)
+	nextHop    bitVec // 32 vars: next-hop address bits
+
+	Comms    *community.Universe
+	commVar0 int
+
+	asAtoms []string // as-path atom strings; the last entry is "<other>"
+	asVar0  int
+
+	medVals []int64
+	medVar0 int
+
+	tagVals []int64
+	tagVar0 int
+
+	protoVar0 int
+
+	// WellFormed constrains assignments to represent real routes: valid
+	// prefix length with zero padding beyond it, at most one MED/tag
+	// atom, exactly one protocol and one as-path atom.
+	WellFormed bdd.Node
+
+	// cache of prefix length interval BDDs
+	lenRange map[[2]uint8]bdd.Node
+	regexps  map[string]*community.Matcher
+}
+
+// NewRouteEncoding builds an encoding whose atom vocabulary covers all the
+// given configurations.
+func NewRouteEncoding(cfgs ...*ir.Config) *RouteEncoding {
+	var literals, regexes, asRegexes []string
+	medSet := map[int64]bool{}
+	tagSet := map[int64]bool{}
+	for _, cfg := range cfgs {
+		if cfg == nil {
+			continue
+		}
+		for _, cl := range cfg.CommunityLists {
+			for _, e := range cl.Entries {
+				for _, m := range e.Conjuncts {
+					if m.Regex != "" {
+						regexes = append(regexes, m.Regex)
+					} else {
+						literals = append(literals, m.Literal)
+					}
+				}
+			}
+		}
+		for _, al := range cfg.ASPathLists {
+			for _, e := range al.Entries {
+				asRegexes = append(asRegexes, e.Regex)
+			}
+		}
+		for _, rm := range cfg.RouteMaps {
+			for _, cl := range rm.Clauses {
+				for _, m := range cl.Matches {
+					switch m := m.(type) {
+					case ir.MatchMED:
+						medSet[m.Value] = true
+					case ir.MatchTag:
+						tagSet[m.Value] = true
+					}
+				}
+				for _, s := range cl.Sets {
+					if sc, ok := s.(ir.SetCommunities); ok {
+						literals = append(literals, sc.Communities...)
+					}
+				}
+			}
+		}
+	}
+	comms := community.NewUniverse(literals, regexes)
+
+	asAtomSet := map[string]bool{}
+	for _, r := range asRegexes {
+		for _, e := range community.Exemplars(r, 8) {
+			asAtomSet[e] = true
+		}
+	}
+	asAtoms := make([]string, 0, len(asAtomSet)+1)
+	for a := range asAtomSet {
+		asAtoms = append(asAtoms, a)
+	}
+	sort.Strings(asAtoms)
+	asAtoms = append(asAtoms, "<other>")
+
+	medVals := sortedInt64s(medSet)
+	tagVals := sortedInt64s(tagSet)
+
+	e := &RouteEncoding{
+		Comms:    comms,
+		asAtoms:  asAtoms,
+		medVals:  medVals,
+		tagVals:  tagVals,
+		lenRange: map[[2]uint8]bdd.Node{},
+		regexps:  map[string]*community.Matcher{},
+	}
+	n := 0
+	alloc := func(width int) int {
+		v := n
+		n += width
+		return v
+	}
+	pb := alloc(32)
+	pl := alloc(6)
+	nh := alloc(32)
+	e.medVar0 = alloc(len(medVals))
+	e.tagVar0 = alloc(len(tagVals))
+	e.protoVar0 = alloc(len(protocolOrder))
+	e.commVar0 = alloc(comms.Size())
+	e.asVar0 = alloc(len(asAtoms))
+	e.F = bdd.NewFactory(n)
+	e.prefixBits = bitVec{f: e.F, first: pb, width: 32}
+	e.prefixLen = bitVec{f: e.F, first: pl, width: 6}
+	e.nextHop = bitVec{f: e.F, first: nh, width: 32}
+	e.WellFormed = e.buildWellFormed()
+	return e
+}
+
+func sortedInt64s(set map[int64]bool) []int64 {
+	out := make([]int64, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NumVars returns the total variable count of the encoding.
+func (e *RouteEncoding) NumVars() int { return e.F.NumVars() }
+
+// buildWellFormed constructs the validity constraint described on
+// RouteEncoding.
+func (e *RouteEncoding) buildWellFormed() bdd.Node {
+	f := e.F
+	// Valid prefix: length L in 0..32 and bits >= L are zero.
+	prefixOK := bdd.False
+	for L := 0; L <= 32; L++ {
+		cube := e.prefixLen.eqConst(uint64(L))
+		for i := 31; i >= L; i-- {
+			cube = f.And(cube, f.NVar(e.prefixBits.first+i))
+		}
+		prefixOK = f.Or(prefixOK, cube)
+	}
+	wf := prefixOK
+	wf = f.And(wf, atMostOne(f, e.medVar0, len(e.medVals)))
+	wf = f.And(wf, atMostOne(f, e.tagVar0, len(e.tagVals)))
+	wf = f.And(wf, exactlyOne(f, e.protoVar0, len(protocolOrder)))
+	wf = f.And(wf, exactlyOne(f, e.asVar0, len(e.asAtoms)))
+	return wf
+}
+
+func atMostOne(f *bdd.Factory, first, n int) bdd.Node {
+	out := bdd.True
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			out = f.And(out, f.Not(f.And(f.Var(first+i), f.Var(first+j))))
+		}
+	}
+	return out
+}
+
+func exactlyOne(f *bdd.Factory, first, n int) bdd.Node {
+	if n == 0 {
+		return bdd.True
+	}
+	any := bdd.False
+	for i := 0; i < n; i++ {
+		any = f.Or(any, f.Var(first+i))
+	}
+	return f.And(any, atMostOne(f, first, n))
+}
+
+// PrefixVars returns the variables carrying the advertised prefix (bits
+// and length) — the projection HeaderLocalize keeps.
+func (e *RouteEncoding) PrefixVars() []int {
+	return append(e.prefixBits.vars(), e.prefixLen.vars()...)
+}
+
+// NonPrefixVars returns all variables other than the prefix bits/length.
+func (e *RouteEncoding) NonPrefixVars() []int {
+	keep := map[int]bool{}
+	for _, v := range e.PrefixVars() {
+		keep[v] = true
+	}
+	var out []int
+	for v := 0; v < e.F.NumVars(); v++ {
+		if !keep[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// lenIn returns the BDD for "prefix length in [lo,hi]".
+func (e *RouteEncoding) lenIn(lo, hi uint8) bdd.Node {
+	key := [2]uint8{lo, hi}
+	if n, ok := e.lenRange[key]; ok {
+		return n
+	}
+	n := e.prefixLen.rangeConst(uint64(lo), uint64(hi))
+	e.lenRange[key] = n
+	return n
+}
+
+// PrefixRangeBDD returns the set of routes whose advertised prefix is a
+// member of the range.
+func (e *RouteEncoding) PrefixRangeBDD(r netaddr.PrefixRange) bdd.Node {
+	if r.IsEmpty() {
+		return bdd.False
+	}
+	bits := e.prefixBits.prefixMatch(uint64(r.Prefix.Addr), int(r.Prefix.Len))
+	return e.F.And(bits, e.lenIn(r.Lo, r.Hi))
+}
+
+// PrefixBDD returns the set of routes advertising exactly prefix p. All
+// 32 address bits are constrained (the canonical zero padding beyond the
+// prefix length included), matching the membership semantics of
+// netaddr.PrefixRange.
+func (e *RouteEncoding) PrefixBDD(p netaddr.Prefix) bdd.Node {
+	return e.F.And(
+		e.prefixBits.eqConst(uint64(p.Addr)),
+		e.prefixLen.eqConst(uint64(p.Len)),
+	)
+}
+
+// CommunityAtomVar returns the BDD variable for "route carries community
+// atom s", if s is in the universe.
+func (e *RouteEncoding) CommunityAtomVar(s string) (bdd.Node, bool) {
+	i, ok := e.Comms.Index(s)
+	if !ok {
+		return bdd.False, false
+	}
+	return e.F.Var(e.commVar0 + i), true
+}
+
+func (e *RouteEncoding) matcherFor(pattern string) *community.Matcher {
+	if m, ok := e.regexps[pattern]; ok {
+		return m
+	}
+	m, err := community.Compile(pattern)
+	if err != nil {
+		m = community.CompileLiteral(pattern) // degrade to literal match
+	}
+	e.regexps[pattern] = m
+	return m
+}
+
+// communityMatcherBDD returns the set of routes carrying at least one
+// community matched by m.
+func (e *RouteEncoding) communityMatcherBDD(m ir.CommunityMatcher) bdd.Node {
+	if m.Regex == "" {
+		n, _ := e.CommunityAtomVar(m.Literal)
+		return n
+	}
+	out := bdd.False
+	for _, i := range e.Comms.MatchSet(e.matcherFor(m.Regex)) {
+		out = e.F.Or(out, e.F.Var(e.commVar0+i))
+	}
+	return out
+}
+
+// communityListBDD folds a community list's first-match-wins entries.
+func (e *RouteEncoding) communityListBDD(l *ir.CommunityList) bdd.Node {
+	out := bdd.False // no entry matches ⇒ the list does not permit
+	for i := len(l.Entries) - 1; i >= 0; i-- {
+		entry := l.Entries[i]
+		match := bdd.True
+		if len(entry.Conjuncts) == 0 {
+			match = bdd.False
+		}
+		for _, c := range entry.Conjuncts {
+			match = e.F.And(match, e.communityMatcherBDD(c))
+		}
+		verdict := bdd.False
+		if entry.Action == ir.Permit {
+			verdict = bdd.True
+		}
+		out = e.F.Ite(match, verdict, out)
+	}
+	return out
+}
+
+// prefixListBDD folds a prefix list's first-match-wins entries.
+func (e *RouteEncoding) prefixListBDD(l *ir.PrefixList) bdd.Node {
+	out := bdd.False
+	for i := len(l.Entries) - 1; i >= 0; i-- {
+		entry := l.Entries[i]
+		verdict := bdd.False
+		if entry.Action == ir.Permit {
+			verdict = bdd.True
+		}
+		out = e.F.Ite(e.PrefixRangeBDD(entry.Range), verdict, out)
+	}
+	return out
+}
+
+// nextHopListBDD folds a prefix list applied to the route's next hop
+// (a /32 address).
+func (e *RouteEncoding) nextHopListBDD(l *ir.PrefixList) bdd.Node {
+	out := bdd.False
+	for i := len(l.Entries) - 1; i >= 0; i-- {
+		entry := l.Entries[i]
+		r := entry.Range
+		var match bdd.Node = bdd.False
+		if !r.IsEmpty() && r.Lo <= 32 && 32 <= r.Hi {
+			match = e.nextHop.prefixMatch(uint64(r.Prefix.Addr), int(r.Prefix.Len))
+		}
+		verdict := bdd.False
+		if entry.Action == ir.Permit {
+			verdict = bdd.True
+		}
+		out = e.F.Ite(match, verdict, out)
+	}
+	return out
+}
+
+// asPathListBDD folds an as-path list evaluated over the finite as-path
+// atom universe. The "<other>" atom matches no regex (a conservative
+// under-approximation documented in DESIGN.md).
+func (e *RouteEncoding) asPathListBDD(l *ir.ASPathList) bdd.Node {
+	out := bdd.False
+	for i := len(l.Entries) - 1; i >= 0; i-- {
+		entry := l.Entries[i]
+		m := e.matcherFor(entry.Regex)
+		match := bdd.False
+		for j, atom := range e.asAtoms {
+			if j == len(e.asAtoms)-1 {
+				break // <other>
+			}
+			if m.Matches(atom) {
+				match = e.F.Or(match, e.F.Var(e.asVar0+j))
+			}
+		}
+		verdict := bdd.False
+		if entry.Action == ir.Permit {
+			verdict = bdd.True
+		}
+		out = e.F.Ite(match, verdict, out)
+	}
+	return out
+}
+
+// protoVar returns the one-hot variable of a protocol.
+func (e *RouteEncoding) protoVar(p ir.Protocol) bdd.Node {
+	for i, q := range protocolOrder {
+		if q == p {
+			return e.F.Var(e.protoVar0 + i)
+		}
+	}
+	return bdd.False
+}
+
+// medAtomBDD returns the variable for "MED == v" (False if v is not an
+// atom, which cannot happen for values gathered from the configs).
+func (e *RouteEncoding) medAtomBDD(v int64) bdd.Node {
+	for i, m := range e.medVals {
+		if m == v {
+			return e.F.Var(e.medVar0 + i)
+		}
+	}
+	return bdd.False
+}
+
+func (e *RouteEncoding) tagAtomBDD(v int64) bdd.Node {
+	for i, m := range e.tagVals {
+		if m == v {
+			return e.F.Var(e.tagVar0 + i)
+		}
+	}
+	return bdd.False
+}
+
+// MatchBDD compiles a single route-map match condition under the named
+// lists of cfg.
+func (e *RouteEncoding) MatchBDD(cfg *ir.Config, m ir.Match) bdd.Node {
+	switch m := m.(type) {
+	case ir.MatchPrefixList:
+		out := bdd.False
+		for _, name := range m.Lists {
+			if pl := cfg.PrefixLists[name]; pl != nil {
+				out = e.F.Or(out, e.prefixListBDD(pl))
+			}
+		}
+		return out
+	case ir.MatchPrefixListFilter:
+		pl := cfg.PrefixLists[m.List]
+		if pl == nil {
+			return bdd.False
+		}
+		out := bdd.False
+		for i := len(pl.Entries) - 1; i >= 0; i-- {
+			entry := pl.Entries[i]
+			verdict := bdd.False
+			if entry.Action == ir.Permit {
+				verdict = bdd.True
+			}
+			rg := ir.ApplyRangeModifier(entry.Range, m.Modifier)
+			out = e.F.Ite(e.PrefixRangeBDD(rg), verdict, out)
+		}
+		return out
+	case ir.MatchPrefixRanges:
+		out := bdd.False
+		for _, r := range m.Ranges {
+			out = e.F.Or(out, e.PrefixRangeBDD(r))
+		}
+		return out
+	case ir.MatchCommunity:
+		out := bdd.False
+		for _, name := range m.Lists {
+			if cl := cfg.CommunityLists[name]; cl != nil {
+				out = e.F.Or(out, e.communityListBDD(cl))
+			}
+		}
+		return out
+	case ir.MatchASPath:
+		out := bdd.False
+		for _, name := range m.Lists {
+			if al := cfg.ASPathLists[name]; al != nil {
+				out = e.F.Or(out, e.asPathListBDD(al))
+			}
+		}
+		return out
+	case ir.MatchMED:
+		return e.medAtomBDD(m.Value)
+	case ir.MatchTag:
+		return e.tagAtomBDD(m.Value)
+	case ir.MatchProtocol:
+		out := bdd.False
+		for _, p := range m.Protocols {
+			out = e.F.Or(out, e.protoVar(p))
+		}
+		return out
+	case ir.MatchNextHop:
+		out := bdd.False
+		for _, name := range m.Lists {
+			if pl := cfg.PrefixLists[name]; pl != nil {
+				out = e.F.Or(out, e.nextHopListBDD(pl))
+			}
+		}
+		return out
+	}
+	return bdd.False
+}
+
+// ClauseGuardBDD compiles the conjunction of a clause's match conditions.
+func (e *RouteEncoding) ClauseGuardBDD(cfg *ir.Config, cl *ir.RouteMapClause) bdd.Node {
+	out := bdd.True
+	for _, m := range cl.Matches {
+		out = e.F.And(out, e.MatchBDD(cfg, m))
+	}
+	return out
+}
+
+// RouteCube encodes a concrete route as a total assignment cube, used to
+// cross-check the symbolic encoding against concrete evaluation.
+func (e *RouteEncoding) RouteCube(r *ir.Route) bdd.Node {
+	f := e.F
+	n := e.prefixBits.eqConst(uint64(r.Prefix.Addr))
+	n = f.And(n, e.prefixLen.eqConst(uint64(r.Prefix.Len)))
+	n = f.And(n, e.nextHop.eqConst(uint64(r.NextHop)))
+	for i, atom := range e.Comms.Atoms() {
+		n = f.And(n, f.Lit(e.commVar0+i, r.Communities[atom]))
+	}
+	// as-path: exact atom if in the universe, else <other>.
+	path := r.ASPathString()
+	asIdx := len(e.asAtoms) - 1
+	for i, atom := range e.asAtoms[:len(e.asAtoms)-1] {
+		if atom == path {
+			asIdx = i
+			break
+		}
+	}
+	for i := range e.asAtoms {
+		n = f.And(n, f.Lit(e.asVar0+i, i == asIdx))
+	}
+	for i, v := range e.medVals {
+		n = f.And(n, f.Lit(e.medVar0+i, r.MED == v))
+	}
+	for i, v := range e.tagVals {
+		n = f.And(n, f.Lit(e.tagVar0+i, r.Tag == v))
+	}
+	for i, p := range protocolOrder {
+		n = f.And(n, f.Lit(e.protoVar0+i, r.Protocol == p))
+	}
+	return n
+}
+
+// RouteFromAssignment reconstructs a concrete example route from a
+// (possibly partial) satisfying assignment; don't-care fields take
+// defaults. Used to render counterexamples and single-example fields.
+func (e *RouteEncoding) RouteFromAssignment(a bdd.Assignment) *ir.Route {
+	addr := netaddr.Addr(e.prefixBits.valueOf(a))
+	length := e.prefixLen.valueOf(a)
+	if length > 32 {
+		length = 32
+	}
+	r := ir.NewRoute(netaddr.NewPrefix(addr, uint8(length)))
+	r.NextHop = netaddr.Addr(e.nextHop.valueOf(a))
+	for i, atom := range e.Comms.Atoms() {
+		if a[e.commVar0+i] == 1 {
+			r.Communities[atom] = true
+		}
+	}
+	for i, v := range e.medVals {
+		if a[e.medVar0+i] == 1 {
+			r.MED = v
+		}
+	}
+	for i, v := range e.tagVals {
+		if a[e.tagVar0+i] == 1 {
+			r.Tag = v
+		}
+	}
+	r.Protocol = ir.ProtoBGP
+	for i, p := range protocolOrder {
+		if a[e.protoVar0+i] == 1 {
+			r.Protocol = p
+		}
+	}
+	for i, atom := range e.asAtoms[:len(e.asAtoms)-1] {
+		if a[e.asVar0+i] == 1 {
+			r.ASPath = parseASPath(atom)
+		}
+	}
+	return r
+}
+
+func parseASPath(s string) []int64 {
+	var out []int64
+	cur := int64(-1)
+	for i := 0; i <= len(s); i++ {
+		if i < len(s) && s[i] >= '0' && s[i] <= '9' {
+			if cur < 0 {
+				cur = 0
+			}
+			cur = cur*10 + int64(s[i]-'0')
+			continue
+		}
+		if cur >= 0 {
+			out = append(out, cur)
+			cur = -1
+		}
+	}
+	return out
+}
+
+// CommunityVars returns the BDD variables carrying the community atoms,
+// in atom order — the projection for exhaustive community localization
+// (the extension discussed in the paper's §4).
+func (e *RouteEncoding) CommunityVars() []int {
+	out := make([]int, e.Comms.Size())
+	for i := range out {
+		out[i] = e.commVar0 + i
+	}
+	return out
+}
+
+// NonCommunityVars returns every variable outside the community block.
+func (e *RouteEncoding) NonCommunityVars() []int {
+	var out []int
+	for v := 0; v < e.F.NumVars(); v++ {
+		if v < e.commVar0 || v >= e.commVar0+e.Comms.Size() {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// CommunityCube splits a (projected) assignment's community block into
+// the atoms required present and required absent; unconstrained atoms are
+// omitted.
+func (e *RouteEncoding) CommunityCube(a bdd.Assignment) (present, absent []string) {
+	for i, atom := range e.Comms.Atoms() {
+		switch a[e.commVar0+i] {
+		case 1:
+			present = append(present, atom)
+		case 0:
+			absent = append(absent, atom)
+		}
+	}
+	return present, absent
+}
+
+// ExampleCommunities renders the community content of an assignment for
+// presentation: the atoms set to true, and a count of additional
+// constrained-but-false atoms.
+func (e *RouteEncoding) ExampleCommunities(a bdd.Assignment) []string {
+	var out []string
+	for i, atom := range e.Comms.Atoms() {
+		if a[e.commVar0+i] == 1 {
+			out = append(out, atom)
+		}
+	}
+	return out
+}
+
+func (e *RouteEncoding) String() string {
+	return fmt.Sprintf("RouteEncoding{vars=%d comms=%d aspaths=%d meds=%d tags=%d}",
+		e.F.NumVars(), e.Comms.Size(), len(e.asAtoms), len(e.medVals), len(e.tagVals))
+}

@@ -1,0 +1,844 @@
+package symbolic
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bdd"
+	"repro/internal/ir"
+	"repro/internal/netaddr"
+)
+
+func TestBitVecAgainstBruteForce(t *testing.T) {
+	f := bdd.NewFactory(4)
+	v := bitVec{f: f, first: 0, width: 4}
+	evalAt := func(n bdd.Node, x uint64) bool {
+		a := make(bdd.Assignment, 4)
+		for i := 0; i < 4; i++ {
+			if x&(1<<uint(3-i)) != 0 {
+				a[i] = 1
+			}
+		}
+		return f.Eval(n, a)
+	}
+	for c := uint64(0); c < 16; c++ {
+		eq := v.eqConst(c)
+		geq := v.geqConst(c)
+		leq := v.leqConst(c)
+		for x := uint64(0); x < 16; x++ {
+			if evalAt(eq, x) != (x == c) {
+				t.Fatalf("eqConst(%d) wrong at %d", c, x)
+			}
+			if evalAt(geq, x) != (x >= c) {
+				t.Fatalf("geqConst(%d) wrong at %d", c, x)
+			}
+			if evalAt(leq, x) != (x <= c) {
+				t.Fatalf("leqConst(%d) wrong at %d", c, x)
+			}
+		}
+	}
+	for lo := uint64(0); lo < 16; lo++ {
+		for hi := uint64(0); hi < 16; hi++ {
+			r := v.rangeConst(lo, hi)
+			for x := uint64(0); x < 16; x++ {
+				if evalAt(r, x) != (lo <= x && x <= hi) {
+					t.Fatalf("rangeConst(%d,%d) wrong at %d", lo, hi, x)
+				}
+			}
+		}
+	}
+}
+
+func TestBitVecPrefixAndMask(t *testing.T) {
+	f := bdd.NewFactory(8)
+	v := bitVec{f: f, first: 0, width: 8}
+	evalAt := func(n bdd.Node, x uint64) bool {
+		a := make(bdd.Assignment, 8)
+		for i := 0; i < 8; i++ {
+			if x&(1<<uint(7-i)) != 0 {
+				a[i] = 1
+			}
+		}
+		return f.Eval(n, a)
+	}
+	// prefixMatch: top 3 bits of 0b101xxxxx
+	p := v.prefixMatch(0b10100000, 3)
+	for x := uint64(0); x < 256; x++ {
+		want := x>>5 == 0b101
+		if evalAt(p, x) != want {
+			t.Fatalf("prefixMatch wrong at %08b", x)
+		}
+	}
+	// maskedMatch: care mask 0b11000011, value 0b10000001
+	m := v.maskedMatch(0b10000001, 0b11000011)
+	for x := uint64(0); x < 256; x++ {
+		want := x&0b11000011 == 0b10000001
+		if evalAt(m, x) != want {
+			t.Fatalf("maskedMatch wrong at %08b", x)
+		}
+	}
+}
+
+// buildFigure1 returns the Cisco and Juniper IR configs of Figure 1.
+func buildFigure1() (*ir.Config, *ir.Config) {
+	cisco := ir.NewConfig("cisco_router", ir.VendorCisco)
+	cisco.PrefixLists["NETS"] = &ir.PrefixList{
+		Name: "NETS",
+		Entries: []ir.PrefixListEntry{
+			{Action: ir.Permit, Range: netaddr.MustParsePrefixRange("10.9.0.0/16 : 16-32")},
+			{Action: ir.Permit, Range: netaddr.MustParsePrefixRange("10.100.0.0/16 : 16-32")},
+		},
+	}
+	cisco.CommunityLists["COMM"] = &ir.CommunityList{
+		Name: "COMM",
+		Entries: []ir.CommunityListEntry{
+			{Action: ir.Permit, Conjuncts: []ir.CommunityMatcher{{Literal: "10:10"}}},
+			{Action: ir.Permit, Conjuncts: []ir.CommunityMatcher{{Literal: "10:11"}}},
+		},
+	}
+	cisco.RouteMaps["POL"] = &ir.RouteMap{
+		Name: "POL", DefaultAction: ir.Deny,
+		Clauses: []*ir.RouteMapClause{
+			{Seq: 10, Action: ir.ClauseDeny, Matches: []ir.Match{ir.MatchPrefixList{Lists: []string{"NETS"}}}},
+			{Seq: 20, Action: ir.ClauseDeny, Matches: []ir.Match{ir.MatchCommunity{Lists: []string{"COMM"}}}},
+			{Seq: 30, Action: ir.ClausePermit, Sets: []ir.SetAction{ir.SetLocalPref{Value: 30}}},
+		},
+	}
+	juniper := ir.NewConfig("juniper_router", ir.VendorJuniper)
+	juniper.PrefixLists["NETS"] = &ir.PrefixList{
+		Name: "NETS",
+		Entries: []ir.PrefixListEntry{
+			{Action: ir.Permit, Range: netaddr.MustParsePrefixRange("10.9.0.0/16 : 16-16")},
+			{Action: ir.Permit, Range: netaddr.MustParsePrefixRange("10.100.0.0/16 : 16-16")},
+		},
+	}
+	juniper.CommunityLists["COMM"] = &ir.CommunityList{
+		Name: "COMM",
+		Entries: []ir.CommunityListEntry{
+			{Action: ir.Permit, Conjuncts: []ir.CommunityMatcher{{Literal: "10:10"}, {Literal: "10:11"}}},
+		},
+	}
+	juniper.RouteMaps["POL"] = &ir.RouteMap{
+		Name: "POL", DefaultAction: ir.Deny,
+		Clauses: []*ir.RouteMapClause{
+			{Seq: 1, Name: "rule1", Action: ir.ClauseDeny, Matches: []ir.Match{ir.MatchPrefixList{Lists: []string{"NETS"}}}},
+			{Seq: 2, Name: "rule2", Action: ir.ClauseDeny, Matches: []ir.Match{ir.MatchCommunity{Lists: []string{"COMM"}}}},
+			{Seq: 3, Name: "rule3", Action: ir.ClausePermit, Sets: []ir.SetAction{ir.SetLocalPref{Value: 30}}},
+		},
+	}
+	return cisco, juniper
+}
+
+func TestEnumeratePathsFigure2(t *testing.T) {
+	// Figure 2 of the paper: the Cisco POL partitions routes into three
+	// classes: NETS, ¬NETS∧COMM, and the rest.
+	cisco, juniper := buildFigure1()
+	e := NewRouteEncoding(cisco, juniper)
+	paths, err := e.EnumeratePaths(cisco, cisco.RouteMaps["POL"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 3 {
+		t.Fatalf("got %d classes, want 3 (Figure 2)", len(paths))
+	}
+	if paths[0].Accept || paths[1].Accept || !paths[2].Accept {
+		t.Error("actions should be reject, reject, accept")
+	}
+	if lp := paths[2].Transform.LocalPref; lp == nil || *lp != 30 {
+		t.Error("accept class should set local-pref 30")
+	}
+	// The classes partition WellFormed.
+	union := bdd.False
+	for i, p := range paths {
+		union = e.F.Or(union, p.Guard)
+		for j := i + 1; j < len(paths); j++ {
+			if e.F.And(p.Guard, paths[j].Guard) != bdd.False {
+				t.Errorf("classes %d and %d overlap", i, j)
+			}
+		}
+	}
+	if union != e.WellFormed {
+		t.Error("classes should partition the well-formed space")
+	}
+}
+
+// routeSamples builds a deterministic set of probe routes covering the
+// interesting corners of the Figure 1 policies.
+func routeSamples() []*ir.Route {
+	mk := func(pfx string, comms ...string) *ir.Route {
+		r := ir.NewRoute(netaddr.MustParsePrefix(pfx))
+		for _, c := range comms {
+			r.Communities[c] = true
+		}
+		return r
+	}
+	return []*ir.Route{
+		mk("10.9.0.0/16"),
+		mk("10.9.1.0/24"),
+		mk("10.9.255.255/32"),
+		mk("10.100.0.0/16"),
+		mk("10.100.3.0/24"),
+		mk("10.101.0.0/16"),
+		mk("0.0.0.0/0"),
+		mk("192.0.2.0/24"),
+		mk("192.0.2.0/24", "10:10"),
+		mk("192.0.2.0/24", "10:11"),
+		mk("192.0.2.0/24", "10:10", "10:11"),
+		mk("10.9.4.0/24", "10:10"),
+		mk("10.8.0.0/16", "10:10", "10:11"),
+	}
+}
+
+func TestSymbolicAgreesWithConcrete(t *testing.T) {
+	cisco, juniper := buildFigure1()
+	e := NewRouteEncoding(cisco, juniper)
+	for _, tc := range []struct {
+		cfg *ir.Config
+	}{{cisco}, {juniper}} {
+		rm := tc.cfg.RouteMaps["POL"]
+		paths, err := e.EnumeratePaths(tc.cfg, rm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range routeSamples() {
+			cube := e.RouteCube(r)
+			var hit *RoutePath
+			for i := range paths {
+				if e.F.And(paths[i].Guard, cube) != bdd.False {
+					if hit != nil {
+						t.Fatalf("%s: route %v in two classes", tc.cfg.Hostname, r)
+					}
+					hit = &paths[i]
+				}
+			}
+			if hit == nil {
+				t.Fatalf("%s: route %v in no class", tc.cfg.Hostname, r)
+			}
+			res := tc.cfg.EvalRouteMap(rm, r)
+			if (res.Action == ir.Permit) != hit.Accept {
+				t.Errorf("%s: route %v concrete=%v symbolic accept=%v",
+					tc.cfg.Hostname, r, res.Action, hit.Accept)
+			}
+			if res.Action == ir.Permit {
+				// Applying the path transform must reproduce the concrete
+				// output attributes.
+				got := r.Clone()
+				hit.Transform.Apply(got)
+				if !got.Equal(res.Route) {
+					t.Errorf("%s: route %v transform %v gives %v, concrete %v",
+						tc.cfg.Hostname, r, hit.Transform, got, res.Route)
+				}
+			}
+		}
+	}
+}
+
+func TestRouteCubeInWellFormed(t *testing.T) {
+	cisco, juniper := buildFigure1()
+	e := NewRouteEncoding(cisco, juniper)
+	for _, r := range routeSamples() {
+		if !e.F.Implies(e.RouteCube(r), e.WellFormed) {
+			t.Errorf("cube of %v violates WellFormed", r)
+		}
+	}
+}
+
+func TestRouteFromAssignmentRoundTrip(t *testing.T) {
+	cisco, juniper := buildFigure1()
+	e := NewRouteEncoding(cisco, juniper)
+	for _, r := range routeSamples() {
+		a := e.F.AnySat(e.RouteCube(r))
+		if a == nil {
+			t.Fatalf("cube of %v unsatisfiable", r)
+		}
+		back := e.RouteFromAssignment(a)
+		if back.Prefix != r.Prefix {
+			t.Errorf("prefix round trip: %v -> %v", r.Prefix, back.Prefix)
+		}
+		for c := range r.Communities {
+			if !back.Communities[c] {
+				t.Errorf("community %s lost in round trip", c)
+			}
+		}
+	}
+}
+
+func TestPrefixRangeBDDSemantics(t *testing.T) {
+	e := NewRouteEncoding()
+	cases := []struct {
+		rng    string
+		member string
+		want   bool
+	}{
+		{"10.9.0.0/16 : 16-32", "10.9.1.0/24", true},
+		{"10.9.0.0/16 : 16-32", "10.9.0.0/16", true},
+		{"10.9.0.0/16 : 16-16", "10.9.1.0/24", false},
+		{"10.9.0.0/16 : 16-32", "10.10.0.0/24", false},
+		{"0.0.0.0/0 : 0-32", "203.0.113.0/28", true},
+		{"10.0.0.0/8 : 24-24", "10.1.2.0/24", true},
+		{"10.0.0.0/8 : 24-24", "10.1.0.0/16", false},
+	}
+	for _, c := range cases {
+		rng := netaddr.MustParsePrefixRange(c.rng)
+		n := e.PrefixRangeBDD(rng)
+		cube := e.PrefixBDD(netaddr.MustParsePrefix(c.member))
+		got := e.F.And(n, cube) != bdd.False
+		if got != c.want {
+			t.Errorf("%s contains %s: got %v want %v", c.rng, c.member, got, c.want)
+		}
+		// Cross-check against the concrete membership test.
+		if rng.ContainsPrefix(netaddr.MustParsePrefix(c.member)) != c.want {
+			t.Errorf("concrete disagreement for %s in %s", c.member, c.rng)
+		}
+	}
+}
+
+func TestPrefixRangeBDDMatchesConcrete(t *testing.T) {
+	e := NewRouteEncoding()
+	f := func(a1, a2 uint32, l1, l2, lo, hi uint8) bool {
+		rng := netaddr.PrefixRange{Prefix: netaddr.NewPrefix(netaddr.Addr(a1), l1%33), Lo: lo % 33, Hi: hi % 33}
+		member := netaddr.NewPrefix(netaddr.Addr(a2), l2%33)
+		symbolic := e.F.And(e.PrefixRangeBDD(rng), e.PrefixBDD(member)) != bdd.False
+		concrete := rng.ContainsPrefix(member)
+		return symbolic == concrete
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestACLPathsAgainstConcrete(t *testing.T) {
+	// A small but tricky ACL: overlapping rules, ports, established.
+	mkLine := func(action ir.Action, proto ir.ProtocolMatch, src, dst string, dstPorts []netaddr.PortRange) *ir.ACLLine {
+		l := ir.NewACLLine(action)
+		l.Protocol = proto
+		if src != "" {
+			l.Src = []netaddr.Wildcard{netaddr.WildcardFromPrefix(netaddr.MustParsePrefix(src))}
+		}
+		if dst != "" {
+			l.Dst = []netaddr.Wildcard{netaddr.WildcardFromPrefix(netaddr.MustParsePrefix(dst))}
+		}
+		l.DstPorts = dstPorts
+		return l
+	}
+	est := ir.NewACLLine(ir.Permit)
+	est.Protocol = ir.ProtoNumber(ir.ProtoNumTCP)
+	est.Established = true
+	acl := &ir.ACL{Name: "T", Lines: []*ir.ACLLine{
+		mkLine(ir.Deny, ir.ProtoNumber(ir.ProtoNumTCP), "", "10.0.0.0/8", []netaddr.PortRange{{Lo: 22, Hi: 22}}),
+		mkLine(ir.Permit, ir.ProtoNumber(ir.ProtoNumTCP), "192.0.2.0/24", "10.0.0.0/8", nil),
+		est,
+		mkLine(ir.Permit, ir.AnyProtocol, "198.51.100.0/24", "", nil),
+	}}
+	e := NewPacketEncoding()
+	paths := e.EnumerateACLPaths(acl)
+
+	// Paths partition the full packet space.
+	union := bdd.False
+	for i, p := range paths {
+		union = e.F.Or(union, p.Guard)
+		for j := i + 1; j < len(paths); j++ {
+			if e.F.And(p.Guard, paths[j].Guard) != bdd.False {
+				t.Errorf("ACL classes %d,%d overlap", i, j)
+			}
+		}
+	}
+	if union != bdd.True {
+		t.Error("ACL classes should cover the packet space")
+	}
+
+	samples := []ir.Packet{
+		{Src: netaddr.MustParseAddr("192.0.2.5"), Dst: netaddr.MustParseAddr("10.1.1.1"), Protocol: ir.ProtoNumTCP, DstPort: 22},
+		{Src: netaddr.MustParseAddr("192.0.2.5"), Dst: netaddr.MustParseAddr("10.1.1.1"), Protocol: ir.ProtoNumTCP, DstPort: 80},
+		{Src: netaddr.MustParseAddr("1.2.3.4"), Dst: netaddr.MustParseAddr("10.1.1.1"), Protocol: ir.ProtoNumTCP, DstPort: 443, TCPAck: true},
+		{Src: netaddr.MustParseAddr("198.51.100.9"), Dst: netaddr.MustParseAddr("8.8.8.8"), Protocol: ir.ProtoNumUDP, DstPort: 53},
+		{Src: netaddr.MustParseAddr("203.0.113.1"), Dst: netaddr.MustParseAddr("8.8.8.8"), Protocol: ir.ProtoNumICMP, ICMPType: 8},
+		{Src: netaddr.MustParseAddr("198.51.100.9"), Dst: netaddr.MustParseAddr("10.0.0.9"), Protocol: ir.ProtoNumTCP, DstPort: 22},
+	}
+	for _, pkt := range samples {
+		cube := e.PacketCube(pkt)
+		var hit *ACLPath
+		for i := range paths {
+			if e.F.And(paths[i].Guard, cube) != bdd.False {
+				if hit != nil {
+					t.Fatalf("packet %+v in two classes", pkt)
+				}
+				hit = &paths[i]
+			}
+		}
+		if hit == nil {
+			t.Fatalf("packet %+v in no class", pkt)
+		}
+		action, line := acl.Evaluate(pkt)
+		if (action == ir.Permit) != hit.Accept {
+			t.Errorf("packet %+v concrete=%v symbolic=%v", pkt, action, hit.Accept)
+		}
+		if line != hit.Line {
+			t.Errorf("packet %+v concrete line %v symbolic line %v", pkt, line, hit.Line)
+		}
+	}
+
+	// AcceptSet must equal the union of accepting class guards.
+	acc := e.AcceptSet(acl)
+	fromPaths := bdd.False
+	for _, p := range paths {
+		if p.Accept {
+			fromPaths = e.F.Or(fromPaths, p.Guard)
+		}
+	}
+	if acc != fromPaths {
+		t.Error("AcceptSet disagrees with accepting classes")
+	}
+}
+
+func TestACLPathsRandomizedAgainstConcrete(t *testing.T) {
+	// Randomized cross-check: symbolic accept set vs concrete evaluation
+	// on generated packets.
+	l1 := ir.NewACLLine(ir.Permit)
+	l1.Protocol = ir.ProtoNumber(ir.ProtoNumTCP)
+	l1.Dst = []netaddr.Wildcard{{Addr: netaddr.MustParseAddr("10.0.0.0"), Mask: netaddr.MustParseAddr("0.63.255.255")}}
+	l1.DstPorts = []netaddr.PortRange{{Lo: 1000, Hi: 2000}}
+	l2 := ir.NewACLLine(ir.Deny)
+	l2.Src = []netaddr.Wildcard{{Addr: netaddr.MustParseAddr("9.140.0.0"), Mask: netaddr.MustParseAddr("0.0.1.255")}}
+	l3 := ir.NewACLLine(ir.Permit)
+	acl := &ir.ACL{Name: "R", Lines: []*ir.ACLLine{l1, l2, l3}}
+
+	e := NewPacketEncoding()
+	acc := e.AcceptSet(acl)
+	f := func(src, dst uint32, proto uint8, sport, dport uint16, ack bool) bool {
+		pkt := ir.Packet{
+			Src: netaddr.Addr(src), Dst: netaddr.Addr(dst),
+			Protocol: proto, SrcPort: sport, DstPort: dport, TCPAck: ack,
+		}
+		action, _ := acl.Evaluate(pkt)
+		symbolic := e.F.And(acc, e.PacketCube(pkt)) != bdd.False
+		return (action == ir.Permit) == symbolic
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransformCanonicalization(t *testing.T) {
+	cfg := ir.NewConfig("r", ir.VendorCisco)
+	cfg.CommunityLists["DEL"] = &ir.CommunityList{
+		Name:    "DEL",
+		Entries: []ir.CommunityListEntry{{Action: ir.Permit, Conjuncts: []ir.CommunityMatcher{{Regex: "^10:.*$"}}}},
+	}
+	e := NewRouteEncoding(cfg)
+	// set community a b; then community add c — same as set community a b c.
+	t1 := e.TransformOf(cfg, []ir.SetAction{
+		ir.SetCommunities{Communities: []string{"10:1", "10:2"}},
+		ir.SetCommunities{Communities: []string{"10:3"}, Additive: true},
+	})
+	t2 := e.TransformOf(cfg, []ir.SetAction{
+		ir.SetCommunities{Communities: []string{"10:3", "10:2", "10:1"}},
+	})
+	if !t1.Equal(t2) {
+		t.Errorf("equivalent community sequences differ: %v vs %v", t1, t2)
+	}
+	// delete after add removes the added community.
+	t3 := e.TransformOf(cfg, []ir.SetAction{
+		ir.SetCommunities{Communities: []string{"10:5"}, Additive: true},
+		ir.DeleteCommunity{List: "DEL"},
+	})
+	if len(t3.CommAdd) != 0 {
+		t.Errorf("added then deleted community should cancel: %v", t3)
+	}
+	if len(t3.CommDelete) == 0 {
+		t.Error("delete should record deleted universe atoms")
+	}
+	// add after delete restores.
+	t4 := e.TransformOf(cfg, []ir.SetAction{
+		ir.DeleteCommunity{List: "DEL"},
+		ir.SetCommunities{Communities: []string{"10:5"}, Additive: true},
+	})
+	for _, d := range t4.CommDelete {
+		if d == "10:5" {
+			t.Error("re-added atom should not stay deleted")
+		}
+	}
+	// order of independent sets does not matter; last numeric set wins.
+	lp1, lp2 := int64(100), int64(200)
+	_ = lp1
+	t5 := e.TransformOf(cfg, []ir.SetAction{ir.SetLocalPref{Value: lp1}, ir.SetLocalPref{Value: lp2}})
+	if t5.LocalPref == nil || *t5.LocalPref != 200 {
+		t.Error("last local-pref should win")
+	}
+	if !(Transform{}).IsIdentity() {
+		t.Error("zero transform should be identity")
+	}
+}
+
+func TestTransformApplyMatchesEval(t *testing.T) {
+	cfg := ir.NewConfig("r", ir.VendorCisco)
+	e := NewRouteEncoding(cfg)
+	sets := []ir.SetAction{
+		ir.SetLocalPref{Value: 55},
+		ir.SetCommunities{Communities: []string{"7:7"}, Additive: true},
+		ir.SetASPathPrepend{ASNs: []int64{65000}},
+	}
+	tr := e.TransformOf(cfg, sets)
+	r := ir.NewRoute(netaddr.MustParsePrefix("10.0.0.0/8"))
+	r.ASPath = []int64{1}
+	got := r.Clone()
+	tr.Apply(got)
+
+	rm := &ir.RouteMap{Name: "X", DefaultAction: ir.Deny,
+		Clauses: []*ir.RouteMapClause{{Action: ir.ClausePermit, Sets: sets}}}
+	want := cfg.EvalRouteMap(rm, r).Route
+	if !got.Equal(want) {
+		t.Errorf("Apply %v != Eval %v", got, want)
+	}
+}
+
+func TestTransformString(t *testing.T) {
+	lp := int64(30)
+	tr := Transform{LocalPref: &lp}
+	if tr.String() != "SET LOCAL PREF 30" {
+		t.Errorf("String = %q", tr.String())
+	}
+	if (Transform{}).String() != "" {
+		t.Error("identity transform renders empty")
+	}
+}
+
+func TestFallthroughPathEnumeration(t *testing.T) {
+	cfg := ir.NewConfig("r", ir.VendorJuniper)
+	cfg.RouteMaps["P"] = &ir.RouteMap{
+		Name: "P", DefaultAction: ir.Permit,
+		Clauses: []*ir.RouteMapClause{
+			{Action: ir.ClauseFallthrough,
+				Matches: []ir.Match{ir.MatchPrefixRanges{Ranges: []netaddr.PrefixRange{netaddr.MustParsePrefixRange("10.0.0.0/8 : 8-32")}}},
+				Sets:    []ir.SetAction{ir.SetLocalPref{Value: 200}}},
+			{Action: ir.ClausePermit,
+				Matches: []ir.Match{ir.MatchPrefixRanges{Ranges: []netaddr.PrefixRange{netaddr.MustParsePrefixRange("10.1.0.0/16 : 16-32")}}},
+				Sets:    []ir.SetAction{ir.SetMED{Value: 5}}},
+			{Action: ir.ClauseDeny},
+		},
+	}
+	e := NewRouteEncoding(cfg)
+	paths, err := e.EnumeratePaths(cfg, cfg.RouteMaps["P"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected classes: 10.1/16-in-10/8 via fallthrough+permit (lp 200,
+	// med 5); rest of 10/8 via fallthrough+deny; 10.1 outside 10/8 is
+	// impossible; outside 10/8 matching clause2 impossible (10.1 ⊆ 10/8);
+	// outside 10/8 deny.
+	if len(paths) != 3 {
+		t.Fatalf("got %d paths: %+v", len(paths), paths)
+	}
+	r := ir.NewRoute(netaddr.MustParsePrefix("10.1.2.0/24"))
+	cube := e.RouteCube(r)
+	for _, p := range paths {
+		if e.F.And(p.Guard, cube) != bdd.False {
+			if !p.Accept {
+				t.Error("10.1.2.0/24 should be accepted")
+			}
+			if p.Transform.LocalPref == nil || *p.Transform.LocalPref != 200 {
+				t.Error("fallthrough local-pref should accumulate")
+			}
+			if p.Transform.MED == nil || *p.Transform.MED != 5 {
+				t.Error("terminal med should apply")
+			}
+			if len(p.Taken) != 2 {
+				t.Errorf("taken = %d clauses", len(p.Taken))
+			}
+		}
+	}
+}
+
+func TestNextHopAndProtocolMatches(t *testing.T) {
+	cfg := ir.NewConfig("r", ir.VendorCisco)
+	cfg.PrefixLists["NH"] = &ir.PrefixList{
+		Name:    "NH",
+		Entries: []ir.PrefixListEntry{{Action: ir.Permit, Range: netaddr.MustParsePrefixRange("10.0.0.0/24 : 24-32")}},
+	}
+	cfg.RouteMaps["P"] = &ir.RouteMap{
+		Name: "P", DefaultAction: ir.Deny,
+		Clauses: []*ir.RouteMapClause{
+			{Action: ir.ClausePermit, Matches: []ir.Match{
+				ir.MatchNextHop{Lists: []string{"NH"}},
+				ir.MatchProtocol{Protocols: []ir.Protocol{ir.ProtoStatic}},
+			}},
+		},
+	}
+	e := NewRouteEncoding(cfg)
+	paths, err := e.EnumeratePaths(cfg, cfg.RouteMaps["P"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := func(nh string, proto ir.Protocol) bool {
+		r := ir.NewRoute(netaddr.MustParsePrefix("192.0.2.0/24"))
+		r.NextHop = netaddr.MustParseAddr(nh)
+		r.Protocol = proto
+		cube := e.RouteCube(r)
+		for _, p := range paths {
+			if p.Accept && e.F.And(p.Guard, cube) != bdd.False {
+				return true
+			}
+		}
+		return false
+	}
+	if !probe("10.0.0.7", ir.ProtoStatic) {
+		t.Error("static route via 10.0.0.7 should match")
+	}
+	if probe("10.0.1.7", ir.ProtoStatic) {
+		t.Error("next hop outside NH should not match")
+	}
+	if probe("10.0.0.7", ir.ProtoBGP) {
+		t.Error("bgp protocol should not match")
+	}
+}
+
+func TestMedTagAtoms(t *testing.T) {
+	cfg := ir.NewConfig("r", ir.VendorCisco)
+	cfg.RouteMaps["P"] = &ir.RouteMap{
+		Name: "P", DefaultAction: ir.Deny,
+		Clauses: []*ir.RouteMapClause{
+			{Action: ir.ClausePermit, Matches: []ir.Match{ir.MatchMED{Value: 50}}},
+			{Action: ir.ClausePermit, Matches: []ir.Match{ir.MatchTag{Value: 7}}},
+		},
+	}
+	e := NewRouteEncoding(cfg)
+	paths, _ := e.EnumeratePaths(cfg, cfg.RouteMaps["P"])
+	find := func(med, tag int64) *RoutePath {
+		r := ir.NewRoute(netaddr.MustParsePrefix("192.0.2.0/24"))
+		r.MED = med
+		r.Tag = tag
+		cube := e.RouteCube(r)
+		for i := range paths {
+			if e.F.And(paths[i].Guard, cube) != bdd.False {
+				return &paths[i]
+			}
+		}
+		return nil
+	}
+	if p := find(50, 0); p == nil || !p.Accept {
+		t.Error("med 50 should be accepted")
+	}
+	if p := find(0, 7); p == nil || !p.Accept {
+		t.Error("tag 7 should be accepted")
+	}
+	if p := find(0, 0); p == nil || p.Accept {
+		t.Error("plain route should be denied")
+	}
+	// med atoms are mutually exclusive: med=50 matching both atoms is
+	// excluded by WellFormed.
+	if len(e.medVals) != 1 || len(e.tagVals) != 1 {
+		t.Errorf("atom vocab: med=%v tag=%v", e.medVals, e.tagVals)
+	}
+}
+
+func TestDescribeExample(t *testing.T) {
+	e := NewPacketEncoding()
+	l := ir.NewACLLine(ir.Deny)
+	l.Protocol = ir.ProtoNumber(ir.ProtoNumICMP)
+	l.ICMPType = 8
+	n := e.LineBDD(l)
+	a := e.F.AnySat(n)
+	fields, _ := e.DescribeExample(a)
+	var sawProto bool
+	for _, f := range fields {
+		if f == "protocol: icmp" {
+			sawProto = true
+		}
+	}
+	if !sawProto {
+		t.Errorf("fields = %v, want protocol: icmp", fields)
+	}
+}
+
+func TestParseASPathHelper(t *testing.T) {
+	got := parseASPath("65000 65001")
+	if len(got) != 2 || got[0] != 65000 || got[1] != 65001 {
+		t.Errorf("parseASPath = %v", got)
+	}
+	if parseASPath("") != nil {
+		t.Error("empty path")
+	}
+}
+
+func TestEnumeratePathsExplosionGuard(t *testing.T) {
+	// 20 fall-through clauses over independent community atoms can take
+	// 2^20 distinct paths — the enumerator must stop with an error rather
+	// than loop.
+	cfg := ir.NewConfig("r", ir.VendorCisco)
+	rm := &ir.RouteMap{Name: "BOOM", DefaultAction: ir.Deny}
+	for i := 0; i < 20; i++ {
+		name := fmt.Sprintf("L%d", i)
+		cfg.CommunityLists[name] = &ir.CommunityList{Name: name, Entries: []ir.CommunityListEntry{
+			{Action: ir.Permit, Conjuncts: []ir.CommunityMatcher{{Literal: fmt.Sprintf("65000:%d", i)}}},
+		}}
+		rm.Clauses = append(rm.Clauses, &ir.RouteMapClause{
+			Action:  ir.ClauseFallthrough,
+			Matches: []ir.Match{ir.MatchCommunity{Lists: []string{name}}},
+			Sets:    []ir.SetAction{ir.SetMED{Value: int64(i)}},
+		})
+	}
+	rm.Clauses = append(rm.Clauses, &ir.RouteMapClause{Action: ir.ClausePermit})
+	cfg.RouteMaps["BOOM"] = rm
+	old := MaxPaths
+	MaxPaths = 1000
+	defer func() { MaxPaths = old }()
+	e := NewRouteEncoding(cfg)
+	if _, err := e.EnumeratePaths(cfg, rm); err == nil {
+		t.Error("path explosion should be reported, not enumerated")
+	}
+}
+
+// TestASPathSymbolicAgreesWithConcrete covers the as-path atomization:
+// the symbolic encoding must agree with concrete evaluation for as-paths
+// drawn from the regex exemplar universe.
+func TestASPathSymbolicAgreesWithConcrete(t *testing.T) {
+	cfg := ir.NewConfig("r", ir.VendorCisco)
+	cfg.ASPathLists["AP"] = &ir.ASPathList{Name: "AP", Entries: []ir.ASPathListEntry{
+		{Action: ir.Permit, Regex: "^65000$"},
+		{Action: ir.Deny, Regex: "^65001$"},
+		{Action: ir.Permit, Regex: "^6500[01]$"},
+	}}
+	cfg.RouteMaps["P"] = &ir.RouteMap{Name: "P", DefaultAction: ir.Deny,
+		Clauses: []*ir.RouteMapClause{
+			{Action: ir.ClausePermit, Matches: []ir.Match{ir.MatchASPath{Lists: []string{"AP"}}}},
+		}}
+	e := NewRouteEncoding(cfg)
+	paths, err := e.EnumeratePaths(cfg, cfg.RouteMaps["P"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := func(asPath []int64) bool {
+		r := ir.NewRoute(netaddr.MustParsePrefix("192.0.2.0/24"))
+		r.ASPath = asPath
+		cube := e.RouteCube(r)
+		for _, p := range paths {
+			if p.Accept && e.F.And(p.Guard, cube) != bdd.False {
+				return true
+			}
+		}
+		return false
+	}
+	cases := []struct {
+		path []int64
+		want bool
+	}{
+		{[]int64{65000}, true},  // first entry permits
+		{[]int64{65001}, false}, // second entry denies (first match wins)
+		{[]int64{65002}, false}, // matches nothing
+	}
+	for _, c := range cases {
+		symbolicAccept := probe(c.path)
+		r := ir.NewRoute(netaddr.MustParsePrefix("192.0.2.0/24"))
+		r.ASPath = c.path
+		concrete := cfg.EvalRouteMap(cfg.RouteMaps["P"], r).Action == ir.Permit
+		if concrete != c.want {
+			t.Errorf("concrete eval of %v = %v, want %v", c.path, concrete, c.want)
+		}
+		if symbolicAccept != c.want {
+			t.Errorf("symbolic eval of %v = %v, want %v", c.path, symbolicAccept, c.want)
+		}
+	}
+}
+
+func TestEncodingAccessors(t *testing.T) {
+	cfg := ir.NewConfig("r", ir.VendorCisco)
+	cfg.CommunityLists["L"] = &ir.CommunityList{Name: "L", Entries: []ir.CommunityListEntry{
+		{Action: ir.Permit, Conjuncts: []ir.CommunityMatcher{{Literal: "10:10"}}},
+	}}
+	e := NewRouteEncoding(cfg)
+	if e.NumVars() != len(e.PrefixVars())+len(e.NonPrefixVars()) {
+		t.Error("prefix/non-prefix vars must partition the space")
+	}
+	if len(e.CommunityVars()) != e.Comms.Size() {
+		t.Error("CommunityVars size")
+	}
+	if len(e.CommunityVars())+len(e.NonCommunityVars()) != e.NumVars() {
+		t.Error("community/non-community vars must partition the space")
+	}
+	if e.String() == "" {
+		t.Error("String")
+	}
+	if _, ok := e.CommunityAtomVar("10:10"); !ok {
+		t.Error("atom var missing")
+	}
+	if _, ok := e.CommunityAtomVar("99:99"); ok {
+		t.Error("unknown atom should miss")
+	}
+	pe := NewPacketEncoding()
+	if len(pe.SrcIPVars()) != 32 || len(pe.DstIPVars()) != 32 {
+		t.Error("address var widths")
+	}
+	if len(pe.NonAddrVars("src"))+32 != pe.F.NumVars() {
+		t.Error("src partition")
+	}
+	pkt := ir.Packet{Src: netaddr.MustParseAddr("1.2.3.4"), Dst: netaddr.MustParseAddr("5.6.7.8"),
+		Protocol: ir.ProtoNumTCP, SrcPort: 1234, DstPort: 80, TCPAck: true, ICMPType: 0}
+	a := pe.F.AnySat(pe.PacketCube(pkt))
+	back := pe.PacketFromAssignment(a)
+	if back != pkt {
+		t.Errorf("packet round trip: %+v vs %+v", back, pkt)
+	}
+	if pe.F.And(pe.SrcPrefixBDD(netaddr.MustParsePrefix("1.2.0.0/16")), pe.PacketCube(pkt)) == bdd.False {
+		t.Error("src prefix should contain the packet")
+	}
+	if pe.F.And(pe.DstPrefixBDD(netaddr.MustParsePrefix("9.0.0.0/8")), pe.PacketCube(pkt)) != bdd.False {
+		t.Error("dst prefix should exclude the packet")
+	}
+}
+
+func TestTransformStringVariants(t *testing.T) {
+	med, w, tag := int64(5), int64(7), int64(9)
+	nh := netaddr.MustParseAddr("10.0.0.1")
+	tr := Transform{
+		MED: &med, Weight: &w, Tag: &tag, NextHop: &nh,
+		CommClear: true, CommAdd: []string{"1:1"},
+		Prepend: []int64{65000},
+	}
+	s := tr.String()
+	for _, want := range []string{"SET MED 5", "SET WEIGHT 7", "SET TAG 9",
+		"SET NEXT HOP 10.0.0.1", "SET COMMUNITIES [1:1]", "PREPEND 65000"} {
+		if !containsStr(s, want) {
+			t.Errorf("Transform.String missing %q in %q", want, s)
+		}
+	}
+	tr2 := Transform{CommAdd: []string{"2:2"}, CommDelete: []string{"3:3"}}
+	s2 := tr2.String()
+	if !containsStr(s2, "ADD COMMUNITIES [2:2]") || !containsStr(s2, "DELETE COMMUNITIES [3:3]") {
+		t.Errorf("String = %q", s2)
+	}
+	// Apply with every field.
+	r := ir.NewRoute(netaddr.MustParsePrefix("10.0.0.0/8"))
+	r.Communities["3:3"] = true
+	tr2.Apply(r)
+	if r.Communities["3:3"] || !r.Communities["2:2"] {
+		t.Error("Apply delete/add")
+	}
+	tr.Apply(r)
+	if r.MED != 5 || r.Weight != 7 || r.Tag != 9 || r.NextHop != nh {
+		t.Error("Apply numeric fields")
+	}
+	if len(r.Communities) != 1 || !r.Communities["1:1"] {
+		t.Error("Apply clear+set")
+	}
+	if len(r.ASPath) != 1 || r.ASPath[0] != 65000 {
+		t.Error("Apply prepend")
+	}
+	// Inequalities through Equal.
+	if tr.Equal(tr2) {
+		t.Error("different transforms must not be equal")
+	}
+	other := Transform{MED: &w}
+	if other.Equal(Transform{MED: &med}) {
+		t.Error("different MED values")
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,248 @@
+package symbolic
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ir"
+	"repro/internal/netaddr"
+)
+
+// Transform is the canonical form of a sequence of route-map set actions:
+// two clauses (or clause sequences) are behaviourally equal exactly when
+// their Transforms are equal. Community effects are canonicalized over the
+// encoding's atom universe, so "set community" sequences with the same net
+// effect compare equal regardless of spelling.
+type Transform struct {
+	LocalPref *int64
+	MED       *int64
+	Weight    *int64
+	Tag       *int64
+	NextHop   *netaddr.Addr
+
+	CommClear  bool
+	CommAdd    []string // sorted community strings added
+	CommDelete []string // sorted universe atoms deleted (empty if CommClear)
+
+	Prepend []int64
+}
+
+// TransformOf canonicalizes an ordered list of set actions under the named
+// lists of cfg and the encoding's community universe.
+func (e *RouteEncoding) TransformOf(cfg *ir.Config, sets []ir.SetAction) Transform {
+	var t Transform
+	added := map[string]bool{}
+	deleted := map[string]bool{}
+	for _, s := range sets {
+		switch s := s.(type) {
+		case ir.SetLocalPref:
+			v := s.Value
+			t.LocalPref = &v
+		case ir.SetMED:
+			v := s.Value
+			t.MED = &v
+		case ir.SetWeight:
+			v := s.Value
+			t.Weight = &v
+		case ir.SetTag:
+			v := s.Value
+			t.Tag = &v
+		case ir.SetNextHop:
+			a := s.Addr
+			t.NextHop = &a
+		case ir.SetASPathPrepend:
+			t.Prepend = append(t.Prepend, s.ASNs...)
+		case ir.SetCommunities:
+			if !s.Additive {
+				t.CommClear = true
+				added = map[string]bool{}
+				deleted = map[string]bool{}
+			}
+			for _, c := range s.Communities {
+				added[c] = true
+				delete(deleted, c)
+			}
+		case ir.DeleteCommunity:
+			cl := cfg.CommunityLists[s.List]
+			if cl == nil {
+				continue
+			}
+			// Deleting affects both the original communities (tracked as
+			// deleted atoms) and any previously added ones.
+			for _, e2 := range cl.Entries {
+				if len(e2.Conjuncts) != 1 || e2.Action != ir.Permit {
+					continue
+				}
+				m := e2.Conjuncts[0]
+				matcher := e.deleteMatcher(m)
+				for _, atom := range e.Comms.Atoms() {
+					if matcher(atom) {
+						deleted[atom] = true
+					}
+				}
+				for c := range added {
+					if matcher(c) {
+						delete(added, c)
+					}
+				}
+			}
+		}
+	}
+	t.CommAdd = sortedKeys(added)
+	if !t.CommClear {
+		// Atoms re-added after deletion are present, not deleted.
+		for c := range added {
+			delete(deleted, c)
+		}
+		t.CommDelete = sortedKeys(deleted)
+	}
+	return t
+}
+
+func (e *RouteEncoding) deleteMatcher(m ir.CommunityMatcher) func(string) bool {
+	if m.Regex == "" {
+		return func(s string) bool { return s == m.Literal }
+	}
+	cm := e.matcherFor(m.Regex)
+	return cm.Matches
+}
+
+func sortedKeys(set map[string]bool) []string {
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Equal reports canonical equality of two transforms.
+func (t Transform) Equal(o Transform) bool {
+	return eqInt64Ptr(t.LocalPref, o.LocalPref) &&
+		eqInt64Ptr(t.MED, o.MED) &&
+		eqInt64Ptr(t.Weight, o.Weight) &&
+		eqInt64Ptr(t.Tag, o.Tag) &&
+		eqAddrPtr(t.NextHop, o.NextHop) &&
+		t.CommClear == o.CommClear &&
+		eqStrings(t.CommAdd, o.CommAdd) &&
+		eqStrings(t.CommDelete, o.CommDelete) &&
+		eqInt64s(t.Prepend, o.Prepend)
+}
+
+// IsIdentity reports whether the transform changes nothing.
+func (t Transform) IsIdentity() bool {
+	return t.Equal(Transform{})
+}
+
+func eqInt64Ptr(a, b *int64) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	return *a == *b
+}
+
+func eqAddrPtr(a, b *netaddr.Addr) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	return *a == *b
+}
+
+func eqStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func eqInt64s(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the transform for the Action rows of Campion's output
+// (e.g. "SET LOCAL PREF 30").
+func (t Transform) String() string {
+	var parts []string
+	if t.LocalPref != nil {
+		parts = append(parts, fmt.Sprintf("SET LOCAL PREF %d", *t.LocalPref))
+	}
+	if t.MED != nil {
+		parts = append(parts, fmt.Sprintf("SET MED %d", *t.MED))
+	}
+	if t.Weight != nil {
+		parts = append(parts, fmt.Sprintf("SET WEIGHT %d", *t.Weight))
+	}
+	if t.Tag != nil {
+		parts = append(parts, fmt.Sprintf("SET TAG %d", *t.Tag))
+	}
+	if t.NextHop != nil {
+		parts = append(parts, "SET NEXT HOP "+t.NextHop.String())
+	}
+	if t.CommClear {
+		parts = append(parts, "SET COMMUNITIES ["+strings.Join(t.CommAdd, " ")+"]")
+	} else {
+		if len(t.CommAdd) > 0 {
+			parts = append(parts, "ADD COMMUNITIES ["+strings.Join(t.CommAdd, " ")+"]")
+		}
+		if len(t.CommDelete) > 0 {
+			parts = append(parts, "DELETE COMMUNITIES ["+strings.Join(t.CommDelete, " ")+"]")
+		}
+	}
+	if len(t.Prepend) > 0 {
+		ss := make([]string, len(t.Prepend))
+		for i, a := range t.Prepend {
+			ss[i] = fmt.Sprintf("%d", a)
+		}
+		parts = append(parts, "PREPEND "+strings.Join(ss, " "))
+	}
+	return strings.Join(parts, "\n")
+}
+
+// Apply runs the transform on a concrete route (for cross-checks and the
+// SRP simulator). The route is mutated in place.
+func (t Transform) Apply(r *ir.Route) {
+	if t.LocalPref != nil {
+		r.LocalPref = *t.LocalPref
+	}
+	if t.MED != nil {
+		r.MED = *t.MED
+	}
+	if t.Weight != nil {
+		r.Weight = *t.Weight
+	}
+	if t.Tag != nil {
+		r.Tag = *t.Tag
+	}
+	if t.NextHop != nil {
+		r.NextHop = *t.NextHop
+	}
+	if t.CommClear {
+		r.Communities = map[string]bool{}
+	}
+	for _, c := range t.CommDelete {
+		delete(r.Communities, c)
+	}
+	for _, c := range t.CommAdd {
+		r.Communities[c] = true
+	}
+	if len(t.Prepend) > 0 {
+		r.ASPath = append(append([]int64{}, t.Prepend...), r.ASPath...)
+	}
+}

@@ -1,0 +1,376 @@
+package testnets
+
+// Scenario 1 — debugging redundant routers (§5.1). Two ToR backup pairs.
+// Across the pairs Campion should find five BGP policy bugs (missing
+// policy fragments and a wrong local preference) and two static-route
+// next-hop bugs, the counts of Table 6's first row.
+
+// tor1Cisco is the primary of the first ToR pair. Its CUST-NETS import
+// filter is missing 10.13.0.0/16 (present on the backup — the "missing
+// prefix in the primary" bug the paper highlights), and its EXPORT-DC
+// correctly drops RFC1918 space.
+const tor1Cisco = `hostname tor1-primary
+!
+interface GigabitEthernet0/0
+ ip address 10.128.1.1 255.255.255.0
+interface GigabitEthernet0/1
+ ip address 10.128.2.1 255.255.255.0
+!
+ip prefix-list CUST-NETS permit 10.10.0.0/16 le 24
+ip prefix-list CUST-NETS permit 10.11.0.0/16 le 24
+ip prefix-list CUST-NETS permit 10.12.0.0/16 le 24
+!
+ip prefix-list RFC1918 permit 192.168.0.0/16 le 32
+ip prefix-list RFC1918 permit 172.16.0.0/12 le 32
+!
+route-map CUSTOMER-IN permit 10
+ match ip address CUST-NETS
+ set local-preference 200
+route-map CUSTOMER-IN deny 20
+!
+route-map EXPORT-DC deny 10
+ match ip address RFC1918
+route-map EXPORT-DC permit 20
+!
+route-map PARTNER-IN permit 10
+ set local-preference 150
+!
+ip route 10.70.0.0 255.255.0.0 10.128.1.254
+ip route 10.71.0.0 255.255.0.0 10.128.2.254
+!
+router bgp 65010
+ bgp router-id 10.128.0.1
+ neighbor 10.128.1.2 remote-as 65020
+ neighbor 10.128.1.2 route-map CUSTOMER-IN in
+ neighbor 10.128.1.2 route-map EXPORT-DC out
+ neighbor 10.128.1.2 send-community
+ neighbor 10.128.2.2 remote-as 65030
+ neighbor 10.128.2.2 route-map PARTNER-IN in
+ neighbor 10.128.2.2 send-community
+`
+
+// tor1Juniper is the backup: CUST-NETS has the fourth prefix, EXPORT-DC
+// is missing the RFC1918 deny fragment, PARTNER-IN sets local preference
+// 250 instead of 150, and the 10.70/16 static route points at a wrong
+// next hop.
+const tor1Juniper = `system { host-name tor1-backup; }
+interfaces {
+    ge-0/0/0 { unit 0 { family inet { address 10.128.1.1/24; } } }
+    ge-0/0/1 { unit 0 { family inet { address 10.128.2.1/24; } } }
+}
+policy-options {
+    policy-statement CUSTOMER-IN {
+        term customers {
+            from {
+                route-filter 10.10.0.0/16 upto /24;
+                route-filter 10.11.0.0/16 upto /24;
+                route-filter 10.12.0.0/16 upto /24;
+                route-filter 10.13.0.0/16 upto /24;
+            }
+            then {
+                local-preference 200;
+                accept;
+            }
+        }
+        term final {
+            then reject;
+        }
+    }
+    policy-statement EXPORT-DC {
+        term all {
+            then accept;
+        }
+    }
+    policy-statement PARTNER-IN {
+        term all {
+            then {
+                local-preference 250;
+                accept;
+            }
+        }
+    }
+}
+routing-options {
+    static {
+        route 10.70.0.0/16 {
+            next-hop 10.128.1.250;
+            preference 1;
+        }
+        route 10.71.0.0/16 {
+            next-hop 10.128.2.254;
+            preference 1;
+        }
+    }
+    autonomous-system 65010;
+}
+protocols {
+    bgp {
+        group customers {
+            type external;
+            peer-as 65020;
+            neighbor 10.128.1.2 {
+                import CUSTOMER-IN;
+                export EXPORT-DC;
+            }
+        }
+        group partners {
+            type external;
+            peer-as 65030;
+            neighbor 10.128.2.2 {
+                import PARTNER-IN;
+            }
+        }
+    }
+}
+`
+
+// tor2Cisco is the primary of the second ToR pair.
+const tor2Cisco = `hostname tor2-primary
+!
+interface GigabitEthernet0/0
+ ip address 10.129.1.1 255.255.255.0
+!
+ip prefix-list SVC-NETS permit 10.20.0.0/16 le 24
+ip prefix-list SVC-NETS permit 10.21.0.0/16 le 24
+!
+route-map SERVICE-IN permit 10
+ match ip address SVC-NETS
+ set local-preference 300
+route-map SERVICE-IN deny 20
+!
+route-map SERVICE-OUT permit 10
+ set community 65010:77
+!
+ip route 10.80.0.0 255.255.0.0 10.129.1.254
+!
+router bgp 65010
+ bgp router-id 10.129.0.1
+ neighbor 10.129.1.2 remote-as 65040
+ neighbor 10.129.1.2 route-map SERVICE-IN in
+ neighbor 10.129.1.2 route-map SERVICE-OUT out
+ neighbor 10.129.1.2 send-community
+`
+
+// tor2Juniper is the backup: SVC-NETS is missing 10.21.0.0/16 and
+// SERVICE-OUT does not tag routes with the 65010:77 community.
+const tor2Juniper = `system { host-name tor2-backup; }
+interfaces {
+    ge-0/0/0 { unit 0 { family inet { address 10.129.1.1/24; } } }
+}
+policy-options {
+    policy-statement SERVICE-IN {
+        term services {
+            from {
+                route-filter 10.20.0.0/16 upto /24;
+            }
+            then {
+                local-preference 300;
+                accept;
+            }
+        }
+        term final {
+            then reject;
+        }
+    }
+    policy-statement SERVICE-OUT {
+        term all {
+            then accept;
+        }
+    }
+}
+routing-options {
+    static {
+        route 10.80.0.0/16 {
+            next-hop 10.129.1.200;
+            preference 1;
+        }
+    }
+    autonomous-system 65010;
+}
+protocols {
+    bgp {
+        group services {
+            type external;
+            peer-as 65040;
+            neighbor 10.129.1.2 {
+                import SERVICE-IN;
+                export SERVICE-OUT;
+            }
+        }
+    }
+}
+`
+
+// DatacenterToRPairs returns the Scenario 1 backup pairs.
+func DatacenterToRPairs() []Pair {
+	return []Pair{
+		mustPair("dc-tor1", tor1Cisco, tor1Juniper),
+		mustPair("dc-tor2", tor2Cisco, tor2Juniper),
+	}
+}
+
+// Scenario 2 — router replacement (§5.1). The old Cisco configuration is
+// manually rewritten into JunOS; the rewrite contains one incorrect
+// community number and three incorrect local preferences, one of them on
+// the route-reflector policy whose failure would have caused a severe
+// outage.
+
+const replacementCisco = `hostname agg-old-cisco
+!
+interface GigabitEthernet0/0
+ ip address 10.140.1.1 255.255.255.0
+!
+ip prefix-list TIER1 permit 10.30.0.0/16 le 24
+ip prefix-list TIER2 permit 10.31.0.0/16 le 24
+ip prefix-list TIER3 permit 10.32.0.0/16 le 24
+ip prefix-list TAGGED permit 10.33.0.0/16 le 24
+!
+route-map RR-POLICY permit 10
+ match ip address TIER1
+ set local-preference 400
+route-map RR-POLICY permit 20
+ match ip address TIER2
+ set local-preference 300
+route-map RR-POLICY permit 30
+ match ip address TIER3
+ set local-preference 200
+route-map RR-POLICY permit 40
+ match ip address TAGGED
+ set community 65010:100 additive
+route-map RR-POLICY deny 50
+!
+router bgp 65010
+ bgp router-id 10.140.0.1
+ neighbor 10.140.1.2 remote-as 65010
+ neighbor 10.140.1.2 route-reflector-client
+ neighbor 10.140.1.2 route-map RR-POLICY out
+ neighbor 10.140.1.2 send-community
+`
+
+const replacementJuniper = `system { host-name agg-new-juniper; }
+interfaces {
+    ge-0/0/0 { unit 0 { family inet { address 10.140.1.1/24; } } }
+}
+policy-options {
+    community TAG members 65010:101;
+    policy-statement RR-POLICY {
+        term tier1 {
+            from {
+                route-filter 10.30.0.0/16 upto /24;
+            }
+            then {
+                local-preference 410;
+                accept;
+            }
+        }
+        term tier2 {
+            from {
+                route-filter 10.31.0.0/16 upto /24;
+            }
+            then {
+                local-preference 310;
+                accept;
+            }
+        }
+        term tier3 {
+            from {
+                route-filter 10.32.0.0/16 upto /24;
+            }
+            then {
+                local-preference 210;
+                accept;
+            }
+        }
+        term tagged {
+            from {
+                route-filter 10.33.0.0/16 upto /24;
+            }
+            then {
+                community add TAG;
+                accept;
+            }
+        }
+        term final {
+            then reject;
+        }
+    }
+}
+routing-options {
+    autonomous-system 65010;
+}
+protocols {
+    bgp {
+        group rr-clients {
+            type internal;
+            cluster 10.140.0.2;
+            neighbor 10.140.1.2 {
+                export RR-POLICY;
+            }
+        }
+    }
+}
+`
+
+// DatacenterReplacement returns the Scenario 2 replacement pair.
+func DatacenterReplacement() Pair {
+	return mustPair("dc-replacement", replacementCisco, replacementJuniper)
+}
+
+// Scenario 3 — access control in gateway routers (§5.1, Table 7). The
+// Juniper gateway filter is missing the 9.140.0.0/23 blacklist term and
+// additionally accepts NTP toward the DNS block.
+
+const gatewayCisco = `hostname gw-cisco
+!
+interface GigabitEthernet0/0
+ ip address 10.150.1.1 255.255.255.0
+ ip access-group VM_FILTER_1 in
+!
+ip access-list extended VM_FILTER_1
+ 2299 deny ipv4 9.140.0.0 0.0.1.255 any
+ 2300 permit tcp any 10.60.0.0 0.0.255.255 eq 80 443
+ 2301 permit udp any 10.61.0.0 0.0.255.255 eq 53
+`
+
+const gatewayJuniper = `system { host-name gw-juniper; }
+interfaces {
+    ge-0/0/0 {
+        unit 0 {
+            family inet {
+                address 10.150.1.2/24;
+                filter { input VM_FILTER_1; }
+            }
+        }
+    }
+}
+firewall {
+    family inet {
+        filter VM_FILTER_1 {
+            term permit_whitelist {
+                from {
+                    protocol tcp;
+                    destination-address { 10.60.0.0/16; }
+                    destination-port [ 80 443 ];
+                }
+                then accept;
+            }
+            term permit_dns {
+                from {
+                    protocol udp;
+                    destination-address { 10.61.0.0/16; }
+                    destination-port [ 53 123 ];
+                }
+                then accept;
+            }
+            term final {
+                then discard;
+            }
+        }
+    }
+}
+`
+
+// DatacenterGateway returns the Scenario 3 gateway pair.
+func DatacenterGateway() Pair {
+	return mustPair("dc-gateway", gatewayCisco, gatewayJuniper)
+}

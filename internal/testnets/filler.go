@@ -1,0 +1,44 @@
+package testnets
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/aclgen"
+)
+
+// Scaled returns a variant of the pair grown with semantically neutral
+// filler — loopback interfaces with identical subnets on both sides and a
+// large ACL rendered equivalently for each vendor — bringing the
+// configurations up to the size range the paper evaluated ("300 lines to
+// more than 1000 lines", data-center devices "thousands of lines")
+// without changing any difference count.
+func Scaled(p Pair, loopbacks, aclRules int) Pair {
+	var cb, jb strings.Builder
+	cb.WriteString(p.Text1)
+	cb.WriteString("\n!\n")
+	for i := 0; i < loopbacks; i++ {
+		fmt.Fprintf(&cb, "interface Loopback%d\n ip address 172.20.%d.%d 255.255.255.255\n",
+			i, i/256, i%256)
+	}
+	pair := aclgen.Generate(aclgen.Params{Seed: 0xf111e4, Rules: aclRules, Differences: 0})
+	cb.WriteString("!\n")
+	cb.WriteString(pair.CiscoText)
+
+	jb.WriteString(p.Text2)
+	jb.WriteString("\n")
+	jb.WriteString("interfaces {\n")
+	for i := 0; i < loopbacks; i++ {
+		fmt.Fprintf(&jb, "    lo0-%d { unit 0 { family inet { address 172.20.%d.%d/32; } } }\n",
+			i, i/256, i%256)
+	}
+	jb.WriteString("}\n")
+	jb.WriteString(pair.JuniperText)
+
+	return mustPair(p.Name+"-scaled", cb.String(), jb.String())
+}
+
+// LineCount reports the configuration sizes of the pair.
+func (p Pair) LineCount() (int, int) {
+	return strings.Count(p.Text1, "\n") + 1, strings.Count(p.Text2, "\n") + 1
+}

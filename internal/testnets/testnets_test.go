@@ -1,0 +1,290 @@
+package testnets
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// countByPolicy groups route-map diffs by the compared policy pair.
+func countByPolicy(rep *core.Report) map[string]int {
+	out := map[string]int{}
+	for _, d := range rep.RouteMapDiffs {
+		out[d.Pair.Name1] = out[d.Pair.Name1] + 1
+	}
+	return out
+}
+
+// staticClasses groups static-route structural diffs by prefix (the
+// paper's "classes of errors").
+func staticClasses(rep *core.Report) map[string]bool {
+	out := map[string]bool{}
+	for _, d := range rep.Structural {
+		if d.Component == "static-route" {
+			out[d.Key] = true
+		}
+	}
+	return out
+}
+
+// TestUniversityCoreTable8 pins the Table 8 counts for the core pair:
+// EXPORT1 has 5 outputted differences, EXPORT2 has 1, IMPORT-ALL has 0;
+// static routes show 2 classes of differences; the BGP properties show
+// the send-community class.
+func TestUniversityCoreTable8(t *testing.T) {
+	p := UniversityCore()
+	rep, err := core.Diff(p.Config1, p.Config2, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := countByPolicy(rep)
+	if counts["EXPORT1"] != 5 {
+		t.Errorf("EXPORT1 outputted differences = %d, want 5 (Table 8a)", counts["EXPORT1"])
+	}
+	if counts["EXPORT2"] != 1 {
+		t.Errorf("EXPORT2 outputted differences = %d, want 1 (Table 8a)", counts["EXPORT2"])
+	}
+	if counts["IMPORT-ALL"] != 0 {
+		t.Errorf("IMPORT-ALL outputted differences = %d, want 0 (Table 8a)", counts["IMPORT-ALL"])
+	}
+
+	classes := staticClasses(rep)
+	if len(classes) != 3 { // 10.200/16 attribute class + 10.201, 10.202 presence
+		t.Errorf("static route prefixes with diffs = %v", classes)
+	}
+	// The paper groups these as two classes of errors: differing
+	// attributes for a shared prefix, and routes present on one side.
+	var attributeClass, presenceClass int
+	seenField := map[string]string{}
+	for _, d := range rep.Structural {
+		if d.Component != "static-route" {
+			continue
+		}
+		if _, dup := seenField[d.Key]; !dup {
+			seenField[d.Key] = d.Field
+			if d.Field == "attributes" {
+				attributeClass++
+			} else {
+				presenceClass++
+			}
+		}
+	}
+	if attributeClass == 0 || presenceClass == 0 {
+		t.Errorf("want both static diff classes, got attr=%d presence=%d", attributeClass, presenceClass)
+	}
+
+	var sendCommunity int
+	for _, d := range rep.Structural {
+		if d.Component == "bgp-neighbor" && d.Field == "send-community" {
+			sendCommunity++
+		}
+	}
+	if sendCommunity != 2 { // the two iBGP neighbors
+		t.Errorf("send-community diffs = %d, want 2 (one class)", sendCommunity)
+	}
+
+	// No spurious diffs in other components.
+	for _, d := range rep.Structural {
+		switch d.Component {
+		case "static-route", "bgp-neighbor":
+		default:
+			t.Errorf("unexpected structural diff: %+v", d)
+		}
+	}
+	if len(rep.ACLDiffs) != 0 || len(rep.UnmatchedACLs1)+len(rep.UnmatchedACLs2) != 0 {
+		t.Error("core pair has no ACLs")
+	}
+}
+
+// TestUniversityBorderTable8 pins the border pair counts: EXPORT3 = 1,
+// EXPORT4 = 1, EXPORT5 = 2, IMPORT-DEFAULT = 0.
+func TestUniversityBorderTable8(t *testing.T) {
+	p := UniversityBorder()
+	rep, err := core.Diff(p.Config1, p.Config2, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := countByPolicy(rep)
+	want := map[string]int{"EXPORT3": 1, "EXPORT4": 1, "EXPORT5": 2}
+	for name, n := range want {
+		if counts[name] != n {
+			t.Errorf("%s outputted differences = %d, want %d (Table 8a)", name, counts[name], n)
+		}
+	}
+	if counts["IMPORT-DEFAULT"] != 0 {
+		t.Errorf("IMPORT-DEFAULT = %d, want 0", counts["IMPORT-DEFAULT"])
+	}
+	if len(staticClasses(rep)) != 0 {
+		t.Error("border pair should have no static diffs")
+	}
+}
+
+// TestDatacenterScenario1 pins Table 6's first row: five semantic BGP
+// differences and two static-route bugs across the ToR backup pairs.
+func TestDatacenterScenario1(t *testing.T) {
+	var bgpDiffs int
+	staticBugs := map[string]bool{}
+	for _, p := range DatacenterToRPairs() {
+		rep, err := core.Diff(p.Config1, p.Config2, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bgpDiffs += len(rep.RouteMapDiffs)
+		for prefix := range staticClasses(rep) {
+			staticBugs[p.Name+"/"+prefix] = true
+		}
+		if len(rep.ACLDiffs) != 0 {
+			t.Errorf("%s: unexpected ACL diffs", p.Name)
+		}
+	}
+	if bgpDiffs != 5 {
+		t.Errorf("scenario 1 BGP semantic differences = %d, want 5 (Table 6)", bgpDiffs)
+	}
+	if len(staticBugs) != 2 {
+		t.Errorf("scenario 1 static-route bugs = %v, want 2 (Table 6)", staticBugs)
+	}
+}
+
+// TestDatacenterScenario2 pins Table 6's second row: four semantic BGP
+// differences (three wrong local preferences and one wrong community).
+func TestDatacenterScenario2(t *testing.T) {
+	p := DatacenterReplacement()
+	rep, err := core.Diff(p.Config1, p.Config2, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.RouteMapDiffs) != 4 {
+		for _, d := range rep.RouteMapDiffs {
+			t.Logf("diff: %s %s vs %s", d.Pair, d.Action1, d.Action2)
+		}
+		t.Errorf("scenario 2 differences = %d, want 4 (Table 6)", len(rep.RouteMapDiffs))
+	}
+	var lpDiffs, commDiffs int
+	for _, d := range rep.RouteMapDiffs {
+		switch {
+		case contains(d.Action1, "LOCAL PREF") || contains(d.Action2, "LOCAL PREF"):
+			lpDiffs++
+		case contains(d.Action1, "COMMUNI") || contains(d.Action2, "COMMUNI"):
+			commDiffs++
+		}
+	}
+	if lpDiffs != 3 || commDiffs != 1 {
+		t.Errorf("lp diffs = %d (want 3), community diffs = %d (want 1)", lpDiffs, commDiffs)
+	}
+	// The structural check must confirm the route reflector client flag
+	// was translated correctly (no diff).
+	for _, d := range rep.Structural {
+		if d.Field == "route-reflector-client" {
+			t.Error("RR client flag should match on both sides")
+		}
+	}
+}
+
+// TestDatacenterScenario3 pins Table 6's third row: three semantic ACL
+// differences, including the Table 7 example (source 9.140.0.0/23
+// rejected by the Cisco gateway, accepted by the Juniper one).
+func TestDatacenterScenario3(t *testing.T) {
+	p := DatacenterGateway()
+	rep, err := core.Diff(p.Config1, p.Config2, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.ACLDiffs) != 3 {
+		for _, d := range rep.ACLDiffs {
+			t.Logf("acl diff: %s %s vs %s", d.Name1, d.Action1, d.Action2)
+		}
+		t.Fatalf("scenario 3 ACL differences = %d, want 3 (Table 6)", len(rep.ACLDiffs))
+	}
+	// Table 7's featured difference: REJECT on the Cisco side, ACCEPT on
+	// the Juniper side, source localized to 9.140.0.0/23, text localized
+	// to the numbered deny line and the permitting term.
+	var found bool
+	for _, d := range rep.ACLDiffs {
+		if d.Action1 != "REJECT" || d.Action2 != "ACCEPT" {
+			continue
+		}
+		for _, term := range d.Localization.SrcTerms {
+			if term.Include.Prefix.String() == "9.140.0.0/23" {
+				found = true
+				if !contains(d.Text1.Text(), "2299 deny ipv4 9.140.0.0 0.0.1.255 any") {
+					t.Errorf("text1 = %q", d.Text1.Text())
+				}
+				if !contains(d.Text2.Text(), "term permit_") {
+					t.Errorf("text2 = %q", d.Text2.Text())
+				}
+			}
+		}
+	}
+	if !found {
+		t.Error("Table 7 difference (src 9.140.0.0/23) not found")
+	}
+	if len(rep.RouteMapDiffs) != 0 {
+		t.Error("gateway pair has no BGP policies")
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && indexOf(s, sub) >= 0
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+// TestNoParseGaps ensures the synthetic configurations are fully
+// understood by the parsers (no unrecognized lines sneak into the
+// evaluation).
+func TestNoParseGaps(t *testing.T) {
+	pairs := []Pair{UniversityCore(), UniversityBorder(), DatacenterReplacement(), DatacenterGateway()}
+	pairs = append(pairs, DatacenterToRPairs()...)
+	for _, p := range pairs {
+		for _, u := range p.Config1.Unrecognized {
+			t.Errorf("%s config1 unrecognized: %s %q", p.Name, u.Location(), u.Text())
+		}
+		for _, u := range p.Config2.Unrecognized {
+			t.Errorf("%s config2 unrecognized: %s %q", p.Name, u.Location(), u.Text())
+		}
+	}
+}
+
+// TestScaledPairsKeepCounts grows the university core pair to the paper's
+// config sizes and checks that the filler is behaviorally neutral: the
+// difference counts are unchanged.
+func TestScaledPairsKeepCounts(t *testing.T) {
+	base := UniversityCore()
+	scaled := Scaled(base, 120, 150)
+	l1, l2 := scaled.LineCount()
+	if l1 < 300 || l2 < 300 {
+		t.Errorf("scaled configs too small: %d / %d lines", l1, l2)
+	}
+	repBase, err := core.Diff(base.Config1, base.Config2, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repScaled, err := core.Diff(scaled.Config1, scaled.Config2, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(repScaled.RouteMapDiffs) != len(repBase.RouteMapDiffs) {
+		t.Errorf("route map diffs changed: %d vs %d",
+			len(repScaled.RouteMapDiffs), len(repBase.RouteMapDiffs))
+	}
+	if len(repScaled.ACLDiffs) != 0 {
+		t.Errorf("filler ACLs must be equivalent, got %d diffs", len(repScaled.ACLDiffs))
+	}
+	if len(repScaled.Structural) != len(repBase.Structural) {
+		t.Errorf("structural diffs changed: %d vs %d",
+			len(repScaled.Structural), len(repBase.Structural))
+	}
+	for _, u := range scaled.Config1.Unrecognized {
+		t.Errorf("scaled cisco unrecognized: %q", u.Text())
+	}
+	for _, u := range scaled.Config2.Unrecognized {
+		t.Errorf("scaled juniper unrecognized: %q", u.Text())
+	}
+}

@@ -1,0 +1,388 @@
+// Package testnets contains the synthetic configuration pairs behind the
+// paper's evaluation (§5): a university network with a Cisco/Juniper core
+// pair and border pair (Table 8), and a data-center network with backup
+// ToR pairs, a router replacement, and gateway ACLs (Tables 6 and 7).
+// The production configurations are confidential; these pairs are
+// engineered to contain exactly the bug classes the paper describes, so
+// the experiment harness can regenerate each table's difference counts.
+package testnets
+
+import (
+	"fmt"
+
+	"repro/internal/cisco"
+	"repro/internal/ir"
+	"repro/internal/juniper"
+)
+
+// Pair is a named pair of configurations intended to be equivalent. The
+// raw texts are kept so pairs can be scaled with filler (see Scaled).
+type Pair struct {
+	Name             string
+	Config1, Config2 *ir.Config
+	Text1, Text2     string
+}
+
+func mustPair(name, text1, text2 string) Pair {
+	c1, err := cisco.Parse(name+"-1.cfg", text1)
+	if err != nil {
+		panic(fmt.Sprintf("testnets %s cisco: %v", name, err))
+	}
+	c2, err := juniper.Parse(name+"-2.cfg", text2)
+	if err != nil {
+		panic(fmt.Sprintf("testnets %s juniper: %v", name, err))
+	}
+	return Pair{Name: name, Config1: c1, Config2: c2, Text1: text1, Text2: text2}
+}
+
+// universityCoreCisco is the Cisco member of the core backup pair. Its
+// EXPORT1 policy is the paper's Figure 1 extended with the third-clause
+// and fall-through discrepancies §5.2 describes; EXPORT2 shares the NETS
+// prefix-list bug; IMPORT-ALL is correctly translated on both sides.
+const universityCoreCisco = `hostname core-cisco
+!
+interface GigabitEthernet0/0
+ description to-peer1
+ ip address 10.0.1.1 255.255.255.0
+interface GigabitEthernet0/1
+ description to-peer2
+ ip address 10.0.2.1 255.255.255.0
+interface GigabitEthernet0/2
+ description backbone
+ ip address 10.0.3.1 255.255.255.0
+!
+ip prefix-list NETS permit 10.9.0.0/16 le 32
+ip prefix-list NETS permit 10.100.0.0/16 le 32
+!
+ip prefix-list ANNOUNCE permit 10.50.0.0/16 le 24
+!
+ip prefix-list INBOUND permit 0.0.0.0/0 le 24
+!
+ip community-list standard COMM permit 10:10
+ip community-list standard COMM permit 10:11
+!
+route-map EXPORT1 deny 10
+ match ip address NETS
+route-map EXPORT1 deny 20
+ match community COMM
+route-map EXPORT1 permit 30
+ match ip address ANNOUNCE
+ set local-preference 30
+!
+route-map EXPORT2 deny 10
+ match ip address NETS
+route-map EXPORT2 permit 20
+ set local-preference 100
+!
+route-map IMPORT-ALL permit 10
+ match ip address INBOUND
+!
+ip route 10.200.0.0 255.255.0.0 10.0.1.1
+ip route 10.201.0.0 255.255.0.0 10.0.3.254
+ip route 10.202.0.0 255.255.0.0 10.0.3.254
+!
+router ospf 1
+ router-id 10.0.0.1
+ network 10.0.0.0 0.0.255.255 area 0
+!
+router bgp 64900
+ bgp router-id 10.0.0.1
+ neighbor 192.0.2.1 remote-as 65101
+ neighbor 192.0.2.1 route-map EXPORT1 out
+ neighbor 192.0.2.1 route-map IMPORT-ALL in
+ neighbor 192.0.2.1 send-community
+ neighbor 198.51.100.1 remote-as 65102
+ neighbor 198.51.100.1 route-map EXPORT2 out
+ neighbor 198.51.100.1 send-community
+ neighbor 10.0.3.10 remote-as 64900
+ neighbor 10.0.3.11 remote-as 64900
+`
+
+// universityCoreJuniper is the Juniper member of the core pair. Its
+// prefix-lists are exact-match (Difference 1), its COMM community uses
+// AND semantics (Difference 2), EXPORT1's third term carries an extra
+// community condition, and the policies fall through to JunOS
+// default-accept rather than IOS implicit deny. Static route 10.200/16
+// has a different next hop and preference (the intentional difference
+// class of §5.2), and the 10.201/16, 10.202/16 workaround routes are
+// missing. The iBGP neighbors send communities by default while the
+// Cisco side's iBGP neighbors lack send-community.
+const universityCoreJuniper = `system { host-name core-juniper; }
+interfaces {
+    ge-0/0/0 {
+        description "to-peer1";
+        unit 0 { family inet { address 10.0.1.2/24; } }
+    }
+    ge-0/0/1 {
+        description "to-peer2";
+        unit 0 { family inet { address 10.0.2.2/24; } }
+    }
+    ge-0/0/2 {
+        description "backbone";
+        unit 0 { family inet { address 10.0.3.2/24; } }
+    }
+}
+policy-options {
+    prefix-list NETS {
+        10.9.0.0/16;
+        10.100.0.0/16;
+    }
+    prefix-list ANNOUNCE {
+        10.50.0.0/16;
+    }
+    community COMM members [ 10:10 10:11 ];
+    community CUST members 65000:500;
+    policy-statement EXPORT1 {
+        term rule1 {
+            from prefix-list NETS;
+            then reject;
+        }
+        term rule2 {
+            from community COMM;
+            then reject;
+        }
+        term rule3 {
+            from {
+                prefix-list ANNOUNCE;
+                community CUST;
+            }
+            then {
+                local-preference 30;
+                accept;
+            }
+        }
+    }
+    policy-statement EXPORT2 {
+        term rule1 {
+            from prefix-list NETS;
+            then reject;
+        }
+        term rule2 {
+            then {
+                local-preference 100;
+                accept;
+            }
+        }
+    }
+    policy-statement IMPORT-ALL {
+        term rule1 {
+            from {
+                route-filter 0.0.0.0/0 upto /24;
+            }
+            then accept;
+        }
+        term rule2 {
+            then reject;
+        }
+    }
+}
+routing-options {
+    static {
+        route 10.200.0.0/16 {
+            next-hop 10.0.1.9;
+            preference 5;
+        }
+    }
+    autonomous-system 64900;
+    router-id 10.0.0.2;
+}
+protocols {
+    ospf {
+        area 0 {
+            interface ge-0/0/0.0 { metric 1; }
+            interface ge-0/0/1.0 { metric 1; }
+            interface ge-0/0/2.0 { metric 1; }
+        }
+    }
+    bgp {
+        group peer1 {
+            type external;
+            peer-as 65101;
+            neighbor 192.0.2.1 {
+                export EXPORT1;
+                import IMPORT-ALL;
+            }
+        }
+        group peer2 {
+            type external;
+            peer-as 65102;
+            neighbor 198.51.100.1 {
+                export EXPORT2;
+            }
+        }
+        group backbone {
+            type internal;
+            neighbor 10.0.3.10;
+            neighbor 10.0.3.11;
+        }
+    }
+}
+`
+
+// UniversityCore returns the core router backup pair of §5.2.
+func UniversityCore() Pair {
+	return mustPair("university-core", universityCoreCisco, universityCoreJuniper)
+}
+
+// universityBorderCisco is the Cisco member of the border pair: three
+// export policies keyed by community regexes and a prefix list, plus an
+// import policy shared with the Juniper side.
+const universityBorderCisco = `hostname border-cisco
+!
+interface GigabitEthernet0/0
+ description to-isp1
+ ip address 172.16.1.1 255.255.255.0
+interface GigabitEthernet0/1
+ description to-isp2
+ ip address 172.16.2.1 255.255.255.0
+!
+ip community-list expanded TRANSIT permit ^65000:1[012]$
+ip community-list expanded PEERCOMM permit _65100_
+!
+ip prefix-list EXPORT-NETS permit 10.9.0.0/16
+ip prefix-list EXPORT-NETS permit 10.100.0.0/16
+ip prefix-list EXPORT-NETS permit 10.50.0.0/16
+!
+ip prefix-list DEFAULT-ONLY permit 0.0.0.0/0
+!
+route-map EXPORT3 permit 10
+ match community TRANSIT
+route-map EXPORT3 deny 20
+!
+route-map EXPORT4 permit 10
+ match community PEERCOMM
+ set local-preference 80
+route-map EXPORT4 deny 20
+!
+route-map EXPORT5 permit 10
+ match ip address EXPORT-NETS
+ set local-preference 50
+route-map EXPORT5 deny 20
+!
+route-map IMPORT-DEFAULT permit 10
+ match ip address DEFAULT-ONLY
+route-map IMPORT-DEFAULT deny 20
+!
+router bgp 64900
+ bgp router-id 10.0.0.3
+ neighbor 203.0.113.1 remote-as 65201
+ neighbor 203.0.113.1 route-map EXPORT3 out
+ neighbor 203.0.113.1 route-map IMPORT-DEFAULT in
+ neighbor 203.0.113.1 send-community
+ neighbor 203.0.113.5 remote-as 65202
+ neighbor 203.0.113.5 route-map EXPORT4 out
+ neighbor 203.0.113.5 send-community
+ neighbor 203.0.113.9 remote-as 65203
+ neighbor 203.0.113.9 route-map EXPORT5 out
+ neighbor 203.0.113.9 send-community
+`
+
+// universityBorderJuniper differs in two community regexes (EXPORT3 and
+// EXPORT4, the §5.2 border findings) and omits 10.50.0.0/16 from
+// EXPORT-NETS (EXPORT5, two outputted differences because the missing
+// prefix region splits on the DEPRECATED community). IMPORT-DEFAULT is a
+// faithful translation.
+const universityBorderJuniper = `system { host-name border-juniper; }
+interfaces {
+    ge-0/0/0 {
+        description "to-isp1";
+        unit 0 { family inet { address 172.16.1.2/24; } }
+    }
+    ge-0/0/1 {
+        description "to-isp2";
+        unit 0 { family inet { address 172.16.2.2/24; } }
+    }
+}
+policy-options {
+    community TRANSIT members "^65000:1[01]$";
+    community PEERCOMM members "^65100:.*$";
+    community DEPRECATED members 65000:666;
+    prefix-list EXPORT-NETS {
+        10.9.0.0/16;
+        10.100.0.0/16;
+    }
+    policy-statement EXPORT3 {
+        term allow {
+            from community TRANSIT;
+            then accept;
+        }
+        term final {
+            then reject;
+        }
+    }
+    policy-statement EXPORT4 {
+        term allow {
+            from community PEERCOMM;
+            then {
+                local-preference 80;
+                accept;
+            }
+        }
+        term final {
+            then reject;
+        }
+    }
+    policy-statement EXPORT5 {
+        term allow {
+            from prefix-list EXPORT-NETS;
+            then {
+                local-preference 50;
+                accept;
+            }
+        }
+        term drop-deprecated {
+            from community DEPRECATED;
+            then reject;
+        }
+        term final {
+            then reject;
+        }
+    }
+    policy-statement IMPORT-DEFAULT {
+        term allow {
+            from {
+                route-filter 0.0.0.0/0 exact;
+            }
+            then accept;
+        }
+        term final {
+            then reject;
+        }
+    }
+}
+routing-options {
+    autonomous-system 64900;
+    router-id 10.0.0.4;
+}
+protocols {
+    bgp {
+        group isp1 {
+            type external;
+            peer-as 65201;
+            neighbor 203.0.113.1 {
+                export EXPORT3;
+                import IMPORT-DEFAULT;
+            }
+        }
+        group isp2 {
+            type external;
+            peer-as 65202;
+            neighbor 203.0.113.5 {
+                export EXPORT4;
+            }
+        }
+        group isp3 {
+            type external;
+            peer-as 65203;
+            neighbor 203.0.113.9 {
+                export EXPORT5;
+            }
+        }
+    }
+}
+`
+
+// UniversityBorder returns the border router backup pair of §5.2.
+func UniversityBorder() Pair {
+	return mustPair("university-border", universityBorderCisco, universityBorderJuniper)
+}
