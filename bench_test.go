@@ -6,8 +6,12 @@
 package repro_test
 
 import (
+	"context"
+	"fmt"
+	"strings"
 	"testing"
 
+	"repro/campion"
 	"repro/internal/aclgen"
 	"repro/internal/bdd"
 	"repro/internal/cisco"
@@ -486,3 +490,100 @@ func benchRouteMapDiff(b *testing.B, clauses int) {
 func BenchmarkSemanticDiffRouteMap20(b *testing.B)  { benchRouteMapDiff(b, 20) }
 func BenchmarkSemanticDiffRouteMap100(b *testing.B) { benchRouteMapDiff(b, 100) }
 func BenchmarkSemanticDiffRouteMap300(b *testing.B) { benchRouteMapDiff(b, 300) }
+
+// --- Parallel engine (worker sweep; compare workers=1 to workers=N) ---
+
+// parallelFleetPair builds one config pair with many distinct route-map
+// chains so the route-map worker pool has enough independent comparisons
+// to spread across cores.
+func parallelFleetPair(b *testing.B) (*ir.Config, *ir.Config) {
+	b.Helper()
+	build := func(side int) string {
+		var s strings.Builder
+		fmt.Fprintf(&s, "hostname r%d\n", side)
+		for p := 0; p < 12; p++ {
+			fmt.Fprintf(&s, "ip prefix-list NETS%d permit 10.%d.0.0/16 le 24\n", p, p+1)
+			pref := 100 + p
+			if side == 2 && p%2 == 1 {
+				pref += 50
+			}
+			fmt.Fprintf(&s, "route-map POL%d permit 10\n match ip address NETS%d\n set local-preference %d\n", p, p, pref)
+			fmt.Fprintf(&s, "route-map POL%d deny 20\n", p)
+		}
+		s.WriteString("router bgp 65001\n")
+		for p := 0; p < 12; p++ {
+			addr := fmt.Sprintf("10.%d.0.2", 200+p)
+			fmt.Fprintf(&s, " neighbor %s remote-as 65002\n", addr)
+			fmt.Fprintf(&s, " neighbor %s route-map POL%d in\n", addr, p)
+		}
+		return s.String()
+	}
+	c1, err := cisco.Parse("r1.cfg", build(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	c2, err := cisco.Parse("r2.cfg", build(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c1, c2
+}
+
+// BenchmarkParallelRouteMapDiff sweeps the route-map worker pool over one
+// many-policy pair. On a single-CPU machine every size degenerates to the
+// sequential schedule; on 4+ cores workers=4 should be >=2x workers=1.
+func BenchmarkParallelRouteMapDiff(b *testing.B) {
+	c1, c2 := parallelFleetPair(b)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			opts := core.Options{
+				Components: []core.Component{core.ComponentRouteMaps},
+				Workers:    workers,
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep, err := core.Diff(c1, c2, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(rep.RouteMapDiffs) == 0 {
+					b.Fatal("expected diffs")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDiffBatch sweeps the batch-level pool over the testnets
+// workload (university + datacenter pairs), each pair sequential inside.
+func BenchmarkDiffBatch(b *testing.B) {
+	var pairs []campion.ConfigPair
+	add := func(name string, p testnets.Pair) {
+		pairs = append(pairs, campion.ConfigPair{Name: name, Config1: p.Config1, Config2: p.Config2})
+	}
+	add("university-core", testnets.UniversityCore())
+	add("university-border", testnets.UniversityBorder())
+	add("datacenter-replacement", testnets.DatacenterReplacement())
+	add("datacenter-gateway", testnets.DatacenterGateway())
+	for i, p := range testnets.DatacenterToRPairs() {
+		add(fmt.Sprintf("datacenter-tor-%d", i), p)
+	}
+	ctx := context.Background()
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			opts := campion.BatchOptions{BatchWorkers: workers}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				results, err := campion.DiffBatch(ctx, pairs, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, r := range results {
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
+				}
+			}
+		})
+	}
+}

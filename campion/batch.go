@@ -1,0 +1,131 @@
+package campion
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// ConfigPair is one named pair of parsed configurations in a batch.
+type ConfigPair struct {
+	Name             string
+	Config1, Config2 *Config
+}
+
+// NamedConfig attaches a display name (typically the file or host name)
+// to a parsed configuration, for the all-pairs workloads.
+type NamedConfig struct {
+	Name   string
+	Config *Config
+}
+
+// BatchOptions configures a DiffBatch / DiffAll run.
+type BatchOptions struct {
+	// Options configures each individual comparison. When Workers is 0
+	// (the default), each pair is compared sequentially and the batch
+	// fans out across pairs instead — the right default, since pair-level
+	// parallelism has no synchronization points at all. Set
+	// Options.Workers explicitly to also parallelize inside each pair.
+	Options
+	// BatchWorkers bounds how many pairs are compared concurrently;
+	// 0 means one per CPU.
+	BatchWorkers int
+}
+
+// BatchResult is the outcome of one pair in a batch: either a report or
+// a per-pair error. Errors are isolated — one failing pair never aborts
+// the others.
+type BatchResult struct {
+	Name   string
+	Report *Report
+	Err    error
+}
+
+// DiffBatch compares every configuration pair on a bounded worker pool
+// and returns the results in input order, regardless of completion order.
+//
+// Each pair is an independent comparison with its own symbolic state, so
+// pairs scale linearly with cores. Cancellation is honored between pairs:
+// when ctx is done, unstarted pairs get ctx.Err() as their result and
+// DiffBatch returns ctx.Err() alongside the partial results. Per-pair
+// parse or diff errors land in the pair's BatchResult, never abort the
+// batch, and leave err nil.
+func DiffBatch(ctx context.Context, pairs []ConfigPair, opts BatchOptions) ([]BatchResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	results := make([]BatchResult, len(pairs))
+	workers := opts.BatchWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pairs) {
+		workers = len(pairs)
+	}
+	if len(pairs) == 0 {
+		return results, ctx.Err()
+	}
+	inner := opts.Options
+	if inner.Workers == 0 {
+		// Don't oversubscribe: batch-level fan-out already saturates the
+		// CPUs, so each pair runs sequentially unless asked otherwise.
+		inner.Workers = 1
+	}
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				p := pairs[i]
+				res := BatchResult{Name: p.Name}
+				switch {
+				case ctx.Err() != nil:
+					res.Err = ctx.Err()
+				case p.Config1 == nil || p.Config2 == nil:
+					res.Err = fmt.Errorf("campion: pair %q: missing configuration", p.Name)
+				default:
+					res.Report, res.Err = Diff(p.Config1, p.Config2, inner)
+				}
+				results[i] = res
+			}
+		}()
+	}
+feed:
+	for i := range pairs {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			// Mark everything not yet handed out; the workers drain the
+			// closed channel below.
+			for j := i; j < len(pairs); j++ {
+				results[j] = BatchResult{Name: pairs[j].Name, Err: ctx.Err()}
+			}
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	return results, ctx.Err()
+}
+
+// DiffAll compares every unordered pair of the given configurations —
+// the fleet-audit workload ("are any two of these routers configured
+// differently?"). Pair i<j is named "NameI vs NameJ"; results arrive in
+// lexicographic (i, j) order. It is DiffBatch over the n·(n−1)/2 pairs.
+func DiffAll(ctx context.Context, cfgs []NamedConfig, opts BatchOptions) ([]BatchResult, error) {
+	var pairs []ConfigPair
+	for i := 0; i < len(cfgs); i++ {
+		for j := i + 1; j < len(cfgs); j++ {
+			pairs = append(pairs, ConfigPair{
+				Name:    fmt.Sprintf("%s vs %s", cfgs[i].Name, cfgs[j].Name),
+				Config1: cfgs[i].Config,
+				Config2: cfgs[j].Config,
+			})
+		}
+	}
+	return DiffBatch(ctx, pairs, opts)
+}

@@ -1,0 +1,235 @@
+package campion
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/testnets"
+)
+
+func mustParse(t testing.TB, name, text string) *Config {
+	t.Helper()
+	cfg, err := Parse(name, text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+// fleet builds a few parsed configurations with known pairwise
+// differences: a and b are equivalent, c differs from both.
+func fleet(t testing.TB) []NamedConfig {
+	t.Helper()
+	mk := func(host string, pref int) string {
+		return fmt.Sprintf(`hostname %s
+ip prefix-list NETS permit 10.9.0.0/16 le 24
+route-map POL permit 10
+ match ip address NETS
+ set local-preference %d
+route-map POL deny 20
+router bgp 65001
+ neighbor 10.0.12.2 remote-as 65002
+ neighbor 10.0.12.2 route-map POL in
+`, host, pref)
+	}
+	return []NamedConfig{
+		{Name: "a", Config: mustParse(t, "a.cfg", mk("a", 100))},
+		{Name: "b", Config: mustParse(t, "b.cfg", mk("b", 100))},
+		{Name: "c", Config: mustParse(t, "c.cfg", mk("c", 300))},
+	}
+}
+
+func TestDiffBatchOrderAndResults(t *testing.T) {
+	cfgs := fleet(t)
+	pairs := []ConfigPair{
+		{Name: "a-b", Config1: cfgs[0].Config, Config2: cfgs[1].Config},
+		{Name: "a-c", Config1: cfgs[0].Config, Config2: cfgs[2].Config},
+		{Name: "b-c", Config1: cfgs[1].Config, Config2: cfgs[2].Config},
+	}
+	results, err := DiffBatch(context.Background(), pairs, BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("results = %d", len(results))
+	}
+	for i, want := range []string{"a-b", "a-c", "b-c"} {
+		if results[i].Name != want {
+			t.Errorf("results[%d].Name = %q, want %q (input order)", i, results[i].Name, want)
+		}
+		if results[i].Err != nil {
+			t.Errorf("pair %s: %v", want, results[i].Err)
+		}
+	}
+	if n := results[0].Report.TotalDifferences(); n != 0 {
+		t.Errorf("a-b differences = %d, want 0", n)
+	}
+	for _, i := range []int{1, 2} {
+		if n := results[i].Report.RouteMapDiffs; len(n) == 0 {
+			t.Errorf("%s: expected route-map differences", results[i].Name)
+		}
+	}
+}
+
+func TestDiffAllPairsEveryPair(t *testing.T) {
+	cfgs := fleet(t)
+	results, err := DiffAll(context.Background(), cfgs, BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 { // 3 choose 2
+		t.Fatalf("results = %d, want 3", len(results))
+	}
+	wantNames := []string{"a vs b", "a vs c", "b vs c"}
+	for i, r := range results {
+		if r.Name != wantNames[i] {
+			t.Errorf("results[%d].Name = %q, want %q", i, r.Name, wantNames[i])
+		}
+	}
+	if results[0].Report.TotalDifferences() != 0 {
+		t.Error("a vs b should be equivalent")
+	}
+	if results[1].Report.TotalDifferences() == 0 || results[2].Report.TotalDifferences() == 0 {
+		t.Error("pairs involving c should differ")
+	}
+}
+
+// TestDiffBatchErrorIsolation: a pair that fails to diff must not abort
+// its siblings.
+func TestDiffBatchErrorIsolation(t *testing.T) {
+	cfgs := fleet(t)
+	pairs := []ConfigPair{
+		{Name: "ok", Config1: cfgs[0].Config, Config2: cfgs[1].Config},
+		{Name: "broken", Config1: nil, Config2: nil},
+		{Name: "ok2", Config1: cfgs[0].Config, Config2: cfgs[2].Config},
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("batch panicked instead of isolating the error: %v", r)
+		}
+	}()
+	results, err := DiffBatch(context.Background(), pairs, BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err != nil || results[2].Err != nil {
+		t.Errorf("healthy pairs failed: %v / %v", results[0].Err, results[2].Err)
+	}
+	if results[1].Err == nil {
+		t.Error("broken pair should carry an error")
+	}
+}
+
+// TestDiffBatchCancellation: a cancelled context stops the batch between
+// pairs and marks the unstarted ones.
+func TestDiffBatchCancellation(t *testing.T) {
+	cfgs := fleet(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before the batch starts
+	var pairs []ConfigPair
+	for i := 0; i < 16; i++ {
+		pairs = append(pairs, ConfigPair{Name: fmt.Sprintf("p%d", i),
+			Config1: cfgs[0].Config, Config2: cfgs[2].Config})
+	}
+	results, err := DiffBatch(ctx, pairs, BatchOptions{})
+	if err == nil {
+		t.Fatal("want ctx error")
+	}
+	if len(results) != len(pairs) {
+		t.Fatalf("results = %d, want %d", len(results), len(pairs))
+	}
+	for _, r := range results {
+		if r.Report == nil && r.Err == nil {
+			t.Errorf("pair %s has neither report nor error", r.Name)
+		}
+	}
+	var cancelled int
+	for _, r := range results {
+		if r.Err == context.Canceled {
+			cancelled++
+		}
+	}
+	if cancelled == 0 {
+		t.Error("no pair observed the cancellation")
+	}
+}
+
+// TestDiffBatchDeterministicOutput: repeated parallel batch runs render
+// byte-identical reports — pinning the acceptance criterion that parallel
+// output matches sequential output exactly.
+func TestDiffBatchDeterministicOutput(t *testing.T) {
+	pairs := batchOverTestnets(t)
+	render := func(opts BatchOptions) string {
+		results, err := DiffBatch(context.Background(), pairs, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b bytes.Buffer
+		for _, r := range results {
+			fmt.Fprintf(&b, "== %s ==\n", r.Name)
+			if r.Err != nil {
+				t.Fatalf("%s: %v", r.Name, r.Err)
+			}
+			if err := Write(&b, r.Report); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return b.String()
+	}
+	sequential := render(BatchOptions{BatchWorkers: 1, Options: Options{Workers: 1}})
+	if !strings.Contains(sequential, "difference") && len(sequential) == 0 {
+		t.Fatal("empty render")
+	}
+	for i := 0; i < 3; i++ {
+		parallel := render(BatchOptions{BatchWorkers: 8, Options: Options{Workers: 2}})
+		if parallel != sequential {
+			t.Fatalf("parallel output diverges from sequential (run %d)", i)
+		}
+	}
+}
+
+// batchOverTestnets assembles the datacenter and university pairs — the
+// workload the -race exercise and the batch benchmarks run over.
+func batchOverTestnets(t testing.TB) []ConfigPair {
+	t.Helper()
+	var pairs []ConfigPair
+	add := func(name string, p testnets.Pair) {
+		pairs = append(pairs, ConfigPair{Name: name, Config1: p.Config1, Config2: p.Config2})
+	}
+	add("university-core", testnets.UniversityCore())
+	add("university-border", testnets.UniversityBorder())
+	add("datacenter-replacement", testnets.DatacenterReplacement())
+	add("datacenter-gateway", testnets.DatacenterGateway())
+	for i, p := range testnets.DatacenterToRPairs() {
+		add(fmt.Sprintf("datacenter-tor-%d", i), p)
+	}
+	return pairs
+}
+
+// TestDiffBatchRaceExercise drives the full batch engine — batch-level
+// and pair-level parallelism together — over the datacenter and
+// university networks. Meaningful under -race (the CI runs it so).
+func TestDiffBatchRaceExercise(t *testing.T) {
+	pairs := batchOverTestnets(t)
+	results, err := DiffBatch(context.Background(), pairs, BatchOptions{
+		BatchWorkers: 4,
+		Options:      Options{Workers: 4, ExhaustiveCommunities: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int
+	for _, r := range results {
+		if r.Err != nil {
+			t.Errorf("%s: %v", r.Name, r.Err)
+			continue
+		}
+		total += r.Report.TotalDifferences()
+	}
+	if total == 0 {
+		t.Error("testnets pairs should report differences")
+	}
+}

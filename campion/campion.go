@@ -66,6 +66,10 @@ const (
 // Report is the localized result of comparing two configurations.
 type Report = core.Report
 
+// ComponentStats is the execution profile of one component of a Diff run
+// (wall time, worker count, pair dedup, BDD arena/cache counters).
+type ComponentStats = core.ComponentStats
+
 // DetectVendor guesses the dialect of a configuration text: JunOS uses a
 // curly-brace hierarchy, IOS uses flat line-oriented commands.
 func DetectVendor(text string) Vendor {

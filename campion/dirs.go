@@ -1,6 +1,7 @@
 package campion
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -72,15 +73,28 @@ type PairResult struct {
 }
 
 // DiffDirs loads and compares every matched configuration pair across two
-// directories, running pairs in parallel (each pair's symbolic state is
-// independent). Parse or diff failures are recorded per pair, not fatal.
+// directories. Parsing fans out over one pool, and the comparisons run
+// through DiffBatch (each pair's symbolic state is independent). Parse or
+// diff failures are recorded per pair, not fatal.
 func DiffDirs(dir1, dir2 string, opts Options) ([]PairResult, error) {
+	return DiffDirsContext(context.Background(), dir1, dir2, BatchOptions{Options: opts})
+}
+
+// DiffDirsContext is DiffDirs with batch options and cancellation.
+func DiffDirsContext(ctx context.Context, dir1, dir2 string, opts BatchOptions) ([]PairResult, error) {
 	pairs, only1, only2, err := PairFiles(dir1, dir2)
 	if err != nil {
 		return nil, err
 	}
 	results := make([]PairResult, len(pairs))
-	workers := runtime.GOMAXPROCS(0)
+
+	// Parse all matched files on a bounded pool (per §5.4, parsing is a
+	// significant share of end-to-end time at scale).
+	loaded := make([]ConfigPair, len(pairs))
+	workers := opts.BatchWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > len(pairs) {
 		workers = len(pairs)
 	}
@@ -92,21 +106,22 @@ func DiffDirs(dir1, dir2 string, opts Options) ([]PairResult, error) {
 			defer wg.Done()
 			for i := range jobs {
 				p := pairs[i]
-				res := PairResult{Pair: p}
+				results[i] = PairResult{Pair: p}
+				if err := ctx.Err(); err != nil {
+					results[i].Err = err
+					continue
+				}
 				cfg1, err := LoadFile(p.Path1)
 				if err != nil {
-					res.Err = err
-					results[i] = res
+					results[i].Err = err
 					continue
 				}
 				cfg2, err := LoadFile(p.Path2)
 				if err != nil {
-					res.Err = err
-					results[i] = res
+					results[i].Err = err
 					continue
 				}
-				res.Report, res.Err = Diff(cfg1, cfg2, opts)
-				results[i] = res
+				loaded[i] = ConfigPair{Name: p.Name, Config1: cfg1, Config2: cfg2}
 			}
 		}()
 	}
@@ -115,6 +130,22 @@ func DiffDirs(dir1, dir2 string, opts Options) ([]PairResult, error) {
 	}
 	close(jobs)
 	wg.Wait()
+
+	// Compare everything that parsed.
+	var batch []ConfigPair
+	var batchIdx []int
+	for i, cp := range loaded {
+		if cp.Config1 != nil && cp.Config2 != nil {
+			batch = append(batch, cp)
+			batchIdx = append(batchIdx, i)
+		}
+	}
+	batchResults, _ := DiffBatch(ctx, batch, opts)
+	for k, br := range batchResults {
+		i := batchIdx[k]
+		results[i].Report = br.Report
+		results[i].Err = br.Err
+	}
 	for _, p := range only1 {
 		results = append(results, PairResult{
 			Pair: FilePair{Name: filepath.Base(p), Path1: p},

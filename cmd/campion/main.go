@@ -5,6 +5,8 @@
 // Usage:
 //
 //	campion [flags] CONFIG1 CONFIG2
+//	campion [flags] DIR1 DIR2
+//	campion -all [flags] DIR
 //
 // Flags:
 //
@@ -14,14 +16,24 @@
 //	    output format (default text tables)
 //	-vendor1, -vendor2=auto|cisco|juniper
 //	    override dialect detection
+//	-all
+//	    compare every unordered pair of configurations inside one
+//	    directory (fleet audit), on the parallel batch engine
+//	-workers=N
+//	    bound the comparison concurrency (0 = one worker per CPU)
+//	-stats
+//	    print per-component wall time and BDD statistics to stderr
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/campion"
 	"repro/internal/minesweeper"
@@ -36,28 +48,44 @@ func main() {
 		"localize the community dimension of route-map differences exhaustively")
 	baseline := flag.Bool("baseline", false,
 		"additionally run the monolithic Minesweeper-style baseline on matched route maps (the paper's §2 comparison)")
+	all := flag.Bool("all", false, "compare every pair of configurations within one directory")
+	workers := flag.Int("workers", 0, "comparison concurrency (0 = one per CPU)")
+	stats := flag.Bool("stats", false, "print per-component wall time and BDD statistics to stderr")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: campion [flags] CONFIG1 CONFIG2\n")
+		fmt.Fprintf(os.Stderr, "       campion [flags] DIR1 DIR2\n")
+		fmt.Fprintf(os.Stderr, "       campion -all [flags] DIR\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if flag.NArg() != 2 {
-		flag.Usage()
-		os.Exit(2)
-	}
 
 	var opts0 campion.Options
 	opts0.ExhaustiveCommunities = *exhaustiveComms
+	opts0.Workers = *workers
 	if *components != "" {
 		for _, c := range strings.Split(*components, ",") {
 			opts0.Components = append(opts0.Components, campion.Component(strings.TrimSpace(c)))
 		}
 	}
 
+	// All-pairs mode: audit a whole directory of configurations against
+	// each other on the batch engine.
+	if *all {
+		if flag.NArg() != 1 || !isDir(flag.Arg(0)) {
+			flag.Usage()
+			os.Exit(2)
+		}
+		os.Exit(diffAll(flag.Arg(0), opts0, *workers, *format, *stats))
+	}
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
 	// Directory mode: compare every matched pair across two directories
 	// (the "all pairs of backup routers" workflow of §5.1).
 	if isDir(flag.Arg(0)) && isDir(flag.Arg(1)) {
-		os.Exit(diffDirs(flag.Arg(0), flag.Arg(1), opts0, *format))
+		os.Exit(diffDirs(flag.Arg(0), flag.Arg(1), opts0, *workers, *format, *stats))
 	}
 
 	cfg1, err := load(flag.Arg(0), *vendor1)
@@ -87,11 +115,25 @@ func main() {
 			fatal(err)
 		}
 	}
+	if *stats {
+		printStats(rep)
+	}
 	if *baseline {
 		runBaseline(cfg1, cfg2)
 	}
 	if rep.TotalDifferences() > 0 {
 		os.Exit(1) // differences found: non-zero, like diff(1)
+	}
+}
+
+// printStats renders the report's per-component execution profile.
+func printStats(rep *campion.Report) {
+	fmt.Fprintf(os.Stderr, "%-12s %-14s %10s %6s %6s %7s %10s %12s\n",
+		"component", "kind", "wall", "pairs", "uniq", "workers", "bddNodes", "cacheHits")
+	for _, st := range rep.Stats {
+		fmt.Fprintf(os.Stderr, "%-12s %-14s %10s %6d %6d %7d %10d %12d\n",
+			st.Component, st.Kind, st.Duration.Round(time.Microsecond), st.Pairs,
+			st.UniquePairs, st.Workers, st.BDDNodes, st.CacheHits)
 	}
 }
 
@@ -136,8 +178,9 @@ func isDir(path string) bool {
 
 // diffDirs compares every matched pair and prints one section per pair.
 // Exit status: 0 all equivalent, 1 differences found, 2 errors.
-func diffDirs(dir1, dir2 string, opts campion.Options, format string) int {
-	results, err := campion.DiffDirs(dir1, dir2, opts)
+func diffDirs(dir1, dir2 string, opts campion.Options, workers int, format string, stats bool) int {
+	results, err := campion.DiffDirsContext(context.Background(), dir1, dir2,
+		campion.BatchOptions{Options: opts, BatchWorkers: workers})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "campion:", err)
 		return 2
@@ -161,6 +204,72 @@ func diffDirs(dir1, dir2 string, opts campion.Options, format string) int {
 			} else {
 				campion.Write(os.Stdout, res.Report)
 			}
+		}
+		if stats && res.Report != nil {
+			fmt.Fprintf(os.Stderr, "--- pair %s ---\n", res.Pair.Name)
+			printStats(res.Report)
+		}
+	}
+	return status
+}
+
+// diffAll compares every unordered pair of configurations within one
+// directory (the fleet audit of §5.1: "are any two of these routers
+// configured differently?"). Same exit statuses as diffDirs.
+func diffAll(dir string, opts campion.Options, workers int, format string, stats bool) int {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "campion:", err)
+		return 2
+	}
+	var cfgs []campion.NamedConfig
+	status := 0
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		cfg, err := campion.LoadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "campion: %s: %v\n", path, err)
+			status = 2
+			continue
+		}
+		name := strings.TrimSuffix(e.Name(), filepath.Ext(e.Name()))
+		cfgs = append(cfgs, campion.NamedConfig{Name: name, Config: cfg})
+	}
+	if len(cfgs) < 2 {
+		fmt.Fprintf(os.Stderr, "campion: %s: need at least two configurations for -all\n", dir)
+		return 2
+	}
+	results, err := campion.DiffAll(context.Background(), cfgs,
+		campion.BatchOptions{Options: opts, BatchWorkers: workers})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "campion:", err)
+		return 2
+	}
+	for _, res := range results {
+		fmt.Printf("=== %s ===\n", res.Name)
+		switch {
+		case res.Err != nil:
+			fmt.Printf("error: %v\n\n", res.Err)
+			status = 2
+		case res.Report.TotalDifferences() == 0:
+			fmt.Printf("equivalent\n\n")
+		default:
+			if status == 0 {
+				status = 1
+			}
+			if format == "summary" {
+				campion.WriteSummary(os.Stdout, res.Report)
+				fmt.Println()
+			} else {
+				campion.Write(os.Stdout, res.Report)
+			}
+		}
+		if stats && res.Report != nil {
+			fmt.Fprintf(os.Stderr, "--- %s ---\n", res.Name)
+			printStats(res.Report)
 		}
 	}
 	return status

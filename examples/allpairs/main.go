@@ -1,17 +1,23 @@
-// Allpairs: audit every backup pair across two directories of router
-// configurations — the §5.1 Scenario 1 workflow, where operators ran
-// Campion over all pairs of redundant ToR routers. This example writes a
-// small fleet (two pairs, with the paper's bug classes planted in the
-// backups) to a temporary directory and audits it with campion.DiffDirs.
+// Allpairs: audit a fleet of router configurations — the §5.1 Scenario 1
+// workflow, where operators ran Campion over all pairs of redundant ToR
+// routers. This example builds a small fleet (two primary/backup pairs,
+// with the paper's bug classes planted in the backups) and audits it two
+// ways on the parallel batch engine:
+//
+//  1. campion.DiffBatch over the matched primary/backup pairs — the
+//     "did my backup drift?" check, with results in input order and
+//     per-pair error isolation;
+//  2. campion.DiffAll over every unordered pair of the whole fleet —
+//     the "are any two of these routers configured differently?" audit.
 //
 // Run with: go run ./examples/allpairs
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
-	"path/filepath"
 
 	"repro/campion"
 )
@@ -92,40 +98,62 @@ protocols {
 `,
 }
 
-func main() {
-	base, err := os.MkdirTemp("", "campion-allpairs")
+func parse(name, text string) *campion.Config {
+	cfg, err := campion.Parse(name+".cfg", text)
 	if err != nil {
-		log.Fatal(err)
+		log.Fatalf("%s: %v", name, err)
 	}
-	defer os.RemoveAll(base)
-	dir1 := filepath.Join(base, "primary")
-	dir2 := filepath.Join(base, "backup")
-	for dir, set := range map[string]map[string]string{dir1: primaries, dir2: backups} {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
-			log.Fatal(err)
-		}
-		for name, text := range set {
-			if err := os.WriteFile(filepath.Join(dir, name+".cfg"), []byte(text), 0o644); err != nil {
-				log.Fatal(err)
-			}
-		}
-	}
+	return cfg
+}
 
-	results, err := campion.DiffDirs(dir1, dir2, campion.Options{})
+func report(name string, rep *campion.Report, err error) {
+	fmt.Printf("=== %s ===\n", name)
+	switch {
+	case err != nil:
+		fmt.Println("error:", err)
+	case rep.TotalDifferences() == 0:
+		fmt.Println("equivalent")
+	default:
+		fmt.Printf("%d difference(s):\n", rep.TotalDifferences())
+		campion.WriteSummary(os.Stdout, rep)
+	}
+	fmt.Println()
+}
+
+func main() {
+	ctx := context.Background()
+
+	// 1. Backup audit: each primary against its own backup, as one batch.
+	var pairs []campion.ConfigPair
+	for _, name := range []string{"tor1", "tor2"} {
+		pairs = append(pairs, campion.ConfigPair{
+			Name:    name + " primary vs backup",
+			Config1: parse(name+"-primary", primaries[name]),
+			Config2: parse(name+"-backup", backups[name]),
+		})
+	}
+	fmt.Println("-- backup audit (DiffBatch) --")
+	results, err := campion.DiffBatch(ctx, pairs, campion.BatchOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
 	for _, res := range results {
-		fmt.Printf("=== pair %s ===\n", res.Pair.Name)
-		switch {
-		case res.Err != nil:
-			fmt.Println("error:", res.Err)
-		case res.Report.TotalDifferences() == 0:
-			fmt.Println("equivalent")
-		default:
-			fmt.Printf("%d difference(s):\n", res.Report.TotalDifferences())
-			campion.WriteSummary(os.Stdout, res.Report)
-		}
-		fmt.Println()
+		report(res.Name, res.Report, res.Err)
+	}
+
+	// 2. Fleet audit: every unordered pair of every router.
+	fleet := []campion.NamedConfig{
+		{Name: "tor1-primary", Config: parse("tor1-primary", primaries["tor1"])},
+		{Name: "tor1-backup", Config: parse("tor1-backup", backups["tor1"])},
+		{Name: "tor2-primary", Config: parse("tor2-primary", primaries["tor2"])},
+		{Name: "tor2-backup", Config: parse("tor2-backup", backups["tor2"])},
+	}
+	fmt.Println("-- fleet audit (DiffAll) --")
+	all, err := campion.DiffAll(ctx, fleet, campion.BatchOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, res := range all {
+		report(res.Name, res.Report, res.Err)
 	}
 }

@@ -46,11 +46,19 @@ type opCacheEntry struct {
 	result Node
 }
 
-const opCacheBits = 18 // 256k entries ≈ 4 MB
+// The op cache starts small and doubles as the node arena grows, up to
+// the former fixed size. Small policies stay at a few KB instead of the
+// old unconditional 256k-entry (≈4 MB) table, which made factories too
+// expensive to spawn per worker or per pair.
+const (
+	opCacheMinBits = 10 // 1k entries
+	opCacheMaxBits = 18 // 256k entries ≈ 4 MB
+)
 
 // Factory allocates and operates on BDD nodes over a fixed number of
 // boolean variables. Variable i branches before variable j whenever i < j.
-// A Factory is not safe for concurrent use.
+// A Factory is not safe for concurrent use; spawn one per goroutine
+// (they are cheap) or guard with a mutex.
 type Factory struct {
 	nodes   []nodeData
 	numVars int
@@ -60,11 +68,14 @@ type Factory struct {
 	unique     []int32
 	uniqueMask uint32
 
-	cache  []opCacheEntry
-	iteTmp map[[3]Node]Node
+	cache     []opCacheEntry
+	cacheMask uint32
+	iteTmp    map[[3]Node]Node
 
 	// quantification scratch, reused across Exists calls
 	existsMask []bool
+
+	cacheHits, cacheMisses uint64
 }
 
 // NewFactory creates a factory over numVars variables.
@@ -76,13 +87,56 @@ func NewFactory(numVars int) *Factory {
 		nodes:      make([]nodeData, 2, 1024),
 		unique:     make([]int32, 1024),
 		uniqueMask: 1023,
-		cache:      make([]opCacheEntry, 1<<opCacheBits),
+		cache:      make([]opCacheEntry, 1<<opCacheMinBits),
+		cacheMask:  1<<opCacheMinBits - 1,
 		iteTmp:     make(map[[3]Node]Node),
 		numVars:    numVars,
 	}
 	f.nodes[False] = nodeData{level: int32(numVars), low: False, high: False}
 	f.nodes[True] = nodeData{level: int32(numVars), low: True, high: True}
 	return f
+}
+
+// Reset recycles the factory for a fresh workload over numVars variables:
+// all nodes and cached results are discarded, but the arena, hash table,
+// and op-cache allocations are kept, so resetting between independent
+// comparisons avoids re-paying the allocation cost. Any Node obtained
+// before the Reset is invalid afterwards.
+func (f *Factory) Reset(numVars int) {
+	if numVars < 0 || numVars >= 1<<20 {
+		panic(fmt.Sprintf("bdd: invalid variable count %d", numVars))
+	}
+	f.numVars = numVars
+	f.nodes = f.nodes[:2]
+	f.nodes[False] = nodeData{level: int32(numVars), low: False, high: False}
+	f.nodes[True] = nodeData{level: int32(numVars), low: True, high: True}
+	for i := range f.unique {
+		f.unique[i] = 0
+	}
+	for i := range f.cache {
+		f.cache[i] = opCacheEntry{}
+	}
+	clear(f.iteTmp)
+	f.existsMask = nil
+	f.cacheHits, f.cacheMisses = 0, 0
+}
+
+// Stats is a snapshot of a factory's allocation and op-cache behavior.
+type Stats struct {
+	Nodes       int    // live nodes in the arena, including terminals
+	CacheSlots  int    // current op-cache capacity
+	CacheHits   uint64 // op-cache hits since creation or Reset
+	CacheMisses uint64 // op-cache misses since creation or Reset
+}
+
+// Stats reports the factory's current allocation and cache counters.
+func (f *Factory) Stats() Stats {
+	return Stats{
+		Nodes:       len(f.nodes),
+		CacheSlots:  len(f.cache),
+		CacheHits:   f.cacheHits,
+		CacheMisses: f.cacheMisses,
+	}
 }
 
 func nodeHash(level int32, low, high Node) uint32 {
@@ -110,17 +164,33 @@ func (f *Factory) rehashUnique() {
 }
 
 func (f *Factory) cacheLookup(op uint32, a, b Node) (Node, bool) {
-	idx := (uint32(a)*0x9e3779b1 ^ uint32(b)*0x85ebca77 ^ op*0x27d4eb2f) & (1<<opCacheBits - 1)
+	idx := (uint32(a)*0x9e3779b1 ^ uint32(b)*0x85ebca77 ^ op*0x27d4eb2f) & f.cacheMask
 	e := &f.cache[idx]
 	if e.op == op && e.a == a && e.b == b {
+		f.cacheHits++
 		return e.result, true
 	}
+	f.cacheMisses++
 	return 0, false
 }
 
 func (f *Factory) cacheStore(op uint32, a, b, result Node) {
-	idx := (uint32(a)*0x9e3779b1 ^ uint32(b)*0x85ebca77 ^ op*0x27d4eb2f) & (1<<opCacheBits - 1)
+	idx := (uint32(a)*0x9e3779b1 ^ uint32(b)*0x85ebca77 ^ op*0x27d4eb2f) & f.cacheMask
 	f.cache[idx] = opCacheEntry{op: op, a: a, b: b, result: result}
+}
+
+// growCache doubles the op cache, re-slotting live entries under the new
+// mask. Called when the arena outgrows the cache, so the cache tracks the
+// working-set size instead of paying the worst case up front.
+func (f *Factory) growCache() {
+	old := f.cache
+	f.cache = make([]opCacheEntry, len(old)*2)
+	f.cacheMask = uint32(len(f.cache)) - 1
+	for _, e := range old {
+		if e.op != 0 {
+			f.cacheStore(e.op, e.a, e.b, e.result)
+		}
+	}
 }
 
 // NumVars returns the number of variables the factory was created with.
@@ -169,6 +239,9 @@ func (f *Factory) mk(level int32, low, high Node) Node {
 	f.unique[h] = int32(n) + 1
 	if uint32(len(f.nodes))*4 > uint32(len(f.unique))*3 {
 		f.rehashUnique()
+	}
+	if len(f.nodes) > len(f.cache) && len(f.cache) < 1<<opCacheMaxBits {
+		f.growCache()
 	}
 	return n
 }
@@ -371,28 +444,51 @@ func (f *Factory) Ite(c, t, e Node) Node {
 	return r
 }
 
-// AndN folds And over its arguments; AndN() is True.
+// AndN conjoins its arguments by balanced-tree reduction, which keeps the
+// intermediate BDDs of wide conjunctions small compared to a left fold
+// (each round halves the operand count instead of accumulating one giant
+// running product). AndN() is True.
 func (f *Factory) AndN(ns ...Node) Node {
-	r := True
-	for _, n := range ns {
-		r = f.And(r, n)
-		if r == False {
-			return False
-		}
-	}
-	return r
+	return f.reduceN(ns, False, f.And)
 }
 
-// OrN folds Or over its arguments; OrN() is False.
+// OrN disjoins its arguments by balanced-tree reduction; OrN() is False.
 func (f *Factory) OrN(ns ...Node) Node {
-	r := False
-	for _, n := range ns {
-		r = f.Or(r, n)
-		if r == True {
+	return f.reduceN(ns, True, f.Or)
+}
+
+// reduceN pairwise-combines work until one node remains, short-circuiting
+// on the absorbing element of the operation.
+func (f *Factory) reduceN(ns []Node, absorbing Node, op func(a, b Node) Node) Node {
+	switch len(ns) {
+	case 0:
+		// The identity element is the negation of the absorbing one.
+		if absorbing == False {
 			return True
 		}
+		return False
+	case 1:
+		return ns[0]
 	}
-	return r
+	work := make([]Node, len(ns))
+	copy(work, ns)
+	for len(work) > 1 {
+		k := 0
+		for i := 0; i < len(work); i += 2 {
+			if i+1 == len(work) {
+				work[k] = work[i]
+			} else {
+				r := op(work[i], work[i+1])
+				if r == absorbing {
+					return absorbing
+				}
+				work[k] = r
+			}
+			k++
+		}
+		work = work[:k]
+	}
+	return work[0]
 }
 
 // Exists existentially quantifies the given variables out of n.

@@ -516,3 +516,120 @@ func TestUniqueTableGrowth(t *testing.T) {
 		t.Errorf("expected a non-trivial arena, got %d nodes", f.Size())
 	}
 }
+
+// TestOpCacheGrowth: the op cache starts at the minimum size and doubles
+// as the arena grows, without affecting results.
+func TestOpCacheGrowth(t *testing.T) {
+	f := NewFactory(24)
+	if got := f.Stats().CacheSlots; got != 1<<opCacheMinBits {
+		t.Fatalf("initial cache slots = %d, want %d", got, 1<<opCacheMinBits)
+	}
+	n := True
+	for i := 0; i < 24; i += 2 {
+		n = f.And(n, f.Or(f.Var(i), f.Var(i+1)))
+	}
+	m := False
+	for i := 0; i < 24; i++ {
+		m = f.Or(m, f.And(f.Var(i), f.NVar((i+7)%24)))
+	}
+	x := f.Xor(n, m)
+	if x == False || x == True {
+		t.Fatal("degenerate test structure")
+	}
+	st := f.Stats()
+	if st.Nodes > st.CacheSlots && st.CacheSlots < 1<<opCacheMaxBits {
+		t.Errorf("cache (%d slots) lags arena (%d nodes)", st.CacheSlots, st.Nodes)
+	}
+	// Cached and recomputed results agree.
+	if f.Xor(n, m) != x {
+		t.Error("cache growth broke op results")
+	}
+	if st.CacheHits == 0 || st.CacheMisses == 0 {
+		t.Errorf("stats counters not moving: %+v", st)
+	}
+}
+
+// TestFactoryReset: a reset factory behaves exactly like a fresh one and
+// reuses its allocations.
+func TestFactoryReset(t *testing.T) {
+	f := NewFactory(16)
+	build := func(g *Factory) Node {
+		n := True
+		for i := 0; i < 16; i += 2 {
+			n = g.And(n, g.Or(g.Var(i), g.NVar(i+1)))
+		}
+		return n
+	}
+	before := build(f)
+	f.Reset(16)
+	if f.Size() != 2 {
+		t.Fatalf("arena after reset = %d nodes, want 2", f.Size())
+	}
+	after := build(f)
+	fresh := build(NewFactory(16))
+	if after != fresh {
+		t.Errorf("reset factory diverges from fresh one: %v vs %v", after, fresh)
+	}
+	if before != after {
+		// Same deterministic build sequence must yield the same node ids.
+		t.Errorf("reset changed node numbering: %v vs %v", before, after)
+	}
+	// Reset can change the variable count.
+	f.Reset(8)
+	if f.NumVars() != 8 {
+		t.Errorf("numVars after reset = %d", f.NumVars())
+	}
+	got := build2Vars(f)
+	if got == False {
+		t.Error("reset-to-smaller factory unusable")
+	}
+	// Exists scratch must have been resized.
+	if r := f.Exists(got, []int{0}); r == False {
+		t.Error("exists after reset broken")
+	}
+}
+
+func build2Vars(g *Factory) Node { return g.And(g.Var(0), g.Or(g.Var(1), g.NVar(2))) }
+
+// TestAndNOrNBalanced: the balanced reductions agree with left folds and
+// handle the edge arities.
+func TestAndNOrNBalanced(t *testing.T) {
+	f := NewFactory(12)
+	if f.AndN() != True || f.OrN() != False {
+		t.Fatal("empty arities")
+	}
+	if f.AndN(f.Var(3)) != f.Var(3) || f.OrN(f.NVar(4)) != f.NVar(4) {
+		t.Fatal("single arities")
+	}
+	var lits []Node
+	for i := 0; i < 12; i++ {
+		if i%3 == 0 {
+			lits = append(lits, f.NVar(i))
+		} else {
+			lits = append(lits, f.Var(i))
+		}
+	}
+	foldAnd := True
+	foldOr := False
+	for _, l := range lits {
+		foldAnd = f.And(foldAnd, l)
+		foldOr = f.Or(foldOr, l)
+	}
+	if f.AndN(lits...) != foldAnd {
+		t.Error("AndN disagrees with fold")
+	}
+	if f.OrN(lits...) != foldOr {
+		t.Error("OrN disagrees with fold")
+	}
+	// Short circuits.
+	if f.AndN(f.Var(0), False, f.Var(1)) != False {
+		t.Error("AndN absorbing")
+	}
+	if f.OrN(f.Var(0), True, f.Var(1)) != True {
+		t.Error("OrN absorbing")
+	}
+	// Odd operand counts.
+	if f.AndN(lits[:5]...) != f.And(f.And(f.And(lits[0], lits[1]), f.And(lits[2], lits[3])), lits[4]) {
+		t.Error("odd-arity AndN wrong")
+	}
+}

@@ -8,10 +8,11 @@ package core
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
 	"sync"
+	"time"
 
+	"repro/internal/bdd"
 	"repro/internal/headerloc"
 	"repro/internal/ir"
 	"repro/internal/semdiff"
@@ -57,6 +58,11 @@ type Options struct {
 	// dimension of every route-map difference completely (the §4
 	// HeaderLocalize extension), instead of the default single example.
 	ExhaustiveCommunities bool
+	// Workers bounds the concurrency of the semantic checks: route-map
+	// chain comparisons and ACL pairs fan out over a worker pool, each
+	// worker owning a private BDD factory. 0 means one worker per CPU;
+	// 1 runs fully sequentially. Output is identical either way.
+	Workers int
 }
 
 func (o Options) enabled(c Component) bool {
@@ -78,9 +84,24 @@ type PolicyPair struct {
 	// Neighbor is the shared peer address (bgp kinds) or the source
 	// protocol (redistribution).
 	Neighbor string
-	// Name1 and Name2 are the policy-chain names on each router;
-	// "(none)" when a side applies no policy.
+	// Names1 and Names2 are the policy-chain name sequences on each
+	// router; empty when a side applies no policy. They identify the
+	// chains exactly — policy names may contain any character, so the
+	// sequences are never round-tripped through a joined string.
+	Names1, Names2 []string
+	// Name1 and Name2 render the chains for display: "(none)" for an
+	// empty chain, "A+B" for a JunOS policy chain.
 	Name1, Name2 string
+}
+
+// newPolicyPair builds a pair with both the identifying sequences and
+// their display forms.
+func newPolicyPair(kind, neighbor string, names1, names2 []string) PolicyPair {
+	return PolicyPair{
+		Kind: kind, Neighbor: neighbor,
+		Names1: names1, Names2: names2,
+		Name1: chainName(names1), Name2: chainName(names2),
+	}
 }
 
 func (p PolicyPair) String() string {
@@ -110,6 +131,25 @@ type ACLPairDiff struct {
 	Text1, Text2     ir.TextSpan
 }
 
+// ComponentStats profiles one component check of a Diff run, so speedups
+// from the parallel engine are measurable per component.
+type ComponentStats struct {
+	Component Component
+	// Kind is the analysis used (Table 1): SemanticDiff or StructuralDiff.
+	Kind string
+	// Duration is the component's wall time.
+	Duration time.Duration
+	// Workers is the pool size used (semantic components only).
+	Workers int
+	// Pairs counts the matched pairs dispatched; UniquePairs counts the
+	// distinct comparisons left after chain-identity deduplication.
+	Pairs, UniquePairs int
+	// BDDNodes sums the node arenas of all worker factories; CacheHits
+	// and CacheMisses sum their op-cache counters.
+	BDDNodes               int
+	CacheHits, CacheMisses uint64
+}
+
 // Report is the full result of comparing two router configurations.
 type Report struct {
 	Config1, Config2 *ir.Config
@@ -120,6 +160,11 @@ type Report struct {
 
 	// UnmatchedACLs lists ACL names present on exactly one router.
 	UnmatchedACLs1, UnmatchedACLs2 []string
+
+	// Stats profiles each component check that ran. It is execution
+	// metadata (wall times vary run to run) and is excluded from the
+	// rendered difference tables and JSON, which stay deterministic.
+	Stats []ComponentStats
 }
 
 // TotalDifferences counts every reported difference.
@@ -132,30 +177,49 @@ func (r *Report) TotalDifferences() int {
 func Diff(c1, c2 *ir.Config, opts Options) (*Report, error) {
 	rep := &Report{Config1: c1, Config2: c2}
 
-	if opts.enabled(ComponentRouteMaps) {
-		if err := diffRouteMaps(rep, c1, c2, opts); err != nil {
-			return nil, err
+	// timed runs one enabled component check and records its profile.
+	timed := func(c Component, fn func(st *ComponentStats) error) error {
+		if !opts.enabled(c) {
+			return nil
+		}
+		st := ComponentStats{Component: c, Kind: CheckKind(c)}
+		start := time.Now()
+		err := fn(&st)
+		st.Duration = time.Since(start)
+		rep.Stats = append(rep.Stats, st)
+		return err
+	}
+	structural := func(fn func() []structdiff.Difference) func(*ComponentStats) error {
+		return func(st *ComponentStats) error {
+			rep.Structural = append(rep.Structural, fn()...)
+			return nil
 		}
 	}
-	if opts.enabled(ComponentACLs) {
-		diffACLs(rep, c1, c2)
+
+	if err := timed(ComponentRouteMaps, func(st *ComponentStats) error {
+		return diffRouteMaps(rep, c1, c2, opts, st)
+	}); err != nil {
+		return nil, err
 	}
-	if opts.enabled(ComponentStatic) {
-		rep.Structural = append(rep.Structural, structdiff.DiffStaticRoutes(c1, c2)...)
-	}
-	if opts.enabled(ComponentConnected) {
-		rep.Structural = append(rep.Structural, structdiff.DiffConnectedRoutes(c1, c2)...)
-	}
-	if opts.enabled(ComponentBGP) {
-		rep.Structural = append(rep.Structural, structdiff.DiffBGPConfig(c1, c2)...)
-		rep.Structural = append(rep.Structural, structdiff.DiffBGPNeighbors(c1, c2)...)
-	}
-	if opts.enabled(ComponentOSPF) {
-		rep.Structural = append(rep.Structural, structdiff.DiffOSPF(c1, c2)...)
-	}
-	if opts.enabled(ComponentAdmin) {
-		rep.Structural = append(rep.Structural, structdiff.DiffAdminDistances(c1, c2)...)
-	}
+	timed(ComponentACLs, func(st *ComponentStats) error {
+		diffACLs(rep, c1, c2, opts, st)
+		return nil
+	})
+	timed(ComponentStatic, structural(func() []structdiff.Difference {
+		return structdiff.DiffStaticRoutes(c1, c2)
+	}))
+	timed(ComponentConnected, structural(func() []structdiff.Difference {
+		return structdiff.DiffConnectedRoutes(c1, c2)
+	}))
+	timed(ComponentBGP, structural(func() []structdiff.Difference {
+		return append(structdiff.DiffBGPConfig(c1, c2), structdiff.DiffBGPNeighbors(c1, c2)...)
+	}))
+	timed(ComponentOSPF, structural(func() []structdiff.Difference {
+		return structdiff.DiffOSPF(c1, c2)
+	}))
+	timed(ComponentAdmin, structural(func() []structdiff.Difference {
+		return structdiff.DiffAdminDistances(c1, c2)
+	}))
 	return rep, nil
 }
 
@@ -173,10 +237,8 @@ func MatchPolicies(c1, c2 *ir.Config) []PolicyPair {
 				continue // presence handled by StructuralDiff
 			}
 			pairs = append(pairs,
-				PolicyPair{Kind: "bgp-import", Neighbor: addr,
-					Name1: chainName(n1.ImportPolicies), Name2: chainName(n2.ImportPolicies)},
-				PolicyPair{Kind: "bgp-export", Neighbor: addr,
-					Name1: chainName(n1.ExportPolicies), Name2: chainName(n2.ExportPolicies)},
+				newPolicyPair("bgp-import", addr, n1.ImportPolicies, n2.ImportPolicies),
+				newPolicyPair("bgp-export", addr, n1.ExportPolicies, n2.ExportPolicies),
 			)
 		}
 	}
@@ -199,11 +261,8 @@ func MatchPolicies(c1, c2 *ir.Config) []PolicyPair {
 			p := ir.Protocol(pi)
 			if r2, ok := m2[p]; ok {
 				r1 := m1[p]
-				pairs = append(pairs, PolicyPair{
-					Kind: kind, Neighbor: p.String(),
-					Name1: chainName(sliceIfNonEmpty(r1.RouteMap)),
-					Name2: chainName(sliceIfNonEmpty(r2.RouteMap)),
-				})
+				pairs = append(pairs, newPolicyPair(kind, p.String(),
+					sliceIfNonEmpty(r1.RouteMap), sliceIfNonEmpty(r2.RouteMap)))
 			}
 		}
 	}
@@ -265,7 +324,7 @@ func resolveChain(cfg *ir.Config, names []string) *ir.RouteMap {
 // maxCommunityTerms bounds exhaustive community localization output.
 const maxCommunityTerms = 64
 
-func diffRouteMaps(rep *Report, c1, c2 *ir.Config, opts Options) error {
+func diffRouteMaps(rep *Report, c1, c2 *ir.Config, opts Options, stats *ComponentStats) error {
 	pairs := MatchPolicies(c1, c2)
 	if len(pairs) == 0 {
 		// No BGP context: compare same-named route maps directly, so
@@ -282,54 +341,51 @@ func diffRouteMaps(rep *Report, c1, c2 *ir.Config, opts Options) error {
 		}
 		sort.Strings(sorted)
 		for _, n := range sorted {
-			pairs = append(pairs, PolicyPair{Kind: "route-map", Neighbor: n, Name1: n, Name2: n})
+			pairs = append(pairs, newPolicyPair("route-map", n, []string{n}, []string{n}))
 		}
 	}
 	if len(pairs) == 0 {
 		return nil
 	}
 
-	enc := symbolic.NewRouteEncoding(c1, c2)
-	loc := headerloc.NewRouteLocalizer(enc, c1, c2)
-
-	// Deduplicate repeated (name1, name2) comparisons: the same export
-	// policy applied to many neighbors is compared once, then reported
-	// per pair.
-	type key struct{ n1, n2 string }
-	cache := map[key][]semdiff.RouteMapDiff{}
-	for _, pair := range pairs {
-		k := key{pair.Name1, pair.Name2}
-		diffs, ok := cache[k]
+	// Cross-pair result cache keyed by resolved chain identity: the same
+	// export policy applied to many neighbors becomes one task, checked
+	// once — concurrently with the other unique tasks.
+	taskIndex := map[string]int{}
+	var tasks []rmTask
+	pairTask := make([]int, len(pairs))
+	for i, pair := range pairs {
+		k := chainKeyOf(pair.Names1, pair.Names2)
+		ti, ok := taskIndex[k]
 		if !ok {
-			var names1, names2 []string
-			if pair.Name1 != "(none)" {
-				names1 = splitChain(pair.Name1)
-			}
-			if pair.Name2 != "(none)" {
-				names2 = splitChain(pair.Name2)
-			}
-			rm1 := resolveChain(c1, names1)
-			rm2 := resolveChain(c2, names2)
-			var err error
-			diffs, err = semdiff.DiffRouteMaps(enc, c1, rm1, c2, rm2)
-			if err != nil {
-				return err
-			}
-			cache[k] = diffs
+			ti = len(tasks)
+			taskIndex[k] = ti
+			tasks = append(tasks, rmTask{names1: pair.Names1, names2: pair.Names2})
 		}
-		for _, d := range diffs {
-			localization := loc.Localize(d.Inputs)
-			if opts.ExhaustiveCommunities {
-				localization.CommunityTerms, localization.CommunityComplete =
-					loc.LocalizeCommunities(d.Inputs, maxCommunityTerms)
-			}
+		pairTask[i] = ti
+	}
+	stats.Pairs = len(pairs)
+	stats.UniquePairs = len(tasks)
+
+	results := runRouteMapTasks(c1, c2, tasks, opts, stats)
+
+	// Deterministic assembly: walk the pairs in matched order and splice
+	// in each one's task results, whatever order the workers finished in.
+	// A task error surfaces at its first referencing pair, exactly where
+	// a sequential run would have stopped.
+	for i, pair := range pairs {
+		res := results[pairTask[i]]
+		if res.err != nil {
+			return res.err
+		}
+		for _, d := range res.diffs {
 			rep.RouteMapDiffs = append(rep.RouteMapDiffs, RouteMapDiff{
 				Pair:         pair,
-				Localization: localization,
-				Action1:      describeRouteAction(d.Path1),
-				Action2:      describeRouteAction(d.Path2),
-				Text1:        routePathText(d.Path1),
-				Text2:        routePathText(d.Path2),
+				Localization: d.Localization,
+				Action1:      d.Action1,
+				Action2:      d.Action2,
+				Text1:        d.Text1,
+				Text2:        d.Text2,
 			})
 		}
 	}
@@ -337,20 +393,6 @@ func diffRouteMaps(rep *Report, c1, c2 *ir.Config, opts Options) error {
 	// duplicates (same pair names and same localization text).
 	rep.RouteMapDiffs = dedupeRouteMapDiffs(rep.RouteMapDiffs)
 	return nil
-}
-
-func splitChain(name string) []string {
-	var out []string
-	start := 0
-	for i := 0; i <= len(name); i++ {
-		if i == len(name) || name[i] == '+' {
-			if i > start {
-				out = append(out, name[start:i])
-			}
-			start = i + 1
-		}
-	}
-	return out
 }
 
 func dedupeRouteMapDiffs(ds []RouteMapDiff) []RouteMapDiff {
@@ -392,7 +434,7 @@ func routePathText(p symbolic.RoutePath) ir.TextSpan {
 	return ir.TextSpan{Lines: []string{"(default action: no clause matched)"}}
 }
 
-func diffACLs(rep *Report, c1, c2 *ir.Config) {
+func diffACLs(rep *Report, c1, c2 *ir.Config, opts Options, stats *ComponentStats) {
 	// MatchPolicies for ACLs: same name (§4).
 	var shared []string
 	for name := range c1.ACLs {
@@ -410,37 +452,64 @@ func diffACLs(rep *Report, c1, c2 *ir.Config) {
 	sort.Strings(shared)
 	sort.Strings(rep.UnmatchedACLs1)
 	sort.Strings(rep.UnmatchedACLs2)
-
-	// Each ACL pair gets its own packet encoding, so pairs are
-	// independent and compared in parallel.
-	perName := make([][]ACLPairDiff, len(shared))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for i, name := range shared {
-		wg.Add(1)
-		go func(i int, name string) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			acl1, acl2 := c1.ACLs[name], c2.ACLs[name]
-			enc := symbolic.NewPacketEncoding()
-			diffs := semdiff.DiffACLs(enc, acl1, acl2)
-			if len(diffs) == 0 {
-				return
-			}
-			loc := headerloc.NewACLLocalizer(enc, acl1, acl2)
-			for _, d := range diffs {
-				perName[i] = append(perName[i], ACLPairDiff{
-					Name1: name, Name2: name,
-					Localization: loc.Localize(d.Inputs),
-					Action1:      describeACLAction(d.Path1.Accept),
-					Action2:      describeACLAction(d.Path2.Accept),
-					Text1:        aclPathText(d.Path1),
-					Text2:        aclPathText(d.Path2),
-				})
-			}
-		}(i, name)
+	stats.Pairs = len(shared)
+	stats.UniquePairs = len(shared)
+	if len(shared) == 0 {
+		return
 	}
+
+	// Bounded worker pool, matching the route-map engine: each worker
+	// owns one BDD factory, recycled between its ACL pairs, so no
+	// allocation happens until a worker actually holds a job (the old
+	// shape spawned every goroutine up front behind a semaphore).
+	perName := make([][]ACLPairDiff, len(shared))
+	workers := opts.workerCount(len(shared))
+	stats.Workers = workers
+	var mu sync.Mutex // guards stats aggregation across workers
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var f *bdd.Factory
+			var nodes int
+			var hits, misses uint64
+			for i := range jobs {
+				name := shared[i]
+				acl1, acl2 := c1.ACLs[name], c2.ACLs[name]
+				enc := symbolic.NewPacketEncodingInto(f)
+				f = enc.F
+				diffs := semdiff.DiffACLs(enc, acl1, acl2)
+				if len(diffs) > 0 {
+					loc := headerloc.NewACLLocalizer(enc, acl1, acl2)
+					for _, d := range diffs {
+						perName[i] = append(perName[i], ACLPairDiff{
+							Name1: name, Name2: name,
+							Localization: loc.Localize(d.Inputs),
+							Action1:      describeACLAction(d.Path1.Accept),
+							Action2:      describeACLAction(d.Path2.Accept),
+							Text1:        aclPathText(d.Path1),
+							Text2:        aclPathText(d.Path2),
+						})
+					}
+				}
+				st := f.Stats()
+				nodes += st.Nodes
+				hits += st.CacheHits
+				misses += st.CacheMisses
+			}
+			mu.Lock()
+			stats.BDDNodes += nodes
+			stats.CacheHits += hits
+			stats.CacheMisses += misses
+			mu.Unlock()
+		}()
+	}
+	for i := range shared {
+		jobs <- i
+	}
+	close(jobs)
 	wg.Wait()
 	for _, ds := range perName {
 		rep.ACLDiffs = append(rep.ACLDiffs, ds...)

@@ -238,12 +238,21 @@ func TestChainHelpers(t *testing.T) {
 	if chainName([]string{"A", "B"}) != "A+B" {
 		t.Error("chain join")
 	}
-	got := splitChain("A+B")
-	if len(got) != 2 || got[0] != "A" || got[1] != "B" {
-		t.Errorf("splitChain = %v", got)
+	p := newPolicyPair("bgp-export", "10.0.0.1", []string{"A", "B"}, nil)
+	if p.Name1 != "A+B" || p.Name2 != "(none)" {
+		t.Errorf("display names = %q %q", p.Name1, p.Name2)
 	}
-	if len(splitChain("A")) != 1 {
-		t.Error("single chain")
+	if len(p.Names1) != 2 || p.Names1[0] != "A" || p.Names1[1] != "B" || p.Names2 != nil {
+		t.Errorf("name sequences = %v %v", p.Names1, p.Names2)
+	}
+	// Chains are identified by their sequences, never by re-splitting the
+	// display string: a policy whose name contains '+' stays one policy.
+	plus := newPolicyPair("bgp-import", "10.0.0.1", []string{"A+B"}, []string{"A", "B"})
+	if chainKeyOf(plus.Names1, plus.Names2) == chainKeyOf(p.Names1, p.Names1) {
+		t.Error("chain keys must distinguish [A+B] from [A, B]")
+	}
+	if len(plus.Names1) != 1 {
+		t.Errorf("Names1 = %v, want the single policy %q", plus.Names1, "A+B")
 	}
 }
 

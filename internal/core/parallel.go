@@ -1,0 +1,131 @@
+// Parallel SemanticDiff execution engine. Every matched policy pair is an
+// independent semantic check (the modularity of §3 is what makes the
+// comparison parallelizable), so unique chain comparisons fan out over a
+// worker pool. Each worker owns a private symbolic.RouteEncoding — and
+// therefore a private BDD factory — so BDD nodes never cross goroutines;
+// workers hand back fully localized, factory-independent results, and the
+// report is assembled in matched-pair order regardless of completion
+// order, keeping output byte-identical to a sequential run.
+package core
+
+import (
+	"runtime"
+	"strings"
+	"sync"
+
+	"repro/internal/headerloc"
+	"repro/internal/ir"
+	"repro/internal/semdiff"
+	"repro/internal/symbolic"
+)
+
+// workerCount resolves Options.Workers against the task count.
+func (o Options) workerCount(tasks int) int {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > tasks {
+		w = tasks
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// chainKeyOf identifies a resolved chain comparison by the exact policy
+// name sequences on both sides. Keying on the sequences rather than a
+// joined display string keeps chains distinct even when a policy name
+// contains a separator character.
+func chainKeyOf(names1, names2 []string) string {
+	return strings.Join(names1, "\x00") + "\x01" + strings.Join(names2, "\x00")
+}
+
+// rmTask is one unique chain comparison; many matched pairs can share it
+// (the same export policy applied to 40 neighbors is checked once).
+type rmTask struct {
+	names1, names2 []string
+}
+
+// localizedRouteDiff is a factory-independent difference: everything the
+// report needs, with no live BDD nodes, so it can safely cross goroutines.
+type localizedRouteDiff struct {
+	Localization     headerloc.RouteLocalization
+	Action1, Action2 string
+	Text1, Text2     ir.TextSpan
+}
+
+type rmTaskResult struct {
+	diffs []localizedRouteDiff
+	err   error
+}
+
+// runRouteMapTasks executes the unique chain comparisons on a pool of
+// workers. Each worker builds its own encoding over the configuration
+// pair (the construction is deterministic, so every worker sees the same
+// variable order and atom vocabulary) and reuses it — and its growing op
+// caches — across all tasks it pulls.
+func runRouteMapTasks(c1, c2 *ir.Config, tasks []rmTask, opts Options, stats *ComponentStats) []rmTaskResult {
+	results := make([]rmTaskResult, len(tasks))
+	workers := opts.workerCount(len(tasks))
+	stats.Workers = workers
+
+	var mu sync.Mutex // guards stats aggregation across workers
+	worker := func(jobs <-chan int) {
+		enc := symbolic.NewRouteEncoding(c1, c2)
+		loc := headerloc.NewRouteLocalizer(enc, c1, c2)
+		for i := range jobs {
+			results[i] = runRouteMapTask(enc, loc, c1, c2, tasks[i], opts)
+		}
+		st := enc.F.Stats()
+		mu.Lock()
+		stats.BDDNodes += st.Nodes
+		stats.CacheHits += st.CacheHits
+		stats.CacheMisses += st.CacheMisses
+		mu.Unlock()
+	}
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			worker(jobs)
+		}()
+	}
+	for i := range tasks {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return results
+}
+
+// runRouteMapTask compares one resolved chain pair and localizes every
+// difference while still on the worker's own factory.
+func runRouteMapTask(enc *symbolic.RouteEncoding, loc *headerloc.RouteLocalizer, c1, c2 *ir.Config, t rmTask, opts Options) rmTaskResult {
+	rm1 := resolveChain(c1, t.names1)
+	rm2 := resolveChain(c2, t.names2)
+	diffs, err := semdiff.DiffRouteMaps(enc, c1, rm1, c2, rm2)
+	if err != nil {
+		return rmTaskResult{err: err}
+	}
+	out := make([]localizedRouteDiff, 0, len(diffs))
+	for _, d := range diffs {
+		localization := loc.Localize(d.Inputs)
+		if opts.ExhaustiveCommunities {
+			localization.CommunityTerms, localization.CommunityComplete =
+				loc.LocalizeCommunities(d.Inputs, maxCommunityTerms)
+		}
+		out = append(out, localizedRouteDiff{
+			Localization: localization,
+			Action1:      describeRouteAction(d.Path1),
+			Action2:      describeRouteAction(d.Path2),
+			Text1:        routePathText(d.Path1),
+			Text2:        routePathText(d.Path2),
+		})
+	}
+	return rmTaskResult{diffs: out}
+}

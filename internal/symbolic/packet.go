@@ -28,6 +28,14 @@ type PacketEncoding struct {
 
 // NewPacketEncoding allocates the packet variable space.
 func NewPacketEncoding() *PacketEncoding {
+	return NewPacketEncodingInto(nil)
+}
+
+// NewPacketEncodingInto is NewPacketEncoding recycling an existing
+// factory: if f is non-nil it is Reset and reused, so a worker comparing
+// many ACL pairs pays for one arena and op cache, not one per pair.
+// Nodes from before the call are invalidated.
+func NewPacketEncodingInto(f *bdd.Factory) *PacketEncoding {
 	e := &PacketEncoding{lineCache: map[*ir.ACLLine]bdd.Node{}}
 	n := 0
 	alloc := func(w int) int {
@@ -43,7 +51,12 @@ func NewPacketEncoding() *PacketEncoding {
 	e.tcpAck = alloc(1)
 	e.tcpRst = alloc(1)
 	it := alloc(8)
-	e.F = bdd.NewFactory(n)
+	if f != nil {
+		f.Reset(n)
+		e.F = f
+	} else {
+		e.F = bdd.NewFactory(n)
+	}
 	e.src = bitVec{f: e.F, first: src, width: 32}
 	e.dst = bitVec{f: e.F, first: dst, width: 32}
 	e.proto = bitVec{f: e.F, first: proto, width: 8}

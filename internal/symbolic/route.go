@@ -54,6 +54,15 @@ type RouteEncoding struct {
 // NewRouteEncoding builds an encoding whose atom vocabulary covers all the
 // given configurations.
 func NewRouteEncoding(cfgs ...*ir.Config) *RouteEncoding {
+	return NewRouteEncodingInto(nil, cfgs...)
+}
+
+// NewRouteEncodingInto is NewRouteEncoding recycling an existing factory:
+// if f is non-nil it is Reset to the encoding's variable count and reused,
+// so callers comparing many configuration pairs on one goroutine avoid
+// re-allocating the arena and op cache per pair. Nodes from before the
+// call are invalidated.
+func NewRouteEncodingInto(f *bdd.Factory, cfgs ...*ir.Config) *RouteEncoding {
 	var literals, regexes, asRegexes []string
 	medSet := map[int64]bool{}
 	tagSet := map[int64]bool{}
@@ -135,7 +144,12 @@ func NewRouteEncoding(cfgs ...*ir.Config) *RouteEncoding {
 	e.protoVar0 = alloc(len(protocolOrder))
 	e.commVar0 = alloc(comms.Size())
 	e.asVar0 = alloc(len(asAtoms))
-	e.F = bdd.NewFactory(n)
+	if f != nil {
+		f.Reset(n)
+		e.F = f
+	} else {
+		e.F = bdd.NewFactory(n)
+	}
 	e.prefixBits = bitVec{f: e.F, first: pb, width: 32}
 	e.prefixLen = bitVec{f: e.F, first: pl, width: 6}
 	e.nextHop = bitVec{f: e.F, first: nh, width: 32}
