@@ -587,3 +587,70 @@ func BenchmarkDiffBatch(b *testing.B) {
 		})
 	}
 }
+
+// fleetConfigs builds n near-identical router configurations (the backup
+// fleet of §5.1): same policy structure and vocabulary, small per-router
+// local-preference drifts, so an all-pairs audit re-resolves the same
+// per-device chains on every pair.
+func fleetConfigs(b *testing.B, n int) []campion.NamedConfig {
+	b.Helper()
+	build := func(r int) string {
+		var s strings.Builder
+		s.WriteString("hostname fleet\n")
+		for p := 0; p < 8; p++ {
+			fmt.Fprintf(&s, "ip prefix-list NETS%d permit 10.%d.0.0/16 le 24\n", p, p+1)
+			pref := 100 + p
+			if r%3 == 1 && p == 3 {
+				pref += 40 // a drifted router
+			}
+			fmt.Fprintf(&s, "route-map POL%d permit 10\n match ip address NETS%d\n set local-preference %d\n", p, p, pref)
+			fmt.Fprintf(&s, "route-map POL%d deny 20\n", p)
+		}
+		s.WriteString("router bgp 65001\n")
+		for p := 0; p < 8; p++ {
+			addr := fmt.Sprintf("10.%d.0.2", 200+p)
+			fmt.Fprintf(&s, " neighbor %s remote-as 65002\n", addr)
+			fmt.Fprintf(&s, " neighbor %s route-map POL%d in\n", addr, p)
+		}
+		return s.String()
+	}
+	cfgs := make([]campion.NamedConfig, n)
+	for r := 0; r < n; r++ {
+		cfg, err := cisco.Parse(fmt.Sprintf("r%d.cfg", r), build(r))
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfgs[r] = campion.NamedConfig{Name: fmt.Sprintf("r%d", r), Config: cfg}
+	}
+	return cfgs
+}
+
+// BenchmarkDiffAllFleet measures the all-pairs fleet audit with and
+// without the cross-pair compiled-policy cache: with it, each batch
+// worker re-encodes every device's policies once instead of once per
+// pair, so the audit's encoding cost is O(N) rather than O(N^2).
+func BenchmarkDiffAllFleet(b *testing.B) {
+	cfgs := fleetConfigs(b, 8)
+	ctx := context.Background()
+	for _, cache := range []bool{true, false} {
+		name := "cache=on"
+		if !cache {
+			name = "cache=off"
+		}
+		b.Run(name, func(b *testing.B) {
+			opts := campion.BatchOptions{BatchWorkers: 1, NoPolicyCache: !cache}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				results, err := campion.DiffAll(ctx, cfgs, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, r := range results {
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
+				}
+			}
+		})
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+
+	"repro/internal/core"
 )
 
 // ConfigPair is one named pair of parsed configurations in a batch.
@@ -31,6 +33,13 @@ type BatchOptions struct {
 	// BatchWorkers bounds how many pairs are compared concurrently;
 	// 0 means one per CPU.
 	BatchWorkers int
+	// NoPolicyCache disables the per-worker compiled-policy cache that
+	// DiffBatch installs for sequential inner comparisons. With the cache
+	// each batch worker re-encodes a device's route maps once across all
+	// the pairs it is assigned instead of once per pair; reports are
+	// byte-identical either way. The switch exists for benchmarking and
+	// the determinism tests.
+	NoPolicyCache bool
 }
 
 // BatchResult is the outcome of one pair in a batch: either a report or
@@ -72,6 +81,10 @@ func DiffBatch(ctx context.Context, pairs []ConfigPair, opts BatchOptions) ([]Ba
 		// CPUs, so each pair runs sequentially unless asked otherwise.
 		inner.Workers = 1
 	}
+	// A PolicyCache is single-goroutine state; a caller-supplied one
+	// cannot be shared across batch workers, so it is replaced by one
+	// private cache per worker below.
+	inner.PolicyCache = nil
 
 	jobs := make(chan int)
 	var wg sync.WaitGroup
@@ -79,6 +92,10 @@ func DiffBatch(ctx context.Context, pairs []ConfigPair, opts BatchOptions) ([]Ba
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			inner := inner
+			if inner.Workers == 1 && !opts.NoPolicyCache {
+				inner.PolicyCache = core.NewPolicyCache()
+			}
 			for i := range jobs {
 				p := pairs[i]
 				res := BatchResult{Name: p.Name}

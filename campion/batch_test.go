@@ -233,3 +233,69 @@ func TestDiffBatchRaceExercise(t *testing.T) {
 		t.Error("testnets pairs should report differences")
 	}
 }
+
+// TestDiffAllPolicyCacheDeterminism is the byte-identity contract of the
+// cross-pair compiled-policy cache: a DiffAll renders identically with
+// the cache enabled and disabled, sequentially and across batch worker
+// counts. It runs over a homogeneous fleet (the cache's best case: one
+// vocabulary, maximal chain reuse) plus a vocabulary-shifting outlier
+// that forces mid-run cache rebuilds.
+func TestDiffAllPolicyCacheDeterminism(t *testing.T) {
+	cfgs := fleet(t)
+	// An outlier with extra community vocabulary: pairs touching it
+	// fingerprint differently, exercising the rebuild path between hits.
+	outlier := mustParse(t, "d.cfg", `hostname d
+ip community-list standard LOUD permit 65000:777
+route-map POL permit 10
+ match community LOUD
+ set local-preference 250
+route-map POL deny 20
+router bgp 65001
+ neighbor 10.0.12.2 remote-as 65002
+ neighbor 10.0.12.2 route-map POL in
+`)
+	cfgs = append(cfgs, NamedConfig{Name: "d", Config: outlier})
+
+	render := func(opts BatchOptions) string {
+		results, err := DiffAll(context.Background(), cfgs, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b bytes.Buffer
+		for _, r := range results {
+			fmt.Fprintf(&b, "== %s ==\n", r.Name)
+			if r.Err != nil {
+				t.Fatalf("%s: %v", r.Name, r.Err)
+			}
+			if err := Write(&b, r.Report); err != nil {
+				t.Fatal(err)
+			}
+			data, err := JSON(r.Report)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b.Write(data)
+			b.WriteByte('\n')
+		}
+		return b.String()
+	}
+
+	reference := render(BatchOptions{BatchWorkers: 1, NoPolicyCache: true})
+	if len(reference) == 0 {
+		t.Fatal("empty render")
+	}
+	if !strings.Contains(reference, "b vs c") {
+		t.Fatal("expected the b-vs-c pair in the output")
+	}
+	for _, opts := range []BatchOptions{
+		{BatchWorkers: 1},                      // cache on, sequential
+		{BatchWorkers: 4},                      // cache on, one cache per worker
+		{BatchWorkers: 8, NoPolicyCache: true}, // cache off, parallel
+		{BatchWorkers: 2, Options: Options{Workers: 2}}, // inner parallelism disables the cache path
+	} {
+		if got := render(opts); got != reference {
+			t.Fatalf("BatchWorkers=%d NoPolicyCache=%v: output diverges from cache-off sequential reference",
+				opts.BatchWorkers, opts.NoPolicyCache)
+		}
+	}
+}

@@ -49,6 +49,15 @@ const (
 // Options configures a Diff run.
 type Options = core.Options
 
+// PolicyCache carries compiled route-map chains and their BDD factory
+// across sequential Diff calls over the same devices (see
+// Options.PolicyCache). Construct with NewPolicyCache; never share one
+// across goroutines.
+type PolicyCache = core.PolicyCache
+
+// NewPolicyCache returns an empty compiled-policy cache.
+func NewPolicyCache() *PolicyCache { return core.NewPolicyCache() }
+
 // Component selects a class of configuration checks.
 type Component = core.Component
 

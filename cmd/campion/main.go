@@ -23,6 +23,9 @@
 //	    bound the comparison concurrency (0 = one worker per CPU)
 //	-stats
 //	    print per-component wall time and BDD statistics to stderr
+//	-cpuprofile=FILE, -memprofile=FILE
+//	    write pprof CPU / heap profiles, so kernel work is profileable
+//	    without editing code
 package main
 
 import (
@@ -31,6 +34,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -39,7 +44,13 @@ import (
 	"repro/internal/minesweeper"
 )
 
+// main delegates to run so deferred profile teardown survives every exit
+// path (os.Exit would skip it).
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	components := flag.String("components", "", "comma-separated component list (default: all)")
 	format := flag.String("format", "text", "output format: text, json, or summary")
 	vendor1 := flag.String("vendor1", "auto", "dialect of CONFIG1: auto, cisco, juniper, arista")
@@ -51,6 +62,8 @@ func main() {
 	all := flag.Bool("all", false, "compare every pair of configurations within one directory")
 	workers := flag.Int("workers", 0, "comparison concurrency (0 = one per CPU)")
 	stats := flag.Bool("stats", false, "print per-component wall time and BDD statistics to stderr")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: campion [flags] CONFIG1 CONFIG2\n")
 		fmt.Fprintf(os.Stderr, "       campion [flags] DIR1 DIR2\n")
@@ -58,6 +71,35 @@ func main() {
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "campion:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows retention
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "campion:", err)
+			}
+		}()
+	}
 
 	var opts0 campion.Options
 	opts0.ExhaustiveCommunities = *exhaustiveComms
@@ -73,46 +115,46 @@ func main() {
 	if *all {
 		if flag.NArg() != 1 || !isDir(flag.Arg(0)) {
 			flag.Usage()
-			os.Exit(2)
+			return 2
 		}
-		os.Exit(diffAll(flag.Arg(0), opts0, *workers, *format, *stats))
+		return diffAll(flag.Arg(0), opts0, *workers, *format, *stats)
 	}
 	if flag.NArg() != 2 {
 		flag.Usage()
-		os.Exit(2)
+		return 2
 	}
 
 	// Directory mode: compare every matched pair across two directories
 	// (the "all pairs of backup routers" workflow of §5.1).
 	if isDir(flag.Arg(0)) && isDir(flag.Arg(1)) {
-		os.Exit(diffDirs(flag.Arg(0), flag.Arg(1), opts0, *workers, *format, *stats))
+		return diffDirs(flag.Arg(0), flag.Arg(1), opts0, *workers, *format, *stats)
 	}
 
 	cfg1, err := load(flag.Arg(0), *vendor1)
 	if err != nil {
-		fatal(err)
+		return fatal(err)
 	}
 	cfg2, err := load(flag.Arg(1), *vendor2)
 	if err != nil {
-		fatal(err)
+		return fatal(err)
 	}
 
 	rep, err := campion.Diff(cfg1, cfg2, opts0)
 	if err != nil {
-		fatal(err)
+		return fatal(err)
 	}
 	switch *format {
 	case "json":
 		data, err := campion.JSON(rep)
 		if err != nil {
-			fatal(err)
+			return fatal(err)
 		}
 		fmt.Println(string(data))
 	case "summary":
 		campion.WriteSummary(os.Stdout, rep)
 	default:
 		if err := campion.Write(os.Stdout, rep); err != nil {
-			fatal(err)
+			return fatal(err)
 		}
 	}
 	if *stats {
@@ -122,8 +164,9 @@ func main() {
 		runBaseline(cfg1, cfg2)
 	}
 	if rep.TotalDifferences() > 0 {
-		os.Exit(1) // differences found: non-zero, like diff(1)
+		return 1 // differences found: non-zero, like diff(1)
 	}
+	return 0
 }
 
 // printStats renders the report's per-component execution profile.
@@ -301,7 +344,7 @@ func load(path, vendor string) (*campion.Config, error) {
 	return nil, fmt.Errorf("unknown vendor %q", vendor)
 }
 
-func fatal(err error) {
+func fatal(err error) int {
 	fmt.Fprintln(os.Stderr, "campion:", err)
-	os.Exit(2)
+	return 2
 }

@@ -1,11 +1,16 @@
-// Package bdd implements reduced ordered binary decision diagrams (ROBDDs),
-// the symbolic set representation underlying Campion's SemanticDiff and
-// HeaderLocalize algorithms (the role JavaBDD plays in the original system).
+// Package bdd implements reduced ordered binary decision diagrams (ROBDDs)
+// with complement edges, the symbolic set representation underlying
+// Campion's SemanticDiff and HeaderLocalize algorithms (the role JavaBDD
+// plays in the original system).
 //
-// A Factory owns an arena of nodes; a Node is an index into that arena.
-// Nodes are hash-consed, so structural equality of the Node values implies
-// semantic equivalence of the represented boolean functions, which makes
-// equivalence checks O(1) once the operands are built.
+// A Factory owns an arena of nodes; a Node is a tagged reference into that
+// arena: the high bits index the arena, the lowest bit marks a complemented
+// (negated) edge. Nodes are hash-consed and the complement tag is kept
+// canonical (the low edge of a stored node is never complemented), so
+// structural equality of Node values implies semantic equivalence of the
+// represented boolean functions — equivalence checks are O(1) once the
+// operands are built, and Not is a single bit flip that allocates nothing:
+// a function and its negation share every arena node.
 package bdd
 
 import (
@@ -13,33 +18,36 @@ import (
 	"math"
 )
 
-// Node is a reference to a BDD node inside its Factory. The zero value is
-// the constant false; True is the constant true.
+// Node is a reference to a BDD node inside its Factory, tagged with a
+// complement bit (bit 0). The zero value is the constant false; True is
+// the complemented edge to the same terminal.
 type Node int32
 
-// Terminal nodes.
+// Terminal nodes. The arena has a single sink (index 0, the empty set);
+// True is its complement. A Node n is a terminal exactly when n <= True.
 const (
 	False Node = 0
 	True  Node = 1
 )
 
 type nodeData struct {
-	level     int32 // variable index; terminals use the factory's var count
-	low, high Node
+	level     int32 // variable index; the terminal uses the factory's var count
+	low, high Node  // low is never complemented (canonical form)
 }
 
+// Binary operations of the shared op cache. With complement edges only two
+// kernels are needed: Or is And under De Morgan (a ∨ b = ¬(¬a ∧ ¬b)), which
+// lands on the same cache slots as the dual And. 0 marks an empty slot.
 const (
-	opAnd = iota + 1
-	opOr
+	opAnd uint32 = iota + 1
 	opXor
-	opNot
-	opExists
-	opIte
 )
 
 // opCacheEntry is a slot of the direct-mapped operation cache. Collisions
 // overwrite; a miss merely recomputes, so the cache never affects
-// correctness.
+// correctness. Keys are normalized (operands sorted; complement bits
+// stripped where the operation allows), so commuted and negated calls hit
+// the same slot.
 type opCacheEntry struct {
 	op     uint32
 	a, b   Node
@@ -72,6 +80,11 @@ type Factory struct {
 	cacheMask uint32
 	iteTmp    map[[3]Node]Node
 
+	// varCache memoizes Var(i): one hash probe per variable lifetime
+	// instead of one per literal use. 0 (False) marks an empty slot — a
+	// variable node can never be a terminal.
+	varCache []Node
+
 	// quantification scratch, reused across Exists calls
 	existsMask []bool
 
@@ -84,32 +97,31 @@ func NewFactory(numVars int) *Factory {
 		panic(fmt.Sprintf("bdd: invalid variable count %d", numVars))
 	}
 	f := &Factory{
-		nodes:      make([]nodeData, 2, 1024),
+		nodes:      make([]nodeData, 1, 1024),
 		unique:     make([]int32, 1024),
 		uniqueMask: 1023,
 		cache:      make([]opCacheEntry, 1<<opCacheMinBits),
 		cacheMask:  1<<opCacheMinBits - 1,
 		iteTmp:     make(map[[3]Node]Node),
+		varCache:   make([]Node, numVars),
 		numVars:    numVars,
 	}
-	f.nodes[False] = nodeData{level: int32(numVars), low: False, high: False}
-	f.nodes[True] = nodeData{level: int32(numVars), low: True, high: True}
+	f.nodes[0] = nodeData{level: int32(numVars), low: False, high: False}
 	return f
 }
 
 // Reset recycles the factory for a fresh workload over numVars variables:
 // all nodes and cached results are discarded, but the arena, hash table,
-// and op-cache allocations are kept, so resetting between independent
-// comparisons avoids re-paying the allocation cost. Any Node obtained
-// before the Reset is invalid afterwards.
+// op-cache, and quantification-scratch allocations are kept, so resetting
+// between independent comparisons avoids re-paying the allocation cost.
+// Any Node obtained before the Reset is invalid afterwards.
 func (f *Factory) Reset(numVars int) {
 	if numVars < 0 || numVars >= 1<<20 {
 		panic(fmt.Sprintf("bdd: invalid variable count %d", numVars))
 	}
 	f.numVars = numVars
-	f.nodes = f.nodes[:2]
-	f.nodes[False] = nodeData{level: int32(numVars), low: False, high: False}
-	f.nodes[True] = nodeData{level: int32(numVars), low: True, high: True}
+	f.nodes = f.nodes[:1]
+	f.nodes[0] = nodeData{level: int32(numVars), low: False, high: False}
 	for i := range f.unique {
 		f.unique[i] = 0
 	}
@@ -117,13 +129,26 @@ func (f *Factory) Reset(numVars int) {
 		f.cache[i] = opCacheEntry{}
 	}
 	clear(f.iteTmp)
-	f.existsMask = nil
+	if cap(f.varCache) >= numVars {
+		f.varCache = f.varCache[:numVars]
+		clear(f.varCache)
+	} else {
+		f.varCache = make([]Node, numVars)
+	}
+	// Keep the scratch buffer's capacity — dropping it would defeat the
+	// allocation recycling Reset exists for — but clear its contents.
+	if cap(f.existsMask) >= numVars {
+		f.existsMask = f.existsMask[:numVars]
+		clear(f.existsMask)
+	} else {
+		f.existsMask = nil
+	}
 	f.cacheHits, f.cacheMisses = 0, 0
 }
 
 // Stats is a snapshot of a factory's allocation and op-cache behavior.
 type Stats struct {
-	Nodes       int    // live nodes in the arena, including terminals
+	Nodes       int    // live nodes in the arena, including the terminal
 	CacheSlots  int    // current op-cache capacity
 	CacheHits   uint64 // op-cache hits since creation or Reset
 	CacheMisses uint64 // op-cache misses since creation or Reset
@@ -151,7 +176,7 @@ func (f *Factory) rehashUnique() {
 	newSize := uint32(len(f.unique)) * 2
 	table := make([]int32, newSize)
 	mask := newSize - 1
-	for i := 2; i < len(f.nodes); i++ {
+	for i := 1; i < len(f.nodes); i++ {
 		d := f.nodes[i]
 		h := nodeHash(d.level, d.low, d.high) & mask
 		for table[h] != 0 {
@@ -163,9 +188,20 @@ func (f *Factory) rehashUnique() {
 	f.uniqueMask = mask
 }
 
+// cacheIndex maps an op-cache key to a slot by the low bits of the mixed
+// key after discarding bit 0. Low-bit multiplicative indexing keeps slots
+// near-bijective for the sequential arena indices apply kernels generate,
+// but under the tagged node encoding operands are indices shifted left by
+// the complement bit, so raw bit 0 is parity-locked by the op constant and
+// would crowd each operation's keys into half the table; one right shift
+// restores the bijective index bits.
+func (f *Factory) cacheIndex(op uint32, a, b Node) uint32 {
+	h := uint32(a)*0x9e3779b1 ^ uint32(b)*0x85ebca77 ^ op*0x27d4eb2f
+	return (h >> 1) & f.cacheMask
+}
+
 func (f *Factory) cacheLookup(op uint32, a, b Node) (Node, bool) {
-	idx := (uint32(a)*0x9e3779b1 ^ uint32(b)*0x85ebca77 ^ op*0x27d4eb2f) & f.cacheMask
-	e := &f.cache[idx]
+	e := &f.cache[f.cacheIndex(op, a, b)]
 	if e.op == op && e.a == a && e.b == b {
 		f.cacheHits++
 		return e.result, true
@@ -175,8 +211,7 @@ func (f *Factory) cacheLookup(op uint32, a, b Node) (Node, bool) {
 }
 
 func (f *Factory) cacheStore(op uint32, a, b, result Node) {
-	idx := (uint32(a)*0x9e3779b1 ^ uint32(b)*0x85ebca77 ^ op*0x27d4eb2f) & f.cacheMask
-	f.cache[idx] = opCacheEntry{op: op, a: a, b: b, result: result}
+	f.cache[f.cacheIndex(op, a, b)] = opCacheEntry{op: op, a: a, b: b, result: result}
 }
 
 // growCache doubles the op cache, re-slotting live entries under the new
@@ -196,32 +231,51 @@ func (f *Factory) growCache() {
 // NumVars returns the number of variables the factory was created with.
 func (f *Factory) NumVars() int { return f.numVars }
 
-// Size returns the number of live nodes in the arena (including terminals).
+// Size returns the number of live nodes in the arena (including the
+// terminal).
 func (f *Factory) Size() int { return len(f.nodes) }
 
-// NodeCount returns the number of distinct nodes reachable from n,
-// excluding terminals — the conventional "BDD size" metric.
+// NodeCount returns the number of distinct arena nodes reachable from n,
+// excluding the terminal — the conventional "BDD size" metric. With
+// complement edges a function and its negation have the same count.
 func (f *Factory) NodeCount(n Node) int {
-	seen := map[Node]bool{}
+	seen := map[int32]bool{}
 	var walk func(Node)
 	var count int
 	walk = func(m Node) {
-		if m <= True || seen[m] {
+		i := int32(m) >> 1
+		if i == 0 || seen[i] {
 			return
 		}
-		seen[m] = true
+		seen[i] = true
 		count++
-		walk(f.nodes[m].low)
-		walk(f.nodes[m].high)
+		walk(f.nodes[i].low)
+		walk(f.nodes[i].high)
 	}
 	walk(n)
 	return count
 }
 
+// level returns the branching variable of n (numVars for terminals).
+func (f *Factory) level(n Node) int32 { return f.nodes[n>>1].level }
+
+// mk returns the canonical node (level, low, high), enforcing both
+// reduction (low == high collapses) and the complement-edge canonical
+// form: the low edge of a stored node is never complemented. A request
+// with a complemented low edge is stored negated and returned through a
+// complemented reference.
 func (f *Factory) mk(level int32, low, high Node) Node {
 	if low == high {
 		return low
 	}
+	if low&1 != 0 {
+		return f.mkRaw(level, low^1, high^1) ^ 1
+	}
+	return f.mkRaw(level, low, high)
+}
+
+// mkRaw hash-conses a node whose low edge is already regular.
+func (f *Factory) mkRaw(level int32, low, high Node) Node {
 	h := nodeHash(level, low, high) & f.uniqueMask
 	for {
 		slot := f.unique[h]
@@ -230,32 +284,36 @@ func (f *Factory) mk(level int32, low, high Node) Node {
 		}
 		d := f.nodes[slot-1]
 		if d.level == level && d.low == low && d.high == high {
-			return Node(slot - 1)
+			return Node(slot-1) << 1
 		}
 		h = (h + 1) & f.uniqueMask
 	}
-	n := Node(len(f.nodes))
+	i := int32(len(f.nodes))
 	f.nodes = append(f.nodes, nodeData{level: level, low: low, high: high})
-	f.unique[h] = int32(n) + 1
+	f.unique[h] = i + 1
 	if uint32(len(f.nodes))*4 > uint32(len(f.unique))*3 {
 		f.rehashUnique()
 	}
 	if len(f.nodes) > len(f.cache) && len(f.cache) < 1<<opCacheMaxBits {
 		f.growCache()
 	}
-	return n
+	return Node(i) << 1
 }
 
 // Var returns the BDD for "variable i is true".
 func (f *Factory) Var(i int) Node {
 	f.checkVar(i)
-	return f.mk(int32(i), False, True)
+	if v := f.varCache[i]; v != 0 {
+		return v
+	}
+	v := f.mk(int32(i), False, True)
+	f.varCache[i] = v
+	return v
 }
 
 // NVar returns the BDD for "variable i is false".
 func (f *Factory) NVar(i int) Node {
-	f.checkVar(i)
-	return f.mk(int32(i), True, False)
+	return f.Var(i) ^ 1
 }
 
 func (f *Factory) checkVar(i int) {
@@ -272,24 +330,14 @@ func (f *Factory) Lit(i int, val bool) Node {
 	return f.NVar(i)
 }
 
-// Not returns the negation of n.
-func (f *Factory) Not(n Node) Node {
-	switch n {
-	case False:
-		return True
-	case True:
-		return False
-	}
-	if r, ok := f.cacheLookup(opNot, n, 0); ok {
-		return r
-	}
-	d := f.nodes[n]
-	r := f.mk(d.level, f.Not(d.low), f.Not(d.high))
-	f.cacheStore(opNot, n, 0, r)
-	return r
-}
+// Not returns the negation of n: with complement edges, a single bit flip.
+// It allocates no nodes and touches no caches.
+func (f *Factory) Not(n Node) Node { return n ^ 1 }
 
-// And returns the conjunction of a and b.
+// And returns the conjunction of a and b through the specialized And
+// kernel: op-specific terminal short-circuits (including the
+// complement-edge rule a ∧ ¬a = ∅) and a commutative cache key (operands
+// sorted), so And(a,b) and And(b,a) share one slot.
 func (f *Factory) And(a, b Node) Node {
 	switch {
 	case a == False || b == False:
@@ -300,6 +348,8 @@ func (f *Factory) And(a, b Node) Node {
 		return a
 	case a == b:
 		return a
+	case a^1 == b:
+		return False
 	}
 	if a > b {
 		a, b = b, a
@@ -307,12 +357,29 @@ func (f *Factory) And(a, b Node) Node {
 	if r, ok := f.cacheLookup(opAnd, a, b); ok {
 		return r
 	}
-	r := f.apply(opAnd, a, b)
+	da, db := f.nodes[a>>1], f.nodes[b>>1]
+	level := da.level
+	if db.level < level {
+		level = db.level
+	}
+	al, ah := a, a
+	if da.level == level {
+		ca := a & 1
+		al, ah = da.low^ca, da.high^ca
+	}
+	bl, bh := b, b
+	if db.level == level {
+		cb := b & 1
+		bl, bh = db.low^cb, db.high^cb
+	}
+	r := f.mk(level, f.And(al, bl), f.And(ah, bh))
 	f.cacheStore(opAnd, a, b, r)
 	return r
 }
 
-// Or returns the disjunction of a and b.
+// Or returns the disjunction of a and b. After its own terminal
+// short-circuits it is the And kernel under De Morgan — with complement
+// edges the negations are free, and the dual And shares the cache slots.
 func (f *Factory) Or(a, b Node) Node {
 	switch {
 	case a == True || b == True:
@@ -323,47 +390,43 @@ func (f *Factory) Or(a, b Node) Node {
 		return a
 	case a == b:
 		return a
+	case a^1 == b:
+		return True
 	}
-	if a > b {
-		a, b = b, a
-	}
-	if r, ok := f.cacheLookup(opOr, a, b); ok {
-		return r
-	}
-	r := f.apply(opOr, a, b)
-	f.cacheStore(opOr, a, b, r)
-	return r
+	return f.And(a^1, b^1) ^ 1
 }
 
 // Xor returns the exclusive-or of a and b — the "symmetric difference" of
 // the two sets, which is exactly the space of behavioral differences when
-// a and b encode two components' accept sets.
+// a and b encode two components' accept sets. Xor is invariant under
+// operand complement up to output complement (¬a ⊕ b = ¬(a ⊕ b)), so the
+// cache key strips both complement bits and sorts: all four sign
+// combinations of a commuted pair hit one slot.
 func (f *Factory) Xor(a, b Node) Node {
 	switch {
 	case a == b:
 		return False
+	case a^1 == b:
+		return True
 	case a == False:
 		return b
 	case b == False:
 		return a
 	case a == True:
-		return f.Not(b)
+		return b ^ 1
 	case b == True:
-		return f.Not(a)
+		return a ^ 1
 	}
+	c := (a ^ b) & 1
+	a &^= 1
+	b &^= 1
 	if a > b {
 		a, b = b, a
 	}
 	if r, ok := f.cacheLookup(opXor, a, b); ok {
-		return r
+		return r ^ c
 	}
-	r := f.apply(opXor, a, b)
-	f.cacheStore(opXor, a, b, r)
-	return r
-}
-
-func (f *Factory) apply(op uint8, a, b Node) Node {
-	da, db := f.nodes[a], f.nodes[b]
+	da, db := f.nodes[a>>1], f.nodes[b>>1]
 	level := da.level
 	if db.level < level {
 		level = db.level
@@ -376,51 +439,81 @@ func (f *Factory) apply(op uint8, a, b Node) Node {
 	if db.level == level {
 		bl, bh = db.low, db.high
 	}
-	var lo, hi Node
-	switch op {
-	case opAnd:
-		lo, hi = f.And(al, bl), f.And(ah, bh)
-	case opOr:
-		lo, hi = f.Or(al, bl), f.Or(ah, bh)
-	case opXor:
-		lo, hi = f.Xor(al, bl), f.Xor(ah, bh)
-	default:
-		panic("bdd: unknown op")
-	}
-	return f.mk(level, lo, hi)
+	r := f.mk(level, f.Xor(al, bl), f.Xor(ah, bh))
+	f.cacheStore(opXor, a, b, r)
+	return r ^ c
 }
 
 // Diff returns a ∧ ¬b, the set difference.
-func (f *Factory) Diff(a, b Node) Node { return f.And(a, f.Not(b)) }
+func (f *Factory) Diff(a, b Node) Node { return f.And(a, b^1) }
 
 // Imp returns ¬a ∨ b, logical implication.
-func (f *Factory) Imp(a, b Node) Node { return f.Or(f.Not(a), b) }
+func (f *Factory) Imp(a, b Node) Node { return f.Or(a^1, b) }
 
 // Equiv returns the biconditional of a and b as a BDD.
-func (f *Factory) Equiv(a, b Node) Node { return f.Not(f.Xor(a, b)) }
+func (f *Factory) Equiv(a, b Node) Node { return f.Xor(a, b) ^ 1 }
 
 // Implies reports whether a ⊆ b as sets (a → b is a tautology).
-func (f *Factory) Implies(a, b Node) bool { return f.Diff(a, b) == False }
+func (f *Factory) Implies(a, b Node) bool { return f.And(a, b^1) == False }
 
-// Ite returns if-then-else(c, t, e).
+// Ite returns if-then-else(c, t, e). Operand cases that reduce to a binary
+// operation are routed through the specialized kernels; only the
+// irreducible three-operand shape recurses here, under the standard
+// complement normalization (condition and then-edge regular).
 func (f *Factory) Ite(c, t, e Node) Node {
-	switch {
-	case c == True:
+	if c == True {
 		return t
-	case c == False:
+	}
+	if c == False {
 		return e
-	case t == e:
+	}
+	if t == e {
 		return t
+	}
+	// Branches that repeat (or negate) the condition collapse to
+	// constants under that branch.
+	if t == c {
+		t = True
+	} else if t == c^1 {
+		t = False
+	}
+	if e == c {
+		e = False
+	} else if e == c^1 {
+		e = True
+	}
+	switch {
 	case t == True && e == False:
 		return c
 	case t == False && e == True:
-		return f.Not(c)
+		return c ^ 1
+	case t == True:
+		return f.Or(c, e)
+	case t == False:
+		return f.And(c^1, e)
+	case e == False:
+		return f.And(c, t)
+	case e == True:
+		return f.Or(c^1, t)
+	case t == e^1:
+		return f.Xor(c, e)
+	}
+	// Normalize: Ite(¬c, t, e) = Ite(c, e, t); Ite(c, ¬t, ¬e) = ¬Ite(c, t, e).
+	if c&1 != 0 {
+		c ^= 1
+		t, e = e, t
+	}
+	var neg Node
+	if t&1 != 0 {
+		t ^= 1
+		e ^= 1
+		neg = 1
 	}
 	key := [3]Node{c, t, e}
 	if r, ok := f.iteTmp[key]; ok {
-		return r
+		return r ^ neg
 	}
-	dc, dt, de := f.nodes[c], f.nodes[t], f.nodes[e]
+	dc, dt, de := f.nodes[c>>1], f.nodes[t>>1], f.nodes[e>>1]
 	level := dc.level
 	if dt.level < level {
 		level = dt.level
@@ -428,20 +521,22 @@ func (f *Factory) Ite(c, t, e Node) Node {
 	if de.level < level {
 		level = de.level
 	}
-	branch := func(n Node, d nodeData, high bool) Node {
-		if d.level != level {
-			return n
-		}
-		if high {
-			return d.high
-		}
-		return d.low
+	cl, ch := c, c
+	if dc.level == level {
+		cl, ch = dc.low, dc.high // c is regular here
 	}
-	lo := f.Ite(branch(c, dc, false), branch(t, dt, false), branch(e, de, false))
-	hi := f.Ite(branch(c, dc, true), branch(t, dt, true), branch(e, de, true))
-	r := f.mk(level, lo, hi)
+	tl, th := t, t
+	if dt.level == level {
+		tl, th = dt.low, dt.high // t is regular here
+	}
+	el, eh := e, e
+	if de.level == level {
+		ce := e & 1
+		el, eh = de.low^ce, de.high^ce
+	}
+	r := f.mk(level, f.Ite(cl, tl, el), f.Ite(ch, th, eh))
 	f.iteTmp[key] = r
-	return r
+	return r ^ neg
 }
 
 // AndN conjoins its arguments by balanced-tree reduction, which keeps the
@@ -463,10 +558,7 @@ func (f *Factory) reduceN(ns []Node, absorbing Node, op func(a, b Node) Node) No
 	switch len(ns) {
 	case 0:
 		// The identity element is the negation of the absorbing one.
-		if absorbing == False {
-			return True
-		}
-		return False
+		return absorbing ^ 1
 	case 1:
 		return ns[0]
 	}
@@ -496,7 +588,7 @@ func (f *Factory) Exists(n Node, vars []int) Node {
 	if len(vars) == 0 || n <= True {
 		return n
 	}
-	if f.existsMask == nil {
+	if len(f.existsMask) < f.numVars {
 		f.existsMask = make([]bool, f.numVars)
 	}
 	for _, v := range vars {
@@ -515,12 +607,16 @@ func (f *Factory) exists(n Node, memo map[Node]Node) Node {
 	if n <= True {
 		return n
 	}
+	// Quantification does not commute with complement (∃x.¬g ≠ ¬∃x.g),
+	// so the memo keys on the full tagged reference and the complement
+	// bit is pushed down onto the cofactors.
 	if r, ok := memo[n]; ok {
 		return r
 	}
-	d := f.nodes[n]
-	lo := f.exists(d.low, memo)
-	hi := f.exists(d.high, memo)
+	d := f.nodes[n>>1]
+	c := n & 1
+	lo := f.exists(d.low^c, memo)
+	hi := f.exists(d.high^c, memo)
 	var r Node
 	if f.existsMask[d.level] {
 		r = f.Or(lo, hi)
@@ -540,22 +636,24 @@ func (f *Factory) Restrict(n Node, v int, val bool) Node {
 		if m <= True {
 			return m
 		}
-		d := f.nodes[m]
+		d := f.nodes[m>>1]
 		if int(d.level) > v {
 			return m
 		}
 		if r, ok := memo[m]; ok {
 			return r
 		}
+		c := m & 1
+		lo, hi := d.low^c, d.high^c
 		var r Node
 		if int(d.level) == v {
 			if val {
-				r = d.high
+				r = hi
 			} else {
-				r = d.low
+				r = lo
 			}
 		} else {
-			r = f.mk(d.level, walk(d.low), walk(d.high))
+			r = f.mk(d.level, walk(lo), walk(hi))
 		}
 		memo[m] = r
 		return r
@@ -578,13 +676,14 @@ func (f *Factory) AnySat(n Node) Assignment {
 		a[i] = -1
 	}
 	for n != True {
-		d := f.nodes[n]
-		if d.low != False {
+		d := f.nodes[n>>1]
+		c := n & 1
+		if d.low^c != False {
 			a[d.level] = 0
-			n = d.low
+			n = d.low ^ c
 		} else {
 			a[d.level] = 1
-			n = d.high
+			n = d.high ^ c
 		}
 	}
 	return a
@@ -593,11 +692,12 @@ func (f *Factory) AnySat(n Node) Assignment {
 // Eval evaluates n under a total assignment (don't-cares treated as false).
 func (f *Factory) Eval(n Node, a Assignment) bool {
 	for n > True {
-		d := f.nodes[n]
+		d := f.nodes[n>>1]
+		c := n & 1
 		if int(d.level) < len(a) && a[d.level] == 1 {
-			n = d.high
+			n = d.high ^ c
 		} else {
-			n = d.low
+			n = d.low ^ c
 		}
 	}
 	return n == True
@@ -633,29 +733,32 @@ func (f *Factory) SatCount(n Node) float64 {
 		if c, ok := memo[m]; ok {
 			return c
 		}
-		d := f.nodes[m]
-		cl := walk(d.low) * math.Exp2(float64(f.nodes[d.low].level-d.level-1))
-		ch := walk(d.high) * math.Exp2(float64(f.nodes[d.high].level-d.level-1))
+		d := f.nodes[m>>1]
+		cb := m & 1
+		lo, hi := d.low^cb, d.high^cb
+		cl := walk(lo) * math.Exp2(float64(f.level(lo)-d.level-1))
+		ch := walk(hi) * math.Exp2(float64(f.level(hi)-d.level-1))
 		c := cl + ch
 		memo[m] = c
 		return c
 	}
-	return walk(n) * math.Exp2(float64(f.nodes[n].level))
+	return walk(n) * math.Exp2(float64(f.level(n)))
 }
 
 // Support returns the sorted list of variables n depends on.
 func (f *Factory) Support(n Node) []int {
-	seen := map[Node]bool{}
+	seen := map[int32]bool{}
 	inSupport := make([]bool, f.numVars)
 	var walk func(Node)
 	walk = func(m Node) {
-		if m <= True || seen[m] {
+		i := int32(m) >> 1
+		if i == 0 || seen[i] {
 			return
 		}
-		seen[m] = true
-		inSupport[f.nodes[m].level] = true
-		walk(f.nodes[m].low)
-		walk(f.nodes[m].high)
+		seen[i] = true
+		inSupport[f.nodes[i].level] = true
+		walk(f.nodes[i].low)
+		walk(f.nodes[i].high)
 	}
 	walk(n)
 	var vars []int
@@ -684,13 +787,14 @@ func (f *Factory) WalkCubes(n Node, fn func(Assignment) bool) {
 		if m == True {
 			return fn(a)
 		}
-		d := f.nodes[m]
+		d := f.nodes[m>>1]
+		c := m & 1
 		a[d.level] = 0
-		if !walk(d.low) {
+		if !walk(d.low ^ c) {
 			return false
 		}
 		a[d.level] = 1
-		if !walk(d.high) {
+		if !walk(d.high ^ c) {
 			return false
 		}
 		a[d.level] = -1
@@ -699,9 +803,12 @@ func (f *Factory) WalkCubes(n Node, fn func(Assignment) bool) {
 	walk(n)
 }
 
-// Level exposes the variable index at the root of n (numVars for terminals).
-func (f *Factory) Level(n Node) int { return int(f.nodes[n].level) }
+// Level exposes the variable index at the root of n (numVars for
+// terminals).
+func (f *Factory) Level(n Node) int { return int(f.level(n)) }
 
-// Low and High expose node structure for traversals (terminals self-loop).
-func (f *Factory) Low(n Node) Node  { return f.nodes[n].low }
-func (f *Factory) High(n Node) Node { return f.nodes[n].high }
+// Low and High expose node structure for traversals: the effective
+// cofactors of n, with the complement bit pushed down (terminals
+// self-loop).
+func (f *Factory) Low(n Node) Node  { return f.nodes[n>>1].low ^ (n & 1) }
+func (f *Factory) High(n Node) Node { return f.nodes[n>>1].high ^ (n & 1) }

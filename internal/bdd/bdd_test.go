@@ -562,8 +562,8 @@ func TestFactoryReset(t *testing.T) {
 	}
 	before := build(f)
 	f.Reset(16)
-	if f.Size() != 2 {
-		t.Fatalf("arena after reset = %d nodes, want 2", f.Size())
+	if f.Size() != 1 {
+		t.Fatalf("arena after reset = %d nodes, want 1", f.Size())
 	}
 	after := build(f)
 	fresh := build(NewFactory(16))

@@ -1,0 +1,311 @@
+package bdd
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// The tests in this file pin down the complement-edge kernel: the
+// canonical form of stored nodes, the O(1)-negation identities, and a
+// wide differential check of every operation against a naive truth-table
+// evaluator at 12 variables (4096-row tables — big enough to exercise
+// deep recursions and the op cache, small enough to enumerate).
+
+// TestCanonicalFormInvariant walks the arena after a pile of random
+// operations and asserts the representation invariant: the low edge of a
+// stored node is never complemented, levels strictly increase downward,
+// and no node has equal children.
+func TestCanonicalFormInvariant(t *testing.T) {
+	const nvars = 12
+	f := NewFactory(nvars)
+	for s := uint64(1); s < 200; s++ {
+		randomNode(f, s*2654435761, nvars, 4)
+	}
+	for i := 1; i < f.Size(); i++ {
+		d := f.nodes[i]
+		if d.low&1 != 0 {
+			t.Fatalf("node %d: complemented low edge %d", i, d.low)
+		}
+		if d.low == d.high {
+			t.Fatalf("node %d: unreduced equal children %d", i, d.low)
+		}
+		if d.level >= f.nodes[d.low>>1].level || d.level >= f.nodes[d.high>>1].level {
+			t.Fatalf("node %d: level %d not above children (%d, %d)",
+				i, d.level, f.nodes[d.low>>1].level, f.nodes[d.high>>1].level)
+		}
+	}
+}
+
+// TestComplementSharing asserts the structural-sharing properties that
+// motivate complement edges: Not allocates nothing, a function and its
+// negation have identical node counts, and De Morgan duals are pointer
+// equal.
+func TestComplementSharing(t *testing.T) {
+	const nvars = 12
+	f := NewFactory(nvars)
+	check := func(s1, s2 uint64) bool {
+		a := randomNode(f, s1, nvars, 4)
+		b := randomNode(f, s2, nvars, 4)
+		before := f.Size()
+		na := f.Not(a)
+		if f.Size() != before {
+			t.Fatal("Not allocated nodes")
+		}
+		if f.Not(na) != a {
+			return false
+		}
+		if f.NodeCount(a) != f.NodeCount(na) {
+			return false
+		}
+		// O(1) structural identities, all checked by pointer equality.
+		if f.And(a, na) != False || f.Or(a, na) != True || f.Xor(a, na) != True {
+			return false
+		}
+		if f.Not(f.And(a, b)) != f.Or(f.Not(a), f.Not(b)) {
+			return false
+		}
+		if f.Not(f.Xor(a, b)) != f.Xor(f.Not(a), b) {
+			return false
+		}
+		// Commuted and sign-flipped calls are cache-key-normalized to the
+		// same slot and must return identical nodes.
+		if f.And(a, b) != f.And(b, a) || f.Xor(a, b) != f.Xor(b, a) {
+			return false
+		}
+		if f.Xor(f.Not(a), f.Not(b)) != f.Xor(a, b) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDifferentialTruthTables12 is the wide differential check: every
+// exported operation of the kernel against the naive evaluator at 12
+// variables, including the derived ones (Diff, Imp, Equiv) and the
+// three-operand Ite with all operands random.
+func TestDifferentialTruthTables12(t *testing.T) {
+	const nvars = 12
+	check := func(s1, s2, s3 uint64) bool {
+		f := NewFactory(nvars)
+		a := randomNode(f, s1, nvars, 4)
+		b := randomNode(f, s2, nvars, 4)
+		c := randomNode(f, s3, nvars, 4)
+		ta, tb, tc := truth(f, a, nvars), truth(f, b, nvars), truth(f, c, nvars)
+		ops := []struct {
+			name string
+			got  []bool
+			want func(i int) bool
+		}{
+			{"And", truth(f, f.And(a, b), nvars), func(i int) bool { return ta[i] && tb[i] }},
+			{"Or", truth(f, f.Or(a, b), nvars), func(i int) bool { return ta[i] || tb[i] }},
+			{"Xor", truth(f, f.Xor(a, b), nvars), func(i int) bool { return ta[i] != tb[i] }},
+			{"Diff", truth(f, f.Diff(a, b), nvars), func(i int) bool { return ta[i] && !tb[i] }},
+			{"Imp", truth(f, f.Imp(a, b), nvars), func(i int) bool { return !ta[i] || tb[i] }},
+			{"Equiv", truth(f, f.Equiv(a, b), nvars), func(i int) bool { return ta[i] == tb[i] }},
+			{"Ite", truth(f, f.Ite(a, b, c), nvars), func(i int) bool {
+				if ta[i] {
+					return tb[i]
+				}
+				return tc[i]
+			}},
+		}
+		for _, op := range ops {
+			for i := range op.got {
+				if op.got[i] != op.want(i) {
+					t.Logf("%s wrong at row %d (seeds %d %d %d)", op.name, i, s1, s2, s3)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSatCountComplement checks the counting identity complement edges
+// must preserve: SatCount(n) + SatCount(¬n) = 2^nvars, and SatCount
+// agrees with the naive table for both signs.
+func TestSatCountComplement(t *testing.T) {
+	const nvars = 12
+	f := NewFactory(nvars)
+	total := math.Exp2(nvars)
+	for s := uint64(1); s < 60; s++ {
+		n := randomNode(f, s*7919, nvars, 4)
+		cn, cnot := f.SatCount(n), f.SatCount(f.Not(n))
+		if cn+cnot != total {
+			t.Fatalf("seed %d: SatCount(n)+SatCount(¬n) = %v+%v ≠ %v", s, cn, cnot, total)
+		}
+		want := 0.0
+		for _, v := range truth(f, n, nvars) {
+			if v {
+				want++
+			}
+		}
+		if cn != want {
+			t.Fatalf("seed %d: SatCount = %v, table says %v", s, cn, want)
+		}
+	}
+}
+
+// TestExistsComplement checks quantification through complemented
+// references — the one traversal where the complement bit must be pushed
+// down rather than hoisted (∃x.¬g ≠ ¬∃x.g), so the memo has to key on the
+// tagged reference.
+func TestExistsComplement(t *testing.T) {
+	const nvars = 12
+	f := NewFactory(nvars)
+	vars := []int{0, 3, 5, 8, 11}
+	for s := uint64(1); s < 40; s++ {
+		n := randomNode(f, s*104729, nvars, 4)
+		for _, m := range []Node{n, f.Not(n)} {
+			q := f.Exists(m, vars)
+			tm, tq := truth(f, m, nvars), truth(f, q, nvars)
+			for row := range tq {
+				// ∃-semantics on the table: q(row) iff some setting of the
+				// quantified vars makes m true with the rest of row fixed.
+				want := false
+				for sub := 0; sub < 1<<len(vars) && !want; sub++ {
+					r := row
+					for j, v := range vars {
+						r &^= 1 << v
+						if sub&(1<<j) != 0 {
+							r |= 1 << v
+						}
+					}
+					want = tm[r]
+				}
+				if tq[row] != want {
+					t.Fatalf("seed %d row %d: Exists = %v, want %v", s, row, tq[row], want)
+				}
+			}
+		}
+	}
+}
+
+// TestSatisfyInvariants checks AnySat and WalkCubes against Eval for both
+// signs of random functions: every returned assignment must satisfy the
+// node, and the negation must reject it.
+func TestSatisfyInvariants(t *testing.T) {
+	const nvars = 12
+	f := NewFactory(nvars)
+	for s := uint64(1); s < 100; s++ {
+		n := randomNode(f, s*31337, nvars, 4)
+		if n == False {
+			continue
+		}
+		a := f.AnySat(n)
+		if a == nil {
+			t.Fatalf("seed %d: non-empty node has no satisfying assignment", s)
+		}
+		// Complete don't-cares both ways: a cube's every completion
+		// satisfies n (don't-care-as-false is what Eval does).
+		if !f.Eval(n, a) {
+			t.Fatalf("seed %d: AnySat assignment does not satisfy n", s)
+		}
+		if f.Eval(f.Not(n), a) {
+			t.Fatalf("seed %d: AnySat assignment satisfies ¬n", s)
+		}
+		cubes := 0
+		f.WalkCubes(n, func(c Assignment) bool {
+			if !f.Eval(n, c) {
+				t.Fatalf("seed %d: WalkCubes cube does not satisfy n", s)
+			}
+			cubes++
+			return cubes < 64
+		})
+		if cubes == 0 {
+			t.Fatalf("seed %d: WalkCubes found no cubes for satisfiable n", s)
+		}
+	}
+}
+
+// FuzzKernelDifferential drives the kernel with a byte-program — a stack
+// machine over variables and operations — and compares the resulting BDD
+// to the naive truth-table evaluation of the same program, at up to 12
+// variables.
+func FuzzKernelDifferential(fuzz *testing.F) {
+	fuzz.Add([]byte{0x01, 0x12, 0x23, 0x80, 0x91, 0xa2, 0xb0, 0xc1})
+	fuzz.Add([]byte{0x00, 0x10, 0x80, 0x00, 0x10, 0x90, 0xd0})
+	fuzz.Fuzz(func(t *testing.T, prog []byte) {
+		const nvars = 12
+		if len(prog) > 64 {
+			prog = prog[:64]
+		}
+		f := NewFactory(nvars)
+		var stack []Node
+		var tables [][]bool
+		push := func(n Node, tt []bool) {
+			stack = append(stack, n)
+			tables = append(tables, tt)
+		}
+		pop2 := func() (Node, Node, []bool, []bool, bool) {
+			if len(stack) < 2 {
+				return 0, 0, nil, nil, false
+			}
+			a, b := stack[len(stack)-2], stack[len(stack)-1]
+			ta, tb := tables[len(tables)-2], tables[len(tables)-1]
+			stack, tables = stack[:len(stack)-2], tables[:len(tables)-2]
+			return a, b, ta, tb, true
+		}
+		combine := func(ta, tb []bool, op func(x, y bool) bool) []bool {
+			out := make([]bool, len(ta))
+			for i := range ta {
+				out[i] = op(ta[i], tb[i])
+			}
+			return out
+		}
+		for _, ins := range prog {
+			switch {
+			case ins < 0x80: // push literal of variable ins%nvars
+				v := int(ins) % nvars
+				val := (ins>>5)&1 == 0
+				n := f.Lit(v, val)
+				tt := make([]bool, 1<<nvars)
+				for i := range tt {
+					tt[i] = (i&(1<<v) != 0) == val
+				}
+				push(n, tt)
+			case ins < 0x90:
+				if a, b, ta, tb, ok := pop2(); ok {
+					push(f.And(a, b), combine(ta, tb, func(x, y bool) bool { return x && y }))
+				}
+			case ins < 0xa0:
+				if a, b, ta, tb, ok := pop2(); ok {
+					push(f.Or(a, b), combine(ta, tb, func(x, y bool) bool { return x || y }))
+				}
+			case ins < 0xb0:
+				if a, b, ta, tb, ok := pop2(); ok {
+					push(f.Xor(a, b), combine(ta, tb, func(x, y bool) bool { return x != y }))
+				}
+			case ins < 0xc0:
+				if len(stack) > 0 {
+					i := len(stack) - 1
+					stack[i] = f.Not(stack[i])
+					nt := make([]bool, len(tables[i]))
+					for j, v := range tables[i] {
+						nt[j] = !v
+					}
+					tables[i] = nt
+				}
+			default:
+				if a, b, ta, tb, ok := pop2(); ok {
+					push(f.Diff(a, b), combine(ta, tb, func(x, y bool) bool { return x && !y }))
+				}
+			}
+		}
+		for i, n := range stack {
+			got := truth(f, n, nvars)
+			for row, want := range tables[i] {
+				if got[row] != want {
+					t.Fatalf("stack %d row %d: kernel %v, naive %v", i, row, got[row], want)
+				}
+			}
+		}
+	})
+}

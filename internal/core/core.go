@@ -12,7 +12,6 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/bdd"
 	"repro/internal/headerloc"
 	"repro/internal/ir"
 	"repro/internal/semdiff"
@@ -63,6 +62,13 @@ type Options struct {
 	// worker owning a private BDD factory. 0 means one worker per CPU;
 	// 1 runs fully sequentially. Output is identical either way.
 	Workers int
+	// PolicyCache, when non-nil and Workers is 1, carries compiled
+	// route-map chains (and the BDD factory they live on) across Diff
+	// calls, so batch drivers comparing many pairs of the same devices
+	// skip re-encoding unchanged policies. The cache is single-goroutine
+	// state: never share one across concurrent Diff calls. Reports are
+	// byte-identical with and without it.
+	PolicyCache *PolicyCache
 }
 
 func (o Options) enabled(c Component) bool {
@@ -472,7 +478,7 @@ func diffACLs(rep *Report, c1, c2 *ir.Config, opts Options, stats *ComponentStat
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			var f *bdd.Factory
+			f := getFactory()
 			var nodes int
 			var hits, misses uint64
 			for i := range jobs {
@@ -504,6 +510,7 @@ func diffACLs(rep *Report, c1, c2 *ir.Config, opts Options, stats *ComponentStat
 			stats.CacheHits += hits
 			stats.CacheMisses += misses
 			mu.Unlock()
+			putFactory(f)
 		}()
 	}
 	for i := range shared {

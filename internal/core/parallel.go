@@ -13,11 +13,34 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/bdd"
 	"repro/internal/headerloc"
 	"repro/internal/ir"
 	"repro/internal/semdiff"
 	"repro/internal/symbolic"
 )
+
+// factoryPool recycles BDD factories across workers and Diff calls. The
+// encoding constructors Reset a recycled factory, so its grown arena,
+// unique table, and op cache are reused at full size — regrowth
+// (rehashing, cache doubling, arena copies) otherwise dominates
+// hash-consing on every fresh comparison.
+var factoryPool sync.Pool
+
+// getFactory returns a recycled factory, or nil on a cold pool — the
+// encoding constructors treat nil as "allocate fresh".
+func getFactory() *bdd.Factory {
+	f, _ := factoryPool.Get().(*bdd.Factory)
+	return f
+}
+
+// putFactory returns a factory for reuse once every node referencing it
+// has been localized into factory-independent results.
+func putFactory(f *bdd.Factory) {
+	if f != nil {
+		factoryPool.Put(f)
+	}
+}
 
 // workerCount resolves Options.Workers against the task count.
 func (o Options) workerCount(tasks int) int {
@@ -71,12 +94,34 @@ func runRouteMapTasks(c1, c2 *ir.Config, tasks []rmTask, opts Options, stats *Co
 	workers := opts.workerCount(len(tasks))
 	stats.Workers = workers
 
+	// A sequential run with a caller-provided PolicyCache is the
+	// cross-pair path: the cache's encoding and compiled chains persist
+	// across Diff calls, so a DiffAll worker re-encodes each device's
+	// policies once, not once per pair.
+	if workers == 1 && opts.PolicyCache != nil {
+		pc := opts.PolicyCache
+		enc := pc.encodingFor(c1, c2)
+		loc := headerloc.NewRouteLocalizer(enc, c1, c2)
+		for i := range tasks {
+			results[i] = runRouteMapTask(enc, loc, pc, c1, c2, tasks[i], opts)
+		}
+		st := enc.F.Stats()
+		stats.BDDNodes += st.Nodes
+		stats.CacheHits += st.CacheHits
+		stats.CacheMisses += st.CacheMisses
+		return results
+	}
+
 	var mu sync.Mutex // guards stats aggregation across workers
 	worker := func(jobs <-chan int) {
-		enc := symbolic.NewRouteEncoding(c1, c2)
+		enc := symbolic.NewRouteEncodingInto(getFactory(), c1, c2)
 		loc := headerloc.NewRouteLocalizer(enc, c1, c2)
+		// A transient per-worker cache: tasks often share a chain on one
+		// side (one export policy against many), so each worker memoizes
+		// the chains it compiles even without a cross-call cache.
+		pc := newWorkerPolicyCache(enc)
 		for i := range jobs {
-			results[i] = runRouteMapTask(enc, loc, c1, c2, tasks[i], opts)
+			results[i] = runRouteMapTask(enc, loc, pc, c1, c2, tasks[i], opts)
 		}
 		st := enc.F.Stats()
 		mu.Lock()
@@ -84,6 +129,7 @@ func runRouteMapTasks(c1, c2 *ir.Config, tasks []rmTask, opts Options, stats *Co
 		stats.CacheHits += st.CacheHits
 		stats.CacheMisses += st.CacheMisses
 		mu.Unlock()
+		putFactory(enc.F)
 	}
 
 	jobs := make(chan int)
@@ -104,14 +150,18 @@ func runRouteMapTasks(c1, c2 *ir.Config, tasks []rmTask, opts Options, stats *Co
 }
 
 // runRouteMapTask compares one resolved chain pair and localizes every
-// difference while still on the worker's own factory.
-func runRouteMapTask(enc *symbolic.RouteEncoding, loc *headerloc.RouteLocalizer, c1, c2 *ir.Config, t rmTask, opts Options) rmTaskResult {
-	rm1 := resolveChain(c1, t.names1)
-	rm2 := resolveChain(c2, t.names2)
-	diffs, err := semdiff.DiffRouteMaps(enc, c1, rm1, c2, rm2)
+// difference while still on the worker's own factory. Chain compilation
+// goes through the worker's policy cache.
+func runRouteMapTask(enc *symbolic.RouteEncoding, loc *headerloc.RouteLocalizer, pc *PolicyCache, c1, c2 *ir.Config, t rmTask, opts Options) rmTaskResult {
+	paths1, err := pc.pathsFor(c1, t.names1)
 	if err != nil {
 		return rmTaskResult{err: err}
 	}
+	paths2, err := pc.pathsFor(c2, t.names2)
+	if err != nil {
+		return rmTaskResult{err: err}
+	}
+	diffs := semdiff.DiffRouteMapPaths(enc, paths1, paths2)
 	out := make([]localizedRouteDiff, 0, len(diffs))
 	for _, d := range diffs {
 		localization := loc.Localize(d.Inputs)

@@ -1,0 +1,99 @@
+// Cross-pair compiled-policy cache. A DiffAll over N routers runs
+// O(N²) pairwise comparisons, and without help each one re-encodes the
+// same per-device policies from scratch: the pair (A,B) compiles A's
+// export chain, and the pair (A,C) compiles it again. A PolicyCache keys
+// compiled chains by (configuration identity, chain name sequence) and
+// reuses them across every pair its owner is assigned, which is sound
+// exactly when the pairs induce the same encoding — the cache checks
+// that with symbolic.VocabFingerprint and rebuilds (recycling the
+// factory through Reset) when the vocabulary shifts.
+package core
+
+import (
+	"strings"
+
+	"repro/internal/bdd"
+	"repro/internal/ir"
+	"repro/internal/symbolic"
+)
+
+// PolicyCache carries a BDD factory, its route encoding, and the chains
+// compiled on it across Diff calls. It is single-goroutine state: one
+// cache per worker, never shared. Reports are byte-identical with and
+// without a cache — BDDs are canonical given the variable order, so a
+// recalled chain is structurally identical to a re-encoded one, and every
+// report artifact (AnySat examples, cube walks) depends only on BDD
+// structure.
+type PolicyCache struct {
+	fp    string
+	enc   *symbolic.RouteEncoding
+	paths map[policyKey]policyEntry
+
+	// ChainHits and ChainMisses count compiled-chain recalls vs
+	// compilations; Rebuilds counts vocabulary changes (each one resets
+	// the factory and flushes the compiled chains).
+	ChainHits, ChainMisses int
+	Rebuilds               int
+}
+
+// policyKey identifies a compiled chain: the owning configuration (by
+// pointer — parsed configs are immutable) and the exact chain name
+// sequence.
+type policyKey struct {
+	cfg   *ir.Config
+	chain string
+}
+
+type policyEntry struct {
+	paths []symbolic.RoutePath
+	err   error
+}
+
+// NewPolicyCache returns an empty cache. The first encodingFor call
+// builds its factory.
+func NewPolicyCache() *PolicyCache {
+	return &PolicyCache{paths: map[policyKey]policyEntry{}}
+}
+
+// newWorkerPolicyCache wraps an already-built encoding in a transient
+// cache, so a parallel worker deduplicates chain compilations across the
+// tasks it pulls even when no cross-call cache was supplied.
+func newWorkerPolicyCache(enc *symbolic.RouteEncoding) *PolicyCache {
+	return &PolicyCache{enc: enc, paths: map[policyKey]policyEntry{}}
+}
+
+// encodingFor returns an encoding valid for the pair (c1, c2), reusing
+// the cached encoding — and every chain compiled on it — when the
+// derived vocabulary is identical, and rebuilding into the recycled
+// factory otherwise.
+func (pc *PolicyCache) encodingFor(c1, c2 *ir.Config) *symbolic.RouteEncoding {
+	fp := symbolic.VocabFingerprint(c1, c2)
+	if pc.enc != nil && pc.fp == fp {
+		return pc.enc
+	}
+	var f *bdd.Factory
+	if pc.enc != nil {
+		f = pc.enc.F // Reset inside the constructor: keep the allocations
+	} else {
+		f = getFactory()
+	}
+	pc.enc = symbolic.NewRouteEncodingInto(f, c1, c2)
+	pc.fp = fp
+	clear(pc.paths)
+	pc.Rebuilds++
+	return pc.enc
+}
+
+// pathsFor compiles (or recalls) the path equivalence classes of the
+// resolved chain names on cfg.
+func (pc *PolicyCache) pathsFor(cfg *ir.Config, names []string) ([]symbolic.RoutePath, error) {
+	k := policyKey{cfg: cfg, chain: strings.Join(names, "\x00")}
+	if e, ok := pc.paths[k]; ok {
+		pc.ChainHits++
+		return e.paths, e.err
+	}
+	pc.ChainMisses++
+	paths, err := pc.enc.EnumeratePaths(cfg, resolveChain(cfg, names))
+	pc.paths[k] = policyEntry{paths: paths, err: err}
+	return paths, err
+}

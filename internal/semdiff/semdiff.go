@@ -47,6 +47,14 @@ func DiffRouteMaps(enc *symbolic.RouteEncoding, cfg1 *ir.Config, rm1 *ir.RouteMa
 	if err != nil {
 		return nil, err
 	}
+	return DiffRouteMapPaths(enc, paths1, paths2), nil
+}
+
+// DiffRouteMapPaths is DiffRouteMaps over already-compiled path
+// equivalence classes. Both path sets must live on enc's factory; callers
+// that cache compiled chains (core's cross-pair compiled-policy cache)
+// enter here to skip re-enumeration.
+func DiffRouteMapPaths(enc *symbolic.RouteEncoding, paths1, paths2 []symbolic.RoutePath) []RouteMapDiff {
 	var diffs []RouteMapDiff
 	for _, p1 := range paths1 {
 		for _, p2 := range paths2 {
@@ -60,7 +68,7 @@ func DiffRouteMaps(enc *symbolic.RouteEncoding, cfg1 *ir.Config, rm1 *ir.RouteMa
 			diffs = append(diffs, RouteMapDiff{Inputs: inter, Path1: p1, Path2: p2})
 		}
 	}
-	return diffs, nil
+	return diffs
 }
 
 // EquivalentRouteMaps reports whether the two route maps are behaviorally

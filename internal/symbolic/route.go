@@ -3,6 +3,7 @@ package symbolic
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"repro/internal/bdd"
 	"repro/internal/community"
@@ -49,6 +50,17 @@ type RouteEncoding struct {
 	// cache of prefix length interval BDDs
 	lenRange map[[2]uint8]bdd.Node
 	regexps  map[string]*community.Matcher
+
+	// Memo tables keyed by range value / list identity: a prefix list or
+	// community list referenced by twenty clauses is encoded once per
+	// encoding lifetime instead of once per reference. List keys are the
+	// parsed *ir pointers — list objects are immutable after parsing, and
+	// pointer identity is exactly "same list of the same config".
+	prefixRanges map[netaddr.PrefixRange]bdd.Node
+	prefixLists  map[*ir.PrefixList]bdd.Node
+	nextHopLists map[*ir.PrefixList]bdd.Node
+	commLists    map[*ir.CommunityList]bdd.Node
+	asPathLists  map[*ir.ASPathList]bdd.Node
 }
 
 // NewRouteEncoding builds an encoding whose atom vocabulary covers all the
@@ -57,13 +69,18 @@ func NewRouteEncoding(cfgs ...*ir.Config) *RouteEncoding {
 	return NewRouteEncodingInto(nil, cfgs...)
 }
 
-// NewRouteEncodingInto is NewRouteEncoding recycling an existing factory:
-// if f is non-nil it is Reset to the encoding's variable count and reused,
-// so callers comparing many configuration pairs on one goroutine avoid
-// re-allocating the arena and op cache per pair. Nodes from before the
-// call are invalidated.
-func NewRouteEncodingInto(f *bdd.Factory, cfgs ...*ir.Config) *RouteEncoding {
-	var literals, regexes, asRegexes []string
+// vocab is the atom vocabulary a set of configurations induces on the
+// route encoding: the raw gathered lists, in deterministic config order.
+type vocab struct {
+	literals, regexes, asRegexes []string
+	medVals, tagVals             []int64
+}
+
+// gatherVocab walks the configurations and collects every community
+// literal/regex, as-path regex, and MED/tag constant the encoding must
+// atomize.
+func gatherVocab(cfgs ...*ir.Config) vocab {
+	var v vocab
 	medSet := map[int64]bool{}
 	tagSet := map[int64]bool{}
 	for _, cfg := range cfgs {
@@ -74,16 +91,16 @@ func NewRouteEncodingInto(f *bdd.Factory, cfgs ...*ir.Config) *RouteEncoding {
 			for _, e := range cl.Entries {
 				for _, m := range e.Conjuncts {
 					if m.Regex != "" {
-						regexes = append(regexes, m.Regex)
+						v.regexes = append(v.regexes, m.Regex)
 					} else {
-						literals = append(literals, m.Literal)
+						v.literals = append(v.literals, m.Literal)
 					}
 				}
 			}
 		}
 		for _, al := range cfg.ASPathLists {
 			for _, e := range al.Entries {
-				asRegexes = append(asRegexes, e.Regex)
+				v.asRegexes = append(v.asRegexes, e.Regex)
 			}
 		}
 		for _, rm := range cfg.RouteMaps {
@@ -98,16 +115,66 @@ func NewRouteEncodingInto(f *bdd.Factory, cfgs ...*ir.Config) *RouteEncoding {
 				}
 				for _, s := range cl.Sets {
 					if sc, ok := s.(ir.SetCommunities); ok {
-						literals = append(literals, sc.Communities...)
+						v.literals = append(v.literals, sc.Communities...)
 					}
 				}
 			}
 		}
 	}
-	comms := community.NewUniverse(literals, regexes)
+	v.medVals = sortedInt64s(medSet)
+	v.tagVals = sortedInt64s(tagSet)
+	return v
+}
+
+// VocabFingerprint digests the encoding vocabulary the configurations
+// induce, canonicalized so gathering order and duplicates don't matter.
+// Every step from vocabulary to encoding is a pure function of the
+// deduplicated, sorted atom sets (NewUniverse and the as-path atomization
+// sort and dedup internally; the variable layout depends only on the
+// resulting sizes), so two configuration sets with equal fingerprints
+// produce structurally identical RouteEncodings — the invariant the
+// cross-pair compiled-policy cache relies on to reuse one factory across
+// pairs.
+func VocabFingerprint(cfgs ...*ir.Config) string {
+	v := gatherVocab(cfgs...)
+	var b strings.Builder
+	writeSet := func(ss []string) {
+		sorted := append([]string(nil), ss...)
+		sort.Strings(sorted)
+		prev := "\x00" // impossible atom: writes the first element always
+		for _, s := range sorted {
+			if s != prev {
+				b.WriteString(s)
+				b.WriteByte(0)
+				prev = s
+			}
+		}
+		b.WriteByte(1)
+	}
+	writeSet(v.literals)
+	writeSet(v.regexes)
+	writeSet(v.asRegexes)
+	for _, m := range v.medVals {
+		fmt.Fprintf(&b, "%d\x00", m)
+	}
+	b.WriteByte(1)
+	for _, t := range v.tagVals {
+		fmt.Fprintf(&b, "%d\x00", t)
+	}
+	return b.String()
+}
+
+// NewRouteEncodingInto is NewRouteEncoding recycling an existing factory:
+// if f is non-nil it is Reset to the encoding's variable count and reused,
+// so callers comparing many configuration pairs on one goroutine avoid
+// re-allocating the arena and op cache per pair. Nodes from before the
+// call are invalidated.
+func NewRouteEncodingInto(f *bdd.Factory, cfgs ...*ir.Config) *RouteEncoding {
+	v := gatherVocab(cfgs...)
+	comms := community.NewUniverse(v.literals, v.regexes)
 
 	asAtomSet := map[string]bool{}
-	for _, r := range asRegexes {
+	for _, r := range v.asRegexes {
 		for _, e := range community.Exemplars(r, 8) {
 			asAtomSet[e] = true
 		}
@@ -119,8 +186,8 @@ func NewRouteEncodingInto(f *bdd.Factory, cfgs ...*ir.Config) *RouteEncoding {
 	sort.Strings(asAtoms)
 	asAtoms = append(asAtoms, "<other>")
 
-	medVals := sortedInt64s(medSet)
-	tagVals := sortedInt64s(tagSet)
+	medVals := v.medVals
+	tagVals := v.tagVals
 
 	e := &RouteEncoding{
 		Comms:    comms,
@@ -129,6 +196,12 @@ func NewRouteEncodingInto(f *bdd.Factory, cfgs ...*ir.Config) *RouteEncoding {
 		tagVals:  tagVals,
 		lenRange: map[[2]uint8]bdd.Node{},
 		regexps:  map[string]*community.Matcher{},
+
+		prefixRanges: map[netaddr.PrefixRange]bdd.Node{},
+		prefixLists:  map[*ir.PrefixList]bdd.Node{},
+		nextHopLists: map[*ir.PrefixList]bdd.Node{},
+		commLists:    map[*ir.CommunityList]bdd.Node{},
+		asPathLists:  map[*ir.ASPathList]bdd.Node{},
 	}
 	n := 0
 	alloc := func(width int) int {
@@ -244,13 +317,18 @@ func (e *RouteEncoding) lenIn(lo, hi uint8) bdd.Node {
 }
 
 // PrefixRangeBDD returns the set of routes whose advertised prefix is a
-// member of the range.
+// member of the range, memoized by range value.
 func (e *RouteEncoding) PrefixRangeBDD(r netaddr.PrefixRange) bdd.Node {
 	if r.IsEmpty() {
 		return bdd.False
 	}
+	if n, ok := e.prefixRanges[r]; ok {
+		return n
+	}
 	bits := e.prefixBits.prefixMatch(uint64(r.Prefix.Addr), int(r.Prefix.Len))
-	return e.F.And(bits, e.lenIn(r.Lo, r.Hi))
+	n := e.F.And(bits, e.lenIn(r.Lo, r.Hi))
+	e.prefixRanges[r] = n
+	return n
 }
 
 // PrefixBDD returns the set of routes advertising exactly prefix p. All
@@ -300,8 +378,12 @@ func (e *RouteEncoding) communityMatcherBDD(m ir.CommunityMatcher) bdd.Node {
 	return out
 }
 
-// communityListBDD folds a community list's first-match-wins entries.
+// communityListBDD folds a community list's first-match-wins entries,
+// memoized by list identity.
 func (e *RouteEncoding) communityListBDD(l *ir.CommunityList) bdd.Node {
+	if n, ok := e.commLists[l]; ok {
+		return n
+	}
 	out := bdd.False // no entry matches ⇒ the list does not permit
 	for i := len(l.Entries) - 1; i >= 0; i-- {
 		entry := l.Entries[i]
@@ -318,11 +400,16 @@ func (e *RouteEncoding) communityListBDD(l *ir.CommunityList) bdd.Node {
 		}
 		out = e.F.Ite(match, verdict, out)
 	}
+	e.commLists[l] = out
 	return out
 }
 
-// prefixListBDD folds a prefix list's first-match-wins entries.
+// prefixListBDD folds a prefix list's first-match-wins entries, memoized
+// by list identity.
 func (e *RouteEncoding) prefixListBDD(l *ir.PrefixList) bdd.Node {
+	if n, ok := e.prefixLists[l]; ok {
+		return n
+	}
 	out := bdd.False
 	for i := len(l.Entries) - 1; i >= 0; i-- {
 		entry := l.Entries[i]
@@ -332,12 +419,16 @@ func (e *RouteEncoding) prefixListBDD(l *ir.PrefixList) bdd.Node {
 		}
 		out = e.F.Ite(e.PrefixRangeBDD(entry.Range), verdict, out)
 	}
+	e.prefixLists[l] = out
 	return out
 }
 
 // nextHopListBDD folds a prefix list applied to the route's next hop
-// (a /32 address).
+// (a /32 address), memoized by list identity.
 func (e *RouteEncoding) nextHopListBDD(l *ir.PrefixList) bdd.Node {
+	if n, ok := e.nextHopLists[l]; ok {
+		return n
+	}
 	out := bdd.False
 	for i := len(l.Entries) - 1; i >= 0; i-- {
 		entry := l.Entries[i]
@@ -352,13 +443,17 @@ func (e *RouteEncoding) nextHopListBDD(l *ir.PrefixList) bdd.Node {
 		}
 		out = e.F.Ite(match, verdict, out)
 	}
+	e.nextHopLists[l] = out
 	return out
 }
 
 // asPathListBDD folds an as-path list evaluated over the finite as-path
-// atom universe. The "<other>" atom matches no regex (a conservative
-// under-approximation documented in DESIGN.md).
+// atom universe, memoized by list identity. The "<other>" atom matches no
+// regex (a conservative under-approximation documented in DESIGN.md).
 func (e *RouteEncoding) asPathListBDD(l *ir.ASPathList) bdd.Node {
+	if n, ok := e.asPathLists[l]; ok {
+		return n
+	}
 	out := bdd.False
 	for i := len(l.Entries) - 1; i >= 0; i-- {
 		entry := l.Entries[i]
@@ -378,6 +473,7 @@ func (e *RouteEncoding) asPathListBDD(l *ir.ASPathList) bdd.Node {
 		}
 		out = e.F.Ite(match, verdict, out)
 	}
+	e.asPathLists[l] = out
 	return out
 }
 
