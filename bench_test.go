@@ -22,6 +22,7 @@ import (
 	"repro/internal/juniper"
 	"repro/internal/minesweeper"
 	"repro/internal/netaddr"
+	"repro/internal/obs"
 	"repro/internal/policygen"
 	"repro/internal/semdiff"
 	"repro/internal/srp"
@@ -586,6 +587,35 @@ func BenchmarkDiffBatch(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkDiffObservability measures the cost of the obs layer on one
+// many-policy pair: off (nil tracer, nil registry — the default) must be
+// indistinguishable from the pre-obs engine, since every instrument site
+// is a nil check; on pays span records and atomic counter flushes at
+// component/worker/task granularity only.
+func BenchmarkDiffObservability(b *testing.B) {
+	c1, c2 := parallelFleetPair(b)
+	opts0 := core.Options{Components: []core.Component{core.ComponentRouteMaps}, Workers: 1}
+	b.Run("obs=off", func(b *testing.B) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Diff(c1, c2, opts0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("obs=on", func(b *testing.B) {
+		opts := opts0
+		opts.Metrics = obs.NewRegistry()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			opts.Tracer = obs.NewTracer()
+			if _, err := core.Diff(c1, c2, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // fleetConfigs builds n near-identical router configurations (the backup

@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // ConfigPair is one named pair of parsed configurations in a batch.
@@ -40,6 +42,12 @@ type BatchOptions struct {
 	// byte-identical either way. The switch exists for benchmarking and
 	// the determinism tests.
 	NoPolicyCache bool
+	// RunLog, when non-nil, records this batch as one run — pair counts,
+	// differences, and errors update live, so `campion -serve`'s /runs
+	// endpoint can watch a long audit progress.
+	RunLog *obs.RunLog
+	// RunName labels the run in the RunLog (default "batch").
+	RunName string
 }
 
 // BatchResult is the outcome of one pair in a batch: either a report or
@@ -86,19 +94,56 @@ func DiffBatch(ctx context.Context, pairs []ConfigPair, opts BatchOptions) ([]Ba
 	// private cache per worker below.
 	inner.PolicyCache = nil
 
+	runName := opts.RunName
+	if runName == "" {
+		runName = "batch"
+	}
+	run := opts.RunLog.Start(runName, len(pairs))
+	defer run.Finish()
+	var bsp *obs.Span
+	if inner.TraceParent != nil {
+		bsp = inner.TraceParent.Child("batch", obs.Int("pairs", len(pairs)))
+	} else if inner.Tracer != nil {
+		bsp = inner.Tracer.Root("batch",
+			obs.Str("name", runName), obs.Int("pairs", len(pairs)), obs.Int("workers", workers))
+	}
+	defer bsp.End()
+	var pairLatency *obs.Histogram
+	var pairsDone, pairErrors *obs.Counter
+	if inner.Metrics != nil {
+		pairLatency = inner.Metrics.Histogram("campion_pair_duration_nanoseconds",
+			"wall time of one pair comparison in a batch")
+		pairsDone = inner.Metrics.Counter("campion_pairs_total", "pair comparisons completed")
+		pairErrors = inner.Metrics.Counter("campion_pair_errors_total", "pair comparisons that errored")
+	}
+
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			inner := inner
 			if inner.Workers == 1 && !opts.NoPolicyCache {
 				inner.PolicyCache = core.NewPolicyCache()
 			}
+			var wsp *obs.Span
+			if bsp != nil {
+				wsp = bsp.Child("worker", obs.Int("worker", w))
+			}
+			var wait, busy time.Duration
+			mark := time.Now()
 			for i := range jobs {
+				start := time.Now()
+				wait += start.Sub(mark)
 				p := pairs[i]
 				res := BatchResult{Name: p.Name}
+				var psp *obs.Span
+				if wsp != nil {
+					psp = wsp.Child("pair", obs.Str("pair", p.Name))
+				}
+				inner := inner
+				inner.TraceParent = psp
 				switch {
 				case ctx.Err() != nil:
 					res.Err = ctx.Err()
@@ -108,8 +153,36 @@ func DiffBatch(ctx context.Context, pairs []ConfigPair, opts BatchOptions) ([]Ba
 					res.Report, res.Err = Diff(p.Config1, p.Config2, inner)
 				}
 				results[i] = res
+				diffs := 0
+				if res.Report != nil {
+					diffs = res.Report.TotalDifferences()
+				}
+				if psp != nil {
+					psp.SetAttrs(obs.Int("diffs", diffs))
+					psp.End()
+				}
+				run.PairDone(diffs, res.Err != nil)
+				mark = time.Now()
+				busy += mark.Sub(start)
+				pairLatency.Observe(int64(mark.Sub(start)))
+				pairsDone.Inc()
+				if res.Err != nil {
+					pairErrors.Inc()
+				}
 			}
-		}()
+			wait += time.Since(mark)
+			if wsp != nil {
+				wsp.SetAttrs(obs.Dur("queueWait", wait), obs.Dur("compute", busy))
+				wsp.End()
+			}
+			if inner.Metrics != nil {
+				pool := obs.L("pool", "batch")
+				inner.Metrics.Counter(core.MetricWorkerWait,
+					"time workers spent blocked on the job queue", pool).Add(uint64(wait))
+				inner.Metrics.Counter(core.MetricWorkerBusy,
+					"time workers spent computing", pool).Add(uint64(busy))
+			}
+		}(w)
 	}
 feed:
 	for i := range pairs {
@@ -143,6 +216,9 @@ func DiffAll(ctx context.Context, cfgs []NamedConfig, opts BatchOptions) ([]Batc
 				Config2: cfgs[j].Config,
 			})
 		}
+	}
+	if opts.RunName == "" {
+		opts.RunName = fmt.Sprintf("all-pairs (%d configs)", len(cfgs))
 	}
 	return DiffBatch(ctx, pairs, opts)
 }

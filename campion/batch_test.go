@@ -288,9 +288,9 @@ router bgp 65001
 		t.Fatal("expected the b-vs-c pair in the output")
 	}
 	for _, opts := range []BatchOptions{
-		{BatchWorkers: 1},                      // cache on, sequential
-		{BatchWorkers: 4},                      // cache on, one cache per worker
-		{BatchWorkers: 8, NoPolicyCache: true}, // cache off, parallel
+		{BatchWorkers: 1},                               // cache on, sequential
+		{BatchWorkers: 4},                               // cache on, one cache per worker
+		{BatchWorkers: 8, NoPolicyCache: true},          // cache off, parallel
 		{BatchWorkers: 2, Options: Options{Workers: 2}}, // inner parallelism disables the cache path
 	} {
 		if got := render(opts); got != reference {

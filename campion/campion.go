@@ -23,12 +23,14 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/arista"
 	"repro/internal/cisco"
 	"repro/internal/core"
 	"repro/internal/ir"
 	"repro/internal/juniper"
+	"repro/internal/obs"
 	"repro/internal/present"
 )
 
@@ -75,6 +77,53 @@ const (
 // Report is the localized result of comparing two configurations.
 type Report = core.Report
 
+// Observability re-exports: Options.Tracer/Metrics and
+// BatchOptions.RunLog accept these, and Serve exposes them over HTTP.
+// See internal/obs for the full API.
+type (
+	// Tracer records a run-scoped span tree (construct with NewTracer);
+	// write it out with WriteChromeTrace or WriteTree.
+	Tracer = obs.Tracer
+	// Span is one recorded span; Options.TraceParent takes one.
+	Span = obs.Span
+	// Metrics is a registry of counters, gauges, and histograms with
+	// Prometheus text exposition.
+	Metrics = obs.Registry
+	// RunLog remembers recent batch runs for the /runs endpoint.
+	RunLog = obs.RunLog
+	// ObsServer serves /metrics, /runs, and /debug/pprof.
+	ObsServer = obs.Server
+)
+
+// NewTracer starts an empty run tracer.
+func NewTracer() *Tracer { return obs.NewTracer() }
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// NewRunLog returns a run log keeping the last capacity runs.
+func NewRunLog(capacity int) *RunLog { return obs.NewRunLog(capacity) }
+
+// DefaultMetrics is the process-wide registry: the parsers report into
+// it, and `campion -serve` exposes it.
+func DefaultMetrics() *Metrics { return obs.Default }
+
+// DefaultRunLog is the process-wide run log exposed by `campion -serve`.
+func DefaultRunLog() *RunLog { return obs.DefaultRuns }
+
+// recordParse reports one parser invocation into the default registry —
+// a counter bump and one histogram observation per file, which is noise
+// next to the parse itself.
+func recordParse(v Vendor, start time.Time, err error) {
+	l := obs.L("vendor", v.String())
+	obs.Default.Counter("campion_parses_total", "configurations parsed", l).Inc()
+	obs.Default.Histogram("campion_parse_duration_nanoseconds", "configuration parse wall time", l).
+		Observe(int64(time.Since(start)))
+	if err != nil {
+		obs.Default.Counter("campion_parse_errors_total", "configurations that failed to parse", l).Inc()
+	}
+}
+
 // ComponentStats is the execution profile of one component of a Diff run
 // (wall time, worker count, pair dedup, BDD arena/cache counters).
 type ComponentStats = core.ComponentStats
@@ -103,19 +152,19 @@ func DetectVendor(text string) Vendor {
 // Parse parses configuration text, auto-detecting the vendor. The file
 // name is recorded in text spans for localization.
 func Parse(filename, text string) (*Config, error) {
-	switch DetectVendor(text) {
-	case VendorJuniper:
-		return juniper.Parse(filename, text)
-	case VendorCisco:
-		return cisco.Parse(filename, text)
+	v := DetectVendor(text)
+	if v == VendorUnknown {
+		return nil, fmt.Errorf("campion: cannot detect configuration dialect of %s", filename)
 	}
-	return nil, fmt.Errorf("campion: cannot detect configuration dialect of %s", filename)
+	return ParseAs(v, filename, text)
 }
 
 // ParseAs parses configuration text as a specific vendor dialect.
 // Arista EOS cannot be auto-detected (its syntax is IOS-compatible);
 // select it explicitly here or with the CLI's -vendor flags.
-func ParseAs(v Vendor, filename, text string) (*Config, error) {
+func ParseAs(v Vendor, filename, text string) (cfg *Config, err error) {
+	start := time.Now()
+	defer func() { recordParse(v, start, err) }()
 	switch v {
 	case VendorCisco:
 		return cisco.Parse(filename, text)

@@ -1,0 +1,114 @@
+package campion
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestDiffAllRunLog: a batch records one run with live pair progress and
+// the aggregate difference count.
+func TestDiffAllRunLog(t *testing.T) {
+	cfgs := fleet(t)
+	runs := NewRunLog(8)
+	results, err := DiffAll(context.Background(), cfgs, BatchOptions{RunLog: runs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDiffs := 0
+	for _, res := range results {
+		if res.Report != nil {
+			wantDiffs += res.Report.TotalDifferences()
+		}
+	}
+	sums := runs.Summaries()
+	if len(sums) != 1 {
+		t.Fatalf("runs = %d, want 1", len(sums))
+	}
+	s := sums[0]
+	if !strings.Contains(s.Name, "all-pairs") {
+		t.Errorf("run name = %q, want all-pairs default", s.Name)
+	}
+	if s.Pairs != 3 || s.Completed != 3 || !s.Done || s.Errors != 0 {
+		t.Errorf("run = %+v", s)
+	}
+	if int(s.Differences) != wantDiffs {
+		t.Errorf("run differences = %d, want %d", s.Differences, wantDiffs)
+	}
+}
+
+// TestDiffBatchSpansAndMetrics: the batch emits a batch→worker→pair→diff
+// span chain and fills the pair latency histogram.
+func TestDiffBatchSpansAndMetrics(t *testing.T) {
+	cfgs := fleet(t)
+	pairs := []ConfigPair{
+		{Name: "a-b", Config1: cfgs[0].Config, Config2: cfgs[1].Config},
+		{Name: "a-c", Config1: cfgs[0].Config, Config2: cfgs[2].Config},
+	}
+	tr := NewTracer()
+	reg := NewMetrics()
+	opts := BatchOptions{BatchWorkers: 2}
+	opts.Tracer = tr
+	opts.Metrics = reg
+	if _, err := DiffBatch(context.Background(), pairs, opts); err != nil {
+		t.Fatal(err)
+	}
+
+	spans := tr.Spans()
+	byID := map[int]obs.SpanInfo{}
+	for _, s := range spans {
+		byID[s.ID] = s
+	}
+	var pairSpans, diffSpans int
+	for _, s := range spans {
+		switch s.Name {
+		case "batch":
+			if s.Parent != -1 {
+				t.Errorf("batch span parented by %d", s.Parent)
+			}
+		case "pair":
+			pairSpans++
+			if w := byID[s.Parent]; w.Name != "worker" {
+				t.Errorf("pair parented by %q", w.Name)
+			}
+			if s.Attr("diffs") == "" {
+				t.Errorf("pair span lacks diffs attr: %v", s.Attrs)
+			}
+		case "diff":
+			diffSpans++
+			if p := byID[s.Parent]; p.Name != "pair" {
+				t.Errorf("diff parented by %q, want pair", p.Name)
+			}
+		}
+	}
+	if pairSpans != 2 || diffSpans != 2 {
+		t.Errorf("pair spans = %d, diff spans = %d, want 2 each", pairSpans, diffSpans)
+	}
+
+	if n := reg.Histogram("campion_pair_duration_nanoseconds", "").Count(); n != 2 {
+		t.Errorf("pair latency observations = %d, want 2", n)
+	}
+	if v := reg.Counter("campion_pairs_total", "").Value(); v != 2 {
+		t.Errorf("pairs counter = %d, want 2", v)
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "campion_pair_duration_nanoseconds_bucket") {
+		t.Errorf("exposition lacks pair histogram:\n%s", b.String())
+	}
+}
+
+// TestParseMetrics: every parse reports a vendor-labeled counter and
+// duration into the default registry.
+func TestParseMetrics(t *testing.T) {
+	before := DefaultMetrics().Counter("campion_parses_total", "", obs.L("vendor", "cisco")).Value()
+	mustParse(t, "m.cfg", "hostname m\nroute-map X permit 10\n")
+	after := DefaultMetrics().Counter("campion_parses_total", "", obs.L("vendor", "cisco")).Value()
+	if after != before+1 {
+		t.Errorf("cisco parse counter %d -> %d, want +1", before, after)
+	}
+}

@@ -26,6 +26,15 @@
 //	-cpuprofile=FILE, -memprofile=FILE
 //	    write pprof CPU / heap profiles, so kernel work is profileable
 //	    without editing code
+//	-trace=FILE
+//	    record the run as a span tree: Chrome trace_event JSON to FILE
+//	    (load it at chrome://tracing or ui.perfetto.dev) and an indented
+//	    span tree to stderr
+//	-serve=ADDR
+//	    expose /metrics (Prometheus text), /runs (recent batch runs), and
+//	    /debug/pprof on ADDR. With no positional arguments campion just
+//	    serves; with a comparison it serves during and after the run,
+//	    until interrupted
 package main
 
 import (
@@ -64,10 +73,13 @@ func run() int {
 	stats := flag.Bool("stats", false, "print per-component wall time and BDD statistics to stderr")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON of the run to this file")
+	serveAddr := flag.String("serve", "", "serve /metrics, /runs, and /debug/pprof on this address (e.g. :9090)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: campion [flags] CONFIG1 CONFIG2\n")
 		fmt.Fprintf(os.Stderr, "       campion [flags] DIR1 DIR2\n")
 		fmt.Fprintf(os.Stderr, "       campion -all [flags] DIR\n")
+		fmt.Fprintf(os.Stderr, "       campion -serve ADDR\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -110,73 +122,131 @@ func run() int {
 		}
 	}
 
-	// All-pairs mode: audit a whole directory of configurations against
-	// each other on the batch engine.
-	if *all {
-		if flag.NArg() != 1 || !isDir(flag.Arg(0)) {
+	var tracer *campion.Tracer
+	if *traceOut != "" {
+		tracer = campion.NewTracer()
+		opts0.Tracer = tracer
+	}
+	if *serveAddr != "" {
+		// Every comparison in this process reports into the default
+		// registry and run log, which is exactly what the server exposes.
+		opts0.Metrics = campion.DefaultMetrics()
+		srv := &campion.ObsServer{Registry: campion.DefaultMetrics(), Runs: campion.DefaultRunLog()}
+		if flag.NArg() == 0 {
+			// Serve-only mode: no comparison, just the endpoints (the
+			// long-lived audit-service deployment).
+			fmt.Fprintf(os.Stderr, "campion: serving /metrics, /runs, /debug/pprof on %s\n", *serveAddr)
+			return fatal(srv.ListenAndServe(*serveAddr))
+		}
+		go func() {
+			if err := srv.ListenAndServe(*serveAddr); err != nil {
+				fmt.Fprintln(os.Stderr, "campion: serve:", err)
+			}
+		}()
+	}
+
+	// The comparison itself, as a closure so tracing and serving can wrap
+	// every mode uniformly.
+	work := func() int {
+		// All-pairs mode: audit a whole directory of configurations
+		// against each other on the batch engine.
+		if *all {
+			if flag.NArg() != 1 || !isDir(flag.Arg(0)) {
+				flag.Usage()
+				return 2
+			}
+			return diffAll(flag.Arg(0), opts0, *workers, *format, *stats)
+		}
+		if flag.NArg() != 2 {
 			flag.Usage()
 			return 2
 		}
-		return diffAll(flag.Arg(0), opts0, *workers, *format, *stats)
-	}
-	if flag.NArg() != 2 {
-		flag.Usage()
-		return 2
-	}
 
-	// Directory mode: compare every matched pair across two directories
-	// (the "all pairs of backup routers" workflow of §5.1).
-	if isDir(flag.Arg(0)) && isDir(flag.Arg(1)) {
-		return diffDirs(flag.Arg(0), flag.Arg(1), opts0, *workers, *format, *stats)
-	}
+		// Directory mode: compare every matched pair across two
+		// directories (the "all pairs of backup routers" workflow of §5.1).
+		if isDir(flag.Arg(0)) && isDir(flag.Arg(1)) {
+			return diffDirs(flag.Arg(0), flag.Arg(1), opts0, *workers, *format, *stats)
+		}
 
-	cfg1, err := load(flag.Arg(0), *vendor1)
-	if err != nil {
-		return fatal(err)
-	}
-	cfg2, err := load(flag.Arg(1), *vendor2)
-	if err != nil {
-		return fatal(err)
-	}
-
-	rep, err := campion.Diff(cfg1, cfg2, opts0)
-	if err != nil {
-		return fatal(err)
-	}
-	switch *format {
-	case "json":
-		data, err := campion.JSON(rep)
+		cfg1, err := load(flag.Arg(0), *vendor1)
 		if err != nil {
 			return fatal(err)
 		}
-		fmt.Println(string(data))
-	case "summary":
-		campion.WriteSummary(os.Stdout, rep)
-	default:
-		if err := campion.Write(os.Stdout, rep); err != nil {
+		cfg2, err := load(flag.Arg(1), *vendor2)
+		if err != nil {
 			return fatal(err)
 		}
+
+		rep, err := campion.Diff(cfg1, cfg2, opts0)
+		if err != nil {
+			return fatal(err)
+		}
+		switch *format {
+		case "json":
+			data, err := campion.JSON(rep)
+			if err != nil {
+				return fatal(err)
+			}
+			fmt.Println(string(data))
+		case "summary":
+			campion.WriteSummary(os.Stdout, rep)
+		default:
+			if err := campion.Write(os.Stdout, rep); err != nil {
+				return fatal(err)
+			}
+		}
+		if *stats {
+			printStats(rep)
+		}
+		if *baseline {
+			runBaseline(cfg1, cfg2)
+		}
+		if rep.TotalDifferences() > 0 {
+			return 1 // differences found: non-zero, like diff(1)
+		}
+		return 0
 	}
-	if *stats {
-		printStats(rep)
+
+	status := work()
+	if tracer != nil {
+		writeTrace(tracer, *traceOut)
 	}
-	if *baseline {
-		runBaseline(cfg1, cfg2)
+	if *serveAddr != "" {
+		// Keep the endpoints up so the finished run's metrics, run log,
+		// and profiles can still be scraped; the exit status is printed
+		// since only an interrupt ends the process now.
+		fmt.Fprintf(os.Stderr, "campion: comparison done (status %d); serving on %s until interrupted\n",
+			status, *serveAddr)
+		select {}
 	}
-	if rep.TotalDifferences() > 0 {
-		return 1 // differences found: non-zero, like diff(1)
+	return status
+}
+
+// writeTrace dumps the recorded span tree: Chrome trace_event JSON to
+// path, and the human-readable tree to stderr.
+func writeTrace(t *campion.Tracer, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "campion: trace:", err)
+		return
 	}
-	return 0
+	defer f.Close()
+	if err := t.WriteChromeTrace(f); err != nil {
+		fmt.Fprintln(os.Stderr, "campion: trace:", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "--- trace (%s) ---\n", path)
+	t.WriteTree(os.Stderr)
 }
 
 // printStats renders the report's per-component execution profile.
 func printStats(rep *campion.Report) {
-	fmt.Fprintf(os.Stderr, "%-12s %-14s %10s %6s %6s %7s %10s %12s\n",
-		"component", "kind", "wall", "pairs", "uniq", "workers", "bddNodes", "cacheHits")
+	fmt.Fprintf(os.Stderr, "%-12s %-14s %10s %6s %6s %7s %10s %12s %8s\n",
+		"component", "kind", "wall", "pairs", "uniq", "workers", "bddNodes", "cacheHits", "pcHits")
 	for _, st := range rep.Stats {
-		fmt.Fprintf(os.Stderr, "%-12s %-14s %10s %6d %6d %7d %10d %12d\n",
+		fmt.Fprintf(os.Stderr, "%-12s %-14s %10s %6d %6d %7d %10d %12d %8d\n",
 			st.Component, st.Kind, st.Duration.Round(time.Microsecond), st.Pairs,
-			st.UniquePairs, st.Workers, st.BDDNodes, st.CacheHits)
+			st.UniquePairs, st.Workers, st.BDDNodes, st.CacheHits, st.PolicyCacheHits)
 	}
 }
 
@@ -223,7 +293,8 @@ func isDir(path string) bool {
 // Exit status: 0 all equivalent, 1 differences found, 2 errors.
 func diffDirs(dir1, dir2 string, opts campion.Options, workers int, format string, stats bool) int {
 	results, err := campion.DiffDirsContext(context.Background(), dir1, dir2,
-		campion.BatchOptions{Options: opts, BatchWorkers: workers})
+		campion.BatchOptions{Options: opts, BatchWorkers: workers,
+			RunLog: campion.DefaultRunLog(), RunName: fmt.Sprintf("dirs %s vs %s", dir1, dir2)})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "campion:", err)
 		return 2
@@ -286,7 +357,7 @@ func diffAll(dir string, opts campion.Options, workers int, format string, stats
 		return 2
 	}
 	results, err := campion.DiffAll(context.Background(), cfgs,
-		campion.BatchOptions{Options: opts, BatchWorkers: workers})
+		campion.BatchOptions{Options: opts, BatchWorkers: workers, RunLog: campion.DefaultRunLog()})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "campion:", err)
 		return 2

@@ -150,6 +150,7 @@ func (f *Factory) Reset(numVars int) {
 type Stats struct {
 	Nodes       int    // live nodes in the arena, including the terminal
 	CacheSlots  int    // current op-cache capacity
+	UniqueSlots int    // current hash-consing table capacity
 	CacheHits   uint64 // op-cache hits since creation or Reset
 	CacheMisses uint64 // op-cache misses since creation or Reset
 }
@@ -159,9 +160,38 @@ func (f *Factory) Stats() Stats {
 	return Stats{
 		Nodes:       len(f.nodes),
 		CacheSlots:  len(f.cache),
+		UniqueSlots: len(f.unique),
 		CacheHits:   f.cacheHits,
 		CacheMisses: f.cacheMisses,
 	}
+}
+
+// Delta returns the growth of the monotonic counters since an earlier
+// snapshot of the same factory (with no intervening Reset): nodes
+// allocated and op-cache hits/misses incurred between the two snapshots.
+// The capacity fields keep their current values — they are sizes, not
+// counters. Per-interval attribution is what observability wants: a
+// factory shared across many comparisons (a policy cache, a pooled
+// worker factory) must charge each comparison only its own work, never
+// the cumulative totals.
+func (s Stats) Delta(since Stats) Stats {
+	return Stats{
+		Nodes:       s.Nodes - since.Nodes,
+		CacheSlots:  s.CacheSlots,
+		UniqueSlots: s.UniqueSlots,
+		CacheHits:   s.CacheHits - since.CacheHits,
+		CacheMisses: s.CacheMisses - since.CacheMisses,
+	}
+}
+
+// HitRatio returns the op-cache hit fraction of the snapshot (0 when no
+// operations were recorded).
+func (s Stats) HitRatio() float64 {
+	total := s.CacheHits + s.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(total)
 }
 
 func nodeHash(level int32, low, high Node) uint32 {

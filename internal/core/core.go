@@ -8,12 +8,14 @@ package core
 
 import (
 	"fmt"
+	"hash/fnv"
 	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/headerloc"
 	"repro/internal/ir"
+	"repro/internal/obs"
 	"repro/internal/semdiff"
 	"repro/internal/structdiff"
 	"repro/internal/symbolic"
@@ -69,6 +71,131 @@ type Options struct {
 	// state: never share one across concurrent Diff calls. Reports are
 	// byte-identical with and without it.
 	PolicyCache *PolicyCache
+	// Tracer, when non-nil, records a span tree of the run: the diff,
+	// each component check, each worker, and each chain-pair comparison.
+	// Disabled tracing (nil) costs one branch per span site — spans are
+	// opened at task granularity, never per BDD operation.
+	Tracer *obs.Tracer
+	// TraceParent nests this Diff's spans under an existing span (the
+	// batch engine points it at the pair's span). With a nil TraceParent
+	// and a non-nil Tracer, Diff opens a root span.
+	TraceParent *obs.Span
+	// Metrics, when non-nil, receives the run's counters and histograms:
+	// BDD node allocations and op-cache hits, policy-cache recalls per
+	// vocabulary fingerprint, encoding memo hits, worker queue-wait vs
+	// compute time, and per-component latency. All instruments are
+	// atomics resolved once per component, so the enabled path stays off
+	// the BDD hot loops and the disabled path is a nil check.
+	Metrics *obs.Registry
+}
+
+// diffSpan opens the top-level span of one Diff call (nil when tracing
+// is off).
+func (o Options) diffSpan(c1, c2 *ir.Config) *obs.Span {
+	attrs := func() []obs.Attr {
+		return []obs.Attr{obs.Str("host1", c1.Hostname), obs.Str("host2", c2.Hostname)}
+	}
+	if o.TraceParent != nil {
+		return o.TraceParent.Child("diff", attrs()...)
+	}
+	if o.Tracer != nil {
+		return o.Tracer.Root("diff", attrs()...)
+	}
+	return nil
+}
+
+// Stable metric names. DESIGN.md's Observability section documents their
+// semantics; tests and dashboards rely on them, so treat them as API.
+const (
+	MetricBDDNodes          = "campion_bdd_nodes_allocated_total"
+	MetricBDDCacheHits      = "campion_bdd_op_cache_hits_total"
+	MetricBDDCacheMisses    = "campion_bdd_op_cache_misses_total"
+	MetricEncodingMemoHits  = "campion_encoding_memo_hits_total"
+	MetricEncodingMemoMiss  = "campion_encoding_memo_misses_total"
+	MetricPolicyChainHits   = "campion_policy_cache_chain_hits_total"
+	MetricPolicyChainMisses = "campion_policy_cache_chain_misses_total"
+	MetricPolicyRebuilds    = "campion_policy_cache_rebuilds_total"
+	MetricWorkerBusy        = "campion_worker_busy_nanoseconds_total"
+	MetricWorkerWait        = "campion_worker_wait_nanoseconds_total"
+	MetricComponentLatency  = "campion_component_duration_nanoseconds"
+	MetricDiffsFound        = "campion_diffs_total"
+)
+
+// recordComponent flushes one component's profile into the registry.
+func (o Options) recordComponent(st ComponentStats) {
+	m := o.Metrics
+	if m == nil {
+		return
+	}
+	comp := obs.L("component", string(st.Component))
+	m.Histogram(MetricComponentLatency, "wall time of one component check", comp).
+		Observe(int64(st.Duration))
+	if st.Kind != "SemanticDiff" {
+		return
+	}
+	m.Counter(MetricBDDNodes, "BDD nodes allocated across all factories", comp).
+		Add(uint64(st.BDDNodes))
+	m.Counter(MetricBDDCacheHits, "BDD op-cache hits", comp).Add(st.CacheHits)
+	m.Counter(MetricBDDCacheMisses, "BDD op-cache misses", comp).Add(st.CacheMisses)
+}
+
+// recordMemo flushes an encoding's memo-table counters into the registry.
+func (o Options) recordMemo(ms symbolic.MemoStats) {
+	m := o.Metrics
+	if m == nil {
+		return
+	}
+	m.Counter(MetricEncodingMemoHits, "route-encoding memo recalls", obs.L("kind", "range")).
+		Add(uint64(ms.RangeHits))
+	m.Counter(MetricEncodingMemoMiss, "route-encoding memo builds", obs.L("kind", "range")).
+		Add(uint64(ms.RangeMisses))
+	m.Counter(MetricEncodingMemoHits, "route-encoding memo recalls", obs.L("kind", "list")).
+		Add(uint64(ms.ListHits))
+	m.Counter(MetricEncodingMemoMiss, "route-encoding memo builds", obs.L("kind", "list")).
+		Add(uint64(ms.ListMisses))
+}
+
+// recordPolicyCache flushes compiled-chain cache deltas, labeled by the
+// (hashed) vocabulary fingerprint so misbehaving device groups — the ones
+// forcing rebuilds or missing constantly — are identifiable on /metrics.
+func (o Options) recordPolicyCache(fp string, hits, misses, rebuilds int) {
+	m := o.Metrics
+	if m == nil || (hits == 0 && misses == 0 && rebuilds == 0) {
+		return
+	}
+	l := obs.L("fingerprint", fpLabel(fp))
+	m.Counter(MetricPolicyChainHits, "compiled-chain recalls from a policy cache", l).
+		Add(uint64(hits))
+	m.Counter(MetricPolicyChainMisses, "compiled-chain compilations", l).
+		Add(uint64(misses))
+	if rebuilds > 0 {
+		m.Counter(MetricPolicyRebuilds, "policy-cache encoding rebuilds (vocabulary changed)", l).
+			Add(uint64(rebuilds))
+	}
+}
+
+// recordWorker flushes one worker's queue-wait vs compute split.
+func (o Options) recordWorker(pool string, wait, busy time.Duration) {
+	m := o.Metrics
+	if m == nil {
+		return
+	}
+	l := obs.L("pool", pool)
+	m.Counter(MetricWorkerWait, "time workers spent blocked on the job queue", l).
+		Add(uint64(wait))
+	m.Counter(MetricWorkerBusy, "time workers spent computing", l).
+		Add(uint64(busy))
+}
+
+// fpLabel digests a vocabulary fingerprint (an unbounded binary string)
+// into a short stable hex label.
+func fpLabel(fp string) string {
+	if fp == "" {
+		return "(worker)"
+	}
+	h := fnv.New64a()
+	h.Write([]byte(fp))
+	return fmt.Sprintf("%016x", h.Sum64())
 }
 
 func (o Options) enabled(c Component) bool {
@@ -150,10 +277,16 @@ type ComponentStats struct {
 	// Pairs counts the matched pairs dispatched; UniquePairs counts the
 	// distinct comparisons left after chain-identity deduplication.
 	Pairs, UniquePairs int
-	// BDDNodes sums the node arenas of all worker factories; CacheHits
-	// and CacheMisses sum their op-cache counters.
+	// BDDNodes sums the nodes allocated by this component's factories
+	// during this Diff call; CacheHits and CacheMisses sum their op-cache
+	// counters over the same interval. When a factory outlives the call
+	// (a cross-pair PolicyCache), the numbers are deltas against its
+	// state at entry, so per-pair stats never double-count earlier pairs.
 	BDDNodes               int
 	CacheHits, CacheMisses uint64
+	// PolicyCacheHits counts route-map chains recalled from a policy
+	// cache (cross-pair or per-worker transient) instead of recompiled.
+	PolicyCacheHits int
 }
 
 // Report is the full result of comparing two router configurations.
@@ -182,33 +315,46 @@ func (r *Report) TotalDifferences() int {
 // Diff runs Campion's full comparison of two router configurations.
 func Diff(c1, c2 *ir.Config, opts Options) (*Report, error) {
 	rep := &Report{Config1: c1, Config2: c2}
+	dsp := opts.diffSpan(c1, c2)
+	defer dsp.End()
 
-	// timed runs one enabled component check and records its profile.
-	timed := func(c Component, fn func(st *ComponentStats) error) error {
+	// timed runs one enabled component check and records its profile,
+	// both into the report and (when enabled) the tracer and registry.
+	timed := func(c Component, fn func(st *ComponentStats, sp *obs.Span) error) error {
 		if !opts.enabled(c) {
 			return nil
 		}
 		st := ComponentStats{Component: c, Kind: CheckKind(c)}
+		var sp *obs.Span
+		if dsp != nil {
+			sp = dsp.Child(string(c), obs.Str("kind", st.Kind))
+		}
 		start := time.Now()
-		err := fn(&st)
+		err := fn(&st, sp)
 		st.Duration = time.Since(start)
+		if sp != nil {
+			sp.SetAttrs(obs.Int("pairs", st.Pairs), obs.Int("uniquePairs", st.UniquePairs),
+				obs.Int("bddNodes", st.BDDNodes), obs.Int("policyCacheHits", st.PolicyCacheHits))
+			sp.End()
+		}
+		opts.recordComponent(st)
 		rep.Stats = append(rep.Stats, st)
 		return err
 	}
-	structural := func(fn func() []structdiff.Difference) func(*ComponentStats) error {
-		return func(st *ComponentStats) error {
+	structural := func(fn func() []structdiff.Difference) func(*ComponentStats, *obs.Span) error {
+		return func(st *ComponentStats, _ *obs.Span) error {
 			rep.Structural = append(rep.Structural, fn()...)
 			return nil
 		}
 	}
 
-	if err := timed(ComponentRouteMaps, func(st *ComponentStats) error {
-		return diffRouteMaps(rep, c1, c2, opts, st)
+	if err := timed(ComponentRouteMaps, func(st *ComponentStats, sp *obs.Span) error {
+		return diffRouteMaps(rep, c1, c2, opts, st, sp)
 	}); err != nil {
 		return nil, err
 	}
-	timed(ComponentACLs, func(st *ComponentStats) error {
-		diffACLs(rep, c1, c2, opts, st)
+	timed(ComponentACLs, func(st *ComponentStats, sp *obs.Span) error {
+		diffACLs(rep, c1, c2, opts, st, sp)
 		return nil
 	})
 	timed(ComponentStatic, structural(func() []structdiff.Difference {
@@ -226,6 +372,10 @@ func Diff(c1, c2 *ir.Config, opts Options) (*Report, error) {
 	timed(ComponentAdmin, structural(func() []structdiff.Difference {
 		return structdiff.DiffAdminDistances(c1, c2)
 	}))
+	if opts.Metrics != nil {
+		opts.Metrics.Counter(MetricDiffsFound, "localized differences reported").
+			Add(uint64(rep.TotalDifferences()))
+	}
 	return rep, nil
 }
 
@@ -330,7 +480,7 @@ func resolveChain(cfg *ir.Config, names []string) *ir.RouteMap {
 // maxCommunityTerms bounds exhaustive community localization output.
 const maxCommunityTerms = 64
 
-func diffRouteMaps(rep *Report, c1, c2 *ir.Config, opts Options, stats *ComponentStats) error {
+func diffRouteMaps(rep *Report, c1, c2 *ir.Config, opts Options, stats *ComponentStats, span *obs.Span) error {
 	pairs := MatchPolicies(c1, c2)
 	if len(pairs) == 0 {
 		// No BGP context: compare same-named route maps directly, so
@@ -373,7 +523,7 @@ func diffRouteMaps(rep *Report, c1, c2 *ir.Config, opts Options, stats *Componen
 	stats.Pairs = len(pairs)
 	stats.UniquePairs = len(tasks)
 
-	results := runRouteMapTasks(c1, c2, tasks, opts, stats)
+	results := runRouteMapTasks(c1, c2, tasks, opts, stats, span)
 
 	// Deterministic assembly: walk the pairs in matched order and splice
 	// in each one's task results, whatever order the workers finished in.
@@ -440,7 +590,7 @@ func routePathText(p symbolic.RoutePath) ir.TextSpan {
 	return ir.TextSpan{Lines: []string{"(default action: no clause matched)"}}
 }
 
-func diffACLs(rep *Report, c1, c2 *ir.Config, opts Options, stats *ComponentStats) {
+func diffACLs(rep *Report, c1, c2 *ir.Config, opts Options, stats *ComponentStats, span *obs.Span) {
 	// MatchPolicies for ACLs: same name (§4).
 	var shared []string
 	for name := range c1.ACLs {
@@ -476,13 +626,25 @@ func diffACLs(rep *Report, c1, c2 *ir.Config, opts Options, stats *ComponentStat
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			var wsp *obs.Span
+			if span != nil {
+				wsp = span.Child("worker", obs.Int("worker", w))
+			}
 			f := getFactory()
 			var nodes int
 			var hits, misses uint64
+			var wait, busy time.Duration
+			mark := time.Now()
 			for i := range jobs {
+				now := time.Now()
+				wait += now.Sub(mark)
 				name := shared[i]
+				var asp *obs.Span
+				if wsp != nil {
+					asp = wsp.Child("acl-pair", obs.Str("acl", name))
+				}
 				acl1, acl2 := c1.ACLs[name], c2.ACLs[name]
 				enc := symbolic.NewPacketEncodingInto(f)
 				f = enc.F
@@ -500,18 +662,33 @@ func diffACLs(rep *Report, c1, c2 *ir.Config, opts Options, stats *ComponentStat
 						})
 					}
 				}
+				// NewPacketEncodingInto Resets the factory per pair, so
+				// each pair's Stats stand alone; summing them per job is
+				// already a per-call delta.
 				st := f.Stats()
 				nodes += st.Nodes
 				hits += st.CacheHits
 				misses += st.CacheMisses
+				if asp != nil {
+					asp.SetAttrs(obs.Int("diffs", len(perName[i])), obs.Int("bddNodes", st.Nodes))
+					asp.End()
+				}
+				mark = time.Now()
+				busy += mark.Sub(now)
 			}
+			wait += time.Since(mark)
+			if wsp != nil {
+				wsp.SetAttrs(obs.Dur("queueWait", wait), obs.Dur("compute", busy))
+				wsp.End()
+			}
+			opts.recordWorker("acl", wait, busy)
 			mu.Lock()
 			stats.BDDNodes += nodes
 			stats.CacheHits += hits
 			stats.CacheMisses += misses
 			mu.Unlock()
 			putFactory(f)
-		}()
+		}(w)
 	}
 	for i := range shared {
 		jobs <- i

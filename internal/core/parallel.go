@@ -12,10 +12,12 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/bdd"
 	"repro/internal/headerloc"
 	"repro/internal/ir"
+	"repro/internal/obs"
 	"repro/internal/semdiff"
 	"repro/internal/symbolic"
 )
@@ -89,7 +91,7 @@ type rmTaskResult struct {
 // pair (the construction is deterministic, so every worker sees the same
 // variable order and atom vocabulary) and reuses it — and its growing op
 // caches — across all tasks it pulls.
-func runRouteMapTasks(c1, c2 *ir.Config, tasks []rmTask, opts Options, stats *ComponentStats) []rmTaskResult {
+func runRouteMapTasks(c1, c2 *ir.Config, tasks []rmTask, opts Options, stats *ComponentStats, span *obs.Span) []rmTaskResult {
 	results := make([]rmTaskResult, len(tasks))
 	workers := opts.workerCount(len(tasks))
 	stats.Workers = workers
@@ -100,34 +102,79 @@ func runRouteMapTasks(c1, c2 *ir.Config, tasks []rmTask, opts Options, stats *Co
 	// policies once, not once per pair.
 	if workers == 1 && opts.PolicyCache != nil {
 		pc := opts.PolicyCache
+		// The cache's factory (and its counters) outlive this Diff call:
+		// snapshot at entry and charge this call the delta, so per-pair
+		// stats never re-count nodes and cache traffic from earlier
+		// pairs. An encoding rebuild Resets the factory (zeroing the
+		// counters), so the baseline falls back to the empty arena.
+		var st0 bdd.Stats
+		if pc.enc != nil {
+			st0 = pc.enc.F.Stats()
+		}
+		rebuilds0, hits0, misses0 := pc.Rebuilds, pc.ChainHits, pc.ChainMisses
+		memo0 := symbolic.MemoStats{}
+		if pc.enc != nil {
+			memo0 = pc.enc.Memo()
+		}
 		enc := pc.encodingFor(c1, c2)
+		if pc.Rebuilds != rebuilds0 {
+			st0 = bdd.Stats{Nodes: 1}
+			memo0 = symbolic.MemoStats{}
+		}
 		loc := headerloc.NewRouteLocalizer(enc, c1, c2)
 		for i := range tasks {
-			results[i] = runRouteMapTask(enc, loc, pc, c1, c2, tasks[i], opts)
+			results[i] = runRouteMapTask(enc, loc, pc, c1, c2, tasks[i], opts, span)
 		}
-		st := enc.F.Stats()
-		stats.BDDNodes += st.Nodes
-		stats.CacheHits += st.CacheHits
-		stats.CacheMisses += st.CacheMisses
+		d := enc.F.Stats().Delta(st0)
+		stats.BDDNodes += d.Nodes
+		stats.CacheHits += d.CacheHits
+		stats.CacheMisses += d.CacheMisses
+		stats.PolicyCacheHits += pc.ChainHits - hits0
+		opts.recordPolicyCache(pc.fp, pc.ChainHits-hits0, pc.ChainMisses-misses0, pc.Rebuilds-rebuilds0)
+		memo := enc.Memo()
+		opts.recordMemo(symbolic.MemoStats{
+			RangeHits: memo.RangeHits - memo0.RangeHits, RangeMisses: memo.RangeMisses - memo0.RangeMisses,
+			ListHits: memo.ListHits - memo0.ListHits, ListMisses: memo.ListMisses - memo0.ListMisses,
+		})
 		return results
 	}
 
 	var mu sync.Mutex // guards stats aggregation across workers
-	worker := func(jobs <-chan int) {
+	worker := func(w int, jobs <-chan int) {
+		var wsp *obs.Span
+		if span != nil {
+			wsp = span.Child("worker", obs.Int("worker", w))
+		}
 		enc := symbolic.NewRouteEncodingInto(getFactory(), c1, c2)
 		loc := headerloc.NewRouteLocalizer(enc, c1, c2)
 		// A transient per-worker cache: tasks often share a chain on one
 		// side (one export policy against many), so each worker memoizes
 		// the chains it compiles even without a cross-call cache.
 		pc := newWorkerPolicyCache(enc)
+		var wait, busy time.Duration
+		mark := time.Now()
 		for i := range jobs {
-			results[i] = runRouteMapTask(enc, loc, pc, c1, c2, tasks[i], opts)
+			now := time.Now()
+			wait += now.Sub(mark)
+			results[i] = runRouteMapTask(enc, loc, pc, c1, c2, tasks[i], opts, wsp)
+			mark = time.Now()
+			busy += mark.Sub(now)
 		}
+		wait += time.Since(mark)
 		st := enc.F.Stats()
+		if wsp != nil {
+			wsp.SetAttrs(obs.Dur("queueWait", wait), obs.Dur("compute", busy),
+				obs.Int("bddNodes", st.Nodes), obs.Int("chainHits", pc.ChainHits))
+			wsp.End()
+		}
+		opts.recordWorker("routemap", wait, busy)
+		opts.recordPolicyCache("", pc.ChainHits, pc.ChainMisses, 0)
+		opts.recordMemo(enc.Memo())
 		mu.Lock()
 		stats.BDDNodes += st.Nodes
 		stats.CacheHits += st.CacheHits
 		stats.CacheMisses += st.CacheMisses
+		stats.PolicyCacheHits += pc.ChainHits
 		mu.Unlock()
 		putFactory(enc.F)
 	}
@@ -136,10 +183,10 @@ func runRouteMapTasks(c1, c2 *ir.Config, tasks []rmTask, opts Options, stats *Co
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
-			worker(jobs)
-		}()
+			worker(w, jobs)
+		}(w)
 	}
 	for i := range tasks {
 		jobs <- i
@@ -151,8 +198,20 @@ func runRouteMapTasks(c1, c2 *ir.Config, tasks []rmTask, opts Options, stats *Co
 
 // runRouteMapTask compares one resolved chain pair and localizes every
 // difference while still on the worker's own factory. Chain compilation
-// goes through the worker's policy cache.
-func runRouteMapTask(enc *symbolic.RouteEncoding, loc *headerloc.RouteLocalizer, pc *PolicyCache, c1, c2 *ir.Config, t rmTask, opts Options) rmTaskResult {
+// goes through the worker's policy cache. The parent span receives one
+// "chain-pair" child covering compile + compare + localize, annotated
+// with the chain names and whether the compilations were cache recalls.
+func runRouteMapTask(enc *symbolic.RouteEncoding, loc *headerloc.RouteLocalizer, pc *PolicyCache, c1, c2 *ir.Config, t rmTask, opts Options, parent *obs.Span) (res rmTaskResult) {
+	var tsp *obs.Span
+	if parent != nil {
+		tsp = parent.Child("chain-pair",
+			obs.Str("chain1", chainName(t.names1)), obs.Str("chain2", chainName(t.names2)))
+		hits0 := pc.ChainHits
+		defer func() {
+			tsp.SetAttrs(obs.Int("cachedChains", pc.ChainHits-hits0), obs.Int("diffs", len(res.diffs)))
+			tsp.End()
+		}()
+	}
 	paths1, err := pc.pathsFor(c1, t.names1)
 	if err != nil {
 		return rmTaskResult{err: err}

@@ -1,0 +1,370 @@
+// Package obs is Campion's observability substrate: a run-scoped span
+// tracer, a metrics registry (counters, gauges, log-scale histograms with
+// Prometheus text exposition), a log of recent batch runs, and an HTTP
+// server tying them to /metrics, /runs, and /debug/pprof. It depends only
+// on the standard library, and every instrument is nil-safe: recording
+// into a nil *Counter, *Histogram, *Span, or *Registry is a no-op costing
+// one branch, so callers thread instruments unconditionally and the
+// disabled path stays off the profile.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The nil counter discards
+// all updates.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a metric that can go up and down. The nil gauge discards all
+// updates.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add moves the gauge by d (negative to decrease).
+func (g *Gauge) Add(d int64) {
+	if g != nil {
+		g.v.Add(d)
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// numHistBuckets is the fixed bucket count of every histogram: powers of
+// two from 2^0 through 2^(numHistBuckets-1), plus an implicit +Inf
+// overflow bucket. 40 base-2 buckets span one nanosecond to ~18 minutes
+// when observing durations in nanoseconds, and 1 to ~5·10^11 for sizes.
+const numHistBuckets = 40
+
+// Histogram counts observations into fixed log-scale (base-2) buckets:
+// bucket i counts values v with v ≤ 2^i, the overflow bucket everything
+// larger. Negative observations clamp to zero. The nil histogram discards
+// all updates.
+type Histogram struct {
+	buckets [numHistBuckets + 1]atomic.Uint64
+	sum     atomic.Int64
+	count   atomic.Uint64
+}
+
+// bucketIndex returns the index of the first bucket whose upper bound
+// 2^i is ≥ v; numHistBuckets means the +Inf overflow bucket.
+func bucketIndex(v int64) int {
+	if v <= 1 {
+		return 0
+	}
+	i := bits.Len64(uint64(v - 1)) // smallest i with 2^i >= v
+	if i > numHistBuckets {
+		return numHistBuckets
+	}
+	return i
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketIndex(v)].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// BucketBound returns the upper bound of bucket i (2^i); the bound of the
+// final bucket is reported as -1, meaning +Inf.
+func BucketBound(i int) int64 {
+	if i >= numHistBuckets {
+		return -1
+	}
+	return 1 << uint(i)
+}
+
+// Label is one metric dimension, e.g. {Key: "vendor", Value: "cisco"}.
+// Labels are rendered in the order given at the instrument's first use;
+// call sites must use a consistent order for a given metric name.
+type Label struct {
+	Key, Value string
+}
+
+// L builds a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// metricKind discriminates a family's instrument type.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// family groups every labeled instance of one metric name.
+type family struct {
+	name, help string
+	kind       metricKind
+	metrics    map[string]any // rendered label string → *Counter/*Gauge/*Histogram
+}
+
+// Registry holds metric families and renders them in the Prometheus text
+// exposition format. Instrument lookup takes the registry lock; the
+// returned instruments are lock-free atomics, so hot paths fetch their
+// instruments once and update them directly. All methods are safe for
+// concurrent use; the nil registry hands out nil instruments, which
+// silently discard updates.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// Default is the process-wide registry: the -serve endpoint exposes it,
+// and instrumentation without an explicit registry (the parsers) reports
+// into it.
+var Default = NewRegistry()
+
+// labelString renders labels as {k1="v1",k2="v2"}, or "" when unlabeled.
+// Quotes and backslashes inside values are escaped per the Prometheus
+// text format.
+func labelString(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// lookup returns the instrument for (name, labels), creating the family
+// and instance on first use. It panics if name was already registered
+// with a different kind — that is a programming error, not load-time
+// input.
+func (r *Registry) lookup(name, help string, kind metricKind, labels []Label, make func() any) any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind, metrics: map[string]any{}}
+		r.families[name] = f
+	} else if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q registered as %v, requested as %v", name, f.kind, kind))
+	}
+	ls := labelString(labels)
+	m := f.metrics[ls]
+	if m == nil {
+		m = make()
+		f.metrics[ls] = m
+	}
+	return m
+}
+
+// Counter returns the counter for name and labels, registering it on
+// first use. The nil registry returns the nil counter.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, kindCounter, labels, func() any { return new(Counter) }).(*Counter)
+}
+
+// Gauge returns the gauge for name and labels, registering it on first
+// use. The nil registry returns the nil gauge.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, kindGauge, labels, func() any { return new(Gauge) }).(*Gauge)
+}
+
+// Histogram returns the histogram for name and labels, registering it on
+// first use. The nil registry returns the nil histogram.
+func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, kindHistogram, labels, func() any { return new(Histogram) }).(*Histogram)
+}
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4): families sorted by name, instances
+// sorted by label string, histograms as cumulative _bucket/_sum/_count
+// series. Empty buckets are elided (the le set of a Prometheus histogram
+// may be sparse) so the output stays proportional to what was observed;
+// the +Inf bucket is always present.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, n := range names {
+		fams[i] = r.families[n]
+	}
+	r.mu.Unlock()
+
+	for _, f := range fams {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		lss := make([]string, 0, len(f.metrics))
+		// The instance map is append-only under the registry lock, and
+		// instruments are atomics: reading without the lock here only
+		// risks missing instances registered mid-write.
+		for ls := range f.metrics {
+			lss = append(lss, ls)
+		}
+		sort.Strings(lss)
+		for _, ls := range lss {
+			if err := writeMetric(w, f.name, ls, f.metrics[ls]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeMetric(w io.Writer, name, ls string, m any) error {
+	switch m := m.(type) {
+	case *Counter:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", name, ls, m.Value())
+		return err
+	case *Gauge:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", name, ls, m.Value())
+		return err
+	case *Histogram:
+		var cum uint64
+		for i := 0; i <= numHistBuckets; i++ {
+			n := m.buckets[i].Load()
+			cum += n
+			if n == 0 && i < numHistBuckets {
+				continue
+			}
+			bound := "+Inf"
+			if i < numHistBuckets {
+				bound = fmt.Sprintf("%d", BucketBound(i))
+			}
+			if err := writeHistLine(w, name, ls, bound, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %d\n", name, ls, m.Sum()); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, ls, m.Count())
+		return err
+	}
+	return nil
+}
+
+// writeHistLine writes one cumulative bucket line, splicing le into any
+// existing label set.
+func writeHistLine(w io.Writer, name, ls, bound string, cum uint64) error {
+	var labels string
+	if ls == "" {
+		labels = fmt.Sprintf(`{le="%s"}`, bound)
+	} else {
+		labels = fmt.Sprintf(`%s,le="%s"}`, strings.TrimSuffix(ls, "}"), bound)
+	}
+	_, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, labels, cum)
+	return err
+}

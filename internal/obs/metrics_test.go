@@ -1,0 +1,225 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestBucketIndexBoundaries: every histogram bucket i counts values
+// v ≤ 2^i, so the index of an exact power of two is its exponent and the
+// next value up spills into the following bucket.
+func TestBucketIndexBoundaries(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {1, 0}, // bucket 0: v ≤ 1
+		{2, 1},         // bucket 1: v ≤ 2
+		{3, 2}, {4, 2}, // bucket 2: v ≤ 4
+		{5, 3}, {8, 3},
+		{9, 4},
+		{1 << 20, 20}, {1<<20 + 1, 21},
+		{1 << (numHistBuckets - 1), numHistBuckets - 1}, // last finite bucket
+		{1<<(numHistBuckets-1) + 1, numHistBuckets},     // overflow
+		{1 << 62, numHistBuckets},
+	}
+	for _, c := range cases {
+		v := c.v
+		if v < 0 {
+			v = 0 // Observe clamps; bucketIndex is only called with v ≥ 0
+		}
+		if got := bucketIndex(v); got != c.want {
+			t.Errorf("bucketIndex(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+// TestBucketBoundInvariant: bucketIndex(v) must return the FIRST bucket
+// whose bound covers v — v must exceed the previous bucket's bound.
+func TestBucketBoundInvariant(t *testing.T) {
+	for _, v := range []int64{1, 2, 3, 7, 100, 1000, 65536, 1 << 30} {
+		i := bucketIndex(v)
+		if b := BucketBound(i); b != -1 && v > b {
+			t.Errorf("v=%d lands in bucket %d with bound %d (too small)", v, i, b)
+		}
+		if i > 0 {
+			if prev := BucketBound(i - 1); v <= prev {
+				t.Errorf("v=%d lands in bucket %d but already fits bucket %d (bound %d)", v, i, i-1, prev)
+			}
+		}
+	}
+	if BucketBound(numHistBuckets) != -1 {
+		t.Errorf("overflow bucket bound = %d, want -1 (+Inf)", BucketBound(numHistBuckets))
+	}
+	if BucketBound(0) != 1 || BucketBound(3) != 8 {
+		t.Errorf("finite bounds wrong: %d, %d", BucketBound(0), BucketBound(3))
+	}
+}
+
+// TestHistogramObserve: sum, count, and cumulative bucket contents.
+func TestHistogramObserve(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{1, 2, 3, 1000, -7} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 1006 { // -7 clamps to 0
+		t.Errorf("sum = %d, want 1006", h.Sum())
+	}
+	if got := h.buckets[0].Load(); got != 2 { // 1 and clamped -7
+		t.Errorf("bucket 0 = %d, want 2", got)
+	}
+	if got := h.buckets[10].Load(); got != 1 { // 1000 ≤ 1024
+		t.Errorf("bucket 10 = %d, want 1", got)
+	}
+}
+
+// TestNilInstruments: the whole nil surface must be inert, not panic.
+func TestNilInstruments(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Error("nil counter has a value")
+	}
+	var g *Gauge
+	g.Set(3)
+	g.Add(-1)
+	if g.Value() != 0 {
+		t.Error("nil gauge has a value")
+	}
+	var h *Histogram
+	h.Observe(42)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil histogram recorded")
+	}
+	var r *Registry
+	if r.Counter("x", "") != nil || r.Gauge("x", "") != nil || r.Histogram("x", "") != nil {
+		t.Error("nil registry handed out a live instrument")
+	}
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRegistryIdentity: the same (name, labels) returns the same
+// instrument, and distinct labels return distinct ones.
+func TestRegistryIdentity(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("requests_total", "h", L("vendor", "cisco"))
+	b := r.Counter("requests_total", "h", L("vendor", "cisco"))
+	c := r.Counter("requests_total", "h", L("vendor", "juniper"))
+	if a != b {
+		t.Error("same labels returned distinct counters")
+	}
+	if a == c {
+		t.Error("distinct labels shared a counter")
+	}
+}
+
+// TestRegistryKindMismatchPanics: re-registering a name under another
+// instrument kind is a programming error and must fail loudly.
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("kind mismatch did not panic")
+		}
+	}()
+	r.Gauge("x_total", "")
+}
+
+// TestWritePrometheusGolden: the exposition of a small fixed registry,
+// byte for byte — families sorted by name, instances by label string,
+// histograms as cumulative sparse buckets with +Inf always present.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("campion_parses_total", "configurations parsed", L("vendor", "cisco")).Add(3)
+	r.Counter("campion_parses_total", "configurations parsed", L("vendor", "juniper")).Add(1)
+	r.Gauge("campion_active_workers", "workers currently busy").Set(2)
+	h := r.Histogram("campion_pair_duration_nanoseconds", "pair wall time")
+	h.Observe(1) // bucket 0
+	h.Observe(3) // bucket 2
+	h.Observe(3)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP campion_active_workers workers currently busy
+# TYPE campion_active_workers gauge
+campion_active_workers 2
+# HELP campion_pair_duration_nanoseconds pair wall time
+# TYPE campion_pair_duration_nanoseconds histogram
+campion_pair_duration_nanoseconds_bucket{le="1"} 1
+campion_pair_duration_nanoseconds_bucket{le="4"} 3
+campion_pair_duration_nanoseconds_bucket{le="+Inf"} 3
+campion_pair_duration_nanoseconds_sum 7
+campion_pair_duration_nanoseconds_count 3
+# HELP campion_parses_total configurations parsed
+# TYPE campion_parses_total counter
+campion_parses_total{vendor="cisco"} 3
+campion_parses_total{vendor="juniper"} 1
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestLabeledHistogramExposition: le must splice into an existing label
+// set, not open a second brace block.
+func TestLabeledHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("d_ns", "", L("component", "acls")).Observe(100)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`d_ns_bucket{component="acls",le="128"} 1`,
+		`d_ns_bucket{component="acls",le="+Inf"} 1`,
+		`d_ns_sum{component="acls"} 100`,
+		`d_ns_count{component="acls"} 1`,
+	} {
+		if !strings.Contains(b.String(), want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, b.String())
+		}
+	}
+}
+
+// TestLabelEscaping: quotes, backslashes, and newlines in label values
+// must be escaped per the text format.
+func TestLabelEscaping(t *testing.T) {
+	got := labelString([]Label{L("path", `C:\x`), L("name", "a\"b\nc")})
+	want := `{path="C:\\x",name="a\"b\nc"}`
+	if got != want {
+		t.Errorf("labelString = %s, want %s", got, want)
+	}
+}
+
+// TestRegistryConcurrentUse: concurrent lookup+update under -race.
+func TestRegistryConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Counter("ops_total", "").Inc()
+				r.Histogram("lat_ns", "").Observe(int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if v := r.Counter("ops_total", "").Value(); v != 1600 {
+		t.Errorf("counter = %d, want 1600", v)
+	}
+	if n := r.Histogram("lat_ns", "").Count(); n != 1600 {
+		t.Errorf("histogram count = %d, want 1600", n)
+	}
+}

@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RunLog remembers the most recent batch executions (DiffBatch/DiffAll
+// calls) so a long audit can be watched live over /runs. It is a bounded
+// ring: starting a run beyond the capacity evicts the oldest. The nil
+// RunLog hands out the nil *Run, which discards all updates.
+type RunLog struct {
+	mu   sync.Mutex
+	cap  int
+	next int64
+	runs []*Run
+}
+
+// NewRunLog returns a log keeping the last capacity runs (16 if
+// capacity <= 0).
+func NewRunLog(capacity int) *RunLog {
+	if capacity <= 0 {
+		capacity = 16
+	}
+	return &RunLog{cap: capacity}
+}
+
+// DefaultRuns is the process-wide run log exposed by the -serve endpoint.
+var DefaultRuns = NewRunLog(64)
+
+// Run is one recorded batch execution. The progress counters are atomics:
+// batch workers update them concurrently while /runs reads them.
+type Run struct {
+	id      int64
+	name    string
+	pairs   int
+	started time.Time
+
+	completed   atomic.Int64
+	differences atomic.Int64
+	errors      atomic.Int64
+	durationNS  atomic.Int64
+	done        atomic.Bool
+}
+
+// Start records the beginning of a run over the given number of pairs.
+func (l *RunLog) Start(name string, pairs int) *Run {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.next++
+	r := &Run{id: l.next, name: name, pairs: pairs, started: time.Now()}
+	l.runs = append(l.runs, r)
+	if len(l.runs) > l.cap {
+		l.runs = l.runs[len(l.runs)-l.cap:]
+	}
+	return r
+}
+
+// PairDone records one finished pair with its difference count; pass
+// failed for pairs that errored.
+func (r *Run) PairDone(differences int, failed bool) {
+	if r == nil {
+		return
+	}
+	r.completed.Add(1)
+	r.differences.Add(int64(differences))
+	if failed {
+		r.errors.Add(1)
+	}
+}
+
+// Finish marks the run complete and freezes its duration.
+func (r *Run) Finish() {
+	if r == nil {
+		return
+	}
+	r.durationNS.Store(int64(time.Since(r.started)))
+	r.done.Store(true)
+}
+
+// RunSummary is the JSON shape of one run on /runs.
+type RunSummary struct {
+	ID          int64     `json:"id"`
+	Name        string    `json:"name"`
+	Started     time.Time `json:"started"`
+	Duration    string    `json:"duration"`
+	Pairs       int       `json:"pairs"`
+	Completed   int64     `json:"completed"`
+	Differences int64     `json:"differences"`
+	Errors      int64     `json:"errors"`
+	Done        bool      `json:"done"`
+}
+
+// Summaries snapshots the recorded runs, newest first.
+func (l *RunLog) Summaries() []RunSummary {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	runs := append([]*Run(nil), l.runs...)
+	l.mu.Unlock()
+	out := make([]RunSummary, 0, len(runs))
+	for i := len(runs) - 1; i >= 0; i-- {
+		r := runs[i]
+		d := time.Duration(r.durationNS.Load())
+		if !r.done.Load() {
+			d = time.Since(r.started)
+		}
+		out = append(out, RunSummary{
+			ID:          r.id,
+			Name:        r.name,
+			Started:     r.started,
+			Duration:    d.Round(time.Microsecond).String(),
+			Pairs:       r.pairs,
+			Completed:   r.completed.Load(),
+			Differences: r.differences.Load(),
+			Errors:      r.errors.Load(),
+			Done:        r.done.Load(),
+		})
+	}
+	return out
+}
+
+// WriteJSON renders the run summaries (newest first) as indented JSON.
+func (l *RunLog) WriteJSON(w io.Writer) error {
+	sums := l.Summaries()
+	if sums == nil {
+		sums = []RunSummary{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sums)
+}

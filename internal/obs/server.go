@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Server exposes a registry, a run log, and the Go runtime profiles over
+// HTTP: /metrics (Prometheus text format), /runs (JSON, newest first),
+// and /debug/pprof/* — enough to watch a long batch audit live and to
+// profile it without redeploying.
+type Server struct {
+	// Registry backs /metrics; nil serves an empty exposition.
+	Registry *Registry
+	// Runs backs /runs; nil serves an empty list.
+	Runs *RunLog
+}
+
+// Handler returns the server's route mux. The pprof handlers are mounted
+// explicitly (not via net/http/pprof's DefaultServeMux side effects), so
+// embedding this handler never leaks profiles onto another mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.serveMetrics)
+	mux.HandleFunc("/runs", s.serveRuns)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", s.serveIndex)
+	return mux
+}
+
+func (s *Server) serveMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.Registry.WritePrometheus(w)
+}
+
+func (s *Server) serveRuns(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	s.Runs.WriteJSON(w)
+}
+
+func (s *Server) serveIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, `<html><head><title>campion</title></head><body>
+<h1>campion observability</h1>
+<ul>
+<li><a href="/metrics">/metrics</a> — Prometheus exposition</li>
+<li><a href="/runs">/runs</a> — recent batch runs (JSON)</li>
+<li><a href="/debug/pprof/">/debug/pprof/</a> — Go runtime profiles</li>
+</ul>
+</body></html>
+`)
+}
+
+// ListenAndServe serves the observability endpoints on addr; it blocks
+// like http.ListenAndServe.
+func (s *Server) ListenAndServe(addr string) error {
+	return http.ListenAndServe(addr, s.Handler())
+}

@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, srv *httptest.Server, path string) (*http.Response, string) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(body)
+}
+
+// TestServerEndpoints: /metrics speaks the Prometheus text format, /runs
+// serves the run log as JSON, pprof is mounted, and unknown paths 404.
+func TestServerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("campion_pairs_total", "pairs compared").Add(7)
+	runs := NewRunLog(4)
+	run := runs.Start("fleet audit", 3)
+	run.PairDone(2, false)
+	run.PairDone(0, true)
+	run.Finish()
+
+	srv := httptest.NewServer((&Server{Registry: reg, Runs: runs}).Handler())
+	defer srv.Close()
+
+	resp, body := get(t, srv, "/metrics")
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("/metrics content-type = %q", ct)
+	}
+	if !strings.Contains(body, "campion_pairs_total 7\n") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+
+	resp, body = get(t, srv, "/runs")
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("/runs content-type = %q", ct)
+	}
+	var sums []RunSummary
+	if err := json.Unmarshal([]byte(body), &sums); err != nil {
+		t.Fatalf("/runs is not JSON: %v\n%s", err, body)
+	}
+	if len(sums) != 1 {
+		t.Fatalf("/runs entries = %d, want 1", len(sums))
+	}
+	s := sums[0]
+	if s.Name != "fleet audit" || s.Pairs != 3 || s.Completed != 2 ||
+		s.Differences != 2 || s.Errors != 1 || !s.Done {
+		t.Errorf("run summary = %+v", s)
+	}
+
+	resp, _ = get(t, srv, "/debug/pprof/cmdline")
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline status = %d", resp.StatusCode)
+	}
+
+	resp, body = get(t, srv, "/")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "/metrics") {
+		t.Errorf("index: status %d body %q", resp.StatusCode, body)
+	}
+	resp, _ = get(t, srv, "/nope")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("/nope status = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestServerNilBackends: a zero Server must still answer every endpoint.
+func TestServerNilBackends(t *testing.T) {
+	srv := httptest.NewServer((&Server{}).Handler())
+	defer srv.Close()
+	resp, _ := get(t, srv, "/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/metrics status = %d", resp.StatusCode)
+	}
+	resp, body := get(t, srv, "/runs")
+	if resp.StatusCode != http.StatusOK || strings.TrimSpace(body) != "[]" {
+		t.Errorf("/runs = %d %q, want 200 []", resp.StatusCode, body)
+	}
+}
+
+// TestRunLogRing: the log is a bounded ring — starting past the capacity
+// evicts the oldest, IDs keep increasing, newest comes first.
+func TestRunLogRing(t *testing.T) {
+	l := NewRunLog(2)
+	l.Start("a", 1).Finish()
+	l.Start("b", 1).Finish()
+	l.Start("c", 1).Finish()
+	sums := l.Summaries()
+	if len(sums) != 2 {
+		t.Fatalf("entries = %d, want 2", len(sums))
+	}
+	if sums[0].Name != "c" || sums[1].Name != "b" {
+		t.Errorf("order = %s, %s; want c, b", sums[0].Name, sums[1].Name)
+	}
+	if sums[0].ID != 3 {
+		t.Errorf("newest ID = %d, want 3", sums[0].ID)
+	}
+}
+
+// TestRunLogNil: the nil log and nil run discard everything.
+func TestRunLogNil(t *testing.T) {
+	var l *RunLog
+	r := l.Start("x", 1)
+	r.PairDone(1, false)
+	r.Finish()
+	if l.Summaries() != nil {
+		t.Error("nil log has summaries")
+	}
+	var b strings.Builder
+	if err := l.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(b.String()) != "[]" {
+		t.Errorf("nil log JSON = %q", b.String())
+	}
+}

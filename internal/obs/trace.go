@@ -1,0 +1,274 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Tracer records one run's span tree. Spans carry explicit parent edges
+// (a child is created from its parent, never inferred from goroutine
+// identity), so the tree is deterministic even when spans are opened
+// concurrently from many workers; only the interleaving of sibling IDs
+// varies run to run. A Tracer is safe for concurrent use; span creation
+// and completion take one short mutex hold each, which is negligible at
+// the granularity traced here (components, workers, chain pairs — never
+// individual BDD operations). The nil Tracer (and the nil *Span) make
+// every operation a no-op, so call sites thread spans unconditionally.
+type Tracer struct {
+	mu    sync.Mutex
+	t0    time.Time
+	spans []spanRec
+}
+
+// spanRec is the arena record of one span.
+type spanRec struct {
+	name   string
+	parent int32 // -1 for roots
+	lane   int32 // Chrome trace tid: 1 = main, workers get their own
+	start  int64 // ns since t0
+	end    int64 // ns since t0; -1 while open
+	attrs  []Attr
+}
+
+// Attr is one key-value annotation on a span.
+type Attr struct {
+	Key, Value string
+}
+
+// Str builds a string attribute.
+func Str(key, value string) Attr { return Attr{Key: key, Value: value} }
+
+// Int builds an integer attribute.
+func Int(key string, value int) Attr {
+	return Attr{Key: key, Value: strconv.Itoa(value)}
+}
+
+// Dur builds a duration attribute.
+func Dur(key string, d time.Duration) Attr {
+	return Attr{Key: key, Value: d.String()}
+}
+
+// NewTracer starts a tracer; all span times are relative to this call.
+func NewTracer() *Tracer {
+	return &Tracer{t0: time.Now()}
+}
+
+// Span is a handle on one recorded span. The nil span ignores Child,
+// SetAttrs, and End, so disabled tracing costs one nil check per site.
+type Span struct {
+	t *Tracer
+	i int32
+}
+
+// newSpan appends a record and returns its handle. Lane inheritance: a
+// span with a "worker" attribute opens its own Chrome lane (worker N →
+// tid N+2), everything else renders in its parent's lane (roots in lane 1).
+func (t *Tracer) newSpan(name string, parent int32, attrs []Attr) *Span {
+	lane := int32(1)
+	for _, a := range attrs {
+		if a.Key == "worker" {
+			if w, err := strconv.Atoi(a.Value); err == nil {
+				lane = int32(w) + 2
+			}
+		}
+	}
+	t.mu.Lock()
+	if lane == 1 && parent >= 0 {
+		lane = t.spans[parent].lane
+	}
+	i := int32(len(t.spans))
+	t.spans = append(t.spans, spanRec{
+		name:   name,
+		parent: parent,
+		lane:   lane,
+		start:  int64(time.Since(t.t0)),
+		end:    -1,
+		attrs:  attrs,
+	})
+	t.mu.Unlock()
+	return &Span{t: t, i: i}
+}
+
+// Root opens a top-level span.
+func (t *Tracer) Root(name string, attrs ...Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	return t.newSpan(name, -1, attrs)
+}
+
+// Child opens a span nested under s.
+func (s *Span) Child(name string, attrs ...Attr) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.t.newSpan(name, s.i, attrs)
+}
+
+// SetAttrs appends attributes to an open (or closed) span — typically
+// measurements known only at the end of the work.
+func (s *Span) SetAttrs(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.t.mu.Lock()
+	s.t.spans[s.i].attrs = append(s.t.spans[s.i].attrs, attrs...)
+	s.t.mu.Unlock()
+}
+
+// End closes the span. Ending twice keeps the first end time.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.t.mu.Lock()
+	if s.t.spans[s.i].end < 0 {
+		s.t.spans[s.i].end = int64(time.Since(s.t.t0))
+	}
+	s.t.mu.Unlock()
+}
+
+// SpanInfo is the exported snapshot of one recorded span.
+type SpanInfo struct {
+	ID     int
+	Parent int // -1 for roots
+	Name   string
+	Start  time.Duration // offset from the tracer epoch
+	End    time.Duration // == Start for still-open spans snapshotted early
+	Attrs  []Attr
+}
+
+// Duration is the span's wall time.
+func (si SpanInfo) Duration() time.Duration { return si.End - si.Start }
+
+// Attr returns the value of the named attribute, or "".
+func (si SpanInfo) Attr(key string) string {
+	for _, a := range si.Attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+// Spans snapshots every recorded span in creation order. Open spans are
+// reported as ending now.
+func (t *Tracer) Spans() []SpanInfo {
+	if t == nil {
+		return nil
+	}
+	now := int64(time.Since(t.t0))
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanInfo, len(t.spans))
+	for i, r := range t.spans {
+		end := r.end
+		if end < 0 {
+			end = now
+		}
+		out[i] = SpanInfo{
+			ID:     i,
+			Parent: int(r.parent),
+			Name:   r.name,
+			Start:  time.Duration(r.start),
+			End:    time.Duration(end),
+			Attrs:  append([]Attr(nil), r.attrs...),
+		}
+	}
+	return out
+}
+
+// chromeEvent is one Chrome trace_event "complete" (ph=X) record.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Ts   float64           `json:"ts"`  // microseconds
+	Dur  float64           `json:"dur"` // microseconds
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// WriteChromeTrace renders the spans as a Chrome trace_event JSON array
+// (load via chrome://tracing or https://ui.perfetto.dev). Each worker
+// renders in its own lane (tid); span attributes become event args.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, "[]\n")
+		return err
+	}
+	spans := t.Spans()
+	t.mu.Lock()
+	lanes := make([]int32, len(t.spans))
+	for i, r := range t.spans {
+		lanes[i] = r.lane
+	}
+	t.mu.Unlock()
+	events := make([]chromeEvent, len(spans))
+	for i, si := range spans {
+		var args map[string]string
+		if len(si.Attrs) > 0 {
+			args = make(map[string]string, len(si.Attrs))
+			for _, a := range si.Attrs {
+				args[a.Key] = a.Value
+			}
+		}
+		events[i] = chromeEvent{
+			Name: si.Name,
+			Ph:   "X",
+			Pid:  1,
+			Tid:  int(lanes[i]),
+			Ts:   float64(si.Start) / 1e3,
+			Dur:  float64(si.Duration()) / 1e3,
+			Args: args,
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(events)
+}
+
+// WriteTree renders the span forest as an indented human-readable tree in
+// creation order (parents always precede their children).
+func (t *Tracer) WriteTree(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	spans := t.Spans()
+	children := make(map[int][]int, len(spans))
+	var roots []int
+	for _, si := range spans {
+		if si.Parent < 0 {
+			roots = append(roots, si.ID)
+		} else {
+			children[si.Parent] = append(children[si.Parent], si.ID)
+		}
+	}
+	var write func(id, depth int) error
+	write = func(id, depth int) error {
+		si := spans[id]
+		line := fmt.Sprintf("%*s%s %s", 2*depth, "", si.Name,
+			si.Duration().Round(time.Microsecond))
+		for _, a := range si.Attrs {
+			line += fmt.Sprintf(" %s=%s", a.Key, a.Value)
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+		for _, c := range children[id] {
+			if err := write(c, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, r := range roots {
+		if err := write(r, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}

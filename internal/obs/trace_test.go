@@ -1,0 +1,219 @@
+package obs
+
+import (
+	"encoding/json"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSpanNesting: parent edges are explicit and exact — children point
+// at the span they were created from, in creation order.
+func TestSpanNesting(t *testing.T) {
+	tr := NewTracer()
+	root := tr.Root("diff", Str("host1", "r1"))
+	comp := root.Child("route-maps", Str("kind", "SemanticDiff"))
+	task := comp.Child("chain-pair")
+	task.End()
+	comp.End()
+	root.SetAttrs(Int("diffs", 2))
+	root.End()
+
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("spans = %d, want 3", len(spans))
+	}
+	if spans[0].Name != "diff" || spans[0].Parent != -1 {
+		t.Errorf("root = %+v", spans[0])
+	}
+	if spans[1].Name != "route-maps" || spans[1].Parent != 0 {
+		t.Errorf("component = %+v", spans[1])
+	}
+	if spans[2].Name != "chain-pair" || spans[2].Parent != 1 {
+		t.Errorf("task = %+v", spans[2])
+	}
+	if spans[0].Attr("host1") != "r1" || spans[0].Attr("diffs") != "2" {
+		t.Errorf("root attrs = %v", spans[0].Attrs)
+	}
+	// Containment: a child's interval lies within its parent's.
+	if spans[2].Start < spans[1].Start || spans[2].End > spans[1].End {
+		t.Errorf("task [%v,%v] escapes component [%v,%v]",
+			spans[2].Start, spans[2].End, spans[1].Start, spans[1].End)
+	}
+}
+
+// TestSpanEndTwice: the first End wins.
+func TestSpanEndTwice(t *testing.T) {
+	tr := NewTracer()
+	s := tr.Root("x")
+	s.End()
+	end1 := tr.Spans()[0].End
+	time.Sleep(time.Millisecond)
+	s.End()
+	if end2 := tr.Spans()[0].End; end2 != end1 {
+		t.Errorf("second End moved the end time: %v -> %v", end1, end2)
+	}
+}
+
+// TestNilTracerAndSpan: the disabled path is completely inert.
+func TestNilTracerAndSpan(t *testing.T) {
+	var tr *Tracer
+	s := tr.Root("x", Str("k", "v"))
+	if s != nil {
+		t.Fatal("nil tracer returned a live span")
+	}
+	c := s.Child("y")
+	c.SetAttrs(Int("n", 1))
+	c.End()
+	s.End()
+	if got := tr.Spans(); got != nil {
+		t.Errorf("nil tracer has spans: %v", got)
+	}
+	var b strings.Builder
+	if err := tr.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(b.String()) != "[]" {
+		t.Errorf("nil tracer trace = %q, want []", b.String())
+	}
+	if err := tr.WriteTree(&b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentSpansDeterministicParents: spans opened from many
+// goroutines still carry exact parent edges — the tree shape depends only
+// on which span each child was created from, never on scheduling. Run
+// with -race.
+func TestConcurrentSpansDeterministicParents(t *testing.T) {
+	tr := NewTracer()
+	root := tr.Root("component")
+	const workers, tasksPer = 4, 25
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wsp := root.Child("worker", Int("worker", w))
+			for i := 0; i < tasksPer; i++ {
+				tsp := wsp.Child("task", Int("task", i))
+				tsp.End()
+			}
+			wsp.End()
+		}(w)
+	}
+	wg.Wait()
+	root.End()
+
+	spans := tr.Spans()
+	byID := map[int]SpanInfo{}
+	for _, s := range spans {
+		byID[s.ID] = s
+	}
+	var nWorkers, nTasks int
+	for _, s := range spans {
+		switch s.Name {
+		case "worker":
+			nWorkers++
+			if p := byID[s.Parent]; p.Name != "component" {
+				t.Errorf("worker %s parented by %q", s.Attr("worker"), p.Name)
+			}
+		case "task":
+			nTasks++
+			if p := byID[s.Parent]; p.Name != "worker" {
+				t.Errorf("task parented by %q, want worker", p.Name)
+			}
+		}
+	}
+	if nWorkers != workers || nTasks != workers*tasksPer {
+		t.Errorf("got %d workers / %d tasks, want %d / %d", nWorkers, nTasks, workers, workers*tasksPer)
+	}
+}
+
+// TestChromeTraceLanes: worker spans open their own Chrome lane
+// (worker N → tid N+2), their children inherit it, and everything else
+// renders in lane 1.
+func TestChromeTraceLanes(t *testing.T) {
+	tr := NewTracer()
+	root := tr.Root("batch")
+	w0 := root.Child("worker", Int("worker", 0))
+	p := w0.Child("pair", Str("pair", "a vs b"))
+	p.End()
+	w0.End()
+	w3 := root.Child("worker", Int("worker", 3))
+	w3.End()
+	root.End()
+
+	var b strings.Builder
+	if err := tr.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	var events []struct {
+		Name string            `json:"name"`
+		Ph   string            `json:"ph"`
+		Pid  int               `json:"pid"`
+		Tid  int               `json:"tid"`
+		Ts   float64           `json:"ts"`
+		Dur  float64           `json:"dur"`
+		Args map[string]string `json:"args"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &events); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, b.String())
+	}
+	want := map[string]int{"batch": 1, "pair": 2}
+	for _, e := range events {
+		if e.Ph != "X" || e.Pid != 1 {
+			t.Errorf("event %s: ph=%s pid=%d", e.Name, e.Ph, e.Pid)
+		}
+		if e.Name == "worker" {
+			w, _ := strconv.Atoi(e.Args["worker"])
+			if e.Tid != w+2 {
+				t.Errorf("worker %d in lane %d, want %d", w, e.Tid, w+2)
+			}
+			continue
+		}
+		if lane, ok := want[e.Name]; ok && e.Tid != lane {
+			t.Errorf("%s in lane %d, want %d", e.Name, e.Tid, lane)
+		}
+	}
+	if events[2].Args["pair"] != "a vs b" {
+		t.Errorf("pair args = %v", events[2].Args)
+	}
+}
+
+// TestWriteTree: parents precede children, depth renders as indentation,
+// attributes append to the line.
+func TestWriteTree(t *testing.T) {
+	tr := NewTracer()
+	root := tr.Root("diff")
+	c := root.Child("acls", Str("kind", "SemanticDiff"))
+	c.End()
+	root.End()
+	var b strings.Builder
+	if err := tr.WriteTree(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d, want 2:\n%s", len(lines), b.String())
+	}
+	if !strings.HasPrefix(lines[0], "diff ") {
+		t.Errorf("root line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "  acls ") || !strings.Contains(lines[1], "kind=SemanticDiff") {
+		t.Errorf("child line = %q", lines[1])
+	}
+}
+
+// TestOpenSpanSnapshot: an unfinished span snapshots as ending now, so a
+// live /runs-style view never sees negative durations.
+func TestOpenSpanSnapshot(t *testing.T) {
+	tr := NewTracer()
+	tr.Root("open")
+	s := tr.Spans()[0]
+	if s.Duration() < 0 {
+		t.Errorf("open span duration %v < 0", s.Duration())
+	}
+}

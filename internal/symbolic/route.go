@@ -61,7 +61,22 @@ type RouteEncoding struct {
 	nextHopLists map[*ir.PrefixList]bdd.Node
 	commLists    map[*ir.CommunityList]bdd.Node
 	asPathLists  map[*ir.ASPathList]bdd.Node
+
+	memo MemoStats
 }
+
+// MemoStats counts the encoding-level memo tables' recalls vs encodes —
+// how often a prefix range / prefix list / community list / as-path list
+// BDD was reused instead of rebuilt. An encoding is single-goroutine
+// state (it owns its factory), so plain counters suffice and cost one
+// increment per memo probe.
+type MemoStats struct {
+	RangeHits, RangeMisses int // prefix-range and length-interval BDDs
+	ListHits, ListMisses   int // prefix/next-hop/community/as-path lists
+}
+
+// Memo reports the encoding's memo-table counters since construction.
+func (e *RouteEncoding) Memo() MemoStats { return e.memo }
 
 // NewRouteEncoding builds an encoding whose atom vocabulary covers all the
 // given configurations.
@@ -309,8 +324,10 @@ func (e *RouteEncoding) NonPrefixVars() []int {
 func (e *RouteEncoding) lenIn(lo, hi uint8) bdd.Node {
 	key := [2]uint8{lo, hi}
 	if n, ok := e.lenRange[key]; ok {
+		e.memo.RangeHits++
 		return n
 	}
+	e.memo.RangeMisses++
 	n := e.prefixLen.rangeConst(uint64(lo), uint64(hi))
 	e.lenRange[key] = n
 	return n
@@ -323,8 +340,10 @@ func (e *RouteEncoding) PrefixRangeBDD(r netaddr.PrefixRange) bdd.Node {
 		return bdd.False
 	}
 	if n, ok := e.prefixRanges[r]; ok {
+		e.memo.RangeHits++
 		return n
 	}
+	e.memo.RangeMisses++
 	bits := e.prefixBits.prefixMatch(uint64(r.Prefix.Addr), int(r.Prefix.Len))
 	n := e.F.And(bits, e.lenIn(r.Lo, r.Hi))
 	e.prefixRanges[r] = n
@@ -382,8 +401,10 @@ func (e *RouteEncoding) communityMatcherBDD(m ir.CommunityMatcher) bdd.Node {
 // memoized by list identity.
 func (e *RouteEncoding) communityListBDD(l *ir.CommunityList) bdd.Node {
 	if n, ok := e.commLists[l]; ok {
+		e.memo.ListHits++
 		return n
 	}
+	e.memo.ListMisses++
 	out := bdd.False // no entry matches ⇒ the list does not permit
 	for i := len(l.Entries) - 1; i >= 0; i-- {
 		entry := l.Entries[i]
@@ -408,8 +429,10 @@ func (e *RouteEncoding) communityListBDD(l *ir.CommunityList) bdd.Node {
 // by list identity.
 func (e *RouteEncoding) prefixListBDD(l *ir.PrefixList) bdd.Node {
 	if n, ok := e.prefixLists[l]; ok {
+		e.memo.ListHits++
 		return n
 	}
+	e.memo.ListMisses++
 	out := bdd.False
 	for i := len(l.Entries) - 1; i >= 0; i-- {
 		entry := l.Entries[i]
@@ -427,8 +450,10 @@ func (e *RouteEncoding) prefixListBDD(l *ir.PrefixList) bdd.Node {
 // (a /32 address), memoized by list identity.
 func (e *RouteEncoding) nextHopListBDD(l *ir.PrefixList) bdd.Node {
 	if n, ok := e.nextHopLists[l]; ok {
+		e.memo.ListHits++
 		return n
 	}
+	e.memo.ListMisses++
 	out := bdd.False
 	for i := len(l.Entries) - 1; i >= 0; i-- {
 		entry := l.Entries[i]
@@ -452,8 +477,10 @@ func (e *RouteEncoding) nextHopListBDD(l *ir.PrefixList) bdd.Node {
 // regex (a conservative under-approximation documented in DESIGN.md).
 func (e *RouteEncoding) asPathListBDD(l *ir.ASPathList) bdd.Node {
 	if n, ok := e.asPathLists[l]; ok {
+		e.memo.ListHits++
 		return n
 	}
+	e.memo.ListMisses++
 	out := bdd.False
 	for i := len(l.Entries) - 1; i >= 0; i-- {
 		entry := l.Entries[i]

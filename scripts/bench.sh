@@ -4,9 +4,10 @@
 # Usage: scripts/bench.sh [extra go-test args...]
 #
 # Writes BENCH_<yyyy-mm-dd>.json in the repo root: one object per
-# benchmark with its worker count, ns/op, and iteration count, plus the
-# host parameters needed to interpret the sweep (CPU count matters: on a
-# single core every pool size degenerates to the sequential schedule).
+# benchmark with its sub-case (workers=N, cache=on/off, obs=on/off),
+# ns/op, and iteration count, plus the host parameters needed to
+# interpret the sweep (CPU count matters: on a single core every pool
+# size degenerates to the sequential schedule).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -16,7 +17,7 @@ out="BENCH_${date}.json"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
-go test -run '^$' -bench 'BenchmarkParallelRouteMapDiff|BenchmarkDiffBatch|BenchmarkFullPairDiff|BenchmarkDiffAllFleet' \
+go test -run '^$' -bench 'BenchmarkParallelRouteMapDiff|BenchmarkDiffBatch|BenchmarkFullPairDiff|BenchmarkDiffAllFleet|BenchmarkDiffObservability' \
     -benchmem -benchtime "${BENCHTIME:-2s}" "$@" . | tee "$raw"
 
 awk -v date="$date" '
@@ -34,13 +35,18 @@ BEGIN { n = 0 }
     }
     # strip the -<GOMAXPROCS> suffix go test appends
     sub(/-[0-9]+$/, "", name)
+    # the sub-benchmark case, e.g. workers=4, cache=off, obs=on
+    subcase = ""
+    if (match(name, /\//)) {
+        subcase = substr(name, RSTART + 1)
+    }
     bytes = ""; allocs = ""
     for (i = 4; i <= NF; i++) {
         if ($(i) == "B/op") bytes = $(i - 1)
         if ($(i) == "allocs/op") allocs = $(i - 1)
     }
-    line = sprintf("    {\"name\": \"%s\", \"workers\": %d, \"iterations\": %s, \"ns_per_op\": %s", \
-                   name, workers, iters, nsop)
+    line = sprintf("    {\"name\": \"%s\", \"case\": \"%s\", \"workers\": %d, \"iterations\": %s, \"ns_per_op\": %s", \
+                   name, subcase, workers, iters, nsop)
     if (bytes != "")  line = line sprintf(", \"bytes_per_op\": %s", bytes)
     if (allocs != "") line = line sprintf(", \"allocs_per_op\": %s", allocs)
     line = line "}"
