@@ -2,6 +2,7 @@ package campion
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -52,22 +53,51 @@ type BatchOptions struct {
 
 // BatchResult is the outcome of one pair in a batch: either a report or
 // a per-pair error. Errors are isolated — one failing pair never aborts
-// the others.
+// the others. Err, when non-nil, is a *PairError; classify it with
+// errors.Is against ErrParse / ErrCanceled / ErrBudget / ErrInternal,
+// or label it with ErrKind.
 type BatchResult struct {
 	Name   string
 	Report *Report
 	Err    error
 }
 
+// batchCtxErr mirrors core's deadline-aware context check: a deadline
+// that has already passed counts as exceeded even before the context's
+// timer fires, so tiny -timeout values behave deterministically.
+func batchCtxErr(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if d, ok := ctx.Deadline(); ok && !time.Now().Before(d) {
+		return context.DeadlineExceeded
+	}
+	return nil
+}
+
+// pairError wraps a cause as this pair's structured failure, unless it
+// already is one (core's guarded workers hand back *PairError with
+// file/line provenance — keep those intact).
+func pairError(name string, kind, cause error) error {
+	var pe *PairError
+	if errors.As(cause, &pe) {
+		return cause
+	}
+	return &PairError{Pair: name, Kind: kind, Err: cause}
+}
+
 // DiffBatch compares every configuration pair on a bounded worker pool
 // and returns the results in input order, regardless of completion order.
 //
 // Each pair is an independent comparison with its own symbolic state, so
-// pairs scale linearly with cores. Cancellation is honored between pairs:
-// when ctx is done, unstarted pairs get ctx.Err() as their result and
-// DiffBatch returns ctx.Err() alongside the partial results. Per-pair
-// parse or diff errors land in the pair's BatchResult, never abort the
-// batch, and leave err nil.
+// pairs scale linearly with cores. The context is threaded into every
+// comparison (polled from inside the BDD kernels), so cancellation both
+// skips unstarted pairs and interrupts in-flight ones; all affected
+// pairs carry an ErrCanceled *PairError and DiffBatch returns ctx's
+// error alongside the partial results. Per-pair failures — parse,
+// cancellation, budget (Options.MaxNodes / Options.Timeout), or an
+// isolated crash — land in the pair's BatchResult as *PairError, never
+// abort the batch, and leave the returned error nil.
 func DiffBatch(ctx context.Context, pairs []ConfigPair, opts BatchOptions) ([]BatchResult, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -109,12 +139,11 @@ func DiffBatch(ctx context.Context, pairs []ConfigPair, opts BatchOptions) ([]Ba
 	}
 	defer bsp.End()
 	var pairLatency *obs.Histogram
-	var pairsDone, pairErrors *obs.Counter
+	var pairsDone *obs.Counter
 	if inner.Metrics != nil {
 		pairLatency = inner.Metrics.Histogram("campion_pair_duration_nanoseconds",
 			"wall time of one pair comparison in a batch")
 		pairsDone = inner.Metrics.Counter("campion_pairs_total", "pair comparisons completed")
-		pairErrors = inner.Metrics.Counter("campion_pair_errors_total", "pair comparisons that errored")
 	}
 
 	jobs := make(chan int)
@@ -145,29 +174,39 @@ func DiffBatch(ctx context.Context, pairs []ConfigPair, opts BatchOptions) ([]Ba
 				inner := inner
 				inner.TraceParent = psp
 				switch {
-				case ctx.Err() != nil:
-					res.Err = ctx.Err()
+				case batchCtxErr(ctx) != nil:
+					res.Err = pairError(p.Name, ErrCanceled, batchCtxErr(ctx))
 				case p.Config1 == nil || p.Config2 == nil:
-					res.Err = fmt.Errorf("campion: pair %q: missing configuration", p.Name)
+					res.Err = &PairError{Pair: p.Name, Kind: ErrParse,
+						Err: fmt.Errorf("missing configuration")}
 				default:
-					res.Report, res.Err = Diff(p.Config1, p.Config2, inner)
+					res.Report, res.Err = DiffContext(ctx, p.Config1, p.Config2, inner)
 				}
 				results[i] = res
 				diffs := 0
 				if res.Report != nil {
 					diffs = res.Report.TotalDifferences()
 				}
+				kind := ErrKind(res.Err)
 				if psp != nil {
 					psp.SetAttrs(obs.Int("diffs", diffs))
+					if kind != "" {
+						psp.SetAttrs(obs.Str("error", kind))
+					}
 					psp.End()
 				}
 				run.PairDone(diffs, res.Err != nil)
+				if res.Err != nil {
+					run.PairFailed(kind)
+				}
 				mark = time.Now()
 				busy += mark.Sub(start)
 				pairLatency.Observe(int64(mark.Sub(start)))
 				pairsDone.Inc()
-				if res.Err != nil {
-					pairErrors.Inc()
+				if res.Err != nil && inner.Metrics != nil {
+					inner.Metrics.Counter("campion_pair_errors_total",
+						"pair comparisons that errored, by failure kind",
+						obs.L("kind", kind)).Inc()
 				}
 			}
 			wait += time.Since(mark)
@@ -190,16 +229,20 @@ feed:
 		case jobs <- i:
 		case <-ctx.Done():
 			// Mark everything not yet handed out; the workers drain the
-			// closed channel below.
+			// closed channel below. Kind bookkeeping matches the worker
+			// path so the run summary counts these pairs too.
 			for j := i; j < len(pairs); j++ {
-				results[j] = BatchResult{Name: pairs[j].Name, Err: ctx.Err()}
+				results[j] = BatchResult{Name: pairs[j].Name,
+					Err: pairError(pairs[j].Name, ErrCanceled, ctx.Err())}
+				run.PairDone(0, true)
+				run.PairFailed("canceled")
 			}
 			break feed
 		}
 	}
 	close(jobs)
 	wg.Wait()
-	return results, ctx.Err()
+	return results, batchCtxErr(ctx)
 }
 
 // DiffAll compares every unordered pair of the given configurations —

@@ -3,6 +3,7 @@ package campion
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"testing"
@@ -148,8 +149,11 @@ func TestDiffBatchCancellation(t *testing.T) {
 	}
 	var cancelled int
 	for _, r := range results {
-		if r.Err == context.Canceled {
+		if errors.Is(r.Err, context.Canceled) {
 			cancelled++
+			if !errors.Is(r.Err, ErrCanceled) {
+				t.Errorf("pair %s: cancellation not classified as ErrCanceled: %v", r.Name, r.Err)
+			}
 		}
 	}
 	if cancelled == 0 {

@@ -19,6 +19,7 @@
 package campion
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -76,6 +77,33 @@ const (
 
 // Report is the localized result of comparing two configurations.
 type Report = core.Report
+
+// PairError is the structured failure of one comparison: the failed
+// unit, one of the four failure-kind sentinels, configuration file/line
+// provenance when attributable, and the underlying cause. Every non-nil
+// error in a BatchResult/PairResult is one of these.
+type PairError = core.PairError
+
+// The failure kinds. Every error this package reports wraps exactly one;
+// classify with errors.Is (context.Canceled and context.DeadlineExceeded
+// also match through ErrCanceled's cause) or label it with ErrKind.
+var (
+	// ErrParse marks unreadable, unparseable, or missing configurations.
+	ErrParse = core.ErrParse
+	// ErrCanceled marks comparisons abandoned to a canceled context or a
+	// passed deadline (including Options.Timeout).
+	ErrCanceled = core.ErrCanceled
+	// ErrBudget marks comparisons aborted by the Options.MaxNodes BDD
+	// ceiling; only the offending pair fails.
+	ErrBudget = core.ErrBudget
+	// ErrInternal marks a crash isolated inside one comparison.
+	ErrInternal = core.ErrInternal
+)
+
+// ErrKind labels an error's failure kind — "parse", "canceled",
+// "budget", or "internal" — and returns "" for nil. It is the label
+// vocabulary of the campion_pair_errors_total metric and the run log.
+func ErrKind(err error) string { return core.ErrKind(err) }
 
 // Observability re-exports: Options.Tracer/Metrics and
 // BatchOptions.RunLog accept these, and Serve exposes them over HTTP.
@@ -193,6 +221,15 @@ func LoadFile(path string) (*Config, error) {
 // solutions in any network context.
 func Diff(c1, c2 *Config, opts Options) (*Report, error) {
 	return core.Diff(c1, c2, opts)
+}
+
+// DiffContext is Diff under a context: cancellation and deadlines are
+// polled from inside the BDD kernels, so even a comparison stuck deep in
+// symbolic computation stops promptly. A cancellation, an expired
+// Options.Timeout, or an Options.MaxNodes budget abort surfaces as a
+// *PairError (ErrCanceled / ErrBudget).
+func DiffContext(ctx context.Context, c1, c2 *Config, opts Options) (*Report, error) {
+	return core.DiffContext(ctx, c1, c2, opts)
 }
 
 // Write renders the report as the paper-style difference tables.

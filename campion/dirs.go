@@ -65,7 +65,9 @@ func PairFiles(dir1, dir2 string) (pairs []FilePair, only1, only2 []string, err 
 	return pairs, only1, only2, nil
 }
 
-// PairResult is the outcome of diffing one file pair.
+// PairResult is the outcome of diffing one file pair. Err, when
+// non-nil, is a *PairError; classify it with errors.Is against
+// ErrParse / ErrCanceled / ErrBudget / ErrInternal.
 type PairResult struct {
 	Pair   FilePair
 	Report *Report
@@ -80,8 +82,14 @@ func DiffDirs(dir1, dir2 string, opts Options) ([]PairResult, error) {
 	return DiffDirsContext(context.Background(), dir1, dir2, BatchOptions{Options: opts})
 }
 
-// DiffDirsContext is DiffDirs with batch options and cancellation.
+// DiffDirsContext is DiffDirs with batch options and cancellation. The
+// returned error is nil unless the directories themselves are unreadable
+// or the context ended before every pair was handled — per-pair failures
+// stay in the results, so a partial audit is still reported.
 func DiffDirsContext(ctx context.Context, dir1, dir2 string, opts BatchOptions) ([]PairResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	pairs, only1, only2, err := PairFiles(dir1, dir2)
 	if err != nil {
 		return nil, err
@@ -107,18 +115,18 @@ func DiffDirsContext(ctx context.Context, dir1, dir2 string, opts BatchOptions) 
 			for i := range jobs {
 				p := pairs[i]
 				results[i] = PairResult{Pair: p}
-				if err := ctx.Err(); err != nil {
-					results[i].Err = err
+				if err := batchCtxErr(ctx); err != nil {
+					results[i].Err = pairError(p.Name, ErrCanceled, err)
 					continue
 				}
 				cfg1, err := LoadFile(p.Path1)
 				if err != nil {
-					results[i].Err = err
+					results[i].Err = &PairError{Pair: p.Name, Kind: ErrParse, File: p.Path1, Err: err}
 					continue
 				}
 				cfg2, err := LoadFile(p.Path2)
 				if err != nil {
-					results[i].Err = err
+					results[i].Err = &PairError{Pair: p.Name, Kind: ErrParse, File: p.Path2, Err: err}
 					continue
 				}
 				loaded[i] = ConfigPair{Name: p.Name, Config1: cfg1, Config2: cfg2}
@@ -140,7 +148,7 @@ func DiffDirsContext(ctx context.Context, dir1, dir2 string, opts BatchOptions) 
 			batchIdx = append(batchIdx, i)
 		}
 	}
-	batchResults, _ := DiffBatch(ctx, batch, opts)
+	batchResults, batchErr := DiffBatch(ctx, batch, opts)
 	for k, br := range batchResults {
 		i := batchIdx[k]
 		results[i].Report = br.Report
@@ -149,14 +157,16 @@ func DiffDirsContext(ctx context.Context, dir1, dir2 string, opts BatchOptions) 
 	for _, p := range only1 {
 		results = append(results, PairResult{
 			Pair: FilePair{Name: filepath.Base(p), Path1: p},
-			Err:  fmt.Errorf("no matching configuration in %s", dir2),
+			Err: &PairError{Pair: filepath.Base(p), Kind: ErrParse, File: p,
+				Err: fmt.Errorf("no matching configuration in %s", dir2)},
 		})
 	}
 	for _, p := range only2 {
 		results = append(results, PairResult{
 			Pair: FilePair{Name: filepath.Base(p), Path2: p},
-			Err:  fmt.Errorf("no matching configuration in %s", dir1),
+			Err: &PairError{Pair: filepath.Base(p), Kind: ErrParse, File: p,
+				Err: fmt.Errorf("no matching configuration in %s", dir1)},
 		})
 	}
-	return results, nil
+	return results, batchErr
 }

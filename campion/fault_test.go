@@ -1,0 +1,230 @@
+package campion
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// heavyConfig builds a configuration whose single route-map chain is
+// expensive to compare: hundreds of stanzas over distinct prefix lists.
+// Against budgetMaxNodes the chain comparison aborts (its allocation is
+// roughly double the ceiling) while the small fleet() pairs — and the
+// route encoding itself — fit comfortably. The margins on both sides are
+// wide (thousands of nodes), and BDD construction is deterministic, so
+// the classification is stable across worker counts and runs.
+func heavyConfig(host string, terms int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "hostname %s\n", host)
+	for i := 0; i < terms; i++ {
+		fmt.Fprintf(&b, "ip prefix-list P%d permit 10.%d.%d.0/24 le 28\n", i, i%200, (i*7)%250)
+	}
+	for i := 0; i < terms; i++ {
+		fmt.Fprintf(&b, "route-map HEAVY permit %d\n match ip address P%d\n set local-preference %d\n", 10+i*10, i, 100+i)
+	}
+	b.WriteString("router bgp 65001\n neighbor 10.0.12.2 remote-as 65002\n neighbor 10.0.12.2 route-map HEAVY in\n")
+	return b.String()
+}
+
+const (
+	heavyTerms      = 400
+	budgetMaxNodes  = 20000
+	malformedConfig = "### not a router configuration ###\n{{{ 42 }}}\n"
+)
+
+// TestBatchBudgetIsolation: in one batch, a budget-busting pair fails
+// with a structured ErrBudget PairError (with file/line provenance into
+// the offending chain) while the healthy pair's diffs are unaffected —
+// at both inner worker counts, so the classification is deterministic
+// across pool sizes.
+func TestBatchBudgetIsolation(t *testing.T) {
+	cfgs := fleet(t)
+	h1 := mustParse(t, "h1.cfg", heavyConfig("h1", heavyTerms))
+	h2 := mustParse(t, "h2.cfg", heavyConfig("h2", heavyTerms))
+	pairs := []ConfigPair{
+		{Name: "good", Config1: cfgs[0].Config, Config2: cfgs[2].Config},
+		{Name: "huge", Config1: h1, Config2: h2},
+	}
+	for _, workers := range []int{1, 4} {
+		opts := BatchOptions{}
+		opts.Workers = workers
+		opts.MaxNodes = budgetMaxNodes
+		results, err := DiffBatch(context.Background(), pairs, opts)
+		if err != nil {
+			t.Fatalf("workers=%d: batch-level error: %v", workers, err)
+		}
+		if results[0].Err != nil {
+			t.Fatalf("workers=%d: healthy pair failed: %v", workers, results[0].Err)
+		}
+		if len(results[0].Report.RouteMapDiffs) == 0 {
+			t.Errorf("workers=%d: healthy pair lost its diffs", workers)
+		}
+		if !errors.Is(results[1].Err, ErrBudget) {
+			t.Fatalf("workers=%d: want ErrBudget for huge pair, got %v", workers, results[1].Err)
+		}
+		var pe *PairError
+		if !errors.As(results[1].Err, &pe) {
+			t.Fatalf("workers=%d: want *PairError, got %T", workers, results[1].Err)
+		}
+		if pe.File == "" || pe.Line == 0 {
+			t.Errorf("workers=%d: budget failure lacks provenance: %q:%d", workers, pe.File, pe.Line)
+		}
+		if ErrKind(results[1].Err) != "budget" {
+			t.Errorf("workers=%d: ErrKind = %q", workers, ErrKind(results[1].Err))
+		}
+	}
+}
+
+// TestBatchMidCancelPartialResults: a cancellation landing while a batch
+// is mid-flight (injected deterministically: the task hook fires on the
+// first pair that compares config c's TRIGGER chain) leaves the pairs
+// that already completed with their reports, marks the rest ErrCanceled,
+// and surfaces the context error at the batch level.
+func TestBatchMidCancelPartialResults(t *testing.T) {
+	cfgs := fleet(t)
+	trigger := mustParse(t, "trig.cfg", strings.ReplaceAll(
+		`hostname trig
+ip prefix-list NETS permit 10.9.0.0/16 le 24
+route-map TRIGGER permit 10
+ match ip address NETS
+ set local-preference 300
+route-map TRIGGER deny 20
+router bgp 65001
+ neighbor 10.0.12.2 remote-as 65002
+ neighbor 10.0.12.2 route-map TRIGGER in
+`, "\r", ""))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	core.TestTaskHook = func(_, names2 []string) {
+		for _, n := range names2 {
+			if n == "TRIGGER" {
+				cancel()
+			}
+		}
+	}
+	defer func() { core.TestTaskHook = nil }()
+	pairs := []ConfigPair{
+		{Name: "a-b", Config1: cfgs[0].Config, Config2: cfgs[1].Config},
+		{Name: "a-trig", Config1: cfgs[0].Config, Config2: trigger},
+		{Name: "b-trig", Config1: cfgs[1].Config, Config2: trigger},
+	}
+	results, err := DiffBatch(ctx, pairs, BatchOptions{BatchWorkers: 1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("batch error = %v, want context.Canceled", err)
+	}
+	if results[0].Err != nil || results[0].Report == nil {
+		t.Fatalf("pair before the cancel lost its result: %v", results[0].Err)
+	}
+	for _, r := range results[1:] {
+		if !errors.Is(r.Err, ErrCanceled) || !errors.Is(r.Err, context.Canceled) {
+			t.Errorf("pair %s: want ErrCanceled wrapping context.Canceled, got %v", r.Name, r.Err)
+		}
+	}
+}
+
+// TestDiffDirsFaultTolerance is the acceptance scenario: a directory
+// audit containing one malformed configuration and one budget-busting
+// pair completes, reporting a structured PairError with file provenance
+// for each casualty and correct diffs for the healthy pairs.
+func TestDiffDirsFaultTolerance(t *testing.T) {
+	mkSmall := func(host string, pref int) string {
+		return fmt.Sprintf(`hostname %s
+ip prefix-list NETS permit 10.9.0.0/16 le 24
+route-map POL permit 10
+ match ip address NETS
+ set local-preference %d
+route-map POL deny 20
+router bgp 65001
+ neighbor 10.0.12.2 remote-as 65002
+ neighbor 10.0.12.2 route-map POL in
+`, host, pref)
+	}
+	dir1, dir2 := t.TempDir(), t.TempDir()
+	write := func(dir, name, text string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(text), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write(dir1, "good.cfg", mkSmall("good1", 100))
+	write(dir2, "good.cfg", mkSmall("good2", 300))
+	write(dir1, "broken.cfg", mkSmall("broken1", 100))
+	write(dir2, "broken.cfg", malformedConfig)
+	write(dir1, "huge.cfg", heavyConfig("huge1", heavyTerms))
+	write(dir2, "huge.cfg", heavyConfig("huge2", heavyTerms))
+
+	opts := BatchOptions{}
+	opts.MaxNodes = budgetMaxNodes
+	results, err := DiffDirsContext(context.Background(), dir1, dir2, opts)
+	if err != nil {
+		t.Fatalf("directory audit failed outright: %v", err)
+	}
+	byName := map[string]PairResult{}
+	for _, r := range results {
+		byName[r.Pair.Name] = r
+	}
+	if len(byName) != 3 {
+		t.Fatalf("got %d pairs, want 3: %+v", len(byName), results)
+	}
+
+	good := byName["good"]
+	if good.Err != nil {
+		t.Fatalf("healthy pair failed: %v", good.Err)
+	}
+	if len(good.Report.RouteMapDiffs) == 0 {
+		t.Error("healthy pair reported no route-map diffs")
+	}
+
+	broken := byName["broken"]
+	if !errors.Is(broken.Err, ErrParse) {
+		t.Fatalf("malformed pair: want ErrParse, got %v", broken.Err)
+	}
+	var pe *PairError
+	if !errors.As(broken.Err, &pe) || pe.File != filepath.Join(dir2, "broken.cfg") {
+		t.Errorf("parse failure should name the malformed file, got %+v", pe)
+	}
+
+	huge := byName["huge"]
+	if !errors.Is(huge.Err, ErrBudget) {
+		t.Fatalf("budget-busting pair: want ErrBudget, got %v", huge.Err)
+	}
+	if !errors.As(huge.Err, &pe) || pe.File == "" || pe.Line == 0 {
+		t.Errorf("budget failure lacks config provenance: %+v", pe)
+	}
+}
+
+// TestRunLogErrorKinds: batch failures land in the run log broken down
+// by failure kind, and the summary JSON carries the breakdown.
+func TestRunLogErrorKinds(t *testing.T) {
+	cfgs := fleet(t)
+	h1 := mustParse(t, "h1.cfg", heavyConfig("h1", heavyTerms))
+	h2 := mustParse(t, "h2.cfg", heavyConfig("h2", heavyTerms))
+	log := NewRunLog(4)
+	opts := BatchOptions{RunLog: log, RunName: "kinds"}
+	opts.MaxNodes = budgetMaxNodes
+	pairs := []ConfigPair{
+		{Name: "good", Config1: cfgs[0].Config, Config2: cfgs[1].Config},
+		{Name: "huge", Config1: h1, Config2: h2},
+		{Name: "missing", Config1: nil, Config2: nil},
+	}
+	if _, err := DiffBatch(context.Background(), pairs, opts); err != nil {
+		t.Fatal(err)
+	}
+	sums := log.Summaries()
+	if len(sums) != 1 {
+		t.Fatalf("runs = %d, want 1", len(sums))
+	}
+	s := sums[0]
+	if s.Errors != 2 {
+		t.Errorf("Errors = %d, want 2", s.Errors)
+	}
+	if s.ErrorKinds["budget"] != 1 || s.ErrorKinds["parse"] != 1 {
+		t.Errorf("ErrorKinds = %v, want budget:1 parse:1", s.ErrorKinds)
+	}
+}

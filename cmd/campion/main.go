@@ -35,6 +35,17 @@
 //	    /debug/pprof on ADDR. With no positional arguments campion just
 //	    serves; with a comparison it serves during and after the run,
 //	    until interrupted
+//	-timeout=DURATION
+//	    deadline for the whole run; comparisons still in flight are
+//	    interrupted (polled from inside the BDD kernels) and report as
+//	    canceled. Ctrl-C / SIGTERM cancel the same way.
+//	-max-nodes=N
+//	    BDD node budget per semantic task; a comparison that exceeds it
+//	    fails with a budget error while the rest of the batch completes
+//	-strict
+//	    exit 2 when any pair fails (parse, budget, cancellation, crash).
+//	    Without it, batch modes degrade: failed pairs are reported on
+//	    stderr and the exit status reflects only the differences found
 package main
 
 import (
@@ -42,11 +53,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/campion"
@@ -75,6 +88,9 @@ func run() int {
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON of the run to this file")
 	serveAddr := flag.String("serve", "", "serve /metrics, /runs, and /debug/pprof on this address (e.g. :9090)")
+	timeout := flag.Duration("timeout", 0, "deadline for the whole run (0 = none)")
+	maxNodes := flag.Int("max-nodes", 0, "BDD node budget per semantic task (0 = unlimited)")
+	strict := flag.Bool("strict", false, "exit 2 when any pair fails instead of degrading to partial results")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: campion [flags] CONFIG1 CONFIG2\n")
 		fmt.Fprintf(os.Stderr, "       campion [flags] DIR1 DIR2\n")
@@ -113,9 +129,21 @@ func run() int {
 		}()
 	}
 
+	// The run context: canceled by Ctrl-C / SIGTERM, bounded by -timeout.
+	// It reaches every comparison, polled from inside the BDD kernels, so
+	// even a pair stuck deep in symbolic computation stops promptly.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	var opts0 campion.Options
 	opts0.ExhaustiveCommunities = *exhaustiveComms
 	opts0.Workers = *workers
+	opts0.MaxNodes = *maxNodes
 	if *components != "" {
 		for _, c := range strings.Split(*components, ",") {
 			opts0.Components = append(opts0.Components, campion.Component(strings.TrimSpace(c)))
@@ -155,7 +183,7 @@ func run() int {
 				flag.Usage()
 				return 2
 			}
-			return diffAll(flag.Arg(0), opts0, *workers, *format, *stats)
+			return diffAll(ctx, flag.Arg(0), opts0, *workers, *format, *stats, *strict)
 		}
 		if flag.NArg() != 2 {
 			flag.Usage()
@@ -165,7 +193,7 @@ func run() int {
 		// Directory mode: compare every matched pair across two
 		// directories (the "all pairs of backup routers" workflow of §5.1).
 		if isDir(flag.Arg(0)) && isDir(flag.Arg(1)) {
-			return diffDirs(flag.Arg(0), flag.Arg(1), opts0, *workers, *format, *stats)
+			return diffDirs(ctx, flag.Arg(0), flag.Arg(1), opts0, *workers, *format, *stats, *strict)
 		}
 
 		cfg1, err := load(flag.Arg(0), *vendor1)
@@ -177,7 +205,9 @@ func run() int {
 			return fatal(err)
 		}
 
-		rep, err := campion.Diff(cfg1, cfg2, opts0)
+		// Single-pair mode: any failure is fatal — there is no batch to
+		// degrade into.
+		rep, err := campion.DiffContext(ctx, cfg1, cfg2, opts0)
 		if err != nil {
 			return fatal(err)
 		}
@@ -289,29 +319,73 @@ func isDir(path string) bool {
 	return err == nil && fi.IsDir()
 }
 
+// failureTally counts failed pairs by kind for the end-of-run summary.
+type failureTally map[string]int
+
+func (t failureTally) add(err error) {
+	t[campion.ErrKind(err)]++
+}
+
+func (t failureTally) total() int {
+	n := 0
+	for _, c := range t {
+		n += c
+	}
+	return n
+}
+
+// report prints the failure summary to stderr and folds the failures
+// into the exit status: strict mode turns any failure into status 2,
+// otherwise the status (differences found / not found) stands and the
+// run merely degrades to the pairs that worked.
+func (t failureTally) report(status int, pairs int, strict bool) int {
+	if t.total() == 0 {
+		return status
+	}
+	var kinds []string
+	for k := range t {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	parts := make([]string, 0, len(kinds))
+	for _, k := range kinds {
+		parts = append(parts, fmt.Sprintf("%s: %d", k, t[k]))
+	}
+	fmt.Fprintf(os.Stderr, "campion: %d of %d pairs failed (%s)\n",
+		t.total(), pairs, strings.Join(parts, ", "))
+	if strict {
+		return 2
+	}
+	return status
+}
+
 // diffDirs compares every matched pair and prints one section per pair.
-// Exit status: 0 all equivalent, 1 differences found, 2 errors.
-func diffDirs(dir1, dir2 string, opts campion.Options, workers int, format string, stats bool) int {
-	results, err := campion.DiffDirsContext(context.Background(), dir1, dir2,
+// Exit status: 0 all equivalent, 1 differences found, 2 usage/strict
+// errors. Failed pairs degrade (reported per pair and summarized on
+// stderr) unless strict is set.
+func diffDirs(ctx context.Context, dir1, dir2 string, opts campion.Options, workers int, format string, stats bool, strict bool) int {
+	results, err := campion.DiffDirsContext(ctx, dir1, dir2,
 		campion.BatchOptions{Options: opts, BatchWorkers: workers,
 			RunLog: campion.DefaultRunLog(), RunName: fmt.Sprintf("dirs %s vs %s", dir1, dir2)})
-	if err != nil {
+	if results == nil && err != nil {
 		fmt.Fprintln(os.Stderr, "campion:", err)
 		return 2
 	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "campion: audit incomplete:", err)
+	}
 	status := 0
+	failed := failureTally{}
 	for _, res := range results {
 		fmt.Printf("=== pair %s ===\n", res.Pair.Name)
 		switch {
 		case res.Err != nil:
 			fmt.Printf("error: %v\n\n", res.Err)
-			status = 2
+			failed.add(res.Err)
 		case res.Report.TotalDifferences() == 0:
 			fmt.Printf("equivalent\n\n")
 		default:
-			if status == 0 {
-				status = 1
-			}
+			status = 1
 			if format == "summary" {
 				campion.WriteSummary(os.Stdout, res.Report)
 				fmt.Println()
@@ -324,20 +398,21 @@ func diffDirs(dir1, dir2 string, opts campion.Options, workers int, format strin
 			printStats(res.Report)
 		}
 	}
-	return status
+	return failed.report(status, len(results), strict)
 }
 
 // diffAll compares every unordered pair of configurations within one
 // directory (the fleet audit of §5.1: "are any two of these routers
-// configured differently?"). Same exit statuses as diffDirs.
-func diffAll(dir string, opts campion.Options, workers int, format string, stats bool) int {
+// configured differently?"). Same exit statuses as diffDirs; a
+// configuration that fails to parse costs its pairs, not the audit.
+func diffAll(ctx context.Context, dir string, opts campion.Options, workers int, format string, stats bool, strict bool) int {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "campion:", err)
 		return 2
 	}
 	var cfgs []campion.NamedConfig
-	status := 0
+	failed := failureTally{}
 	for _, e := range entries {
 		if e.IsDir() {
 			continue
@@ -346,34 +421,33 @@ func diffAll(dir string, opts campion.Options, workers int, format string, stats
 		cfg, err := campion.LoadFile(path)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "campion: %s: %v\n", path, err)
-			status = 2
+			failed.add(campion.ErrParse)
 			continue
 		}
 		name := strings.TrimSuffix(e.Name(), filepath.Ext(e.Name()))
 		cfgs = append(cfgs, campion.NamedConfig{Name: name, Config: cfg})
 	}
 	if len(cfgs) < 2 {
-		fmt.Fprintf(os.Stderr, "campion: %s: need at least two configurations for -all\n", dir)
+		fmt.Fprintf(os.Stderr, "campion: %s: need at least two parseable configurations for -all\n", dir)
 		return 2
 	}
-	results, err := campion.DiffAll(context.Background(), cfgs,
+	loadFailures := failed.total()
+	results, err := campion.DiffAll(ctx, cfgs,
 		campion.BatchOptions{Options: opts, BatchWorkers: workers, RunLog: campion.DefaultRunLog()})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "campion:", err)
-		return 2
+		fmt.Fprintln(os.Stderr, "campion: audit incomplete:", err)
 	}
+	status := 0
 	for _, res := range results {
 		fmt.Printf("=== %s ===\n", res.Name)
 		switch {
 		case res.Err != nil:
 			fmt.Printf("error: %v\n\n", res.Err)
-			status = 2
+			failed.add(res.Err)
 		case res.Report.TotalDifferences() == 0:
 			fmt.Printf("equivalent\n\n")
 		default:
-			if status == 0 {
-				status = 1
-			}
+			status = 1
 			if format == "summary" {
 				campion.WriteSummary(os.Stdout, res.Report)
 				fmt.Println()
@@ -386,7 +460,7 @@ func diffAll(dir string, opts campion.Options, workers int, format string, stats
 			printStats(res.Report)
 		}
 	}
-	return status
+	return failed.report(status, len(results)+loadFailures, strict)
 }
 
 func load(path, vendor string) (*campion.Config, error) {

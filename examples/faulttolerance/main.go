@@ -1,0 +1,130 @@
+// Faulttolerance: survive the ugly parts of a real fleet audit. A batch
+// over hundreds of configuration pairs always contains a few casualties —
+// a file that does not parse, a pathological policy that explodes the
+// symbolic representation, a run that has to stop at a deadline. The
+// hardened pipeline turns each of those into a structured *PairError on
+// its own pair (classified as ErrParse / ErrBudget / ErrCanceled /
+// ErrInternal, with configuration file/line provenance) while every
+// healthy pair still gets its report.
+//
+// This example assembles exactly that batch: one healthy pair with a
+// planted difference, one malformed configuration, and one pair whose
+// route map is expensive enough to blow a deliberately small BDD node
+// budget. It then shows deadline behavior with a context that is already
+// expired.
+//
+// Run with: go run ./examples/faulttolerance
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"repro/campion"
+)
+
+// healthy builds a small well-formed configuration; the local preference
+// differs between the two sides so the pair has a real difference.
+func healthy(host string, pref int) string {
+	return fmt.Sprintf(`hostname %s
+ip prefix-list NETS permit 10.9.0.0/16 le 24
+route-map POL permit 10
+ match ip address NETS
+ set local-preference %d
+route-map POL deny 20
+router bgp 65001
+ neighbor 10.0.12.2 remote-as 65002
+ neighbor 10.0.12.2 route-map POL in
+`, host, pref)
+}
+
+// monster builds a configuration whose single import chain has hundreds
+// of stanzas over distinct prefix lists — cheap to parse, expensive to
+// compare symbolically. Against the example's 20k-node budget the chain
+// comparison aborts; without a budget it completes fine.
+func monster(host string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "hostname %s\n", host)
+	for i := 0; i < 400; i++ {
+		fmt.Fprintf(&b, "ip prefix-list P%d permit 10.%d.%d.0/24 le 28\n", i, i%200, (i*7)%250)
+	}
+	for i := 0; i < 400; i++ {
+		fmt.Fprintf(&b, "route-map HEAVY permit %d\n match ip address P%d\n set local-preference %d\n", 10+i*10, i, 100+i)
+	}
+	b.WriteString("router bgp 65001\n neighbor 10.0.12.2 remote-as 65002\n neighbor 10.0.12.2 route-map HEAVY in\n")
+	return b.String()
+}
+
+const malformed = "### exported from the wrong tool ###\n{{{ not a router config }}}\n"
+
+func main() {
+	// Parse what parses; a malformed file yields a nil config and its
+	// pair degrades to an ErrParse result instead of aborting the batch.
+	parse := func(name, text string) *campion.Config {
+		cfg, err := campion.Parse(name, text)
+		if err != nil {
+			fmt.Printf("parse %s: %v (its pair will carry ErrParse)\n", name, err)
+			return nil
+		}
+		return cfg
+	}
+	pairs := []campion.ConfigPair{
+		{Name: "healthy", Config1: parse("h1.cfg", healthy("h1", 100)), Config2: parse("h2.cfg", healthy("h2", 300))},
+		{Name: "malformed", Config1: parse("ok.cfg", healthy("ok", 100)), Config2: parse("bad.cfg", malformed)},
+		{Name: "monster", Config1: parse("m1.cfg", monster("m1")), Config2: parse("m2.cfg", monster("m2"))},
+	}
+
+	opts := campion.BatchOptions{}
+	opts.MaxNodes = 20000 // per-task BDD node budget (CLI: -max-nodes)
+	fmt.Println("\n-- degraded batch: every pair answers, one way or the other --")
+	results, err := campion.DiffBatch(context.Background(), pairs, opts)
+	if err != nil {
+		log.Fatal(err) // nil unless the context ended: per-pair errors stay per-pair
+	}
+	for _, res := range results {
+		classify(res.Name, res.Report, res.Err)
+	}
+
+	// Deadlines cut through in-flight comparisons too: the context is
+	// polled from inside the BDD kernels, so even the monster pair stops
+	// promptly. Here the deadline is already expired, so every pair
+	// reports ErrCanceled and DiffBatch returns the context's error.
+	fmt.Println("\n-- expired deadline: partial results, all classified --")
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	results, err = campion.DiffBatch(ctx, pairs, campion.BatchOptions{})
+	fmt.Printf("batch error: %v\n", err)
+	for _, res := range results {
+		classify(res.Name, res.Report, res.Err)
+	}
+}
+
+// classify shows the two classification tools: errors.Is against the
+// four failure sentinels (also matching the wrapped context error), and
+// campion.ErrKind for a metrics-style label. The *PairError itself
+// carries file/line provenance for the offending configuration text.
+func classify(name string, rep *campion.Report, err error) {
+	if err == nil {
+		fmt.Printf("  %-10s ok — %d difference(s)\n", name, rep.TotalDifferences())
+		return
+	}
+	var pe *campion.PairError
+	where := ""
+	if errors.As(err, &pe) && pe.File != "" {
+		where = fmt.Sprintf(" [%s:%d]", pe.File, pe.Line)
+	}
+	switch {
+	case errors.Is(err, campion.ErrParse):
+		fmt.Printf("  %-10s parse failure%s: %v\n", name, where, err)
+	case errors.Is(err, campion.ErrBudget):
+		fmt.Printf("  %-10s budget abort%s (kind=%s)\n", name, where, campion.ErrKind(err))
+	case errors.Is(err, campion.ErrCanceled):
+		fmt.Printf("  %-10s canceled (deadline exceeded: %v)\n", name, errors.Is(err, context.DeadlineExceeded))
+	default:
+		fmt.Printf("  %-10s internal: %v\n", name, err)
+	}
+}

@@ -14,6 +14,7 @@
 package bdd
 
 import (
+	"errors"
 	"fmt"
 	"math"
 )
@@ -89,6 +90,87 @@ type Factory struct {
 	existsMask []bool
 
 	cacheHits, cacheMisses uint64
+
+	// Interrupt state (see SetInterrupt). maxNodes bounds the nodes
+	// allocated since the last BeginWork; poll is the cancellation check
+	// called every interruptPollInterval operations. Both survive Reset —
+	// they are factory configuration, not workload state — and are removed
+	// with ClearInterrupt before a factory returns to a shared pool.
+	maxNodes  int
+	workBase  int
+	poll      func() error
+	sincePoll int32
+}
+
+// ErrNodeBudget is the sentinel wrapped by the Abort a factory panics
+// with when a computation exceeds the node budget set via SetInterrupt.
+var ErrNodeBudget = errors.New("bdd: node budget exceeded")
+
+// Abort is the panic payload a factory throws when an installed interrupt
+// fires: either the node budget was exceeded (Err wraps ErrNodeBudget) or
+// the poll function returned an error (Err is that error, typically a
+// context's). BDD apply kernels recurse deeply, so abandoning a
+// computation by unwinding is the only shape that keeps the hot loops
+// free of error returns; callers recover the Abort at task boundaries and
+// convert it into a structured error. The factory itself stays
+// consistent after an Abort unwind — the arena, unique table, and caches
+// only ever hold fully-built entries — so it may be Reset and reused.
+type Abort struct{ Err error }
+
+// Error makes an Abort usable directly as an error value after recovery.
+func (a Abort) Error() string { return a.Err.Error() }
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (a Abort) Unwrap() error { return a.Err }
+
+// interruptPollInterval is how many operations (apply-kernel recursion
+// steps and node allocations) pass between poll calls. Polling a context
+// costs a mutex acquisition, so the interval keeps that off the hot path
+// while still bounding cancellation latency to microseconds of BDD work.
+const interruptPollInterval = 8192
+
+// SetInterrupt installs a resource guard on the factory: computations
+// that allocate more than maxNodes nodes since the last BeginWork panic
+// with an Abort wrapping ErrNodeBudget (0 disables the bound), and poll —
+// when non-nil — is invoked every few thousand operations, aborting the
+// computation with its error when it returns one (the caller's
+// cancellation check, typically ctx.Err). The disabled configuration
+// costs one predictable branch per allocation and per cache probe.
+func (f *Factory) SetInterrupt(maxNodes int, poll func() error) {
+	f.maxNodes = maxNodes
+	f.poll = poll
+	f.workBase = len(f.nodes)
+	f.sincePoll = 0
+}
+
+// BeginWork marks the start of one budgeted unit of work: the node
+// budget set via SetInterrupt counts allocations from this point. Task
+// runners call it per task so the budget bounds each comparison, not the
+// factory's cumulative lifetime.
+func (f *Factory) BeginWork() {
+	f.workBase = len(f.nodes)
+	f.sincePoll = 0
+}
+
+// ClearInterrupt removes the budget and poll installed by SetInterrupt —
+// mandatory before handing a factory to a pool or another owner, so a
+// stale poll closure (over a finished request's context) cannot abort an
+// unrelated computation.
+func (f *Factory) ClearInterrupt() {
+	f.maxNodes = 0
+	f.poll = nil
+}
+
+// checkInterrupt runs the installed poll and resets the countdown. It is
+// kept out of line so the hot-path guard stays a counter compare.
+func (f *Factory) checkInterrupt() {
+	f.sincePoll = 0
+	if f.poll == nil {
+		return
+	}
+	if err := f.poll(); err != nil {
+		panic(Abort{Err: err})
+	}
 }
 
 // NewFactory creates a factory over numVars variables.
@@ -144,6 +226,10 @@ func (f *Factory) Reset(numVars int) {
 		f.existsMask = nil
 	}
 	f.cacheHits, f.cacheMisses = 0, 0
+	// The interrupt configuration survives (it belongs to the factory's
+	// current owner), but the budget baseline moves to the fresh arena.
+	f.workBase = len(f.nodes)
+	f.sincePoll = 0
 }
 
 // Stats is a snapshot of a factory's allocation and op-cache behavior.
@@ -230,6 +316,9 @@ func (f *Factory) cacheIndex(op uint32, a, b Node) uint32 {
 	return (h >> 1) & f.cacheMask
 }
 
+// cacheLookup must stay small enough for the compiler to inline into the
+// apply kernels — the cancellation poll lives in the kernels' recursion
+// steps and in mkRaw, never here.
 func (f *Factory) cacheLookup(op uint32, a, b Node) (Node, bool) {
 	e := &f.cache[f.cacheIndex(op, a, b)]
 	if e.op == op && e.a == a && e.b == b {
@@ -321,6 +410,15 @@ func (f *Factory) mkRaw(level int32, low, high Node) Node {
 	i := int32(len(f.nodes))
 	f.nodes = append(f.nodes, nodeData{level: level, low: low, high: high})
 	f.unique[h] = i + 1
+	// Budget check after the insert, so the structure is consistent when
+	// the Abort unwinds; one compare on the disabled (maxNodes == 0) path.
+	if f.maxNodes != 0 && len(f.nodes)-f.workBase > f.maxNodes {
+		panic(Abort{Err: fmt.Errorf("%w: %d nodes allocated (budget %d)",
+			ErrNodeBudget, len(f.nodes)-f.workBase, f.maxNodes)})
+	}
+	if f.sincePoll++; f.sincePoll >= interruptPollInterval {
+		f.checkInterrupt()
+	}
 	if uint32(len(f.nodes))*4 > uint32(len(f.unique))*3 {
 		f.rehashUnique()
 	}
@@ -369,6 +467,14 @@ func (f *Factory) Not(n Node) Node { return n ^ 1 }
 // complement-edge rule a ∧ ¬a = ∅) and a commutative cache key (operands
 // sorted), so And(a,b) and And(b,a) share one slot.
 func (f *Factory) And(a, b Node) Node {
+	// Cancellation poll. And is the shared recursion step of every binary
+	// kernel (Or and the derived operations route here), it is never
+	// inlined, and fully-memoized recursions still pass through it — so
+	// this counter is a reliable heartbeat that costs an increment and a
+	// never-taken branch when no interrupt is installed.
+	if f.sincePoll++; f.sincePoll >= interruptPollInterval {
+		f.checkInterrupt()
+	}
 	switch {
 	case a == False || b == False:
 		return False
@@ -433,6 +539,10 @@ func (f *Factory) Or(a, b Node) Node {
 // cache key strips both complement bits and sorts: all four sign
 // combinations of a commuted pair hit one slot.
 func (f *Factory) Xor(a, b Node) Node {
+	// Cancellation poll — see And.
+	if f.sincePoll++; f.sincePoll >= interruptPollInterval {
+		f.checkInterrupt()
+	}
 	switch {
 	case a == b:
 		return False
@@ -491,6 +601,11 @@ func (f *Factory) Implies(a, b Node) bool { return f.And(a, b^1) == False }
 // irreducible three-operand shape recurses here, under the standard
 // complement normalization (condition and then-edge regular).
 func (f *Factory) Ite(c, t, e Node) Node {
+	// Cancellation poll — see And. The irreducible three-operand recursion
+	// memoizes in iteTmp, not the op cache, so it needs its own heartbeat.
+	if f.sincePoll++; f.sincePoll >= interruptPollInterval {
+		f.checkInterrupt()
+	}
 	if c == True {
 		return t
 	}

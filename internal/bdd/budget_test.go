@@ -1,0 +1,105 @@
+package bdd
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// buildWide allocates plenty of distinct nodes: the conjunction-of-xors
+// over many variables has no sharing to exploit, so every step allocates.
+func buildWide(f *Factory, vars int) Node {
+	acc := True
+	for i := 0; i+1 < vars; i += 2 {
+		acc = f.And(acc, f.Xor(f.Var(i), f.Var(i+1)))
+	}
+	return acc
+}
+
+// recoverAbort runs fn and returns the Abort it panicked with (nil if it
+// returned normally).
+func recoverAbort(fn func()) (a *Abort) {
+	defer func() {
+		if r := recover(); r != nil {
+			ab, ok := r.(Abort)
+			if !ok {
+				panic(r)
+			}
+			a = &ab
+		}
+	}()
+	fn()
+	return nil
+}
+
+func TestNodeBudgetAborts(t *testing.T) {
+	f := NewFactory(64)
+	f.SetInterrupt(16, nil)
+	a := recoverAbort(func() { buildWide(f, 64) })
+	if a == nil {
+		t.Fatal("expected a budget Abort")
+	}
+	if !errors.Is(a, ErrNodeBudget) {
+		t.Fatalf("Abort should wrap ErrNodeBudget, got %v", a.Err)
+	}
+	// The factory must remain consistent: Reset and redo the same work
+	// without a budget.
+	f.ClearInterrupt()
+	f.Reset(64)
+	if n := buildWide(f, 64); n == False {
+		t.Fatal("post-abort rebuild produced the empty set")
+	}
+}
+
+func TestBudgetCountsFromBeginWork(t *testing.T) {
+	f := NewFactory(64)
+	buildWide(f, 32) // pre-existing arena contents
+	f.SetInterrupt(0, nil)
+	f.maxNodes = 1 << 20 // wide budget: nothing should abort
+	f.BeginWork()
+	if a := recoverAbort(func() { buildWide(f, 64) }); a != nil {
+		t.Fatalf("wide budget aborted: %v", a.Err)
+	}
+	// A tight budget measured from BeginWork ignores the earlier nodes.
+	f.Reset(64)
+	big := buildWide(f, 48)
+	f.maxNodes = 8
+	f.BeginWork()
+	a := recoverAbort(func() {
+		// Fresh structure, disjoint variables: must allocate > 8 nodes.
+		r := f.And(big, buildWide(f, 64))
+		_ = r
+	})
+	if a == nil {
+		t.Fatal("tight post-BeginWork budget did not abort")
+	}
+}
+
+func TestInterruptPollAborts(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	f := NewFactory(128)
+	f.SetInterrupt(0, func() error { return ctx.Err() })
+	a := recoverAbort(func() {
+		// Enough work to cross the poll interval several times.
+		for i := 0; i < 64; i++ {
+			f.Reset(128)
+			buildWide(f, 128)
+		}
+	})
+	if a == nil {
+		t.Fatal("canceled context never aborted the computation")
+	}
+	if !errors.Is(a, context.Canceled) {
+		t.Fatalf("Abort should wrap the context error, got %v", a.Err)
+	}
+}
+
+func TestClearInterruptStopsAborting(t *testing.T) {
+	f := NewFactory(64)
+	f.SetInterrupt(4, func() error { return context.Canceled })
+	f.ClearInterrupt()
+	if a := recoverAbort(func() { buildWide(f, 64) }); a != nil {
+		t.Fatalf("cleared interrupt still aborted: %v", a.Err)
+	}
+}

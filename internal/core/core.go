@@ -7,12 +7,15 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"time"
 
+	"repro/internal/bdd"
 	"repro/internal/headerloc"
 	"repro/internal/ir"
 	"repro/internal/obs"
@@ -87,6 +90,22 @@ type Options struct {
 	// atomics resolved once per component, so the enabled path stays off
 	// the BDD hot loops and the disabled path is a nil check.
 	Metrics *obs.Registry
+	// MaxNodes bounds the BDD nodes one semantic task (a route-map chain
+	// comparison, an ACL pair, or the shared encoding construction) may
+	// allocate before it is aborted with an ErrBudget PairError — the
+	// guard against BDD state explosion on pathological policies. The
+	// abort is per comparison: sibling tasks and sibling batch pairs
+	// complete normally. 0 means unlimited. The bound is a ceiling per
+	// unit of work, not an exact cross-configuration invariant:
+	// hash-consing lets a task reuse nodes built by earlier tasks on the
+	// same worker, so set it with an order-of-magnitude margin.
+	MaxNodes int
+	// Timeout, when positive, caps the wall time of this one Diff call by
+	// deriving a deadline context — convenient per-pair protection for
+	// batch drivers whose outer context spans the whole run. Expiry
+	// surfaces as an ErrCanceled PairError wrapping
+	// context.DeadlineExceeded.
+	Timeout time.Duration
 }
 
 // diffSpan opens the top-level span of one Diff call (nil when tracing
@@ -237,6 +256,7 @@ func newPolicyPair(kind, neighbor string, names1, names2 []string) PolicyPair {
 	}
 }
 
+// String renders the pair as "kind neighbor: chain1 vs chain2".
 func (p PolicyPair) String() string {
 	return fmt.Sprintf("%s %s: %s vs %s", p.Kind, p.Neighbor, p.Name1, p.Name2)
 }
@@ -313,16 +333,42 @@ func (r *Report) TotalDifferences() int {
 }
 
 // Diff runs Campion's full comparison of two router configurations.
+// It is DiffContext without cancellation.
 func Diff(c1, c2 *ir.Config, opts Options) (*Report, error) {
+	return DiffContext(context.Background(), c1, c2, opts)
+}
+
+// DiffContext runs Campion's full comparison of two router
+// configurations under a context. Cancellation and deadline expiry are
+// honored between components, between semantic tasks, and — via the BDD
+// factory interrupt — inside the symbolic kernels themselves, with
+// microseconds of latency; the call then returns an ErrCanceled
+// PairError. Options.Timeout derives a per-call deadline;
+// Options.MaxNodes bounds each semantic task's BDD allocation
+// (ErrBudget). A nil ctx means context.Background().
+func DiffContext(ctx context.Context, c1, c2 *ir.Config, opts Options) (*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
+		defer cancel()
+	}
 	rep := &Report{Config1: c1, Config2: c2}
 	dsp := opts.diffSpan(c1, c2)
 	defer dsp.End()
 
 	// timed runs one enabled component check and records its profile,
 	// both into the report and (when enabled) the tracer and registry.
+	// A context already done skips the component and surfaces the
+	// cancellation instead.
 	timed := func(c Component, fn func(st *ComponentStats, sp *obs.Span) error) error {
 		if !opts.enabled(c) {
 			return nil
+		}
+		if err := ctxErr(ctx); err != nil {
+			return &PairError{Pair: string(c), Kind: ErrCanceled, Err: err}
 		}
 		st := ComponentStats{Component: c, Kind: CheckKind(c)}
 		var sp *obs.Span
@@ -348,30 +394,37 @@ func Diff(c1, c2 *ir.Config, opts Options) (*Report, error) {
 		}
 	}
 
-	if err := timed(ComponentRouteMaps, func(st *ComponentStats, sp *obs.Span) error {
-		return diffRouteMaps(rep, c1, c2, opts, st, sp)
-	}); err != nil {
-		return nil, err
+	checks := []struct {
+		c  Component
+		fn func(st *ComponentStats, sp *obs.Span) error
+	}{
+		{ComponentRouteMaps, func(st *ComponentStats, sp *obs.Span) error {
+			return diffRouteMaps(ctx, rep, c1, c2, opts, st, sp)
+		}},
+		{ComponentACLs, func(st *ComponentStats, sp *obs.Span) error {
+			return diffACLs(ctx, rep, c1, c2, opts, st, sp)
+		}},
+		{ComponentStatic, structural(func() []structdiff.Difference {
+			return structdiff.DiffStaticRoutes(c1, c2)
+		})},
+		{ComponentConnected, structural(func() []structdiff.Difference {
+			return structdiff.DiffConnectedRoutes(c1, c2)
+		})},
+		{ComponentBGP, structural(func() []structdiff.Difference {
+			return append(structdiff.DiffBGPConfig(c1, c2), structdiff.DiffBGPNeighbors(c1, c2)...)
+		})},
+		{ComponentOSPF, structural(func() []structdiff.Difference {
+			return structdiff.DiffOSPF(c1, c2)
+		})},
+		{ComponentAdmin, structural(func() []structdiff.Difference {
+			return structdiff.DiffAdminDistances(c1, c2)
+		})},
 	}
-	timed(ComponentACLs, func(st *ComponentStats, sp *obs.Span) error {
-		diffACLs(rep, c1, c2, opts, st, sp)
-		return nil
-	})
-	timed(ComponentStatic, structural(func() []structdiff.Difference {
-		return structdiff.DiffStaticRoutes(c1, c2)
-	}))
-	timed(ComponentConnected, structural(func() []structdiff.Difference {
-		return structdiff.DiffConnectedRoutes(c1, c2)
-	}))
-	timed(ComponentBGP, structural(func() []structdiff.Difference {
-		return append(structdiff.DiffBGPConfig(c1, c2), structdiff.DiffBGPNeighbors(c1, c2)...)
-	}))
-	timed(ComponentOSPF, structural(func() []structdiff.Difference {
-		return structdiff.DiffOSPF(c1, c2)
-	}))
-	timed(ComponentAdmin, structural(func() []structdiff.Difference {
-		return structdiff.DiffAdminDistances(c1, c2)
-	}))
+	for _, check := range checks {
+		if err := timed(check.c, check.fn); err != nil {
+			return nil, err
+		}
+	}
 	if opts.Metrics != nil {
 		opts.Metrics.Counter(MetricDiffsFound, "localized differences reported").
 			Add(uint64(rep.TotalDifferences()))
@@ -480,7 +533,11 @@ func resolveChain(cfg *ir.Config, names []string) *ir.RouteMap {
 // maxCommunityTerms bounds exhaustive community localization output.
 const maxCommunityTerms = 64
 
-func diffRouteMaps(rep *Report, c1, c2 *ir.Config, opts Options, stats *ComponentStats, span *obs.Span) error {
+// diffRouteMaps runs the SemanticDiff of every matched policy pair over
+// the parallel engine and assembles the localized differences in matched
+// order. The first failed task's structured error aborts the pair (the
+// batch layer isolates it from sibling pairs).
+func diffRouteMaps(ctx context.Context, rep *Report, c1, c2 *ir.Config, opts Options, stats *ComponentStats, span *obs.Span) error {
 	pairs := MatchPolicies(c1, c2)
 	if len(pairs) == 0 {
 		// No BGP context: compare same-named route maps directly, so
@@ -523,7 +580,7 @@ func diffRouteMaps(rep *Report, c1, c2 *ir.Config, opts Options, stats *Componen
 	stats.Pairs = len(pairs)
 	stats.UniquePairs = len(tasks)
 
-	results := runRouteMapTasks(c1, c2, tasks, opts, stats, span)
+	results := runRouteMapTasks(ctx, c1, c2, tasks, opts, stats, span)
 
 	// Deterministic assembly: walk the pairs in matched order and splice
 	// in each one's task results, whatever order the workers finished in.
@@ -590,7 +647,31 @@ func routePathText(p symbolic.RoutePath) ir.TextSpan {
 	return ir.TextSpan{Lines: []string{"(default action: no clause matched)"}}
 }
 
-func diffACLs(rep *Report, c1, c2 *ir.Config, opts Options, stats *ComponentStats, span *obs.Span) {
+// aclPairFailure classifies a panic recovered from one ACL pair
+// comparison, locating it at the first side's ACL definition.
+func aclPairFailure(r any, name string, acl1 *ir.ACL) error {
+	var file string
+	var line int
+	if acl1 != nil {
+		file, line = acl1.Span.File, acl1.Span.StartLine
+	}
+	label := "acl " + name
+	if a, ok := r.(bdd.Abort); ok {
+		return &PairError{Pair: label, Kind: abortKind(a), File: file, Line: line, Err: a.Err}
+	}
+	return &PairError{
+		Pair: label, Kind: ErrInternal, File: file, Line: line,
+		Err: fmt.Errorf("panic: %v", r), Stack: string(debug.Stack()),
+	}
+}
+
+// diffACLs compares every same-named ACL pair on a bounded worker pool,
+// matching the route-map engine: each worker owns one BDD factory,
+// recycled between its ACL pairs, so no allocation happens until a worker
+// actually holds a job. Every pair runs under the fault guard — a budget
+// or cancellation abort (or a crash) fails this configuration pair with a
+// structured error while other workers' pairs still compute.
+func diffACLs(ctx context.Context, rep *Report, c1, c2 *ir.Config, opts Options, stats *ComponentStats, span *obs.Span) error {
 	// MatchPolicies for ACLs: same name (§4).
 	var shared []string
 	for name := range c1.ACLs {
@@ -611,14 +692,11 @@ func diffACLs(rep *Report, c1, c2 *ir.Config, opts Options, stats *ComponentStat
 	stats.Pairs = len(shared)
 	stats.UniquePairs = len(shared)
 	if len(shared) == 0 {
-		return
+		return nil
 	}
 
-	// Bounded worker pool, matching the route-map engine: each worker
-	// owns one BDD factory, recycled between its ACL pairs, so no
-	// allocation happens until a worker actually holds a job (the old
-	// shape spawned every goroutine up front behind a semaphore).
 	perName := make([][]ACLPairDiff, len(shared))
+	perErr := make([]error, len(shared))
 	workers := opts.workerCount(len(shared))
 	stats.Workers = workers
 	var mu sync.Mutex // guards stats aggregation across workers
@@ -632,7 +710,7 @@ func diffACLs(rep *Report, c1, c2 *ir.Config, opts Options, stats *ComponentStat
 			if span != nil {
 				wsp = span.Child("worker", obs.Int("worker", w))
 			}
-			f := getFactory()
+			var f *bdd.Factory
 			var nodes int
 			var hits, misses uint64
 			var wait, busy time.Duration
@@ -646,31 +724,50 @@ func diffACLs(rep *Report, c1, c2 *ir.Config, opts Options, stats *ComponentStat
 					asp = wsp.Child("acl-pair", obs.Str("acl", name))
 				}
 				acl1, acl2 := c1.ACLs[name], c2.ACLs[name]
-				enc := symbolic.NewPacketEncodingInto(f)
-				f = enc.F
-				diffs := semdiff.DiffACLs(enc, acl1, acl2)
-				if len(diffs) > 0 {
-					loc := headerloc.NewACLLocalizer(enc, acl1, acl2)
-					for _, d := range diffs {
-						perName[i] = append(perName[i], ACLPairDiff{
-							Name1: name, Name2: name,
-							Localization: loc.Localize(d.Inputs),
-							Action1:      describeACLAction(d.Path1.Accept),
-							Action2:      describeACLAction(d.Path2.Accept),
-							Text1:        aclPathText(d.Path1),
-							Text2:        aclPathText(d.Path2),
-						})
+				// One guarded unit per pair. NewPacketEncodingInto Resets
+				// the factory, so the budget baseline and the per-pair
+				// Stats both start from the fresh arena.
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							perErr[i] = aclPairFailure(r, name, acl1)
+							f = nil // state unverified: rebuild next pair
+						}
+					}()
+					if err := ctxErr(ctx); err != nil {
+						perErr[i] = &PairError{Pair: "acl " + name, Kind: ErrCanceled, Err: err}
+						return
 					}
-				}
-				// NewPacketEncodingInto Resets the factory per pair, so
-				// each pair's Stats stand alone; summing them per job is
-				// already a per-call delta.
-				st := f.Stats()
-				nodes += st.Nodes
-				hits += st.CacheHits
-				misses += st.CacheMisses
-				if asp != nil {
-					asp.SetAttrs(obs.Int("diffs", len(perName[i])), obs.Int("bddNodes", st.Nodes))
+					if f == nil {
+						f = newArmedFactory(ctx, opts)
+					}
+					enc := symbolic.NewPacketEncodingInto(f)
+					f = enc.F
+					diffs := semdiff.DiffACLs(enc, acl1, acl2)
+					if len(diffs) > 0 {
+						loc := headerloc.NewACLLocalizer(enc, acl1, acl2)
+						for _, d := range diffs {
+							perName[i] = append(perName[i], ACLPairDiff{
+								Name1: name, Name2: name,
+								Localization: loc.Localize(d.Inputs),
+								Action1:      describeACLAction(d.Path1.Accept),
+								Action2:      describeACLAction(d.Path2.Accept),
+								Text1:        aclPathText(d.Path1),
+								Text2:        aclPathText(d.Path2),
+							})
+						}
+					}
+					st := f.Stats()
+					nodes += st.Nodes
+					hits += st.CacheHits
+					misses += st.CacheMisses
+					if asp != nil {
+						asp.SetAttrs(obs.Int("diffs", len(perName[i])), obs.Int("bddNodes", st.Nodes))
+						asp.End()
+					}
+				}()
+				if asp != nil && perErr[i] != nil {
+					asp.SetAttrs(obs.Str("error", ErrKind(perErr[i])))
 					asp.End()
 				}
 				mark = time.Now()
@@ -698,6 +795,14 @@ func diffACLs(rep *Report, c1, c2 *ir.Config, opts Options, stats *ComponentStat
 	for _, ds := range perName {
 		rep.ACLDiffs = append(rep.ACLDiffs, ds...)
 	}
+	// The first failed pair (in name order) aborts this configuration
+	// pair, exactly where a sequential run would have stopped.
+	for _, err := range perErr {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func describeACLAction(accept bool) string {

@@ -1,0 +1,157 @@
+// Error taxonomy of the hardened diff pipeline. A batch audit must
+// terminate with an explanation for every pair, including the pairs that
+// could not be compared: each failure is classified into one of four
+// kinds and carried as a PairError with configuration-file/line
+// provenance, so a partial DiffAll result is diagnosable rather than a
+// bare "it broke".
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/bdd"
+	"repro/internal/ir"
+)
+
+// ctxErr reports the context's error, additionally treating an
+// already-passed deadline as exceeded even when the context's timer has
+// not fired yet. Deadlines shorter than the Go timer granularity (the
+// CI's `-timeout 1ms` smoke) stay deterministic this way: the first
+// cancellation point after the deadline always observes it.
+func ctxErr(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if d, ok := ctx.Deadline(); ok && !time.Now().Before(d) {
+		return context.DeadlineExceeded
+	}
+	return nil
+}
+
+// The failure kinds of a comparison. Every error a Diff/DiffBatch run
+// reports wraps exactly one of these sentinels; classify with errors.Is
+// or ErrKind.
+var (
+	// ErrParse marks input failures: a configuration that could not be
+	// read, parsed, or dialect-detected, or a pair missing a side.
+	ErrParse = errors.New("parse error")
+	// ErrCanceled marks comparisons abandoned because the context was
+	// canceled or its deadline passed. The underlying context error is in
+	// the chain, so errors.Is(err, context.Canceled) and
+	// errors.Is(err, context.DeadlineExceeded) also work.
+	ErrCanceled = errors.New("comparison canceled")
+	// ErrBudget marks comparisons aborted by a resource ceiling
+	// (Options.MaxNodes); the offending pair is reported, the rest of the
+	// batch completes.
+	ErrBudget = errors.New("resource budget exceeded")
+	// ErrInternal marks a crash (panic) inside one comparison, isolated
+	// by the worker so sibling pairs are unaffected.
+	ErrInternal = errors.New("internal error")
+)
+
+// PairError is the structured failure of one comparison (or one chain
+// task inside it): what failed (Pair), why (Kind, one of the four
+// sentinels), where in the input (File/Line, when attributable to a
+// configuration span), and the underlying cause (Err). It implements
+// errors.Is for both its Kind and its cause, so callers classify with
+// errors.Is(err, core.ErrBudget) or errors.Is(err, context.Canceled).
+type PairError struct {
+	// Pair names the failed unit: the batch pair name, or the chain-pair
+	// label for a task-level failure inside one Diff.
+	Pair string
+	// Kind is one of ErrParse, ErrCanceled, ErrBudget, ErrInternal.
+	Kind error
+	// File and Line locate the responsible configuration text when known
+	// (the route-map chain under comparison, the unparseable file);
+	// Line 0 means "whole file", an empty File means "not attributable".
+	File string
+	Line int
+	// Err is the underlying cause (a context error, the bdd budget
+	// error, the recovered panic value).
+	Err error
+	// Stack holds the goroutine stack for ErrInternal failures, so a
+	// crash isolated at a worker is still debuggable from the report.
+	Stack string
+}
+
+// Error renders "pair: kind: cause @ file:line".
+func (e *PairError) Error() string {
+	msg := e.Kind.Error()
+	if e.Err != nil {
+		msg = fmt.Sprintf("%s: %v", msg, e.Err)
+	}
+	if e.Pair != "" {
+		msg = fmt.Sprintf("%s: %s", e.Pair, msg)
+	}
+	if e.File != "" {
+		if e.Line > 0 {
+			msg = fmt.Sprintf("%s (%s:%d)", msg, e.File, e.Line)
+		} else {
+			msg = fmt.Sprintf("%s (%s)", msg, e.File)
+		}
+	}
+	return msg
+}
+
+// Unwrap exposes both the kind sentinel and the underlying cause.
+func (e *PairError) Unwrap() []error {
+	if e.Err == nil {
+		return []error{e.Kind}
+	}
+	return []error{e.Kind, e.Err}
+}
+
+// ErrKind returns the short label of an error's failure kind — "parse",
+// "canceled", "budget", or "internal" — and "" for nil or unclassified
+// errors. It is the metrics/RunLog label vocabulary.
+func ErrKind(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, ErrParse):
+		return "parse"
+	case errors.Is(err, ErrCanceled), errors.Is(err, context.Canceled),
+		errors.Is(err, context.DeadlineExceeded):
+		return "canceled"
+	case errors.Is(err, ErrBudget), errors.Is(err, bdd.ErrNodeBudget):
+		return "budget"
+	case errors.Is(err, ErrInternal):
+		return "internal"
+	default:
+		return "internal"
+	}
+}
+
+// canceledError wraps a context error as a structured cancellation.
+func canceledError(pair string, cause error) *PairError {
+	return &PairError{Pair: pair, Kind: ErrCanceled, Err: cause}
+}
+
+// abortKind classifies a recovered bdd.Abort: budget ceilings are
+// ErrBudget, everything else (the poll's context error) is ErrCanceled.
+func abortKind(a bdd.Abort) error {
+	if errors.Is(a.Err, bdd.ErrNodeBudget) {
+		return ErrBudget
+	}
+	return ErrCanceled
+}
+
+// chainProvenance locates a chain comparison in its source text: the
+// first named policy that resolves on either side wins, preferring side 1.
+func chainProvenance(c1, c2 *ir.Config, names1, names2 []string) (file string, line int) {
+	find := func(cfg *ir.Config, names []string) (string, int) {
+		for _, n := range names {
+			if rm := cfg.RouteMaps[n]; rm != nil && rm.Span.File != "" {
+				return rm.Span.File, rm.Span.StartLine
+			}
+		}
+		return "", 0
+	}
+	if f, l := find(c1, names1); f != "" {
+		return f, l
+	}
+	return find(c2, names2)
+}

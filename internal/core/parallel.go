@@ -6,10 +6,19 @@
 // workers hand back fully localized, factory-independent results, and the
 // report is assembled in matched-pair order regardless of completion
 // order, keeping output byte-identical to a sequential run.
+//
+// The engine is hardened for unattended batch audits: every task honors
+// the run's context (polled from inside the BDD kernels via the factory
+// interrupt), respects the Options.MaxNodes budget, and runs under a
+// panic guard that converts a crash or kernel abort into a structured
+// PairError while sibling tasks keep running on intact state.
 package core
 
 import (
+	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"strings"
 	"sync"
 	"time"
@@ -21,6 +30,14 @@ import (
 	"repro/internal/semdiff"
 	"repro/internal/symbolic"
 )
+
+// TestTaskHook, when non-nil, runs at the start of every guarded
+// route-map task with the chain names of both sides. It is the
+// fault-injection point of the engine's tests — a hook that panics
+// simulates a worker crash, one that cancels a context simulates a
+// deadline landing mid-batch. Set it only from tests, while no Diff is
+// running.
+var TestTaskHook func(names1, names2 []string)
 
 // factoryPool recycles BDD factories across workers and Diff calls. The
 // encoding constructors Reset a recycled factory, so its grown arena,
@@ -36,10 +53,25 @@ func getFactory() *bdd.Factory {
 	return f
 }
 
+// newArmedFactory returns a pooled (or fresh) factory with the run's
+// interrupt installed: the MaxNodes budget and a poll of the context.
+// Arming happens before any encoding work, so vocabulary atomization and
+// WellFormed construction are already under the guard.
+func newArmedFactory(ctx context.Context, opts Options) *bdd.Factory {
+	f := getFactory()
+	if f == nil {
+		f = bdd.NewFactory(0) // resized by the encoding constructor's Reset
+	}
+	f.SetInterrupt(opts.MaxNodes, func() error { return ctxErr(ctx) })
+	return f
+}
+
 // putFactory returns a factory for reuse once every node referencing it
-// has been localized into factory-independent results.
+// has been localized into factory-independent results. The interrupt is
+// stripped so a stale poll closure can never abort the next owner.
 func putFactory(f *bdd.Factory) {
 	if f != nil {
+		f.ClearInterrupt()
 		factoryPool.Put(f)
 	}
 }
@@ -73,6 +105,11 @@ type rmTask struct {
 	names1, names2 []string
 }
 
+// label renders the task for error provenance.
+func (t rmTask) label() string {
+	return chainName(t.names1) + " vs " + chainName(t.names2)
+}
+
 // localizedRouteDiff is a factory-independent difference: everything the
 // report needs, with no live BDD nodes, so it can safely cross goroutines.
 type localizedRouteDiff struct {
@@ -86,12 +123,76 @@ type rmTaskResult struct {
 	err   error
 }
 
+// taskFailure converts a recovered panic value into the task's structured
+// error: a bdd.Abort becomes ErrBudget or ErrCanceled per its cause, any
+// other panic becomes ErrInternal carrying the goroutine stack. Both get
+// the chain's configuration-file/line provenance.
+func taskFailure(r any, c1, c2 *ir.Config, t rmTask) error {
+	file, line := chainProvenance(c1, c2, t.names1, t.names2)
+	if a, ok := r.(bdd.Abort); ok {
+		return &PairError{Pair: t.label(), Kind: abortKind(a), File: file, Line: line, Err: a.Err}
+	}
+	return &PairError{
+		Pair: t.label(), Kind: ErrInternal, File: file, Line: line,
+		Err: fmt.Errorf("panic: %v", r), Stack: string(debug.Stack()),
+	}
+}
+
+// buildFailure classifies a panic recovered while constructing a
+// worker's route encoding (vocabulary atomization + WellFormed build).
+func buildFailure(r any, c1 *ir.Config) error {
+	file := ""
+	if c1 != nil {
+		file = c1.File
+	}
+	if a, ok := r.(bdd.Abort); ok {
+		return &PairError{Pair: "route-encoding", Kind: abortKind(a), File: file, Err: a.Err}
+	}
+	return &PairError{
+		Pair: "route-encoding", Kind: ErrInternal, File: file,
+		Err: fmt.Errorf("panic: %v", r), Stack: string(debug.Stack()),
+	}
+}
+
+// guardedRouteMapTask runs one chain comparison under the engine's fault
+// guard: a cancellation check on entry, a fresh budget baseline, and a
+// recover that converts any kernel abort or crash into the task's error.
+// The factory and encoding remain consistent after an abort unwind (all
+// memo tables store only fully-built entries), so the caller may keep
+// using them for sibling tasks — only an ErrInternal panic leaves state
+// unknown.
+func guardedRouteMapTask(ctx context.Context, enc *symbolic.RouteEncoding, loc *headerloc.RouteLocalizer, pc *PolicyCache, c1, c2 *ir.Config, t rmTask, opts Options, parent *obs.Span) (res rmTaskResult) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = rmTaskResult{err: taskFailure(r, c1, c2, t)}
+		}
+	}()
+	if hook := TestTaskHook; hook != nil {
+		hook(t.names1, t.names2)
+	}
+	if err := ctxErr(ctx); err != nil {
+		file, line := chainProvenance(c1, c2, t.names1, t.names2)
+		return rmTaskResult{err: &PairError{Pair: t.label(), Kind: ErrCanceled, File: file, Line: line, Err: err}}
+	}
+	enc.F.BeginWork()
+	return runRouteMapTask(enc, loc, pc, c1, c2, t, opts, parent)
+}
+
+// isInternalFailure reports whether a task error means the worker's
+// symbolic state can no longer be trusted (an arbitrary panic, as opposed
+// to a controlled kernel abort).
+func isInternalFailure(err error) bool {
+	return ErrKind(err) == "internal"
+}
+
 // runRouteMapTasks executes the unique chain comparisons on a pool of
 // workers. Each worker builds its own encoding over the configuration
 // pair (the construction is deterministic, so every worker sees the same
 // variable order and atom vocabulary) and reuses it — and its growing op
-// caches — across all tasks it pulls.
-func runRouteMapTasks(c1, c2 *ir.Config, tasks []rmTask, opts Options, stats *ComponentStats, span *obs.Span) []rmTaskResult {
+// caches — across all tasks it pulls. Task failures (cancellation,
+// budget, crash) land in the task's result slot; healthy siblings are
+// unaffected.
+func runRouteMapTasks(ctx context.Context, c1, c2 *ir.Config, tasks []rmTask, opts Options, stats *ComponentStats, span *obs.Span) []rmTaskResult {
 	results := make([]rmTaskResult, len(tasks))
 	workers := opts.workerCount(len(tasks))
 	stats.Workers = workers
@@ -101,41 +202,7 @@ func runRouteMapTasks(c1, c2 *ir.Config, tasks []rmTask, opts Options, stats *Co
 	// across Diff calls, so a DiffAll worker re-encodes each device's
 	// policies once, not once per pair.
 	if workers == 1 && opts.PolicyCache != nil {
-		pc := opts.PolicyCache
-		// The cache's factory (and its counters) outlive this Diff call:
-		// snapshot at entry and charge this call the delta, so per-pair
-		// stats never re-count nodes and cache traffic from earlier
-		// pairs. An encoding rebuild Resets the factory (zeroing the
-		// counters), so the baseline falls back to the empty arena.
-		var st0 bdd.Stats
-		if pc.enc != nil {
-			st0 = pc.enc.F.Stats()
-		}
-		rebuilds0, hits0, misses0 := pc.Rebuilds, pc.ChainHits, pc.ChainMisses
-		memo0 := symbolic.MemoStats{}
-		if pc.enc != nil {
-			memo0 = pc.enc.Memo()
-		}
-		enc := pc.encodingFor(c1, c2)
-		if pc.Rebuilds != rebuilds0 {
-			st0 = bdd.Stats{Nodes: 1}
-			memo0 = symbolic.MemoStats{}
-		}
-		loc := headerloc.NewRouteLocalizer(enc, c1, c2)
-		for i := range tasks {
-			results[i] = runRouteMapTask(enc, loc, pc, c1, c2, tasks[i], opts, span)
-		}
-		d := enc.F.Stats().Delta(st0)
-		stats.BDDNodes += d.Nodes
-		stats.CacheHits += d.CacheHits
-		stats.CacheMisses += d.CacheMisses
-		stats.PolicyCacheHits += pc.ChainHits - hits0
-		opts.recordPolicyCache(pc.fp, pc.ChainHits-hits0, pc.ChainMisses-misses0, pc.Rebuilds-rebuilds0)
-		memo := enc.Memo()
-		opts.recordMemo(symbolic.MemoStats{
-			RangeHits: memo.RangeHits - memo0.RangeHits, RangeMisses: memo.RangeMisses - memo0.RangeMisses,
-			ListHits: memo.ListHits - memo0.ListHits, ListMisses: memo.ListMisses - memo0.ListMisses,
-		})
+		runRouteMapTasksCached(ctx, c1, c2, tasks, opts, stats, span, results)
 		return results
 	}
 
@@ -145,38 +212,87 @@ func runRouteMapTasks(c1, c2 *ir.Config, tasks []rmTask, opts Options, stats *Co
 		if span != nil {
 			wsp = span.Child("worker", obs.Int("worker", w))
 		}
-		enc := symbolic.NewRouteEncodingInto(getFactory(), c1, c2)
-		loc := headerloc.NewRouteLocalizer(enc, c1, c2)
-		// A transient per-worker cache: tasks often share a chain on one
-		// side (one export policy against many), so each worker memoizes
-		// the chains it compiles even without a cross-call cache.
-		pc := newWorkerPolicyCache(enc)
+		var enc *symbolic.RouteEncoding
+		var loc *headerloc.RouteLocalizer
+		var pc *PolicyCache
+		var buildErr error
+		// build constructs the worker's symbolic state under the same
+		// guard as the tasks: a budget or cancellation abort during
+		// vocabulary encoding fails the tasks, not the process.
+		build := func() {
+			defer func() {
+				if r := recover(); r != nil {
+					buildErr = buildFailure(r, c1)
+					enc, loc, pc = nil, nil, nil
+				}
+			}()
+			e := symbolic.NewRouteEncodingInto(newArmedFactory(ctx, opts), c1, c2)
+			loc = headerloc.NewRouteLocalizer(e, c1, c2)
+			pc = newWorkerPolicyCache(e)
+			enc = e
+		}
 		var wait, busy time.Duration
+		var chainHits, chainMisses int
 		mark := time.Now()
 		for i := range jobs {
 			now := time.Now()
 			wait += now.Sub(mark)
-			results[i] = runRouteMapTask(enc, loc, pc, c1, c2, tasks[i], opts, wsp)
+			if enc == nil && buildErr == nil {
+				build()
+			}
+			if buildErr != nil {
+				results[i] = rmTaskResult{err: buildErr}
+			} else {
+				results[i] = guardedRouteMapTask(ctx, enc, loc, pc, c1, c2, tasks[i], opts, wsp)
+				if isInternalFailure(results[i].err) {
+					// Unknown crash: the factory's invariants are suspect.
+					// Account for what it did, then discard it — the next
+					// task rebuilds on a fresh factory from the pool.
+					st := enc.F.Stats()
+					chainHits += pc.ChainHits
+					chainMisses += pc.ChainMisses
+					mu.Lock()
+					stats.BDDNodes += st.Nodes
+					stats.CacheHits += st.CacheHits
+					stats.CacheMisses += st.CacheMisses
+					mu.Unlock()
+					enc, loc, pc = nil, nil, nil
+				}
+			}
 			mark = time.Now()
 			busy += mark.Sub(now)
 		}
 		wait += time.Since(mark)
-		st := enc.F.Stats()
+		if pc != nil {
+			chainHits += pc.ChainHits
+			chainMisses += pc.ChainMisses
+		}
 		if wsp != nil {
-			wsp.SetAttrs(obs.Dur("queueWait", wait), obs.Dur("compute", busy),
-				obs.Int("bddNodes", st.Nodes), obs.Int("chainHits", pc.ChainHits))
+			attrs := []obs.Attr{obs.Dur("queueWait", wait), obs.Dur("compute", busy),
+				obs.Int("chainHits", chainHits)}
+			if enc != nil {
+				attrs = append(attrs, obs.Int("bddNodes", enc.F.Stats().Nodes))
+			}
+			wsp.SetAttrs(attrs...)
 			wsp.End()
 		}
 		opts.recordWorker("routemap", wait, busy)
-		opts.recordPolicyCache("", pc.ChainHits, pc.ChainMisses, 0)
-		opts.recordMemo(enc.Memo())
-		mu.Lock()
-		stats.BDDNodes += st.Nodes
-		stats.CacheHits += st.CacheHits
-		stats.CacheMisses += st.CacheMisses
-		stats.PolicyCacheHits += pc.ChainHits
-		mu.Unlock()
-		putFactory(enc.F)
+		opts.recordPolicyCache("", chainHits, chainMisses, 0)
+		if enc != nil {
+			st := enc.F.Stats()
+			opts.recordMemo(enc.Memo())
+			mu.Lock()
+			stats.BDDNodes += st.Nodes
+			stats.CacheHits += st.CacheHits
+			stats.CacheMisses += st.CacheMisses
+			stats.PolicyCacheHits += chainHits
+			mu.Unlock()
+			putFactory(enc.F)
+		} else {
+			mu.Lock()
+			stats.PolicyCacheHits += chainHits
+			mu.Unlock()
+		}
 	}
 
 	jobs := make(chan int)
@@ -194,6 +310,81 @@ func runRouteMapTasks(c1, c2 *ir.Config, tasks []rmTask, opts Options, stats *Co
 	close(jobs)
 	wg.Wait()
 	return results
+}
+
+// runRouteMapTasksCached is the sequential cross-pair path of
+// runRouteMapTasks: one goroutine, one long-lived PolicyCache whose
+// factory (and its counters) outlive this Diff call. Stats are charged as
+// deltas against the entry snapshot, so per-pair numbers never re-count
+// earlier pairs; an encoding rebuild Resets the factory (zeroing the
+// counters), so the baseline falls back to the empty arena.
+func runRouteMapTasksCached(ctx context.Context, c1, c2 *ir.Config, tasks []rmTask, opts Options, stats *ComponentStats, span *obs.Span, results []rmTaskResult) {
+	pc := opts.PolicyCache
+	var st0 bdd.Stats
+	if pc.enc != nil {
+		st0 = pc.enc.F.Stats()
+	}
+	rebuilds0, hits0, misses0 := pc.Rebuilds, pc.ChainHits, pc.ChainMisses
+	memo0 := symbolic.MemoStats{}
+	if pc.enc != nil {
+		memo0 = pc.enc.Memo()
+	}
+
+	var enc *symbolic.RouteEncoding
+	var loc *headerloc.RouteLocalizer
+	var buildErr error
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				buildErr = buildFailure(r, c1)
+			}
+		}()
+		enc = pc.encodingFor(ctx, c1, c2, opts)
+		loc = headerloc.NewRouteLocalizer(enc, c1, c2)
+	}()
+	if buildErr != nil {
+		for i := range tasks {
+			results[i] = rmTaskResult{err: buildErr}
+		}
+		pc.invalidate()
+		return
+	}
+	if pc.Rebuilds != rebuilds0 {
+		st0 = bdd.Stats{Nodes: 1}
+		memo0 = symbolic.MemoStats{}
+	}
+	poisoned := false
+	for i := range tasks {
+		results[i] = guardedRouteMapTask(ctx, enc, loc, pc, c1, c2, tasks[i], opts, span)
+		if err := results[i].err; err != nil && ErrKind(err) != "canceled" {
+			// Budget garbage accumulates in the arena; an unknown panic
+			// leaves state unverified. Either way the cache must rebuild
+			// before its next Diff call.
+			poisoned = true
+			if isInternalFailure(err) {
+				// Fail the remaining tasks rather than trust the state.
+				for j := i + 1; j < len(tasks); j++ {
+					results[j] = results[i]
+				}
+				break
+			}
+		}
+	}
+	enc.F.ClearInterrupt() // the cache factory outlives this ctx
+	d := enc.F.Stats().Delta(st0)
+	stats.BDDNodes += d.Nodes
+	stats.CacheHits += d.CacheHits
+	stats.CacheMisses += d.CacheMisses
+	stats.PolicyCacheHits += pc.ChainHits - hits0
+	opts.recordPolicyCache(pc.fp, pc.ChainHits-hits0, pc.ChainMisses-misses0, pc.Rebuilds-rebuilds0)
+	memo := enc.Memo()
+	opts.recordMemo(symbolic.MemoStats{
+		RangeHits: memo.RangeHits - memo0.RangeHits, RangeMisses: memo.RangeMisses - memo0.RangeMisses,
+		ListHits: memo.ListHits - memo0.ListHits, ListMisses: memo.ListMisses - memo0.ListMisses,
+	})
+	if poisoned {
+		pc.invalidate()
+	}
 }
 
 // runRouteMapTask compares one resolved chain pair and localizes every

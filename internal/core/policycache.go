@@ -10,6 +10,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 
 	"repro/internal/bdd"
@@ -65,23 +66,40 @@ func newWorkerPolicyCache(enc *symbolic.RouteEncoding) *PolicyCache {
 // encodingFor returns an encoding valid for the pair (c1, c2), reusing
 // the cached encoding — and every chain compiled on it — when the
 // derived vocabulary is identical, and rebuilding into the recycled
-// factory otherwise.
-func (pc *PolicyCache) encodingFor(c1, c2 *ir.Config) *symbolic.RouteEncoding {
+// factory otherwise. The factory is armed with the run's interrupt
+// (MaxNodes budget + context poll) before any encoding work, whether
+// recalled or rebuilt, so even vocabulary atomization honors
+// cancellation.
+func (pc *PolicyCache) encodingFor(ctx context.Context, c1, c2 *ir.Config, opts Options) *symbolic.RouteEncoding {
 	fp := symbolic.VocabFingerprint(c1, c2)
 	if pc.enc != nil && pc.fp == fp {
+		pc.enc.F.SetInterrupt(opts.MaxNodes, func() error { return ctxErr(ctx) })
 		return pc.enc
 	}
 	var f *bdd.Factory
 	if pc.enc != nil {
-		f = pc.enc.F // Reset inside the constructor: keep the allocations
+		// Recycle the cache's own factory (Reset inside the constructor
+		// keeps its allocations).
+		f = pc.enc.F
+		f.SetInterrupt(opts.MaxNodes, func() error { return ctxErr(ctx) })
 	} else {
-		f = getFactory()
+		f = newArmedFactory(ctx, opts)
 	}
 	pc.enc = symbolic.NewRouteEncodingInto(f, c1, c2)
 	pc.fp = fp
 	clear(pc.paths)
 	pc.Rebuilds++
 	return pc.enc
+}
+
+// invalidate flushes the compiled chains and forces the next encodingFor
+// to rebuild the encoding. Called after a budget abort (the arena holds
+// unreferenced garbage from the abandoned computation) or a recovered
+// crash (the symbolic state is unverified); the factory allocation is
+// still recycled through the rebuild's Reset.
+func (pc *PolicyCache) invalidate() {
+	pc.fp = ""
+	clear(pc.paths)
 }
 
 // pathsFor compiles (or recalls) the path equivalence classes of the

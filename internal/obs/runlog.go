@@ -44,7 +44,15 @@ type Run struct {
 	errors      atomic.Int64
 	durationNS  atomic.Int64
 	done        atomic.Bool
+
+	// Failure-kind breakdown, indexed parallel to runErrorKinds. Updated
+	// by PairFailed from concurrent batch workers.
+	errorKinds [len(runErrorKinds)]atomic.Int64
 }
+
+// runErrorKinds is the failure taxonomy surfaced per run: the labels of
+// core.ErrKind, in fixed order so each gets a dedicated atomic slot.
+var runErrorKinds = [...]string{"parse", "canceled", "budget", "internal"}
 
 // Start records the beginning of a run over the given number of pairs.
 func (l *RunLog) Start(name string, pairs int) *Run {
@@ -75,6 +83,25 @@ func (r *Run) PairDone(differences int, failed bool) {
 	}
 }
 
+// PairFailed attributes one failed pair to a failure kind ("parse",
+// "canceled", "budget", "internal" — the core.ErrKind vocabulary).
+// Unknown kinds count as internal. Call it alongside PairDone(_, true);
+// the two counters are independent so the summary's total error count
+// stays correct even for callers that never classify.
+func (r *Run) PairFailed(kind string) {
+	if r == nil {
+		return
+	}
+	slot := len(runErrorKinds) - 1 // default: internal
+	for i, k := range runErrorKinds {
+		if k == kind {
+			slot = i
+			break
+		}
+	}
+	r.errorKinds[slot].Add(1)
+}
+
 // Finish marks the run complete and freezes its duration.
 func (r *Run) Finish() {
 	if r == nil {
@@ -94,7 +121,10 @@ type RunSummary struct {
 	Completed   int64     `json:"completed"`
 	Differences int64     `json:"differences"`
 	Errors      int64     `json:"errors"`
-	Done        bool      `json:"done"`
+	// ErrorKinds breaks Errors down by failure kind (parse / canceled /
+	// budget / internal); omitted while no classified failure happened.
+	ErrorKinds map[string]int64 `json:"errorKinds,omitempty"`
+	Done       bool             `json:"done"`
 }
 
 // Summaries snapshots the recorded runs, newest first.
@@ -112,6 +142,15 @@ func (l *RunLog) Summaries() []RunSummary {
 		if !r.done.Load() {
 			d = time.Since(r.started)
 		}
+		var kinds map[string]int64
+		for i, k := range runErrorKinds {
+			if n := r.errorKinds[i].Load(); n > 0 {
+				if kinds == nil {
+					kinds = map[string]int64{}
+				}
+				kinds[k] = n
+			}
+		}
 		out = append(out, RunSummary{
 			ID:          r.id,
 			Name:        r.name,
@@ -121,6 +160,7 @@ func (l *RunLog) Summaries() []RunSummary {
 			Completed:   r.completed.Load(),
 			Differences: r.differences.Load(),
 			Errors:      r.errors.Load(),
+			ErrorKinds:  kinds,
 			Done:        r.done.Load(),
 		})
 	}
