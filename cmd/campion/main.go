@@ -7,6 +7,13 @@
 //	campion [flags] CONFIG1 CONFIG2
 //	campion [flags] DIR1 DIR2
 //	campion -all [flags] DIR
+//	campion selfcheck [flags] CONFIG1 CONFIG2
+//
+// The selfcheck subcommand does not compare the configurations for the
+// operator — it audits the diff engine itself, cross-checking the
+// symbolic results against an independent concrete interpreter on the
+// given pair (witness soundness, completeness sampling, metamorphic
+// properties). Exit 0 means consistent, 1 means an engine bug was found.
 //
 // Flags:
 //
@@ -73,6 +80,10 @@ func main() {
 }
 
 func run() int {
+	// Subcommands dispatch before flag parsing so they own their flags.
+	if len(os.Args) > 1 && os.Args[1] == "selfcheck" {
+		return selfcheck(os.Args[2:])
+	}
 	components := flag.String("components", "", "comma-separated component list (default: all)")
 	format := flag.String("format", "text", "output format: text, json, or summary")
 	vendor1 := flag.String("vendor1", "auto", "dialect of CONFIG1: auto, cisco, juniper, arista")
@@ -96,6 +107,7 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "       campion [flags] DIR1 DIR2\n")
 		fmt.Fprintf(os.Stderr, "       campion -all [flags] DIR\n")
 		fmt.Fprintf(os.Stderr, "       campion -serve ADDR\n")
+		fmt.Fprintf(os.Stderr, "       campion selfcheck [flags] CONFIG1 CONFIG2\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()

@@ -21,6 +21,28 @@ type Params struct {
 	Differences int // differences injected into the second copy
 }
 
+// ParamsFromBytes derives bounded generation parameters from raw fuzz
+// input (see policygen.ParamsFromBytes); rule and pool counts stay small
+// so fuzzing iterates quickly.
+func ParamsFromBytes(data []byte) Params {
+	at := func(i int) uint64 {
+		if i < len(data) {
+			return uint64(data[i])
+		}
+		return 0
+	}
+	seed := uint64(0)
+	for i := 0; i < 8; i++ {
+		seed = seed<<8 | at(i)
+	}
+	return Params{
+		Seed:        seed,
+		Rules:       1 + int(at(8)%20),
+		Pools:       1 + int(at(9)%8),
+		Differences: int(at(10) % 5),
+	}
+}
+
 // Pair is a generated ACL pair plus its vendor-syntax renderings.
 type Pair struct {
 	Name        string

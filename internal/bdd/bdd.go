@@ -834,6 +834,61 @@ func (f *Factory) AnySat(n Node) Assignment {
 	return a
 }
 
+// RandSat returns one satisfying total assignment of n, drawn by a random
+// descent: at every node with two live branches the coin picks one, and
+// variables the path does not constrain are coined too. AnySat always
+// returns the same (mostly-zero) witness; RandSat lets samplers draw
+// diverse concrete inputs from one difference region. The coin supplies
+// the randomness, so callers control determinism (seeded PRNG in tests,
+// crypto source never needed). Returns nil if n is unsatisfiable.
+func (f *Factory) RandSat(n Node, coin func() bool) Assignment {
+	if n == False {
+		return nil
+	}
+	a := make(Assignment, f.numVars)
+	level := 0
+	for {
+		nodeLevel := f.numVars
+		if n != True {
+			nodeLevel = int(f.nodes[n>>1].level)
+		}
+		// Variables skipped by the path are unconstrained: coin them.
+		for ; level < nodeLevel; level++ {
+			if coin() {
+				a[level] = 1
+			} else {
+				a[level] = 0
+			}
+		}
+		if n == True {
+			return a
+		}
+		d := f.nodes[n>>1]
+		c := n & 1
+		lo, hi := d.low^c, d.high^c
+		var bit int8
+		switch {
+		case lo == False:
+			bit = 1
+		case hi == False:
+			bit = 0
+		default:
+			// Both cofactors satisfiable (non-False ⇒ satisfiable in an
+			// ROBDD): free choice.
+			if coin() {
+				bit = 1
+			}
+		}
+		a[level] = bit
+		level++
+		if bit == 1 {
+			n = hi
+		} else {
+			n = lo
+		}
+	}
+}
+
 // Eval evaluates n under a total assignment (don't-cares treated as false).
 func (f *Factory) Eval(n Node, a Assignment) bool {
 	for n > True {

@@ -502,11 +502,11 @@ func chainName(names []string) string {
 	return out
 }
 
-// resolveChain turns a policy chain into a single route map: an empty
+// ResolveChain turns a policy chain into a single route map: an empty
 // chain is the identity policy (accept everything unchanged); a JunOS
 // chain concatenates the policies' terms with the protocol's
 // default-accept at the end; an IOS chain is its single route map.
-func resolveChain(cfg *ir.Config, names []string) *ir.RouteMap {
+func ResolveChain(cfg *ir.Config, names []string) *ir.RouteMap {
 	if len(names) == 0 {
 		return &ir.RouteMap{Name: "(none)", DefaultAction: ir.Permit}
 	}

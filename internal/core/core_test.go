@@ -258,11 +258,11 @@ func TestChainHelpers(t *testing.T) {
 
 func TestResolveChainMissingPolicy(t *testing.T) {
 	c, _ := cisco.Parse("a.cfg", "hostname a\n")
-	rm := resolveChain(c, []string{"NOPE"})
+	rm := ResolveChain(c, []string{"NOPE"})
 	if rm.DefaultAction.String() != "permit" {
 		t.Error("missing policy should be permit-all")
 	}
-	rm = resolveChain(c, nil)
+	rm = ResolveChain(c, nil)
 	if rm.Name != "(none)" {
 		t.Error("empty chain should be the identity policy")
 	}

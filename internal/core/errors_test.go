@@ -1,0 +1,169 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/bdd"
+)
+
+// TestPairErrorClassification is the table over the whole error
+// taxonomy: every sentinel kind, with and without an underlying cause,
+// must classify correctly through errors.Is, errors.As, and ErrKind —
+// including when the PairError is itself wrapped by fmt.Errorf.
+func TestPairErrorClassification(t *testing.T) {
+	cases := []struct {
+		name     string
+		err      *PairError
+		is       []error // sentinels errors.Is must accept
+		isNot    []error // sentinels errors.Is must reject
+		kind     string
+		contains []string // substrings of Error()
+	}{
+		{
+			name:     "parse with cause",
+			err:      &PairError{Pair: "r1 vs r2", Kind: ErrParse, File: "r2.cfg", Err: errors.New("unknown dialect")},
+			is:       []error{ErrParse},
+			isNot:    []error{ErrCanceled, ErrBudget, ErrInternal},
+			kind:     "parse",
+			contains: []string{"r1 vs r2", "parse error", "unknown dialect", "(r2.cfg)"},
+		},
+		{
+			name:     "parse without cause",
+			err:      &PairError{Pair: "solo", Kind: ErrParse},
+			is:       []error{ErrParse},
+			isNot:    []error{ErrInternal},
+			kind:     "parse",
+			contains: []string{"solo: parse error"},
+		},
+		{
+			name:     "canceled carries context.Canceled",
+			err:      canceledError("pair", context.Canceled),
+			is:       []error{ErrCanceled, context.Canceled},
+			isNot:    []error{ErrParse, ErrBudget, context.DeadlineExceeded},
+			kind:     "canceled",
+			contains: []string{"comparison canceled", "context canceled"},
+		},
+		{
+			name:     "deadline carries context.DeadlineExceeded",
+			err:      canceledError("pair", context.DeadlineExceeded),
+			is:       []error{ErrCanceled, context.DeadlineExceeded},
+			isNot:    []error{context.Canceled},
+			kind:     "canceled",
+			contains: []string{"deadline exceeded"},
+		},
+		{
+			name:     "budget carries the bdd sentinel",
+			err:      &PairError{Pair: "big", Kind: ErrBudget, Err: bdd.ErrNodeBudget},
+			is:       []error{ErrBudget, bdd.ErrNodeBudget},
+			isNot:    []error{ErrCanceled},
+			kind:     "budget",
+			contains: []string{"resource budget exceeded"},
+		},
+		{
+			name:     "internal with provenance line",
+			err:      &PairError{Pair: "POL", Kind: ErrInternal, File: "a.cfg", Line: 42, Err: fmt.Errorf("panic: boom")},
+			is:       []error{ErrInternal},
+			isNot:    []error{ErrParse, ErrCanceled, ErrBudget},
+			kind:     "internal",
+			contains: []string{"internal error", "panic: boom", "(a.cfg:42)"},
+		},
+		{
+			name:     "line without file is not rendered",
+			err:      &PairError{Kind: ErrParse, Line: 7},
+			is:       []error{ErrParse},
+			kind:     "parse",
+			contains: []string{"parse error"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// Classify both the bare error and a wrapped one: callers see
+			// PairErrors through fmt.Errorf chains in batch summaries.
+			for _, err := range []error{tc.err, fmt.Errorf("batch: %w", tc.err)} {
+				for _, want := range tc.is {
+					if !errors.Is(err, want) {
+						t.Errorf("errors.Is(%v, %v) = false, want true", err, want)
+					}
+				}
+				for _, not := range tc.isNot {
+					if errors.Is(err, not) {
+						t.Errorf("errors.Is(%v, %v) = true, want false", err, not)
+					}
+				}
+				var pe *PairError
+				if !errors.As(err, &pe) {
+					t.Fatalf("errors.As failed on %v", err)
+				}
+				if pe != tc.err {
+					t.Fatalf("errors.As recovered a different PairError")
+				}
+				if got := ErrKind(err); got != tc.kind {
+					t.Errorf("ErrKind(%v) = %q, want %q", err, got, tc.kind)
+				}
+			}
+			msg := tc.err.Error()
+			for _, sub := range tc.contains {
+				if !strings.Contains(msg, sub) {
+					t.Errorf("Error() = %q, missing %q", msg, sub)
+				}
+			}
+			if tc.err.File == "" && strings.Contains(msg, "(") && !strings.Contains(msg, "panic") {
+				t.Errorf("Error() = %q renders provenance with no file", msg)
+			}
+		})
+	}
+}
+
+// TestPairErrorUnwrap pins the multi-Unwrap contract: the kind sentinel
+// always unwraps, the cause only when present.
+func TestPairErrorUnwrap(t *testing.T) {
+	cause := errors.New("root cause")
+	both := &PairError{Kind: ErrBudget, Err: cause}
+	if got := both.Unwrap(); len(got) != 2 || got[0] != ErrBudget || got[1] != cause {
+		t.Fatalf("Unwrap with cause = %v, want [ErrBudget, cause]", got)
+	}
+	bare := &PairError{Kind: ErrParse}
+	if got := bare.Unwrap(); len(got) != 1 || got[0] != ErrParse {
+		t.Fatalf("Unwrap without cause = %v, want [ErrParse]", got)
+	}
+
+	// A doubly-nested chain: PairError wrapping a PairError (a chain task
+	// failure surfaced through a batch) keeps every layer reachable.
+	inner := &PairError{Pair: "chain POL", Kind: ErrBudget, Err: bdd.ErrNodeBudget}
+	outer := &PairError{Pair: "r1 vs r2", Kind: ErrInternal, Err: inner}
+	for _, want := range []error{ErrInternal, ErrBudget, bdd.ErrNodeBudget} {
+		if !errors.Is(outer, want) {
+			t.Errorf("nested chain lost %v", want)
+		}
+	}
+	var pe *PairError
+	if !errors.As(outer, &pe) || pe != outer {
+		t.Fatalf("errors.As should find the outermost PairError first")
+	}
+}
+
+// TestErrKindUnclassified: nil maps to "", foreign errors to "internal"
+// (the conservative batch label for an unexplained failure), and raw
+// context errors classify as canceled even without a PairError wrapper.
+func TestErrKindUnclassified(t *testing.T) {
+	cases := []struct {
+		err  error
+		want string
+	}{
+		{nil, ""},
+		{errors.New("mystery"), "internal"},
+		{context.Canceled, "canceled"},
+		{context.DeadlineExceeded, "canceled"},
+		{bdd.ErrNodeBudget, "budget"},
+		{fmt.Errorf("wrapped: %w", bdd.ErrNodeBudget), "budget"},
+	}
+	for _, tc := range cases {
+		if got := ErrKind(tc.err); got != tc.want {
+			t.Errorf("ErrKind(%v) = %q, want %q", tc.err, got, tc.want)
+		}
+	}
+}

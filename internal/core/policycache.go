@@ -111,7 +111,7 @@ func (pc *PolicyCache) pathsFor(cfg *ir.Config, names []string) ([]symbolic.Rout
 		return e.paths, e.err
 	}
 	pc.ChainMisses++
-	paths, err := pc.enc.EnumeratePaths(cfg, resolveChain(cfg, names))
+	paths, err := pc.enc.EnumeratePaths(cfg, ResolveChain(cfg, names))
 	pc.paths[k] = policyEntry{paths: paths, err: err}
 	return paths, err
 }

@@ -1,0 +1,217 @@
+// Package difftest is the differential oracle harness: it cross-checks
+// the symbolic diff engine (internal/semdiff over internal/symbolic)
+// against the concrete reference interpreter (internal/oracle) on real
+// inputs, three ways:
+//
+//  1. Witness soundness — every diff region the symbolic engine reports
+//     must contain concrete routes/packets on which the two
+//     configurations verifiably behave as the region's two equivalence
+//     classes predict, and (for behaviorally-separable regions) on which
+//     they concretely disagree.
+//  2. Completeness sampling — every sampled concrete input on which the
+//     oracle says the configurations disagree must fall inside the union
+//     of reported regions; conversely an in-union sample must disagree
+//     concretely, up to transform-coincidence points (see below).
+//  3. Metamorphic properties — diff(A,A) is empty, diff(A,B) mirrors
+//     diff(B,A), and semantics-preserving rewrites (disjoint-clause
+//     reordering, prefix-list renaming, ACL line duplication) leave the
+//     diff unchanged.
+//
+// One caveat keeps check 2 from being a strict iff: SemanticDiff
+// compares attribute transformations intensionally (canonical Transform
+// equality), so a region where both sides permit but transform
+// differently can contain isolated points where the two outputs
+// coincide — e.g. "set med 5" versus no-op on a route that already
+// carries MED 5. Such points are counted (Report.Coincidences), verified
+// to really be coincidence points, and not treated as violations.
+package difftest
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+)
+
+// Options tunes a harness run. The zero value gets sane defaults.
+type Options struct {
+	// Samples is the number of concrete inputs drawn per pair (default 64).
+	Samples int
+	// WitnessDraws is the number of witnesses drawn per diff region in
+	// addition to the deterministic first witness (default 4).
+	WitnessDraws int
+	// Seed fixes the sampling PRNG; the same seed replays the same run.
+	Seed uint64
+	// MaxViolations bounds the retained violation details (default 20);
+	// further violations are still counted.
+	MaxViolations int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Samples <= 0 {
+		o.Samples = 64
+	}
+	if o.WitnessDraws <= 0 {
+		o.WitnessDraws = 4
+	}
+	if o.MaxViolations <= 0 {
+		o.MaxViolations = 20
+	}
+	return o
+}
+
+func (o Options) rng() *rand.Rand {
+	return rand.New(rand.NewSource(int64(o.Seed) ^ 0x5eed))
+}
+
+// Violation is one observed inconsistency between the symbolic engine
+// and the concrete oracle.
+type Violation struct {
+	// Kind classifies the failed property: "witness-unsound",
+	// "path-mismatch", "completeness", "sample-unsound", "oracle-vs-ir",
+	// "self-diff", "asymmetry", "metamorphic", "error".
+	Kind string
+	// Pair names the policy or ACL pair being checked.
+	Pair string
+	// Detail is a human-readable account, including the oracle's
+	// decision traces where applicable.
+	Detail string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("[%s] %s: %s", v.Kind, v.Pair, v.Detail)
+}
+
+// Report accumulates the outcome of one or more pair checks.
+type Report struct {
+	RouteMapPairs int
+	ACLPairs      int
+	// Regions is the total diff regions examined for witnesses.
+	Regions int
+	// WitnessChecks counts individual witness evaluations.
+	WitnessChecks int
+	// InexactWitnesses counts regions whose only witnesses require an
+	// as-path outside the configurations' regex vocabulary; their checks
+	// are advisory (see symbolic.WitnessRoute).
+	InexactWitnesses int
+	// SampleChecks counts sampled concrete inputs.
+	SampleChecks int
+	// Disagreements counts samples on which the oracle saw the two
+	// configurations disagree.
+	Disagreements int
+	// Coincidences counts in-region samples where intensionally-different
+	// transforms produced identical outputs (documented non-violations).
+	Coincidences int
+	// TotalViolations counts all violations, retained or not.
+	TotalViolations int
+	Violations      []Violation
+
+	maxViolations int
+}
+
+// OK reports whether the run saw no violations.
+func (r *Report) OK() bool { return r.TotalViolations == 0 }
+
+func (r *Report) violate(kind, pair, format string, args ...interface{}) {
+	r.TotalViolations++
+	if r.maxViolations > 0 && len(r.Violations) >= r.maxViolations {
+		return
+	}
+	r.Violations = append(r.Violations, Violation{Kind: kind, Pair: pair, Detail: fmt.Sprintf(format, args...)})
+}
+
+// Merge folds another report into r.
+func (r *Report) Merge(o *Report) {
+	r.RouteMapPairs += o.RouteMapPairs
+	r.ACLPairs += o.ACLPairs
+	r.Regions += o.Regions
+	r.WitnessChecks += o.WitnessChecks
+	r.InexactWitnesses += o.InexactWitnesses
+	r.SampleChecks += o.SampleChecks
+	r.Disagreements += o.Disagreements
+	r.Coincidences += o.Coincidences
+	r.TotalViolations += o.TotalViolations
+	for _, v := range o.Violations {
+		if r.maxViolations > 0 && len(r.Violations) >= r.maxViolations {
+			break
+		}
+		r.Violations = append(r.Violations, v)
+	}
+}
+
+// Summary renders the counters on one line.
+func (r *Report) Summary() string {
+	status := "CONSISTENT"
+	if !r.OK() {
+		status = fmt.Sprintf("INCONSISTENT (%d violations)", r.TotalViolations)
+	}
+	return fmt.Sprintf("%s: %d route-map pairs, %d acl pairs, %d regions, %d witness checks (%d inexact), %d samples (%d disagreements, %d coincidences)",
+		status, r.RouteMapPairs, r.ACLPairs, r.Regions, r.WitnessChecks,
+		r.InexactWitnesses, r.SampleChecks, r.Disagreements, r.Coincidences)
+}
+
+// CheckConfigs runs the full harness over two parsed configurations: it
+// pairs up routing policies exactly like the diff engine does
+// (core.MatchPolicies with the same-name fallback), pairs ACLs by name,
+// and checks every pair for witness soundness and sampling consistency —
+// including the diff(A,A)=∅ self-check on each side.
+func CheckConfigs(cfg1, cfg2 *ir.Config, opts Options) *Report {
+	opts = opts.withDefaults()
+	rep := &Report{maxViolations: opts.MaxViolations}
+
+	type rmPair struct {
+		name     string
+		rm1, rm2 *ir.RouteMap
+	}
+	var rmPairs []rmPair
+	for _, pp := range core.MatchPolicies(cfg1, cfg2) {
+		rmPairs = append(rmPairs, rmPair{
+			name: pp.Kind + " " + pp.Neighbor,
+			rm1:  core.ResolveChain(cfg1, pp.Names1),
+			rm2:  core.ResolveChain(cfg2, pp.Names2),
+		})
+	}
+	if len(rmPairs) == 0 {
+		var names []string
+		for n := range cfg1.RouteMaps {
+			if _, ok := cfg2.RouteMaps[n]; ok {
+				names = append(names, n)
+			}
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			rmPairs = append(rmPairs, rmPair{name: "route-map " + n,
+				rm1: cfg1.RouteMaps[n], rm2: cfg2.RouteMaps[n]})
+		}
+	}
+	for i, p := range rmPairs {
+		sub := opts
+		sub.Seed = opts.Seed + uint64(i)*0x9e37
+		rep.Merge(CheckRouteMaps(cfg1, p.rm1, cfg2, p.rm2, p.name, sub))
+		rep.Merge(SelfCheckRouteMap(cfg1, p.rm1, p.name+" (side 1 self)", sub))
+		rep.Merge(SelfCheckRouteMap(cfg2, p.rm2, p.name+" (side 2 self)", sub))
+	}
+
+	var aclNames []string
+	for n := range cfg1.ACLs {
+		if _, ok := cfg2.ACLs[n]; ok {
+			aclNames = append(aclNames, n)
+		}
+	}
+	sort.Strings(aclNames)
+	for i, n := range aclNames {
+		sub := opts
+		sub.Seed = opts.Seed + 0xac1 + uint64(i)*0x9e37
+		rep.Merge(CheckACLs(cfg1.ACLs[n], cfg2.ACLs[n], "acl "+n, sub))
+		rep.Merge(SelfCheckACL(cfg1.ACLs[n], "acl "+n+" (side 1 self)", sub))
+		rep.Merge(SelfCheckACL(cfg2.ACLs[n], "acl "+n+" (side 2 self)", sub))
+	}
+	return rep
+}
+
+func indent(s string) string {
+	return "    " + strings.ReplaceAll(s, "\n", "\n    ")
+}

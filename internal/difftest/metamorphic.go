@@ -1,0 +1,96 @@
+package difftest
+
+import (
+	"repro/internal/bdd"
+	"repro/internal/ir"
+	"repro/internal/symbolic"
+)
+
+// Semantics-preserving configuration rewrites. Each returns a rewritten
+// copy that must diff empty against the original — the metamorphic leg
+// of the harness. The originals are never mutated.
+
+// ReorderDisjointClauses returns a copy of rm with the first adjacent
+// clause pair whose match guards are symbolically disjoint swapped, or
+// (nil, false) when no adjacent pair is disjoint. Disjointness is
+// decided on a fresh encoding over cfg; since no route matches both
+// clauses, the swap cannot change which clause decides any route.
+func ReorderDisjointClauses(cfg *ir.Config, rm *ir.RouteMap) (*ir.RouteMap, bool) {
+	enc := symbolic.NewRouteEncoding(cfg)
+	for i := 0; i+1 < len(rm.Clauses); i++ {
+		g1 := enc.ClauseGuardBDD(cfg, rm.Clauses[i])
+		g2 := enc.ClauseGuardBDD(cfg, rm.Clauses[i+1])
+		if enc.F.And(g1, g2) != bdd.False {
+			continue
+		}
+		out := &ir.RouteMap{Name: rm.Name, DefaultAction: rm.DefaultAction, Span: rm.Span}
+		out.Clauses = append([]*ir.RouteMapClause{}, rm.Clauses...)
+		out.Clauses[i], out.Clauses[i+1] = out.Clauses[i+1], out.Clauses[i]
+		return out, true
+	}
+	return nil, false
+}
+
+// RenamePrefixLists returns a copy of cfg with every prefix list renamed
+// to name+suffix and all route-map references (match prefix-list,
+// prefix-list-filter, next-hop) rewritten to follow. Pure renaming must
+// be invisible to the semantic differ.
+func RenamePrefixLists(cfg *ir.Config, suffix string) *ir.Config {
+	out := *cfg
+	out.PrefixLists = make(map[string]*ir.PrefixList, len(cfg.PrefixLists))
+	for name, pl := range cfg.PrefixLists {
+		cp := *pl
+		cp.Name = name + suffix
+		out.PrefixLists[name+suffix] = &cp
+	}
+	rename := func(names []string) []string {
+		renamed := make([]string, len(names))
+		for i, n := range names {
+			if _, ok := cfg.PrefixLists[n]; ok {
+				renamed[i] = n + suffix
+			} else {
+				renamed[i] = n // dangling reference stays dangling
+			}
+		}
+		return renamed
+	}
+	out.RouteMaps = make(map[string]*ir.RouteMap, len(cfg.RouteMaps))
+	for name, rm := range cfg.RouteMaps {
+		rmCopy := *rm
+		rmCopy.Clauses = make([]*ir.RouteMapClause, len(rm.Clauses))
+		for ci, cl := range rm.Clauses {
+			clCopy := *cl
+			clCopy.Matches = make([]ir.Match, len(cl.Matches))
+			for mi, m := range cl.Matches {
+				switch m := m.(type) {
+				case ir.MatchPrefixList:
+					clCopy.Matches[mi] = ir.MatchPrefixList{Lists: rename(m.Lists)}
+				case ir.MatchPrefixListFilter:
+					clCopy.Matches[mi] = ir.MatchPrefixListFilter{List: rename([]string{m.List})[0], Modifier: m.Modifier}
+				case ir.MatchNextHop:
+					clCopy.Matches[mi] = ir.MatchNextHop{Lists: rename(m.Lists)}
+				default:
+					clCopy.Matches[mi] = m
+				}
+			}
+			rmCopy.Clauses[ci] = &clCopy
+		}
+		out.RouteMaps[name] = &rmCopy
+	}
+	return &out
+}
+
+// DuplicateACLLine returns a copy of acl with line i duplicated in
+// place. Under first-match-wins the shadowed copy can never fire, so the
+// rewrite preserves semantics.
+func DuplicateACLLine(acl *ir.ACL, i int) *ir.ACL {
+	out := &ir.ACL{Name: acl.Name, Span: acl.Span}
+	for j, l := range acl.Lines {
+		out.Lines = append(out.Lines, l)
+		if j == i {
+			cp := *l
+			out.Lines = append(out.Lines, &cp)
+		}
+	}
+	return out
+}

@@ -1,0 +1,107 @@
+package difftest
+
+import (
+	"testing"
+
+	"repro/internal/aclgen"
+	"repro/internal/campiontest"
+	"repro/internal/cisco"
+	"repro/internal/policygen"
+	"repro/internal/semdiff"
+	"repro/internal/symbolic"
+)
+
+// TestReorderDisjointClauses: swapping two adjacent clauses with
+// disjoint guards must not change the policy's semantics.
+func TestReorderDisjointClauses(t *testing.T) {
+	swapped := 0
+	for seed := uint64(0); seed < 40 && swapped < 10; seed++ {
+		pair := policygen.Generate(policygen.Params{Seed: seed, Clauses: 8})
+		cfg, err := cisco.Parse("c.cfg", pair.CiscoText)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rm := cfg.RouteMaps[pair.PolicyName]
+		rm2, ok := ReorderDisjointClauses(cfg, rm)
+		if !ok {
+			continue
+		}
+		swapped++
+		enc := symbolic.NewRouteEncoding(cfg)
+		diffs, err := semdiff.DiffRouteMaps(enc, cfg, rm, cfg, rm2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(diffs) != 0 {
+			t.Errorf("seed %d: reordering disjoint clauses produced %d diff regions", seed, len(diffs))
+		}
+	}
+	if swapped == 0 {
+		t.Fatal("no generated policy had an adjacent disjoint clause pair; rewrite never exercised")
+	}
+	t.Logf("exercised %d disjoint swaps", swapped)
+}
+
+// TestRenamePrefixLists: renaming every prefix list (and rewriting the
+// references) must be invisible to the semantic differ.
+func TestRenamePrefixLists(t *testing.T) {
+	cfg, err := campiontest.ParseCisco(campiontest.Figure1Cisco)
+	if err != nil {
+		t.Fatal(err)
+	}
+	renamed := RenamePrefixLists(cfg, "_X")
+	if _, ok := renamed.PrefixLists["NETS_X"]; !ok {
+		t.Fatal("prefix list NETS not renamed")
+	}
+	if _, ok := renamed.PrefixLists["NETS"]; ok {
+		t.Fatal("old prefix-list name still present")
+	}
+	enc := symbolic.NewRouteEncoding(cfg, renamed)
+	diffs, err := semdiff.DiffRouteMaps(enc, cfg, cfg.RouteMaps["POL"], renamed, renamed.RouteMaps["POL"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diffs) != 0 {
+		t.Fatalf("renaming prefix lists produced %d diff regions", len(diffs))
+	}
+
+	// Same property over generated policies, which reference their lists
+	// via match ip address prefix-list.
+	for seed := uint64(0); seed < 20; seed++ {
+		pair := policygen.Generate(policygen.Params{Seed: seed, Clauses: 5})
+		cfg, err := cisco.Parse("c.cfg", pair.CiscoText)
+		if err != nil {
+			t.Fatal(err)
+		}
+		renamed := RenamePrefixLists(cfg, "_RN")
+		enc := symbolic.NewRouteEncoding(cfg, renamed)
+		rm := cfg.RouteMaps[pair.PolicyName]
+		diffs, err := semdiff.DiffRouteMaps(enc, cfg, rm, renamed, renamed.RouteMaps[pair.PolicyName])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(diffs) != 0 {
+			t.Errorf("seed %d: rename produced %d diff regions", seed, len(diffs))
+		}
+	}
+}
+
+// TestDuplicateACLLine: duplicating a line is a no-op under
+// first-match-wins, so the rewritten ACL must stay equivalent.
+func TestDuplicateACLLine(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		pair := aclgen.Generate(aclgen.Params{Seed: seed, Rules: 8})
+		acl := pair.Cisco
+		for i := 0; i < len(acl.Lines); i += 3 {
+			dup := DuplicateACLLine(acl, i)
+			if len(dup.Lines) != len(acl.Lines)+1 {
+				t.Fatalf("seed %d: duplicate at %d: got %d lines, want %d",
+					seed, i, len(dup.Lines), len(acl.Lines)+1)
+			}
+			enc := symbolic.NewPacketEncoding()
+			if !semdiff.EquivalentACLs(enc, acl, dup) {
+				t.Errorf("seed %d: duplicating line %d changed ACL semantics", seed, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package difftest
+
+import (
+	"math/rand"
+
+	"repro/internal/ir"
+	"repro/internal/oracle"
+	"repro/internal/semdiff"
+	"repro/internal/symbolic"
+)
+
+// CheckRouteMaps cross-checks the symbolic diff of one route-map pair
+// against the concrete oracle: witness soundness for every reported
+// region, completeness and exactness on sampled routes, symmetry of the
+// diff, and three-way implementation agreement (oracle vs ir.EvalRouteMap
+// vs the symbolic path classes) on every input examined.
+func CheckRouteMaps(cfg1 *ir.Config, rm1 *ir.RouteMap, cfg2 *ir.Config, rm2 *ir.RouteMap, pair string, opts Options) *Report {
+	opts = opts.withDefaults()
+	rep := &Report{maxViolations: opts.MaxViolations, RouteMapPairs: 1}
+	rng := opts.rng()
+
+	enc := symbolic.NewRouteEncoding(cfg1, cfg2)
+	paths1, err := enc.EnumeratePaths(cfg1, rm1)
+	if err != nil {
+		rep.violate("error", pair, "enumerate side 1: %v", err)
+		return rep
+	}
+	paths2, err := enc.EnumeratePaths(cfg2, rm2)
+	if err != nil {
+		rep.violate("error", pair, "enumerate side 2: %v", err)
+		return rep
+	}
+	diffs := semdiff.DiffRouteMapPaths(enc, paths1, paths2)
+	union := semdiff.UnionRouteMapInputs(enc, diffs)
+
+	// Metamorphic symmetry: swapping the argument order must report the
+	// same differing input set (BDD nodes are canonical, so semantic
+	// equality is pointer equality).
+	if rev := semdiff.UnionRouteMapInputs(enc, semdiff.DiffRouteMapPaths(enc, paths2, paths1)); rev != union {
+		rep.violate("asymmetry", pair, "diff(A,B) inputs != diff(B,A) inputs")
+	}
+
+	checkRegionWitnesses(rep, rng, enc, cfg1, rm1, cfg2, rm2, diffs, pair, opts)
+	sampleRouteMaps(rep, rng, enc, cfg1, rm1, cfg2, rm2, diffs, union, pair, opts)
+	return rep
+}
+
+// SelfCheckRouteMap asserts diff(A,A) = ∅ — the most basic metamorphic
+// property of a sound differ.
+func SelfCheckRouteMap(cfg *ir.Config, rm *ir.RouteMap, pair string, opts Options) *Report {
+	opts = opts.withDefaults()
+	rep := &Report{maxViolations: opts.MaxViolations}
+	enc := symbolic.NewRouteEncoding(cfg)
+	diffs, err := semdiff.DiffRouteMaps(enc, cfg, rm, cfg, rm)
+	if err != nil {
+		rep.violate("error", pair, "self diff: %v", err)
+		return rep
+	}
+	if len(diffs) != 0 {
+		rep.violate("self-diff", pair, "diff(A,A) reported %d regions", len(diffs))
+	}
+	return rep
+}
+
+// routeDisagree reports whether two oracle decisions constitute a
+// concrete behavioral disagreement: differing actions, or both permits
+// with different output routes.
+func routeDisagree(d1, d2 oracle.RouteDecision) bool {
+	if d1.Action != d2.Action {
+		return true
+	}
+	return d1.Action == ir.Permit && !d1.Route.Equal(d2.Route)
+}
+
+// evalBothWays evaluates the route on one side with both concrete
+// implementations, recording a violation if they ever disagree — the
+// oracle is an independent rewrite of ir's evaluator, so any divergence
+// is a bug in one of them.
+func evalBothWays(rep *Report, cfg *ir.Config, rm *ir.RouteMap, r *ir.Route, pair, side string) oracle.RouteDecision {
+	od := oracle.EvalRouteMap(cfg, rm, r)
+	id := cfg.EvalRouteMap(rm, r)
+	if od.Action != id.Action || (od.Action == ir.Permit && !od.Route.Equal(id.Route)) {
+		rep.violate("oracle-vs-ir", pair, "%s: oracle says %v, ir.EvalRouteMap says %v on %v\noracle trace:\n%s",
+			side, od.Action, id.Action, r, indent(od.String()))
+	}
+	return od
+}
+
+// predictedOutput applies a path's canonical transform to the input —
+// the output the symbolic engine claims for any route in the path's
+// guard.
+func predictedOutput(t symbolic.Transform, r *ir.Route) *ir.Route {
+	out := r.Clone()
+	t.Apply(out)
+	return out
+}
+
+// checkWitness verifies one concrete route drawn from one diff region:
+// each side's oracle decision must be exactly what the region's
+// equivalence class predicts (accept bit and transformed output).
+// Returns whether the two sides concretely disagree on the witness.
+func checkWitness(rep *Report, enc *symbolic.RouteEncoding,
+	cfg1 *ir.Config, rm1 *ir.RouteMap, cfg2 *ir.Config, rm2 *ir.RouteMap,
+	d semdiff.RouteMapDiff, w *ir.Route, pair string) bool {
+	rep.WitnessChecks++
+	d1 := evalBothWays(rep, cfg1, rm1, w, pair, "side 1")
+	d2 := evalBothWays(rep, cfg2, rm2, w, pair, "side 2")
+	checkPathPrediction(rep, d.Path1, d1, w, pair, "side 1")
+	checkPathPrediction(rep, d.Path2, d2, w, pair, "side 2")
+	return routeDisagree(d1, d2)
+}
+
+func checkPathPrediction(rep *Report, p symbolic.RoutePath, got oracle.RouteDecision, w *ir.Route, pair, side string) {
+	if got.Permits() != p.Accept {
+		rep.violate("path-mismatch", pair,
+			"%s: witness %v in class predicted accept=%v, oracle decided %v\noracle trace:\n%s",
+			side, w, p.Accept, got.Action, indent(got.String()))
+		return
+	}
+	if !p.Accept {
+		return
+	}
+	want := predictedOutput(p.Transform, w)
+	if !got.Route.Equal(want) {
+		rep.violate("path-mismatch", pair,
+			"%s: witness %v transformed to %v, symbolic class predicted %v\noracle trace:\n%s",
+			side, w, got.Route, want, indent(got.String()))
+	}
+}
+
+// checkRegionWitnesses draws witnesses from every diff region. Regions
+// whose classes differ behaviorally (accept bits differ, or the
+// transforms separate on some drawn witness) must produce at least one
+// concrete disagreement; a both-accept region whose transforms coincide
+// on every drawn witness is only a violation if the class predictions
+// themselves fail (checked per witness above) — the engine reports
+// intensional transform differences by design.
+func checkRegionWitnesses(rep *Report, rng *rand.Rand, enc *symbolic.RouteEncoding,
+	cfg1 *ir.Config, rm1 *ir.RouteMap, cfg2 *ir.Config, rm2 *ir.RouteMap,
+	diffs []semdiff.RouteMapDiff, pair string, opts Options) {
+	coin := func() bool { return rng.Intn(2) == 1 }
+	for _, d := range diffs {
+		rep.Regions++
+		w, exact := enc.WitnessRoute(d.Inputs)
+		if w == nil {
+			rep.violate("witness-unsound", pair, "region has empty input set")
+			continue
+		}
+		if !exact {
+			// Every witness needs an out-of-vocabulary as-path; its
+			// synthesized concretization is advisory (the symbolic
+			// "<other>" atom under-approximates regex matching).
+			rep.InexactWitnesses++
+			continue
+		}
+		disagreed := checkWitness(rep, enc, cfg1, rm1, cfg2, rm2, d, w, pair)
+		separable := d.Path1.Accept != d.Path2.Accept
+		for i := 0; i < opts.WitnessDraws; i++ {
+			a := enc.F.RandSat(d.Inputs, coin)
+			if a == nil {
+				break
+			}
+			r, ok := enc.ExactRoute(a)
+			if !ok {
+				// This draw landed on the "<other>" as-path atom; its
+				// synthesized concretization is not a faithful witness.
+				continue
+			}
+			disagreed = checkWitness(rep, enc, cfg1, rm1, cfg2, rm2, d, r, pair) || disagreed
+		}
+		if !disagreed && separable {
+			rep.violate("witness-unsound", pair,
+				"region (accept %v vs %v) produced no concretely-disagreeing witness; first witness %v",
+				d.Path1.Accept, d.Path2.Accept, w)
+		}
+	}
+}

@@ -1,0 +1,249 @@
+package difftest
+
+import (
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"repro/internal/bdd"
+	"repro/internal/headerloc"
+	"repro/internal/ir"
+	"repro/internal/netaddr"
+	"repro/internal/semdiff"
+	"repro/internal/symbolic"
+)
+
+// routeSampler draws concrete routes biased toward the decision
+// boundaries of the configurations under test: prefixes just inside and
+// outside every configured range, the community/MED/tag/as-path
+// vocabulary of the encoding, plus uniform noise. Every sampled route is
+// symbolically faithful — its attributes stay inside the encoding's atom
+// universes (or deliberately outside all atoms), so RouteCube(r) denotes
+// exactly the route and the concrete and symbolic semantics coincide.
+type routeSampler struct {
+	rng      *rand.Rand
+	prefixes []netaddr.Prefix
+	comms    []string
+	meds     []int64
+	tags     []int64
+	asPaths  [][]int64
+	nextHops []netaddr.Addr
+}
+
+func newRouteSampler(enc *symbolic.RouteEncoding, rng *rand.Rand, cfgs ...*ir.Config) *routeSampler {
+	s := &routeSampler{rng: rng}
+	for _, cfg := range cfgs {
+		for _, r := range headerloc.ConfigPrefixRanges(cfg) {
+			s.prefixes = append(s.prefixes,
+				netaddr.NewPrefix(r.Prefix.Addr, r.Lo),
+				netaddr.NewPrefix(r.Prefix.Addr, r.Hi))
+			if r.Hi < 32 {
+				s.prefixes = append(s.prefixes, netaddr.NewPrefix(r.Prefix.Addr, r.Hi+1))
+			}
+			if r.Lo > 0 {
+				s.prefixes = append(s.prefixes, netaddr.NewPrefix(r.Prefix.Addr, r.Lo-1))
+			}
+			// A sibling just outside the range's address bits.
+			if r.Prefix.Len > 0 && r.Prefix.Len <= 32 {
+				flip := netaddr.Addr(uint32(r.Prefix.Addr) ^ (1 << (32 - uint(r.Prefix.Len))))
+				s.prefixes = append(s.prefixes, netaddr.NewPrefix(flip, r.Hi))
+			}
+		}
+		for _, pl := range cfg.PrefixLists {
+			for _, e := range pl.Entries {
+				s.nextHops = append(s.nextHops, e.Range.Prefix.Addr)
+			}
+		}
+	}
+	s.comms = enc.Comms.Atoms()
+	s.meds = append(append([]int64{}, enc.MEDValues()...), 0, enc.FreshMED())
+	s.tags = append(append([]int64{}, enc.TagValues()...), 0, enc.FreshTag())
+	// Concrete as-paths are drawn from the encoding's atom universe only:
+	// a path outside it would hit the "<other>" under-approximation and
+	// the concrete regex semantics could diverge from the symbolic one.
+	for _, atom := range enc.ASPathAtoms() {
+		s.asPaths = append(s.asPaths, parseASNs(atom))
+	}
+	s.asPaths = append(s.asPaths, nil)
+	return s
+}
+
+func parseASNs(s string) []int64 {
+	var out []int64
+	for _, f := range strings.Fields(s) {
+		n, err := strconv.ParseInt(f, 10, 64)
+		if err != nil {
+			return nil
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+var sampleProtocols = []ir.Protocol{
+	ir.ProtoConnected, ir.ProtoStatic, ir.ProtoOSPF, ir.ProtoBGP,
+	ir.ProtoIBGP, ir.ProtoAggregate, ir.ProtoLocal,
+}
+
+func (s *routeSampler) sample() *ir.Route {
+	var p netaddr.Prefix
+	if len(s.prefixes) > 0 && s.rng.Intn(4) != 0 {
+		p = s.prefixes[s.rng.Intn(len(s.prefixes))]
+	} else {
+		p = netaddr.NewPrefix(netaddr.Addr(s.rng.Uint32()), uint8(s.rng.Intn(33)))
+	}
+	r := ir.NewRoute(p)
+	for _, c := range s.comms {
+		if s.rng.Intn(4) == 0 {
+			r.Communities[c] = true
+		}
+	}
+	if len(s.meds) > 0 {
+		r.MED = s.meds[s.rng.Intn(len(s.meds))]
+	}
+	if len(s.tags) > 0 {
+		r.Tag = s.tags[s.rng.Intn(len(s.tags))]
+	}
+	if len(s.asPaths) > 0 {
+		r.ASPath = append([]int64(nil), s.asPaths[s.rng.Intn(len(s.asPaths))]...)
+	}
+	if len(s.nextHops) > 0 && s.rng.Intn(2) == 0 {
+		r.NextHop = s.nextHops[s.rng.Intn(len(s.nextHops))]
+	} else {
+		r.NextHop = netaddr.Addr(s.rng.Uint32())
+	}
+	if s.rng.Intn(4) == 0 {
+		r.Protocol = sampleProtocols[s.rng.Intn(len(sampleProtocols))]
+	}
+	return r
+}
+
+// sampleRouteMaps is the completeness/exactness sampling pass of
+// CheckRouteMaps: for each sampled route, a concrete disagreement must
+// fall inside the reported union, and an in-union sample must disagree
+// concretely — unless it is a verified transform-coincidence point.
+func sampleRouteMaps(rep *Report, rng *rand.Rand, enc *symbolic.RouteEncoding,
+	cfg1 *ir.Config, rm1 *ir.RouteMap, cfg2 *ir.Config, rm2 *ir.RouteMap,
+	diffs []semdiff.RouteMapDiff, union bdd.Node, pair string, opts Options) {
+	sampler := newRouteSampler(enc, rng, cfg1, cfg2)
+	for i := 0; i < opts.Samples; i++ {
+		r := sampler.sample()
+		rep.SampleChecks++
+		d1 := evalBothWays(rep, cfg1, rm1, r, pair, "side 1")
+		d2 := evalBothWays(rep, cfg2, rm2, r, pair, "side 2")
+		disagree := routeDisagree(d1, d2)
+		if disagree {
+			rep.Disagreements++
+		}
+		inUnion := enc.F.And(union, enc.RouteCube(r)) != bdd.False
+		switch {
+		case disagree && !inUnion:
+			rep.violate("completeness", pair,
+				"oracle disagrees on %v (side1 %v, side2 %v) but the route is outside every reported region\nside 1 trace:\n%s\nside 2 trace:\n%s",
+				r, d1.Action, d2.Action, indent(d1.String()), indent(d2.String()))
+		case !disagree && inUnion:
+			if coincidencePoint(enc, diffs, r) {
+				rep.Coincidences++
+			} else {
+				rep.violate("sample-unsound", pair,
+					"route %v falls in a reported region but the oracle sees no disagreement (both %v)",
+					r, d1.Action)
+			}
+		}
+	}
+}
+
+// coincidencePoint reports whether route r lies in a region whose two
+// classes both accept with intensionally-different transforms that
+// happen to produce identical outputs on r — the one legitimate way an
+// in-union input can fail to disagree concretely. Each side's classes
+// partition the input space, so r lies in at most one region.
+func coincidencePoint(enc *symbolic.RouteEncoding, diffs []semdiff.RouteMapDiff, r *ir.Route) bool {
+	cube := enc.RouteCube(r)
+	for _, d := range diffs {
+		if enc.F.And(d.Inputs, cube) == bdd.False {
+			continue
+		}
+		if d.Path1.Accept != d.Path2.Accept {
+			return false
+		}
+		return predictedOutput(d.Path1.Transform, r).Equal(predictedOutput(d.Path2.Transform, r))
+	}
+	return false
+}
+
+// packetSampler draws concrete packets biased toward the address, port,
+// and protocol constants of the ACL pair under test. The packet
+// encoding is an exact bit-blast, so any packet is symbolically
+// faithful; the bias just concentrates probes near decision boundaries.
+type packetSampler struct {
+	rng    *rand.Rand
+	addrs  []netaddr.Addr
+	ports  []uint16
+	protos []uint8
+	icmp   []uint8
+}
+
+func newPacketSampler(rng *rand.Rand, acls ...*ir.ACL) *packetSampler {
+	s := &packetSampler{rng: rng, protos: []uint8{ir.ProtoNumTCP, ir.ProtoNumUDP, ir.ProtoNumICMP}}
+	seenProto := map[uint8]bool{}
+	for _, acl := range acls {
+		if acl == nil {
+			continue
+		}
+		for _, l := range acl.Lines {
+			for _, w := range append(append([]netaddr.Wildcard{}, l.Src...), l.Dst...) {
+				s.addrs = append(s.addrs, w.Addr,
+					netaddr.Addr(uint32(w.Addr)|uint32(w.Mask)),  // last covered address
+					netaddr.Addr(uint32(w.Addr)^^uint32(w.Mask))) // all cared bits flipped: outside
+			}
+			for _, pr := range append(append([]netaddr.PortRange{}, l.SrcPorts...), l.DstPorts...) {
+				s.ports = append(s.ports, pr.Lo, pr.Hi, pr.Lo-1, pr.Hi+1)
+			}
+			if !l.Protocol.Any && !seenProto[l.Protocol.Number] {
+				seenProto[l.Protocol.Number] = true
+				s.protos = append(s.protos, l.Protocol.Number)
+			}
+			if l.ICMPType >= 0 {
+				s.icmp = append(s.icmp, uint8(l.ICMPType), uint8(l.ICMPType)+1)
+			}
+		}
+	}
+	return s
+}
+
+func (s *packetSampler) addr() netaddr.Addr {
+	if len(s.addrs) > 0 && s.rng.Intn(3) != 0 {
+		return s.addrs[s.rng.Intn(len(s.addrs))]
+	}
+	return netaddr.Addr(s.rng.Uint32())
+}
+
+func (s *packetSampler) port() uint16 {
+	if len(s.ports) > 0 && s.rng.Intn(3) != 0 {
+		return s.ports[s.rng.Intn(len(s.ports))]
+	}
+	return uint16(s.rng.Intn(65536))
+}
+
+func (s *packetSampler) sample() ir.Packet {
+	p := ir.Packet{
+		Src:     s.addr(),
+		Dst:     s.addr(),
+		SrcPort: s.port(),
+		DstPort: s.port(),
+		TCPAck:  s.rng.Intn(2) == 0,
+		TCPRst:  s.rng.Intn(4) == 0,
+	}
+	if s.rng.Intn(8) == 0 {
+		p.Protocol = uint8(s.rng.Intn(256))
+	} else {
+		p.Protocol = s.protos[s.rng.Intn(len(s.protos))]
+	}
+	if len(s.icmp) > 0 && s.rng.Intn(2) == 0 {
+		p.ICMPType = s.icmp[s.rng.Intn(len(s.icmp))]
+	} else {
+		p.ICMPType = uint8(s.rng.Intn(256))
+	}
+	return p
+}

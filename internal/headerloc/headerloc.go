@@ -7,6 +7,7 @@
 package headerloc
 
 import (
+	"sort"
 	"strings"
 
 	"repro/internal/bdd"
@@ -30,8 +31,16 @@ type RouteLocalization struct {
 	// which the difference manifests (nil when communities are
 	// unconstrained).
 	ExampleCommunities []string
-	// ExampleRoute is one concrete impacted route advertisement.
+	// ExampleRoute is one concrete impacted route advertisement,
+	// extracted so that it is a genuine witness of the difference
+	// whenever ExampleExact is true.
 	ExampleRoute *ir.Route
+	// ExampleExact reports whether ExampleRoute is guaranteed to lie in
+	// the difference's input set. It is false only when every witness
+	// requires an as-path outside the configurations' regex vocabulary
+	// (the encoding's "<other>" atom), whose concretization is
+	// synthesized and therefore advisory.
+	ExampleExact bool
 	// CommunityTerms, when populated (the exhaustive-communities option),
 	// renders the community dimension completely; CommunityComplete
 	// reports whether the enumeration hit its bound.
@@ -161,9 +170,13 @@ func (l *RouteLocalizer) Localize(inputs bdd.Node) RouteLocalization {
 		Terms: ddnf.Simplify(terms),
 		Exact: exact,
 	}
-	if a := l.enc.F.AnySat(inputs); a != nil {
-		loc.ExampleCommunities = l.enc.ExampleCommunities(a)
-		loc.ExampleRoute = l.enc.RouteFromAssignment(a)
+	if r, exact := l.enc.WitnessRoute(inputs); r != nil {
+		loc.ExampleRoute = r
+		loc.ExampleExact = exact
+		for c := range r.Communities {
+			loc.ExampleCommunities = append(loc.ExampleCommunities, c)
+		}
+		sort.Strings(loc.ExampleCommunities)
 	}
 	return loc
 }

@@ -1,0 +1,122 @@
+package oracle
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ir"
+	"repro/internal/netaddr"
+)
+
+// ACLStep records the oracle's visit to one ACL line.
+type ACLStep struct {
+	Line    *ir.ACLLine
+	Matched bool
+	// Why explains the first failing constraint, or summarizes the hit.
+	Why string
+}
+
+// ACLDecision is the oracle's verdict on one packet.
+type ACLDecision struct {
+	Action ir.Action
+	// Line is the matching line; nil means the implicit trailing deny.
+	Line  *ir.ACLLine
+	Steps []ACLStep
+}
+
+// Permits reports whether the decision admits the packet.
+func (d ACLDecision) Permits() bool { return d.Action == ir.Permit }
+
+// String renders the trace, one line per visited ACL rule.
+func (d ACLDecision) String() string {
+	var b strings.Builder
+	for _, s := range d.Steps {
+		verdict := "no match"
+		if s.Matched {
+			verdict = "MATCH"
+		}
+		fmt.Fprintf(&b, "line %d [%s]: %s (%s)\n", s.Line.Seq, s.Line.Action, verdict, s.Why)
+	}
+	if d.Line != nil {
+		fmt.Fprintf(&b, "=> %s by line %d", d.Action, d.Line.Seq)
+	} else {
+		fmt.Fprintf(&b, "=> %s by implicit deny", d.Action)
+	}
+	return b.String()
+}
+
+// EvalACL runs the packet through the ACL first-match-wins, with the
+// implicit deny when no line matches.
+func EvalACL(acl *ir.ACL, p ir.Packet) ACLDecision {
+	var d ACLDecision
+	for _, l := range acl.Lines {
+		matched, why := lineMatches(l, p)
+		d.Steps = append(d.Steps, ACLStep{Line: l, Matched: matched, Why: why})
+		if matched {
+			d.Action = l.Action
+			d.Line = l
+			return d
+		}
+	}
+	d.Action = ir.Deny
+	return d
+}
+
+func lineMatches(l *ir.ACLLine, p ir.Packet) (bool, string) {
+	if !l.Protocol.Any && l.Protocol.Number != p.Protocol {
+		return false, fmt.Sprintf("protocol %d != %s", p.Protocol, l.Protocol)
+	}
+	if !addrMatches(l.Src, p.Src) {
+		return false, fmt.Sprintf("src %s outside source matchers", p.Src)
+	}
+	if !addrMatches(l.Dst, p.Dst) {
+		return false, fmt.Sprintf("dst %s outside destination matchers", p.Dst)
+	}
+	if len(l.SrcPorts) > 0 && !portMatches(l.SrcPorts, p.SrcPort) {
+		return false, fmt.Sprintf("src port %d outside ranges", p.SrcPort)
+	}
+	if len(l.DstPorts) > 0 && !portMatches(l.DstPorts, p.DstPort) {
+		return false, fmt.Sprintf("dst port %d outside ranges", p.DstPort)
+	}
+	if l.Established {
+		if p.Protocol != ir.ProtoNumTCP {
+			return false, "established requires tcp"
+		}
+		if !p.TCPAck && !p.TCPRst {
+			return false, "established requires ack or rst"
+		}
+	}
+	if l.ICMPType >= 0 {
+		if p.Protocol != ir.ProtoNumICMP {
+			return false, "icmp-type requires icmp"
+		}
+		if int(p.ICMPType) != l.ICMPType {
+			return false, fmt.Sprintf("icmp type %d != %d", p.ICMPType, l.ICMPType)
+		}
+	}
+	return true, "all constraints hold"
+}
+
+// addrMatches re-states wildcard matching from first principles: the
+// address agrees with the matcher's pattern on every bit the wildcard
+// mask does not free. An empty matcher set matches any address.
+func addrMatches(ws []netaddr.Wildcard, a netaddr.Addr) bool {
+	if len(ws) == 0 {
+		return true
+	}
+	for _, w := range ws {
+		if uint32(a)&^uint32(w.Mask) == uint32(w.Addr)&^uint32(w.Mask) {
+			return true
+		}
+	}
+	return false
+}
+
+func portMatches(rs []netaddr.PortRange, p uint16) bool {
+	for _, r := range rs {
+		if p >= r.Lo && p <= r.Hi {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,428 @@
+// Package oracle is a concrete reference interpreter for Campion's IR:
+// it evaluates a route map on one fully-concrete BGP announcement, or an
+// ACL on one concrete packet header, by walking the IR directly — no
+// BDDs, no symbolic encodings, and no sharing of evaluation code with
+// either the symbolic engine or ir's own Eval helpers.
+//
+// Its purpose is differential testing (internal/difftest): the symbolic
+// engine claims two configurations disagree on some input region, the
+// oracle independently confirms or refutes the claim on a concrete
+// witness. To make disagreements debuggable, every evaluation produces a
+// decision trace explaining which clause matched and why.
+//
+// The oracle intentionally re-implements the match and transform
+// semantics from the IR definition, reusing only leaf primitives whose
+// behavior is fixed by data (community.Matcher regex matching, netaddr
+// range arithmetic). Where it must agree with ir.EvalRouteMap and
+// ACL.Evaluate, tests cross-check all three implementations.
+package oracle
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/community"
+	"repro/internal/ir"
+	"repro/internal/netaddr"
+)
+
+// RouteStep records the oracle's visit to one route-map clause.
+type RouteStep struct {
+	// Clause is the visited clause.
+	Clause *ir.RouteMapClause
+	// Matched reports whether every match condition held.
+	Matched bool
+	// Why explains each match condition's outcome, in clause order. For
+	// a non-matching clause the last entry names the condition that
+	// failed (evaluation short-circuits like the routers do).
+	Why []string
+}
+
+// RouteDecision is the oracle's verdict on one route.
+type RouteDecision struct {
+	// Action is the final permit/deny disposition.
+	Action ir.Action
+	// Route is the transformed announcement (nil when denied).
+	Route *ir.Route
+	// Terminal is the clause that decided, nil when the map's default
+	// action applied.
+	Terminal *ir.RouteMapClause
+	// Steps traces every clause visited, in order.
+	Steps []RouteStep
+}
+
+// Permits reports whether the decision admits the route.
+func (d RouteDecision) Permits() bool { return d.Action == ir.Permit }
+
+// String renders the trace for humans: one line per visited clause and a
+// final verdict line. This is the format EXPERIMENTS.md documents for
+// reading oracle/symbolic disagreements.
+func (d RouteDecision) String() string {
+	var b strings.Builder
+	for _, s := range d.Steps {
+		verdict := "no match"
+		if s.Matched {
+			verdict = "MATCH"
+		}
+		fmt.Fprintf(&b, "clause %s [%s]: %s", clauseLabel(s.Clause), s.Clause.Action, verdict)
+		if len(s.Why) > 0 {
+			fmt.Fprintf(&b, " (%s)", strings.Join(s.Why, "; "))
+		}
+		b.WriteString("\n")
+	}
+	if d.Terminal != nil {
+		fmt.Fprintf(&b, "=> %s by clause %s", d.Action, clauseLabel(d.Terminal))
+	} else {
+		fmt.Fprintf(&b, "=> %s by default action", d.Action)
+	}
+	if d.Route != nil {
+		fmt.Fprintf(&b, ": %s", d.Route)
+	}
+	return b.String()
+}
+
+func clauseLabel(cl *ir.RouteMapClause) string {
+	if cl.Name != "" {
+		return cl.Name
+	}
+	return fmt.Sprintf("%d", cl.Seq)
+}
+
+// EvalRouteMap runs the announcement through the route map under the
+// configuration's named lists and returns the traced decision. The input
+// route is never mutated.
+func EvalRouteMap(cfg *ir.Config, rm *ir.RouteMap, in *ir.Route) RouteDecision {
+	r := cloneRoute(in)
+	var d RouteDecision
+	for _, cl := range rm.Clauses {
+		matched, why := clauseMatches(cfg, cl, r)
+		d.Steps = append(d.Steps, RouteStep{Clause: cl, Matched: matched, Why: why})
+		if !matched {
+			continue
+		}
+		switch cl.Action {
+		case ir.ClauseDeny:
+			d.Action = ir.Deny
+			d.Terminal = cl
+			return d
+		case ir.ClausePermit:
+			applySets(cfg, cl.Sets, r)
+			d.Action = ir.Permit
+			d.Route = r
+			d.Terminal = cl
+			return d
+		case ir.ClauseFallthrough:
+			applySets(cfg, cl.Sets, r)
+		}
+	}
+	d.Action = rm.DefaultAction
+	if d.Action == ir.Permit {
+		d.Route = r
+	}
+	return d
+}
+
+// EvalChain evaluates a policy chain the way the diff engine models it
+// (core.ResolveChain): an empty chain or a single undefined name is an
+// accept-all identity; a multi-name chain concatenates the clauses of
+// every defined map with the last defined map's default action.
+func EvalChain(cfg *ir.Config, names []string, in *ir.Route) RouteDecision {
+	def := ir.Permit
+	var maps []*ir.RouteMap
+	for _, n := range names {
+		if rm := cfg.RouteMaps[n]; rm != nil {
+			maps = append(maps, rm)
+			def = rm.DefaultAction
+		}
+	}
+	merged := &ir.RouteMap{DefaultAction: def}
+	for _, rm := range maps {
+		merged.Clauses = append(merged.Clauses, rm.Clauses...)
+	}
+	return EvalRouteMap(cfg, merged, in)
+}
+
+// cloneRoute deep-copies a route without relying on ir.Route.Clone.
+func cloneRoute(r *ir.Route) *ir.Route {
+	out := &ir.Route{
+		Prefix:      r.Prefix,
+		Communities: make(map[string]bool, len(r.Communities)),
+		LocalPref:   r.LocalPref,
+		MED:         r.MED,
+		Weight:      r.Weight,
+		Tag:         r.Tag,
+		NextHop:     r.NextHop,
+		Protocol:    r.Protocol,
+	}
+	for c, ok := range r.Communities {
+		if ok {
+			out.Communities[c] = true
+		}
+	}
+	out.ASPath = append([]int64(nil), r.ASPath...)
+	return out
+}
+
+func clauseMatches(cfg *ir.Config, cl *ir.RouteMapClause, r *ir.Route) (bool, []string) {
+	var why []string
+	for _, m := range cl.Matches {
+		ok, reason := matchHolds(cfg, m, r)
+		why = append(why, reason)
+		if !ok {
+			return false, why
+		}
+	}
+	return true, why
+}
+
+func matchHolds(cfg *ir.Config, m ir.Match, r *ir.Route) (bool, string) {
+	switch m := m.(type) {
+	case ir.MatchPrefixList:
+		for _, name := range m.Lists {
+			if hit, entry := prefixListPermits(cfg.PrefixLists[name], r.Prefix); hit {
+				return true, fmt.Sprintf("prefix-list %s permits %s (entry %d)", name, r.Prefix, entry)
+			}
+		}
+		return false, fmt.Sprintf("no prefix-list of [%s] permits %s", strings.Join(m.Lists, " "), r.Prefix)
+	case ir.MatchPrefixListFilter:
+		pl := cfg.PrefixLists[m.List]
+		if pl == nil {
+			return false, fmt.Sprintf("prefix-list %s undefined", m.List)
+		}
+		for i, e := range pl.Entries {
+			rg := modifiedRange(e.Range, m.Modifier)
+			if rangeContains(rg, r.Prefix) {
+				if e.Action == ir.Permit {
+					return true, fmt.Sprintf("prefix-list %s %s entry %d permits %s", m.List, m.Modifier, i, r.Prefix)
+				}
+				return false, fmt.Sprintf("prefix-list %s %s entry %d denies %s", m.List, m.Modifier, i, r.Prefix)
+			}
+		}
+		return false, fmt.Sprintf("prefix-list %s %s: no entry covers %s", m.List, m.Modifier, r.Prefix)
+	case ir.MatchPrefixRanges:
+		for _, pr := range m.Ranges {
+			if rangeContains(pr, r.Prefix) {
+				return true, fmt.Sprintf("route-filter %s covers %s", pr, r.Prefix)
+			}
+		}
+		return false, fmt.Sprintf("no route-filter range covers %s", r.Prefix)
+	case ir.MatchCommunity:
+		for _, name := range m.Lists {
+			if hit, entry := communityListPermits(cfg.CommunityLists[name], r); hit {
+				return true, fmt.Sprintf("community-list %s entry %d matches [%s]", name, entry, strings.Join(communityStrings(r), " "))
+			}
+		}
+		return false, fmt.Sprintf("no community-list of [%s] matches [%s]", strings.Join(m.Lists, " "), strings.Join(communityStrings(r), " "))
+	case ir.MatchASPath:
+		path := asPathString(r)
+		for _, name := range m.Lists {
+			if hit, entry := asPathListPermits(cfg.ASPathLists[name], path); hit {
+				return true, fmt.Sprintf("as-path list %s entry %d matches %q", name, entry, path)
+			}
+		}
+		return false, fmt.Sprintf("no as-path list of [%s] matches %q", strings.Join(m.Lists, " "), path)
+	case ir.MatchMED:
+		if r.MED == m.Value {
+			return true, fmt.Sprintf("med == %d", m.Value)
+		}
+		return false, fmt.Sprintf("med %d != %d", r.MED, m.Value)
+	case ir.MatchTag:
+		if r.Tag == m.Value {
+			return true, fmt.Sprintf("tag == %d", m.Value)
+		}
+		return false, fmt.Sprintf("tag %d != %d", r.Tag, m.Value)
+	case ir.MatchProtocol:
+		for _, p := range m.Protocols {
+			if r.Protocol == p {
+				return true, fmt.Sprintf("protocol %s", p)
+			}
+		}
+		return false, fmt.Sprintf("protocol %s not in %s", r.Protocol, m)
+	case ir.MatchNextHop:
+		nh := netaddr.Prefix{Addr: r.NextHop, Len: 32}
+		for _, name := range m.Lists {
+			if hit, entry := prefixListPermits(cfg.PrefixLists[name], nh); hit {
+				return true, fmt.Sprintf("next-hop list %s permits %s (entry %d)", name, r.NextHop, entry)
+			}
+		}
+		return false, fmt.Sprintf("no next-hop list of [%s] permits %s", strings.Join(m.Lists, " "), r.NextHop)
+	}
+	return false, fmt.Sprintf("unknown match %T", m)
+}
+
+// prefixListPermits implements first-entry-wins semantics over a named
+// prefix list: the first covering entry decides; an undefined or
+// exhausted list matches nothing.
+func prefixListPermits(pl *ir.PrefixList, p netaddr.Prefix) (bool, int) {
+	if pl == nil {
+		return false, -1
+	}
+	for i, e := range pl.Entries {
+		if rangeContains(e.Range, p) {
+			return e.Action == ir.Permit, i
+		}
+	}
+	return false, -1
+}
+
+// modifiedRange applies a JunOS match-type modifier to a prefix-list
+// entry range (independent re-statement of ir.ApplyRangeModifier).
+func modifiedRange(r netaddr.PrefixRange, modifier string) netaddr.PrefixRange {
+	switch modifier {
+	case "orlonger":
+		return netaddr.PrefixRange{Prefix: r.Prefix, Lo: r.Lo, Hi: 32}
+	case "longer":
+		return netaddr.PrefixRange{Prefix: r.Prefix, Lo: r.Hi + 1, Hi: 32}
+	}
+	return r
+}
+
+// rangeContains re-states prefix-range membership from first principles:
+// the candidate's address bits agree with the range prefix on the
+// range's mask length, and the candidate's length lies in [Lo, Hi].
+func rangeContains(rg netaddr.PrefixRange, p netaddr.Prefix) bool {
+	if rg.Lo > rg.Hi {
+		return false
+	}
+	if p.Len < rg.Lo || p.Len > rg.Hi {
+		return false
+	}
+	mask := netaddr.Mask(int(rg.Prefix.Len))
+	return uint32(p.Addr)&mask == uint32(rg.Prefix.Addr)&mask
+}
+
+func communityStrings(r *ir.Route) []string {
+	var out []string
+	for c, ok := range r.Communities {
+		if ok {
+			out = append(out, c)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func asPathString(r *ir.Route) string {
+	parts := make([]string, len(r.ASPath))
+	for i, a := range r.ASPath {
+		parts[i] = fmt.Sprintf("%d", a)
+	}
+	return strings.Join(parts, " ")
+}
+
+// communityListPermits walks the list's entries first-match-wins; an
+// entry matches when every conjunct matcher matches some community the
+// route carries (and the conjunct set is non-empty).
+func communityListPermits(l *ir.CommunityList, r *ir.Route) (bool, int) {
+	if l == nil {
+		return false, -1
+	}
+	for i, e := range l.Entries {
+		if communityEntryMatches(e, r) {
+			return e.Action == ir.Permit, i
+		}
+	}
+	return false, -1
+}
+
+func communityEntryMatches(e ir.CommunityListEntry, r *ir.Route) bool {
+	if len(e.Conjuncts) == 0 {
+		return false
+	}
+	for _, m := range e.Conjuncts {
+		if !someCommunityMatches(r, m) {
+			return false
+		}
+	}
+	return true
+}
+
+func someCommunityMatches(r *ir.Route, m ir.CommunityMatcher) bool {
+	if m.Regex == "" {
+		return r.Communities[m.Literal]
+	}
+	cm, err := community.Compile(m.Regex)
+	if err != nil {
+		return false
+	}
+	for c, ok := range r.Communities {
+		if ok && cm.Matches(c) {
+			return true
+		}
+	}
+	return false
+}
+
+func asPathListPermits(l *ir.ASPathList, path string) (bool, int) {
+	if l == nil {
+		return false, -1
+	}
+	for i, e := range l.Entries {
+		cm, err := community.Compile(e.Regex)
+		if err != nil {
+			continue
+		}
+		if cm.Matches(path) {
+			return e.Action == ir.Permit, i
+		}
+	}
+	return false, -1
+}
+
+func applySets(cfg *ir.Config, sets []ir.SetAction, r *ir.Route) {
+	for _, s := range sets {
+		switch s := s.(type) {
+		case ir.SetLocalPref:
+			r.LocalPref = s.Value
+		case ir.SetMED:
+			r.MED = s.Value
+		case ir.SetWeight:
+			r.Weight = s.Value
+		case ir.SetTag:
+			r.Tag = s.Value
+		case ir.SetNextHop:
+			r.NextHop = s.Addr
+		case ir.SetCommunities:
+			if !s.Additive {
+				r.Communities = map[string]bool{}
+			}
+			for _, c := range s.Communities {
+				r.Communities[c] = true
+			}
+		case ir.DeleteCommunity:
+			l := cfg.CommunityLists[s.List]
+			if l == nil {
+				continue
+			}
+			for c := range r.Communities {
+				if deleteMatches(l, c) {
+					delete(r.Communities, c)
+				}
+			}
+		case ir.SetASPathPrepend:
+			r.ASPath = append(append([]int64{}, s.ASNs...), r.ASPath...)
+		}
+	}
+}
+
+// deleteMatches implements comm-list delete: only single-conjunct
+// entries participate, and the first one matching the community decides.
+func deleteMatches(l *ir.CommunityList, comm string) bool {
+	for _, e := range l.Entries {
+		if len(e.Conjuncts) != 1 {
+			continue
+		}
+		m := e.Conjuncts[0]
+		var hit bool
+		if m.Regex == "" {
+			hit = m.Literal == comm
+		} else if cm, err := community.Compile(m.Regex); err == nil {
+			hit = cm.Matches(comm)
+		}
+		if hit {
+			return e.Action == ir.Permit
+		}
+	}
+	return false
+}

@@ -1,0 +1,243 @@
+package oracle
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/aclgen"
+	"repro/internal/campiontest"
+	"repro/internal/cisco"
+	"repro/internal/ir"
+	"repro/internal/juniper"
+	"repro/internal/netaddr"
+	"repro/internal/policygen"
+)
+
+func mustPrefix(t *testing.T, s string) netaddr.Prefix {
+	t.Helper()
+	p, err := netaddr.ParsePrefix(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestFigure1Traces pins down the oracle's decisions, and the traces
+// explaining them, on the paper's Figure 1 Cisco policy.
+func TestFigure1Traces(t *testing.T) {
+	cfg, err := campiontest.ParseCisco(campiontest.Figure1Cisco)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm := cfg.RouteMaps["POL"]
+
+	// A route inside NETS is denied by clause 10.
+	r := ir.NewRoute(mustPrefix(t, "10.9.1.0/24"))
+	d := EvalRouteMap(cfg, rm, r)
+	if d.Action != ir.Deny {
+		t.Fatalf("10.9.1.0/24: got %v, want deny", d.Action)
+	}
+	if d.Terminal == nil || d.Terminal.Seq != 10 {
+		t.Fatalf("10.9.1.0/24: expected clause 10 to decide, got %+v", d.Terminal)
+	}
+	if !strings.Contains(d.String(), "MATCH") || !strings.Contains(d.String(), "prefix-list") {
+		t.Errorf("trace lacks match explanation:\n%s", d)
+	}
+
+	// A community-tagged route outside NETS is denied by clause 20.
+	r = ir.NewRoute(mustPrefix(t, "192.168.0.0/16"))
+	r.Communities["10:10"] = true
+	d = EvalRouteMap(cfg, rm, r)
+	if d.Action != ir.Deny || d.Terminal == nil || d.Terminal.Seq != 20 {
+		t.Fatalf("community route: got %v by %+v, want deny by clause 20", d.Action, d.Terminal)
+	}
+
+	// Anything else is permitted by clause 30 with local-pref 30.
+	r = ir.NewRoute(mustPrefix(t, "192.168.0.0/16"))
+	d = EvalRouteMap(cfg, rm, r)
+	if !d.Permits() {
+		t.Fatalf("plain route: got %v, want permit", d.Action)
+	}
+	if d.Route.LocalPref != 30 {
+		t.Fatalf("plain route: local-pref = %d, want 30", d.Route.LocalPref)
+	}
+	// The input route must not have been mutated.
+	if r.LocalPref != 100 {
+		t.Fatalf("oracle mutated its input: LocalPref=%d", r.LocalPref)
+	}
+	if !strings.Contains(d.String(), "=> permit") {
+		t.Errorf("trace lacks verdict line:\n%s", d)
+	}
+}
+
+// TestFigure1Bug reproduces the paper's Figure 1 discrepancy concretely:
+// the buggy Juniper translation treats a /24 inside 10.9.0.0/16
+// differently because JunOS prefix-lists match exactly while the IOS
+// list says "le 32".
+func TestFigure1Bug(t *testing.T) {
+	ccfg, err := campiontest.ParseCisco(campiontest.Figure1Cisco)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jcfg, err := campiontest.ParseJuniper(campiontest.Figure1Juniper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := ir.NewRoute(mustPrefix(t, "10.9.1.0/24"))
+	cd := EvalRouteMap(ccfg, ccfg.RouteMaps["POL"], r)
+	jd := EvalRouteMap(jcfg, jcfg.RouteMaps["POL"], r)
+	if cd.Action != ir.Deny {
+		t.Fatalf("cisco: got %v, want deny", cd.Action)
+	}
+	if jd.Action != ir.Permit {
+		t.Fatalf("buggy juniper: got %v, want permit (the bug)", jd.Action)
+	}
+
+	// The fixed translation agrees with Cisco.
+	fcfg, err := campiontest.ParseJuniper(campiontest.Figure1JuniperFixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd := EvalRouteMap(fcfg, fcfg.RouteMaps["POL"], r)
+	if fd.Action != ir.Deny {
+		t.Fatalf("fixed juniper: got %v, want deny", fd.Action)
+	}
+}
+
+// TestEvalChainSemantics pins the chain-resolution rules the oracle must
+// share with core.ResolveChain: no names → permit-all; a single missing
+// name → permit-all; multiple maps → concatenated clauses with the last
+// defined map's default action.
+func TestEvalChainSemantics(t *testing.T) {
+	cfg, err := campiontest.ParseCisco(campiontest.Figure1Cisco)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := ir.NewRoute(mustPrefix(t, "10.9.1.0/24"))
+
+	if d := EvalChain(cfg, nil, r); !d.Permits() {
+		t.Fatalf("empty chain: got %v, want permit", d.Action)
+	}
+	if d := EvalChain(cfg, []string{"NO_SUCH_MAP"}, r); !d.Permits() {
+		t.Fatalf("missing map: got %v, want permit", d.Action)
+	}
+	if d := EvalChain(cfg, []string{"POL"}, r); d.Action != ir.Deny {
+		t.Fatalf("chain [POL]: got %v, want deny", d.Action)
+	}
+	if d := EvalChain(cfg, []string{"NO_SUCH_MAP", "POL"}, r); d.Action != ir.Deny {
+		t.Fatalf("chain [missing, POL]: got %v, want deny", d.Action)
+	}
+}
+
+// TestOracleAgreesWithIREvaluator cross-checks the two independent
+// route-map interpreters over generated policies and a grid of concrete
+// routes: any divergence is a bug in one of them.
+func TestOracleAgreesWithIREvaluator(t *testing.T) {
+	probes := func(t *testing.T) []*ir.Route {
+		var out []*ir.Route
+		for _, p := range []string{"10.0.0.0/16", "10.0.4.0/22", "10.32.0.0/11", "192.168.1.0/24", "0.0.0.0/0"} {
+			r := ir.NewRoute(mustPrefix(t, p))
+			out = append(out, r)
+			rc := ir.NewRoute(mustPrefix(t, p))
+			rc.Communities["65000:100"] = true
+			rc.Communities["65000:103"] = true
+			out = append(out, rc)
+		}
+		return out
+	}
+	for seed := uint64(0); seed < 60; seed++ {
+		pair := policygen.Generate(policygen.Params{Seed: seed, Clauses: 6, Differences: int(seed % 3)})
+		for _, text := range []struct {
+			parse func(string, string) (*ir.Config, error)
+			src   string
+		}{{cisco.Parse, pair.CiscoText}, {juniper.Parse, pair.JuniperText}} {
+			cfg, err := text.parse("gen.cfg", text.src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rm := cfg.RouteMaps[pair.PolicyName]
+			for _, r := range probes(t) {
+				od := EvalRouteMap(cfg, rm, r)
+				id := cfg.EvalRouteMap(rm, r)
+				if od.Action != id.Action {
+					t.Fatalf("seed %d: oracle %v vs ir %v on %v\n%s", seed, od.Action, id.Action, r, od)
+				}
+				if od.Action == ir.Permit && !od.Route.Equal(id.Route) {
+					t.Fatalf("seed %d: outputs differ on %v: oracle %v vs ir %v", seed, r, od.Route, id.Route)
+				}
+			}
+		}
+	}
+}
+
+// TestACLOracle pins the ACL interpreter's behavior: first match wins,
+// implicit deny, trace shows the deciding line.
+func TestACLOracle(t *testing.T) {
+	pair := aclgen.Generate(aclgen.Params{Seed: 3, Rules: 8})
+	acl := pair.Cisco
+
+	// Cross-check against the IR evaluator on a probe grid.
+	var probes []ir.Packet
+	for _, l := range acl.Lines {
+		p := ir.Packet{Protocol: ir.ProtoNumTCP, DstPort: 80}
+		if !l.Protocol.Any {
+			p.Protocol = l.Protocol.Number
+		}
+		if len(l.Src) > 0 {
+			p.Src = l.Src[0].Addr
+		}
+		if len(l.Dst) > 0 {
+			p.Dst = l.Dst[0].Addr
+		}
+		if len(l.DstPorts) > 0 {
+			p.DstPort = l.DstPorts[0].Lo
+		}
+		probes = append(probes, p)
+	}
+	probes = append(probes, ir.Packet{Protocol: ir.ProtoNumUDP, DstPort: 53})
+	for _, p := range probes {
+		od := EvalACL(acl, p)
+		if got, _ := acl.Evaluate(p); od.Permits() != (got == ir.Permit) {
+			t.Fatalf("oracle %v vs ir %v on %+v\n%s", od.Action, got, p, od)
+		}
+	}
+
+	// Implicit deny: an empty ACL denies everything and says so.
+	empty := &ir.ACL{Name: "EMPTY"}
+	d := EvalACL(empty, ir.Packet{})
+	if d.Permits() {
+		t.Fatal("empty ACL permitted a packet")
+	}
+	if d.Line != nil {
+		t.Fatalf("implicit deny should have no deciding line, got %+v", d.Line)
+	}
+	if !strings.Contains(d.String(), "implicit deny") {
+		t.Errorf("trace should mention implicit deny:\n%s", d)
+	}
+}
+
+// TestEstablishedSemantics: "established" requires TCP with ACK or RST.
+func TestEstablishedSemantics(t *testing.T) {
+	l := ir.NewACLLine(ir.Permit)
+	l.Protocol = ir.ProtoNumber(ir.ProtoNumTCP)
+	l.Established = true
+	acl := &ir.ACL{Name: "EST", Lines: []*ir.ACLLine{l}}
+
+	cases := []struct {
+		p    ir.Packet
+		want bool
+	}{
+		{ir.Packet{Protocol: ir.ProtoNumTCP, TCPAck: true}, true},
+		{ir.Packet{Protocol: ir.ProtoNumTCP, TCPRst: true}, true},
+		{ir.Packet{Protocol: ir.ProtoNumTCP}, false},
+		{ir.Packet{Protocol: ir.ProtoNumUDP, TCPAck: true}, false},
+	}
+	for _, c := range cases {
+		if got := EvalACL(acl, c.p).Permits(); got != c.want {
+			t.Errorf("established on %+v: got %v, want %v", c.p, got, c.want)
+		}
+		if refAction, _ := acl.Evaluate(c.p); (refAction == ir.Permit) != c.want {
+			t.Errorf("ir.Evaluate disagrees with expectation on %+v", c.p)
+		}
+	}
+}

@@ -21,6 +21,28 @@ type Params struct {
 	Differences int // differences injected into the Juniper copy
 }
 
+// ParamsFromBytes derives bounded generation parameters from raw fuzz
+// input, so native go-fuzz corpora drive the generator through its whole
+// parameter space without ever producing a degenerate workload.
+func ParamsFromBytes(data []byte) Params {
+	at := func(i int) uint64 {
+		if i < len(data) {
+			return uint64(data[i])
+		}
+		return 0
+	}
+	seed := uint64(0)
+	for i := 0; i < 8; i++ {
+		seed = seed<<8 | at(i)
+	}
+	return Params{
+		Seed:        seed,
+		Clauses:     1 + int(at(8)%10),
+		Communities: 1 + int(at(9)%8),
+		Differences: int(at(10) % 5),
+	}
+}
+
 // Pair is a generated policy pair in both vendor syntaxes.
 type Pair struct {
 	PolicyName  string

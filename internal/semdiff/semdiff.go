@@ -78,6 +78,19 @@ func EquivalentRouteMaps(enc *symbolic.RouteEncoding, cfg1 *ir.Config, rm1 *ir.R
 	return len(d) == 0, err
 }
 
+// UnionRouteMapInputs returns the union of the diffs' input sets — the
+// complete set of route advertisements the two maps treat differently.
+// The differential harness checks concrete disagreements against this
+// set: completeness demands every concretely-differing route lie inside
+// it, soundness demands every route inside it differ concretely.
+func UnionRouteMapInputs(enc *symbolic.RouteEncoding, diffs []RouteMapDiff) bdd.Node {
+	u := bdd.False
+	for _, d := range diffs {
+		u = enc.F.Or(u, d.Inputs)
+	}
+	return u
+}
+
 // ACLDiff is one behavioral difference between two ACLs.
 type ACLDiff struct {
 	Inputs       bdd.Node
@@ -151,6 +164,16 @@ func DiffACLsNaive(enc *symbolic.PacketEncoding, acl1, acl2 *ir.ACL) []ACLDiff {
 		}
 	}
 	return diffs
+}
+
+// UnionACLInputs returns the union of the diffs' input sets — the
+// complete set of packets the two ACLs treat differently.
+func UnionACLInputs(enc *symbolic.PacketEncoding, diffs []ACLDiff) bdd.Node {
+	u := bdd.False
+	for _, d := range diffs {
+		u = enc.F.Or(u, d.Inputs)
+	}
+	return u
 }
 
 // EquivalentACLs reports whether two ACLs accept exactly the same packets.

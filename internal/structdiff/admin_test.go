@@ -1,0 +1,147 @@
+package structdiff
+
+import (
+	"testing"
+
+	"repro/internal/arista"
+	"repro/internal/cisco"
+	"repro/internal/ir"
+)
+
+func mustParse(t *testing.T, parse func(string, string) (*ir.Config, error), name, text string) *ir.Config {
+	t.Helper()
+	cfg, err := parse(name, text)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return cfg
+}
+
+// TestAdminDistanceExplicitPaths covers the DiffAdminDistances decision
+// table: a protocol is compared only when both sides model it and at
+// least one side configured the distance explicitly.
+func TestAdminDistanceExplicitPaths(t *testing.T) {
+	bgpExplicit := `router bgp 65001
+ distance bgp 25 210 200
+`
+	t.Run("explicit both sides, differing", func(t *testing.T) {
+		c1 := mustParse(t, cisco.Parse, "a", bgpExplicit)
+		c2 := mustParse(t, cisco.Parse, "b", "router bgp 65001\n distance bgp 30 210 200\n")
+		diffs := DiffAdminDistances(c1, c2)
+		if len(diffs) != 1 {
+			t.Fatalf("diffs = %+v, want 1", diffs)
+		}
+		d := diffs[0]
+		if d.Key != "bgp" || d.Value1 != "25" || d.Value2 != "30" {
+			t.Errorf("d = %+v", d)
+		}
+	})
+	t.Run("explicit both sides, equal", func(t *testing.T) {
+		c1 := mustParse(t, cisco.Parse, "a", bgpExplicit)
+		c2 := mustParse(t, cisco.Parse, "b", bgpExplicit)
+		if diffs := DiffAdminDistances(c1, c2); len(diffs) != 0 {
+			t.Errorf("equal explicit distances should be silent: %+v", diffs)
+		}
+	})
+	t.Run("explicit ibgp compared independently", func(t *testing.T) {
+		c1 := mustParse(t, cisco.Parse, "a", "router bgp 65001\n distance bgp 20 150 200\n")
+		c2 := mustParse(t, cisco.Parse, "b", "router bgp 65001\n distance bgp 20 180 200\n")
+		diffs := DiffAdminDistances(c1, c2)
+		if len(diffs) != 1 || diffs[0].Key != "ibgp" || diffs[0].Value1 != "150" || diffs[0].Value2 != "180" {
+			t.Fatalf("diffs = %+v, want one ibgp difference", diffs)
+		}
+	})
+	t.Run("protocol missing from one model is skipped", func(t *testing.T) {
+		c1 := mustParse(t, cisco.Parse, "a", bgpExplicit)
+		c2 := mustParse(t, cisco.Parse, "b", "hostname b\n")
+		delete(c2.AdminDistances, ir.ProtoBGP)
+		delete(c2.AdminDistances, ir.ProtoIBGP)
+		if diffs := DiffAdminDistances(c1, c2); len(diffs) != 0 {
+			t.Errorf("unmodeled protocol should be skipped: %+v", diffs)
+		}
+	})
+}
+
+// TestAdminDistanceAristaDefaults: EOS defaults eBGP to 200 where IOS
+// uses 20, but defaults are never reported — only an explicit distance
+// on either side exposes the difference. This is the router-replacement
+// pitfall the paper's §5.1 replacement scenario describes.
+func TestAdminDistanceAristaDefaults(t *testing.T) {
+	ios := mustParse(t, cisco.Parse, "ios.cfg", "router bgp 65001\n neighbor 10.0.0.2 remote-as 65002\n")
+	eos := mustParse(t, arista.Parse, "eos.cfg", "router bgp 65001\n neighbor 10.0.0.2 remote-as 65002\n")
+
+	if ios.AdminDistances[ir.ProtoBGP] != 20 || eos.AdminDistances[ir.ProtoBGP] != 200 {
+		t.Fatalf("vendor defaults: ios=%d eos=%d, want 20/200",
+			ios.AdminDistances[ir.ProtoBGP], eos.AdminDistances[ir.ProtoBGP])
+	}
+	// Both sides on vendor defaults: silent by design.
+	if diffs := DiffAdminDistances(ios, eos); len(diffs) != 0 {
+		t.Errorf("default-vs-default should be silent: %+v", diffs)
+	}
+
+	// The operator pins the distance on the IOS side; now the EOS default
+	// disagrees and the difference must surface with both values.
+	pinned := mustParse(t, cisco.Parse, "ios2.cfg", "router bgp 65001\n distance bgp 20 200 200\n")
+	diffs := DiffAdminDistances(pinned, eos)
+	if len(diffs) != 1 || diffs[0].Key != "bgp" || diffs[0].Value1 != "20" || diffs[0].Value2 != "200" {
+		t.Fatalf("diffs = %+v, want one bgp 20-vs-200 difference", diffs)
+	}
+	// Symmetrically, explicit on the EOS side only.
+	eosPinned := mustParse(t, arista.Parse, "eos2.cfg", "router bgp 65001\n distance bgp 200 200 200\n")
+	diffs = DiffAdminDistances(ios, eosPinned)
+	if len(diffs) != 1 || diffs[0].Value1 != "20" || diffs[0].Value2 != "200" {
+		t.Fatalf("diffs = %+v, want one bgp difference", diffs)
+	}
+}
+
+// TestOSPFIntervalProps covers the optional hello/dead-interval
+// properties: unset on both sides they are absent from the comparison,
+// set on one side they diff against "None".
+func TestOSPFIntervalProps(t *testing.T) {
+	base := `interface GigabitEthernet0/0
+ ip address 10.0.1.1 255.255.255.0
+ ip ospf 1 area 0
+router ospf 1
+`
+	// The timers have IR fields but no vendor syntax in this parser yet,
+	// so they are planted on the parsed model directly.
+	withIntervals := func(name string) *ir.Config {
+		cfg := mustParse(t, cisco.Parse, name, base)
+		i := cfg.OSPF.Interfaces["GigabitEthernet0/0"]
+		i.HelloInterval = 5
+		i.DeadInterval = 20
+		return cfg
+	}
+	c1 := withIntervals("a")
+	c2 := mustParse(t, cisco.Parse, "b", base)
+	diffs := DiffOSPF(c1, c2)
+	got := map[string]string{}
+	for _, d := range diffs {
+		got[d.Field] = d.Value1 + "/" + d.Value2
+	}
+	if got["hello-interval"] != "5/None" || got["dead-interval"] != "20/None" {
+		t.Fatalf("interval diffs = %+v", diffs)
+	}
+	// Identical intervals are silent.
+	c3 := withIntervals("c")
+	if diffs := DiffOSPF(c1, c3); len(diffs) != 0 {
+		t.Errorf("equal intervals should be silent: %+v", diffs)
+	}
+}
+
+// TestOSPFPresence covers the nil-config arms of DiffOSPF.
+func TestOSPFPresence(t *testing.T) {
+	with := mustParse(t, cisco.Parse, "a", "router ospf 1\n network 10.0.1.0 0.0.0.255 area 0\n")
+	without := mustParse(t, cisco.Parse, "b", "hostname b\n")
+	if diffs := DiffOSPF(without, without); diffs != nil {
+		t.Errorf("no OSPF on either side: %+v", diffs)
+	}
+	diffs := DiffOSPF(with, without)
+	if len(diffs) != 1 || diffs[0].Component != "ospf-config" || diffs[0].Value2 != "None" {
+		t.Fatalf("diffs = %+v", diffs)
+	}
+	diffs = DiffOSPF(without, with)
+	if len(diffs) != 1 || diffs[0].Value1 != "None" {
+		t.Fatalf("diffs = %+v", diffs)
+	}
+}

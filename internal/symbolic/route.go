@@ -689,6 +689,127 @@ func (e *RouteEncoding) RouteFromAssignment(a bdd.Assignment) *ir.Route {
 	return r
 }
 
+// MEDValues returns the MED constants the encoding atomizes (sorted).
+// Values outside this set are indistinguishable to the symbolic engine:
+// they satisfy no MED atom.
+func (e *RouteEncoding) MEDValues() []int64 { return e.medVals }
+
+// TagValues returns the atomized tag constants (sorted).
+func (e *RouteEncoding) TagValues() []int64 { return e.tagVals }
+
+// ASPathAtoms returns the finite as-path universe, excluding the
+// closing "<other>" atom — the exact path strings the symbolic encoding
+// distinguishes. Samplers drawing concrete routes should stay inside
+// this set (or use the empty path) so the concrete regex semantics and
+// the atomized symbolic semantics coincide.
+func (e *RouteEncoding) ASPathAtoms() []string {
+	return e.asAtoms[:len(e.asAtoms)-1]
+}
+
+// FreshMED returns a MED value satisfying no atom of the encoding — the
+// concretization of "MED is none of the configuration's constants".
+func (e *RouteEncoding) FreshMED() int64 { return freshValue(e.medVals) }
+
+// FreshTag returns a tag value satisfying no atom of the encoding.
+func (e *RouteEncoding) FreshTag() int64 { return freshValue(e.tagVals) }
+
+func freshValue(vals []int64) int64 {
+	v := int64(0)
+	for _, x := range vals {
+		if x >= v {
+			v = x + 1
+		}
+	}
+	return v
+}
+
+// WitnessRoute extracts one concrete route guaranteed to lie inside the
+// given non-empty route set (set must be a subset of WellFormed, as every
+// SemanticDiff region is). It improves on AnySat + RouteFromAssignment in
+// two ways that matter for soundness checking:
+//
+//   - MED/tag atoms all false or unconstrained concretize to a fresh
+//     value outside the atom vocabulary instead of a default that may
+//     collide with a forced-false atom;
+//   - assignments selecting the "<other>" as-path atom are avoided when
+//     any witness with a real atom (or no as-path constraint) exists.
+//
+// The boolean result reports exactness: false means every witness in the
+// set selects "<other>", whose concretization (a synthesized path outside
+// the atom universe) is only faithful when no as-path regex of the
+// configurations matches the synthesized path — callers should treat such
+// witnesses as advisory. A nil route means the set is empty.
+func (e *RouteEncoding) WitnessRoute(set bdd.Node) (*ir.Route, bool) {
+	if set == bdd.False {
+		return nil, false
+	}
+	n := set
+	if len(e.asAtoms) > 1 {
+		// Prefer witnesses with a real as-path atom; fall back to the
+		// whole set when the region forces "<other>".
+		otherVar := e.asVar0 + len(e.asAtoms) - 1
+		if m := e.F.And(set, e.F.NVar(otherVar)); m != bdd.False {
+			n = m
+		}
+	}
+	return e.ExactRoute(e.F.AnySat(n))
+}
+
+// ExactRoute concretizes a satisfying assignment (total or partial) into
+// a route guaranteed to re-enter the assignment's constraints, repairing
+// the optimistic defaults of RouteFromAssignment: MED/tag blocks with no
+// atom selected take a fresh value outside the vocabulary (exact,
+// because the concrete matchers only compare vocabulary constants). The
+// boolean is false when the assignment selects the "<other>" as-path
+// atom, which has no faithful concrete as-path; the returned route then
+// carries a synthesized path and is advisory only. (When the
+// configurations define no as-path regexes at all, "<other>" covers
+// every as-path vacuously and the empty path is an exact
+// concretization.)
+func (e *RouteEncoding) ExactRoute(a bdd.Assignment) (*ir.Route, bool) {
+	r := e.RouteFromAssignment(a)
+	if !hasOne(a, e.medVar0, len(e.medVals)) {
+		r.MED = e.FreshMED()
+	}
+	if !hasOne(a, e.tagVar0, len(e.tagVals)) {
+		r.Tag = e.FreshTag()
+	}
+	if otherVar := e.asVar0 + len(e.asAtoms) - 1; len(e.asAtoms) > 1 && a[otherVar] == 1 {
+		r.ASPath = e.syntheticOtherPath()
+		return r, false
+	}
+	return r, true
+}
+
+// hasOne reports whether some variable of the block is assigned true.
+func hasOne(a bdd.Assignment, first, n int) bool {
+	for i := 0; i < n; i++ {
+		if a[first+i] == 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// syntheticOtherPath builds an as-path string not present in the atom
+// universe and returns its parsed form.
+func (e *RouteEncoding) syntheticOtherPath() []int64 {
+	path := "64999"
+	for {
+		found := false
+		for _, atom := range e.asAtoms[:len(e.asAtoms)-1] {
+			if atom == path {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return parseASPath(path)
+		}
+		path += " 64999"
+	}
+}
+
 func parseASPath(s string) []int64 {
 	var out []int64
 	cur := int64(-1)
