@@ -492,6 +492,64 @@ func BenchmarkSemanticDiffRouteMap20(b *testing.B)  { benchRouteMapDiff(b, 20) }
 func BenchmarkSemanticDiffRouteMap100(b *testing.B) { benchRouteMapDiff(b, 100) }
 func BenchmarkSemanticDiffRouteMap300(b *testing.B) { benchRouteMapDiff(b, 300) }
 
+// BenchmarkSemanticDiffRouteMap10000 is the kernel-scale tier: 10k
+// generated clauses through encoding + enumeration + pairwise diff
+// (~1M nodes per iteration). Header localization is measured separately
+// — its DDNF dag is the known wall at this clause count.
+func BenchmarkSemanticDiffRouteMap10000(b *testing.B) { benchRouteMapDiff(b, 10000) }
+
+// BenchmarkRouteMapOrderSearch measures the static variable-order search
+// itself (5 candidate layouts, a 96-clause sample each) and reports the
+// sample node counts of the identity layout and the winner — the
+// ordering-comparison row of scripts/bench.sh.
+func BenchmarkRouteMapOrderSearch(b *testing.B) {
+	pair := policygen.Generate(policygen.Params{Seed: 3, Clauses: 300, Differences: 5})
+	c, err := cisco.Parse("c.cfg", pair.CiscoText)
+	if err != nil {
+		b.Fatal(err)
+	}
+	j, err := juniper.Parse("j.cfg", pair.JuniperText)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var idN, bestN int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, idN, bestN = symbolic.ChooseRouteOrder(c, j)
+	}
+	b.ReportMetric(float64(idN), "identity-nodes/op")
+	b.ReportMetric(float64(bestN), "best-nodes/op")
+}
+
+// BenchmarkIntraPairACL10000 sweeps intra-pair striping over ONE
+// 10k-rule ACL pair — the workload where inter-pair fan-out has nothing
+// to parallelize. workers>1 engages the striped engine; the win is
+// superadditive (region signatures let each stripe skip the lines that
+// cannot match its region), so workers=4 beats workers=1 even on one
+// CPU.
+func BenchmarkIntraPairACL10000(b *testing.B) {
+	pair := aclgen.Generate(aclgen.Params{Seed: 1, Rules: 10000, Differences: 10})
+	mk := func(host string, acl *ir.ACL) *ir.Config {
+		return &ir.Config{Hostname: host, ACLs: map[string]*ir.ACL{"BIG": acl}}
+	}
+	c1, c2 := mk("r1", pair.Cisco), mk("r2", pair.Juniper)
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			opts := core.Options{Components: []core.Component{core.ComponentACLs}, Workers: workers}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep, err := core.Diff(c1, c2, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(rep.ACLDiffs) == 0 {
+					b.Fatal("expected diffs")
+				}
+			}
+		})
+	}
+}
+
 // --- Parallel engine (worker sweep; compare workers=1 to workers=N) ---
 
 // parallelFleetPair builds one config pair with many distinct route-map

@@ -86,10 +86,17 @@ type Factory struct {
 	// variable node can never be a terminal.
 	varCache []Node
 
+	// Variable order (see order.go): var2level maps a variable index to
+	// its decision level, level2var is the inverse. nil means identity —
+	// the fast path every factory starts in.
+	var2level []int32
+	level2var []int32
+
 	// quantification scratch, reused across Exists calls
 	existsMask []bool
 
 	cacheHits, cacheMisses uint64
+	gcRuns, gcReclaimed    uint64
 
 	// Interrupt state (see SetInterrupt). maxNodes bounds the nodes
 	// allocated since the last BeginWork; poll is the cancellation check
@@ -178,12 +185,17 @@ func NewFactory(numVars int) *Factory {
 	if numVars < 0 || numVars >= 1<<20 {
 		panic(fmt.Sprintf("bdd: invalid variable count %d", numVars))
 	}
+	// Initial table sizes match the Reset decay caps: real workloads
+	// blow well past 1k nodes immediately, and starting small just
+	// front-loads a cascade of O(n) rehash/regrow steps (measurably ~15%
+	// of a medium diff). A factory costs ~0.5 MB up front and the pool
+	// recycles it.
 	f := &Factory{
-		nodes:      make([]nodeData, 1, 1024),
-		unique:     make([]int32, 1024),
-		uniqueMask: 1023,
-		cache:      make([]opCacheEntry, 1<<opCacheMinBits),
-		cacheMask:  1<<opCacheMinBits - 1,
+		nodes:      make([]nodeData, 1, resetMaxUniqueSlots/4),
+		unique:     make([]int32, resetMaxUniqueSlots),
+		uniqueMask: resetMaxUniqueSlots - 1,
+		cache:      make([]opCacheEntry, 1<<resetMaxCacheBits),
+		cacheMask:  1<<resetMaxCacheBits - 1,
 		iteTmp:     make(map[[3]Node]Node),
 		varCache:   make([]Node, numVars),
 		numVars:    numVars,
@@ -192,23 +204,46 @@ func NewFactory(numVars int) *Factory {
 	return f
 }
 
+// Reset table-decay thresholds. One oversized workload used to inflate a
+// recycled factory for good: the unique table and op cache only ever
+// grew, so every later Reset paid an O(peak) clear (megabytes of memclr
+// per pair for a pooled factory that once saw a 10k-rule policy) and the
+// memory stayed pinned. Reset now reallocates tables above these caps
+// back to the cap; a workload that genuinely needs more simply regrows.
+const (
+	resetMaxUniqueSlots = 1 << 17 // 128k slots = 512 KB
+	resetMaxCacheBits   = 16      // 64k entries = 1 MB
+)
+
 // Reset recycles the factory for a fresh workload over numVars variables:
 // all nodes and cached results are discarded, but the arena, hash table,
-// op-cache, and quantification-scratch allocations are kept, so resetting
-// between independent comparisons avoids re-paying the allocation cost.
-// Any Node obtained before the Reset is invalid afterwards.
+// op-cache, and quantification-scratch allocations are kept (decayed to
+// a bounded size when a previous workload left them oversized), so
+// resetting between independent comparisons avoids re-paying the
+// allocation cost. Any Node obtained before the Reset is invalid
+// afterwards.
 func (f *Factory) Reset(numVars int) {
 	if numVars < 0 || numVars >= 1<<20 {
 		panic(fmt.Sprintf("bdd: invalid variable count %d", numVars))
 	}
 	f.numVars = numVars
-	f.nodes = f.nodes[:1]
-	f.nodes[0] = nodeData{level: int32(numVars), low: False, high: False}
-	for i := range f.unique {
-		f.unique[i] = 0
+	if cap(f.nodes) > 4*resetMaxUniqueSlots {
+		f.nodes = make([]nodeData, 1, resetMaxUniqueSlots)
+	} else {
+		f.nodes = f.nodes[:1]
 	}
-	for i := range f.cache {
-		f.cache[i] = opCacheEntry{}
+	f.nodes[0] = nodeData{level: int32(numVars), low: False, high: False}
+	if len(f.unique) > resetMaxUniqueSlots {
+		f.unique = make([]int32, resetMaxUniqueSlots)
+		f.uniqueMask = resetMaxUniqueSlots - 1
+	} else {
+		clear(f.unique)
+	}
+	if len(f.cache) > 1<<resetMaxCacheBits {
+		f.cache = make([]opCacheEntry, 1<<resetMaxCacheBits)
+		f.cacheMask = 1<<resetMaxCacheBits - 1
+	} else {
+		clear(f.cache)
 	}
 	clear(f.iteTmp)
 	if cap(f.varCache) >= numVars {
@@ -226,6 +261,9 @@ func (f *Factory) Reset(numVars int) {
 		f.existsMask = nil
 	}
 	f.cacheHits, f.cacheMisses = 0, 0
+	// The variable order belongs to the workload being discarded; the
+	// next owner installs its own (or inherits the identity).
+	f.var2level, f.level2var = nil, nil
 	// The interrupt configuration survives (it belongs to the factory's
 	// current owner), but the budget baseline moves to the fresh arena.
 	f.workBase = len(f.nodes)
@@ -239,6 +277,8 @@ type Stats struct {
 	UniqueSlots int    // current hash-consing table capacity
 	CacheHits   uint64 // op-cache hits since creation or Reset
 	CacheMisses uint64 // op-cache misses since creation or Reset
+	GCRuns      uint64 // garbage collections since creation (survives Reset)
+	GCReclaimed uint64 // nodes reclaimed by those collections
 }
 
 // Stats reports the factory's current allocation and cache counters.
@@ -249,6 +289,8 @@ func (f *Factory) Stats() Stats {
 		UniqueSlots: len(f.unique),
 		CacheHits:   f.cacheHits,
 		CacheMisses: f.cacheMisses,
+		GCRuns:      f.gcRuns,
+		GCReclaimed: f.gcReclaimed,
 	}
 }
 
@@ -267,6 +309,8 @@ func (s Stats) Delta(since Stats) Stats {
 		UniqueSlots: s.UniqueSlots,
 		CacheHits:   s.CacheHits - since.CacheHits,
 		CacheMisses: s.CacheMisses - since.CacheMisses,
+		GCRuns:      s.GCRuns - since.GCRuns,
+		GCReclaimed: s.GCReclaimed - since.GCReclaimed,
 	}
 }
 
@@ -422,7 +466,7 @@ func (f *Factory) mkRaw(level int32, low, high Node) Node {
 	if uint32(len(f.nodes))*4 > uint32(len(f.unique))*3 {
 		f.rehashUnique()
 	}
-	if len(f.nodes) > len(f.cache) && len(f.cache) < 1<<opCacheMaxBits {
+	if len(f.nodes) > 2*len(f.cache) && len(f.cache) < 1<<opCacheMaxBits {
 		f.growCache()
 	}
 	return Node(i) << 1
@@ -434,7 +478,7 @@ func (f *Factory) Var(i int) Node {
 	if v := f.varCache[i]; v != 0 {
 		return v
 	}
-	v := f.mk(int32(i), False, True)
+	v := f.mk(f.levelOfVar(i), False, True)
 	f.varCache[i] = v
 	return v
 }
@@ -513,6 +557,78 @@ func (f *Factory) And(a, b Node) Node {
 	return r
 }
 
+// AndCofactors returns (a ∧ b, a ∧ ¬b) in one product traversal. This is
+// the split every first-match walk performs per clause — the taken guard
+// and the fall-through guard — and the two conjunctions recurse over the
+// same (a, b) product DAG, so computing them together visits each
+// subproblem once instead of twice. Both halves are looked up from and
+// stored into the regular And cache under And's own commutative keys, so
+// the fused kernel and And stay fully interchangeable: either can serve
+// the other's warm entries.
+func (f *Factory) AndCofactors(a, b Node) (ab, anb Node) {
+	// Cancellation poll — see And.
+	if f.sincePoll++; f.sincePoll >= interruptPollInterval {
+		f.checkInterrupt()
+	}
+	switch {
+	case a == False:
+		return False, False
+	case b == True:
+		return a, False
+	case b == False:
+		return False, a
+	case a == True:
+		return b, b ^ 1
+	case a == b:
+		return a, False
+	case a^1 == b:
+		return False, a
+	}
+	sa1, sb1 := a, b
+	if sa1 > sb1 {
+		sa1, sb1 = sb1, sa1
+	}
+	sa2, sb2 := a, b^1
+	if sa2 > sb2 {
+		sa2, sb2 = sb2, sa2
+	}
+	r1, ok1 := f.cacheLookup(opAnd, sa1, sb1)
+	r2, ok2 := f.cacheLookup(opAnd, sa2, sb2)
+	if ok1 && ok2 {
+		return r1, r2
+	}
+	// One half warm: finish the other through the plain kernel rather
+	// than re-walking the product for both.
+	if ok1 {
+		return r1, f.And(a, b^1)
+	}
+	if ok2 {
+		return f.And(a, b), r2
+	}
+	da, db := f.nodes[a>>1], f.nodes[b>>1]
+	level := da.level
+	if db.level < level {
+		level = db.level
+	}
+	al, ah := a, a
+	if da.level == level {
+		ca := a & 1
+		al, ah = da.low^ca, da.high^ca
+	}
+	bl, bh := b, b
+	if db.level == level {
+		cb := b & 1
+		bl, bh = db.low^cb, db.high^cb
+	}
+	abl, anbl := f.AndCofactors(al, bl)
+	abh, anbh := f.AndCofactors(ah, bh)
+	ab = f.mk(level, abl, abh)
+	anb = f.mk(level, anbl, anbh)
+	f.cacheStore(opAnd, sa1, sb1, ab)
+	f.cacheStore(opAnd, sa2, sb2, anb)
+	return ab, anb
+}
+
 // Or returns the disjunction of a and b. After its own terminal
 // short-circuits it is the And kernel under De Morgan — with complement
 // edges the negations are free, and the dual And shares the cache slots.
@@ -530,6 +646,43 @@ func (f *Factory) Or(a, b Node) Node {
 		return True
 	}
 	return f.And(a^1, b^1) ^ 1
+}
+
+// AndLit returns Lit(i, val) ∧ n. When the literal branches above n's
+// root — the common case in field encoders, which conjoin literals from
+// the least significant level upward — the result is a single fresh node
+// and the call bypasses the op cache entirely: no lookup, no store, no
+// recursion. Other shapes fall back to the And kernel.
+func (f *Factory) AndLit(i int, val bool, n Node) Node {
+	if n == False {
+		return False
+	}
+	lv := f.levelOfVar(i)
+	if n == True || lv < f.level(n) {
+		f.checkVar(i)
+		if val {
+			return f.mk(lv, False, n)
+		}
+		return f.mk(lv, n, False)
+	}
+	return f.And(f.Lit(i, val), n)
+}
+
+// OrLit returns Lit(i, val) ∨ n, the dual of AndLit with the same
+// above-the-root fast path.
+func (f *Factory) OrLit(i int, val bool, n Node) Node {
+	if n == True {
+		return True
+	}
+	lv := f.levelOfVar(i)
+	if n == False || lv < f.level(n) {
+		f.checkVar(i)
+		if val {
+			return f.mk(lv, n, True)
+		}
+		return f.mk(lv, True, n)
+	}
+	return f.Or(f.Lit(i, val), n)
 }
 
 // Xor returns the exclusive-or of a and b — the "symmetric difference" of
@@ -738,12 +891,12 @@ func (f *Factory) Exists(n Node, vars []int) Node {
 	}
 	for _, v := range vars {
 		f.checkVar(v)
-		f.existsMask[v] = true
+		f.existsMask[f.levelOfVar(v)] = true
 	}
 	memo := make(map[Node]Node)
 	r := f.exists(n, memo)
 	for _, v := range vars {
-		f.existsMask[v] = false
+		f.existsMask[f.levelOfVar(v)] = false
 	}
 	return r
 }
@@ -775,6 +928,7 @@ func (f *Factory) exists(n Node, memo map[Node]Node) Node {
 // Restrict fixes variable v to val inside n.
 func (f *Factory) Restrict(n Node, v int, val bool) Node {
 	f.checkVar(v)
+	lv := f.levelOfVar(v)
 	memo := make(map[Node]Node)
 	var walk func(Node) Node
 	walk = func(m Node) Node {
@@ -782,7 +936,7 @@ func (f *Factory) Restrict(n Node, v int, val bool) Node {
 			return m
 		}
 		d := f.nodes[m>>1]
-		if int(d.level) > v {
+		if d.level > lv {
 			return m
 		}
 		if r, ok := memo[m]; ok {
@@ -791,7 +945,7 @@ func (f *Factory) Restrict(n Node, v int, val bool) Node {
 		c := m & 1
 		lo, hi := d.low^c, d.high^c
 		var r Node
-		if int(d.level) == v {
+		if d.level == lv {
 			if val {
 				r = hi
 			} else {
@@ -811,10 +965,16 @@ func (f *Factory) Restrict(n Node, v int, val bool) Node {
 type Assignment []int8
 
 // AnySat returns one satisfying partial assignment of n, or nil if n is
-// unsatisfiable. Unmentioned variables are -1 (don't care).
+// unsatisfiable. Unmentioned variables are -1 (don't care). The witness
+// is canonical across variable orders: it reads as the lexicographically
+// least satisfying input by variable index (don't-cares as false), so
+// reordering a factory never changes witness-derived output.
 func (f *Factory) AnySat(n Node) Assignment {
 	if n == False {
 		return nil
+	}
+	if f.level2var != nil {
+		return f.anySatOrdered(n)
 	}
 	a := make(Assignment, f.numVars)
 	for i := range a {
@@ -855,9 +1015,9 @@ func (f *Factory) RandSat(n Node, coin func() bool) Assignment {
 		// Variables skipped by the path are unconstrained: coin them.
 		for ; level < nodeLevel; level++ {
 			if coin() {
-				a[level] = 1
+				a[f.varAtLevel(int32(level))] = 1
 			} else {
-				a[level] = 0
+				a[f.varAtLevel(int32(level))] = 0
 			}
 		}
 		if n == True {
@@ -879,7 +1039,7 @@ func (f *Factory) RandSat(n Node, coin func() bool) Assignment {
 				bit = 1
 			}
 		}
-		a[level] = bit
+		a[f.varAtLevel(int32(level))] = bit
 		level++
 		if bit == 1 {
 			n = hi
@@ -894,7 +1054,7 @@ func (f *Factory) Eval(n Node, a Assignment) bool {
 	for n > True {
 		d := f.nodes[n>>1]
 		c := n & 1
-		if int(d.level) < len(a) && a[d.level] == 1 {
+		if v := f.varAtLevel(d.level); int(v) < len(a) && a[v] == 1 {
 			n = d.high ^ c
 		} else {
 			n = d.low ^ c
@@ -907,12 +1067,16 @@ func (f *Factory) Eval(n Node, a Assignment) bool {
 // (don't-care entries are skipped).
 func (f *Factory) Cube(a Assignment) Node {
 	r := True
-	for i := len(a) - 1; i >= 0; i-- {
-		switch a[i] {
+	for l := int32(f.numVars) - 1; l >= 0; l-- {
+		v := f.varAtLevel(l)
+		if int(v) >= len(a) {
+			continue
+		}
+		switch a[v] {
 		case 0:
-			r = f.mk(int32(i), r, False)
+			r = f.mk(l, r, False)
 		case 1:
-			r = f.mk(int32(i), False, r)
+			r = f.mk(l, False, r)
 		}
 	}
 	return r
@@ -956,7 +1120,7 @@ func (f *Factory) Support(n Node) []int {
 			return
 		}
 		seen[i] = true
-		inSupport[f.nodes[i].level] = true
+		inSupport[f.varAtLevel(f.nodes[i].level)] = true
 		walk(f.nodes[i].low)
 		walk(f.nodes[i].high)
 	}
@@ -989,15 +1153,16 @@ func (f *Factory) WalkCubes(n Node, fn func(Assignment) bool) {
 		}
 		d := f.nodes[m>>1]
 		c := m & 1
-		a[d.level] = 0
+		v := f.varAtLevel(d.level)
+		a[v] = 0
 		if !walk(d.low ^ c) {
 			return false
 		}
-		a[d.level] = 1
+		a[v] = 1
 		if !walk(d.high ^ c) {
 			return false
 		}
-		a[d.level] = -1
+		a[v] = -1
 		return true
 	}
 	walk(n)
@@ -1005,7 +1170,7 @@ func (f *Factory) WalkCubes(n Node, fn func(Assignment) bool) {
 
 // Level exposes the variable index at the root of n (numVars for
 // terminals).
-func (f *Factory) Level(n Node) int { return int(f.level(n)) }
+func (f *Factory) Level(n Node) int { return int(f.varAtLevel(f.level(n))) }
 
 // Low and High expose node structure for traversals: the effective
 // cofactors of n, with the complement bit pushed down (terminals

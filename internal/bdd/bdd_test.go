@@ -517,12 +517,12 @@ func TestUniqueTableGrowth(t *testing.T) {
 	}
 }
 
-// TestOpCacheGrowth: the op cache starts at the minimum size and doubles
+// TestOpCacheGrowth: the op cache starts at its initial size and doubles
 // as the arena grows, without affecting results.
 func TestOpCacheGrowth(t *testing.T) {
 	f := NewFactory(24)
-	if got := f.Stats().CacheSlots; got != 1<<opCacheMinBits {
-		t.Fatalf("initial cache slots = %d, want %d", got, 1<<opCacheMinBits)
+	if got := f.Stats().CacheSlots; got != 1<<resetMaxCacheBits {
+		t.Fatalf("initial cache slots = %d, want %d", got, 1<<resetMaxCacheBits)
 	}
 	n := True
 	for i := 0; i < 24; i += 2 {

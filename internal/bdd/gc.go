@@ -1,0 +1,134 @@
+package bdd
+
+// Unique-table garbage collection. Long-lived factories — the pooled
+// per-worker factories and the PolicyCache factory that survives across
+// pair diffs — otherwise grow monotonically: the arena is append-only
+// and hash-consing keeps every node ever built. GC reclaims the nodes
+// unreachable from a caller-supplied root set by mark-and-sweep with
+// arena compaction, then rebuilds the unique table over the survivors.
+//
+// Safety with complement edges: a complement bit lives in the Node
+// *reference* (bit 0), never in the arena, so marking strips the bit and
+// a function and its negation are one arena node — marking either keeps
+// both. Compaction preserves arena order, so the "low edge stored
+// regular" canonical form and the child-before-parent invariant survive
+// unchanged, and levels are untouched (GC composes with SetOrder).
+//
+// The op cache and the Ite memo key on arena references, which
+// compaction invalidates wholesale; both are cleared. That is the memo
+// flush that un-pins dead nodes: stale cache entries are the only other
+// place arena references could hide. varCache entries are treated as
+// implicit roots (one node per variable — negligible — and every caller
+// holds literal nodes implicitly).
+
+// GC reclaims all nodes not reachable from roots (plus the factory's
+// variable literals), compacts the arena, and returns the roots
+// translated to their post-compaction references, in input order. Every
+// Node held by the caller that was NOT passed as a root is invalid
+// afterwards. Terminals are always valid. The node-budget baseline moves
+// to the compacted arena, so an in-flight budget never double-charges
+// reclaimed nodes.
+func (f *Factory) GC(roots []Node) []Node {
+	marked := make([]bool, len(f.nodes))
+	marked[0] = true
+	stack := make([]int32, 0, 1024)
+	push := func(n Node) {
+		i := int32(n) >> 1
+		if !marked[i] {
+			marked[i] = true
+			stack = append(stack, i)
+		}
+	}
+	for _, r := range roots {
+		push(r)
+	}
+	for _, v := range f.varCache {
+		if v != 0 {
+			push(v)
+		}
+	}
+	for len(stack) > 0 {
+		i := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		d := f.nodes[i]
+		push(d.low)
+		push(d.high)
+	}
+
+	remap := make([]int32, len(f.nodes))
+	live := int32(0)
+	for i := range f.nodes {
+		if marked[i] {
+			remap[i] = live
+			live++
+		}
+	}
+	reclaimed := len(f.nodes) - int(live)
+	f.gcRuns++
+	f.gcReclaimed += uint64(reclaimed)
+	if reclaimed == 0 {
+		return roots
+	}
+	ref := func(n Node) Node {
+		return Node(remap[n>>1])<<1 | n&1
+	}
+	// Compact in place: children precede parents in the arena, and
+	// remap[i] <= i with writes in ascending order, so every source slot
+	// is read before it can be overwritten.
+	for i := 1; i < len(f.nodes); i++ {
+		if !marked[i] {
+			continue
+		}
+		d := f.nodes[i]
+		f.nodes[remap[i]] = nodeData{level: d.level, low: ref(d.low), high: ref(d.high)}
+	}
+	f.nodes = f.nodes[:live]
+
+	// Rebuild hash-consing over the survivors; shrink a table the dead
+	// majority had inflated (keeping load below ~40% post-shrink).
+	slots := uint32(len(f.unique))
+	for slots > 1024 && uint32(live)*4 < slots {
+		slots /= 2
+	}
+	if int(slots) != len(f.unique) {
+		f.unique = make([]int32, slots)
+	} else {
+		clear(f.unique)
+	}
+	f.uniqueMask = slots - 1
+	for i := 1; i < int(live); i++ {
+		d := f.nodes[i]
+		h := nodeHash(d.level, d.low, d.high) & f.uniqueMask
+		for f.unique[h] != 0 {
+			h = (h + 1) & f.uniqueMask
+		}
+		f.unique[h] = int32(i) + 1
+	}
+
+	// All memoized results refer to pre-compaction references: flush.
+	cacheSlots := len(f.cache)
+	for cacheSlots > 1<<opCacheMinBits && int(live) < cacheSlots/2 {
+		cacheSlots /= 2
+	}
+	if cacheSlots != len(f.cache) {
+		f.cache = make([]opCacheEntry, cacheSlots)
+		f.cacheMask = uint32(cacheSlots) - 1
+	} else {
+		clear(f.cache)
+	}
+	clear(f.iteTmp)
+
+	for i, v := range f.varCache {
+		if v != 0 {
+			f.varCache[i] = ref(v)
+		}
+	}
+	out := make([]Node, len(roots))
+	for i, r := range roots {
+		out[i] = ref(r)
+	}
+	if f.workBase > len(f.nodes) {
+		f.workBase = len(f.nodes)
+	}
+	return out
+}

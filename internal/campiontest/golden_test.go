@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/campion"
+	"repro/internal/core"
 	"repro/internal/difftest"
 )
 
@@ -63,6 +64,29 @@ func TestGoldenCorpus(t *testing.T) {
 			if !bytes.Equal(buf.Bytes(), want) {
 				t.Errorf("report changed; rerun with -update if intended\n--- got ---\n%s\n--- want ---\n%s",
 					buf.Bytes(), want)
+			}
+
+			// Kernel modes are pure optimizations: order search, factory
+			// collection, and intra-pair striping must all render the
+			// exact bytes the default configuration produced.
+			for name, opts := range map[string]campion.Options{
+				"reorder": {Reorder: true},
+				"workers": {Workers: 4},
+				"gc":      {Workers: 1, GC: true, PolicyCache: core.NewPolicyCache()},
+				"all":     {Workers: 4, Reorder: true, GC: true},
+			} {
+				mrep, err := campion.Diff(cfg1, cfg2, opts)
+				if err != nil {
+					t.Fatalf("mode %s: %v", name, err)
+				}
+				var mbuf bytes.Buffer
+				if err := campion.Write(&mbuf, mrep); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(mbuf.Bytes(), buf.Bytes()) {
+					t.Errorf("mode %s diverges from default rendering\n--- mode ---\n%s\n--- default ---\n%s",
+						name, mbuf.Bytes(), buf.Bytes())
+				}
 			}
 
 			// Witness soundness for every region reported on this pair:

@@ -206,6 +206,14 @@ func runRouteMapTasks(ctx context.Context, c1, c2 *ir.Config, tasks []rmTask, op
 		return results
 	}
 
+	// Fewer unique comparisons than workers and at least one oversized
+	// chain: inter-pair fan-out would leave workers idle, so partition
+	// each comparison itself across prefix regions (see stripe.go).
+	if stripes := opts.routeMapStripes(c1, c2, tasks); stripes > 1 {
+		runRouteMapTasksStriped(ctx, c1, c2, tasks, stripes, opts, stats, span, results)
+		return results
+	}
+
 	var mu sync.Mutex // guards stats aggregation across workers
 	worker := func(w int, jobs <-chan int) {
 		var wsp *obs.Span
@@ -226,7 +234,7 @@ func runRouteMapTasks(ctx context.Context, c1, c2 *ir.Config, tasks []rmTask, op
 					enc, loc, pc = nil, nil, nil
 				}
 			}()
-			e := symbolic.NewRouteEncodingInto(newArmedFactory(ctx, opts), c1, c2)
+			e := symbolic.NewRouteEncodingIntoOrdered(newArmedFactory(ctx, opts), opts.routeOrder, c1, c2)
 			loc = headerloc.NewRouteLocalizer(e, c1, c2)
 			pc = newWorkerPolicyCache(e)
 			enc = e
@@ -370,8 +378,19 @@ func runRouteMapTasksCached(ctx context.Context, c1, c2 *ir.Config, tasks []rmTa
 			}
 		}
 	}
+	d := enc.F.Stats().Delta(st0) // allocation deltas, before any compaction
+	if opts.GC && !poisoned {
+		// Between-pairs collection point of the cross-pair path: the diff
+		// products of this call's tasks are dead, the compiled chains and
+		// memo tables are live and get reseated. Skipped on a poisoned
+		// cache — invalidate rebuilds it anyway.
+		pc.maybeGC()
+	}
 	enc.F.ClearInterrupt() // the cache factory outlives this ctx
-	d := enc.F.Stats().Delta(st0)
+	gcd := enc.F.Stats().Delta(st0)
+	stats.GCRuns += gcd.GCRuns
+	stats.GCReclaimed += gcd.GCReclaimed
+	opts.recordGC(string(stats.Component), gcd.GCRuns, gcd.GCReclaimed, enc.F.Stats().Nodes)
 	stats.BDDNodes += d.Nodes
 	stats.CacheHits += d.CacheHits
 	stats.CacheMisses += d.CacheMisses

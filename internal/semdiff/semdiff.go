@@ -25,7 +25,7 @@ type RouteMapDiff struct {
 // pathActionsDiffer reports whether two route-map classes act differently:
 // one accepts and the other rejects, or both accept with different
 // attribute transformations.
-func pathActionsDiffer(p1, p2 symbolic.RoutePath) bool {
+func pathActionsDiffer(p1, p2 *symbolic.RoutePath) bool {
 	if p1.Accept != p2.Accept {
 		return true
 	}
@@ -56,8 +56,19 @@ func DiffRouteMaps(enc *symbolic.RouteEncoding, cfg1 *ir.Config, rm1 *ir.RouteMa
 // enter here to skip re-enumeration.
 func DiffRouteMapPaths(enc *symbolic.RouteEncoding, paths1, paths2 []symbolic.RoutePath) []RouteMapDiff {
 	var diffs []RouteMapDiff
-	for _, p1 := range paths1 {
-		for _, p2 := range paths2 {
+	// Pointer iteration: RoutePath is a large struct and the product
+	// visits |paths1|×|paths2| cells, so by-value ranging would copy two
+	// structs per cell. The signature test runs first — two word ops that
+	// prove most intersections empty before any field of the paths is
+	// compared (symbolic.Sig); both filters are exact, so the output is
+	// unchanged.
+	for i := range paths1 {
+		p1 := &paths1[i]
+		for j := range paths2 {
+			p2 := &paths2[j]
+			if !p1.Sig.Overlap(p2.Sig) {
+				continue
+			}
 			if !pathActionsDiffer(p1, p2) {
 				continue
 			}
@@ -65,7 +76,7 @@ func DiffRouteMapPaths(enc *symbolic.RouteEncoding, paths1, paths2 []symbolic.Ro
 			if inter == bdd.False {
 				continue
 			}
-			diffs = append(diffs, RouteMapDiff{Inputs: inter, Path1: p1, Path2: p2})
+			diffs = append(diffs, RouteMapDiff{Inputs: inter, Path1: *p1, Path2: *p2})
 		}
 	}
 	return diffs
@@ -110,24 +121,35 @@ func DiffACLs(enc *symbolic.PacketEncoding, acl1, acl2 *ir.ACL) []ACLDiff {
 	paths1 := enc.EnumerateACLPaths(acl1)
 	paths2 := enc.EnumerateACLPaths(acl2)
 
+	// Guard signatures (symbolic.Sig): a line's class guard is a subset
+	// of its match set, so disjoint line signatures prove an empty
+	// intersection and skip the BDD work. The filter is exact.
+	sigs := symbolic.NewACLSigTable(acl1, acl2)
+
 	// Restrict the second component's classes to the differing space once.
 	var hot2 []symbolic.ACLPath
+	var sig2 []symbolic.Sig
 	for _, p2 := range paths2 {
 		g := enc.F.And(p2.Guard, diffSet)
 		if g == bdd.False {
 			continue
 		}
 		hot2 = append(hot2, symbolic.ACLPath{Guard: g, Accept: p2.Accept, Line: p2.Line})
+		sig2 = append(sig2, sigs.LineSig(p2.Line))
 	}
 
 	var diffs []ACLDiff
 	for _, p1 := range paths1 {
+		s1 := sigs.LineSig(p1.Line)
 		d1 := enc.F.And(p1.Guard, diffSet)
 		if d1 == bdd.False {
 			continue
 		}
 		for i := range hot2 {
 			p2 := hot2[i]
+			if !s1.Overlap(sig2[i]) {
+				continue
+			}
 			inter := enc.F.And(d1, p2.Guard)
 			if inter == bdd.False {
 				continue
@@ -135,6 +157,62 @@ func DiffACLs(enc *symbolic.PacketEncoding, acl1, acl2 *ir.ACL) []ACLDiff {
 			// Within diffSet, intersecting classes necessarily act
 			// differently; record with the original (unrestricted)
 			// class actions and lines.
+			diffs = append(diffs, ACLDiff{Inputs: inter, Path1: p1, Path2: p2})
+			d1 = enc.F.Diff(d1, inter)
+			if d1 == bdd.False {
+				break
+			}
+		}
+	}
+	return diffs
+}
+
+// DiffACLsRegion is DiffACLs restricted to one region of packet space
+// (the striped intra-pair engine's unit of work). sigs must cover both
+// ACLs and regionSig must be a valid signature of the region. Within the
+// region the reported pairs and their intersections equal
+// "the unrestricted pair intersections ∧ region": class guards of one
+// ACL are pairwise disjoint, so the subtract/early-break of DiffACLs
+// never changes which pairs report, only how fast the scan stops — the
+// striped merge can therefore Or the per-region inputs back together
+// exactly.
+func DiffACLsRegion(enc *symbolic.PacketEncoding, acl1, acl2 *ir.ACL, region bdd.Node, regionSig symbolic.Sig, sigs *symbolic.ACLSigTable) []ACLDiff {
+	diffSet := enc.F.Xor(
+		enc.AcceptSetRegion(acl1, region, regionSig, sigs),
+		enc.AcceptSetRegion(acl2, region, regionSig, sigs))
+	if diffSet == bdd.False {
+		return nil
+	}
+	paths1 := enc.EnumerateACLPathsRegion(acl1, region, regionSig, sigs)
+	paths2 := enc.EnumerateACLPathsRegion(acl2, region, regionSig, sigs)
+
+	var hot2 []symbolic.ACLPath
+	var sig2 []symbolic.Sig
+	for _, p2 := range paths2 {
+		g := enc.F.And(p2.Guard, diffSet)
+		if g == bdd.False {
+			continue
+		}
+		hot2 = append(hot2, symbolic.ACLPath{Guard: g, Accept: p2.Accept, Line: p2.Line})
+		sig2 = append(sig2, sigs.LineSig(p2.Line))
+	}
+
+	var diffs []ACLDiff
+	for _, p1 := range paths1 {
+		s1 := sigs.LineSig(p1.Line)
+		d1 := enc.F.And(p1.Guard, diffSet)
+		if d1 == bdd.False {
+			continue
+		}
+		for i := range hot2 {
+			p2 := hot2[i]
+			if !s1.Overlap(sig2[i]) {
+				continue
+			}
+			inter := enc.F.And(d1, p2.Guard)
+			if inter == bdd.False {
+				continue
+			}
 			diffs = append(diffs, ACLDiff{Inputs: inter, Path1: p1, Path2: p2})
 			d1 = enc.F.Diff(d1, inter)
 			if d1 == bdd.False {

@@ -23,7 +23,7 @@ func (v bitVec) eqConst(value uint64) bdd.Node {
 	n := bdd.True
 	for i := v.width - 1; i >= 0; i-- {
 		bit := value&(1<<uint(v.width-1-i)) != 0
-		n = v.f.And(v.f.Lit(v.first+i, bit), n)
+		n = v.f.AndLit(v.first+i, bit, n)
 	}
 	return n
 }
@@ -39,11 +39,10 @@ func (v bitVec) geqConst(value uint64) bdd.Node {
 	n := bdd.True
 	for i := v.width - 1; i >= 0; i-- {
 		bit := value&(1<<uint(v.width-1-i)) != 0
-		x := v.f.Var(v.first + i)
 		if bit {
-			n = v.f.And(x, n)
+			n = v.f.AndLit(v.first+i, true, n)
 		} else {
-			n = v.f.Or(x, n)
+			n = v.f.OrLit(v.first+i, true, n)
 		}
 	}
 	return n
@@ -54,11 +53,10 @@ func (v bitVec) leqConst(value uint64) bdd.Node {
 	n := bdd.True
 	for i := v.width - 1; i >= 0; i-- {
 		bit := value&(1<<uint(v.width-1-i)) != 0
-		x := v.f.Var(v.first + i)
 		if bit {
-			n = v.f.Or(v.f.Not(x), n)
+			n = v.f.OrLit(v.first+i, false, n)
 		} else {
-			n = v.f.And(v.f.Not(x), n)
+			n = v.f.AndLit(v.first+i, false, n)
 		}
 	}
 	return n
@@ -78,7 +76,7 @@ func (v bitVec) prefixMatch(value uint64, plen int) bdd.Node {
 	n := bdd.True
 	for i := plen - 1; i >= 0; i-- {
 		bit := value&(1<<uint(v.width-1-i)) != 0
-		n = v.f.And(v.f.Lit(v.first+i, bit), n)
+		n = v.f.AndLit(v.first+i, bit, n)
 	}
 	return n
 }
@@ -92,7 +90,7 @@ func (v bitVec) maskedMatch(value, care uint64) bdd.Node {
 		if care&m == 0 {
 			continue
 		}
-		n = v.f.And(v.f.Lit(v.first+i, value&m != 0), n)
+		n = v.f.AndLit(v.first+i, value&m != 0, n)
 	}
 	return n
 }

@@ -1,0 +1,134 @@
+package symbolic
+
+import (
+	"sort"
+
+	"repro/internal/ir"
+)
+
+// Static variable-order search. The route encoding's default layout
+// (prefix bits, length, next hop, then the atom blocks) is good but not
+// always best: policies dominated by community matching, say, pay for
+// keeping the community atoms at the bottom of every clause guard.
+// ChooseRouteOrder evaluates a small family of block permutations by
+// actually compiling a sample of the configurations' clauses on scratch
+// factories and counting nodes — the only score that reflects the real
+// interaction between the policy structure and the order.
+//
+// Candidates permute whole variable blocks and may split the prefix-bit
+// block around the length field, but every candidate preserves the
+// relative order of variables *within* a block. That invariant matters
+// beyond node counts: cube and support walks emit variables in level
+// order, so intra-block preservation plus the canonical witness
+// extraction (bdd.AnySat's variable-index ordering) keeps reports
+// byte-identical across orders.
+
+// orderSampleClauses bounds how many clauses the scorer compiles per
+// candidate. Sampling keeps the search a small fraction of one real
+// compile while still touching every match kind the policies use.
+const orderSampleClauses = 96
+
+// routeBlocks returns the encoding's variable blocks as index slices, in
+// layout order, keyed by name.
+func routeBlocks(e *RouteEncoding) map[string][]int {
+	seq := func(first, width int) []int {
+		out := make([]int, width)
+		for i := range out {
+			out[i] = first + i
+		}
+		return out
+	}
+	return map[string][]int{
+		"pbHi":  seq(e.prefixBits.first, 8),
+		"pbLo":  seq(e.prefixBits.first+8, 24),
+		"pl":    seq(e.prefixLen.first, e.prefixLen.width),
+		"nh":    seq(e.nextHop.first, e.nextHop.width),
+		"med":   seq(e.medVar0, len(e.medVals)),
+		"tag":   seq(e.tagVar0, len(e.tagVals)),
+		"proto": seq(e.protoVar0, len(protocolOrder)),
+		"comm":  seq(e.commVar0, e.Comms.Size()),
+		"as":    seq(e.asVar0, len(e.asAtoms)),
+	}
+}
+
+// routeOrderCandidates are the block sequences the search scores. The
+// identity comes first; the alternatives move the prefix length next to
+// (or inside) the address bits, pull the atom blocks above the next hop,
+// or lead with the community/as-path atoms.
+var routeOrderCandidates = [][]string{
+	{"pbHi", "pbLo", "pl", "nh", "med", "tag", "proto", "comm", "as"}, // identity
+	{"pl", "pbHi", "pbLo", "nh", "med", "tag", "proto", "comm", "as"}, // length first
+	{"pbHi", "pl", "pbLo", "nh", "med", "tag", "proto", "comm", "as"}, // length interleaved
+	{"pbHi", "pbLo", "pl", "med", "tag", "proto", "comm", "as", "nh"}, // atoms before next hop
+	{"comm", "as", "pbHi", "pbLo", "pl", "nh", "med", "tag", "proto"}, // communities first
+}
+
+// sampleClauses gathers a deterministic clause sample across the
+// configurations (route maps in sorted-name order), paired with their
+// owning config for list resolution.
+func sampleClauses(cfgs []*ir.Config) (out []struct {
+	cfg *ir.Config
+	cl  *ir.RouteMapClause
+}) {
+	for _, cfg := range cfgs {
+		if cfg == nil {
+			continue
+		}
+		names := make([]string, 0, len(cfg.RouteMaps))
+		for n := range cfg.RouteMaps {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			for _, cl := range cfg.RouteMaps[n].Clauses {
+				if len(out) >= orderSampleClauses {
+					return out
+				}
+				out = append(out, struct {
+					cfg *ir.Config
+					cl  *ir.RouteMapClause
+				}{cfg, cl})
+			}
+		}
+	}
+	return out
+}
+
+// ChooseRouteOrder scores the candidate block orders for the given
+// configurations and returns the winner as a bdd.SetOrder permutation,
+// along with the node counts of the identity layout and the winner (the
+// reorder gain surfaced on /metrics). A nil order means the identity won
+// — callers skip SetOrder and keep the unpermuted fast path.
+func ChooseRouteOrder(cfgs ...*ir.Config) (order []int, identityNodes, bestNodes int) {
+	sample := sampleClauses(cfgs)
+	if len(sample) == 0 {
+		return nil, 0, 0
+	}
+	score := func(ord []int) int {
+		e := NewRouteEncodingIntoOrdered(nil, ord, cfgs...)
+		for _, s := range sample {
+			e.ClauseGuardBDD(s.cfg, s.cl)
+		}
+		return e.F.Size()
+	}
+	// Block extents come from a throwaway identity encoding; its factory
+	// doubles as the identity candidate's scorer.
+	e0 := NewRouteEncodingInto(nil, cfgs...)
+	blocks := routeBlocks(e0)
+	for _, s := range sample {
+		e0.ClauseGuardBDD(s.cfg, s.cl)
+	}
+	identityNodes = e0.F.Size()
+
+	bestNodes = identityNodes
+	for _, cand := range routeOrderCandidates[1:] {
+		ord := make([]int, 0, e0.NumVars())
+		for _, b := range cand {
+			ord = append(ord, blocks[b]...)
+		}
+		if n := score(ord); n < bestNodes {
+			bestNodes, order = n, ord
+		}
+	}
+	return order, identityNodes, bestNodes
+}

@@ -24,6 +24,10 @@ type RoutePath struct {
 	// Taken lists the matched clauses along the path, including
 	// fall-through clauses and the terminal.
 	Taken []*ir.RouteMapClause
+	// Sig is the guard's signature (sig.go): a conservative superset of
+	// the values the encoding's address-bit window takes inside Guard.
+	// Zero means "not computed" and disables pruning for this path.
+	Sig Sig
 }
 
 // MaxPaths bounds route-map path enumeration. Fall-through clauses can in
@@ -35,9 +39,26 @@ var MaxPaths = 100000
 // EnumeratePaths partitions the route space into the route map's
 // equivalence classes. Classes with empty guards are dropped.
 func (e *RouteEncoding) EnumeratePaths(cfg *ir.Config, rm *ir.RouteMap) ([]RoutePath, error) {
+	return e.enumeratePaths(cfg, rm, e.WellFormed, SigFull, false)
+}
+
+// EnumeratePathsRegion enumerates the equivalence classes of rm
+// restricted to a region of route space (intersected with WellFormed).
+// regionSig must be a valid signature of the region — a superset of the
+// window values reachable inside it — because the walk uses it to skip
+// clauses outright: a clause whose signature is disjoint from the spine's
+// provably cannot match inside the region, so neither its guard BDD nor
+// the two Ands are built and the spine guard passes through unchanged.
+// That skip is where intra-pair striping wins on one CPU: each stripe
+// compiles only the clauses whose prefixes can fall in its region.
+func (e *RouteEncoding) EnumeratePathsRegion(cfg *ir.Config, rm *ir.RouteMap, region bdd.Node, regionSig Sig) ([]RoutePath, error) {
+	return e.enumeratePaths(cfg, rm, e.F.And(e.WellFormed, region), regionSig, true)
+}
+
+func (e *RouteEncoding) enumeratePaths(cfg *ir.Config, rm *ir.RouteMap, start bdd.Node, startSig Sig, prune bool) ([]RoutePath, error) {
 	var out []RoutePath
-	var walk func(i int, guard bdd.Node, sets []ir.SetAction, taken []*ir.RouteMapClause) error
-	walk = func(i int, guard bdd.Node, sets []ir.SetAction, taken []*ir.RouteMapClause) error {
+	var walk func(i int, guard bdd.Node, sig Sig, sets []ir.SetAction, taken []*ir.RouteMapClause) error
+	walk = func(i int, guard bdd.Node, sig Sig, sets []ir.SetAction, taken []*ir.RouteMapClause) error {
 		if guard == bdd.False {
 			return nil
 		}
@@ -49,6 +70,7 @@ func (e *RouteEncoding) EnumeratePaths(cfg *ir.Config, rm *ir.RouteMap) ([]Route
 				Guard:  guard,
 				Accept: rm.DefaultAction == ir.Permit,
 				Taken:  append([]*ir.RouteMapClause{}, taken...),
+				Sig:    sig,
 			}
 			if p.Accept {
 				p.Transform = e.TransformOf(cfg, sets)
@@ -57,9 +79,19 @@ func (e *RouteEncoding) EnumeratePaths(cfg *ir.Config, rm *ir.RouteMap) ([]Route
 			return nil
 		}
 		cl := rm.Clauses[i]
+		if prune && !sig.Overlap(e.clauseSig(cfg, cl)) {
+			// The spine guard is disjoint from the clause's match set:
+			// exactly the takenGuard == False branch below, at zero cost.
+			return walk(i+1, guard, sig, sets, taken)
+		}
 		m := e.ClauseGuardBDD(cfg, cl)
-		takenGuard := e.F.And(guard, m)
+		// One fused product walk yields both successors of this clause:
+		// the taken guard and the fall-through spine.
+		takenGuard, notTaken := e.F.AndCofactors(guard, m)
 		if takenGuard != bdd.False {
+			// The taken guard is a subset of the clause's match set, so
+			// its signature narrows to the clause mask.
+			takenSig := sig & e.clauseSig(cfg, cl)
 			switch cl.Action {
 			case ir.ClausePermit:
 				p := RoutePath{
@@ -68,6 +100,7 @@ func (e *RouteEncoding) EnumeratePaths(cfg *ir.Config, rm *ir.RouteMap) ([]Route
 					Transform: e.TransformOf(cfg, append(append([]ir.SetAction{}, sets...), cl.Sets...)),
 					Terminal:  cl,
 					Taken:     append(append([]*ir.RouteMapClause{}, taken...), cl),
+					Sig:       takenSig,
 				}
 				out = append(out, p)
 			case ir.ClauseDeny:
@@ -76,20 +109,20 @@ func (e *RouteEncoding) EnumeratePaths(cfg *ir.Config, rm *ir.RouteMap) ([]Route
 					Accept:   false,
 					Terminal: cl,
 					Taken:    append(append([]*ir.RouteMapClause{}, taken...), cl),
+					Sig:      takenSig,
 				}
 				out = append(out, p)
 			case ir.ClauseFallthrough:
-				if err := walk(i+1, takenGuard,
+				if err := walk(i+1, takenGuard, takenSig,
 					append(append([]ir.SetAction{}, sets...), cl.Sets...),
 					append(append([]*ir.RouteMapClause{}, taken...), cl)); err != nil {
 					return err
 				}
 			}
 		}
-		notTaken := e.F.And(guard, e.F.Not(m))
-		return walk(i+1, notTaken, sets, taken)
+		return walk(i+1, notTaken, sig, sets, taken)
 	}
-	if err := walk(0, e.WellFormed, nil, nil); err != nil {
+	if err := walk(0, start, startSig, nil, nil); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -111,11 +144,11 @@ func (e *PacketEncoding) EnumerateACLPaths(acl *ir.ACL) []ACLPath {
 	var out []ACLPath
 	remaining := bdd.Node(bdd.True)
 	for _, l := range acl.Lines {
-		g := e.F.And(remaining, e.LineBDD(l))
+		g, rest := e.F.AndCofactors(remaining, e.LineBDD(l))
 		if g != bdd.False {
 			out = append(out, ACLPath{Guard: g, Accept: l.Action == ir.Permit, Line: l})
 		}
-		remaining = e.F.And(remaining, e.F.Not(e.LineBDD(l)))
+		remaining = rest
 		if remaining == bdd.False {
 			break
 		}
@@ -133,11 +166,11 @@ func (e *PacketEncoding) AcceptSet(acl *ir.ACL) bdd.Node {
 	out := bdd.False
 	remaining := bdd.Node(bdd.True)
 	for _, l := range acl.Lines {
-		m := e.LineBDD(l)
+		g, rest := e.F.AndCofactors(remaining, e.LineBDD(l))
 		if l.Action == ir.Permit {
-			out = e.F.Or(out, e.F.And(remaining, m))
+			out = e.F.Or(out, g)
 		}
-		remaining = e.F.And(remaining, e.F.Not(m))
+		remaining = rest
 		if remaining == bdd.False {
 			break
 		}

@@ -1,0 +1,109 @@
+package symbolic
+
+import (
+	"repro/internal/bdd"
+	"repro/internal/ir"
+)
+
+// Regions: the disjoint first-match prefix guards the intra-pair striped
+// diff partitions on. A region is a contiguous interval [lo, hi] of the
+// primary signature window's values — 5 address bits, so the 32 window
+// values split exactly into any stripe count up to 32. Regions cover the
+// whole input space and are pairwise disjoint, which is what makes the
+// striped merge exact: every equivalence-class pair's intersection is
+// the union of its per-region intersections.
+
+// windowRunMask returns the window mask with bits lo..hi set.
+func windowRunMask(lo, hi uint32) uint32 {
+	return uint32((uint64(1)<<(hi-lo+1) - 1) << lo)
+}
+
+// StripeRegions partitions the 32 window values into n contiguous
+// intervals (n is clamped to [1, 32]).
+func StripeRegions(n int) [][2]uint32 {
+	if n < 1 {
+		n = 1
+	}
+	if n > 32 {
+		n = 32
+	}
+	out := make([][2]uint32, n)
+	for s := 0; s < n; s++ {
+		out[s] = [2]uint32{uint32(s * 32 / n), uint32((s+1)*32/n - 1)}
+	}
+	return out
+}
+
+// RegionSig returns the signature of the region [lo, hi] of window A:
+// the A half is the interval mask, the B half unconstrained.
+func RegionSig(lo, hi uint32) Sig {
+	return PackSig(windowRunMask(lo, hi), ^uint32(0))
+}
+
+// RegionBDD returns the constraint "window A of the advertised prefix's
+// address bits takes a value in [lo, hi]".
+func (e *RouteEncoding) RegionBDD(lo, hi uint32) bdd.Node {
+	win := bitVec{f: e.F, first: e.prefixBits.first + e.sigWinA, width: sigWindowWidth}
+	return win.rangeConst(uint64(lo), uint64(hi))
+}
+
+// SrcWindow reports the MSB offset of the table's source-address window
+// — the axis ACL striping partitions on.
+func (t *ACLSigTable) SrcWindow() int { return t.srcW }
+
+// SrcRegionBDD returns the constraint "the 5-bit window of the source
+// address at MSB offset w takes a value in [lo, hi]".
+func (e *PacketEncoding) SrcRegionBDD(w int, lo, hi uint32) bdd.Node {
+	win := bitVec{f: e.F, first: e.src.first + w, width: sigWindowWidth}
+	return win.rangeConst(uint64(lo), uint64(hi))
+}
+
+// EnumerateACLPathsRegion is EnumerateACLPaths restricted to a region of
+// packet space. regionSig must be a valid signature of the region under
+// sigs' windows; lines whose signatures are disjoint from it provably
+// cannot match inside the region and are skipped without compiling their
+// match BDDs — the reachability set ("remaining") passes through them
+// unchanged, exactly as the unrestricted fold would compute.
+func (e *PacketEncoding) EnumerateACLPathsRegion(acl *ir.ACL, region bdd.Node, regionSig Sig, sigs *ACLSigTable) []ACLPath {
+	var out []ACLPath
+	remaining := region
+	for _, l := range acl.Lines {
+		if !regionSig.Overlap(sigs.LineSig(l)) {
+			continue
+		}
+		g, rest := e.F.AndCofactors(remaining, e.LineBDD(l))
+		if g != bdd.False {
+			out = append(out, ACLPath{Guard: g, Accept: l.Action == ir.Permit, Line: l})
+		}
+		remaining = rest
+		if remaining == bdd.False {
+			break
+		}
+	}
+	if remaining != bdd.False {
+		out = append(out, ACLPath{Guard: remaining, Accept: false, Line: nil})
+	}
+	return out
+}
+
+// AcceptSetRegion is AcceptSet restricted to a region: it returns
+// AcceptSet(acl) ∧ region, with the same signature-based line skipping
+// as EnumerateACLPathsRegion.
+func (e *PacketEncoding) AcceptSetRegion(acl *ir.ACL, region bdd.Node, regionSig Sig, sigs *ACLSigTable) bdd.Node {
+	out := bdd.False
+	remaining := region
+	for _, l := range acl.Lines {
+		if !regionSig.Overlap(sigs.LineSig(l)) {
+			continue
+		}
+		g, rest := e.F.AndCofactors(remaining, e.LineBDD(l))
+		if l.Action == ir.Permit {
+			out = e.F.Or(out, g)
+		}
+		remaining = rest
+		if remaining == bdd.False {
+			break
+		}
+	}
+	return out
+}

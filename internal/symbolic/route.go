@@ -62,6 +62,12 @@ type RouteEncoding struct {
 	commLists    map[*ir.CommunityList]bdd.Node
 	asPathLists  map[*ir.ASPathList]bdd.Node
 
+	// sigWinA and sigWinB are the MSB offsets of the two guard-signature
+	// windows into the prefix address bits (sig.go); clauseSigs memoizes
+	// per-clause masks.
+	sigWinA, sigWinB int
+	clauseSigs       map[*ir.RouteMapClause]Sig
+
 	memo MemoStats
 }
 
@@ -185,6 +191,16 @@ func VocabFingerprint(cfgs ...*ir.Config) string {
 // re-allocating the arena and op cache per pair. Nodes from before the
 // call are invalidated.
 func NewRouteEncodingInto(f *bdd.Factory, cfgs ...*ir.Config) *RouteEncoding {
+	return NewRouteEncodingIntoOrdered(f, nil, cfgs...)
+}
+
+// NewRouteEncodingIntoOrdered is NewRouteEncodingInto with an explicit
+// variable order (order[k] = variable at level k, as bdd.SetOrder): the
+// permutation is installed on the freshly reset factory before any node
+// is built. A nil order keeps the identity. Orders come from
+// ChooseRouteOrder over the same configurations, so the length always
+// matches the encoding's variable count.
+func NewRouteEncodingIntoOrdered(f *bdd.Factory, order []int, cfgs ...*ir.Config) *RouteEncoding {
 	v := gatherVocab(cfgs...)
 	comms := community.NewUniverse(v.literals, v.regexes)
 
@@ -217,7 +233,10 @@ func NewRouteEncodingInto(f *bdd.Factory, cfgs ...*ir.Config) *RouteEncoding {
 		nextHopLists: map[*ir.PrefixList]bdd.Node{},
 		commLists:    map[*ir.CommunityList]bdd.Node{},
 		asPathLists:  map[*ir.ASPathList]bdd.Node{},
+
+		clauseSigs: map[*ir.RouteMapClause]Sig{},
 	}
+	e.sigWinA, e.sigWinB = chooseSigWindows(gatherSigEntries(cfgs...))
 	n := 0
 	alloc := func(width int) int {
 		v := n
@@ -237,6 +256,9 @@ func NewRouteEncodingInto(f *bdd.Factory, cfgs ...*ir.Config) *RouteEncoding {
 		e.F = f
 	} else {
 		e.F = bdd.NewFactory(n)
+	}
+	if order != nil {
+		e.F.SetOrder(order)
 	}
 	e.prefixBits = bitVec{f: e.F, first: pb, width: 32}
 	e.prefixLen = bitVec{f: e.F, first: pl, width: 6}
