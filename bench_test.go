@@ -742,3 +742,61 @@ func BenchmarkDiffAllFleet(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkFleetAudit measures the fleet-scale all-pairs path: a
+// synthetic 100-device fleet (8 templates, 5% mutated) audited naive
+// (every pair diffed), clustered (class representatives only), and warm
+// (clustered over a pre-populated persistent cache — no parsing, no
+// diffing, pure expansion). The N=1000/10000 curve lives in
+// scripts/fleet_bench.sh; go-bench loops at that scale take minutes per
+// iteration.
+func BenchmarkFleetAudit(b *testing.B) {
+	members := testnets.Fleet(testnets.FleetParams{
+		Devices: 100, Templates: 8, MutationRate: 0.05, Seed: 1})
+	devices := make([]campion.FleetDevice, len(members))
+	for i, m := range members {
+		cfg, err := campion.Parse(m.Name+".cfg", m.Text)
+		if err != nil {
+			b.Fatal(err)
+		}
+		devices[i] = campion.FleetDevice{Name: m.Name, Config: cfg}
+	}
+	ctx := context.Background()
+
+	run := func(b *testing.B, opts campion.FleetOptions) {
+		fr, err := campion.DiffFleet(ctx, devices, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pairs := 0
+		fr.Each(func(res campion.BatchResult) bool {
+			if res.Err != nil {
+				b.Fatal(res.Err)
+			}
+			pairs++
+			return true
+		})
+		if pairs != len(devices)*(len(devices)-1)/2 {
+			b.Fatalf("expanded %d pairs", pairs)
+		}
+	}
+
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			run(b, campion.FleetOptions{NoCluster: true})
+		}
+	})
+	b.Run("clustered", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			run(b, campion.FleetOptions{})
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		dir := b.TempDir()
+		run(b, campion.FleetOptions{CacheDir: dir}) // populate
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			run(b, campion.FleetOptions{CacheDir: dir})
+		}
+	})
+}

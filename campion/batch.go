@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fleet"
 	"repro/internal/obs"
 )
 
@@ -49,6 +50,13 @@ type BatchOptions struct {
 	RunLog *obs.RunLog
 	// RunName labels the run in the RunLog (default "batch").
 	RunName string
+	// CacheDir, when non-empty, persists finished pair reports (keyed by
+	// the two devices' semantic hashes and an options fingerprint) under
+	// this directory, so repeated audits skip unchanged comparisons
+	// across process restarts. DiffAll additionally clusters devices by
+	// semantic hash and diffs only class representatives (see DiffFleet).
+	// Reports are byte-identical with and without a cache.
+	CacheDir string
 }
 
 // BatchResult is the outcome of one pair in a batch: either a report or
@@ -124,6 +132,20 @@ func DiffBatch(ctx context.Context, pairs []ConfigPair, opts BatchOptions) ([]Ba
 	// private cache per worker below.
 	inner.PolicyCache = nil
 
+	// Persistent report cache: hash each distinct config once (memoized
+	// by pointer — parsed configs are immutable), then serve finished
+	// reports from disk and store fresh ones back.
+	var fstore *fleet.Store
+	var optsFP string
+	var hashMemo sync.Map // *ir.Config -> string
+	if opts.CacheDir != "" {
+		var err error
+		if fstore, err = fleet.OpenStore(opts.CacheDir); err != nil {
+			return nil, err
+		}
+		optsFP = fleet.OptionsFingerprint(inner)
+	}
+
 	runName := opts.RunName
 	if runName == "" {
 		runName = "batch"
@@ -156,6 +178,18 @@ func DiffBatch(ctx context.Context, pairs []ConfigPair, opts BatchOptions) ([]Ba
 			if inner.Workers == 1 && !opts.NoPolicyCache {
 				inner.PolicyCache = core.NewPolicyCache()
 			}
+			var hasher *fleet.Hasher
+			hashFor := func(cfg *Config) string {
+				if h, ok := hashMemo.Load(cfg); ok {
+					return h.(string)
+				}
+				if hasher == nil {
+					hasher = fleet.NewHasher()
+				}
+				h, _ := hasher.DeviceHash(cfg)
+				actual, _ := hashMemo.LoadOrStore(cfg, h)
+				return actual.(string)
+			}
 			var wsp *obs.Span
 			if bsp != nil {
 				wsp = bsp.Child("worker", obs.Int("worker", w))
@@ -180,7 +214,21 @@ func DiffBatch(ctx context.Context, pairs []ConfigPair, opts BatchOptions) ([]Ba
 					res.Err = &PairError{Pair: p.Name, Kind: ErrParse,
 						Err: fmt.Errorf("missing configuration")}
 				default:
-					res.Report, res.Err = DiffContext(ctx, p.Config1, p.Config2, inner)
+					var h1, h2 string
+					served := false
+					if fstore != nil {
+						h1, h2 = hashFor(p.Config1), hashFor(p.Config2)
+						if rep, ok := fstore.GetReport(h1, h2, optsFP); ok {
+							res.Report = fleet.RespanReport(rep, p.Config1, p.Config2)
+							served = true
+						}
+					}
+					if !served {
+						res.Report, res.Err = DiffContext(ctx, p.Config1, p.Config2, inner)
+						if fstore != nil && res.Err == nil {
+							fstore.PutReport(h1, h2, optsFP, res.Report)
+						}
+					}
 				}
 				results[i] = res
 				diffs := 0
@@ -249,7 +297,25 @@ feed:
 // the fleet-audit workload ("are any two of these routers configured
 // differently?"). Pair i<j is named "NameI vs NameJ"; results arrive in
 // lexicographic (i, j) order. It is DiffBatch over the n·(n−1)/2 pairs.
+//
+// With CacheDir set, DiffAll routes through DiffFleet: devices are
+// clustered by semantic hash, only class representatives are diffed
+// (with persisted reports reused across runs), and the results are
+// expanded back to every pair — byte-identical to the naive path.
 func DiffAll(ctx context.Context, cfgs []NamedConfig, opts BatchOptions) ([]BatchResult, error) {
+	if opts.CacheDir != "" {
+		devices := make([]FleetDevice, len(cfgs))
+		for i, c := range cfgs {
+			devices[i] = FleetDevice{Name: c.Name, Config: c.Config}
+		}
+		fr, err := DiffFleet(ctx, devices, FleetOptions{
+			BatchOptions: opts, CacheDir: opts.CacheDir,
+		})
+		if fr == nil {
+			return nil, err
+		}
+		return fr.Results(), err
+	}
 	var pairs []ConfigPair
 	for i := 0; i < len(cfgs); i++ {
 		for j := i + 1; j < len(cfgs); j++ {

@@ -20,9 +20,9 @@ func mustParse(t testing.TB, name, text string) *Config {
 	return cfg
 }
 
-// fleet builds a few parsed configurations with known pairwise
+// fleetCfgs builds a few parsed configurations with known pairwise
 // differences: a and b are equivalent, c differs from both.
-func fleet(t testing.TB) []NamedConfig {
+func fleetCfgs(t testing.TB) []NamedConfig {
 	t.Helper()
 	mk := func(host string, pref int) string {
 		return fmt.Sprintf(`hostname %s
@@ -44,7 +44,7 @@ router bgp 65001
 }
 
 func TestDiffBatchOrderAndResults(t *testing.T) {
-	cfgs := fleet(t)
+	cfgs := fleetCfgs(t)
 	pairs := []ConfigPair{
 		{Name: "a-b", Config1: cfgs[0].Config, Config2: cfgs[1].Config},
 		{Name: "a-c", Config1: cfgs[0].Config, Config2: cfgs[2].Config},
@@ -76,7 +76,7 @@ func TestDiffBatchOrderAndResults(t *testing.T) {
 }
 
 func TestDiffAllPairsEveryPair(t *testing.T) {
-	cfgs := fleet(t)
+	cfgs := fleetCfgs(t)
 	results, err := DiffAll(context.Background(), cfgs, BatchOptions{})
 	if err != nil {
 		t.Fatal(err)
@@ -101,7 +101,7 @@ func TestDiffAllPairsEveryPair(t *testing.T) {
 // TestDiffBatchErrorIsolation: a pair that fails to diff must not abort
 // its siblings.
 func TestDiffBatchErrorIsolation(t *testing.T) {
-	cfgs := fleet(t)
+	cfgs := fleetCfgs(t)
 	pairs := []ConfigPair{
 		{Name: "ok", Config1: cfgs[0].Config, Config2: cfgs[1].Config},
 		{Name: "broken", Config1: nil, Config2: nil},
@@ -127,7 +127,7 @@ func TestDiffBatchErrorIsolation(t *testing.T) {
 // TestDiffBatchCancellation: a cancelled context stops the batch between
 // pairs and marks the unstarted ones.
 func TestDiffBatchCancellation(t *testing.T) {
-	cfgs := fleet(t)
+	cfgs := fleetCfgs(t)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel() // cancelled before the batch starts
 	var pairs []ConfigPair
@@ -245,7 +245,7 @@ func TestDiffBatchRaceExercise(t *testing.T) {
 // vocabulary, maximal chain reuse) plus a vocabulary-shifting outlier
 // that forces mid-run cache rebuilds.
 func TestDiffAllPolicyCacheDeterminism(t *testing.T) {
-	cfgs := fleet(t)
+	cfgs := fleetCfgs(t)
 	// An outlier with extra community vocabulary: pairs touching it
 	// fingerprint differently, exercising the rebuild path between hits.
 	outlier := mustParse(t, "d.cfg", `hostname d

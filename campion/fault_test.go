@@ -44,7 +44,7 @@ const (
 // at both inner worker counts, so the classification is deterministic
 // across pool sizes.
 func TestBatchBudgetIsolation(t *testing.T) {
-	cfgs := fleet(t)
+	cfgs := fleetCfgs(t)
 	h1 := mustParse(t, "h1.cfg", heavyConfig("h1", heavyTerms))
 	h2 := mustParse(t, "h2.cfg", heavyConfig("h2", heavyTerms))
 	pairs := []ConfigPair{
@@ -87,7 +87,7 @@ func TestBatchBudgetIsolation(t *testing.T) {
 // that already completed with their reports, marks the rest ErrCanceled,
 // and surfaces the context error at the batch level.
 func TestBatchMidCancelPartialResults(t *testing.T) {
-	cfgs := fleet(t)
+	cfgs := fleetCfgs(t)
 	trigger := mustParse(t, "trig.cfg", strings.ReplaceAll(
 		`hostname trig
 ip prefix-list NETS permit 10.9.0.0/16 le 24
@@ -202,7 +202,7 @@ router bgp 65001
 // TestRunLogErrorKinds: batch failures land in the run log broken down
 // by failure kind, and the summary JSON carries the breakdown.
 func TestRunLogErrorKinds(t *testing.T) {
-	cfgs := fleet(t)
+	cfgs := fleetCfgs(t)
 	h1 := mustParse(t, "h1.cfg", heavyConfig("h1", heavyTerms))
 	h2 := mustParse(t, "h2.cfg", heavyConfig("h2", heavyTerms))
 	log := NewRunLog(4)

@@ -1,0 +1,572 @@
+package campion
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/fleet"
+	"repro/internal/ir"
+	"repro/internal/obs"
+)
+
+// FleetStore is the persistent cache under a -cache-dir: device-hash
+// entries (skip re-parsing unchanged files) and finished pair reports
+// keyed by (hashA, hashB, options fingerprint). Safe for concurrent use
+// by goroutines and by separate processes sharing the directory
+// (last-writer-wins; see internal/fleet).
+type FleetStore = fleet.Store
+
+// OpenFleetStore opens (creating if needed) a persistent cache.
+func OpenFleetStore(dir string) (*FleetStore, error) { return fleet.OpenStore(dir) }
+
+// ContentSum fingerprints raw configuration bytes for FleetDevice:
+// supplying it lets cached hash entries stand in for parsing entirely.
+func ContentSum(data []byte) string { return fleet.ContentSum(data) }
+
+// FleetDevice is one device of a fleet audit. Exactly one of Config or
+// Load supplies the parsed configuration; Load lets warm cache runs skip
+// parsing entirely when ContentSum finds a stored hash entry.
+type FleetDevice struct {
+	// Name labels the device in pair names ("Name1 vs Name2").
+	Name string
+	// Config is the parsed configuration, when the caller already has it.
+	Config *Config
+	// Load parses the configuration on demand. It is called at most once
+	// per DiffFleet run, and only when the device's semantic hash is not
+	// already known (cold cache, or the device is a class representative
+	// that must actually be diffed).
+	Load func() (*Config, error)
+	// ContentSum, when set, is fleet.ContentSum of the raw configuration
+	// bytes; with a cache it keys the persisted hash entry.
+	ContentSum string
+	// Hash, when set, is a precomputed semantic hash (skips hashing).
+	Hash string
+	// Hostname and File override the rendering identity when the
+	// configuration itself is never loaded (warm cache). They are filled
+	// from the configuration or the cache when left empty.
+	Hostname string
+	File     string
+}
+
+// FleetOptions configures a DiffFleet run.
+type FleetOptions struct {
+	BatchOptions
+	// CacheDir, when non-empty, persists device hashes and pair reports
+	// across runs. Store may be supplied instead to share an open store.
+	CacheDir string
+	// Store is an already-open persistent cache; takes precedence over
+	// CacheDir.
+	Store *FleetStore
+	// Paranoid additionally verifies every non-representative class
+	// member against its representative with a full diff — a hash
+	// collision check. It re-parses every device, so it forfeits the
+	// warm-cache parse savings by design.
+	Paranoid bool
+	// NoCluster disables semantic clustering: every device is its own
+	// class, so all pairs are diffed (the persistent report cache still
+	// applies). For measurement and debugging.
+	NoCluster bool
+	// MaxCachedReports bounds the persistent report entries kept on
+	// disk; 0 means unlimited.
+	MaxCachedReports int
+}
+
+// FleetClass is one semantic equivalence class: devices whose
+// configurations are interchangeable in any comparison (equal semantic
+// hashes). Members are device indices in ascending order; Members[0] is
+// the class representative.
+type FleetClass struct {
+	Hash    string
+	Members []int
+}
+
+// FleetStats summarizes what a DiffFleet run actually did.
+type FleetStats struct {
+	// Devices is the fleet size; Failed counts devices whose
+	// configurations could not be loaded or hashed.
+	Devices, Failed int
+	// Classes is the number of semantic equivalence classes among the
+	// live devices.
+	Classes int
+	// RepPairs is the number of ordered class-representative pairs the
+	// run needed; RepComputed of those were actually diffed (the rest
+	// came from the persistent cache).
+	RepPairs, RepComputed int
+	// ExpandedPairs is the number of member pairs the results cover —
+	// the naive all-pairs count.
+	ExpandedPairs int
+	// ParsesAvoided counts devices whose parse was skipped because a
+	// cached hash entry matched their raw bytes; HashFallbacks counts
+	// devices hashed with the intensional fallback.
+	ParsesAvoided, HashFallbacks int
+	// Cache is the persistent store's counter snapshot (zero without a
+	// cache).
+	Cache fleet.StoreStats
+}
+
+// FleetResult holds a finished fleet audit: the classes, the
+// representative reports, and the machinery to expand them to all member
+// pairs on demand — materializing half a million BatchResults up front
+// would defeat the point at fleet scale.
+type FleetResult struct {
+	Devices []FleetDevice
+	Classes []FleetClass
+	Stats   FleetStats
+
+	// DeviceErrs[i] is non-nil when device i failed to load or hash;
+	// its pairs expand to ErrParse results.
+	DeviceErrs []error
+
+	classOf  []int // device index -> class index; -1 for failed devices
+	render   []*ir.Config
+	repRep   map[[2]int]*core.Report // ordered class pair -> report
+	repErr   map[[2]int]error
+	liveSize int
+}
+
+// DiffFleet audits a fleet: hash every device, cluster by semantic hash,
+// diff only class representatives (reusing persisted reports when a
+// cache is configured), and expose the results expanded to every member
+// pair — byte-identical to running DiffAll naively over the whole fleet.
+//
+// Per-pair failures land in the expanded results as *PairError, exactly
+// as with DiffBatch; the returned error is non-nil only for setup
+// failures (unusable cache directory), context cancellation, or a
+// Paranoid-mode hash-collision detection.
+func DiffFleet(ctx context.Context, devices []FleetDevice, opts FleetOptions) (*FleetResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	store := opts.Store
+	if store == nil && opts.CacheDir != "" {
+		var err error
+		if store, err = fleet.OpenStore(opts.CacheDir); err != nil {
+			return nil, err
+		}
+	}
+	if store != nil && opts.MaxCachedReports > 0 {
+		store.SetMaxReports(opts.MaxCachedReports)
+	}
+	// A shared Store accumulates counters across runs; report this run's
+	// activity as a delta against its state at entry.
+	var statsBefore fleet.StoreStats
+	if store != nil {
+		statsBefore = store.Stats()
+	}
+
+	r := &FleetResult{
+		Devices:    append([]FleetDevice(nil), devices...),
+		DeviceErrs: make([]error, len(devices)),
+		classOf:    make([]int, len(devices)),
+		render:     make([]*ir.Config, len(devices)),
+		repRep:     map[[2]int]*core.Report{},
+		repErr:     map[[2]int]error{},
+	}
+	r.Stats.Devices = len(devices)
+
+	resolveDevices(ctx, r, store, &opts)
+	cluster(r, opts.NoCluster)
+
+	optsFP := fleet.OptionsFingerprint(opts.Options)
+	if err := diffRepresentatives(ctx, r, store, opts, optsFP); err != nil {
+		return r, err
+	}
+	collision, err := verifyParanoid(ctx, r, opts)
+
+	if store != nil {
+		store.EvictNow()
+		after := store.Stats()
+		r.Stats.Cache = fleet.StoreStats{
+			ReportHits:   after.ReportHits - statsBefore.ReportHits,
+			ReportMisses: after.ReportMisses - statsBefore.ReportMisses,
+			HashHits:     after.HashHits - statsBefore.HashHits,
+			HashMisses:   after.HashMisses - statsBefore.HashMisses,
+			Evictions:    after.Evictions - statsBefore.Evictions,
+			Corrupt:      after.Corrupt - statsBefore.Corrupt,
+		}
+	}
+	flushFleetMetrics(r, opts)
+	if err != nil {
+		return r, err
+	}
+	if collision != "" {
+		return r, fmt.Errorf("paranoid verification failed: %s (semantic hash collision or hasher bug)", collision)
+	}
+	return r, batchCtxErr(ctx)
+}
+
+// resolveDevices fills in each device's semantic hash, hostname, and
+// rendering identity — from the caller, the persistent cache, or by
+// loading and hashing the configuration. Runs on a worker pool; each
+// worker owns a private Hasher.
+func resolveDevices(ctx context.Context, r *FleetResult, store *fleet.Store, opts *FleetOptions) {
+	workers := opts.BatchWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(r.Devices) {
+		workers = len(r.Devices)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var mu sync.Mutex // guards the shared Stats fields
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var hasher *fleet.Hasher
+			for i := range jobs {
+				d := &r.Devices[i]
+				if batchCtxErr(ctx) != nil {
+					r.DeviceErrs[i] = pairError(d.Name, ErrCanceled, batchCtxErr(ctx))
+					continue
+				}
+				// Cheapest first: caller-supplied hash, then the
+				// persisted hash for these exact raw bytes, then load
+				// and hash for real.
+				if d.Hash == "" && store != nil && d.ContentSum != "" {
+					if e, ok := store.GetHash(d.ContentSum); ok {
+						d.Hash = e.Hash
+						if d.Hostname == "" {
+							d.Hostname = e.Hostname
+						}
+						if d.Config == nil {
+							mu.Lock()
+							r.Stats.ParsesAvoided++
+							mu.Unlock()
+						}
+					}
+				}
+				if d.Hash == "" {
+					cfg, err := materialize(d)
+					if err != nil {
+						r.DeviceErrs[i] = pairError(d.Name, ErrParse, err)
+						continue
+					}
+					if hasher == nil {
+						hasher = fleet.NewHasher()
+					}
+					hash, fallback := hasher.DeviceHash(cfg)
+					d.Hash = hash
+					if fallback {
+						mu.Lock()
+						r.Stats.HashFallbacks++
+						mu.Unlock()
+					}
+					if store != nil && d.ContentSum != "" {
+						store.PutHash(d.ContentSum, hash, cfg.Hostname, fallback)
+					}
+				}
+				if d.Config != nil {
+					if d.Hostname == "" {
+						d.Hostname = d.Config.Hostname
+					}
+					if d.File == "" {
+						d.File = d.Config.File
+					}
+				}
+				r.render[i] = renderConfig(d)
+			}
+		}()
+	}
+	for i := range r.Devices {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range r.DeviceErrs {
+		if err != nil {
+			r.Stats.Failed++
+		}
+	}
+}
+
+// materialize returns the device's parsed configuration, loading (once)
+// if necessary.
+func materialize(d *FleetDevice) (*Config, error) {
+	if d.Config != nil {
+		return d.Config, nil
+	}
+	if d.Load == nil {
+		return nil, fmt.Errorf("missing configuration")
+	}
+	cfg, err := d.Load()
+	if err != nil {
+		return nil, err
+	}
+	if cfg == nil {
+		return nil, fmt.Errorf("missing configuration")
+	}
+	d.Config = cfg
+	return cfg, nil
+}
+
+// renderConfig is the configuration identity used when expanding reports
+// for this device: the real parsed config when available, otherwise a
+// stub carrying exactly what rendering reads (hostname and file).
+func renderConfig(d *FleetDevice) *ir.Config {
+	if d.Config != nil {
+		return d.Config
+	}
+	return &ir.Config{Hostname: d.Hostname, File: d.File}
+}
+
+// cluster partitions the live devices into semantic classes in order of
+// first appearance, so class numbering (and therefore everything
+// downstream) is deterministic.
+func cluster(r *FleetResult, noCluster bool) {
+	byHash := map[string]int{}
+	for i := range r.Devices {
+		if r.DeviceErrs[i] != nil {
+			r.classOf[i] = -1
+			continue
+		}
+		r.liveSize++
+		key := r.Devices[i].Hash
+		if noCluster {
+			key = fmt.Sprintf("device-%d", i)
+		}
+		ci, ok := byHash[key]
+		if !ok {
+			ci = len(r.Classes)
+			byHash[key] = ci
+			r.Classes = append(r.Classes, FleetClass{Hash: r.Devices[i].Hash})
+		}
+		r.Classes[ci].Members = append(r.Classes[ci].Members, i)
+		r.classOf[i] = ci
+	}
+	r.Stats.Classes = len(r.Classes)
+	r.Stats.ExpandedPairs = len(r.Devices) * (len(r.Devices) - 1) / 2
+}
+
+// neededOrientations lists the ordered class pairs some member pair
+// (i < j) actually expands to. Reports are directional — config1 vs
+// config2 — so a class pair may be needed in one or both orientations
+// depending on how its members interleave: (a, b) is needed iff some
+// member of a precedes some member of b.
+func (r *FleetResult) neededOrientations() [][2]int {
+	var out [][2]int
+	for a := range r.Classes {
+		for b := range r.Classes {
+			if a == b {
+				continue
+			}
+			ma, mb := r.Classes[a].Members, r.Classes[b].Members
+			if ma[0] < mb[len(mb)-1] {
+				out = append(out, [2]int{a, b})
+			}
+		}
+	}
+	return out
+}
+
+// diffRepresentatives resolves every needed ordered class pair: from the
+// persistent cache when possible, otherwise by actually diffing the two
+// class representatives on the batch worker pool.
+func diffRepresentatives(ctx context.Context, r *FleetResult, store *fleet.Store, opts FleetOptions, optsFP string) error {
+	needed := r.neededOrientations()
+	r.Stats.RepPairs = len(needed)
+
+	var missing [][2]int
+	for _, key := range needed {
+		if store != nil {
+			h1, h2 := r.Classes[key[0]].Hash, r.Classes[key[1]].Hash
+			if rep, ok := store.GetReport(h1, h2, optsFP); ok {
+				r.repRep[key] = rep
+				continue
+			}
+		}
+		missing = append(missing, key)
+	}
+	r.Stats.RepComputed = len(missing)
+	if len(missing) == 0 {
+		return nil
+	}
+
+	// The representatives of every miss must be real parsed configs now.
+	pairs := make([]ConfigPair, len(missing))
+	for n, key := range missing {
+		i, j := r.Classes[key[0]].Members[0], r.Classes[key[1]].Members[0]
+		di, dj := &r.Devices[i], &r.Devices[j]
+		name := fmt.Sprintf("%s vs %s", di.Name, dj.Name)
+		c1, err1 := materialize(di)
+		c2, err2 := materialize(dj)
+		switch {
+		case err1 != nil:
+			r.repErr[key] = pairError(di.Name, ErrParse, err1)
+			continue
+		case err2 != nil:
+			r.repErr[key] = pairError(dj.Name, ErrParse, err2)
+			continue
+		}
+		r.render[i], r.render[j] = c1, c2
+		pairs[n] = ConfigPair{Name: name, Config1: c1, Config2: c2}
+	}
+
+	batch := opts.BatchOptions
+	// The fleet layer already resolved the persistent cache for these
+	// pairs; don't let the inner batch open a second store for them.
+	batch.CacheDir = ""
+	if batch.RunName == "" {
+		batch.RunName = fmt.Sprintf("fleet (%d devices, %d classes)", len(r.Devices), len(r.Classes))
+	}
+	live := make([]ConfigPair, 0, len(pairs))
+	liveKey := make([][2]int, 0, len(pairs))
+	for n, p := range pairs {
+		if p.Config1 != nil {
+			live = append(live, p)
+			liveKey = append(liveKey, missing[n])
+		}
+	}
+	results, err := DiffBatch(ctx, live, batch)
+	for n, res := range results {
+		key := liveKey[n]
+		if res.Err != nil {
+			r.repErr[key] = res.Err
+			continue
+		}
+		r.repRep[key] = res.Report
+		if store != nil {
+			store.PutReport(r.Classes[key[0]].Hash, r.Classes[key[1]].Hash, optsFP, res.Report)
+		}
+	}
+	return err
+}
+
+// verifyParanoid fully diffs every non-representative member against its
+// class representative. Any difference means two configurations hashed
+// equal but are not semantically identical — a collision (or a hasher
+// bug) worth stopping the audit for.
+func verifyParanoid(ctx context.Context, r *FleetResult, opts FleetOptions) (string, error) {
+	if !opts.Paranoid {
+		return "", nil
+	}
+	var pairs []ConfigPair
+	for _, cl := range r.Classes {
+		rep := cl.Members[0]
+		c1, err := materialize(&r.Devices[rep])
+		if err != nil {
+			continue
+		}
+		for _, m := range cl.Members[1:] {
+			c2, err := materialize(&r.Devices[m])
+			if err != nil {
+				continue
+			}
+			pairs = append(pairs, ConfigPair{
+				Name:    fmt.Sprintf("%s vs %s", r.Devices[rep].Name, r.Devices[m].Name),
+				Config1: c1, Config2: c2,
+			})
+		}
+	}
+	if len(pairs) == 0 {
+		return "", nil
+	}
+	batch := opts.BatchOptions
+	batch.CacheDir = ""
+	batch.RunName = fmt.Sprintf("fleet paranoid (%d members)", len(pairs))
+	results, err := DiffBatch(ctx, pairs, batch)
+	for _, res := range results {
+		if res.Err == nil && res.Report.TotalDifferences() != 0 {
+			return res.Name, err
+		}
+	}
+	return "", err
+}
+
+// Each streams the expanded results in the exact order DiffAll would
+// produce them: every device pair i < j, named "NameI vs NameJ". Same-
+// class pairs yield an empty (equivalent) report; cross-class pairs
+// yield the representative report retargeted at the member pair; pairs
+// touching a failed device yield its error. Return false to stop early.
+func (r *FleetResult) Each(fn func(BatchResult) bool) {
+	for i := 0; i < len(r.Devices); i++ {
+		for j := i + 1; j < len(r.Devices); j++ {
+			if !fn(r.expand(i, j)) {
+				return
+			}
+		}
+	}
+}
+
+// Results materializes every expanded pair — DiffAll-shaped output.
+// At large N prefer Each: this allocates N·(N−1)/2 results.
+func (r *FleetResult) Results() []BatchResult {
+	out := make([]BatchResult, 0, len(r.Devices)*(len(r.Devices)-1)/2)
+	r.Each(func(res BatchResult) bool {
+		out = append(out, res)
+		return true
+	})
+	return out
+}
+
+// expand produces the result for member pair (i, j), i < j. It runs
+// O(N^2) times per audit, so the name is concatenated, not formatted.
+func (r *FleetResult) expand(i, j int) BatchResult {
+	name := r.Devices[i].Name + " vs " + r.Devices[j].Name
+	if err := r.DeviceErrs[i]; err != nil {
+		return BatchResult{Name: name, Err: retarget(err, name)}
+	}
+	if err := r.DeviceErrs[j]; err != nil {
+		return BatchResult{Name: name, Err: retarget(err, name)}
+	}
+	ci, cj := r.classOf[i], r.classOf[j]
+	if ci == cj {
+		// Same semantic class: equivalent by construction (and by
+		// Paranoid verification when enabled).
+		return BatchResult{Name: name, Report: &core.Report{Config1: r.render[i], Config2: r.render[j]}}
+	}
+	key := [2]int{ci, cj}
+	if err, ok := r.repErr[key]; ok {
+		return BatchResult{Name: name, Err: retarget(err, name)}
+	}
+	rep, ok := r.repRep[key]
+	if !ok {
+		return BatchResult{Name: name, Err: &PairError{Pair: name, Kind: ErrInternal,
+			Err: fmt.Errorf("no representative report for class pair %v", key)}}
+	}
+	return BatchResult{Name: name, Report: fleet.RespanReport(rep, r.render[i], r.render[j])}
+}
+
+// retarget renames a representative's (or device's) error for the member
+// pair it is being expanded to, keeping kind, cause, and provenance.
+func retarget(err error, name string) error {
+	if pe, ok := err.(*PairError); ok {
+		clone := *pe
+		clone.Pair = name
+		return &clone
+	}
+	return err
+}
+
+// flushFleetMetrics publishes the run's fleet counters: into the run's
+// configured registry when one is set, else the process default (the
+// registry `campion -serve` exposes), matching recordParse.
+func flushFleetMetrics(r *FleetResult, opts FleetOptions) {
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.Default
+	}
+	reg.Counter("campion_fleet_runs_total", "fleet audits completed").Inc()
+	reg.Counter("campion_fleet_parse_dedup_total",
+		"device parses skipped via persisted hash entries").Add(uint64(r.Stats.ParsesAvoided))
+	reg.Gauge("campion_fleet_devices", "devices in the last fleet audit").Set(int64(r.Stats.Devices))
+	reg.Gauge("campion_fleet_classes", "semantic classes in the last fleet audit").Set(int64(r.Stats.Classes))
+	reg.Counter("campion_fleet_rep_pairs_total", "representative pairs resolved").Add(uint64(r.Stats.RepPairs))
+	reg.Counter("campion_fleet_rep_computed_total", "representative pairs actually diffed").Add(uint64(r.Stats.RepComputed))
+	reg.Counter("campion_fleet_hash_fallbacks_total",
+		"devices hashed with the intensional fallback").Add(uint64(r.Stats.HashFallbacks))
+	c := r.Stats.Cache
+	reg.Counter("campion_fleet_cache_hits_total", "persistent cache hits", obs.L("kind", "report")).Add(c.ReportHits)
+	reg.Counter("campion_fleet_cache_hits_total", "persistent cache hits", obs.L("kind", "hash")).Add(c.HashHits)
+	reg.Counter("campion_fleet_cache_misses_total", "persistent cache misses", obs.L("kind", "report")).Add(c.ReportMisses)
+	reg.Counter("campion_fleet_cache_misses_total", "persistent cache misses", obs.L("kind", "hash")).Add(c.HashMisses)
+	reg.Counter("campion_fleet_cache_evictions_total", "persistent cache entries evicted").Add(c.Evictions)
+	reg.Counter("campion_fleet_cache_corrupt_total", "persistent cache entries discarded as corrupt").Add(c.Corrupt)
+}

@@ -11,7 +11,7 @@ import (
 // TestDiffAllRunLog: a batch records one run with live pair progress and
 // the aggregate difference count.
 func TestDiffAllRunLog(t *testing.T) {
-	cfgs := fleet(t)
+	cfgs := fleetCfgs(t)
 	runs := NewRunLog(8)
 	results, err := DiffAll(context.Background(), cfgs, BatchOptions{RunLog: runs})
 	if err != nil {
@@ -42,7 +42,7 @@ func TestDiffAllRunLog(t *testing.T) {
 // TestDiffBatchSpansAndMetrics: the batch emits a batch→worker→pair→diff
 // span chain and fills the pair latency histogram.
 func TestDiffBatchSpansAndMetrics(t *testing.T) {
-	cfgs := fleet(t)
+	cfgs := fleetCfgs(t)
 	pairs := []ConfigPair{
 		{Name: "a-b", Config1: cfgs[0].Config, Config2: cfgs[1].Config},
 		{Name: "a-c", Config1: cfgs[0].Config, Config2: cfgs[2].Config},

@@ -25,7 +25,18 @@
 //	    override dialect detection
 //	-all
 //	    compare every unordered pair of configurations inside one
-//	    directory (fleet audit), on the parallel batch engine
+//	    directory (fleet audit), on the parallel batch engine. Devices
+//	    are clustered by semantic hash and only class representatives
+//	    are diffed (output is byte-identical to the naive sweep);
+//	    -cluster=false forces the naive quadratic path
+//	-cache-dir=DIR
+//	    persist semantic hashes and finished pair reports under DIR; a
+//	    warm rerun over an unchanged fleet skips parsing and diffing
+//	    entirely. Corrupt or stale entries are recomputed, never fatal
+//	-paranoid
+//	    verify every device against its class representative instead of
+//	    trusting the semantic hash (collision guard; costs one diff per
+//	    non-representative device)
 //	-workers=N
 //	    bound the comparison concurrency (0 = one worker per CPU). When a
 //	    run has fewer unique comparisons than workers and a comparison is
@@ -66,6 +77,7 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"flag"
 	"fmt"
@@ -116,6 +128,12 @@ func run() int {
 	timeout := flag.Duration("timeout", 0, "deadline for the whole run (0 = none)")
 	maxNodes := flag.Int("max-nodes", 0, "BDD node budget per semantic task (0 = unlimited)")
 	strict := flag.Bool("strict", false, "exit 2 when any pair fails instead of degrading to partial results")
+	cacheDir := flag.String("cache-dir", "",
+		"persist semantic hashes and pair reports under this directory; warm reruns over an unchanged fleet skip parsing and diffing")
+	cluster := flag.Bool("cluster", true,
+		"with -all: cluster devices by semantic hash and diff class representatives only (output is unchanged)")
+	paranoid := flag.Bool("paranoid", false,
+		"with -all -cluster: verify every device against its class representative (guards against hash collisions)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: campion [flags] CONFIG1 CONFIG2\n")
 		fmt.Fprintf(os.Stderr, "       campion [flags] DIR1 DIR2\n")
@@ -211,7 +229,10 @@ func run() int {
 				flag.Usage()
 				return 2
 			}
-			return diffAll(ctx, flag.Arg(0), opts0, *workers, *format, *stats, *strict)
+			return diffAll(ctx, flag.Arg(0), opts0, allOptions{
+				workers: *workers, format: *format, stats: *stats, strict: *strict,
+				cacheDir: *cacheDir, cluster: *cluster, paranoid: *paranoid,
+			})
 		}
 		if flag.NArg() != 2 {
 			flag.Usage()
@@ -429,66 +450,116 @@ func diffDirs(ctx context.Context, dir1, dir2 string, opts campion.Options, work
 	return failed.report(status, len(results), strict)
 }
 
+// allOptions bundles the flags that shape an -all run.
+type allOptions struct {
+	workers           int
+	format            string
+	stats, strict     bool
+	cacheDir          string
+	cluster, paranoid bool
+}
+
 // diffAll compares every unordered pair of configurations within one
 // directory (the fleet audit of §5.1: "are any two of these routers
-// configured differently?"). Same exit statuses as diffDirs; a
-// configuration that fails to parse costs its pairs, not the audit.
-func diffAll(ctx context.Context, dir string, opts campion.Options, workers int, format string, stats bool, strict bool) int {
+// configured differently?"). By default devices are clustered by
+// semantic hash and only class representatives are diffed — output is
+// byte-identical to the naive quadratic sweep; -cluster=false forces
+// the naive path. Same exit statuses as diffDirs; a configuration that
+// fails to parse or load costs its pairs, not the audit.
+func diffAll(ctx context.Context, dir string, opts campion.Options, ao allOptions) int {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "campion:", err)
 		return 2
 	}
-	var cfgs []campion.NamedConfig
-	failed := failureTally{}
+	var devices []campion.FleetDevice
 	for _, e := range entries {
 		if e.IsDir() {
 			continue
 		}
 		path := filepath.Join(dir, e.Name())
-		cfg, err := campion.LoadFile(path)
+		data, err := os.ReadFile(path)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "campion: %s: %v\n", path, err)
-			failed.add(campion.ErrParse)
-			continue
+			fmt.Fprintln(os.Stderr, "campion:", err)
+			return 2
 		}
-		name := strings.TrimSuffix(e.Name(), filepath.Ext(e.Name()))
-		cfgs = append(cfgs, campion.NamedConfig{Name: name, Config: cfg})
+		text := string(data)
+		devices = append(devices, campion.FleetDevice{
+			Name:       strings.TrimSuffix(e.Name(), filepath.Ext(e.Name())),
+			File:       path,
+			ContentSum: campion.ContentSum(data),
+			Load:       func() (*campion.Config, error) { return campion.Parse(path, text) },
+		})
 	}
-	if len(cfgs) < 2 {
-		fmt.Fprintf(os.Stderr, "campion: %s: need at least two parseable configurations for -all\n", dir)
+	if len(devices) < 2 {
+		fmt.Fprintf(os.Stderr, "campion: %s: need at least two configurations for -all\n", dir)
 		return 2
 	}
-	loadFailures := failed.total()
-	results, err := campion.DiffAll(ctx, cfgs,
-		campion.BatchOptions{Options: opts, BatchWorkers: workers, RunLog: campion.DefaultRunLog()})
+
+	fr, err := campion.DiffFleet(ctx, devices, campion.FleetOptions{
+		BatchOptions: campion.BatchOptions{Options: opts, BatchWorkers: ao.workers,
+			RunLog: campion.DefaultRunLog()},
+		CacheDir:  ao.cacheDir,
+		NoCluster: !ao.cluster,
+		Paranoid:  ao.paranoid,
+	})
+	if fr == nil && err != nil {
+		fmt.Fprintln(os.Stderr, "campion:", err)
+		return 2
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "campion: audit incomplete:", err)
 	}
-	status := 0
-	for _, res := range results {
-		fmt.Printf("=== %s ===\n", res.Name)
-		switch {
-		case res.Err != nil:
-			fmt.Printf("error: %v\n\n", res.Err)
-			failed.add(res.Err)
-		case res.Report.TotalDifferences() == 0:
-			fmt.Printf("equivalent\n\n")
-		default:
-			status = 1
-			if format == "summary" {
-				campion.WriteSummary(os.Stdout, res.Report)
-				fmt.Println()
-			} else {
-				campion.Write(os.Stdout, res.Report)
-			}
-		}
-		if stats && res.Report != nil {
-			fmt.Fprintf(os.Stderr, "--- %s ---\n", res.Name)
-			printStats(res.Report)
+	for i, derr := range fr.DeviceErrs {
+		if derr != nil {
+			fmt.Fprintf(os.Stderr, "campion: %s: %v\n", fr.Devices[i].File, derr)
 		}
 	}
-	return failed.report(status, len(results)+loadFailures, strict)
+
+	// A fleet audit prints O(N^2) pair sections; buffering keeps the
+	// expansion from being dominated by per-line write syscalls.
+	out := bufio.NewWriterSize(os.Stdout, 1<<20)
+	defer out.Flush()
+	status := 0
+	failed := failureTally{}
+	pairs := 0
+	fr.Each(func(res campion.BatchResult) bool {
+		pairs++
+		out.WriteString("=== " + res.Name + " ===\n")
+		switch {
+		case res.Err != nil:
+			fmt.Fprintf(out, "error: %v\n\n", res.Err)
+			failed.add(res.Err)
+		case res.Report.TotalDifferences() == 0:
+			out.WriteString("equivalent\n\n")
+		default:
+			status = 1
+			if ao.format == "summary" {
+				campion.WriteSummary(out, res.Report)
+				fmt.Fprintln(out)
+			} else {
+				campion.Write(out, res.Report)
+			}
+		}
+		return true
+	})
+	out.Flush()
+	if ao.stats {
+		printFleetStats(fr.Stats)
+	}
+	return failed.report(status, pairs, ao.strict)
+}
+
+// printFleetStats renders the clustering and cache profile of an -all run.
+func printFleetStats(s campion.FleetStats) {
+	fmt.Fprintf(os.Stderr, "--- fleet ---\n")
+	fmt.Fprintf(os.Stderr, "devices: %d (%d failed), classes: %d, hash fallbacks: %d\n",
+		s.Devices, s.Failed, s.Classes, s.HashFallbacks)
+	fmt.Fprintf(os.Stderr, "pairs: %d expanded from %d representative pairs (%d computed, %d from cache)\n",
+		s.ExpandedPairs, s.RepPairs, s.RepComputed, s.Cache.ReportHits)
+	fmt.Fprintf(os.Stderr, "parses avoided: %d, cache: %d/%d report hits/misses, %d/%d hash hits/misses, %d evicted, %d corrupt\n",
+		s.ParsesAvoided, s.Cache.ReportHits, s.Cache.ReportMisses,
+		s.Cache.HashHits, s.Cache.HashMisses, s.Cache.Evictions, s.Cache.Corrupt)
 }
 
 func load(path, vendor string) (*campion.Config, error) {

@@ -1,0 +1,320 @@
+// Persistent on-disk cache: device-hash entries (raw-bytes digest →
+// semantic hash, so warm runs skip parsing unchanged files) and finished
+// pair reports keyed by (hashA, hashB, options fingerprint).
+//
+// Layout: <dir>/v1/hashes/<key>.json and <dir>/v1/reports/<key>.json,
+// one entry per file. Every entry is written atomically (temp file +
+// rename into place) and carries a checksum header plus an embedded copy
+// of its key, so a truncated, corrupted, or collided file is detected on
+// read and treated as a miss — the entry is deleted and recomputed,
+// never trusted and never fatal. Concurrent processes sharing one cache
+// directory are safe by construction: readers only ever see fully
+// renamed files, and two writers racing on one key resolve to
+// last-writer-wins (both wrote the same semantic content, so either is
+// correct).
+//
+// Versioning: the store directory is namespaced by storeVersion, the
+// device hash mixes in its own hashVersion, and report payloads carry
+// payloadVersion. Any format change lands in a fresh namespace or fails
+// the version check on read — stale entries self-invalidate.
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// storeVersion namespaces the on-disk layout.
+const storeVersion = "v1"
+
+// entryMagic heads every cache file: "campion-cache <version> <sha256 of
+// body>\n<body>". A file that does not parse to this shape is corrupt.
+const entryMagic = "campion-cache"
+
+// Store is a persistent cache rooted at a directory. All methods are
+// safe for concurrent use by multiple goroutines and multiple processes.
+type Store struct {
+	dir        string // <root>/v1
+	maxReports int64
+
+	reportHits, reportMisses atomic.Uint64
+	hashHits, hashMisses     atomic.Uint64
+	evictions, corrupt       atomic.Uint64
+	reportPuts               atomic.Uint64
+
+	evictMu sync.Mutex
+}
+
+// StoreStats is a snapshot of the store's counters since OpenStore.
+type StoreStats struct {
+	ReportHits, ReportMisses uint64
+	HashHits, HashMisses     uint64
+	Evictions, Corrupt       uint64
+}
+
+// OpenStore opens (creating if needed) a cache under dir.
+func OpenStore(dir string) (*Store, error) {
+	s := &Store{dir: filepath.Join(dir, storeVersion)}
+	for _, sub := range []string{"hashes", "reports"} {
+		if err := os.MkdirAll(filepath.Join(s.dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("open cache: %w", err)
+		}
+	}
+	return s, nil
+}
+
+// SetMaxReports bounds the number of report entries kept on disk;
+// 0 (the default) means unlimited. When the bound is exceeded the
+// oldest entries (by modification time) are evicted.
+func (s *Store) SetMaxReports(n int) { atomic.StoreInt64(&s.maxReports, int64(n)) }
+
+// Stats snapshots the counters.
+func (s *Store) Stats() StoreStats {
+	return StoreStats{
+		ReportHits: s.reportHits.Load(), ReportMisses: s.reportMisses.Load(),
+		HashHits: s.hashHits.Load(), HashMisses: s.hashMisses.Load(),
+		Evictions: s.evictions.Load(), Corrupt: s.corrupt.Load(),
+	}
+}
+
+// HashEntry records one device's semantic hash, keyed by the digest of
+// its raw configuration bytes. Hostname rides along so a warm run can
+// render pair names and reports without re-parsing the file.
+type HashEntry struct {
+	Version    int
+	ContentSum string
+	Hash       string
+	Hostname   string
+	Fallback   bool
+}
+
+// hashEntryVersion guards HashEntry's JSON shape.
+const hashEntryVersion = 1
+
+// ContentSum digests raw configuration bytes for hash-entry keys.
+func ContentSum(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// GetHash looks up the semantic hash recorded for raw-config digest
+// contentSum.
+func (s *Store) GetHash(contentSum string) (HashEntry, bool) {
+	var e HashEntry
+	path := s.path("hashes", "hash", contentSum)
+	body, ok := s.readEntry(path)
+	if !ok {
+		s.hashMisses.Add(1)
+		return e, false
+	}
+	if err := json.Unmarshal(body, &e); err != nil ||
+		e.Version != hashEntryVersion || e.ContentSum != contentSum {
+		s.discard(path)
+		s.hashMisses.Add(1)
+		return HashEntry{}, false
+	}
+	s.hashHits.Add(1)
+	return e, true
+}
+
+// PutHash records a device's semantic hash.
+func (s *Store) PutHash(contentSum, hash, hostname string, fallback bool) {
+	e := HashEntry{
+		Version: hashEntryVersion, ContentSum: contentSum,
+		Hash: hash, Hostname: hostname, Fallback: fallback,
+	}
+	body, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	s.writeEntry(s.path("hashes", "hash", contentSum), body)
+}
+
+// reportEntry wraps a report payload with its full key, so a filename
+// collision (or a moved file) is detected rather than served.
+type reportEntry struct {
+	Hash1, Hash2 string
+	OptionsFP    string
+	Report       json.RawMessage
+}
+
+// GetReport looks up the finished report for the ordered pair of device
+// hashes under the given options fingerprint.
+func (s *Store) GetReport(hash1, hash2, optsFP string) (*core.Report, bool) {
+	path := s.path("reports", "report", hash1, hash2, optsFP)
+	body, ok := s.readEntry(path)
+	if !ok {
+		s.reportMisses.Add(1)
+		return nil, false
+	}
+	var e reportEntry
+	if err := json.Unmarshal(body, &e); err != nil ||
+		e.Hash1 != hash1 || e.Hash2 != hash2 || e.OptionsFP != optsFP {
+		s.discard(path)
+		s.reportMisses.Add(1)
+		return nil, false
+	}
+	rep, err := DecodeReport(e.Report)
+	if err != nil {
+		s.discard(path)
+		s.reportMisses.Add(1)
+		return nil, false
+	}
+	s.reportHits.Add(1)
+	return rep, true
+}
+
+// PutReport stores a finished report under its key. Failures are
+// silent — the cache is an accelerator, never a correctness dependency.
+func (s *Store) PutReport(hash1, hash2, optsFP string, rep *core.Report) {
+	payload, err := EncodeReport(rep)
+	if err != nil {
+		return
+	}
+	body, err := json.Marshal(reportEntry{
+		Hash1: hash1, Hash2: hash2, OptionsFP: optsFP, Report: payload,
+	})
+	if err != nil {
+		return
+	}
+	s.writeEntry(s.path("reports", "report", hash1, hash2, optsFP), body)
+	// Amortize the directory scan: check the bound once per batch of
+	// puts, not on every write.
+	if max := atomic.LoadInt64(&s.maxReports); max > 0 && s.reportPuts.Add(1)%32 == 0 {
+		s.evictReports(int(max))
+	}
+}
+
+// EvictNow applies the report bound immediately (tests and shutdown).
+func (s *Store) EvictNow() {
+	if max := atomic.LoadInt64(&s.maxReports); max > 0 {
+		s.evictReports(int(max))
+	}
+}
+
+func (s *Store) evictReports(max int) {
+	s.evictMu.Lock()
+	defer s.evictMu.Unlock()
+	dir := filepath.Join(s.dir, "reports")
+	entries, err := os.ReadDir(dir)
+	if err != nil || len(entries) <= max {
+		return
+	}
+	type aged struct {
+		name string
+		info fs.FileInfo
+	}
+	var files []aged
+	for _, e := range entries {
+		info, err := e.Info()
+		if err != nil || !info.Mode().IsRegular() {
+			continue
+		}
+		files = append(files, aged{e.Name(), info})
+	}
+	if len(files) <= max {
+		return
+	}
+	sort.Slice(files, func(i, j int) bool {
+		if !files[i].info.ModTime().Equal(files[j].info.ModTime()) {
+			return files[i].info.ModTime().Before(files[j].info.ModTime())
+		}
+		return files[i].name < files[j].name
+	})
+	for _, f := range files[:len(files)-max] {
+		if os.Remove(filepath.Join(dir, f.name)) == nil {
+			s.evictions.Add(1)
+		}
+	}
+}
+
+// path derives an entry's filename from its key parts.
+func (s *Store) path(sub, kind string, parts ...string) string {
+	h := sha256.New()
+	h.Write([]byte(kind))
+	for _, p := range parts {
+		h.Write([]byte{0})
+		h.Write([]byte(p))
+	}
+	return filepath.Join(s.dir, sub, hex.EncodeToString(h.Sum(nil))+".json")
+}
+
+// readEntry reads and verifies one cache file. Any deviation — missing,
+// truncated, bad magic, wrong version, checksum mismatch — is a miss;
+// non-missing deviations also delete the file and count as corruption.
+func (s *Store) readEntry(path string) ([]byte, bool) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if !errors.Is(err, fs.ErrNotExist) {
+			s.discard(path)
+		}
+		return nil, false
+	}
+	header, body, found := strings.Cut(string(data), "\n")
+	fields := strings.Fields(header)
+	if !found || len(fields) != 3 || fields[0] != entryMagic || fields[1] != storeVersion {
+		s.discard(path)
+		return nil, false
+	}
+	sum := sha256.Sum256([]byte(body))
+	if fields[2] != hex.EncodeToString(sum[:]) {
+		s.discard(path)
+		return nil, false
+	}
+	return []byte(body), true
+}
+
+// writeEntry atomically installs a cache file: write a temp file in the
+// same directory, fsync-free rename into place. Last writer wins.
+func (s *Store) writeEntry(path string, body []byte) {
+	sum := sha256.Sum256(body)
+	content := fmt.Sprintf("%s %s %s\n%s", entryMagic, storeVersion, hex.EncodeToString(sum[:]), body)
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return
+	}
+	name := tmp.Name()
+	_, werr := tmp.WriteString(content)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil || os.Rename(name, path) != nil {
+		os.Remove(name)
+	}
+}
+
+// discard removes a bad entry and counts the corruption.
+func (s *Store) discard(path string) {
+	if os.Remove(path) == nil {
+		s.corrupt.Add(1)
+	}
+}
+
+// OptionsFingerprint digests the report-affecting comparison options for
+// the report-cache key. Only settings that change report bytes
+// participate: the component set and the exhaustive-communities mode.
+// Workers, Reorder, and GC are deliberately excluded — reports are
+// byte-identical across them (pinned by the PR 6 golden-corpus mode
+// sweep) — so a cache warmed under one execution mode serves all others.
+func OptionsFingerprint(opts core.Options) string {
+	comps := make([]string, len(opts.Components))
+	for i, c := range opts.Components {
+		comps[i] = string(c)
+	}
+	sort.Strings(comps)
+	key := fmt.Sprintf("opts-v1|components=%s|exhaustive=%t",
+		strings.Join(comps, ","), opts.ExhaustiveCommunities)
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:8])
+}

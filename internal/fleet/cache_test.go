@@ -1,0 +1,214 @@
+package fleet
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func testReport(t *testing.T) *core.Report {
+	t.Helper()
+	c1 := parseCisco(t, "a.cfg", hashBaseCfg)
+	c2 := parseCisco(t, "b.cfg", strings.Replace(
+		strings.Replace(hashBaseCfg, "hostname alpha", "hostname beta", 1),
+		"local-preference 120", "local-preference 200", 1))
+	rep, err := core.Diff(c1, c2, core.Options{})
+	if err != nil {
+		t.Fatalf("diff: %v", err)
+	}
+	if rep.TotalDifferences() == 0 {
+		t.Fatal("test pair reports no differences")
+	}
+	return rep
+}
+
+func entryFiles(t *testing.T, dir, sub string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(filepath.Join(dir, storeVersion, sub))
+	if err != nil {
+		t.Fatalf("readdir: %v", err)
+	}
+	var out []string
+	for _, e := range entries {
+		out = append(out, filepath.Join(dir, storeVersion, sub, e.Name()))
+	}
+	return out
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.PutHash("sum1", "hash1", "alpha", false)
+	if e, ok := s.GetHash("sum1"); !ok || e.Hash != "hash1" || e.Hostname != "alpha" {
+		t.Fatalf("hash entry round trip: %+v ok=%v", e, ok)
+	}
+	if _, ok := s.GetHash("absent"); ok {
+		t.Fatal("hit on absent hash entry")
+	}
+
+	rep := testReport(t)
+	s.PutReport("h1", "h2", "fp", rep)
+	got, ok := s.GetReport("h1", "h2", "fp")
+	if !ok {
+		t.Fatal("report miss after put")
+	}
+	if got.TotalDifferences() != rep.TotalDifferences() {
+		t.Fatalf("difference count changed: %d vs %d",
+			got.TotalDifferences(), rep.TotalDifferences())
+	}
+	// Key discrimination: orientation and options fingerprint matter.
+	if _, ok := s.GetReport("h2", "h1", "fp"); ok {
+		t.Fatal("hit on swapped orientation")
+	}
+	if _, ok := s.GetReport("h1", "h2", "other"); ok {
+		t.Fatal("hit on different options fingerprint")
+	}
+	// A second store over the same directory sees the entries.
+	s2, _ := OpenStore(dir)
+	if _, ok := s2.GetReport("h1", "h2", "fp"); !ok {
+		t.Fatal("fresh store over same dir misses")
+	}
+}
+
+// TestStoreCorruption: truncated and garbled entries are misses that
+// self-delete; the store never errors and never serves bad data.
+func TestStoreCorruption(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := OpenStore(dir)
+	s.PutReport("h1", "h2", "fp", testReport(t))
+	s.PutHash("sum1", "hash1", "alpha", false)
+
+	corruptions := []func(path string){
+		func(p string) { // truncate mid-body
+			data, _ := os.ReadFile(p)
+			os.WriteFile(p, data[:len(data)/2], 0o644)
+		},
+		func(p string) { // flip a byte in the body (checksum mismatch)
+			data, _ := os.ReadFile(p)
+			data[len(data)-1] ^= 0x20
+			os.WriteFile(p, data, 0o644)
+		},
+		func(p string) { // empty file
+			os.WriteFile(p, nil, 0o644)
+		},
+		func(p string) { // version mismatch
+			data, _ := os.ReadFile(p)
+			os.WriteFile(p, []byte(strings.Replace(string(data),
+				"campion-cache "+storeVersion, "campion-cache v0", 1)), 0o644)
+		},
+	}
+	for i, corrupt := range corruptions {
+		s.PutReport("h1", "h2", "fp", testReport(t))
+		path := entryFiles(t, dir, "reports")[0]
+		corrupt(path)
+		if _, ok := s.GetReport("h1", "h2", "fp"); ok {
+			t.Fatalf("corruption %d: served a corrupted entry", i)
+		}
+		if _, err := os.Stat(path); !os.IsNotExist(err) {
+			t.Fatalf("corruption %d: bad entry not deleted", i)
+		}
+	}
+	if got := s.Stats().Corrupt; got != uint64(len(corruptions)) {
+		t.Fatalf("corrupt counter = %d, want %d", got, len(corruptions))
+	}
+
+	// Hash entries take the same treatment.
+	path := entryFiles(t, dir, "hashes")[0]
+	os.WriteFile(path, []byte("not a cache entry"), 0o644)
+	if _, ok := s.GetHash("sum1"); ok {
+		t.Fatal("served a corrupted hash entry")
+	}
+	// Recompute-and-overwrite works after corruption.
+	s.PutHash("sum1", "hash1", "alpha", false)
+	if _, ok := s.GetHash("sum1"); !ok {
+		t.Fatal("recomputed entry not served")
+	}
+}
+
+// TestStoreKeyEcho: an entry renamed onto another key (filename/key
+// mismatch, the collision paranoia check) is rejected.
+func TestStoreKeyEcho(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := OpenStore(dir)
+	s.PutReport("h1", "h2", "fp", testReport(t))
+	src := entryFiles(t, dir, "reports")[0]
+	dst := s.path("reports", "report", "x1", "x2", "fp")
+	if err := os.Rename(src, dst); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.GetReport("x1", "x2", "fp"); ok {
+		t.Fatal("served an entry whose embedded key disagrees with its name")
+	}
+}
+
+func TestStoreEviction(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := OpenStore(dir)
+	s.SetMaxReports(2)
+	rep := testReport(t)
+	for i := 0; i < 5; i++ {
+		s.PutReport("h1", "h2", string(rune('a'+i)), rep)
+	}
+	s.EvictNow()
+	if n := len(entryFiles(t, dir, "reports")); n > 2 {
+		t.Fatalf("%d report entries after eviction, want <= 2", n)
+	}
+	if s.Stats().Evictions == 0 {
+		t.Fatal("evictions not counted")
+	}
+}
+
+// TestStoreConcurrent: concurrent writers and readers on one directory
+// (the multi-process sharing model, exercised in-process under -race).
+func TestStoreConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	rep := testReport(t)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			s, err := OpenStore(dir)
+			if err != nil {
+				t.Errorf("open: %v", err)
+				return
+			}
+			for i := 0; i < 20; i++ {
+				s.PutReport("h1", "h2", "fp", rep)
+				if got, ok := s.GetReport("h1", "h2", "fp"); ok {
+					if got.TotalDifferences() != rep.TotalDifferences() {
+						t.Errorf("goroutine %d: torn read", g)
+						return
+					}
+				}
+				s.PutHash("sum", "hash", "host", false)
+				s.GetHash("sum")
+			}
+		}(g)
+	}
+	wg.Wait()
+	s, _ := OpenStore(dir)
+	if _, ok := s.GetReport("h1", "h2", "fp"); !ok {
+		t.Fatal("entry missing after concurrent writes")
+	}
+}
+
+func TestOptionsFingerprint(t *testing.T) {
+	base := OptionsFingerprint(core.Options{})
+	if OptionsFingerprint(core.Options{Workers: 8, Reorder: true, GC: true}) != base {
+		t.Fatal("execution-mode options changed the fingerprint; cached reports are mode-invariant")
+	}
+	if OptionsFingerprint(core.Options{ExhaustiveCommunities: true}) == base {
+		t.Fatal("exhaustive-communities did not change the fingerprint")
+	}
+	if OptionsFingerprint(core.Options{Components: []core.Component{core.ComponentACLs}}) == base {
+		t.Fatal("component restriction did not change the fingerprint")
+	}
+}

@@ -1,0 +1,123 @@
+// Report wire format: a finished pair report serialized to JSON for the
+// persistent cache, and the respan operation that retargets a cached (or
+// representative) report at a different device pair.
+//
+// Everything a report renders is plain exported data — prefix ranges,
+// community terms, example routes/packets, text spans, structural
+// differences — so encoding/json round-trips it exactly. The only pieces
+// deliberately dropped are Report.Stats (execution metadata, excluded
+// from deterministic output by design) and the full parsed Configs:
+// rendering reads only Hostname (the router names) and the span Files,
+// so stub configs carrying those two fields reproduce the exact bytes.
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/structdiff"
+)
+
+// payloadVersion guards the JSON shape; bump on any field change so old
+// cache entries self-invalidate.
+const payloadVersion = 1
+
+type reportPayload struct {
+	Version      int
+	Host1, Host2 string
+	File1, File2 string
+
+	RouteMapDiffs []core.RouteMapDiff
+	ACLDiffs      []core.ACLPairDiff
+	Structural    []structdiff.Difference
+	Unmatched1    []string
+	Unmatched2    []string
+}
+
+// EncodeReport serializes rep for the persistent cache.
+func EncodeReport(rep *core.Report) ([]byte, error) {
+	p := reportPayload{
+		Version:       payloadVersion,
+		RouteMapDiffs: rep.RouteMapDiffs,
+		ACLDiffs:      rep.ACLDiffs,
+		Structural:    rep.Structural,
+		Unmatched1:    rep.UnmatchedACLs1,
+		Unmatched2:    rep.UnmatchedACLs2,
+	}
+	if rep.Config1 != nil {
+		p.Host1, p.File1 = rep.Config1.Hostname, rep.Config1.File
+	}
+	if rep.Config2 != nil {
+		p.Host2, p.File2 = rep.Config2.Hostname, rep.Config2.File
+	}
+	return json.Marshal(p)
+}
+
+// DecodeReport reconstructs a report from EncodeReport output. The
+// configs are stubs carrying only Hostname and File — exactly what
+// rendering consumes. A version mismatch is an error (the caller treats
+// it as a cache miss).
+func DecodeReport(data []byte) (*core.Report, error) {
+	var p reportPayload
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, err
+	}
+	if p.Version != payloadVersion {
+		return nil, fmt.Errorf("cache payload version %d, want %d", p.Version, payloadVersion)
+	}
+	return &core.Report{
+		Config1:        &ir.Config{Hostname: p.Host1, File: p.File1},
+		Config2:        &ir.Config{Hostname: p.Host2, File: p.File2},
+		RouteMapDiffs:  p.RouteMapDiffs,
+		ACLDiffs:       p.ACLDiffs,
+		Structural:     p.Structural,
+		UnmatchedACLs1: p.Unmatched1,
+		UnmatchedACLs2: p.Unmatched2,
+	}, nil
+}
+
+// RespanReport returns a copy of rep retargeted at the pair (c1, c2):
+// the configs are swapped for the new endpoints and every side-1/side-2
+// text span's File is rewritten to the corresponding endpoint's file.
+// Line numbers and text are untouched — equal device hashes guarantee
+// the member's configuration has the same lines at the same positions.
+// rep itself is never mutated (it may be a shared representative).
+func RespanReport(rep *core.Report, c1, c2 *ir.Config) *core.Report {
+	out := &core.Report{
+		Config1:        c1,
+		Config2:        c2,
+		RouteMapDiffs:  append([]core.RouteMapDiff(nil), rep.RouteMapDiffs...),
+		ACLDiffs:       append([]core.ACLPairDiff(nil), rep.ACLDiffs...),
+		Structural:     append([]structdiff.Difference(nil), rep.Structural...),
+		UnmatchedACLs1: rep.UnmatchedACLs1,
+		UnmatchedACLs2: rep.UnmatchedACLs2,
+	}
+	for i := range out.RouteMapDiffs {
+		d := &out.RouteMapDiffs[i]
+		d.Text1 = respan(d.Text1, c1.File)
+		d.Text2 = respan(d.Text2, c2.File)
+	}
+	for i := range out.ACLDiffs {
+		d := &out.ACLDiffs[i]
+		d.Text1 = respan(d.Text1, c1.File)
+		d.Text2 = respan(d.Text2, c2.File)
+	}
+	for i := range out.Structural {
+		d := &out.Structural[i]
+		d.Span1 = respan(d.Span1, c1.File)
+		d.Span2 = respan(d.Span2, c2.File)
+	}
+	return out
+}
+
+// respan rewrites a span's file, preserving zero-ness: a span that never
+// carried a file (and would render as no location) stays that way.
+func respan(s ir.TextSpan, file string) ir.TextSpan {
+	if s.File == "" {
+		return s
+	}
+	s.File = file
+	return s
+}

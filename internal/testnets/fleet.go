@@ -1,0 +1,143 @@
+package testnets
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// FleetParams sizes a synthetic fleet. Real fleets are stamped from a
+// handful of configuration templates — most devices are byte-identical
+// except for their hostname — with a small fraction carrying local
+// mutations (operator edits, workarounds, drift). The generator mirrors
+// that: Devices configurations drawn round-robin from Templates
+// semantic templates, with MutationRate of them receiving a unique
+// semantic edit that puts each mutant in its own equivalence class.
+type FleetParams struct {
+	// Devices is the fleet size.
+	Devices int
+	// Templates is the number of distinct semantic templates (default 8).
+	Templates int
+	// MutationRate is the fraction of devices mutated (e.g. 0.01).
+	MutationRate float64
+	// Seed drives mutation placement; the output is a pure function of
+	// FleetParams.
+	Seed int64
+}
+
+// FleetMember is one generated device: its name (used for file names and
+// pair labels) and raw Cisco configuration text.
+type FleetMember struct {
+	Name string
+	Text string
+	// Template is the semantic template index; Mutated marks devices
+	// carrying a unique edit (their own equivalence class).
+	Template int
+	Mutated  bool
+}
+
+// ExpectedClasses reports how many semantic equivalence classes the
+// fleet should cluster into: one per template in use plus one per
+// mutated device.
+func ExpectedClasses(members []FleetMember) int {
+	templates := map[int]bool{}
+	mutants := 0
+	for _, m := range members {
+		if m.Mutated {
+			mutants++
+		} else {
+			templates[m.Template] = true
+		}
+	}
+	return len(templates) + mutants
+}
+
+// Fleet generates a deterministic synthetic fleet.
+func Fleet(p FleetParams) []FleetMember {
+	if p.Templates <= 0 {
+		p.Templates = 8
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	out := make([]FleetMember, p.Devices)
+	for i := range out {
+		t := i % p.Templates
+		name := fmt.Sprintf("fleet-%04d", i)
+		text := fleetTemplate(name, t)
+		mutated := rng.Float64() < p.MutationRate
+		if mutated {
+			// A unique trailing edit: an extra static route naming this
+			// device's index, so every mutant is semantically distinct
+			// from its template and from every other mutant. Appending
+			// keeps all other line numbers identical to the template.
+			text += fmt.Sprintf("ip route 10.99.%d.%d 255.255.255.0 10.0.0.254\n", i/256, i%256)
+		}
+		out[i] = FleetMember{Name: name, Text: text, Template: t, Mutated: mutated}
+	}
+	return out
+}
+
+// fleetTemplate renders semantic template t for the named device. The
+// hostname line is the only per-device text; everything else — prefix
+// lists, policies, an ACL, static routes, BGP — varies per template so
+// cross-template pairs have genuine differences to report.
+func fleetTemplate(hostname string, t int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "hostname %s\n!\n", hostname)
+	fmt.Fprintf(&b, "interface GigabitEthernet0/0\n description uplink\n ip address 10.%d.1.1 255.255.255.0\n ip access-group EDGE in\n", 200+t)
+	b.WriteString("interface GigabitEthernet0/1\n description fabric\n ip address 10.128.1.1 255.255.255.0\n!\n")
+	fmt.Fprintf(&b, "ip prefix-list CUST-NETS permit 10.%d.0.0/16 le 24\n", 10+t)
+	fmt.Fprintf(&b, "ip prefix-list CUST-NETS permit 10.%d.0.0/16 le 24\n", 30+t)
+	b.WriteString("ip prefix-list DEFAULT-ONLY permit 0.0.0.0/0\n!\n")
+	fmt.Fprintf(&b, "ip community-list standard BLOCK permit 65000:%d\n!\n", 100+t)
+	b.WriteString("route-map CUSTOMER-IN deny 10\n match community BLOCK\n")
+	fmt.Fprintf(&b, "route-map CUSTOMER-IN permit 20\n match ip address CUST-NETS\n set local-preference %d\n", 110+10*t)
+	b.WriteString("route-map CUSTOMER-IN permit 30\n match ip address DEFAULT-ONLY\n!\n")
+	fmt.Fprintf(&b, "route-map EXPORT-DC permit 10\n match ip address CUST-NETS\n set community 65000:%d\n!\n", 200+t)
+	// Realistic configs run hundreds of lines; the bulk below (a wide
+	// bogon ACL, per-customer prefix entries, per-VLAN interfaces and
+	// statics) makes parsing and hashing cost what they cost in the
+	// field, so fleet benchmarks measure honest per-device work.
+	b.WriteString("ip access-list extended EDGE\n")
+	fmt.Fprintf(&b, " 10 deny ip 192.168.%d.0 0.0.0.255 any\n", t)
+	b.WriteString(" 20 permit tcp any any eq 179\n")
+	for i := 0; i < 96; i++ {
+		fmt.Fprintf(&b, " %d deny ip 10.250.%d.0 0.0.0.255 any\n", 30+5*i, i)
+	}
+	b.WriteString(" 1000 permit ip any any\n!\n")
+	for i := 0; i < 64; i++ {
+		fmt.Fprintf(&b, "ip prefix-list CUST-NETS permit 172.%d.%d.0/24\n", 16+t, i)
+	}
+	b.WriteString("!\n")
+	for v := 0; v < 32; v++ {
+		fmt.Fprintf(&b, "interface Vlan%d\n description tenant %d\n ip address 10.%d.%d.1 255.255.255.0\n", 100+v, v, 64+t, v)
+	}
+	b.WriteString("!\n")
+	fmt.Fprintf(&b, "ip route 10.%d.0.0 255.255.0.0 10.128.1.254\n", 10+t)
+	for i := 0; i < 48; i++ {
+		fmt.Fprintf(&b, "ip route 10.%d.%d.0 255.255.255.0 10.128.1.254\n", 140+t, i)
+	}
+	b.WriteString("!\n")
+	fmt.Fprintf(&b, "router bgp 65%03d\n bgp router-id 10.128.1.1\n", t)
+	b.WriteString(" neighbor 10.128.1.254 remote-as 64600\n")
+	b.WriteString(" neighbor 10.128.1.254 route-map CUSTOMER-IN in\n")
+	b.WriteString(" neighbor 10.128.1.254 route-map EXPORT-DC out\n")
+	b.WriteString(" neighbor 10.128.1.254 send-community\n")
+	return b.String()
+}
+
+// WriteFleetDir writes each member as "<name>.cfg" under dir, creating
+// it if needed — the on-disk shape `campion -all DIR` consumes.
+func WriteFleetDir(dir string, members []FleetMember) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, m := range members {
+		path := filepath.Join(dir, m.Name+".cfg")
+		if err := os.WriteFile(path, []byte(m.Text), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,96 @@
+package testnets
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/cisco"
+)
+
+func TestFleetDeterminism(t *testing.T) {
+	p := FleetParams{Devices: 40, Templates: 5, MutationRate: 0.2, Seed: 42}
+	a, b := Fleet(p), Fleet(p)
+	if len(a) != 40 {
+		t.Fatalf("got %d devices", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("device %d not deterministic", i)
+		}
+	}
+	c := Fleet(FleetParams{Devices: 40, Templates: 5, MutationRate: 0.2, Seed: 43})
+	same := true
+	for i := range a {
+		if a[i].Text != c[i].Text {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced an identical fleet")
+	}
+}
+
+func TestFleetExpectedClasses(t *testing.T) {
+	members := Fleet(FleetParams{Devices: 100, Templates: 4, MutationRate: 0.1, Seed: 7})
+	mutants := 0
+	for _, m := range members {
+		if m.Mutated {
+			mutants++
+		}
+	}
+	want := 4 + mutants
+	if got := ExpectedClasses(members); got != want {
+		t.Fatalf("ExpectedClasses = %d, want %d (4 templates + %d mutants)", got, want, mutants)
+	}
+	// Zero mutation rate: classes == templates.
+	pure := Fleet(FleetParams{Devices: 50, Templates: 6, MutationRate: 0, Seed: 1})
+	if got := ExpectedClasses(pure); got != 6 {
+		t.Fatalf("pure fleet classes = %d, want 6", got)
+	}
+}
+
+func TestFleetParses(t *testing.T) {
+	members := Fleet(FleetParams{Devices: 16, Templates: 8, MutationRate: 0.5, Seed: 3})
+	for _, m := range members {
+		cfg, err := cisco.Parse(m.Name+".cfg", m.Text)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		if cfg.Hostname != m.Name {
+			t.Fatalf("%s: hostname %q", m.Name, cfg.Hostname)
+		}
+		if len(cfg.Unrecognized) != 0 {
+			t.Fatalf("%s: %d unrecognized spans (first: %v)", m.Name, len(cfg.Unrecognized), cfg.Unrecognized[0])
+		}
+		if len(cfg.RouteMaps) == 0 || len(cfg.ACLs) == 0 || cfg.BGP == nil {
+			t.Fatalf("%s: template missing policy content", m.Name)
+		}
+	}
+}
+
+func TestWriteFleetDir(t *testing.T) {
+	dir := t.TempDir()
+	members := Fleet(FleetParams{Devices: 5, Templates: 2, MutationRate: 0, Seed: 1})
+	if err := WriteFleetDir(dir, members); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 5 {
+		t.Fatalf("%d files written, want 5", len(entries))
+	}
+	data, err := os.ReadFile(filepath.Join(dir, members[0].Name+".cfg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != members[0].Text {
+		t.Fatal("written file does not match member text")
+	}
+	if !strings.HasPrefix(string(data), "hostname "+members[0].Name) {
+		t.Fatal("config does not open with its hostname")
+	}
+}

@@ -1,0 +1,52 @@
+#!/bin/sh
+# Fleet-scale wall-time curve: generate synthetic fleets at N devices
+# (8 templates, 1% mutation), audit each with `campion -all` clustered
+# cold, clustered warm (second run over the same -cache-dir), and — at
+# the smallest N — naive (-cluster=false). Naive cost at larger N is
+# projected from the measured per-pair cost, since half a million
+# quadratic diffs is precisely the bill clustering exists to avoid.
+#
+# Usage: scripts/fleet_bench.sh [N...]   (default: 100 1000 10000)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+ns=${*:-"100 1000 10000"}
+work="$(mktemp -d)"
+trap 'rm -rf "$work"' EXIT
+
+go build -o "$work/campion" ./cmd/campion
+go build -o "$work/fleetgen" ./cmd/fleetgen
+
+ms() { echo $((($(date +%s%N) - $1) / 1000000)); }
+
+naive_ms=""
+naive_pairs=""
+for n in $ns; do
+    dir="$work/fleet$n"
+    cache="$work/cache$n"
+    "$work/fleetgen" -n "$n" -templates 1 -mutate 0.01 -seed 1 -out "$dir" >&2
+
+    t0=$(date +%s%N)
+    "$work/campion" -all -cache-dir "$cache" -stats "$dir" >/dev/null 2>"$work/stats$n" || true
+    cold=$(ms "$t0")
+
+    t0=$(date +%s%N)
+    "$work/campion" -all -cache-dir "$cache" "$dir" >/dev/null 2>&1 || true
+    warm=$(ms "$t0")
+
+    classes=$(sed -n 's/.*classes: \([0-9]*\).*/\1/p' "$work/stats$n" | head -1)
+    pairs=$((n * (n - 1) / 2))
+
+    if [ -z "$naive_ms" ]; then
+        t0=$(date +%s%N)
+        "$work/campion" -all -cluster=false "$dir" >/dev/null 2>&1 || true
+        naive_ms=$(ms "$t0")
+        naive_pairs=$pairs
+        naive="$naive_ms (measured)"
+    else
+        naive="$((naive_ms * pairs / naive_pairs)) (projected)"
+    fi
+
+    echo "n=$n classes=$classes pairs=$pairs cold_ms=$cold warm_ms=$warm naive_ms=$naive"
+done

@@ -1,0 +1,50 @@
+#!/bin/sh
+# CI smoke for the fleet-scale path: generate a 200-device fleet, audit
+# it cold and warm through one -cache-dir, and assert the two properties
+# the clustering + cache design promises — far fewer semantic classes
+# than devices, and a warm rerun at least 5x faster than cold.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+work="$(mktemp -d)"
+trap 'rm -rf "$work"' EXIT
+
+go build -o "$work/campion" ./cmd/campion
+go build -o "$work/fleetgen" ./cmd/fleetgen
+# One template: the §5.1 scenario (all devices expected identical, a
+# few drifted), so the audit cost is parsing + hashing + a handful of
+# representative diffs rather than rendering thousands of reports.
+"$work/fleetgen" -n 200 -templates 1 -mutate 0.02 -seed 1 -out "$work/fleet"
+
+t0=$(date +%s%N)
+"$work/campion" -all -cache-dir "$work/cache" -stats "$work/fleet" \
+    > "$work/cold.out" 2> "$work/cold.err" || true
+cold_ms=$((($(date +%s%N) - t0) / 1000000))
+
+t0=$(date +%s%N)
+"$work/campion" -all -cache-dir "$work/cache" -stats "$work/fleet" \
+    > "$work/warm.out" 2> "$work/warm.err" || true
+warm_ms=$((($(date +%s%N) - t0) / 1000000))
+
+classes=$(sed -n 's/.*classes: \([0-9]*\).*/\1/p' "$work/cold.err" | head -1)
+echo "fleet smoke: 200 devices, $classes classes, cold ${cold_ms}ms, warm ${warm_ms}ms"
+
+if [ -z "$classes" ] || [ "$classes" -ge 200 ]; then
+    echo "FAIL: expected semantic clustering to find fewer classes than devices" >&2
+    exit 1
+fi
+if ! cmp -s "$work/cold.out" "$work/warm.out"; then
+    echo "FAIL: warm rerun output differs from cold run" >&2
+    exit 1
+fi
+if ! grep -q 'parses avoided: 200' "$work/warm.err"; then
+    echo "FAIL: warm rerun did not skip parsing" >&2
+    sed -n '/--- fleet ---/,$p' "$work/warm.err" >&2
+    exit 1
+fi
+if [ "$((warm_ms * 5))" -gt "$cold_ms" ]; then
+    echo "FAIL: warm rerun (${warm_ms}ms) not >=5x faster than cold (${cold_ms}ms)" >&2
+    exit 1
+fi
+echo "fleet smoke: OK"
