@@ -8,6 +8,7 @@ package repro_test
 import (
 	"context"
 	"fmt"
+	"io"
 	"strings"
 	"testing"
 
@@ -669,6 +670,17 @@ func BenchmarkDiffObservability(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			opts.Tracer = obs.NewTracer()
+			if _, err := core.Diff(c1, c2, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("journal=on", func(b *testing.B) {
+		opts := opts0
+		opts.Journal = obs.NewJournal(io.Discard)
+		opts.JournalPair = "bench pair"
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
 			if _, err := core.Diff(c1, c2, opts); err != nil {
 				b.Fatal(err)
 			}

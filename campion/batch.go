@@ -57,6 +57,13 @@ type BatchOptions struct {
 	// semantic hash and diffs only class representatives (see DiffFleet).
 	// Reports are byte-identical with and without a cache.
 	CacheDir string
+	// OnResult, when non-nil, is invoked once per pair the moment its
+	// result lands — from whichever batch worker finished it (or from the
+	// feeder, for pairs marked canceled before dispatch), so it must be
+	// safe for concurrent use. i is the pair's input index. The fleet
+	// engine uses it to advance live progress as representative pairs
+	// resolve; the slice returned by DiffBatch is unaffected.
+	OnResult func(i int, res BatchResult)
 }
 
 // BatchResult is the outcome of one pair in a batch: either a report or
@@ -207,6 +214,8 @@ func DiffBatch(ctx context.Context, pairs []ConfigPair, opts BatchOptions) ([]Ba
 				}
 				inner := inner
 				inner.TraceParent = psp
+				inner.JournalPair = p.Name
+				served := false
 				switch {
 				case batchCtxErr(ctx) != nil:
 					res.Err = pairError(p.Name, ErrCanceled, batchCtxErr(ctx))
@@ -215,7 +224,6 @@ func DiffBatch(ctx context.Context, pairs []ConfigPair, opts BatchOptions) ([]Ba
 						Err: fmt.Errorf("missing configuration")}
 				default:
 					var h1, h2 string
-					served := false
 					if fstore != nil {
 						h1, h2 = hashFor(p.Config1), hashFor(p.Config2)
 						if rep, ok := fstore.GetReport(h1, h2, optsFP); ok {
@@ -232,8 +240,12 @@ func DiffBatch(ctx context.Context, pairs []ConfigPair, opts BatchOptions) ([]Ba
 				}
 				results[i] = res
 				diffs := 0
+				var nodes int64
 				if res.Report != nil {
 					diffs = res.Report.TotalDifferences()
+					for _, st := range res.Report.Stats {
+						nodes += int64(st.BDDNodes)
+					}
 				}
 				kind := ErrKind(res.Err)
 				if psp != nil {
@@ -248,6 +260,15 @@ func DiffBatch(ctx context.Context, pairs []ConfigPair, opts BatchOptions) ([]Ba
 					run.PairFailed(kind)
 				}
 				mark = time.Now()
+				pe := obs.Event{Type: obs.EvPair, Pair: p.Name,
+					Dur: int64(mark.Sub(start)), Diffs: diffs, Nodes: nodes, Err: kind}
+				if served {
+					pe.Op = "cached"
+				}
+				inner.Journal.Emit(pe)
+				if opts.OnResult != nil {
+					opts.OnResult(i, res)
+				}
 				busy += mark.Sub(start)
 				pairLatency.Observe(int64(mark.Sub(start)))
 				pairsDone.Inc()
@@ -284,6 +305,11 @@ feed:
 					Err: pairError(pairs[j].Name, ErrCanceled, ctx.Err())}
 				run.PairDone(0, true)
 				run.PairFailed("canceled")
+				inner.Journal.Emit(obs.Event{Type: obs.EvPair,
+					Pair: pairs[j].Name, Err: "canceled"})
+				if opts.OnResult != nil {
+					opts.OnResult(j, results[j])
+				}
 			}
 			break feed
 		}

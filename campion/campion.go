@@ -29,6 +29,7 @@ import (
 	"repro/internal/arista"
 	"repro/internal/cisco"
 	"repro/internal/core"
+	"repro/internal/fleet"
 	"repro/internal/ir"
 	"repro/internal/juniper"
 	"repro/internal/obs"
@@ -121,6 +122,15 @@ type (
 	RunLog = obs.RunLog
 	// ObsServer serves /metrics, /runs, and /debug/pprof.
 	ObsServer = obs.Server
+	// Journal is the flight recorder: an append-only JSONL run journal
+	// every pipeline stage emits into (Options.Journal). Replay one with
+	// ReadJournal / AnalyzeJournal, or live-follow it via Listen.
+	Journal = obs.Journal
+	// JournalEvent is one flight-recorder record.
+	JournalEvent = obs.Event
+	// BuildInfo is the binary's build provenance (VCS revision, go
+	// version), stamped into journal headers and the -version flag.
+	BuildInfo = obs.BuildInfo
 )
 
 // NewTracer starts an empty run tracer.
@@ -138,6 +148,22 @@ func DefaultMetrics() *Metrics { return obs.Default }
 
 // DefaultRunLog is the process-wide run log exposed by `campion -serve`.
 func DefaultRunLog() *RunLog { return obs.DefaultRuns }
+
+// NewJournal starts a flight-recorder journal writing JSONL to w; a nil
+// w keeps the journal listener-only (live progress without a file).
+func NewJournal(w io.Writer) *Journal { return obs.NewJournal(w) }
+
+// ReadJournal parses a JSONL journal stream back into events. A
+// malformed final line (a crashed run's torn write) is tolerated.
+func ReadJournal(r io.Reader) ([]JournalEvent, error) { return obs.ReadJournal(r) }
+
+// ReadBuild reports the running binary's build provenance.
+func ReadBuild() BuildInfo { return obs.ReadBuild() }
+
+// CacheFingerprint is the options fingerprint keying persistent report
+// cache entries — journal run headers carry it so a replayed run can be
+// matched against cache state.
+func CacheFingerprint(opts Options) string { return fleet.OptionsFingerprint(opts) }
 
 // recordParse reports one parser invocation into the default registry —
 // a counter bump and one histogram observation per file, which is noise

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/fleet"
@@ -167,14 +169,91 @@ func DiffFleet(ctx context.Context, devices []FleetDevice, opts FleetOptions) (*
 	}
 	r.Stats.Devices = len(devices)
 
-	resolveDevices(ctx, r, store, &opts)
+	// Live publication: instruments resolved once, advanced atomically as
+	// each phase progresses, so mid-run /metrics scrapes are meaningful.
+	fm := newFleetMetrics(opts, opts.Journal)
+	fm.runsActive.Add(1)
+	defer fm.runsActive.Add(-1)
+	fm.devices.Set(int64(len(devices)))
+	if store != nil {
+		store.SetObserver(fm.cacheEvent)
+		defer store.SetObserver(nil)
+	}
+
+	// The fleet-level run entry covers every member pair; coverage is
+	// credited in blocks as clustering and representative pairs resolve,
+	// so /runs shows live progress against the naive all-pairs total.
+	frun := opts.RunLog.Start(fmt.Sprintf("fleet (%d devices)", len(devices)),
+		len(devices)*(len(devices)-1)/2)
+	defer frun.Finish()
+
+	var fsp *obs.Span
+	if opts.TraceParent != nil {
+		fsp = opts.TraceParent.Child("fleet", obs.Int("devices", len(devices)))
+	} else if opts.Tracer != nil {
+		fsp = opts.Tracer.Root("fleet", obs.Int("devices", len(devices)))
+	}
+	defer fsp.End()
+
+	phase := func(name string, total int64, sp **obs.Span) time.Time {
+		frun.SetPhase(name)
+		*sp = fsp.Child(name)
+		opts.Journal.Emit(obs.Event{Type: obs.EvPhaseStart, Phase: name, Total: total})
+		return time.Now()
+	}
+	endPhase := func(name string, start time.Time, sp *obs.Span, n int64) {
+		sp.End()
+		opts.Journal.Emit(obs.Event{Type: obs.EvPhaseEnd, Phase: name,
+			Dur: int64(time.Since(start)), N: n})
+	}
+
+	var sp *obs.Span
+	t := phase("hash", int64(len(devices)), &sp)
+	resolveDevices(ctx, r, store, &opts, fm)
+	sp.SetAttrs(obs.Int("failed", r.Stats.Failed), obs.Int("parsesAvoided", r.Stats.ParsesAvoided))
+	endPhase("hash", t, sp, int64(len(devices)))
+
+	t = phase("cluster", 0, &sp)
 	cluster(r, opts.NoCluster)
+	fm.classes.Set(int64(r.Stats.Classes))
+	opts.Journal.Emit(obs.Event{Type: obs.EvCluster,
+		N: int64(r.Stats.Classes), Total: int64(r.liveSize)})
+	for ci, cl := range r.Classes {
+		opts.Journal.Emit(obs.Event{Type: obs.EvClass, Class: ci + 1,
+			Device: r.Devices[cl.Members[0]].Name, N: int64(len(cl.Members))})
+	}
+	// Clustering already settles two blocks of member-pair coverage:
+	// same-class pairs (equivalent by construction) and pairs touching a
+	// failed device (they expand to that device's error).
+	var same int64
+	for _, cl := range r.Classes {
+		m := int64(len(cl.Members))
+		same += m * (m - 1) / 2
+	}
+	n, live := int64(len(r.Devices)), int64(r.liveSize)
+	failedPairs := n*(n-1)/2 - live*(live-1)/2
+	frun.Advance(same, 0, 0)
+	frun.Advance(failedPairs, 0, failedPairs)
+	sp.SetAttrs(obs.Int("classes", r.Stats.Classes))
+	endPhase("cluster", t, sp, int64(r.Stats.Classes))
 
 	optsFP := fleet.OptionsFingerprint(opts.Options)
-	if err := diffRepresentatives(ctx, r, store, opts, optsFP); err != nil {
+	t = phase("rep-pairs", 0, &sp)
+	err := diffRepresentatives(ctx, r, store, opts, optsFP, fm, frun, sp)
+	endPhase("rep-pairs", t, sp, int64(r.Stats.RepPairs))
+	if err != nil {
+		// Setup failure or cancellation: the incrementally published
+		// counters stand as-is (matching the old behavior of not flushing),
+		// and the journal keeps everything up to the failing phase.
 		return r, err
 	}
-	collision, err := verifyParanoid(ctx, r, opts)
+
+	var collision string
+	if opts.Paranoid {
+		t = phase("paranoid", 0, &sp)
+		collision, err = verifyParanoid(ctx, r, opts, sp)
+		endPhase("paranoid", t, sp, 0)
+	}
 
 	if store != nil {
 		store.EvictNow()
@@ -188,7 +267,7 @@ func DiffFleet(ctx context.Context, devices []FleetDevice, opts FleetOptions) (*
 			Corrupt:      after.Corrupt - statsBefore.Corrupt,
 		}
 	}
-	flushFleetMetrics(r, opts)
+	fm.finish(r)
 	if err != nil {
 		return r, err
 	}
@@ -202,7 +281,7 @@ func DiffFleet(ctx context.Context, devices []FleetDevice, opts FleetOptions) (*
 // rendering identity — from the caller, the persistent cache, or by
 // loading and hashing the configuration. Runs on a worker pool; each
 // worker owns a private Hasher.
-func resolveDevices(ctx context.Context, r *FleetResult, store *fleet.Store, opts *FleetOptions) {
+func resolveDevices(ctx context.Context, r *FleetResult, store *fleet.Store, opts *FleetOptions, fm *fleetMetrics) {
 	workers := opts.BatchWorkers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -227,12 +306,18 @@ func resolveDevices(ctx context.Context, r *FleetResult, store *fleet.Store, opt
 					r.DeviceErrs[i] = pairError(d.Name, ErrCanceled, batchCtxErr(ctx))
 					continue
 				}
+				start := time.Now()
+				// kind records how the hash was obtained, for the journal:
+				// given by the caller, recalled from the cache, or computed
+				// (dag, or the intensional fallback).
+				kind := "given"
 				// Cheapest first: caller-supplied hash, then the
 				// persisted hash for these exact raw bytes, then load
 				// and hash for real.
 				if d.Hash == "" && store != nil && d.ContentSum != "" {
 					if e, ok := store.GetHash(d.ContentSum); ok {
 						d.Hash = e.Hash
+						kind = "cached"
 						if d.Hostname == "" {
 							d.Hostname = e.Hostname
 						}
@@ -240,11 +325,23 @@ func resolveDevices(ctx context.Context, r *FleetResult, store *fleet.Store, opt
 							mu.Lock()
 							r.Stats.ParsesAvoided++
 							mu.Unlock()
+							fm.parseDedup.Inc()
+							fm.pubDedup.Add(1)
 						}
 					}
 				}
 				if d.Hash == "" {
+					parsed := d.Config == nil
+					pstart := time.Now()
 					cfg, err := materialize(d)
+					if parsed || err != nil {
+						pe := obs.Event{Type: obs.EvParse, Device: d.Name,
+							Dur: int64(time.Since(pstart))}
+						if err != nil {
+							pe.Err = "parse"
+						}
+						fm.journal.Emit(pe)
+					}
 					if err != nil {
 						r.DeviceErrs[i] = pairError(d.Name, ErrParse, err)
 						continue
@@ -254,15 +351,22 @@ func resolveDevices(ctx context.Context, r *FleetResult, store *fleet.Store, opt
 					}
 					hash, fallback := hasher.DeviceHash(cfg)
 					d.Hash = hash
+					kind = "dag"
 					if fallback {
+						kind = "fallback"
 						mu.Lock()
 						r.Stats.HashFallbacks++
 						mu.Unlock()
+						fm.fallbacks.Inc()
+						fm.pubFallbacks.Add(1)
 					}
 					if store != nil && d.ContentSum != "" {
 						store.PutHash(d.ContentSum, hash, cfg.Hostname, fallback)
 					}
 				}
+				fm.hashed.Inc()
+				fm.journal.Emit(obs.Event{Type: obs.EvHash, Device: d.Name,
+					Kind: kind, Dur: int64(time.Since(start))})
 				if d.Config != nil {
 					if d.Hostname == "" {
 						d.Hostname = d.Config.Hostname
@@ -368,10 +472,26 @@ func (r *FleetResult) neededOrientations() [][2]int {
 
 // diffRepresentatives resolves every needed ordered class pair: from the
 // persistent cache when possible, otherwise by actually diffing the two
-// class representatives on the batch worker pool.
-func diffRepresentatives(ctx context.Context, r *FleetResult, store *fleet.Store, opts FleetOptions, optsFP string) error {
+// class representatives on the batch worker pool. Each resolved
+// orientation advances the fleet run's coverage by the member pairs it
+// expands to, so /runs progresses as representatives finish, not at the
+// end.
+func diffRepresentatives(ctx context.Context, r *FleetResult, store *fleet.Store, opts FleetOptions, optsFP string, fm *fleetMetrics, frun *obs.Run, fsp *obs.Span) error {
 	needed := r.neededOrientations()
 	r.Stats.RepPairs = len(needed)
+	fm.repPairs.Add(uint64(len(needed)))
+	fm.pubRepPairs.Add(uint64(len(needed)))
+
+	// covered advances the fleet run by every member pair orientation key
+	// expands to.
+	covered := func(key [2]int, diffs int, failed bool) {
+		cnt := orientationCount(r.Classes[key[0]].Members, r.Classes[key[1]].Members)
+		if failed {
+			frun.Advance(cnt, 0, cnt)
+			return
+		}
+		frun.Advance(cnt, int64(diffs)*cnt, 0)
+	}
 
 	var missing [][2]int
 	for _, key := range needed {
@@ -379,12 +499,22 @@ func diffRepresentatives(ctx context.Context, r *FleetResult, store *fleet.Store
 			h1, h2 := r.Classes[key[0]].Hash, r.Classes[key[1]].Hash
 			if rep, ok := store.GetReport(h1, h2, optsFP); ok {
 				r.repRep[key] = rep
+				diffs := rep.TotalDifferences()
+				covered(key, diffs, false)
+				i, j := r.Classes[key[0]].Members[0], r.Classes[key[1]].Members[0]
+				fm.journal.Emit(obs.Event{Type: obs.EvPair,
+					Pair:  r.Devices[i].Name + " vs " + r.Devices[j].Name,
+					Op:    "cached",
+					Diffs: diffs,
+				})
 				continue
 			}
 		}
 		missing = append(missing, key)
 	}
 	r.Stats.RepComputed = len(missing)
+	fm.repDiffed.Add(uint64(len(missing)))
+	fm.pubRepDiffed.Add(uint64(len(missing)))
 	if len(missing) == 0 {
 		return nil
 	}
@@ -400,9 +530,11 @@ func diffRepresentatives(ctx context.Context, r *FleetResult, store *fleet.Store
 		switch {
 		case err1 != nil:
 			r.repErr[key] = pairError(di.Name, ErrParse, err1)
+			covered(key, 0, true)
 			continue
 		case err2 != nil:
 			r.repErr[key] = pairError(dj.Name, ErrParse, err2)
+			covered(key, 0, true)
 			continue
 		}
 		r.render[i], r.render[j] = c1, c2
@@ -413,8 +545,9 @@ func diffRepresentatives(ctx context.Context, r *FleetResult, store *fleet.Store
 	// The fleet layer already resolved the persistent cache for these
 	// pairs; don't let the inner batch open a second store for them.
 	batch.CacheDir = ""
+	batch.TraceParent = fsp
 	if batch.RunName == "" {
-		batch.RunName = fmt.Sprintf("fleet (%d devices, %d classes)", len(r.Devices), len(r.Classes))
+		batch.RunName = fmt.Sprintf("fleet rep-pairs (%d devices, %d classes)", len(r.Devices), len(r.Classes))
 	}
 	live := make([]ConfigPair, 0, len(pairs))
 	liveKey := make([][2]int, 0, len(pairs))
@@ -422,6 +555,20 @@ func diffRepresentatives(ctx context.Context, r *FleetResult, store *fleet.Store
 		if p.Config1 != nil {
 			live = append(live, p)
 			liveKey = append(liveKey, missing[n])
+		}
+	}
+	// Advance coverage from inside the batch, as each representative pair
+	// resolves — this is what makes a long rep-pair phase watchable.
+	// OnResult runs on batch workers concurrently; Advance is atomic.
+	userOnResult := batch.OnResult
+	batch.OnResult = func(n int, res BatchResult) {
+		diffs := 0
+		if res.Report != nil {
+			diffs = res.Report.TotalDifferences()
+		}
+		covered(liveKey[n], diffs, res.Err != nil)
+		if userOnResult != nil {
+			userOnResult(n, res)
 		}
 	}
 	results, err := DiffBatch(ctx, live, batch)
@@ -443,7 +590,7 @@ func diffRepresentatives(ctx context.Context, r *FleetResult, store *fleet.Store
 // class representative. Any difference means two configurations hashed
 // equal but are not semantically identical — a collision (or a hasher
 // bug) worth stopping the audit for.
-func verifyParanoid(ctx context.Context, r *FleetResult, opts FleetOptions) (string, error) {
+func verifyParanoid(ctx context.Context, r *FleetResult, opts FleetOptions, fsp *obs.Span) (string, error) {
 	if !opts.Paranoid {
 		return "", nil
 	}
@@ -470,6 +617,7 @@ func verifyParanoid(ctx context.Context, r *FleetResult, opts FleetOptions) (str
 	}
 	batch := opts.BatchOptions
 	batch.CacheDir = ""
+	batch.TraceParent = fsp
 	batch.RunName = fmt.Sprintf("fleet paranoid (%d members)", len(pairs))
 	results, err := DiffBatch(ctx, pairs, batch)
 	for _, res := range results {
@@ -545,28 +693,145 @@ func retarget(err error, name string) error {
 	return err
 }
 
-// flushFleetMetrics publishes the run's fleet counters: into the run's
+// fleetMetrics is the live-publication half of the fleet counters: every
+// instrument is resolved once per run, then advanced atomically as the
+// phases progress, so a mid-run /metrics scrape reads real in-flight
+// state instead of end-of-run zeros. The pub* tallies mirror what was
+// published; finish() reconciles them against the run's final Stats —
+// any shortfall is topped up (the counters end exactly where the old
+// end-of-run flush would have left them) and the verdict lands in the
+// journal as a metrics_check event.
+type fleetMetrics struct {
+	journal *obs.Journal
+
+	runsTotal  *obs.Counter
+	runsActive *obs.Gauge
+	hashed     *obs.Counter
+	parseDedup *obs.Counter
+	fallbacks  *obs.Counter
+	devices    *obs.Gauge
+	classes    *obs.Gauge
+	repPairs   *obs.Counter
+	repDiffed  *obs.Counter
+	hitReport  *obs.Counter
+	hitHash    *obs.Counter
+	missReport *obs.Counter
+	missHash   *obs.Counter
+	evictions  *obs.Counter
+	corrupt    *obs.Counter
+
+	pubDedup, pubFallbacks    atomic.Uint64
+	pubRepPairs, pubRepDiffed atomic.Uint64
+	pubHitR, pubHitH          atomic.Uint64
+	pubMissR, pubMissH        atomic.Uint64
+	pubEvictions, pubCorrupt  atomic.Uint64
+}
+
+// newFleetMetrics resolves the fleet instruments: in the run's
 // configured registry when one is set, else the process default (the
 // registry `campion -serve` exposes), matching recordParse.
-func flushFleetMetrics(r *FleetResult, opts FleetOptions) {
+func newFleetMetrics(opts FleetOptions, journal *obs.Journal) *fleetMetrics {
 	reg := opts.Metrics
 	if reg == nil {
 		reg = obs.Default
 	}
-	reg.Counter("campion_fleet_runs_total", "fleet audits completed").Inc()
-	reg.Counter("campion_fleet_parse_dedup_total",
-		"device parses skipped via persisted hash entries").Add(uint64(r.Stats.ParsesAvoided))
-	reg.Gauge("campion_fleet_devices", "devices in the last fleet audit").Set(int64(r.Stats.Devices))
-	reg.Gauge("campion_fleet_classes", "semantic classes in the last fleet audit").Set(int64(r.Stats.Classes))
-	reg.Counter("campion_fleet_rep_pairs_total", "representative pairs resolved").Add(uint64(r.Stats.RepPairs))
-	reg.Counter("campion_fleet_rep_computed_total", "representative pairs actually diffed").Add(uint64(r.Stats.RepComputed))
-	reg.Counter("campion_fleet_hash_fallbacks_total",
-		"devices hashed with the intensional fallback").Add(uint64(r.Stats.HashFallbacks))
+	rep, hash := obs.L("kind", "report"), obs.L("kind", "hash")
+	return &fleetMetrics{
+		journal:    journal,
+		runsTotal:  reg.Counter("campion_fleet_runs_total", "fleet audits completed"),
+		runsActive: reg.Gauge("campion_fleet_runs_active", "fleet audits currently in flight"),
+		hashed: reg.Counter("campion_fleet_devices_hashed_total",
+			"devices resolved to a semantic hash"),
+		parseDedup: reg.Counter("campion_fleet_parse_dedup_total",
+			"device parses skipped via persisted hash entries"),
+		fallbacks: reg.Counter("campion_fleet_hash_fallbacks_total",
+			"devices hashed with the intensional fallback"),
+		devices:    reg.Gauge("campion_fleet_devices", "devices in the last fleet audit"),
+		classes:    reg.Gauge("campion_fleet_classes", "semantic classes in the last fleet audit"),
+		repPairs:   reg.Counter("campion_fleet_rep_pairs_total", "representative pairs resolved"),
+		repDiffed:  reg.Counter("campion_fleet_rep_computed_total", "representative pairs actually diffed"),
+		hitReport:  reg.Counter("campion_fleet_cache_hits_total", "persistent cache hits", rep),
+		hitHash:    reg.Counter("campion_fleet_cache_hits_total", "persistent cache hits", hash),
+		missReport: reg.Counter("campion_fleet_cache_misses_total", "persistent cache misses", rep),
+		missHash:   reg.Counter("campion_fleet_cache_misses_total", "persistent cache misses", hash),
+		evictions:  reg.Counter("campion_fleet_cache_evictions_total", "persistent cache entries evicted"),
+		corrupt:    reg.Counter("campion_fleet_cache_corrupt_total", "persistent cache entries discarded as corrupt"),
+	}
+}
+
+// cacheEvent is the Store observer: each hit/miss/evict/corrupt advances
+// the live counter for its kind and lands in the journal.
+func (fm *fleetMetrics) cacheEvent(op, kind string) {
+	switch {
+	case op == "hit" && kind == "report":
+		fm.hitReport.Inc()
+		fm.pubHitR.Add(1)
+	case op == "hit" && kind == "hash":
+		fm.hitHash.Inc()
+		fm.pubHitH.Add(1)
+	case op == "miss" && kind == "report":
+		fm.missReport.Inc()
+		fm.pubMissR.Add(1)
+	case op == "miss" && kind == "hash":
+		fm.missHash.Inc()
+		fm.pubMissH.Add(1)
+	case op == "evict":
+		fm.evictions.Inc()
+		fm.pubEvictions.Add(1)
+	case op == "corrupt":
+		fm.corrupt.Inc()
+		fm.pubCorrupt.Add(1)
+	}
+	fm.journal.Emit(obs.Event{Type: obs.EvCache, Op: op, Kind: kind})
+}
+
+// finish is the end-of-run consistency check: the final Stats are the
+// ground truth the old flush published; any counter the incremental path
+// under-published is topped up, and every verdict is journaled. (Over-
+// publication can only happen when one Store is shared across concurrent
+// runs — the observer then sees the other runs' traffic too; counters
+// are monotone, so it is reported, not subtracted.)
+func (fm *fleetMetrics) finish(r *FleetResult) {
+	fm.runsTotal.Inc()
+	detail := map[string]string{}
+	check := func(name string, published uint64, expected uint64, c *obs.Counter) {
+		if published == expected {
+			detail[name] = "ok"
+			return
+		}
+		if published < expected {
+			c.Add(expected - published)
+			detail[name] = fmt.Sprintf("reconciled +%d (published %d, expected %d)",
+				expected-published, published, expected)
+			return
+		}
+		detail[name] = fmt.Sprintf("over-published %d vs %d (shared store?)", published, expected)
+	}
+	check("parse_dedup", fm.pubDedup.Load(), uint64(r.Stats.ParsesAvoided), fm.parseDedup)
+	check("hash_fallbacks", fm.pubFallbacks.Load(), uint64(r.Stats.HashFallbacks), fm.fallbacks)
+	check("rep_pairs", fm.pubRepPairs.Load(), uint64(r.Stats.RepPairs), fm.repPairs)
+	check("rep_computed", fm.pubRepDiffed.Load(), uint64(r.Stats.RepComputed), fm.repDiffed)
 	c := r.Stats.Cache
-	reg.Counter("campion_fleet_cache_hits_total", "persistent cache hits", obs.L("kind", "report")).Add(c.ReportHits)
-	reg.Counter("campion_fleet_cache_hits_total", "persistent cache hits", obs.L("kind", "hash")).Add(c.HashHits)
-	reg.Counter("campion_fleet_cache_misses_total", "persistent cache misses", obs.L("kind", "report")).Add(c.ReportMisses)
-	reg.Counter("campion_fleet_cache_misses_total", "persistent cache misses", obs.L("kind", "hash")).Add(c.HashMisses)
-	reg.Counter("campion_fleet_cache_evictions_total", "persistent cache entries evicted").Add(c.Evictions)
-	reg.Counter("campion_fleet_cache_corrupt_total", "persistent cache entries discarded as corrupt").Add(c.Corrupt)
+	check("cache_hits_report", fm.pubHitR.Load(), c.ReportHits, fm.hitReport)
+	check("cache_hits_hash", fm.pubHitH.Load(), c.HashHits, fm.hitHash)
+	check("cache_misses_report", fm.pubMissR.Load(), c.ReportMisses, fm.missReport)
+	check("cache_misses_hash", fm.pubMissH.Load(), c.HashMisses, fm.missHash)
+	check("cache_evictions", fm.pubEvictions.Load(), c.Evictions, fm.evictions)
+	check("cache_corrupt", fm.pubCorrupt.Load(), c.Corrupt, fm.corrupt)
+	fm.journal.Emit(obs.Event{Type: obs.EvCheck, Detail: detail})
+}
+
+// orientationCount is the number of member pairs (i < j) orientation
+// (a, b) expands to: for each i in a's members, the members of b after
+// it. Both lists ascend, so one merge pass suffices.
+func orientationCount(ma, mb []int) int64 {
+	var cnt int64
+	k := 0
+	for _, i := range ma {
+		for k < len(mb) && mb[k] < i {
+			k++
+		}
+		cnt += int64(len(mb) - k)
+	}
+	return cnt
 }

@@ -1,0 +1,403 @@
+package campion
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/testnets"
+)
+
+// countEvents tallies journal events by type.
+func countEvents(events []JournalEvent) map[string]int {
+	n := map[string]int{}
+	for _, e := range events {
+		n[e.Type]++
+	}
+	return n
+}
+
+// TestDiffFleetJournal runs a cold and a warm fleet audit with the
+// flight recorder attached and checks that the journal tells the whole
+// story: every phase bracketed, every device hashed, every class and
+// representative pair recorded, cache traffic attributed, and the
+// end-of-run metrics consistency check all-ok. The journal must then
+// replay deterministically through the report analyzer and export as
+// valid Chrome trace JSON.
+func TestDiffFleetJournal(t *testing.T) {
+	members := testnets.Fleet(testnets.FleetParams{Devices: 12, Templates: 3, MutationRate: 0.2, Seed: 7})
+	cfgs := fleetConfigs(t, members)
+	texts := map[string]string{}
+	for _, m := range members {
+		texts[m.Name] = m.Text
+	}
+	dir := t.TempDir()
+
+	mkDevices := func(preparsed bool) []FleetDevice {
+		devs := make([]FleetDevice, len(cfgs))
+		for i, c := range cfgs {
+			d := FleetDevice{Name: c.Name, ContentSum: ContentSum([]byte(texts[c.Name]))}
+			if preparsed {
+				d.Config = c.Config
+			} else {
+				name, text := c.Name, texts[c.Name]
+				d.Load = func() (*Config, error) { return Parse(name+".cfg", text) }
+			}
+			devs[i] = d
+		}
+		return devs
+	}
+
+	run := func(preparsed bool) ([]JournalEvent, *FleetResult) {
+		t.Helper()
+		var buf bytes.Buffer
+		j := NewJournal(&buf)
+		opts := FleetOptions{CacheDir: dir}
+		opts.Journal = j
+		opts.Metrics = NewMetrics()
+		opts.BatchWorkers = 2
+		fr, err := DiffFleet(context.Background(), mkDevices(preparsed), opts)
+		if err != nil {
+			t.Fatalf("DiffFleet: %v", err)
+		}
+		if err := j.Err(); err != nil {
+			t.Fatalf("journal degraded: %v", err)
+		}
+		events, err := ReadJournal(&buf)
+		if err != nil {
+			t.Fatalf("ReadJournal: %v", err)
+		}
+		return events, fr
+	}
+
+	cold, fr := run(true)
+
+	// Sequence numbers are strictly increasing and offsets monotonic:
+	// replay order is file order.
+	for i, e := range cold {
+		if e.Seq != int64(i+1) {
+			t.Fatalf("event %d carries seq %d", i, e.Seq)
+		}
+		if i > 0 && e.T < cold[i-1].T {
+			t.Fatalf("timestamps went backwards at seq %d", e.Seq)
+		}
+	}
+
+	n := countEvents(cold)
+	if n["hash"] != len(cfgs) {
+		t.Fatalf("hash events = %d, want %d", n["hash"], len(cfgs))
+	}
+	if n["cluster"] != 1 || n["class"] != fr.Stats.Classes {
+		t.Fatalf("cluster/class events = %d/%d, want 1/%d", n["cluster"], n["class"], fr.Stats.Classes)
+	}
+	if n["pair"] != fr.Stats.RepComputed {
+		t.Fatalf("pair events = %d, want RepComputed %d", n["pair"], fr.Stats.RepComputed)
+	}
+	if n["component"] == 0 {
+		t.Fatal("no per-component events — core Options.Journal not threaded through the batch")
+	}
+	if n["metrics_check"] != 1 {
+		t.Fatalf("metrics_check events = %d, want 1", n["metrics_check"])
+	}
+
+	// Phase brackets in pipeline order, starts matching ends.
+	var started, ended []string
+	for _, e := range cold {
+		switch e.Type {
+		case obs.EvPhaseStart:
+			started = append(started, e.Phase)
+		case obs.EvPhaseEnd:
+			ended = append(ended, e.Phase)
+		}
+	}
+	want := []string{"hash", "cluster", "rep-pairs"}
+	if fmt.Sprint(started) != fmt.Sprint(want) || fmt.Sprint(ended) != fmt.Sprint(want) {
+		t.Fatalf("phases started %v ended %v, want %v", started, ended, want)
+	}
+
+	var classTotal int64
+	hitHash, missHash := 0, 0
+	for _, e := range cold {
+		switch e.Type {
+		case obs.EvHash:
+			if e.Kind != "dag" && e.Kind != "fallback" {
+				t.Fatalf("cold hash kind %q for %s", e.Kind, e.Device)
+			}
+		case obs.EvCluster:
+			if e.N != int64(fr.Stats.Classes) || e.Total != int64(len(cfgs)) {
+				t.Fatalf("cluster event %+v", e)
+			}
+		case obs.EvClass:
+			classTotal += e.N
+			if e.Device == "" || e.Class == 0 {
+				t.Fatalf("class event missing representative or index: %+v", e)
+			}
+		case obs.EvPair:
+			if e.Op == "cached" {
+				t.Fatalf("cold run served pair %s from cache", e.Pair)
+			}
+		case obs.EvComponent:
+			if e.Pair == "" || e.Component == "" {
+				t.Fatalf("component event unattributed: %+v", e)
+			}
+		case obs.EvCache:
+			if e.Kind == "hash" {
+				if e.Op == "hit" {
+					hitHash++
+				} else if e.Op == "miss" {
+					missHash++
+				}
+			}
+		case obs.EvCheck:
+			for k, v := range e.Detail {
+				if v != "ok" {
+					t.Fatalf("metrics consistency %s: %s", k, v)
+				}
+			}
+		}
+	}
+	if classTotal != int64(len(cfgs)) {
+		t.Fatalf("class sizes sum to %d, want %d", classTotal, len(cfgs))
+	}
+	if hitHash != 0 || missHash != len(cfgs) {
+		t.Fatalf("cold hash-cache traffic %d hits / %d misses, want 0/%d", hitHash, missHash, len(cfgs))
+	}
+
+	// Warm run: every device hash recalled (no parses), every
+	// representative report served from the persistent store.
+	warm, wfr := run(false)
+	if wfr.Stats.ParsesAvoided != len(cfgs) || wfr.Stats.RepComputed != 0 {
+		t.Fatalf("warm stats: %+v", wfr.Stats)
+	}
+	wn := countEvents(warm)
+	if wn["parse"] != 0 {
+		t.Fatalf("warm run parsed %d devices", wn["parse"])
+	}
+	cachedPairs := 0
+	for _, e := range warm {
+		if e.Type == obs.EvHash && e.Kind != "cached" {
+			t.Fatalf("warm hash kind %q for %s", e.Kind, e.Device)
+		}
+		if e.Type == obs.EvPair {
+			if e.Op != "cached" {
+				t.Fatalf("warm run computed pair %s", e.Pair)
+			}
+			cachedPairs++
+		}
+		if e.Type == obs.EvCheck {
+			for k, v := range e.Detail {
+				if v != "ok" {
+					t.Fatalf("warm metrics consistency %s: %s", k, v)
+				}
+			}
+		}
+	}
+	if cachedPairs != wfr.Stats.RepPairs {
+		t.Fatalf("warm cached pairs = %d, want RepPairs %d", cachedPairs, wfr.Stats.RepPairs)
+	}
+
+	// The journal replays into a deterministic report and a valid trace.
+	a := obs.AnalyzeJournal(cold)
+	if a.Truncated {
+		t.Fatal("library-level journal misreported as truncated")
+	}
+	if a.Devices != int64(len(cfgs)) || a.Classes != int64(fr.Stats.Classes) {
+		t.Fatalf("analysis clustering %d/%d, want %d/%d", a.Devices, a.Classes, len(cfgs), fr.Stats.Classes)
+	}
+	var r1, r2 bytes.Buffer
+	if err := a.WriteText(&r1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.AnalyzeJournal(cold).WriteText(&r2, 10); err != nil {
+		t.Fatal(err)
+	}
+	if r1.String() != r2.String() {
+		t.Fatal("report render is not deterministic")
+	}
+	var trace bytes.Buffer
+	if err := obs.WriteJournalTrace(&trace, cold); err != nil {
+		t.Fatal(err)
+	}
+	var traced []map[string]any
+	if err := json.Unmarshal(trace.Bytes(), &traced); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(traced) == 0 {
+		t.Fatal("trace export is empty")
+	}
+}
+
+// scrape GETs a path off the test server and returns the body.
+func scrape(t *testing.T, base, path string) string {
+	t.Helper()
+	resp, err := http.Get(base + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+	}
+	return string(body)
+}
+
+// metricValue extracts an unlabeled counter/gauge sample from Prometheus
+// text exposition; missing means zero (the instrument may not be
+// registered yet).
+func metricValue(t *testing.T, body, name string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, name+" ") {
+			f := strings.Fields(line)
+			v, err := strconv.ParseFloat(f[len(f)-1], 64)
+			if err != nil {
+				t.Fatalf("parse %s sample %q: %v", name, line, err)
+			}
+			return v
+		}
+	}
+	return 0
+}
+
+// TestServeDuringConcurrentFleetRuns scrapes the obs server in the
+// middle of two concurrent DiffFleet runs (satellite: live telemetry).
+// Each run's last device blocks in its Load hook until released, pinning
+// both runs mid-hash-phase deterministically — no sleeps — while the
+// test asserts that /metrics already shows nonzero fleet counters, that
+// repeated scrapes are monotonic, and that /runs serves untorn JSON with
+// live phase labels. Run under -race this also exercises the
+// incremental-publication path against concurrent scrapes.
+func TestServeDuringConcurrentFleetRuns(t *testing.T) {
+	members := testnets.Fleet(testnets.FleetParams{Devices: 8, Templates: 2, MutationRate: 0.2, Seed: 3})
+	cfgs := fleetConfigs(t, members)
+
+	reg := NewMetrics()
+	runs := NewRunLog(8)
+	srv := httptest.NewServer((&obs.Server{Registry: reg, Runs: runs}).Handler())
+	defer srv.Close()
+
+	const runners = 2
+	started := make(chan struct{}, runners)
+	release := make(chan struct{})
+	mkDevices := func() []FleetDevice {
+		devs := make([]FleetDevice, len(cfgs))
+		for i, c := range cfgs {
+			cfg, last := c.Config, i == len(cfgs)-1
+			devs[i] = FleetDevice{Name: c.Name, Load: func() (*Config, error) {
+				if last {
+					started <- struct{}{}
+					<-release
+				}
+				return cfg, nil
+			}}
+		}
+		return devs
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, runners)
+	for g := 0; g < runners; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			opts := FleetOptions{}
+			opts.Metrics = reg
+			opts.RunLog = runs
+			opts.Workers = 2
+			opts.BatchWorkers = 2
+			_, errs[g] = DiffFleet(context.Background(), mkDevices(), opts)
+		}(g)
+	}
+
+	// Both runs are now stuck hashing their final device: mid-run by
+	// construction.
+	for g := 0; g < runners; g++ {
+		select {
+		case <-started:
+		case <-time.After(30 * time.Second):
+			t.Fatal("fleet runs never reached the blocking device")
+		}
+	}
+
+	mid := scrape(t, srv.URL, "/metrics")
+	hashed := metricValue(t, mid, "campion_fleet_devices_hashed_total")
+	if hashed == 0 {
+		t.Fatal("mid-run scrape shows zero devices hashed — counters still flushed at end of run")
+	}
+	if active := metricValue(t, mid, "campion_fleet_runs_active"); active != runners {
+		t.Fatalf("campion_fleet_runs_active = %v mid-run, want %d", active, runners)
+	}
+	var midRuns []obs.RunSummary
+	if err := json.Unmarshal([]byte(scrape(t, srv.URL, "/runs")), &midRuns); err != nil {
+		t.Fatalf("torn /runs JSON mid-run: %v", err)
+	}
+	fleetRuns := 0
+	for _, r := range midRuns {
+		if !strings.HasPrefix(r.Name, "fleet (") {
+			continue
+		}
+		fleetRuns++
+		if r.Done {
+			t.Fatalf("run %q done mid-run", r.Name)
+		}
+		if r.Phase != "hash" {
+			t.Fatalf("run %q in phase %q while hashing is blocked", r.Name, r.Phase)
+		}
+		if r.Completed < 0 || r.Completed > int64(r.Pairs) {
+			t.Fatalf("torn run entry: %+v", r)
+		}
+	}
+	if fleetRuns != runners {
+		t.Fatalf("/runs lists %d live fleet runs, want %d", fleetRuns, runners)
+	}
+
+	// Counters never go backwards across scrapes.
+	if again := metricValue(t, scrape(t, srv.URL, "/metrics"), "campion_fleet_devices_hashed_total"); again < hashed {
+		t.Fatalf("campion_fleet_devices_hashed_total went backwards: %v -> %v", hashed, again)
+	}
+
+	close(release)
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("fleet run %d: %v", g, err)
+		}
+	}
+
+	final := scrape(t, srv.URL, "/metrics")
+	if got := metricValue(t, final, "campion_fleet_devices_hashed_total"); got != float64(runners*len(cfgs)) {
+		t.Fatalf("final devices hashed = %v, want %d", got, runners*len(cfgs))
+	}
+	if got := metricValue(t, final, "campion_fleet_runs_active"); got != 0 {
+		t.Fatalf("campion_fleet_runs_active = %v after completion", got)
+	}
+	if got := metricValue(t, final, "campion_fleet_runs_total"); got != runners {
+		t.Fatalf("campion_fleet_runs_total = %v, want %d", got, runners)
+	}
+	var finalRuns []obs.RunSummary
+	if err := json.Unmarshal([]byte(scrape(t, srv.URL, "/runs")), &finalRuns); err != nil {
+		t.Fatalf("torn /runs JSON after completion: %v", err)
+	}
+	for _, r := range finalRuns {
+		if !strings.HasPrefix(r.Name, "fleet (") {
+			continue
+		}
+		if !r.Done || r.Completed != int64(r.Pairs) {
+			t.Fatalf("finished run entry %+v", r)
+		}
+	}
+}

@@ -8,12 +8,17 @@
 //	campion [flags] DIR1 DIR2
 //	campion -all [flags] DIR
 //	campion selfcheck [flags] CONFIG1 CONFIG2
+//	campion report [flags] RUN.jsonl
 //
 // The selfcheck subcommand does not compare the configurations for the
 // operator — it audits the diff engine itself, cross-checking the
 // symbolic results against an independent concrete interpreter on the
 // given pair (witness soundness, completeness sampling, metamorphic
 // properties). Exit 0 means consistent, 1 means an engine bug was found.
+//
+// The report subcommand replays a -journal flight-recorder file into an
+// offline run summary (per-phase breakdown, slowest pairs, class-size
+// skew, cache efficiency) and, with -trace, a Chrome trace.
 //
 // Flags:
 //
@@ -74,6 +79,17 @@
 //	    exit 2 when any pair fails (parse, budget, cancellation, crash).
 //	    Without it, batch modes degrade: failed pairs are reported on
 //	    stderr and the exit status reflects only the differences found
+//	-journal=FILE
+//	    stream a JSONL flight-recorder journal of the run to FILE as it
+//	    happens: run header (build info, options fingerprint), per-phase
+//	    spans, per-device hash events, per-pair results, cache traffic.
+//	    A crashed run leaves a replayable artifact; analyze with
+//	    `campion report FILE`
+//	-progress
+//	    render a live one-line progress display (phase, counts, rate,
+//	    ETA) on stderr, fed by the same event stream as -journal
+//	-version
+//	    print build provenance (VCS revision, go version) and exit
 package main
 
 import (
@@ -93,6 +109,7 @@ import (
 
 	"repro/campion"
 	"repro/internal/minesweeper"
+	"repro/internal/obs"
 )
 
 // main delegates to run so deferred profile teardown survives every exit
@@ -105,6 +122,9 @@ func run() int {
 	// Subcommands dispatch before flag parsing so they own their flags.
 	if len(os.Args) > 1 && os.Args[1] == "selfcheck" {
 		return selfcheck(os.Args[2:])
+	}
+	if len(os.Args) > 1 && os.Args[1] == "report" {
+		return reportCmd(os.Args[2:])
 	}
 	components := flag.String("components", "", "comma-separated component list (default: all)")
 	format := flag.String("format", "text", "output format: text, json, or summary")
@@ -134,15 +154,29 @@ func run() int {
 		"with -all: cluster devices by semantic hash and diff class representatives only (output is unchanged)")
 	paranoid := flag.Bool("paranoid", false,
 		"with -all -cluster: verify every device against its class representative (guards against hash collisions)")
+	journalPath := flag.String("journal", "",
+		"append a JSONL flight-recorder journal of the run to this file (replay it with `campion report`)")
+	progress := flag.Bool("progress", false,
+		"render a live one-line progress display with ETA on stderr")
+	version := flag.Bool("version", false, "print build provenance and exit")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: campion [flags] CONFIG1 CONFIG2\n")
 		fmt.Fprintf(os.Stderr, "       campion [flags] DIR1 DIR2\n")
 		fmt.Fprintf(os.Stderr, "       campion -all [flags] DIR\n")
 		fmt.Fprintf(os.Stderr, "       campion -serve ADDR\n")
 		fmt.Fprintf(os.Stderr, "       campion selfcheck [flags] CONFIG1 CONFIG2\n")
+		fmt.Fprintf(os.Stderr, "       campion report [flags] RUN.jsonl\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+
+	// Build provenance: printable via -version, exposed as the
+	// campion_build_info gauge, and stamped into the journal run header.
+	build := obs.RegisterBuildInfo(obs.Default)
+	if *version {
+		fmt.Printf("campion %s\n", build.String())
+		return 0
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -195,6 +229,29 @@ func run() int {
 			opts0.Components = append(opts0.Components, campion.Component(strings.TrimSpace(c)))
 		}
 	}
+
+	// The flight recorder: -journal streams every stage's events to a
+	// JSONL file as they happen (a crashed run still leaves a replayable
+	// artifact); -progress follows the same event stream live. Either
+	// flag alone works — a journal without a file serves listeners only.
+	var journal *campion.Journal
+	if *journalPath != "" {
+		jf, err := os.Create(*journalPath)
+		if err != nil {
+			return fatal(err)
+		}
+		defer jf.Close()
+		journal = campion.NewJournal(jf)
+	} else if *progress {
+		journal = campion.NewJournal(nil)
+	}
+	var prog *obs.Progress
+	if *progress {
+		prog = obs.NewProgress(os.Stderr)
+		journal.Listen(prog.Event)
+		defer prog.Close()
+	}
+	opts0.Journal = journal
 
 	var tracer *campion.Tracer
 	if *traceOut != "" {
@@ -286,7 +343,29 @@ func run() int {
 		return 0
 	}
 
+	// Run header: build provenance, the cache-keying options fingerprint,
+	// and the invocation, so a replayed journal identifies its run.
+	runStart := time.Now()
+	if journal != nil {
+		detail := build.Detail()
+		detail["options_fp"] = campion.CacheFingerprint(opts0)
+		detail["argv"] = strings.Join(os.Args[1:], " ")
+		journal.Emit(campion.JournalEvent{
+			Type:   obs.EvRunStart,
+			Run:    "campion " + strings.Join(flag.Args(), " "),
+			Detail: detail,
+		})
+	}
+
 	status := work()
+
+	if journal != nil {
+		journal.Emit(campion.JournalEvent{Type: obs.EvRunEnd,
+			Dur: int64(time.Since(runStart)), N: int64(status)})
+		if err := journal.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, "campion: journal:", err)
+		}
+	}
 	if tracer != nil {
 		writeTrace(tracer, *traceOut)
 	}
@@ -516,6 +595,17 @@ func diffAll(ctx context.Context, dir string, opts campion.Options, ao allOption
 		}
 	}
 
+	// The expansion is its own observable phase: the fleet engine's
+	// journal stops at the representative reports, but rendering O(N^2)
+	// pair sections dominates wall time at fleet scale.
+	expStart := time.Now()
+	opts.Journal.Emit(campion.JournalEvent{Type: obs.EvPhaseStart,
+		Phase: "expand", Total: int64(fr.Stats.ExpandedPairs)})
+	var esp *campion.Span
+	if opts.Tracer != nil {
+		esp = opts.Tracer.Root("expand", obs.Int("pairs", fr.Stats.ExpandedPairs))
+	}
+
 	// A fleet audit prints O(N^2) pair sections; buffering keeps the
 	// expansion from being dominated by per-line write syscalls.
 	out := bufio.NewWriterSize(os.Stdout, 1<<20)
@@ -544,6 +634,12 @@ func diffAll(ctx context.Context, dir string, opts campion.Options, ao allOption
 		return true
 	})
 	out.Flush()
+	esp.End()
+	expDur := int64(time.Since(expStart))
+	opts.Journal.Emit(campion.JournalEvent{Type: obs.EvExpand,
+		N: int64(pairs), Dur: expDur})
+	opts.Journal.Emit(campion.JournalEvent{Type: obs.EvPhaseEnd,
+		Phase: "expand", Dur: expDur, N: int64(pairs)})
 	if ao.stats {
 		printFleetStats(fr.Stats)
 	}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/obs"
+)
+
+// reportCmd is the `campion report RUN.jsonl` subcommand: it replays a
+// flight-recorder journal into an offline analysis — per-phase time
+// breakdown, slowest pairs, class-size skew, cache efficiency — and
+// optionally exports the journal as a Chrome trace. The summary is a
+// pure function of the journal, so the same file always renders the
+// same bytes. A truncated journal (crashed or interrupted run) replays
+// up to the moment it died and says so. Exit status: 0 rendered,
+// 2 usage or read errors.
+func reportCmd(args []string) int {
+	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	top := fs.Int("top", 10, "number of slowest pairs to list")
+	traceOut := fs.String("trace", "", "additionally export the journal as Chrome trace_event JSON to this file")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: campion report [flags] RUN.jsonl\n")
+		fmt.Fprintf(os.Stderr, "Replay a -journal flight-recorder file into a run summary.\n")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return 2
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return fatal(err)
+	}
+	defer f.Close()
+	events, err := obs.ReadJournal(f)
+	if err != nil {
+		return fatal(fmt.Errorf("%s: %w", fs.Arg(0), err))
+	}
+	if len(events) == 0 {
+		return fatal(fmt.Errorf("%s: empty journal", fs.Arg(0)))
+	}
+	if *traceOut != "" {
+		tf, err := os.Create(*traceOut)
+		if err != nil {
+			return fatal(err)
+		}
+		werr := obs.WriteJournalTrace(tf, events)
+		if cerr := tf.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fatal(werr)
+		}
+		fmt.Fprintf(os.Stderr, "campion: wrote Chrome trace to %s\n", *traceOut)
+	}
+	if err := obs.AnalyzeJournal(events).WriteText(os.Stdout, *top); err != nil {
+		return fatal(err)
+	}
+	return 0
+}

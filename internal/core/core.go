@@ -128,6 +128,14 @@ type Options struct {
 	// surfaces as an ErrCanceled PairError wrapping
 	// context.DeadlineExceeded.
 	Timeout time.Duration
+	// Journal, when non-nil, receives flight-recorder events: one
+	// component event per enabled check (duration, BDD node delta). The
+	// batch and fleet drivers emit the surrounding pair/phase/run events.
+	// Like Tracer and Metrics, nil costs one branch per site.
+	Journal *obs.Journal
+	// JournalPair labels this Diff's journal events with the pair name
+	// (set by the batch driver; empty for standalone Diff calls).
+	JournalPair string
 }
 
 // diffSpan opens the top-level span of one Diff call (nil when tracing
@@ -466,6 +474,14 @@ func DiffContext(ctx context.Context, c1, c2 *ir.Config, opts Options) (*Report,
 			sp.End()
 		}
 		opts.recordComponent(st)
+		opts.Journal.Emit(obs.Event{
+			Type:      obs.EvComponent,
+			Pair:      opts.JournalPair,
+			Component: string(c),
+			Kind:      st.Kind,
+			Dur:       int64(st.Duration),
+			Nodes:     int64(st.BDDNodes),
+		})
 		rep.Stats = append(rep.Stats, st)
 		return err
 	}

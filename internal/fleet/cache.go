@@ -55,6 +55,33 @@ type Store struct {
 	reportPuts               atomic.Uint64
 
 	evictMu sync.Mutex
+
+	// observer, when set, is called at every counter site with the
+	// operation ("hit", "miss", "evict", "corrupt") and the entry kind
+	// ("hash", "report") — the hook the fleet engine uses for live
+	// cache-traffic publication. Stored atomically so SetObserver is safe
+	// while lookups are in flight.
+	observer atomic.Pointer[func(op, kind string)]
+}
+
+// SetObserver installs (or, with nil, removes) the per-event counter
+// hook. At most one observer is active; a later call replaces the
+// earlier one (last writer wins — relevant only when one Store is shared
+// across concurrent runs, where per-run attribution is approximate
+// anyway because the counters themselves are shared).
+func (s *Store) SetObserver(fn func(op, kind string)) {
+	if fn == nil {
+		s.observer.Store(nil)
+		return
+	}
+	s.observer.Store(&fn)
+}
+
+// observe fires the observer hook, if any.
+func (s *Store) observe(op, kind string) {
+	if fn := s.observer.Load(); fn != nil {
+		(*fn)(op, kind)
+	}
 }
 
 // StoreStats is a snapshot of the store's counters since OpenStore.
@@ -114,18 +141,21 @@ func ContentSum(data []byte) string {
 func (s *Store) GetHash(contentSum string) (HashEntry, bool) {
 	var e HashEntry
 	path := s.path("hashes", "hash", contentSum)
-	body, ok := s.readEntry(path)
+	body, ok := s.readEntry(path, "hash")
 	if !ok {
 		s.hashMisses.Add(1)
+		s.observe("miss", "hash")
 		return e, false
 	}
 	if err := json.Unmarshal(body, &e); err != nil ||
 		e.Version != hashEntryVersion || e.ContentSum != contentSum {
-		s.discard(path)
+		s.discard(path, "hash")
 		s.hashMisses.Add(1)
+		s.observe("miss", "hash")
 		return HashEntry{}, false
 	}
 	s.hashHits.Add(1)
+	s.observe("hit", "hash")
 	return e, true
 }
 
@@ -154,25 +184,29 @@ type reportEntry struct {
 // hashes under the given options fingerprint.
 func (s *Store) GetReport(hash1, hash2, optsFP string) (*core.Report, bool) {
 	path := s.path("reports", "report", hash1, hash2, optsFP)
-	body, ok := s.readEntry(path)
+	body, ok := s.readEntry(path, "report")
 	if !ok {
 		s.reportMisses.Add(1)
+		s.observe("miss", "report")
 		return nil, false
 	}
 	var e reportEntry
 	if err := json.Unmarshal(body, &e); err != nil ||
 		e.Hash1 != hash1 || e.Hash2 != hash2 || e.OptionsFP != optsFP {
-		s.discard(path)
+		s.discard(path, "report")
 		s.reportMisses.Add(1)
+		s.observe("miss", "report")
 		return nil, false
 	}
 	rep, err := DecodeReport(e.Report)
 	if err != nil {
-		s.discard(path)
+		s.discard(path, "report")
 		s.reportMisses.Add(1)
+		s.observe("miss", "report")
 		return nil, false
 	}
 	s.reportHits.Add(1)
+	s.observe("hit", "report")
 	return rep, true
 }
 
@@ -236,6 +270,7 @@ func (s *Store) evictReports(max int) {
 	for _, f := range files[:len(files)-max] {
 		if os.Remove(filepath.Join(dir, f.name)) == nil {
 			s.evictions.Add(1)
+			s.observe("evict", "report")
 		}
 	}
 }
@@ -254,23 +289,24 @@ func (s *Store) path(sub, kind string, parts ...string) string {
 // readEntry reads and verifies one cache file. Any deviation — missing,
 // truncated, bad magic, wrong version, checksum mismatch — is a miss;
 // non-missing deviations also delete the file and count as corruption.
-func (s *Store) readEntry(path string) ([]byte, bool) {
+// kind labels the entry ("hash", "report") for the observer hook.
+func (s *Store) readEntry(path, kind string) ([]byte, bool) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		if !errors.Is(err, fs.ErrNotExist) {
-			s.discard(path)
+			s.discard(path, kind)
 		}
 		return nil, false
 	}
 	header, body, found := strings.Cut(string(data), "\n")
 	fields := strings.Fields(header)
 	if !found || len(fields) != 3 || fields[0] != entryMagic || fields[1] != storeVersion {
-		s.discard(path)
+		s.discard(path, kind)
 		return nil, false
 	}
 	sum := sha256.Sum256([]byte(body))
 	if fields[2] != hex.EncodeToString(sum[:]) {
-		s.discard(path)
+		s.discard(path, kind)
 		return nil, false
 	}
 	return []byte(body), true
@@ -295,9 +331,10 @@ func (s *Store) writeEntry(path string, body []byte) {
 }
 
 // discard removes a bad entry and counts the corruption.
-func (s *Store) discard(path string) {
+func (s *Store) discard(path, kind string) {
 	if os.Remove(path) == nil {
 		s.corrupt.Add(1)
+		s.observe("corrupt", kind)
 	}
 }
 

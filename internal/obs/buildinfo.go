@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// BuildInfo is the build provenance stamped into the journal run header,
+// the -version flag, and the campion_build_info gauge — enough to tie a
+// run artifact back to the exact binary that produced it.
+type BuildInfo struct {
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string
+	// Revision is the VCS commit, or "unknown" when the binary was built
+	// outside a checkout (go run, test binaries).
+	Revision string
+	// Time is the commit timestamp (RFC 3339), when known.
+	Time string
+	// Dirty marks a build from a modified working tree.
+	Dirty bool
+}
+
+// ReadBuild extracts build provenance from the running binary via
+// runtime/debug.ReadBuildInfo. It never fails: missing fields degrade to
+// "unknown".
+func ReadBuild() BuildInfo {
+	b := BuildInfo{GoVersion: "unknown", Revision: "unknown"}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return b
+	}
+	if info.GoVersion != "" {
+		b.GoVersion = info.GoVersion
+	}
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			b.Revision = s.Value
+		case "vcs.time":
+			b.Time = s.Value
+		case "vcs.modified":
+			b.Dirty = s.Value == "true"
+		}
+	}
+	return b
+}
+
+// String renders the provenance as a one-line version string.
+func (b BuildInfo) String() string {
+	rev := b.Revision
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	s := fmt.Sprintf("revision %s (%s)", rev, b.GoVersion)
+	if b.Dirty {
+		s += " dirty"
+	}
+	return s
+}
+
+// Detail renders the provenance as journal-header fields.
+func (b BuildInfo) Detail() map[string]string {
+	d := map[string]string{
+		"go":       b.GoVersion,
+		"revision": b.Revision,
+	}
+	if b.Time != "" {
+		d["vcs_time"] = b.Time
+	}
+	if b.Dirty {
+		d["dirty"] = "true"
+	}
+	return d
+}
+
+// RegisterBuildInfo publishes the provenance as the constant-1
+// campion_build_info gauge, Prometheus-style: the labels carry the
+// facts, joins against other series date a deploy. Returns the info it
+// registered.
+func RegisterBuildInfo(r *Registry) BuildInfo {
+	b := ReadBuild()
+	r.Gauge("campion_build_info",
+		"build provenance of the running binary (value is always 1)",
+		L("revision", b.Revision), L("goversion", b.GoVersion)).Set(1)
+	return b
+}

@@ -1,0 +1,226 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestJournalNilSafe(t *testing.T) {
+	var j *Journal
+	j.Emit(Event{Type: EvPair})
+	j.Listen(func(Event) {})
+	if err := j.Err(); err != nil {
+		t.Fatalf("nil journal Err: %v", err)
+	}
+}
+
+func TestJournalEmitAndRead(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournal(&buf)
+	j.Emit(Event{Type: EvRunStart, Run: "test", Detail: map[string]string{"k": "v"}})
+	j.Emit(Event{Type: EvPair, Pair: "a vs b", Diffs: 3, Dur: 1000})
+	j.Emit(Event{Type: EvRunEnd, Dur: 2000, N: 1})
+	if err := j.Err(); err != nil {
+		t.Fatalf("journal error: %v", err)
+	}
+	events, err := ReadJournal(&buf)
+	if err != nil {
+		t.Fatalf("ReadJournal: %v", err)
+	}
+	if len(events) != 3 {
+		t.Fatalf("got %d events, want 3", len(events))
+	}
+	if events[0].Type != EvRunStart || events[0].Detail["k"] != "v" {
+		t.Fatalf("bad header event: %+v", events[0])
+	}
+	if events[1].Pair != "a vs b" || events[1].Diffs != 3 {
+		t.Fatalf("bad pair event: %+v", events[1])
+	}
+	for i, e := range events {
+		if e.Seq != int64(i+1) {
+			t.Fatalf("event %d has seq %d", i, e.Seq)
+		}
+	}
+}
+
+func TestJournalConcurrentEmit(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournal(&buf)
+	var wg sync.WaitGroup
+	const goroutines, each = 8, 50
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				j.Emit(Event{Type: EvHash, Device: "d"})
+			}
+		}()
+	}
+	wg.Wait()
+	events, err := ReadJournal(&buf)
+	if err != nil {
+		t.Fatalf("ReadJournal: %v", err)
+	}
+	if len(events) != goroutines*each {
+		t.Fatalf("got %d events, want %d", len(events), goroutines*each)
+	}
+	// File order must match sequence order: both are assigned under the
+	// same mutex hold.
+	for i, e := range events {
+		if e.Seq != int64(i+1) {
+			t.Fatalf("line %d carries seq %d — torn write ordering", i+1, e.Seq)
+		}
+		if prev := int64(0); i > 0 {
+			prev = events[i-1].T
+			if e.T < prev {
+				t.Fatalf("timestamps went backwards at seq %d", e.Seq)
+			}
+		}
+	}
+}
+
+func TestJournalListener(t *testing.T) {
+	j := NewJournal(nil) // listener-only journal (the -progress mode)
+	var got []Event
+	j.Listen(func(e Event) { got = append(got, e) })
+	j.Emit(Event{Type: EvCluster, N: 5})
+	if len(got) != 1 || got[0].N != 5 || got[0].Seq != 1 {
+		t.Fatalf("listener got %+v", got)
+	}
+}
+
+func TestReadJournalTruncatedLastLine(t *testing.T) {
+	full := `{"seq":1,"t_ns":10,"type":"run_start"}` + "\n" +
+		`{"seq":2,"t_ns":20,"type":"pair","pair":"a vs b"}` + "\n"
+	// A crash mid-write truncates the final line: tolerated.
+	events, err := ReadJournal(strings.NewReader(full + `{"seq":3,"t_ns":30,"ty`))
+	if err != nil {
+		t.Fatalf("truncated final line should be tolerated, got %v", err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want 2", len(events))
+	}
+	// The same malformed line anywhere earlier is corruption: an error.
+	_, err = ReadJournal(strings.NewReader(`{"bad` + "\n" + full))
+	if err == nil {
+		t.Fatal("mid-stream malformed line should be an error")
+	}
+}
+
+// failWriter errors after n successful writes.
+type failWriter struct{ n int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, errors.New("disk full")
+	}
+	w.n--
+	return len(p), nil
+}
+
+func TestJournalWriteErrorDegrades(t *testing.T) {
+	j := NewJournal(&failWriter{n: 1})
+	var heard int
+	j.Listen(func(Event) { heard++ })
+	j.Emit(Event{Type: EvHash})
+	j.Emit(Event{Type: EvHash}) // write fails
+	j.Emit(Event{Type: EvHash}) // keeps degrading, listeners still served
+	if j.Err() == nil {
+		t.Fatal("expected a remembered write error")
+	}
+	if heard != 3 {
+		t.Fatalf("listeners heard %d events, want 3", heard)
+	}
+}
+
+func TestJournalOmitsZeroFields(t *testing.T) {
+	var buf bytes.Buffer
+	NewJournal(&buf).Emit(Event{Type: EvHash, Device: "r1"})
+	var raw map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"pair", "class", "dur_ns", "diffs", "err", "detail"} {
+		if _, ok := raw[k]; ok {
+			t.Fatalf("zero field %q serialized: %s", k, buf.String())
+		}
+	}
+}
+
+func TestRunAdvanceAndPhase(t *testing.T) {
+	l := NewRunLog(4)
+	r := l.Start("fleet (3 devices)", 3)
+	r.SetPhase("hash")
+	r.Advance(2, 10, 1)
+	s := l.Summaries()[0]
+	if s.Phase != "hash" || s.Completed != 2 || s.Differences != 10 || s.Errors != 1 {
+		t.Fatalf("summary %+v", s)
+	}
+	r.SetPhase("cluster")
+	if got := l.Summaries()[0].Phase; got != "cluster" {
+		t.Fatalf("phase = %q", got)
+	}
+	// Nil run: all no-ops.
+	var nr *Run
+	nr.SetPhase("x")
+	nr.Advance(1, 1, 1)
+}
+
+func TestReadBuild(t *testing.T) {
+	b := ReadBuild()
+	if b.GoVersion == "" || b.Revision == "" {
+		t.Fatalf("ReadBuild left fields empty: %+v", b)
+	}
+	if s := b.String(); !strings.Contains(s, "revision") {
+		t.Fatalf("String() = %q", s)
+	}
+	if d := b.Detail(); d["go"] == "" || d["revision"] == "" {
+		t.Fatalf("Detail() = %v", d)
+	}
+}
+
+func TestRegisterBuildInfo(t *testing.T) {
+	reg := NewRegistry()
+	RegisterBuildInfo(reg)
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "campion_build_info{") {
+		t.Fatalf("no build info gauge in exposition:\n%s", buf.String())
+	}
+}
+
+func TestProgressRenders(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf)
+	j := NewJournal(nil)
+	j.Listen(p.Event)
+	j.Emit(Event{Type: EvPhaseStart, Phase: "hash", Total: 10})
+	for i := 0; i < 10; i++ {
+		j.Emit(Event{Type: EvHash})
+	}
+	j.Emit(Event{Type: EvCluster, N: 3})
+	j.Emit(Event{Type: EvRunEnd})
+	out := buf.String()
+	if !strings.Contains(out, "[hash]") || !strings.Contains(out, "3 classes") ||
+		!strings.Contains(out, "done") {
+		t.Fatalf("progress output %q", out)
+	}
+	// Events after close are dropped, not rendered.
+	n := buf.Len()
+	p.Event(Event{Type: EvHash})
+	p.Close()
+	if buf.Len() != n {
+		t.Fatal("progress wrote after close")
+	}
+	// Nil progress: no-ops.
+	var np *Progress
+	np.Event(Event{Type: EvHash})
+	np.Close()
+}

@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Progress renders a single live TTY status line from the journal event
+// stream: the current phase, units done over units planned, the event
+// rate, and an ETA derived from it. Wire it up with
+// journal.Listen(p.Event); it rewrites one line in place with \r and
+// never scrolls. Rendering is throttled so a hot event stream (10k hash
+// events per second) costs a counter bump, not a write per event.
+type Progress struct {
+	mu         sync.Mutex
+	w          io.Writer
+	phase      string
+	phaseStart time.Time
+	done       int64
+	total      int64
+	classes    int64
+	lastRender time.Time
+	lastWidth  int
+	closed     bool
+}
+
+// progressInterval bounds the redraw rate.
+const progressInterval = 100 * time.Millisecond
+
+// NewProgress returns a renderer writing to w (normally os.Stderr).
+func NewProgress(w io.Writer) *Progress {
+	return &Progress{w: w}
+}
+
+// Event is the journal listener: it folds one event into the live state
+// and redraws when enough has changed.
+func (p *Progress) Event(e Event) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	force := false
+	switch e.Type {
+	case EvPhaseStart:
+		p.phase = e.Phase
+		p.total = e.Total
+		p.done = 0
+		p.phaseStart = time.Now()
+		force = true
+	case EvHash, EvPair:
+		// The countable per-unit events: hashing counts devices, the
+		// representative diff counts pairs.
+		p.done++
+	case EvCluster:
+		p.classes = e.N
+		force = true
+	case EvExpand:
+		p.done += e.N
+		force = true
+	case EvRunEnd:
+		p.render(true)
+		fmt.Fprintln(p.w)
+		p.closed = true
+		return
+	default:
+		return
+	}
+	if force || time.Since(p.lastRender) >= progressInterval {
+		p.render(false)
+	}
+}
+
+// Close finishes the line (for runs that never emit run_end).
+func (p *Progress) Close() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	p.render(true)
+	fmt.Fprintln(p.w)
+	p.closed = true
+}
+
+// render redraws the status line; the caller holds the mutex.
+func (p *Progress) render(final bool) {
+	p.lastRender = time.Now()
+	var b strings.Builder
+	b.WriteString("\rcampion")
+	if p.phase != "" {
+		fmt.Fprintf(&b, " [%s]", p.phase)
+	}
+	if p.total > 0 {
+		fmt.Fprintf(&b, " %d/%d (%d%%)", p.done, p.total, 100*p.done/p.total)
+	} else if p.done > 0 {
+		fmt.Fprintf(&b, " %d", p.done)
+	}
+	if p.classes > 0 {
+		fmt.Fprintf(&b, " · %d classes", p.classes)
+	}
+	if elapsed := time.Since(p.phaseStart); !final && p.done > 0 && elapsed > 0 {
+		rate := float64(p.done) / elapsed.Seconds()
+		fmt.Fprintf(&b, " · %.0f/s", rate)
+		if p.total > p.done && rate > 0 {
+			eta := time.Duration(float64(p.total-p.done)/rate*1e9) * time.Nanosecond
+			fmt.Fprintf(&b, " eta %s", eta.Round(time.Second))
+		}
+	}
+	if final {
+		b.WriteString(" · done")
+	}
+	line := b.String()
+	// Pad over the previous, possibly longer, line.
+	if pad := p.lastWidth - (len(line) - 1); pad > 0 {
+		line += strings.Repeat(" ", pad)
+	}
+	p.lastWidth = len(line) - 1
+	io.WriteString(p.w, line)
+}

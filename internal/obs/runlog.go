@@ -48,6 +48,36 @@ type Run struct {
 	// Failure-kind breakdown, indexed parallel to runErrorKinds. Updated
 	// by PairFailed from concurrent batch workers.
 	errorKinds [len(runErrorKinds)]atomic.Int64
+
+	// phase names the pipeline phase currently executing (fleet runs:
+	// hash, cluster, rep-pairs, expand). Guarded by phaseMu because it is
+	// a string, not a counter.
+	phaseMu sync.Mutex
+	phase   string
+}
+
+// SetPhase labels the run with its current pipeline phase, shown on
+// /runs while the run is live.
+func (r *Run) SetPhase(phase string) {
+	if r == nil {
+		return
+	}
+	r.phaseMu.Lock()
+	r.phase = phase
+	r.phaseMu.Unlock()
+}
+
+// Advance bulk-updates the progress counters: pairs newly covered, the
+// differences they carried, and how many of them failed. Fleet runs use
+// it to credit whole member-pair blocks as each representative pair
+// resolves.
+func (r *Run) Advance(pairs, differences, errs int64) {
+	if r == nil {
+		return
+	}
+	r.completed.Add(pairs)
+	r.differences.Add(differences)
+	r.errors.Add(errs)
 }
 
 // runErrorKinds is the failure taxonomy surfaced per run: the labels of
@@ -124,7 +154,9 @@ type RunSummary struct {
 	// ErrorKinds breaks Errors down by failure kind (parse / canceled /
 	// budget / internal); omitted while no classified failure happened.
 	ErrorKinds map[string]int64 `json:"errorKinds,omitempty"`
-	Done       bool             `json:"done"`
+	// Phase is the pipeline phase the run is currently in (fleet runs).
+	Phase string `json:"phase,omitempty"`
+	Done  bool   `json:"done"`
 }
 
 // Summaries snapshots the recorded runs, newest first.
@@ -142,6 +174,9 @@ func (l *RunLog) Summaries() []RunSummary {
 		if !r.done.Load() {
 			d = time.Since(r.started)
 		}
+		r.phaseMu.Lock()
+		phase := r.phase
+		r.phaseMu.Unlock()
 		var kinds map[string]int64
 		for i, k := range runErrorKinds {
 			if n := r.errorKinds[i].Load(); n > 0 {
@@ -161,6 +196,7 @@ func (l *RunLog) Summaries() []RunSummary {
 			Differences: r.differences.Load(),
 			Errors:      r.errors.Load(),
 			ErrorKinds:  kinds,
+			Phase:       phase,
 			Done:        r.done.Load(),
 		})
 	}

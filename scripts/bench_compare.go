@@ -1,0 +1,138 @@
+// Command bench_compare gates CI on benchmark regressions: it compares
+// a fresh BENCH_<date>.json (written by scripts/bench.sh) against a
+// committed per-PR baseline (BENCH_PR7.json, ...) and exits non-zero
+// when any benchmark present in both slowed down by more than the
+// threshold.
+//
+// Usage:
+//
+//	go run ./scripts -baseline BENCH_PR7.json [-threshold 0.15] BENCH_2026-08-08.json
+//
+// Matching is by full benchmark name including the sub-case
+// ("BenchmarkFleetAudit/clustered"); benchmarks present in only one
+// file are listed but never gate. CI machines differ from the baseline
+// machine, so the threshold is a tripwire for order-of-magnitude
+// mistakes (an accidental O(N^2) path, a dropped cache), not a
+// microbenchmark referee — the workflow label skip-bench-gate disables
+// the step for intentionally slower PRs.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// benchFile is the subset of the BENCH_*.json schema the gate reads.
+type benchFile struct {
+	Benchmarks []struct {
+		Name    string  `json:"name"`
+		NsPerOp float64 `json:"ns_per_op"`
+	} `json:"benchmarks"`
+}
+
+// loadBench reads one BENCH_*.json into name -> ns/op. Duplicate names
+// (rerun sweeps) keep the last sample.
+func loadBench(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f benchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]float64, len(f.Benchmarks))
+	for _, b := range f.Benchmarks {
+		if b.Name != "" && b.NsPerOp > 0 {
+			out[b.Name] = b.NsPerOp
+		}
+	}
+	return out, nil
+}
+
+// delta is one benchmark's baseline-to-current movement.
+type delta struct {
+	Name      string
+	Base, Cur float64
+	Ratio     float64 // Cur / Base; > 1 is slower
+}
+
+// compare splits the benchmarks present in both files into regressions
+// (slower than 1+threshold times the baseline) and the rest, each
+// sorted worst-first by ratio.
+func compare(base, cur map[string]float64, threshold float64) (regressed, ok []delta) {
+	for name, b := range base {
+		c, found := cur[name]
+		if !found {
+			continue
+		}
+		d := delta{Name: name, Base: b, Cur: c, Ratio: c / b}
+		if d.Ratio > 1+threshold {
+			regressed = append(regressed, d)
+		} else {
+			ok = append(ok, d)
+		}
+	}
+	worstFirst := func(s []delta) {
+		sort.Slice(s, func(i, j int) bool {
+			if s[i].Ratio != s[j].Ratio {
+				return s[i].Ratio > s[j].Ratio
+			}
+			return s[i].Name < s[j].Name
+		})
+	}
+	worstFirst(regressed)
+	worstFirst(ok)
+	return regressed, ok
+}
+
+func main() {
+	baseline := flag.String("baseline", "", "committed BENCH_*.json to compare against")
+	threshold := flag.Float64("threshold", 0.15, "allowed slowdown fraction before failing (0.15 = 15%)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: bench_compare -baseline OLD.json [-threshold 0.15] NEW.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *baseline == "" || flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	base, err := loadBench(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench_compare: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := loadBench(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench_compare: %v\n", err)
+		os.Exit(2)
+	}
+
+	regressed, ok := compare(base, cur, *threshold)
+	if len(regressed)+len(ok) == 0 {
+		fmt.Fprintf(os.Stderr, "bench_compare: WARNING: no benchmark names overlap between %s and %s — nothing gated\n",
+			*baseline, flag.Arg(0))
+		return
+	}
+
+	row := func(tag string, d delta) {
+		fmt.Printf("%-4s %-55s %14.0f -> %14.0f ns/op  (%+.1f%%)\n",
+			tag, d.Name, d.Base, d.Cur, 100*(d.Ratio-1))
+	}
+	for _, d := range ok {
+		row("ok", d)
+	}
+	for _, d := range regressed {
+		row("FAIL", d)
+	}
+	fmt.Printf("bench_compare: %d compared vs %s, %d regressed beyond %.0f%%\n",
+		len(regressed)+len(ok), *baseline, len(regressed), 100**threshold)
+	if len(regressed) > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCompareGatesOnRegression(t *testing.T) {
+	base := map[string]float64{
+		"BenchmarkA":      1000,
+		"BenchmarkB/sub":  2000,
+		"BenchmarkOrphan": 500, // absent from current: never gates
+	}
+	cur := map[string]float64{
+		"BenchmarkA":     1100, // +10%: within a 15% threshold
+		"BenchmarkB/sub": 2600, // +30%: regression
+		"BenchmarkNew":   42,   // absent from baseline: never gates
+	}
+	regressed, ok := compare(base, cur, 0.15)
+	if len(regressed) != 1 || regressed[0].Name != "BenchmarkB/sub" {
+		t.Fatalf("regressed = %+v", regressed)
+	}
+	if len(ok) != 1 || ok[0].Name != "BenchmarkA" {
+		t.Fatalf("ok = %+v", ok)
+	}
+	// A tighter threshold also catches the +10% drift; worst ratio first.
+	regressed, _ = compare(base, cur, 0.05)
+	if len(regressed) != 2 || regressed[0].Name != "BenchmarkB/sub" {
+		t.Fatalf("tight threshold regressed = %+v", regressed)
+	}
+	// Improvements never gate.
+	if r, _ := compare(map[string]float64{"X": 100}, map[string]float64{"X": 10}, 0.15); len(r) != 0 {
+		t.Fatalf("improvement flagged as regression: %+v", r)
+	}
+	// Disjoint files: nothing compared, nothing gated.
+	r, o := compare(map[string]float64{"A": 1}, map[string]float64{"B": 1}, 0.15)
+	if len(r)+len(o) != 0 {
+		t.Fatalf("disjoint files compared something: %v %v", r, o)
+	}
+}
+
+func TestLoadBench(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	body := `{"pr": 7, "benchmarks": [
+		{"name": "BenchmarkA", "ns_per_op": 1234, "note": "x"},
+		{"name": "BenchmarkA", "ns_per_op": 1500},
+		{"name": "", "ns_per_op": 9},
+		{"name": "BenchmarkZero", "ns_per_op": 0}
+	]}`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := loadBench(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Last duplicate wins; empty names and zero samples are dropped.
+	if len(m) != 1 || m["BenchmarkA"] != 1500 {
+		t.Fatalf("loadBench = %v", m)
+	}
+	if _, err := loadBench(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file should error")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	os.WriteFile(bad, []byte("{"), 0o644)
+	if _, err := loadBench(bad); err == nil {
+		t.Fatal("malformed JSON should error")
+	}
+}
+
+// TestCompareAgainstCommittedBaseline sanity-checks that the committed
+// PR7 baseline parses and self-compares clean — the exact file the CI
+// gate reads.
+func TestCompareAgainstCommittedBaseline(t *testing.T) {
+	m, err := loadBench("../BENCH_PR7.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) == 0 {
+		t.Fatal("committed baseline has no benchmarks")
+	}
+	if r, ok := compare(m, m, 0.15); len(r) != 0 || len(ok) != len(m) {
+		t.Fatalf("baseline does not self-compare clean: %d regressed, %d ok", len(r), len(ok))
+	}
+}
