@@ -16,6 +16,18 @@
 // localized to an input set and a pair of clauses); static routes,
 // connected routes, BGP session properties, OSPF link properties, and
 // administrative distances are checked structurally.
+//
+// Scaling up, the entry points layer on one another: Diff compares one
+// pair; DiffBatch / DiffAll / DiffDirs run many pairs on a parallel
+// worker pool with per-pair failure isolation (see PairError and the
+// Err* sentinels); DiffFleet audits a whole fleet by clustering devices
+// into semantic equivalence classes and diffing only class
+// representatives, with hashes and reports persisted across runs in a
+// FleetStore. The `campion serve` daemon (internal/session) keeps a
+// fleet audit warm across configuration pushes using exactly these
+// pieces. Observability — span traces, metrics, run logs, and the
+// flight-recorder Journal — attaches through Options and BatchOptions
+// and is free when unset.
 package campion
 
 import (

@@ -24,6 +24,14 @@ type FleetStore = fleet.Store
 // OpenFleetStore opens (creating if needed) a persistent cache.
 func OpenFleetStore(dir string) (*FleetStore, error) { return fleet.OpenStore(dir) }
 
+// OpenMemFleetStore returns a cache with no backing directory: entries
+// live in memory and die with the process. It is what a long-lived
+// daemon wants when the operator has not asked for cross-restart
+// persistence — every audit after the first is served from RAM. For a
+// disk-backed store with the same hot-path behavior, open it with
+// OpenFleetStore and call EnableMemo.
+func OpenMemFleetStore() *FleetStore { return fleet.OpenMemStore() }
+
 // ContentSum fingerprints raw configuration bytes for FleetDevice:
 // supplying it lets cached hash entries stand in for parsing entirely.
 func ContentSum(data []byte) string { return fleet.ContentSum(data) }
@@ -652,6 +660,18 @@ func (r *FleetResult) Results() []BatchResult {
 		return true
 	})
 	return out
+}
+
+// Pair produces the expanded result for one member pair on demand —
+// what position (i, j) of Results would hold, without materializing the
+// other N·(N−1)/2−1 results. The daemon's GET /report/{a}/{b} handler
+// is the motivating caller. Panics unless 0 ≤ i < j < len(Devices).
+func (r *FleetResult) Pair(i, j int) BatchResult {
+	if i < 0 || j <= i || j >= len(r.Devices) {
+		panic(fmt.Sprintf("campion: FleetResult.Pair(%d, %d) out of range (need 0 <= i < j < %d)",
+			i, j, len(r.Devices)))
+	}
+	return r.expand(i, j)
 }
 
 // expand produces the result for member pair (i, j), i < j. It runs

@@ -7,8 +7,17 @@
 //	campion [flags] CONFIG1 CONFIG2
 //	campion [flags] DIR1 DIR2
 //	campion -all [flags] DIR
+//	campion serve [flags]
 //	campion selfcheck [flags] CONFIG1 CONFIG2
 //	campion report [flags] RUN.jsonl
+//
+// The serve subcommand runs campion as a long-lived daemon: device
+// configuration snapshots arrive over HTTP (POST /snapshot/{device}) or
+// from a watched directory (-watch DIR), each content-changing snapshot
+// incrementally re-audits the fleet (warm caches prove unedited devices
+// unchanged, so steady-state cost is proportional to the edit), and the
+// audited state serves at GET /report/{a}/{b} and GET /fleet alongside
+// /metrics, /runs, and /debug/pprof. See README.md's operations guide.
 //
 // The selfcheck subcommand does not compare the configurations for the
 // operator — it audits the diff engine itself, cross-checking the
@@ -126,6 +135,9 @@ func run() int {
 	if len(os.Args) > 1 && os.Args[1] == "report" {
 		return reportCmd(os.Args[2:])
 	}
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		return serveCmd(os.Args[2:])
+	}
 	components := flag.String("components", "", "comma-separated component list (default: all)")
 	format := flag.String("format", "text", "output format: text, json, or summary")
 	vendor1 := flag.String("vendor1", "auto", "dialect of CONFIG1: auto, cisco, juniper, arista")
@@ -164,6 +176,7 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "       campion [flags] DIR1 DIR2\n")
 		fmt.Fprintf(os.Stderr, "       campion -all [flags] DIR\n")
 		fmt.Fprintf(os.Stderr, "       campion -serve ADDR\n")
+		fmt.Fprintf(os.Stderr, "       campion serve [-watch DIR] [flags]\n")
 		fmt.Fprintf(os.Stderr, "       campion selfcheck [flags] CONFIG1 CONFIG2\n")
 		fmt.Fprintf(os.Stderr, "       campion report [flags] RUN.jsonl\n")
 		flag.PrintDefaults()

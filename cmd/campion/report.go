@@ -42,6 +42,17 @@ func reportCmd(args []string) int {
 	if len(events) == 0 {
 		return fatal(fmt.Errorf("%s: empty journal", fs.Arg(0)))
 	}
+	hasHeader := false
+	for _, e := range events {
+		if e.Type == obs.EvRunStart {
+			hasHeader = true
+			break
+		}
+	}
+	if !hasHeader {
+		return fatal(fmt.Errorf("%s: no run header (%d events but no %q event) — is this a campion -journal file?",
+			fs.Arg(0), len(events), obs.EvRunStart))
+	}
 	if *traceOut != "" {
 		tf, err := os.Create(*traceOut)
 		if err != nil {

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// writeJournal renders events through a real Journal so the test file
+// is bit-for-bit what a run would have produced.
+func writeJournal(t *testing.T, path string, emit func(j *obs.Journal)) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := obs.NewJournal(f)
+	emit(j)
+	if err := j.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReportRequiresRunHeader: a journal without a run_start event must
+// fail loudly instead of rendering a zero-value summary.
+func TestReportRequiresRunHeader(t *testing.T) {
+	dir := t.TempDir()
+
+	headless := filepath.Join(dir, "headless.jsonl")
+	writeJournal(t, headless, func(j *obs.Journal) {
+		j.Emit(obs.Event{Type: obs.EvParse, Device: "r1"})
+		j.Emit(obs.Event{Type: obs.EvHash, Device: "r1", Kind: "dag"})
+	})
+	if code := reportCmd([]string{headless}); code != 2 {
+		t.Fatalf("report on headless journal = %d, want 2", code)
+	}
+
+	empty := filepath.Join(dir, "empty.jsonl")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := reportCmd([]string{empty}); code != 2 {
+		t.Fatalf("report on empty journal = %d, want 2", code)
+	}
+
+	// A journal with a header renders, even when truncated (no run_end).
+	ok := filepath.Join(dir, "ok.jsonl")
+	writeJournal(t, ok, func(j *obs.Journal) {
+		j.Emit(obs.Event{Type: obs.EvRunStart, Run: "campion -all", Detail: map[string]string{"go": "test"}})
+		j.Emit(obs.Event{Type: obs.EvPair, Pair: "a|b", Dur: int64(time.Millisecond), Diffs: 1})
+	})
+	// Silence the summary: reportCmd writes to os.Stdout.
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	code := reportCmd([]string{ok})
+	os.Stdout = old
+	devnull.Close()
+	if code != 0 {
+		t.Fatalf("report on headed journal = %d, want 0", code)
+	}
+}

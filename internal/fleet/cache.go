@@ -45,9 +45,26 @@ const entryMagic = "campion-cache"
 
 // Store is a persistent cache rooted at a directory. All methods are
 // safe for concurrent use by multiple goroutines and multiple processes.
+//
+// Two memory variants exist for long-lived processes. OpenMemStore
+// builds a Store with no backing directory at all — entries live only in
+// the process (the `campion serve` default when no -cache-dir is given).
+// EnableMemo layers a write-through in-memory copy over a disk store, so
+// a daemon that already paid the disk read (or write) for an entry never
+// pays it again; the disk keeps its role as the cross-restart warm
+// start. Memo entries are never evicted — SetMaxReports bounds only the
+// on-disk report files — so a memoized report can outlive its disk copy;
+// that is safe (entries are immutable content keyed by their full
+// identity) and bounded by the fleet the process actually audits.
 type Store struct {
-	dir        string // <root>/v1
+	dir        string // <root>/v1; "" for a memory-only store
 	maxReports int64
+
+	// memo, when non-nil, is the in-memory layer: full entry key →
+	// *core.Report (reports) or HashEntry (hashes). Decoded reports are
+	// shared between callers; they are never mutated after decode
+	// (RespanReport copies).
+	memo *sync.Map
 
 	reportHits, reportMisses atomic.Uint64
 	hashHits, hashMisses     atomic.Uint64
@@ -102,6 +119,24 @@ func OpenStore(dir string) (*Store, error) {
 	return s, nil
 }
 
+// OpenMemStore returns a store with no backing directory: every entry
+// lives in memory and dies with the process. It serves the daemon's
+// "keep warm across requests" role when the operator has not asked for
+// cross-restart persistence.
+func OpenMemStore() *Store {
+	return &Store{memo: &sync.Map{}}
+}
+
+// EnableMemo layers a write-through in-memory copy over a disk-backed
+// store: every entry read from or written to disk is also kept in
+// memory, and later lookups are served from there without touching the
+// filesystem. Call it once, before lookups begin.
+func (s *Store) EnableMemo() {
+	if s.memo == nil {
+		s.memo = &sync.Map{}
+	}
+}
+
 // SetMaxReports bounds the number of report entries kept on disk;
 // 0 (the default) means unlimited. When the bound is exceeded the
 // oldest entries (by modification time) are evicted.
@@ -139,7 +174,20 @@ func ContentSum(data []byte) string {
 // GetHash looks up the semantic hash recorded for raw-config digest
 // contentSum.
 func (s *Store) GetHash(contentSum string) (HashEntry, bool) {
+	memoKey := "hash\x00" + contentSum
+	if s.memo != nil {
+		if v, ok := s.memo.Load(memoKey); ok {
+			s.hashHits.Add(1)
+			s.observe("hit", "hash")
+			return v.(HashEntry), true
+		}
+	}
 	var e HashEntry
+	if s.dir == "" {
+		s.hashMisses.Add(1)
+		s.observe("miss", "hash")
+		return e, false
+	}
 	path := s.path("hashes", "hash", contentSum)
 	body, ok := s.readEntry(path, "hash")
 	if !ok {
@@ -154,6 +202,9 @@ func (s *Store) GetHash(contentSum string) (HashEntry, bool) {
 		s.observe("miss", "hash")
 		return HashEntry{}, false
 	}
+	if s.memo != nil {
+		s.memo.Store(memoKey, e)
+	}
 	s.hashHits.Add(1)
 	s.observe("hit", "hash")
 	return e, true
@@ -164,6 +215,12 @@ func (s *Store) PutHash(contentSum, hash, hostname string, fallback bool) {
 	e := HashEntry{
 		Version: hashEntryVersion, ContentSum: contentSum,
 		Hash: hash, Hostname: hostname, Fallback: fallback,
+	}
+	if s.memo != nil {
+		s.memo.Store("hash\x00"+contentSum, e)
+	}
+	if s.dir == "" {
+		return
 	}
 	body, err := json.Marshal(e)
 	if err != nil {
@@ -181,8 +238,23 @@ type reportEntry struct {
 }
 
 // GetReport looks up the finished report for the ordered pair of device
-// hashes under the given options fingerprint.
+// hashes under the given options fingerprint. The returned report is
+// shared (possibly with other concurrent callers) and must not be
+// mutated; RespanReport already copies.
 func (s *Store) GetReport(hash1, hash2, optsFP string) (*core.Report, bool) {
+	memoKey := "report\x00" + hash1 + "\x00" + hash2 + "\x00" + optsFP
+	if s.memo != nil {
+		if v, ok := s.memo.Load(memoKey); ok {
+			s.reportHits.Add(1)
+			s.observe("hit", "report")
+			return v.(*core.Report), true
+		}
+	}
+	if s.dir == "" {
+		s.reportMisses.Add(1)
+		s.observe("miss", "report")
+		return nil, false
+	}
 	path := s.path("reports", "report", hash1, hash2, optsFP)
 	body, ok := s.readEntry(path, "report")
 	if !ok {
@@ -205,6 +277,9 @@ func (s *Store) GetReport(hash1, hash2, optsFP string) (*core.Report, bool) {
 		s.observe("miss", "report")
 		return nil, false
 	}
+	if s.memo != nil {
+		s.memo.Store(memoKey, rep)
+	}
 	s.reportHits.Add(1)
 	s.observe("hit", "report")
 	return rep, true
@@ -215,6 +290,17 @@ func (s *Store) GetReport(hash1, hash2, optsFP string) (*core.Report, bool) {
 func (s *Store) PutReport(hash1, hash2, optsFP string, rep *core.Report) {
 	payload, err := EncodeReport(rep)
 	if err != nil {
+		return
+	}
+	if s.memo != nil {
+		// Memoize the decoded round-trip, not rep itself: callers hand in
+		// reports they may keep using, and serving the same canonical
+		// decode for puts and gets keeps warm and cold paths identical.
+		if dec, derr := DecodeReport(payload); derr == nil {
+			s.memo.Store("report\x00"+hash1+"\x00"+hash2+"\x00"+optsFP, dec)
+		}
+	}
+	if s.dir == "" {
 		return
 	}
 	body, err := json.Marshal(reportEntry{
@@ -239,6 +325,9 @@ func (s *Store) EvictNow() {
 }
 
 func (s *Store) evictReports(max int) {
+	if s.dir == "" {
+		return
+	}
 	s.evictMu.Lock()
 	defer s.evictMu.Unlock()
 	dir := filepath.Join(s.dir, "reports")

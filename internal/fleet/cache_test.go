@@ -212,3 +212,100 @@ func TestOptionsFingerprint(t *testing.T) {
 		t.Fatal("component restriction did not change the fingerprint")
 	}
 }
+
+// TestMemStore: a directory-less store round-trips entries entirely in
+// memory and never touches the filesystem.
+func TestMemStore(t *testing.T) {
+	s := OpenMemStore()
+	s.PutHash("sum1", "hash1", "alpha", false)
+	if e, ok := s.GetHash("sum1"); !ok || e.Hash != "hash1" || e.Hostname != "alpha" {
+		t.Fatalf("hash entry round trip: %+v ok=%v", e, ok)
+	}
+	if _, ok := s.GetHash("absent"); ok {
+		t.Fatal("hit on absent hash entry")
+	}
+	rep := testReport(t)
+	s.PutReport("h1", "h2", "fp", rep)
+	got, ok := s.GetReport("h1", "h2", "fp")
+	if !ok {
+		t.Fatal("report miss after put")
+	}
+	if got.TotalDifferences() != rep.TotalDifferences() {
+		t.Fatalf("difference count changed: %d vs %d",
+			got.TotalDifferences(), rep.TotalDifferences())
+	}
+	if _, ok := s.GetReport("h2", "h1", "fp"); ok {
+		t.Fatal("hit on swapped orientation")
+	}
+	if _, ok := s.GetReport("h1", "h2", "other"); ok {
+		t.Fatal("hit on different options fingerprint")
+	}
+	// Eviction and bounds are disk concepts; they must be no-ops here.
+	s.SetMaxReports(1)
+	s.EvictNow()
+	if _, ok := s.GetReport("h1", "h2", "fp"); !ok {
+		t.Fatal("memory entry evicted by disk bound")
+	}
+	st := s.Stats()
+	if st.ReportHits == 0 || st.HashHits == 0 {
+		t.Fatalf("hit counters not advanced: %+v", st)
+	}
+}
+
+// TestStoreMemo: with the write-through memo enabled, entries written to
+// (or read from) disk keep serving after the backing files are removed,
+// and memo hits fire the observer like any other hit.
+func TestStoreMemo(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.EnableMemo()
+	var mu sync.Mutex
+	hits := map[string]int{}
+	s.SetObserver(func(op, kind string) {
+		mu.Lock()
+		hits[op+"/"+kind]++
+		mu.Unlock()
+	})
+
+	rep := testReport(t)
+	s.PutReport("h1", "h2", "fp", rep)
+	s.PutHash("sum1", "hash1", "alpha", false)
+
+	// A fresh memo-enabled store must pull from disk once, then memoize.
+	s2, _ := OpenStore(dir)
+	s2.EnableMemo()
+	if _, ok := s2.GetReport("h1", "h2", "fp"); !ok {
+		t.Fatal("disk miss on fresh store")
+	}
+
+	// Remove the backing files: the original store and the warmed store
+	// both keep serving from memory.
+	for _, sub := range []string{"reports", "hashes"} {
+		for _, p := range entryFiles(t, dir, sub) {
+			os.Remove(p)
+		}
+	}
+	if _, ok := s.GetReport("h1", "h2", "fp"); !ok {
+		t.Fatal("memo miss on writer store after disk removal")
+	}
+	if e, ok := s.GetHash("sum1"); !ok || e.Hash != "hash1" {
+		t.Fatal("hash memo miss on writer store after disk removal")
+	}
+	if _, ok := s2.GetReport("h1", "h2", "fp"); !ok {
+		t.Fatal("memo miss on reader store after disk removal")
+	}
+	// But a third store (no memo history) sees the truth: gone.
+	s3, _ := OpenStore(dir)
+	if _, ok := s3.GetReport("h1", "h2", "fp"); ok {
+		t.Fatal("phantom hit on fresh store after disk removal")
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if hits["hit/report"] < 1 || hits["hit/hash"] < 1 {
+		t.Fatalf("observer did not see memo hits: %v", hits)
+	}
+}

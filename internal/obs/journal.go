@@ -99,6 +99,8 @@ const (
 	EvCache      = "cache"         // Op hit|miss|evict|corrupt, Kind report|hash
 	EvExpand     = "expand"        // N member pairs expanded, Dur
 	EvCheck      = "metrics_check" // end-of-run consistency check, Detail per-counter verdicts
+	EvSnapshot   = "snapshot"      // Device, Op ingest|remove|noop, Kind push|watch|seed, N dirty components, Detail changed-line range
+	EvAudit      = "audit"         // incremental re-audit: Dur, N rep pairs computed, Total rep pairs needed
 )
 
 // NewJournal starts a journal writing JSONL to w. A nil w is valid: the

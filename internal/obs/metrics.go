@@ -1,11 +1,20 @@
 // Package obs is Campion's observability substrate: a run-scoped span
 // tracer, a metrics registry (counters, gauges, log-scale histograms with
-// Prometheus text exposition), a log of recent batch runs, and an HTTP
-// server tying them to /metrics, /runs, and /debug/pprof. It depends only
+// Prometheus text exposition), a log of recent batch runs, a structured
+// run journal (the flight recorder), and an HTTP server tying the live
+// instruments to /metrics, /runs, and /debug/pprof. It depends only
 // on the standard library, and every instrument is nil-safe: recording
-// into a nil *Counter, *Histogram, *Span, or *Registry is a no-op costing
-// one branch, so callers thread instruments unconditionally and the
-// disabled path stays off the profile.
+// into a nil *Counter, *Histogram, *Span, *Journal, or *Registry is a
+// no-op costing one branch, so callers thread instruments
+// unconditionally and the disabled path stays off the profile.
+//
+// The journal half has an offline counterpart: ReadJournal parses a
+// JSONL journal back into events, AnalyzeJournal replays them into a
+// deterministic run summary (JournalAnalysis, rendered by WriteText),
+// and WriteJournalTrace exports the same events as a Chrome trace.
+// `campion report` is a thin CLI over those three. The event taxonomy
+// (the Ev* constants) and the fields each type carries are documented
+// in DESIGN.md's "Flight recorder" section and are treated as API.
 package obs
 
 import (

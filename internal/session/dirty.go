@@ -1,0 +1,243 @@
+// Dirty-component tracking: given the previous and the incoming raw
+// configuration of one device, find the changed line range (common
+// prefix/suffix trim), overlay it on the component text spans of both
+// parses, and close the result over the reference graph (route maps pull
+// in the prefix/community/as-path lists they name; interfaces pull in
+// their ACLs; BGP and OSPF pull in the route maps their sessions and
+// redistributions apply). The closure is the set of components whose
+// compiled semantics the edit *can* have touched — exactly the vocab-
+// fingerprint dependency structure the PolicyCache keys on.
+//
+// The tracker is observational: correctness of the incremental audit
+// never depends on it (the audit re-hashes the edited device and lets
+// the content-addressed caches prove everything else unchanged). Its
+// job is telemetry — the campion_session_dirty_components metric, the
+// snapshot journal events, and the operator's answer to "what did that
+// push actually touch?".
+package session
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ir"
+)
+
+// lineRange is a 1-based inclusive line interval; zero means empty.
+type lineRange struct {
+	Start, End int
+}
+
+func (r lineRange) empty() bool { return r.Start == 0 }
+
+func (r lineRange) String() string {
+	if r.empty() {
+		return ""
+	}
+	if r.Start == r.End {
+		return fmt.Sprintf("%d", r.Start)
+	}
+	return fmt.Sprintf("%d-%d", r.Start, r.End)
+}
+
+// overlaps reports whether the range intersects span [start, end].
+func (r lineRange) overlaps(start, end int) bool {
+	return !r.empty() && start != 0 && r.Start <= end && start <= r.End
+}
+
+// changedRange trims the common prefix and suffix of the two line slices
+// and returns the leftover window in each: oldR covers the removed or
+// rewritten lines of the previous snapshot, newR the inserted or
+// rewritten lines of the incoming one. Both empty means byte-identical
+// content (modulo the split); one side empty means a pure insertion or
+// deletion at that position.
+func changedRange(oldLines, newLines []string) (oldR, newR lineRange) {
+	pre := 0
+	for pre < len(oldLines) && pre < len(newLines) && oldLines[pre] == newLines[pre] {
+		pre++
+	}
+	suf := 0
+	for suf < len(oldLines)-pre && suf < len(newLines)-pre &&
+		oldLines[len(oldLines)-1-suf] == newLines[len(newLines)-1-suf] {
+		suf++
+	}
+	if pre < len(oldLines)-suf {
+		oldR = lineRange{pre + 1, len(oldLines) - suf}
+	}
+	if pre < len(newLines)-suf {
+		newR = lineRange{pre + 1, len(newLines) - suf}
+	}
+	return oldR, newR
+}
+
+// splitLines splits raw configuration bytes into lines, tolerating CRLF
+// and a missing trailing newline (the same text either parser would see).
+func splitLines(raw []byte) []string {
+	s := strings.ReplaceAll(string(raw), "\r\n", "\n")
+	s = strings.TrimSuffix(s, "\n")
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, "\n")
+}
+
+// component is one span-bearing unit of a configuration, named by
+// "kind name" ("route-map LOCAL_PREF", "bgp neighbor 10.0.0.1", ...).
+type component struct {
+	id         string
+	start, end int
+	// refs are the "kind name" ids of components this one names — the
+	// edges the dirty closure follows (referrer becomes dirty when a
+	// referee is).
+	refs []string
+}
+
+func listRefs(kind string, names ...string) []string {
+	out := make([]string, 0, len(names))
+	for _, n := range names {
+		if n != "" {
+			out = append(out, kind+" "+n)
+		}
+	}
+	return out
+}
+
+// components enumerates every span-bearing unit of cfg with its
+// reference edges. Order is deterministic (sorted ids) but callers
+// treat the result as a set.
+func components(cfg *ir.Config) []component {
+	if cfg == nil {
+		return nil
+	}
+	var out []component
+	add := func(id string, span ir.TextSpan, refs ...string) {
+		out = append(out, component{id: id, start: span.StartLine, end: span.EndLine, refs: refs})
+	}
+	for name, l := range cfg.PrefixLists {
+		add("prefix-list "+name, l.Span)
+	}
+	for name, l := range cfg.CommunityLists {
+		add("community-list "+name, l.Span)
+	}
+	for name, l := range cfg.ASPathLists {
+		add("as-path-list "+name, l.Span)
+	}
+	for name, a := range cfg.ACLs {
+		add("acl "+name, a.Span)
+	}
+	for name, rm := range cfg.RouteMaps {
+		var refs []string
+		for _, cl := range rm.Clauses {
+			for _, m := range cl.Matches {
+				switch m := m.(type) {
+				case ir.MatchPrefixList:
+					refs = append(refs, listRefs("prefix-list", m.Lists...)...)
+				case ir.MatchPrefixListFilter:
+					refs = append(refs, listRefs("prefix-list", m.List)...)
+				case ir.MatchNextHop:
+					refs = append(refs, listRefs("prefix-list", m.Lists...)...)
+				case ir.MatchCommunity:
+					refs = append(refs, listRefs("community-list", m.Lists...)...)
+				case ir.MatchASPath:
+					refs = append(refs, listRefs("as-path-list", m.Lists...)...)
+				}
+			}
+			for _, s := range cl.Sets {
+				if d, ok := s.(ir.DeleteCommunity); ok {
+					refs = append(refs, listRefs("community-list", d.List)...)
+				}
+			}
+		}
+		add("route-map "+name, rm.Span, refs...)
+	}
+	for _, i := range cfg.Interfaces {
+		add("interface "+i.Name, i.Span, listRefs("acl", i.ACLIn, i.ACLOut)...)
+	}
+	for n, r := range cfg.StaticRoutes {
+		add(fmt.Sprintf("static-route %s #%d", r.Prefix, n), r.Span)
+	}
+	if b := cfg.BGP; b != nil {
+		var refs []string
+		for _, addr := range b.NeighborAddrs() {
+			nb := b.Neighbors[addr]
+			nrefs := listRefs("route-map", append(append([]string{}, nb.ImportPolicies...), nb.ExportPolicies...)...)
+			add("bgp neighbor "+addr, nb.Span, nrefs...)
+		}
+		for _, rd := range b.Redistribute {
+			refs = append(refs, listRefs("route-map", rd.RouteMap)...)
+		}
+		add("bgp process", b.Span, refs...)
+	}
+	if o := cfg.OSPF; o != nil {
+		var refs []string
+		for _, name := range o.InterfaceNames() {
+			add("ospf interface "+name, o.Interfaces[name].Span)
+		}
+		for _, rd := range o.Redistribute {
+			refs = append(refs, listRefs("route-map", rd.RouteMap)...)
+		}
+		add("ospf process", o.Span, refs...)
+	}
+	for n, u := range cfg.Unrecognized {
+		add(fmt.Sprintf("unrecognized #%d", n), u)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// dirtyComponents is the edit's blast radius: every component of either
+// parse whose span overlaps its side's changed range, closed transitively
+// over the reference edges of the *new* parse (an edit inside prefix-list
+// P dirties every route map matching P, and through them the BGP sessions
+// applying those maps — the chain whose vocab fingerprint the edit can
+// shift). Returns sorted unique ids.
+func dirtyComponents(oldCfg, newCfg *ir.Config, oldR, newR lineRange) []string {
+	dirty := map[string]bool{}
+	for _, c := range components(oldCfg) {
+		if oldR.overlaps(c.start, c.end) {
+			dirty[c.id] = true
+		}
+	}
+	newComps := components(newCfg)
+	for _, c := range newComps {
+		if newR.overlaps(c.start, c.end) {
+			dirty[c.id] = true
+		}
+	}
+	// Close over referrers: iterate to a fixpoint (chains are shallow —
+	// list → route map → session — so this settles in 2–3 passes).
+	for changed := true; changed; {
+		changed = false
+		for _, c := range newComps {
+			if dirty[c.id] {
+				continue
+			}
+			for _, ref := range c.refs {
+				if dirty[ref] {
+					dirty[c.id] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	out := make([]string, 0, len(dirty))
+	for id := range dirty {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// allComponents names every component of cfg — the blast radius of a
+// device's first snapshot, where there is no previous parse to diff
+// against.
+func allComponents(cfg *ir.Config) []string {
+	comps := components(cfg)
+	out := make([]string, 0, len(comps))
+	for _, c := range comps {
+		out = append(out, c.id)
+	}
+	return out
+}

@@ -1,0 +1,153 @@
+package session
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/campion"
+)
+
+func TestChangedRange(t *testing.T) {
+	cases := []struct {
+		name     string
+		old, new string
+		oldR     lineRange
+		newR     lineRange
+	}{
+		{"identical", "a\nb\nc", "a\nb\nc", lineRange{}, lineRange{}},
+		{"rewrite middle", "a\nb\nc", "a\nX\nc", lineRange{2, 2}, lineRange{2, 2}},
+		{"insert", "a\nc", "a\nb\nc", lineRange{}, lineRange{2, 2}},
+		{"delete", "a\nb\nc", "a\nc", lineRange{2, 2}, lineRange{}},
+		{"append", "a\nb", "a\nb\nc\nd", lineRange{}, lineRange{3, 4}},
+		{"truncate", "a\nb\nc", "a", lineRange{2, 3}, lineRange{}},
+		{"replace all", "a\nb", "x\ny\nz", lineRange{1, 2}, lineRange{1, 3}},
+		{"empty to full", "", "a\nb", lineRange{}, lineRange{1, 2}},
+	}
+	for _, c := range cases {
+		oldR, newR := changedRange(splitLines([]byte(c.old)), splitLines([]byte(c.new)))
+		if oldR != c.oldR || newR != c.newR {
+			t.Errorf("%s: changedRange = %+v/%+v, want %+v/%+v",
+				c.name, oldR, newR, c.oldR, c.newR)
+		}
+	}
+}
+
+const dirtyBase = `hostname r1
+ip prefix-list NETS permit 10.1.0.0/16 le 24
+ip prefix-list OTHER permit 10.9.0.0/16
+ip community-list standard BLOCK permit 65000:100
+route-map IMPORT deny 10
+ match community BLOCK
+route-map IMPORT permit 20
+ match ip address NETS
+ set local-preference 150
+route-map UNRELATED permit 10
+ match ip address OTHER
+router bgp 65001
+ neighbor 10.0.0.1 remote-as 65002
+ neighbor 10.0.0.1 route-map IMPORT in
+`
+
+// TestDirtyChainClosure: an edit inside a prefix list dirties the list,
+// every route map matching it, and the BGP session applying that map —
+// but not unrelated components.
+func TestDirtyChainClosure(t *testing.T) {
+	edited := strings.Replace(dirtyBase,
+		"ip prefix-list NETS permit 10.1.0.0/16 le 24",
+		"ip prefix-list NETS permit 10.2.0.0/16 le 24", 1)
+	oldCfg, err := campion.Parse("r1.cfg", dirtyBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newCfg, err := campion.Parse("r1.cfg", edited)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldR, newR := changedRange(splitLines([]byte(dirtyBase)), splitLines([]byte(edited)))
+	dirty := dirtyComponents(oldCfg, newCfg, oldR, newR)
+
+	want := map[string]bool{
+		"prefix-list NETS":        true, // the edit itself
+		"route-map IMPORT":        true, // matches NETS
+		"bgp neighbor 10.0.0.1":   true, // applies IMPORT
+		"route-map UNRELATED":     false,
+		"prefix-list OTHER":       false,
+		"community-list BLOCK":    false,
+		"bgp process":             false,
+		"interface <nonexistent>": false,
+	}
+	got := map[string]bool{}
+	for _, id := range dirty {
+		got[id] = true
+	}
+	for id, expect := range want {
+		if got[id] != expect {
+			t.Errorf("dirty[%s] = %v, want %v (full set: %v)", id, got[id], expect, dirty)
+		}
+	}
+}
+
+// TestDirtyCommunityDelete: a community list named by a route map's
+// "set comm-list delete" is a semantic dependency too.
+func TestDirtyCommunityDelete(t *testing.T) {
+	base := `hostname r2
+ip community-list standard SCRUB permit 65000:999
+route-map OUT permit 10
+ set comm-list SCRUB delete
+`
+	edited := strings.Replace(base, "65000:999", "65000:998", 1)
+	oldCfg, _ := campion.Parse("r2.cfg", base)
+	newCfg, _ := campion.Parse("r2.cfg", edited)
+	oldR, newR := changedRange(splitLines([]byte(base)), splitLines([]byte(edited)))
+	dirty := dirtyComponents(oldCfg, newCfg, oldR, newR)
+	want := []string{"community-list SCRUB", "route-map OUT"}
+	if !reflect.DeepEqual(dirty, want) {
+		t.Fatalf("dirty = %v, want %v", dirty, want)
+	}
+}
+
+// TestDirtyInterfaceACL: editing an ACL dirties the interfaces that
+// apply it.
+func TestDirtyInterfaceACL(t *testing.T) {
+	base := `hostname r3
+ip access-list extended EDGE
+ 10 permit tcp any any eq 179
+ 20 deny ip any any
+interface GigabitEthernet0/0
+ ip address 10.0.0.1 255.255.255.0
+ ip access-group EDGE in
+interface GigabitEthernet0/1
+ ip address 10.0.1.1 255.255.255.0
+`
+	edited := strings.Replace(base, "eq 179", "eq 180", 1)
+	oldCfg, _ := campion.Parse("r3.cfg", base)
+	newCfg, _ := campion.Parse("r3.cfg", edited)
+	oldR, newR := changedRange(splitLines([]byte(base)), splitLines([]byte(edited)))
+	got := map[string]bool{}
+	for _, id := range dirtyComponents(oldCfg, newCfg, oldR, newR) {
+		got[id] = true
+	}
+	if !got["acl EDGE"] || !got["interface GigabitEthernet0/0"] {
+		t.Fatalf("dirty set missing the ACL or its interface: %v", got)
+	}
+	if got["interface GigabitEthernet0/1"] {
+		t.Fatalf("interface without the ACL marked dirty: %v", got)
+	}
+}
+
+// TestAllComponentsNonEmpty: the first snapshot's blast radius is the
+// whole configuration.
+func TestAllComponentsNonEmpty(t *testing.T) {
+	cfg, err := campion.Parse("r1.cfg", dirtyBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := allComponents(cfg)
+	if len(all) < 6 {
+		t.Fatalf("allComponents = %v, want at least the lists, maps, and BGP units", all)
+	}
+	if len(allComponents(nil)) != 0 {
+		t.Fatal("nil config should have no components")
+	}
+}

@@ -1,0 +1,199 @@
+package session
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/campion"
+	"repro/internal/obs"
+)
+
+// Server is the daemon's HTTP surface over a Session: snapshot ingest,
+// report and fleet queries, and (when Obs is set) the observability
+// endpoints, all on one mux. Construct it, then serve Handler().
+type Server struct {
+	Session *Session
+	// Obs, when non-nil, mounts /metrics, /runs, and /debug/pprof/ from
+	// the observability server onto the same mux.
+	Obs *obs.Server
+	// MaxBody bounds snapshot request bodies in bytes; 0 means the
+	// 8 MiB default (a router config is tens of kilobytes).
+	MaxBody int64
+}
+
+// Handler returns the daemon's route mux.
+//
+//	GET    /healthz             liveness probe
+//	POST   /snapshot/{device}   ingest a snapshot (body: raw config)
+//	PUT    /snapshot/{device}   alias for POST
+//	GET    /snapshot/{device}   current raw snapshot
+//	DELETE /snapshot/{device}   drop the device and re-audit
+//	GET    /fleet               audited fleet state (JSON)
+//	GET    /report/{a}/{b}      expanded pair report (JSON)
+//
+// See README.md's operations guide for the status codes each endpoint
+// returns; scripts/serve_smoke.sh exercises them against this handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("POST /snapshot/{device}", s.ingest)
+	mux.HandleFunc("PUT /snapshot/{device}", s.ingest)
+	mux.HandleFunc("GET /snapshot/{device}", s.getSnapshot)
+	mux.HandleFunc("DELETE /snapshot/{device}", s.remove)
+	mux.HandleFunc("GET /fleet", s.fleet)
+	mux.HandleFunc("GET /report/{a}/{b}", s.report)
+	if s.Obs != nil {
+		oh := s.Obs.Handler()
+		mux.Handle("GET /metrics", oh)
+		mux.Handle("GET /runs", oh)
+		mux.Handle("GET /debug/pprof/", oh)
+	}
+	mux.HandleFunc("GET /{$}", s.index)
+	return mux
+}
+
+// errStatus maps session sentinels onto HTTP status codes.
+func errStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrBadName):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrUnknownDevice):
+		return http.StatusNotFound
+	case errors.Is(err, ErrNoAudit):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) ingest(w http.ResponseWriter, r *http.Request) {
+	max := s.MaxBody
+	if max <= 0 {
+		max = 8 << 20
+	}
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, max))
+	if err != nil {
+		writeErr(w, http.StatusRequestEntityTooLarge, err)
+		return
+	}
+	if len(raw) == 0 {
+		writeErr(w, http.StatusBadRequest, errors.New("empty snapshot body"))
+		return
+	}
+	res, err := s.Session.Ingest(r.Context(), r.PathValue("device"), raw, "push", true)
+	if err != nil {
+		writeErr(w, errStatus(err), err)
+		return
+	}
+	// A snapshot that failed to parse is recorded (its pairs degrade to
+	// parse errors) but flagged: 422 tells the pusher the config itself
+	// is the problem, not the request.
+	if res.ParseError != "" {
+		writeJSON(w, http.StatusUnprocessableEntity, res)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) getSnapshot(w http.ResponseWriter, r *http.Request) {
+	raw, ok := s.Session.Snapshot(r.PathValue("device"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("%w: %q", ErrUnknownDevice, r.PathValue("device")))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write(raw)
+}
+
+func (s *Server) remove(w http.ResponseWriter, r *http.Request) {
+	res, err := s.Session.Remove(r.Context(), r.PathValue("device"), true)
+	if err != nil {
+		writeErr(w, errStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) fleet(w http.ResponseWriter, _ *http.Request) {
+	sum, err := s.Session.Fleet()
+	if err != nil {
+		writeErr(w, errStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, sum)
+}
+
+// pairPayload is the GET /report/{a}/{b} body: the pair name, either
+// the localized report or the pair's structured error, and the
+// difference count for quick triage.
+type pairPayload struct {
+	Name    string          `json:"name"`
+	Diffs   int             `json:"diffs"`
+	Report  json.RawMessage `json:"report,omitempty"`
+	Error   string          `json:"error,omitempty"`
+	ErrKind string          `json:"err_kind,omitempty"`
+}
+
+func (s *Server) report(w http.ResponseWriter, r *http.Request) {
+	a, b := r.PathValue("a"), r.PathValue("b")
+	res, err := s.Session.Report(a, b)
+	if err != nil {
+		writeErr(w, errStatus(err), err)
+		return
+	}
+	payload := pairPayload{Name: res.Name}
+	if res.Err != nil {
+		// The pair itself failed (a device that never parsed, a budget
+		// abort): that is state, not a bad request — 422 with the
+		// structured error.
+		payload.Error = res.Err.Error()
+		payload.ErrKind = campion.ErrKind(res.Err)
+		writeJSON(w, http.StatusUnprocessableEntity, payload)
+		return
+	}
+	payload.Diffs = res.Report.TotalDifferences()
+	body, jerr := campion.JSON(res.Report)
+	if jerr != nil {
+		writeErr(w, http.StatusInternalServerError, jerr)
+		return
+	}
+	payload.Report = body
+	writeJSON(w, http.StatusOK, payload)
+}
+
+func (s *Server) index(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	io.WriteString(w, `<html><head><title>campion daemon</title></head><body>
+<h1>campion daemon</h1>
+<ul>
+<li>POST /snapshot/{device} — push a configuration snapshot</li>
+<li>GET /snapshot/{device} — current raw snapshot</li>
+<li>DELETE /snapshot/{device} — drop a device</li>
+<li><a href="/fleet">/fleet</a> — audited fleet state (JSON)</li>
+<li>GET /report/{a}/{b} — expanded pair report (JSON)</li>
+<li><a href="/metrics">/metrics</a> — Prometheus exposition</li>
+<li><a href="/runs">/runs</a> — recent runs (JSON)</li>
+<li><a href="/debug/pprof/">/debug/pprof/</a> — Go runtime profiles</li>
+<li><a href="/healthz">/healthz</a> — liveness</li>
+</ul>
+</body></html>
+`)
+}

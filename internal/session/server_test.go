@@ -1,0 +1,181 @@
+package session
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *Session, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	sess := New(Options{Metrics: reg})
+	srv := &Server{
+		Session: sess,
+		Obs:     &obs.Server{Registry: reg, Runs: obs.NewRunLog(8)},
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, sess, reg
+}
+
+func do(t *testing.T, method, url string, body string) (*http.Response, []byte) {
+	t.Helper()
+	var req *http.Request
+	var err error
+	if body == "" {
+		req, err = http.NewRequest(method, url, nil)
+	} else {
+		req, err = http.NewRequest(method, url, strings.NewReader(body))
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := make([]byte, 1<<20)
+	n, _ := resp.Body.Read(buf)
+	for n < len(buf) {
+		m, err := resp.Body.Read(buf[n:])
+		n += m
+		if err != nil {
+			break
+		}
+	}
+	return resp, buf[:n]
+}
+
+// TestServerEndpoints walks the daemon's whole HTTP surface: push,
+// no-op push, reports in both orientations, fleet state, snapshot
+// round-trip, delete, and the documented error codes.
+func TestServerEndpoints(t *testing.T) {
+	ts, _, _ := newTestServer(t)
+	snaps := fleetSnapshots(4, 17)
+
+	// Before any snapshot: fleet and report are 503, snapshot 404.
+	if resp, _ := do(t, "GET", ts.URL+"/fleet", ""); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("empty GET /fleet = %d, want 503", resp.StatusCode)
+	}
+	if resp, _ := do(t, "GET", ts.URL+"/report/a/b", ""); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("empty GET /report = %d, want 503", resp.StatusCode)
+	}
+	if resp, _ := do(t, "GET", ts.URL+"/snapshot/a", ""); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET missing snapshot = %d, want 404", resp.StatusCode)
+	}
+	if resp, _ := do(t, "GET", ts.URL+"/healthz", ""); resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /healthz = %d, want 200", resp.StatusCode)
+	}
+
+	// Push every device; each returns the ingest result.
+	for name, raw := range snaps {
+		resp, body := do(t, "POST", ts.URL+"/snapshot/"+name, string(raw))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST /snapshot/%s = %d: %s", name, resp.StatusCode, body)
+		}
+		var res IngestResult
+		if err := json.Unmarshal(body, &res); err != nil {
+			t.Fatalf("ingest response: %v", err)
+		}
+		if res.Op != "ingest" || res.Audit == nil {
+			t.Fatalf("ingest response %+v", res)
+		}
+	}
+
+	// Empty body is a 400; an unparseable config is a 422 but recorded.
+	if resp, _ := do(t, "POST", ts.URL+"/snapshot/fleet-0000", ""); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty POST = %d, want 400", resp.StatusCode)
+	}
+	resp, body := do(t, "POST", ts.URL+"/snapshot/broken", "%% nonsense %%\n")
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("garbage POST = %d: %s", resp.StatusCode, body)
+	}
+	// The broken device's pairs are parse errors: 422 from /report.
+	if resp, _ = do(t, "GET", ts.URL+"/report/broken/fleet-0000", ""); resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("GET /report with failed device = %d, want 422", resp.StatusCode)
+	}
+	if resp, _ = do(t, "DELETE", ts.URL+"/snapshot/broken", ""); resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE = %d, want 200", resp.StatusCode)
+	}
+
+	// Identical re-push is a no-op.
+	resp, body = do(t, "POST", ts.URL+"/snapshot/fleet-0000", string(snaps["fleet-0000"]))
+	var res IngestResult
+	json.Unmarshal(body, &res)
+	if resp.StatusCode != http.StatusOK || res.Op != "noop" {
+		t.Fatalf("identical push: %d %+v", resp.StatusCode, res)
+	}
+
+	// Reports: both orientations name the same canonical pair.
+	_, ab := do(t, "GET", ts.URL+"/report/fleet-0000/fleet-0001", "")
+	_, ba := do(t, "GET", ts.URL+"/report/fleet-0001/fleet-0000", "")
+	var pab, pba pairPayload
+	json.Unmarshal(ab, &pab)
+	json.Unmarshal(ba, &pba)
+	if pab.Name == "" || pab.Name != pba.Name {
+		t.Fatalf("orientation: %q vs %q", pab.Name, pba.Name)
+	}
+	if resp, _ = do(t, "GET", ts.URL+"/report/fleet-0000/fleet-0000", ""); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("self pair = %d, want 400", resp.StatusCode)
+	}
+	if resp, _ = do(t, "GET", ts.URL+"/report/fleet-0000/ghost", ""); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown device = %d, want 404", resp.StatusCode)
+	}
+
+	// Fleet state: all four devices, classes non-empty.
+	_, body = do(t, "GET", ts.URL+"/fleet", "")
+	var sum FleetSummary
+	if err := json.Unmarshal(body, &sum); err != nil {
+		t.Fatalf("fleet JSON: %v", err)
+	}
+	if len(sum.Devices) != 4 || len(sum.Classes) == 0 {
+		t.Fatalf("fleet summary %+v", sum)
+	}
+
+	// Snapshot round-trip.
+	_, body = do(t, "GET", ts.URL+"/snapshot/fleet-0002", "")
+	if string(body) != string(snaps["fleet-0002"]) {
+		t.Fatal("snapshot round-trip mismatch")
+	}
+
+	// Observability endpoints ride the same mux, and the session
+	// instruments are visible.
+	resp, body = do(t, "GET", ts.URL+"/metrics", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", resp.StatusCode)
+	}
+	for _, metric := range []string{
+		"campion_session_snapshots_total",
+		"campion_session_devices",
+		"campion_session_rediff_ratio_percent",
+		"campion_session_rep_computed_total",
+	} {
+		if !strings.Contains(string(body), metric) {
+			t.Errorf("/metrics missing %s", metric)
+		}
+	}
+	if resp, _ = do(t, "GET", ts.URL+"/runs", ""); resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /runs = %d", resp.StatusCode)
+	}
+	if resp, _ = do(t, "GET", ts.URL+"/", ""); resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET / = %d", resp.StatusCode)
+	}
+}
+
+// TestServerBodyLimit: oversized snapshots are rejected with 413.
+func TestServerBodyLimit(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv := &Server{Session: New(Options{Metrics: reg}), MaxBody: 64}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, _ := do(t, "POST", ts.URL+"/snapshot/r1", strings.Repeat("x", 1024))
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized POST = %d, want 413", resp.StatusCode)
+	}
+}

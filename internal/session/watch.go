@@ -1,0 +1,99 @@
+package session
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// Watcher polls a directory of configuration files into a Session: one
+// device per regular file (named after the file, extension stripped —
+// the same convention as `campion -all DIR`). Each sweep ingests every
+// file whose bytes changed, removes devices whose files vanished, and
+// runs a single audit covering the whole sweep, so a config-management
+// push that rewrites ten files costs one re-audit, not ten.
+type Watcher struct {
+	Session  *Session
+	Dir      string
+	Interval time.Duration // default 2s
+	// OnSweep, when set, observes each sweep that changed something:
+	// the ingest results (including removes) and the audit stats.
+	OnSweep func([]IngestResult, AuditStats)
+}
+
+// Run seeds the session from the directory, then polls until ctx is
+// done. The first sweep's snapshots are journaled with kind "seed",
+// later ones with kind "watch". Unreadable files (and an unreadable
+// directory) are skipped for the sweep — transient editor states heal
+// on the next tick. Returns ctx.Err().
+func (w *Watcher) Run(ctx context.Context) error {
+	interval := w.Interval
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	w.Sweep(ctx, "seed")
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+			w.Sweep(ctx, "watch")
+		}
+	}
+}
+
+// Sweep scans the directory once: ingest changed files (audit deferred),
+// remove vanished devices, then audit once if anything moved. kind
+// labels the journal events. Returns what changed; both nil/zero when
+// the sweep found nothing new.
+func (w *Watcher) Sweep(ctx context.Context, kind string) ([]IngestResult, AuditStats) {
+	entries, err := os.ReadDir(w.Dir)
+	if err != nil {
+		return nil, AuditStats{}
+	}
+	seen := map[string]bool{}
+	var changed []IngestResult
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name := strings.TrimSuffix(e.Name(), filepath.Ext(e.Name()))
+		if checkName(name) != nil {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(w.Dir, e.Name()))
+		if err != nil {
+			continue
+		}
+		seen[name] = true
+		res, err := w.Session.Ingest(ctx, name, data, kind, false)
+		if err != nil {
+			continue
+		}
+		if res.Op == "ingest" {
+			changed = append(changed, res)
+		}
+	}
+	for _, name := range w.Session.Devices() {
+		if !seen[name] {
+			if res, err := w.Session.Remove(ctx, name, false); err == nil {
+				changed = append(changed, res)
+			}
+		}
+	}
+	if len(changed) == 0 {
+		return nil, AuditStats{}
+	}
+	st, err := w.Session.Audit(ctx)
+	if err != nil {
+		return changed, AuditStats{}
+	}
+	if w.OnSweep != nil {
+		w.OnSweep(changed, st)
+	}
+	return changed, st
+}

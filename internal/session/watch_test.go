@@ -1,0 +1,68 @@
+package session
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/testnets"
+)
+
+// TestWatcherSweep drives the directory poller by hand: seed sweep,
+// steady-state no-op sweep, an edit, and a removal — each sweep costing
+// at most one audit.
+func TestWatcherSweep(t *testing.T) {
+	dir := t.TempDir()
+	members := testnets.Fleet(testnets.FleetParams{Devices: 6, Templates: 3, MutationRate: 0.3, Seed: 29})
+	if err := testnets.WriteFleetDir(dir, members); err != nil {
+		t.Fatal(err)
+	}
+
+	s := New(Options{})
+	w := &Watcher{Session: s, Dir: dir}
+	ctx := context.Background()
+
+	changed, st := w.Sweep(ctx, "seed")
+	if len(changed) != 6 {
+		t.Fatalf("seed sweep ingested %d devices, want 6", len(changed))
+	}
+	if st.Devices != 6 {
+		t.Fatalf("seed audit over %d devices, want 6", st.Devices)
+	}
+	// Nothing changed: the sweep is free (no audit, AuditStats zero).
+	if changed, st = w.Sweep(ctx, "watch"); changed != nil || st.Devices != 0 {
+		t.Fatalf("idle sweep reported changes: %v %+v", changed, st)
+	}
+
+	// Edit one file: exactly one ingest, one audit.
+	name := members[1].Name
+	edited := members[1].Text + "ip route 10.88.0.0 255.255.255.0 10.0.0.254\n"
+	if err := os.WriteFile(filepath.Join(dir, name+".cfg"), []byte(edited), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	changed, st = w.Sweep(ctx, "watch")
+	if len(changed) != 1 || changed[0].Device != name || changed[0].Op != "ingest" {
+		t.Fatalf("edit sweep: %+v", changed)
+	}
+	if st.Devices != 6 || st.RepComputed == 0 {
+		t.Fatalf("edit sweep audit: %+v", st)
+	}
+
+	// Remove a file: the device leaves the session.
+	if err := os.Remove(filepath.Join(dir, members[2].Name+".cfg")); err != nil {
+		t.Fatal(err)
+	}
+	changed, st = w.Sweep(ctx, "watch")
+	if len(changed) != 1 || changed[0].Op != "remove" {
+		t.Fatalf("remove sweep: %+v", changed)
+	}
+	if st.Devices != 5 {
+		t.Fatalf("post-remove audit over %d devices, want 5", st.Devices)
+	}
+	for _, n := range s.Devices() {
+		if n == members[2].Name {
+			t.Fatal("removed device still present")
+		}
+	}
+}
