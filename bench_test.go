@@ -88,6 +88,24 @@ func BenchmarkFigure1RouteMapDiff(b *testing.B) {
 	}
 }
 
+// BenchmarkRepairFigure1 measures the full repair pipeline on the
+// paper's Figure 1 translation bug: initial diff, witness collection,
+// candidate generation, the two-depth search (~70 candidate re-diffs),
+// and oracle verification of the winner.
+func BenchmarkRepairFigure1(b *testing.B) {
+	c, j := mustFigure1(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := campion.Repair(context.Background(), c, j, campion.RepairOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Repaired() {
+			b.Fatal("Figure 1 pair not repaired")
+		}
+	}
+}
+
 // BenchmarkMinesweeperFirstCounterexample regenerates Table 3: the
 // monolithic baseline's single-counterexample query.
 func BenchmarkMinesweeperFirstCounterexample(b *testing.B) {

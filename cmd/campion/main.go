@@ -8,6 +8,7 @@
 //	campion [flags] DIR1 DIR2
 //	campion -all [flags] DIR
 //	campion serve [flags]
+//	campion repair [flags] CONFIG1 CONFIG2
 //	campion selfcheck [flags] CONFIG1 CONFIG2
 //	campion report [flags] RUN.jsonl
 //
@@ -18,6 +19,14 @@
 // unchanged, so steady-state cost is proportional to the edit), and the
 // audited state serves at GET /report/{a}/{b} and GET /fleet alongside
 // /metrics, /runs, and /debug/pprof. See README.md's operations guide.
+//
+// The repair subcommand goes one step past diagnosis: given a differing
+// pair, it searches clause- and list-level edits to CONFIG2 — seeded by
+// the localized diff regions — for a minimal edit sequence whose
+// re-diff is empty, accepts a repair only when the concrete oracle
+// agrees, and emits it as a text patch against CONFIG2's source (use
+// -apply to rewrite the file in place). Exit 0 means equivalent (with
+// or without a repair), 1 means differences remain unrepaired.
 //
 // The selfcheck subcommand does not compare the configurations for the
 // operator — it audits the diff engine itself, cross-checking the
@@ -138,6 +147,9 @@ func run() int {
 	if len(os.Args) > 1 && os.Args[1] == "serve" {
 		return serveCmd(os.Args[2:])
 	}
+	if len(os.Args) > 1 && os.Args[1] == "repair" {
+		return repairCmd(os.Args[2:])
+	}
 	components := flag.String("components", "", "comma-separated component list (default: all)")
 	format := flag.String("format", "text", "output format: text, json, or summary")
 	vendor1 := flag.String("vendor1", "auto", "dialect of CONFIG1: auto, cisco, juniper, arista")
@@ -177,6 +189,7 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "       campion -all [flags] DIR\n")
 		fmt.Fprintf(os.Stderr, "       campion -serve ADDR\n")
 		fmt.Fprintf(os.Stderr, "       campion serve [-watch DIR] [flags]\n")
+		fmt.Fprintf(os.Stderr, "       campion repair [flags] CONFIG1 CONFIG2\n")
 		fmt.Fprintf(os.Stderr, "       campion selfcheck [flags] CONFIG1 CONFIG2\n")
 		fmt.Fprintf(os.Stderr, "       campion report [flags] RUN.jsonl\n")
 		flag.PrintDefaults()

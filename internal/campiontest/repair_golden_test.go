@@ -1,0 +1,158 @@
+package campiontest_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/campiontest"
+	"repro/internal/cisco"
+	"repro/internal/ir"
+	"repro/internal/juniper"
+	"repro/internal/policygen"
+	"repro/internal/repair"
+)
+
+// repairGoldenCase pins one checked-in repair scenario. The generated
+// cases are reproducible from (seed, clauses, communities, mutIdx):
+// policygen builds an equivalent cross-vendor pair and Mutations[mutIdx]
+// is rendered into the Juniper text as the injected fault, so -update
+// can regenerate a.cfg and b.cfg along with expected.patch.
+type repairGoldenCase struct {
+	name      string
+	seed      uint64
+	clauses   int
+	comms     int
+	mutIdx    int
+	handCased bool // fig1: a.cfg/b.cfg come from fixtures, not policygen
+}
+
+var repairGoldenCases = []repairGoldenCase{
+	{name: "fig1", handCased: true},
+	{name: "gen-flip-clause", seed: 1, clauses: 3, comms: 2, mutIdx: 0},
+	{name: "gen-set-localpref", seed: 1, clauses: 3, comms: 2, mutIdx: 5},
+	{name: "gen-range-bound", seed: 1, clauses: 3, comms: 2, mutIdx: 7},
+	{name: "gen-drop-clause", seed: 1, clauses: 3, comms: 2, mutIdx: 14},
+	{name: "gen-extra-community", seed: 2, clauses: 4, comms: 3, mutIdx: 17},
+}
+
+func repairGoldenOptions(c repairGoldenCase) repair.Options {
+	return repair.Options{Timeout: time.Minute, Samples: 16, Seed: int64(c.seed)}
+}
+
+// repairCaseTexts produces the case's config texts: either the Figure 1
+// fixtures or a generated pair with the indexed mutation rendered into
+// the Juniper side.
+func repairCaseTexts(t *testing.T, c repairGoldenCase) (atext, btext string) {
+	t.Helper()
+	if c.handCased {
+		return campiontest.Figure1Cisco, campiontest.Figure1Juniper
+	}
+	p := policygen.Generate(policygen.Params{Seed: c.seed, Clauses: c.clauses, Communities: c.comms})
+	b, err := juniper.Parse("b.cfg", p.JuniperText)
+	if err != nil {
+		t.Fatalf("parse generated juniper: %v", err)
+	}
+	muts := repair.Mutations(b, p.PolicyName)
+	if c.mutIdx >= len(muts) {
+		t.Fatalf("case %s: mutIdx %d out of range (%d mutations)", c.name, c.mutIdx, len(muts))
+	}
+	mtext, err := repair.ApplyEditsToText(b, p.JuniperText, muts[c.mutIdx].Edit)
+	if err != nil {
+		t.Fatalf("case %s: render mutation %s: %v", c.name, muts[c.mutIdx].Kind, err)
+	}
+	return p.CiscoText, mtext
+}
+
+// TestRepairGoldenCorpus runs the repair search over every checked-in
+// buggy pair and compares the rendered patch byte-for-byte against
+// expected.patch (refresh with -update, which also regenerates the
+// config pair from its recipe). Each accepted patch is then selfchecked:
+// the patched text must re-parse and verify equivalent to config A under
+// both the symbolic engine and the concrete oracle.
+func TestRepairGoldenCorpus(t *testing.T) {
+	for _, c := range repairGoldenCases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			dir := filepath.Join("golden", "repair", c.name)
+			if *update {
+				atext, btext := repairCaseTexts(t, c)
+				if err := os.MkdirAll(dir, 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(filepath.Join(dir, "a.cfg"), []byte(atext), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(filepath.Join(dir, "b.cfg"), []byte(btext), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			araw, err := os.ReadFile(filepath.Join(dir, "a.cfg"))
+			if err != nil {
+				t.Fatalf("%v (run `go test ./internal/campiontest/ -update` to create)", err)
+			}
+			braw, err := os.ReadFile(filepath.Join(dir, "b.cfg"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, err := cisco.Parse("a.cfg", string(araw))
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := juniper.Parse("b.cfg", string(braw))
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			res, err := repair.Run(context.Background(), a, b, repairGoldenOptions(c))
+			if err != nil {
+				t.Fatalf("repair.Run: %v", err)
+			}
+			if res.TotalDiffs() == 0 {
+				t.Fatal("golden pair reports no diffs; corpus is stale")
+			}
+			if !res.Repaired() {
+				t.Fatalf("golden pair not repaired: %s", describePairs(res))
+			}
+			patch, err := res.Patch(string(braw))
+			if err != nil {
+				t.Fatalf("render patch: %v", err)
+			}
+
+			goldenPath := filepath.Join(dir, "expected.patch")
+			if *update {
+				if err := os.WriteFile(goldenPath, []byte(patch.Text), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				want, err := os.ReadFile(goldenPath)
+				if err != nil {
+					t.Fatalf("%v (run `go test ./internal/campiontest/ -update` to create)", err)
+				}
+				if !bytes.Equal([]byte(patch.Text), want) {
+					t.Errorf("patch changed; rerun with -update if intended\n--- got ---\n%s\n--- want ---\n%s",
+						patch.Text, want)
+				}
+			}
+
+			// Selfcheck: the patched TEXT re-parses and verifies
+			// equivalent to A symbolically and concretely.
+			if _, err := repair.ReparseVerify(a, ir.VendorJuniper, "patched.cfg", patch.Patched,
+				repair.Options{Samples: 24, Seed: int64(c.seed) + 1}); err != nil {
+				t.Errorf("patched text fails verification: %v", err)
+			}
+		})
+	}
+}
+
+func describePairs(res *repair.Result) string {
+	out := ""
+	for _, p := range res.Pairs {
+		out += fmt.Sprintf("[pair %s kind=%s diffs=%d err=%v] ", p.Pair, p.Kind(), p.InitialDiffs, p.Err)
+	}
+	return out
+}

@@ -1,0 +1,83 @@
+package difftest
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/cisco"
+	"repro/internal/juniper"
+	"repro/internal/policygen"
+	"repro/internal/repair"
+)
+
+// FuzzRepair drives the repair search from raw fuzz input, mirroring
+// FuzzRouteMapDifferential: the first 11 bytes parameterize an
+// equivalent-by-construction cross-vendor pair, byte 11 selects a
+// BGPFuzz-style mutation to inject into the Juniper side. Every repair
+// the engine accepts is re-checked against the concrete oracle on an
+// independent sample set — an accepted repair the oracle refutes means
+// the symbolic re-diff and the interpreter disagree, and crashes the
+// target.
+func FuzzRepair(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 1, 3, 2, 0, 0})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 42, 2, 1, 0, 5})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 4, 3, 0, 11})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		params := policygen.ParamsFromBytes(data)
+		params.Differences = 0 // start equivalent; the mutation is the only fault
+		mutSeed := uint64(0)
+		if len(data) > 11 {
+			mutSeed = uint64(data[11])
+		}
+		pair := policygen.Generate(params)
+		c, err := cisco.Parse("c.cfg", pair.CiscoText)
+		if err != nil {
+			t.Skip()
+		}
+		j, err := juniper.Parse("j.cfg", pair.JuniperText)
+		if err != nil {
+			t.Skip()
+		}
+		if c.RouteMaps[pair.PolicyName] == nil || j.RouteMaps[pair.PolicyName] == nil {
+			t.Skip()
+		}
+		mut := repair.PickMutation(j, pair.PolicyName, mutSeed)
+		if mut == nil {
+			t.Skip()
+		}
+		jm := j.ClonePolicy()
+		if err := mut.Edit.Apply(jm); err != nil {
+			t.Fatalf("params %+v: mutation %s failed to apply: %v", params, mut.Kind, err)
+		}
+
+		res, err := repair.Run(context.Background(), c, jm, repair.Options{
+			Timeout: 20 * time.Second, Samples: 8, Seed: int64(params.Seed),
+		})
+		if err != nil {
+			t.Fatalf("params %+v: Run: %v", params, err)
+		}
+		for _, pr := range res.Pairs {
+			if pr.Err != nil {
+				t.Errorf("params %+v mut %s: pair %s degraded: %v", params, mut.Kind, pr.Pair, pr.Err)
+				continue
+			}
+			if pr.Repair != nil && !pr.Repair.Verified {
+				t.Errorf("params %+v mut %s: accepted repair not marked verified: %s",
+					params, mut.Kind, pr.Repair.Describe())
+			}
+		}
+		if res.PatchedB == nil {
+			return
+		}
+		// Engine-accepts / oracle-rejects is the crash condition: the
+		// patched config must agree with A under the concrete interpreter
+		// on fresh samples, not just the ones the search itself stored.
+		if err := repair.VerifyEquivalent(c, res.PatchedB, repair.Options{
+			Samples: 16, Seed: int64(params.Seed) + 1,
+		}); err != nil {
+			t.Errorf("params %+v mut %s: engine accepted repair, oracle rejects: %v",
+				params, mut.Kind, err)
+		}
+	})
+}

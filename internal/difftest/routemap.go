@@ -63,13 +63,11 @@ func SelfCheckRouteMap(cfg *ir.Config, rm *ir.RouteMap, pair string, opts Option
 }
 
 // routeDisagree reports whether two oracle decisions constitute a
-// concrete behavioral disagreement: differing actions, or both permits
-// with different output routes.
+// concrete behavioral disagreement; the definition lives on
+// oracle.RouteDecision so the repair verifier applies the identical
+// predicate.
 func routeDisagree(d1, d2 oracle.RouteDecision) bool {
-	if d1.Action != d2.Action {
-		return true
-	}
-	return d1.Action == ir.Permit && !d1.Route.Equal(d2.Route)
+	return d1.Disagrees(d2)
 }
 
 // evalBothWays evaluates the route on one side with both concrete

@@ -1,0 +1,93 @@
+package ir
+
+// ClonePolicy deep-copies the routing-policy surface of a configuration —
+// route maps, prefix lists, community lists, and as-path lists — so that
+// clause- and entry-level edits can be applied without aliasing the
+// original. Everything else (interfaces, static routes, ACLs, BGP, OSPF,
+// admin distances) is shared by reference: the repair search never
+// mutates those components, and sharing keeps a candidate clone cheap
+// enough to take per candidate.
+func (c *Config) ClonePolicy() *Config {
+	out := *c
+	out.PrefixLists = make(map[string]*PrefixList, len(c.PrefixLists))
+	for n, pl := range c.PrefixLists {
+		out.PrefixLists[n] = pl.Clone()
+	}
+	out.CommunityLists = make(map[string]*CommunityList, len(c.CommunityLists))
+	for n, cl := range c.CommunityLists {
+		out.CommunityLists[n] = cl.Clone()
+	}
+	out.ASPathLists = make(map[string]*ASPathList, len(c.ASPathLists))
+	for n, al := range c.ASPathLists {
+		out.ASPathLists[n] = al.Clone()
+	}
+	out.RouteMaps = make(map[string]*RouteMap, len(c.RouteMaps))
+	for n, rm := range c.RouteMaps {
+		out.RouteMaps[n] = rm.Clone()
+	}
+	return &out
+}
+
+// Clone deep-copies the prefix list. Entry ranges are values; spans share
+// their line slices (spans are never edited in place).
+func (l *PrefixList) Clone() *PrefixList {
+	if l == nil {
+		return nil
+	}
+	out := *l
+	out.Entries = append([]PrefixListEntry(nil), l.Entries...)
+	return &out
+}
+
+// Clone deep-copies the community list including each entry's conjunct
+// slice.
+func (l *CommunityList) Clone() *CommunityList {
+	if l == nil {
+		return nil
+	}
+	out := *l
+	out.Entries = make([]CommunityListEntry, len(l.Entries))
+	for i, e := range l.Entries {
+		e.Conjuncts = append([]CommunityMatcher(nil), e.Conjuncts...)
+		out.Entries[i] = e
+	}
+	return &out
+}
+
+// Clone deep-copies the as-path list.
+func (l *ASPathList) Clone() *ASPathList {
+	if l == nil {
+		return nil
+	}
+	out := *l
+	out.Entries = append([]ASPathListEntry(nil), l.Entries...)
+	return &out
+}
+
+// Clone deep-copies the route map down to per-clause match and set
+// slices. The Match and SetAction elements themselves are shared: edits
+// replace whole elements rather than mutating their interiors, so
+// element sharing is safe and keeps clones allocation-light.
+func (rm *RouteMap) Clone() *RouteMap {
+	if rm == nil {
+		return nil
+	}
+	out := *rm
+	out.Clauses = make([]*RouteMapClause, len(rm.Clauses))
+	for i, cl := range rm.Clauses {
+		out.Clauses[i] = cl.Clone()
+	}
+	return &out
+}
+
+// Clone deep-copies one clause (fresh Matches/Sets slices, shared
+// elements).
+func (cl *RouteMapClause) Clone() *RouteMapClause {
+	if cl == nil {
+		return nil
+	}
+	out := *cl
+	out.Matches = append([]Match(nil), cl.Matches...)
+	out.Sets = append([]SetAction(nil), cl.Sets...)
+	return &out
+}

@@ -101,6 +101,7 @@ const (
 	EvCheck      = "metrics_check" // end-of-run consistency check, Detail per-counter verdicts
 	EvSnapshot   = "snapshot"      // Device, Op ingest|remove|noop, Kind push|watch|seed, N dirty components, Detail changed-line range
 	EvAudit      = "audit"         // incremental re-audit: Dur, N rep pairs computed, Total rep pairs needed
+	EvRepair     = "repair"        // repair search: Pair, Kind clean|repaired|partial|failed, Dur, Diffs initial regions, N candidates tried, Detail edits/size/depth/oracle rejections
 )
 
 // NewJournal starts a journal writing JSONL to w. A nil w is valid: the

@@ -55,6 +55,18 @@ type RouteDecision struct {
 // Permits reports whether the decision admits the route.
 func (d RouteDecision) Permits() bool { return d.Action == ir.Permit }
 
+// Disagrees reports whether two decisions on the same input constitute a
+// behavioral difference: opposite dispositions, or both permitting with
+// unequal transformed routes. This is the single definition of
+// "concrete disagreement" shared by the differential harness and the
+// repair verifier.
+func (d RouteDecision) Disagrees(o RouteDecision) bool {
+	if d.Action != o.Action {
+		return true
+	}
+	return d.Action == ir.Permit && !d.Route.Equal(o.Route)
+}
+
 // String renders the trace for humans: one line per visited clause and a
 // final verdict line. This is the format EXPERIMENTS.md documents for
 // reading oracle/symbolic disagreements.

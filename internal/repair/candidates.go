@@ -1,0 +1,547 @@
+package repair
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ddnf"
+	"repro/internal/headerloc"
+	"repro/internal/ir"
+	"repro/internal/netaddr"
+	"repro/internal/semdiff"
+)
+
+// clauseLoc addresses a clause inside a config's named route maps.
+// ResolveChain shares clause pointers with the owning named maps, so a
+// diff region's Terminal pointer maps back to an editable address by
+// pointer identity.
+type clauseLoc struct {
+	mapName string
+	idx     int
+}
+
+func locateClauses(cfg *ir.Config) map[*ir.RouteMapClause]clauseLoc {
+	out := map[*ir.RouteMapClause]clauseLoc{}
+	for name, rm := range cfg.RouteMaps {
+		for i, cl := range rm.Clauses {
+			out[cl] = clauseLoc{mapName: name, idx: i}
+		}
+	}
+	return out
+}
+
+// genContext is everything candidate generation sees. Config B is the
+// side being edited; config A supplies donor clauses, donor lists, and
+// the range vocabulary the retarget candidates draw from.
+type genContext struct {
+	cfg1, cfg2 *ir.Config
+	rm1, rm2   *ir.RouteMap
+	names2     []string
+	loc        map[*ir.RouteMapClause]clauseLoc
+	vocab1     []netaddr.PrefixRange
+	terms      [][]ddnf.FlatTerm // localized prefix terms, one slice per diff
+}
+
+func newGenContext(cfg1, cfg2 *ir.Config, rm1, rm2 *ir.RouteMap, names2 []string, terms [][]ddnf.FlatTerm) genContext {
+	vocab := headerloc.ConfigPrefixRanges(cfg1)
+	sort.Slice(vocab, func(i, j int) bool { return vocab[i].String() < vocab[j].String() })
+	uniq := vocab[:0]
+	for i, r := range vocab {
+		if i == 0 || vocab[i-1] != r {
+			uniq = append(uniq, r)
+		}
+	}
+	return genContext{
+		cfg1: cfg1, cfg2: cfg2, rm1: rm1, rm2: rm2,
+		names2: names2,
+		loc:    locateClauses(cfg2),
+		vocab1: uniq,
+		terms:  terms,
+	}
+}
+
+// generate produces the seeded candidate-edit pool for the pair's diff
+// regions: every candidate is targeted at a clause, default action, or
+// list that some region's equivalence classes actually touch. The result
+// is deduplicated by description and sorted by (size, renderability,
+// description) so the search's first zero-residual hit is the minimal
+// repair under a deterministic order.
+func generate(gc genContext, diffs []semdiff.RouteMapDiff) []Edit {
+	var edits []Edit
+	for di, d := range diffs {
+		t1 := d.Path1.Terminal
+		t2 := d.Path2.Terminal
+		var localTerms []ddnf.FlatTerm
+		if di < len(gc.terms) {
+			localTerms = gc.terms[di]
+		}
+
+		if t2 != nil {
+			if at, ok := gc.loc[t2]; ok {
+				edits = append(edits, gc.clauseEdits(at, t2, t1, localTerms)...)
+			}
+		} else {
+			edits = append(edits, gc.defaultEdits()...)
+		}
+		if t1 != nil {
+			edits = append(edits, gc.insertEdits(t1, t2)...)
+		}
+		edits = append(edits, gc.listEdits(t1, t2, localTerms)...)
+		edits = append(edits, gc.relatedClauseEdits(t1, t2, localTerms)...)
+	}
+	return dedupSort(gc, edits)
+}
+
+// clauseEdits targets the B-side clause that decided a diff region.
+func (gc genContext) clauseEdits(at clauseLoc, t2, t1 *ir.RouteMapClause, terms []ddnf.FlatTerm) []Edit {
+	label := clauseLabel(t2)
+	var out []Edit
+	if t2.Action != ir.ClauseFallthrough {
+		out = append(out, FlipClause{Map: at.mapName, Idx: at.idx, Label: label})
+	}
+	out = append(out, DropClause{Map: at.mapName, Idx: at.idx, Label: label})
+
+	rm2 := gc.cfg2.RouteMaps[at.mapName]
+	if rm2 != nil && len(rm2.Clauses) > 1 {
+		if at.idx != 0 {
+			out = append(out, MoveClause{Map: at.mapName, From: at.idx, To: 0, Label: label})
+		}
+		if last := len(rm2.Clauses) - 1; at.idx != last {
+			out = append(out, MoveClause{Map: at.mapName, From: at.idx, To: last, Label: label})
+		}
+	}
+
+	if t1 != nil {
+		if !setsEqual(t1.Sets, t2.Sets) {
+			out = append(out, ReplaceSets{Map: at.mapName, Idx: at.idx,
+				Sets: t1.Sets, Label: label})
+		}
+		if !matchesEqual(t1.Matches, t2.Matches) {
+			out = append(out, ReplaceMatches{Map: at.mapName, Idx: at.idx,
+				Matches: t1.Matches, Needs: gc.bundleFor(t1.Matches), Label: label})
+		}
+	}
+
+	out = append(out, gc.surgeryEdits(at, t2, terms)...)
+	return out
+}
+
+// surgeryEdits rewrites a B clause's own match conditions in place:
+// every rewritten match list keeps B's vocabulary, so the edits render
+// in B's dialect without donor definitions.
+func (gc genContext) surgeryEdits(at clauseLoc, cl *ir.RouteMapClause, terms []ddnf.FlatTerm) []Edit {
+	label := clauseLabel(cl)
+	var out []Edit
+	for mi, m := range cl.Matches {
+		switch m := m.(type) {
+		case ir.MatchPrefixList:
+			if len(m.Lists) == 1 {
+				out = append(out, ReplaceMatches{Map: at.mapName, Idx: at.idx,
+					Matches: swapMatch(cl.Matches, mi, ir.MatchPrefixListFilter{List: m.Lists[0], Modifier: "orlonger"}),
+					Label:   label})
+			}
+			out = append(out, gc.dropAlternatives(at, cl, mi, m.Lists, func(ls []string) ir.Match {
+				return ir.MatchPrefixList{Lists: ls}
+			})...)
+		case ir.MatchPrefixListFilter:
+			for _, mod := range []string{"exact", "orlonger", "longer"} {
+				if mod != m.Modifier {
+					out = append(out, ReplaceMatches{Map: at.mapName, Idx: at.idx,
+						Matches: swapMatch(cl.Matches, mi, ir.MatchPrefixListFilter{List: m.List, Modifier: mod}),
+						Label:   label})
+				}
+			}
+		case ir.MatchCommunity:
+			out = append(out, gc.dropAlternatives(at, cl, mi, m.Lists, func(ls []string) ir.Match {
+				return ir.MatchCommunity{Lists: ls}
+			})...)
+		case ir.MatchASPath:
+			out = append(out, gc.dropAlternatives(at, cl, mi, m.Lists, func(ls []string) ir.Match {
+				return ir.MatchASPath{Lists: ls}
+			})...)
+		case ir.MatchPrefixRanges:
+			out = append(out, gc.rangeEdits(at, cl, mi, m, terms)...)
+		}
+	}
+	return out
+}
+
+// relatedClauseEdits extends match surgery to B clauses that are NOT a
+// region's terminal but reference the same named lists the region's
+// deciding clauses do. A translation bug often lives in the clause that
+// FAILED to capture a route (Figure 1's rule1 matching NETS exactly
+// instead of orlonger), and that clause never appears as a terminal of
+// the mis-routed region.
+func (gc genContext) relatedClauseEdits(t1, t2 *ir.RouteMapClause, terms []ddnf.FlatTerm) []Edit {
+	pn, cn, an := refNames(t1, t2)
+	if len(pn) == 0 && len(cn) == 0 && len(an) == 0 {
+		return nil
+	}
+	related := map[string]bool{}
+	for _, n := range pn {
+		related["p/"+n] = true
+	}
+	for _, n := range cn {
+		related["c/"+n] = true
+	}
+	for _, n := range an {
+		related["a/"+n] = true
+	}
+	var out []Edit
+	for _, name := range gc.names2 {
+		rm := gc.cfg2.RouteMaps[name]
+		if rm == nil {
+			continue
+		}
+		for i, cl := range rm.Clauses {
+			if cl == t2 {
+				continue
+			}
+			cp, cc, ca := refNames(cl)
+			hit := false
+			for _, n := range cp {
+				hit = hit || related["p/"+n]
+			}
+			for _, n := range cc {
+				hit = hit || related["c/"+n]
+			}
+			for _, n := range ca {
+				hit = hit || related["a/"+n]
+			}
+			if !hit {
+				continue
+			}
+			out = append(out, gc.surgeryEdits(clauseLoc{mapName: name, idx: i}, cl, terms)...)
+		}
+	}
+	return out
+}
+
+// dropAlternatives removes one named-list alternative at a time — the
+// inverse of the "extra alternative" mutation.
+func (gc genContext) dropAlternatives(at clauseLoc, t2 *ir.RouteMapClause, mi int, lists []string, rebuild func([]string) ir.Match) []Edit {
+	if len(lists) < 2 {
+		return nil
+	}
+	var out []Edit
+	for k := range lists {
+		rest := append(append([]string(nil), lists[:k]...), lists[k+1:]...)
+		out = append(out, ReplaceMatches{Map: at.mapName, Idx: at.idx,
+			Matches: swapMatch(t2.Matches, mi, rebuild(rest)), Label: clauseLabel(t2)})
+	}
+	return out
+}
+
+// rangeEdits rewrites one inline route-filter range at a time: retarget
+// to a same-prefix range from A's vocabulary, or widen to cover a
+// localized diff term.
+func (gc genContext) rangeEdits(at clauseLoc, t2 *ir.RouteMapClause, mi int, m ir.MatchPrefixRanges, terms []ddnf.FlatTerm) []Edit {
+	var out []Edit
+	label := clauseLabel(t2)
+	emit := func(ri int, nr netaddr.PrefixRange) {
+		if nr == m.Ranges[ri] || nr.Lo > nr.Hi {
+			return
+		}
+		ranges := append([]netaddr.PrefixRange(nil), m.Ranges...)
+		ranges[ri] = nr
+		out = append(out, ReplaceMatches{Map: at.mapName, Idx: at.idx,
+			Matches: swapMatch(t2.Matches, mi, ir.MatchPrefixRanges{Ranges: ranges}), Label: label})
+	}
+	for ri, rg := range m.Ranges {
+		for _, r1 := range gc.vocab1 {
+			if r1.Prefix == rg.Prefix {
+				emit(ri, r1)
+			}
+		}
+		for _, t := range terms {
+			if t.Include.Prefix == rg.Prefix {
+				emit(ri, widenRange(rg, t.Include))
+			}
+		}
+	}
+	return out
+}
+
+// defaultEdits flips the default action of the chain's deciding map.
+func (gc genContext) defaultEdits() []Edit {
+	for i := len(gc.names2) - 1; i >= 0; i-- {
+		name := gc.names2[i]
+		if rm := gc.cfg2.RouteMaps[name]; rm != nil {
+			flip := ir.Permit
+			if rm.DefaultAction == ir.Permit {
+				flip = ir.Deny
+			}
+			return []Edit{SetDefault{Map: name, Action: flip}}
+		}
+	}
+	return nil
+}
+
+// insertEdits copies A's deciding clause into B — before the B clause
+// that wrongly captured the region, at the front, and at the end.
+func (gc genContext) insertEdits(t1, t2 *ir.RouteMapClause) []Edit {
+	target, idx2 := gc.insertTarget(t2)
+	if target == "" {
+		return nil
+	}
+	rm := gc.cfg2.RouteMaps[target]
+	origin := fmt.Sprintf("A clause %s", clauseLabel(t1))
+	needs := gc.bundleFor(t1.Matches)
+	positions := []int{0, len(rm.Clauses)}
+	if idx2 >= 0 {
+		positions = append(positions, idx2)
+	}
+	var out []Edit
+	for _, at := range positions {
+		out = append(out, InsertClause{Map: target, At: at, Clause: t1, Needs: needs, Origin: origin})
+	}
+	return out
+}
+
+// insertTarget picks the map to insert into: the one owning B's deciding
+// clause, else the chain's last defined map.
+func (gc genContext) insertTarget(t2 *ir.RouteMapClause) (string, int) {
+	if t2 != nil {
+		if at, ok := gc.loc[t2]; ok {
+			return at.mapName, at.idx
+		}
+	}
+	for i := len(gc.names2) - 1; i >= 0; i-- {
+		if gc.cfg2.RouteMaps[gc.names2[i]] != nil {
+			return gc.names2[i], -1
+		}
+	}
+	return "", -1
+}
+
+// listEdits edits the named lists the region's deciding clauses
+// reference: copy A's same-name list wholesale, rewrite individual
+// entries toward A's entries or vocabulary, and widen entries to cover
+// localized diff terms.
+func (gc genContext) listEdits(t1, t2 *ir.RouteMapClause, terms []ddnf.FlatTerm) []Edit {
+	var out []Edit
+	pnames, cnames, anames := refNames(t1, t2)
+
+	for _, n := range pnames {
+		pl1, pl2 := gc.cfg1.PrefixLists[n], gc.cfg2.PrefixLists[n]
+		var e1, e2 []ir.PrefixListEntry
+		if pl1 != nil {
+			e1 = pl1.Entries
+		}
+		if pl2 != nil {
+			e2 = pl2.Entries
+		}
+		if pl1 != nil && prefixEntryDistance(e1, e2) > 0 {
+			out = append(out, ReplacePrefixList{List: n, Entries: e1,
+				EditSz: prefixEntryDistance(e1, e2)})
+		}
+		if pl1 != nil && pl2 != nil && len(e1) == len(e2) {
+			for i := range e2 {
+				if e1[i].Action != e2[i].Action || e1[i].Range != e2[i].Range {
+					out = append(out, ReplacePrefixEntry{List: n, Idx: i, Entry: e1[i]})
+				}
+			}
+		}
+		for i, e := range e2 {
+			for _, r1 := range gc.vocab1 {
+				if r1.Prefix == e.Range.Prefix && r1 != e.Range {
+					out = append(out, ReplacePrefixEntry{List: n, Idx: i,
+						Entry: ir.PrefixListEntry{Seq: e.Seq, Action: e.Action, Range: r1}})
+				}
+			}
+			for _, t := range terms {
+				if t.Include.Prefix == e.Range.Prefix {
+					if w := widenRange(e.Range, t.Include); w != e.Range {
+						out = append(out, ReplacePrefixEntry{List: n, Idx: i,
+							Entry: ir.PrefixListEntry{Seq: e.Seq, Action: e.Action, Range: w}})
+					}
+				}
+			}
+		}
+	}
+
+	for _, n := range cnames {
+		cl1, cl2 := gc.cfg1.CommunityLists[n], gc.cfg2.CommunityLists[n]
+		var e1, e2 []ir.CommunityListEntry
+		if cl1 != nil {
+			e1 = cl1.Entries
+		}
+		if cl2 != nil {
+			e2 = cl2.Entries
+		}
+		if cl1 != nil && communityEntryDistance(e1, e2) > 0 {
+			out = append(out, ReplaceCommunityList{List: n, Entries: e1,
+				EditSz: communityEntryDistance(e1, e2)})
+		}
+		// Split an AND entry into OR alternatives — the classic
+		// members-conjunction translation bug (Figure 1's rule2).
+		if cl2 != nil {
+			for _, e := range e2 {
+				if len(e.Conjuncts) > 1 {
+					split := make([]ir.CommunityListEntry, 0, len(e2)+len(e.Conjuncts)-1)
+					for _, o := range e2 {
+						if len(o.Conjuncts) > 1 {
+							for _, m := range o.Conjuncts {
+								split = append(split, ir.CommunityListEntry{
+									Action: o.Action, Conjuncts: []ir.CommunityMatcher{m}})
+							}
+						} else {
+							split = append(split, o)
+						}
+					}
+					out = append(out, ReplaceCommunityList{List: n, Entries: split,
+						EditSz: communityEntryDistance(split, e2)})
+					break
+				}
+			}
+		}
+	}
+
+	for _, n := range anames {
+		al1, al2 := gc.cfg1.ASPathLists[n], gc.cfg2.ASPathLists[n]
+		var e1, e2 []ir.ASPathListEntry
+		if al1 != nil {
+			e1 = al1.Entries
+		}
+		if al2 != nil {
+			e2 = al2.Entries
+		}
+		if al1 != nil && asPathEntryDistance(e1, e2) > 0 {
+			out = append(out, ReplaceASPathList{List: n, Entries: e1,
+				EditSz: asPathEntryDistance(e1, e2)})
+		}
+	}
+	return out
+}
+
+// refNames collects the prefix-, community-, and as-path-list names two
+// clauses reference, sorted.
+func refNames(clauses ...*ir.RouteMapClause) (pnames, cnames, anames []string) {
+	p, c, a := map[string]bool{}, map[string]bool{}, map[string]bool{}
+	for _, cl := range clauses {
+		if cl == nil {
+			continue
+		}
+		for _, m := range cl.Matches {
+			switch m := m.(type) {
+			case ir.MatchPrefixList:
+				for _, n := range m.Lists {
+					p[n] = true
+				}
+			case ir.MatchPrefixListFilter:
+				p[m.List] = true
+			case ir.MatchCommunity:
+				for _, n := range m.Lists {
+					c[n] = true
+				}
+			case ir.MatchASPath:
+				for _, n := range m.Lists {
+					a[n] = true
+				}
+			}
+		}
+	}
+	return sortedKeys(p), sortedKeys(c), sortedKeys(a)
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// bundleFor collects A's definitions of every list a donor clause's
+// matches reference, so applying the clause to B carries its vocabulary.
+func (gc genContext) bundleFor(matches []ir.Match) ListBundle {
+	var b ListBundle
+	pn, cn, an := refNames(&ir.RouteMapClause{Matches: matches})
+	for _, n := range pn {
+		if pl := gc.cfg1.PrefixLists[n]; pl != nil {
+			b.Prefix = append(b.Prefix, pl)
+		}
+	}
+	for _, n := range cn {
+		if cl := gc.cfg1.CommunityLists[n]; cl != nil {
+			b.Community = append(b.Community, cl)
+		}
+	}
+	for _, n := range an {
+		if al := gc.cfg1.ASPathLists[n]; al != nil {
+			b.ASPath = append(b.ASPath, al)
+		}
+	}
+	return b
+}
+
+func swapMatch(ms []ir.Match, i int, m ir.Match) []ir.Match {
+	out := append([]ir.Match(nil), ms...)
+	out[i] = m
+	return out
+}
+
+func setsEqual(a, b []ir.SetAction) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			return false
+		}
+	}
+	return true
+}
+
+func matchesEqual(a, b []ir.Match) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			return false
+		}
+	}
+	return true
+}
+
+// dedupSort removes duplicate candidates (by description) and orders the
+// pool: smallest edit first, renderable before unrenderable within a
+// size, then lexicographic description — the order that makes "first
+// zero-residual candidate" mean "minimal repair".
+func dedupSort(gc genContext, edits []Edit) []Edit {
+	seen := map[string]bool{}
+	uniq := edits[:0]
+	for _, e := range edits {
+		d := e.Describe()
+		if !seen[d] {
+			seen[d] = true
+			uniq = append(uniq, e)
+		}
+	}
+	type ranked struct {
+		e          Edit
+		renderable bool
+	}
+	rs := make([]ranked, len(uniq))
+	for i, e := range uniq {
+		_, ok := renderEditOps(gc.cfg2, e)
+		rs[i] = ranked{e: e, renderable: ok}
+	}
+	sort.SliceStable(rs, func(i, j int) bool {
+		si, sj := rs[i].e.Size(), rs[j].e.Size()
+		if si != sj {
+			return si < sj
+		}
+		if rs[i].renderable != rs[j].renderable {
+			return rs[i].renderable
+		}
+		return rs[i].e.Describe() < rs[j].e.Describe()
+	})
+	out := make([]Edit, len(rs))
+	for i, r := range rs {
+		out[i] = r.e
+	}
+	return out
+}

@@ -1,0 +1,469 @@
+package repair
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ir"
+	"repro/internal/netaddr"
+)
+
+// Edit is one atomic configuration change. Apply mutates a policy clone
+// (ir.Config.ClonePolicy) in place; it must never alias state into the
+// target that a later Apply of the same Edit value could see mutated.
+// Describe is the edit's stable identity: candidate dedup, deterministic
+// ordering, and the patch artifact all key on it.
+type Edit interface {
+	Apply(cfg *ir.Config) error
+	Describe() string
+	Size() int
+}
+
+// clauseAt resolves a (map, index) clause address against a config.
+func clauseAt(cfg *ir.Config, mapName string, idx int) (*ir.RouteMap, *ir.RouteMapClause, error) {
+	rm := cfg.RouteMaps[mapName]
+	if rm == nil {
+		return nil, nil, fmt.Errorf("route-map %s undefined", mapName)
+	}
+	if idx < 0 || idx >= len(rm.Clauses) {
+		return nil, nil, fmt.Errorf("route-map %s has no clause %d", mapName, idx)
+	}
+	return rm, rm.Clauses[idx], nil
+}
+
+// clauseLabel names a clause for humans: JunOS term name or IOS sequence.
+func clauseLabel(cl *ir.RouteMapClause) string {
+	if cl == nil {
+		return "(default)"
+	}
+	if cl.Name != "" {
+		return cl.Name
+	}
+	return fmt.Sprintf("%d", cl.Seq)
+}
+
+// ListBundle carries list definitions an edit depends on (taken from
+// config A). Apply defines them in the target only when the name is
+// absent — an existing same-name list is B's own vocabulary and is only
+// changed by an explicit list edit.
+type ListBundle struct {
+	Prefix    []*ir.PrefixList
+	Community []*ir.CommunityList
+	ASPath    []*ir.ASPathList
+}
+
+func (b ListBundle) empty() bool {
+	return len(b.Prefix) == 0 && len(b.Community) == 0 && len(b.ASPath) == 0
+}
+
+func (b ListBundle) define(cfg *ir.Config) {
+	for _, pl := range b.Prefix {
+		if cfg.PrefixLists[pl.Name] == nil {
+			c := pl.Clone()
+			c.Span = ir.TextSpan{}
+			cfg.PrefixLists[pl.Name] = c
+		}
+	}
+	for _, cl := range b.Community {
+		if cfg.CommunityLists[cl.Name] == nil {
+			c := cl.Clone()
+			c.Span = ir.TextSpan{}
+			cfg.CommunityLists[cl.Name] = c
+		}
+	}
+	for _, al := range b.ASPath {
+		if cfg.ASPathLists[al.Name] == nil {
+			c := al.Clone()
+			c.Span = ir.TextSpan{}
+			cfg.ASPathLists[al.Name] = c
+		}
+	}
+}
+
+// FlipClause inverts a clause's permit/deny disposition.
+type FlipClause struct {
+	Map   string
+	Idx   int
+	Label string
+}
+
+func (e FlipClause) Apply(cfg *ir.Config) error {
+	_, cl, err := clauseAt(cfg, e.Map, e.Idx)
+	if err != nil {
+		return err
+	}
+	switch cl.Action {
+	case ir.ClausePermit:
+		cl.Action = ir.ClauseDeny
+	case ir.ClauseDeny:
+		cl.Action = ir.ClausePermit
+	default:
+		return fmt.Errorf("clause %s is fallthrough", e.Label)
+	}
+	return nil
+}
+
+func (e FlipClause) Describe() string {
+	return fmt.Sprintf("route-map %s clause %s: flip permit/deny", e.Map, e.Label)
+}
+func (e FlipClause) Size() int { return 1 }
+
+// SetDefault changes a route map's default action.
+type SetDefault struct {
+	Map    string
+	Action ir.Action
+}
+
+func (e SetDefault) Apply(cfg *ir.Config) error {
+	rm := cfg.RouteMaps[e.Map]
+	if rm == nil {
+		return fmt.Errorf("route-map %s undefined", e.Map)
+	}
+	rm.DefaultAction = e.Action
+	return nil
+}
+
+func (e SetDefault) Describe() string {
+	return fmt.Sprintf("route-map %s: default action %s", e.Map, e.Action)
+}
+func (e SetDefault) Size() int { return 1 }
+
+// DropClause removes a clause.
+type DropClause struct {
+	Map   string
+	Idx   int
+	Label string
+}
+
+func (e DropClause) Apply(cfg *ir.Config) error {
+	rm, _, err := clauseAt(cfg, e.Map, e.Idx)
+	if err != nil {
+		return err
+	}
+	rm.Clauses = append(rm.Clauses[:e.Idx:e.Idx], rm.Clauses[e.Idx+1:]...)
+	return nil
+}
+
+func (e DropClause) Describe() string {
+	return fmt.Sprintf("route-map %s clause %s: drop", e.Map, e.Label)
+}
+func (e DropClause) Size() int { return 1 }
+
+// InsertClause inserts a copy of a clause (typically taken from config A)
+// at position At; At == len(Clauses) appends. Needs defines the lists the
+// clause references when B lacks them.
+type InsertClause struct {
+	Map    string
+	At     int
+	Clause *ir.RouteMapClause
+	Needs  ListBundle
+	Origin string // where the clause came from, for Describe
+}
+
+func (e InsertClause) Apply(cfg *ir.Config) error {
+	rm := cfg.RouteMaps[e.Map]
+	if rm == nil {
+		return fmt.Errorf("route-map %s undefined", e.Map)
+	}
+	if e.At < 0 || e.At > len(rm.Clauses) {
+		return fmt.Errorf("route-map %s: insert position %d out of range", e.Map, e.At)
+	}
+	cl := e.Clause.Clone()
+	cl.Span = ir.TextSpan{}
+	// Keep JunOS term names unique within the target map.
+	for _, existing := range rm.Clauses {
+		if cl.Name != "" && existing.Name == cl.Name {
+			cl.Name += "_r"
+		}
+	}
+	e.Needs.define(cfg)
+	rm.Clauses = append(rm.Clauses[:e.At:e.At],
+		append([]*ir.RouteMapClause{cl}, rm.Clauses[e.At:]...)...)
+	return nil
+}
+
+func (e InsertClause) Describe() string {
+	return fmt.Sprintf("route-map %s: insert copy of %s at %d", e.Map, e.Origin, e.At)
+}
+func (e InsertClause) Size() int { return 1 }
+
+// MoveClause reorders a clause: remove from index From, insert so it
+// lands at index To of the resulting slice.
+type MoveClause struct {
+	Map      string
+	From, To int
+	Label    string
+}
+
+func (e MoveClause) Apply(cfg *ir.Config) error {
+	rm, _, err := clauseAt(cfg, e.Map, e.From)
+	if err != nil {
+		return err
+	}
+	if e.To < 0 || e.To >= len(rm.Clauses) || e.To == e.From {
+		return fmt.Errorf("route-map %s: move %d -> %d invalid", e.Map, e.From, e.To)
+	}
+	cl := rm.Clauses[e.From]
+	rest := append(rm.Clauses[:e.From:e.From], rm.Clauses[e.From+1:]...)
+	rm.Clauses = append(rest[:e.To:e.To],
+		append([]*ir.RouteMapClause{cl}, rest[e.To:]...)...)
+	return nil
+}
+
+func (e MoveClause) Describe() string {
+	return fmt.Sprintf("route-map %s clause %s: move %d -> %d", e.Map, e.Label, e.From, e.To)
+}
+func (e MoveClause) Size() int { return 1 }
+
+// ReplaceSets replaces a clause's set-actions.
+type ReplaceSets struct {
+	Map   string
+	Idx   int
+	Sets  []ir.SetAction
+	Label string
+}
+
+func (e ReplaceSets) Apply(cfg *ir.Config) error {
+	_, cl, err := clauseAt(cfg, e.Map, e.Idx)
+	if err != nil {
+		return err
+	}
+	cl.Sets = append([]ir.SetAction(nil), e.Sets...)
+	return nil
+}
+
+func (e ReplaceSets) Describe() string {
+	parts := make([]string, len(e.Sets))
+	for i, s := range e.Sets {
+		parts[i] = s.String()
+	}
+	body := strings.Join(parts, ", ")
+	if body == "" {
+		body = "(none)"
+	}
+	return fmt.Sprintf("route-map %s clause %s: set %s", e.Map, e.Label, body)
+}
+func (e ReplaceSets) Size() int { return 1 }
+
+// ReplaceMatches replaces a clause's match conditions.
+type ReplaceMatches struct {
+	Map     string
+	Idx     int
+	Matches []ir.Match
+	Needs   ListBundle
+	Label   string
+}
+
+func (e ReplaceMatches) Apply(cfg *ir.Config) error {
+	_, cl, err := clauseAt(cfg, e.Map, e.Idx)
+	if err != nil {
+		return err
+	}
+	e.Needs.define(cfg)
+	cl.Matches = append([]ir.Match(nil), e.Matches...)
+	return nil
+}
+
+func (e ReplaceMatches) Describe() string {
+	parts := make([]string, len(e.Matches))
+	for i, m := range e.Matches {
+		parts[i] = m.String()
+	}
+	body := strings.Join(parts, ", ")
+	if body == "" {
+		body = "(always)"
+	}
+	return fmt.Sprintf("route-map %s clause %s: match %s", e.Map, e.Label, body)
+}
+func (e ReplaceMatches) Size() int { return 1 }
+
+// ReplacePrefixList replaces a named prefix list's entries wholesale
+// (defining the list when absent). Its size is the entry edit distance
+// to the previous content, fixed at construction time.
+type ReplacePrefixList struct {
+	List    string
+	Entries []ir.PrefixListEntry
+	EditSz  int
+}
+
+func (e ReplacePrefixList) Apply(cfg *ir.Config) error {
+	pl := cfg.PrefixLists[e.List]
+	if pl == nil {
+		pl = &ir.PrefixList{Name: e.List}
+		cfg.PrefixLists[e.List] = pl
+	}
+	pl.Entries = append([]ir.PrefixListEntry(nil), e.Entries...)
+	return nil
+}
+
+func (e ReplacePrefixList) Describe() string {
+	parts := make([]string, len(e.Entries))
+	for i, en := range e.Entries {
+		parts[i] = fmt.Sprintf("%s %s", en.Action, en.Range)
+	}
+	return fmt.Sprintf("prefix-list %s := {%s}", e.List, strings.Join(parts, "; "))
+}
+func (e ReplacePrefixList) Size() int { return maxInt(1, e.EditSz) }
+
+// ReplacePrefixEntry rewrites one entry of a prefix list in place.
+type ReplacePrefixEntry struct {
+	List  string
+	Idx   int
+	Entry ir.PrefixListEntry
+}
+
+func (e ReplacePrefixEntry) Apply(cfg *ir.Config) error {
+	pl := cfg.PrefixLists[e.List]
+	if pl == nil || e.Idx < 0 || e.Idx >= len(pl.Entries) {
+		return fmt.Errorf("prefix-list %s has no entry %d", e.List, e.Idx)
+	}
+	en := e.Entry
+	en.Span = pl.Entries[e.Idx].Span // text identity of the replaced line
+	pl.Entries[e.Idx] = en
+	return nil
+}
+
+func (e ReplacePrefixEntry) Describe() string {
+	return fmt.Sprintf("prefix-list %s entry %d := %s %s", e.List, e.Idx, e.Entry.Action, e.Entry.Range)
+}
+func (e ReplacePrefixEntry) Size() int { return 1 }
+
+// ReplaceCommunityList replaces a named community list's entries.
+type ReplaceCommunityList struct {
+	List    string
+	Entries []ir.CommunityListEntry
+	EditSz  int
+}
+
+func (e ReplaceCommunityList) Apply(cfg *ir.Config) error {
+	cl := cfg.CommunityLists[e.List]
+	if cl == nil {
+		cl = &ir.CommunityList{Name: e.List}
+		cfg.CommunityLists[e.List] = cl
+	}
+	cl.Entries = make([]ir.CommunityListEntry, len(e.Entries))
+	for i, en := range e.Entries {
+		en.Conjuncts = append([]ir.CommunityMatcher(nil), en.Conjuncts...)
+		cl.Entries[i] = en
+	}
+	return nil
+}
+
+func (e ReplaceCommunityList) Describe() string {
+	parts := make([]string, len(e.Entries))
+	for i, en := range e.Entries {
+		cj := make([]string, len(en.Conjuncts))
+		for k, m := range en.Conjuncts {
+			cj[k] = m.String()
+		}
+		parts[i] = fmt.Sprintf("%s %s", en.Action, strings.Join(cj, "&"))
+	}
+	return fmt.Sprintf("community-list %s := {%s}", e.List, strings.Join(parts, "; "))
+}
+func (e ReplaceCommunityList) Size() int { return maxInt(1, e.EditSz) }
+
+// ReplaceASPathList replaces a named as-path list's entries.
+type ReplaceASPathList struct {
+	List    string
+	Entries []ir.ASPathListEntry
+	EditSz  int
+}
+
+func (e ReplaceASPathList) Apply(cfg *ir.Config) error {
+	al := cfg.ASPathLists[e.List]
+	if al == nil {
+		al = &ir.ASPathList{Name: e.List}
+		cfg.ASPathLists[e.List] = al
+	}
+	al.Entries = append([]ir.ASPathListEntry(nil), e.Entries...)
+	return nil
+}
+
+func (e ReplaceASPathList) Describe() string {
+	parts := make([]string, len(e.Entries))
+	for i, en := range e.Entries {
+		parts[i] = fmt.Sprintf("%s %s", en.Action, en.Regex)
+	}
+	return fmt.Sprintf("as-path-list %s := {%s}", e.List, strings.Join(parts, "; "))
+}
+func (e ReplaceASPathList) Size() int { return maxInt(1, e.EditSz) }
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// prefixEntryDistance is the symmetric-difference size between two entry
+// lists, used as the Size of a whole-list replacement so copying a list
+// that differs in one entry costs the same as editing that entry.
+func prefixEntryDistance(a, b []ir.PrefixListEntry) int {
+	key := func(e ir.PrefixListEntry) string {
+		return fmt.Sprintf("%s|%s", e.Action, e.Range)
+	}
+	return setDistance(keysOf(len(a), func(i int) string { return key(a[i]) }),
+		keysOf(len(b), func(i int) string { return key(b[i]) }))
+}
+
+func communityEntryDistance(a, b []ir.CommunityListEntry) int {
+	key := func(e ir.CommunityListEntry) string {
+		cj := make([]string, len(e.Conjuncts))
+		for i, m := range e.Conjuncts {
+			cj[i] = m.String()
+		}
+		sort.Strings(cj)
+		return fmt.Sprintf("%s|%s", e.Action, strings.Join(cj, "&"))
+	}
+	return setDistance(keysOf(len(a), func(i int) string { return key(a[i]) }),
+		keysOf(len(b), func(i int) string { return key(b[i]) }))
+}
+
+func asPathEntryDistance(a, b []ir.ASPathListEntry) int {
+	key := func(e ir.ASPathListEntry) string {
+		return fmt.Sprintf("%s|%s", e.Action, e.Regex)
+	}
+	return setDistance(keysOf(len(a), func(i int) string { return key(a[i]) }),
+		keysOf(len(b), func(i int) string { return key(b[i]) }))
+}
+
+func keysOf(n int, at func(int) string) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = at(i)
+	}
+	return out
+}
+
+// setDistance counts multiset symmetric difference.
+func setDistance(a, b []string) int {
+	count := map[string]int{}
+	for _, k := range a {
+		count[k]++
+	}
+	for _, k := range b {
+		count[k]--
+	}
+	d := 0
+	for _, c := range count {
+		if c < 0 {
+			c = -c
+		}
+		d += c
+	}
+	return d
+}
+
+// widenRange grows a prefix range's length window to cover another
+// range's window (same prefix bits assumed checked by the caller).
+func widenRange(e, r netaddr.PrefixRange) netaddr.PrefixRange {
+	out := e
+	if r.Lo < out.Lo {
+		out.Lo = r.Lo
+	}
+	if r.Hi > out.Hi {
+		out.Hi = r.Hi
+	}
+	return out
+}

@@ -1,0 +1,150 @@
+package repair
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cisco"
+	"repro/internal/juniper"
+	"repro/internal/policygen"
+)
+
+// metamorphicSeeds is the sweep width: every seed generates an
+// equivalent cross-vendor pair, injects one known mutation into the
+// Juniper side, and demands the search undo it.
+const metamorphicSeeds = 500
+
+// TestRepairMetamorphic is the vocabulary-completeness probe: for each
+// seed, A and B start equivalent by construction, a BGPFuzz-style
+// size-1 mutation is applied to B, and the repair search must find a
+// verified edit sequence no larger than the injected fault whose
+// re-diff is empty. A failure means the candidate generator cannot
+// express the inverse of a fault class the mutator can express.
+func TestRepairMetamorphic(t *testing.T) {
+	seeds := metamorphicSeeds
+	if testing.Short() {
+		seeds = 100
+	}
+	const shards = 8
+	var mutated, repaired, noop int64
+	for s := 0; s < shards; s++ {
+		s := s
+		t.Run(fmt.Sprintf("shard%d", s), func(t *testing.T) {
+			t.Parallel()
+			for seed := s; seed < seeds; seed += shards {
+				runMetamorphicSeed(t, uint64(seed), &mutated, &repaired, &noop)
+			}
+		})
+	}
+	t.Cleanup(func() {
+		eff := atomic.LoadInt64(&mutated)
+		t.Logf("metamorphic: %d effective mutations, %d repaired, %d no-op", eff,
+			atomic.LoadInt64(&repaired), atomic.LoadInt64(&noop))
+		// The sweep must actually exercise the search; if mutation
+		// coverage collapses, the test would pass vacuously.
+		if eff < int64(seeds)/4 {
+			t.Errorf("only %d/%d seeds produced an effective mutation", eff, seeds)
+		}
+	})
+}
+
+func runMetamorphicSeed(t *testing.T, seed uint64, mutated, repaired, noop *int64) {
+	t.Helper()
+	p := policygen.Generate(policygen.Params{
+		Seed:        seed,
+		Clauses:     1 + int(seed%4),
+		Communities: 1 + int(seed%3),
+		Differences: 0,
+	})
+	a, err := cisco.Parse("a.cfg", p.CiscoText)
+	if err != nil {
+		t.Fatalf("seed %d: parse cisco: %v", seed, err)
+	}
+	b, err := juniper.Parse("b.cfg", p.JuniperText)
+	if err != nil {
+		t.Fatalf("seed %d: parse juniper: %v", seed, err)
+	}
+	mut := PickMutation(b, p.PolicyName, seed)
+	if mut == nil {
+		return
+	}
+	bm := b.ClonePolicy()
+	if err := mut.Edit.Apply(bm); err != nil {
+		t.Fatalf("seed %d: apply mutation %s (%s): %v", seed, mut.Kind, mut.Edit.Describe(), err)
+	}
+
+	res, err := Run(context.Background(), a, bm, Options{
+		Timeout: 30 * time.Second, Samples: 16, Seed: int64(seed),
+	})
+	if err != nil {
+		t.Fatalf("seed %d: Run: %v", seed, err)
+	}
+	var pr *PairRepair
+	for i := range res.Pairs {
+		if res.Pairs[i].Pair.Name2 == p.PolicyName {
+			pr = &res.Pairs[i]
+		}
+	}
+	if pr == nil {
+		t.Fatalf("seed %d: no pair matched policy %s", seed, p.PolicyName)
+	}
+	if pr.Err != nil {
+		t.Fatalf("seed %d: mutation %s: pair degraded: %v", seed, mut.Kind, pr.Err)
+	}
+	if pr.InitialDiffs == 0 {
+		// The mutation was semantically invisible (shadowed clause,
+		// unreachable range); nothing to repair.
+		atomic.AddInt64(noop, 1)
+		return
+	}
+	atomic.AddInt64(mutated, 1)
+	if pr.Repair == nil {
+		t.Errorf("seed %d: mutation %s (%s) not repaired; %d initial diffs, depth %d, %d candidates, alternatives %v",
+			seed, mut.Kind, mut.Edit.Describe(), pr.InitialDiffs, pr.Depth, pr.Candidates, pr.Alternatives)
+		return
+	}
+	if !pr.Repair.Verified {
+		t.Errorf("seed %d: mutation %s: repair not verified", seed, mut.Kind)
+	}
+	if pr.Repair.Size > mut.Edit.Size() {
+		t.Errorf("seed %d: mutation %s (size %d) repaired by larger edit (size %d): %s",
+			seed, mut.Kind, mut.Edit.Size(), pr.Repair.Size, pr.Repair.Describe())
+	}
+	atomic.AddInt64(repaired, 1)
+
+	// The combined patch must hold and re-verify equivalent to A.
+	if res.PatchedB == nil {
+		t.Errorf("seed %d: mutation %s: repaired but PatchedB unset (conflicts %v)",
+			seed, mut.Kind, res.Conflicts)
+		return
+	}
+	if err := VerifyEquivalent(a, res.PatchedB, Options{Samples: 8, Seed: int64(seed)}); err != nil {
+		t.Errorf("seed %d: mutation %s: patched IR not equivalent: %v", seed, mut.Kind, err)
+	}
+}
+
+// TestMutationsDeterministic pins the mutation enumeration order — seed
+// selection depends on it.
+func TestMutationsDeterministic(t *testing.T) {
+	p := policygen.Generate(policygen.Params{Seed: 7, Clauses: 3, Communities: 2})
+	b, err := juniper.Parse("b.cfg", p.JuniperText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1 := Mutations(b, p.PolicyName)
+	m2 := Mutations(b, p.PolicyName)
+	if len(m1) == 0 {
+		t.Fatal("no mutations for generated policy")
+	}
+	for i := range m1 {
+		if m1[i].Kind != m2[i].Kind || m1[i].Edit.Describe() != m2[i].Edit.Describe() {
+			t.Fatalf("mutation %d differs across runs: %v vs %v", i, m1[i], m2[i])
+		}
+	}
+	if PickMutation(b, "no-such-map", 3) != nil {
+		t.Error("PickMutation on unknown map should be nil")
+	}
+}

@@ -1,0 +1,119 @@
+package repair
+
+import (
+	"sort"
+
+	"repro/internal/ir"
+	"repro/internal/netaddr"
+)
+
+// Mutation is one size-1 BGPFuzz-style fault that can be injected into a
+// config for metamorphic testing: apply the mutation to an equivalent
+// pair's B side and the repair search must find an edit of size ≤ 1 whose
+// re-diff is empty. Every kind here has its inverse in the candidate
+// vocabulary (candidates.go), which is exactly what makes the
+// metamorphic suite a completeness probe of that vocabulary.
+type Mutation struct {
+	Kind string
+	Edit Edit
+}
+
+// Mutations enumerates the mutations applicable to a route map of the
+// config, in deterministic order.
+func Mutations(cfg *ir.Config, mapName string) []Mutation {
+	rm := cfg.RouteMaps[mapName]
+	if rm == nil {
+		return nil
+	}
+	var out []Mutation
+	add := func(kind string, e Edit) { out = append(out, Mutation{Kind: kind, Edit: e}) }
+
+	for i, cl := range rm.Clauses {
+		label := clauseLabel(cl)
+		if cl.Action != ir.ClauseFallthrough {
+			add("flip-clause", FlipClause{Map: mapName, Idx: i, Label: label})
+		}
+		if len(rm.Clauses) > 1 {
+			add("drop-clause", DropClause{Map: mapName, Idx: i, Label: label})
+		}
+		if cl.Action == ir.ClausePermit {
+			add("set-localpref", ReplaceSets{Map: mapName, Idx: i,
+				Sets: mutateSets(cl.Sets), Label: label})
+		}
+		for mi, m := range cl.Matches {
+			switch m := m.(type) {
+			case ir.MatchPrefixRanges:
+				for ri, rg := range m.Ranges {
+					nr := rg
+					if nr.Hi < 32 {
+						nr.Hi++
+					} else if nr.Hi > nr.Lo {
+						nr.Hi--
+					} else {
+						continue
+					}
+					ranges := append([]netaddr.PrefixRange(nil), m.Ranges...)
+					ranges[ri] = nr
+					add("range-bound", ReplaceMatches{Map: mapName, Idx: i,
+						Matches: swapMatch(cl.Matches, mi, ir.MatchPrefixRanges{Ranges: ranges}),
+						Label:   label})
+				}
+			case ir.MatchCommunity:
+				extra := &ir.CommunityList{Name: "MUT_EXTRA", Entries: []ir.CommunityListEntry{
+					{Action: ir.Permit, Conjuncts: []ir.CommunityMatcher{{Literal: "65000:999"}}},
+				}}
+				wider := ir.MatchCommunity{Lists: append(append([]string(nil), m.Lists...), "MUT_EXTRA")}
+				add("extra-community", ReplaceMatches{Map: mapName, Idx: i,
+					Matches: swapMatch(cl.Matches, mi, wider),
+					Needs:   ListBundle{Community: []*ir.CommunityList{extra}}, Label: label})
+			}
+		}
+	}
+
+	// Prefix-list bound changes for lists the map references.
+	pnames, _, _ := refNames(rm.Clauses...)
+	sort.Strings(pnames)
+	for _, n := range pnames {
+		pl := cfg.PrefixLists[n]
+		if pl == nil {
+			continue
+		}
+		for i, e := range pl.Entries {
+			ne := e
+			if ne.Range.Hi < 32 {
+				ne.Range.Hi++
+			} else if ne.Range.Hi > ne.Range.Lo {
+				ne.Range.Hi--
+			} else {
+				continue
+			}
+			add("prefix-bound", ReplacePrefixEntry{List: n, Idx: i, Entry: ne})
+		}
+	}
+	return out
+}
+
+// PickMutation selects one mutation deterministically by seed, or nil
+// when the map admits none.
+func PickMutation(cfg *ir.Config, mapName string, seed uint64) *Mutation {
+	ms := Mutations(cfg, mapName)
+	if len(ms) == 0 {
+		return nil
+	}
+	m := ms[int(seed%uint64(len(ms)))]
+	return &m
+}
+
+// mutateSets perturbs a clause's local-preference: bump an existing one,
+// or pin a fresh conspicuous value.
+func mutateSets(sets []ir.SetAction) []ir.SetAction {
+	out := make([]ir.SetAction, len(sets))
+	copy(out, sets)
+	for i, s := range out {
+		if lp, ok := s.(ir.SetLocalPref); ok {
+			out[i] = ir.SetLocalPref{Value: lp.Value + 10}
+			return out
+		}
+	}
+	return append(out, ir.SetLocalPref{Value: 777})
+}

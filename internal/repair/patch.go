@@ -1,0 +1,147 @@
+package repair
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ir"
+)
+
+// TextPatch is the rendered repair artifact: a human-readable patch
+// against config B's source text plus the full patched text.
+type TextPatch struct {
+	// Text is the patch artifact: a comment header describing the edits
+	// followed by @@-hunks with -/+ lines.
+	Text string
+	// Patched is config B's complete source text with the edits applied.
+	Patched string
+}
+
+// renderOps renders every edit against the ORIGINAL config B (all line
+// numbers refer to the unpatched text) and checks the ops compose
+// without overlapping.
+func renderOps(cfg *ir.Config, edits []Edit) ([]textOp, error) {
+	var ops []textOp
+	for _, e := range edits {
+		eo, ok := renderEditOps(cfg, e)
+		if !ok {
+			return nil, fmt.Errorf("edit %q has no %s rendering", e.Describe(), cfg.Vendor)
+		}
+		ops = append(ops, eo...)
+	}
+	sort.SliceStable(ops, func(i, j int) bool { return ops[i].start < ops[j].start })
+	for i := 1; i < len(ops); i++ {
+		if ops[i-1].overlap(ops[i]) {
+			return nil, fmt.Errorf("edits touch overlapping lines %d-%d and %d-%d",
+				ops[i-1].start, ops[i-1].end, ops[i].start, ops[i].end)
+		}
+	}
+	return ops, nil
+}
+
+// splitLines splits source text preserving the absence of a trailing
+// newline; joinLines inverts it.
+func splitLines(text string) (lines []string, trailingNL bool) {
+	trailingNL = strings.HasSuffix(text, "\n")
+	text = strings.TrimSuffix(text, "\n")
+	if text == "" {
+		return nil, trailingNL
+	}
+	return strings.Split(text, "\n"), trailingNL
+}
+
+func joinLines(lines []string, trailingNL bool) string {
+	out := strings.Join(lines, "\n")
+	if trailingNL {
+		out += "\n"
+	}
+	return out
+}
+
+// applyOps rewrites the text bottom-up so earlier ops' line numbers stay
+// valid while later (higher) regions are already rewritten.
+func applyOps(text string, ops []textOp) (string, error) {
+	lines, nl := splitLines(text)
+	sorted := append([]textOp(nil), ops...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].start > sorted[j].start })
+	for _, op := range sorted {
+		if op.start < 1 || op.start > len(lines)+1 || op.end > len(lines) {
+			return "", fmt.Errorf("op %d-%d outside %d-line text", op.start, op.end, len(lines))
+		}
+		end := op.end
+		if end < op.start {
+			end = op.start - 1 // pure insert
+		}
+		rest := append([]string(nil), lines[end:]...)
+		lines = append(append(lines[:op.start-1:op.start-1], op.lines...), rest...)
+	}
+	return joinLines(lines, nl), nil
+}
+
+// ApplyEditsToText renders the edits against cfg's source text and
+// returns the rewritten text. cfg must be the IR parsed from exactly
+// this text (the edits' spans index into it). Exported for callers that
+// apply edit sequences outside a Run result — the golden-corpus
+// generator renders injected mutations with it.
+func ApplyEditsToText(cfg *ir.Config, text string, edits ...Edit) (string, error) {
+	ops, err := renderOps(cfg, edits)
+	if err != nil {
+		return "", err
+	}
+	return applyOps(text, ops)
+}
+
+// Patch renders the result's accepted edits as a text patch for config
+// B's source text. btext must be the exact text Config2 was parsed from.
+func (r *Result) Patch(btext string) (*TextPatch, error) {
+	edits := r.Edits()
+	if len(edits) == 0 {
+		return nil, fmt.Errorf("no accepted repairs to render")
+	}
+	ops, err := renderOps(r.Config2, edits)
+	if err != nil {
+		return nil, err
+	}
+	patched, err := applyOps(btext, ops)
+	if err != nil {
+		return nil, err
+	}
+
+	lines, _ := splitLines(btext)
+	file := r.Config2.File
+	if file == "" {
+		file = "b.cfg"
+	}
+	var b strings.Builder
+	size := 0
+	for _, e := range edits {
+		size += e.Size()
+	}
+	fmt.Fprintf(&b, "# campion repair: %d edit(s), size %d\n", len(edits), size)
+	for _, p := range r.Pairs {
+		if p.Repair == nil {
+			continue
+		}
+		fmt.Fprintf(&b, "# pair %s:\n", p.Pair)
+		for _, e := range p.Repair.Edits {
+			fmt.Fprintf(&b, "#   - %s\n", e.Describe())
+		}
+	}
+	for _, op := range ops {
+		if op.end < op.start {
+			fmt.Fprintf(&b, "@@ %s:%d insert\n", file, op.start)
+		} else if op.start == op.end {
+			fmt.Fprintf(&b, "@@ %s:%d\n", file, op.start)
+		} else {
+			fmt.Fprintf(&b, "@@ %s:%d-%d\n", file, op.start, op.end)
+		}
+		for i := op.start; i <= op.end && i <= len(lines); i++ {
+			fmt.Fprintf(&b, "-%s\n", lines[i-1])
+		}
+		for _, l := range op.lines {
+			fmt.Fprintf(&b, "+%s\n", l)
+		}
+	}
+	return &TextPatch{Text: b.String(), Patched: patched}, nil
+}

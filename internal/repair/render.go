@@ -1,0 +1,986 @@
+package repair
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ir"
+	"repro/internal/netaddr"
+)
+
+// textOp is one line-range rewrite of config B's source text:
+// replace lines [start, end] (1-based, inclusive) with lines; end < start
+// means "insert before start". Ops from independent edits compose when
+// their ranges do not overlap; the patch layer applies them bottom-up.
+type textOp struct {
+	start, end int
+	lines      []string
+}
+
+// overlap reports whether two ops touch conflicting line ranges. An
+// insert occupies an empty interval, so it only conflicts when its point
+// falls strictly inside the other op's replaced range; inserts at the
+// same point compose in application order.
+func (o textOp) overlap(p textOp) bool {
+	aE := maxInt(o.end, o.start-1)
+	bE := maxInt(p.end, p.start-1)
+	return o.start <= bE && p.start <= aE
+}
+
+// renderEditOps renders one edit as text operations in config B's vendor
+// dialect. ok == false means the edit is semantically valid IR but has no
+// faithful rendering in that dialect (e.g. an inline route-filter range
+// for IOS, a weight set-action for JunOS) — the search deprioritizes such
+// candidates but may still report them as IR-level repairs.
+func renderEditOps(cfg *ir.Config, e Edit) ([]textOp, bool) {
+	switch cfg.Vendor {
+	case ir.VendorCisco, ir.VendorArista:
+		return ciscoOps(cfg, e)
+	case ir.VendorJuniper:
+		return juniperOps(cfg, e)
+	default:
+		return nil, false
+	}
+}
+
+// spanOK reports whether a span faithfully carries its text.
+func spanOK(s ir.TextSpan) bool {
+	return s.StartLine > 0 && s.EndLine >= s.StartLine &&
+		len(s.Lines) == s.EndLine-s.StartLine+1
+}
+
+func indentOf(s string) string {
+	return s[:len(s)-len(strings.TrimLeft(s, " \t"))]
+}
+
+// spanRegion returns the contiguous line region covered by the given
+// spans, failing when they are scattered (a rewrite would clobber
+// unrelated text between them).
+func spanRegion(spans []ir.TextSpan) (start, end int, indent string, ok bool) {
+	var valid []ir.TextSpan
+	for _, s := range spans {
+		if !spanOK(s) {
+			return 0, 0, "", false
+		}
+		valid = append(valid, s)
+	}
+	if len(valid) == 0 {
+		return 0, 0, "", false
+	}
+	sort.Slice(valid, func(i, j int) bool { return valid[i].StartLine < valid[j].StartLine })
+	start, end = valid[0].StartLine, valid[0].EndLine
+	indent = indentOf(valid[0].Lines[0])
+	for _, s := range valid[1:] {
+		if s.StartLine != end+1 {
+			return 0, 0, "", false
+		}
+		end = s.EndLine
+	}
+	return start, end, indent, true
+}
+
+// ---------------------------------------------------------------------------
+// Cisco (IOS and Arista dialect)
+
+func ciscoOps(cfg *ir.Config, e Edit) ([]textOp, bool) {
+	switch e := e.(type) {
+	case FlipClause:
+		rm, cl, err := clauseAt(cfg, e.Map, e.Idx)
+		if err != nil || !spanOK(cl.Span) {
+			return nil, false
+		}
+		flipped := *cl
+		if cl.Action == ir.ClausePermit {
+			flipped.Action = ir.ClauseDeny
+		} else if cl.Action == ir.ClauseDeny {
+			flipped.Action = ir.ClausePermit
+		} else {
+			return nil, false
+		}
+		lines := append([]string(nil), cl.Span.Lines...)
+		lines[0] = ciscoClauseHeader(rm.Name, &flipped)
+		return []textOp{{start: cl.Span.StartLine, end: cl.Span.EndLine, lines: lines}}, true
+
+	case SetDefault:
+		rm := cfg.RouteMaps[e.Map]
+		if rm == nil || !spanOK(rm.Span) {
+			return nil, false
+		}
+		seq := 10
+		if n := len(rm.Clauses); n > 0 {
+			seq = rm.Clauses[n-1].Seq + 10
+		}
+		action := "deny"
+		if e.Action == ir.Permit {
+			action = "permit"
+		}
+		return []textOp{{start: rm.Span.EndLine + 1, end: rm.Span.EndLine,
+			lines: []string{fmt.Sprintf("route-map %s %s %d", rm.Name, action, seq)}}}, true
+
+	case DropClause:
+		_, cl, err := clauseAt(cfg, e.Map, e.Idx)
+		if err != nil || !spanOK(cl.Span) {
+			return nil, false
+		}
+		return []textOp{{start: cl.Span.StartLine, end: cl.Span.EndLine}}, true
+
+	case InsertClause:
+		rm := cfg.RouteMaps[e.Map]
+		if rm == nil {
+			return nil, false
+		}
+		seq := ciscoInsertSeq(rm, e.At)
+		cl := *e.Clause
+		cl.Seq = seq
+		block, ok := ciscoClauseBlock(rm.Name, &cl)
+		if !ok {
+			return nil, false
+		}
+		at, ok := ciscoInsertLine(rm, e.At)
+		if !ok {
+			return nil, false
+		}
+		ops := []textOp{{start: at, end: at - 1, lines: block}}
+		defs, ok := ciscoBundleOps(cfg, rm, e.Needs)
+		if !ok {
+			return nil, false
+		}
+		return append(defs, ops...), true
+
+	case MoveClause:
+		rm, cl, err := clauseAt(cfg, e.Map, e.From)
+		if err != nil || !spanOK(cl.Span) {
+			return nil, false
+		}
+		// Insert the block verbatim before the clause that will follow it.
+		next := e.To
+		if e.To > e.From {
+			next = e.To + 1
+		}
+		at, ok := ciscoInsertLine(rm, next)
+		if !ok {
+			return nil, false
+		}
+		return []textOp{
+			{start: cl.Span.StartLine, end: cl.Span.EndLine},
+			{start: at, end: at - 1, lines: cl.Span.Lines},
+		}, true
+
+	case ReplaceSets:
+		rm, cl, err := clauseAt(cfg, e.Map, e.Idx)
+		if err != nil || !spanOK(cl.Span) {
+			return nil, false
+		}
+		mod := *cl
+		mod.Sets = e.Sets
+		block, ok := ciscoClauseBlock(rm.Name, &mod)
+		if !ok {
+			return nil, false
+		}
+		return []textOp{{start: cl.Span.StartLine, end: cl.Span.EndLine, lines: block}}, true
+
+	case ReplaceMatches:
+		rm, cl, err := clauseAt(cfg, e.Map, e.Idx)
+		if err != nil || !spanOK(cl.Span) {
+			return nil, false
+		}
+		mod := *cl
+		mod.Matches = e.Matches
+		block, ok := ciscoClauseBlock(rm.Name, &mod)
+		if !ok {
+			return nil, false
+		}
+		defs, ok := ciscoBundleOps(cfg, rm, e.Needs)
+		if !ok {
+			return nil, false
+		}
+		return append(defs, textOp{start: cl.Span.StartLine, end: cl.Span.EndLine, lines: block}), true
+
+	case ReplacePrefixList:
+		pl := cfg.PrefixLists[e.List]
+		if pl == nil {
+			return nil, false
+		}
+		start, end, _, ok := spanRegion(entrySpans(len(pl.Entries), func(i int) ir.TextSpan { return pl.Entries[i].Span }))
+		if !ok {
+			return nil, false
+		}
+		lines := ciscoPrefixListLines(e.List, e.Entries)
+		return []textOp{{start: start, end: end, lines: lines}}, true
+
+	case ReplacePrefixEntry:
+		pl := cfg.PrefixLists[e.List]
+		if pl == nil || e.Idx < 0 || e.Idx >= len(pl.Entries) || !spanOK(pl.Entries[e.Idx].Span) {
+			return nil, false
+		}
+		sp := pl.Entries[e.Idx].Span
+		en := e.Entry
+		if en.Seq == 0 {
+			en.Seq = pl.Entries[e.Idx].Seq
+		}
+		return []textOp{{start: sp.StartLine, end: sp.EndLine,
+			lines: []string{ciscoPrefixEntryLine(e.List, en)}}}, true
+
+	case ReplaceCommunityList:
+		cl := cfg.CommunityLists[e.List]
+		if cl == nil {
+			return nil, false
+		}
+		start, end, _, ok := spanRegion(entrySpans(len(cl.Entries), func(i int) ir.TextSpan { return cl.Entries[i].Span }))
+		if !ok {
+			return nil, false
+		}
+		lines, ok := ciscoCommunityListLines(e.List, e.Entries)
+		if !ok {
+			return nil, false
+		}
+		return []textOp{{start: start, end: end, lines: lines}}, true
+
+	case ReplaceASPathList:
+		al := cfg.ASPathLists[e.List]
+		if al == nil {
+			return nil, false
+		}
+		start, end, _, ok := spanRegion(entrySpans(len(al.Entries), func(i int) ir.TextSpan { return al.Entries[i].Span }))
+		if !ok {
+			return nil, false
+		}
+		lines := make([]string, len(e.Entries))
+		for i, en := range e.Entries {
+			lines[i] = fmt.Sprintf("ip as-path access-list %s %s %s", e.List, ciscoAction(en.Action), en.Regex)
+		}
+		return []textOp{{start: start, end: end, lines: lines}}, true
+	}
+	return nil, false
+}
+
+func entrySpans(n int, at func(int) ir.TextSpan) []ir.TextSpan {
+	out := make([]ir.TextSpan, n)
+	for i := range out {
+		out[i] = at(i)
+	}
+	return out
+}
+
+func ciscoAction(a ir.Action) string {
+	if a == ir.Permit {
+		return "permit"
+	}
+	return "deny"
+}
+
+func ciscoClauseHeader(mapName string, cl *ir.RouteMapClause) string {
+	action := "permit"
+	if cl.Action == ir.ClauseDeny {
+		action = "deny"
+	}
+	return fmt.Sprintf("route-map %s %s %d", mapName, action, cl.Seq)
+}
+
+// ciscoClauseBlock renders a full clause block from IR.
+func ciscoClauseBlock(mapName string, cl *ir.RouteMapClause) ([]string, bool) {
+	lines := []string{ciscoClauseHeader(mapName, cl)}
+	for _, m := range cl.Matches {
+		l, ok := ciscoMatchLine(m)
+		if !ok {
+			return nil, false
+		}
+		lines = append(lines, " "+l)
+	}
+	for _, s := range cl.Sets {
+		l, ok := ciscoSetLine(s)
+		if !ok {
+			return nil, false
+		}
+		lines = append(lines, " "+l)
+	}
+	if cl.Action == ir.ClauseFallthrough {
+		lines = append(lines, " continue")
+	}
+	return lines, true
+}
+
+func ciscoMatchLine(m ir.Match) (string, bool) {
+	switch m := m.(type) {
+	case ir.MatchPrefixList:
+		return "match ip address prefix-list " + strings.Join(m.Lists, " "), true
+	case ir.MatchCommunity:
+		return "match community " + strings.Join(m.Lists, " "), true
+	case ir.MatchASPath:
+		return "match as-path " + strings.Join(m.Lists, " "), true
+	case ir.MatchMED:
+		return fmt.Sprintf("match metric %d", m.Value), true
+	case ir.MatchTag:
+		return fmt.Sprintf("match tag %d", m.Value), true
+	case ir.MatchProtocol:
+		parts := make([]string, len(m.Protocols))
+		for i, p := range m.Protocols {
+			parts[i] = p.String()
+		}
+		return "match source-protocol " + strings.Join(parts, " "), true
+	case ir.MatchNextHop:
+		for _, n := range m.Lists {
+			if strings.HasPrefix(n, "__nh_") {
+				return "", false // synthetic JunOS next-hop lists have no IOS list
+			}
+		}
+		return "match ip next-hop prefix-list " + strings.Join(m.Lists, " "), true
+	}
+	// MatchPrefixRanges / MatchPrefixListFilter: no IOS syntax.
+	return "", false
+}
+
+func ciscoSetLine(s ir.SetAction) (string, bool) {
+	switch s := s.(type) {
+	case ir.SetLocalPref:
+		return fmt.Sprintf("set local-preference %d", s.Value), true
+	case ir.SetMED:
+		return fmt.Sprintf("set metric %d", s.Value), true
+	case ir.SetWeight:
+		return fmt.Sprintf("set weight %d", s.Value), true
+	case ir.SetTag:
+		return fmt.Sprintf("set tag %d", s.Value), true
+	case ir.SetCommunities:
+		line := "set community " + strings.Join(s.Communities, " ")
+		if s.Additive {
+			line += " additive"
+		}
+		return line, true
+	case ir.DeleteCommunity:
+		return fmt.Sprintf("set comm-list %s delete", s.List), true
+	case ir.SetNextHop:
+		return "set ip next-hop " + s.Addr.String(), true
+	case ir.SetASPathPrepend:
+		parts := make([]string, len(s.ASNs))
+		for i, a := range s.ASNs {
+			parts[i] = fmt.Sprintf("%d", a)
+		}
+		return "set as-path prepend " + strings.Join(parts, " "), true
+	}
+	return "", false
+}
+
+func ciscoPrefixEntryLine(list string, e ir.PrefixListEntry) string {
+	line := fmt.Sprintf("ip prefix-list %s", list)
+	if e.Seq > 0 {
+		line += fmt.Sprintf(" seq %d", e.Seq)
+	}
+	line += fmt.Sprintf(" %s %s", ciscoAction(e.Action), e.Range.Prefix)
+	plen := e.Range.Prefix.Len
+	switch {
+	case e.Range.Lo == plen && e.Range.Hi == plen:
+		// exact
+	case e.Range.Lo == plen:
+		line += fmt.Sprintf(" le %d", e.Range.Hi)
+	case e.Range.Hi == 32:
+		line += fmt.Sprintf(" ge %d", e.Range.Lo)
+	default:
+		line += fmt.Sprintf(" ge %d le %d", e.Range.Lo, e.Range.Hi)
+	}
+	return line
+}
+
+func ciscoPrefixListLines(list string, entries []ir.PrefixListEntry) []string {
+	lines := make([]string, len(entries))
+	for i, e := range entries {
+		if e.Seq == 0 {
+			e.Seq = (i + 1) * 5
+		}
+		lines[i] = ciscoPrefixEntryLine(list, e)
+	}
+	return lines
+}
+
+func ciscoCommunityListLines(list string, entries []ir.CommunityListEntry) ([]string, bool) {
+	var lines []string
+	for _, e := range entries {
+		regex := false
+		for _, m := range e.Conjuncts {
+			if m.Regex != "" {
+				regex = true
+			}
+		}
+		if regex {
+			if len(e.Conjuncts) != 1 {
+				return nil, false // IOS expanded lists take one regex per line
+			}
+			lines = append(lines, fmt.Sprintf("ip community-list expanded %s %s %s",
+				list, ciscoAction(e.Action), e.Conjuncts[0].Regex))
+			continue
+		}
+		parts := make([]string, len(e.Conjuncts))
+		for i, m := range e.Conjuncts {
+			parts[i] = m.Literal
+		}
+		lines = append(lines, fmt.Sprintf("ip community-list standard %s %s %s",
+			list, ciscoAction(e.Action), strings.Join(parts, " ")))
+	}
+	return lines, true
+}
+
+// ciscoInsertSeq picks a cosmetic sequence number for an inserted clause
+// (IOS file order governs evaluation; the number just needs to look sane).
+func ciscoInsertSeq(rm *ir.RouteMap, at int) int {
+	if len(rm.Clauses) == 0 {
+		return 10
+	}
+	if at >= len(rm.Clauses) {
+		return rm.Clauses[len(rm.Clauses)-1].Seq + 10
+	}
+	if at == 0 {
+		return maxInt(1, rm.Clauses[0].Seq/2)
+	}
+	return rm.Clauses[at-1].Seq + 1
+}
+
+func ciscoInsertLine(rm *ir.RouteMap, at int) (int, bool) {
+	if at < len(rm.Clauses) {
+		if !spanOK(rm.Clauses[at].Span) {
+			return 0, false
+		}
+		return rm.Clauses[at].Span.StartLine, true
+	}
+	if n := len(rm.Clauses); n > 0 && spanOK(rm.Clauses[n-1].Span) {
+		return rm.Clauses[n-1].Span.EndLine + 1, true
+	}
+	if spanOK(rm.Span) {
+		return rm.Span.EndLine + 1, true
+	}
+	return 0, false
+}
+
+// ciscoBundleOps renders donor list definitions ahead of the route map
+// that needs them.
+func ciscoBundleOps(cfg *ir.Config, rm *ir.RouteMap, b ListBundle) ([]textOp, bool) {
+	if b.empty() {
+		return nil, true
+	}
+	if !spanOK(rm.Span) {
+		return nil, false
+	}
+	var lines []string
+	for _, pl := range b.Prefix {
+		if cfg.PrefixLists[pl.Name] != nil {
+			continue
+		}
+		lines = append(lines, ciscoPrefixListLines(pl.Name, pl.Entries)...)
+	}
+	for _, cl := range b.Community {
+		if cfg.CommunityLists[cl.Name] != nil {
+			continue
+		}
+		ls, ok := ciscoCommunityListLines(cl.Name, cl.Entries)
+		if !ok {
+			return nil, false
+		}
+		lines = append(lines, ls...)
+	}
+	for _, al := range b.ASPath {
+		if cfg.ASPathLists[al.Name] != nil {
+			continue
+		}
+		for _, en := range al.Entries {
+			lines = append(lines, fmt.Sprintf("ip as-path access-list %s %s %s",
+				al.Name, ciscoAction(en.Action), en.Regex))
+		}
+	}
+	if len(lines) == 0 {
+		return nil, true
+	}
+	at := rm.Span.StartLine
+	return []textOp{{start: at, end: at - 1, lines: lines}}, true
+}
+
+// ---------------------------------------------------------------------------
+// Juniper
+
+func juniperOps(cfg *ir.Config, e Edit) ([]textOp, bool) {
+	switch e := e.(type) {
+	case FlipClause:
+		rm, cl, err := clauseAt(cfg, e.Map, e.Idx)
+		if err != nil || !spanOK(cl.Span) {
+			return nil, false
+		}
+		mod := *cl
+		if cl.Action == ir.ClausePermit {
+			mod.Action = ir.ClauseDeny
+		} else if cl.Action == ir.ClauseDeny {
+			mod.Action = ir.ClausePermit
+		} else {
+			return nil, false
+		}
+		return juniperReplaceTerm(cfg, rm, cl, &mod)
+
+	case SetDefault:
+		rm := cfg.RouteMaps[e.Map]
+		if rm == nil || !spanOK(rm.Span) {
+			return nil, false
+		}
+		ind := indentOf(rm.Span.Lines[0]) + "    "
+		action := "reject;"
+		if e.Action == ir.Permit {
+			action = "accept;"
+		}
+		lines := []string{
+			ind + "term repair_default {",
+			ind + "    then " + action,
+			ind + "}",
+		}
+		at := rm.Span.EndLine // before the policy's closing brace
+		return []textOp{{start: at, end: at - 1, lines: lines}}, true
+
+	case DropClause:
+		_, cl, err := clauseAt(cfg, e.Map, e.Idx)
+		if err != nil || !spanOK(cl.Span) {
+			return nil, false
+		}
+		return []textOp{{start: cl.Span.StartLine, end: cl.Span.EndLine}}, true
+
+	case InsertClause:
+		rm := cfg.RouteMaps[e.Map]
+		if rm == nil || !spanOK(rm.Span) {
+			return nil, false
+		}
+		cl := *e.Clause
+		cl.Name = juniperTermName(rm, cl.Name, e.At)
+		ind := indentOf(rm.Span.Lines[0]) + "    "
+		block, ok := juniperTermBlock(cfg, &cl, ind)
+		if !ok {
+			return nil, false
+		}
+		at, ok := juniperInsertLine(rm, e.At)
+		if !ok {
+			return nil, false
+		}
+		defs, ok := juniperBundleOps(cfg, rm, e.Needs)
+		if !ok {
+			return nil, false
+		}
+		return append(defs, textOp{start: at, end: at - 1, lines: block}), true
+
+	case MoveClause:
+		rm, cl, err := clauseAt(cfg, e.Map, e.From)
+		if err != nil || !spanOK(cl.Span) {
+			return nil, false
+		}
+		next := e.To
+		if e.To > e.From {
+			next = e.To + 1
+		}
+		at, ok := juniperInsertLine(rm, next)
+		if !ok {
+			return nil, false
+		}
+		return []textOp{
+			{start: cl.Span.StartLine, end: cl.Span.EndLine},
+			{start: at, end: at - 1, lines: cl.Span.Lines},
+		}, true
+
+	case ReplaceSets:
+		rm, cl, err := clauseAt(cfg, e.Map, e.Idx)
+		if err != nil || !spanOK(cl.Span) {
+			return nil, false
+		}
+		mod := *cl
+		mod.Sets = e.Sets
+		return juniperReplaceTerm(cfg, rm, cl, &mod)
+
+	case ReplaceMatches:
+		rm, cl, err := clauseAt(cfg, e.Map, e.Idx)
+		if err != nil || !spanOK(cl.Span) {
+			return nil, false
+		}
+		mod := *cl
+		mod.Matches = e.Matches
+		defs, ok := juniperBundleOps(cfg, rm, e.Needs)
+		if !ok {
+			return nil, false
+		}
+		ops, ok := juniperReplaceTerm(cfg, rm, cl, &mod)
+		if !ok {
+			return nil, false
+		}
+		return append(defs, ops...), true
+
+	case ReplacePrefixList:
+		pl := cfg.PrefixLists[e.List]
+		if pl == nil || !spanOK(pl.Span) {
+			return nil, false
+		}
+		ind := indentOf(pl.Span.Lines[0])
+		lines, ok := juniperPrefixListBlock(e.List, e.Entries, ind)
+		if !ok {
+			return nil, false
+		}
+		return []textOp{{start: pl.Span.StartLine, end: pl.Span.EndLine, lines: lines}}, true
+
+	case ReplacePrefixEntry:
+		pl := cfg.PrefixLists[e.List]
+		if pl == nil || e.Idx < 0 || e.Idx >= len(pl.Entries) || !spanOK(pl.Entries[e.Idx].Span) {
+			return nil, false
+		}
+		if !juniperExactPermit(e.Entry) {
+			return nil, false
+		}
+		sp := pl.Entries[e.Idx].Span
+		ind := indentOf(sp.Lines[0])
+		return []textOp{{start: sp.StartLine, end: sp.EndLine,
+			lines: []string{ind + e.Entry.Range.Prefix.String() + ";"}}}, true
+
+	case ReplaceCommunityList:
+		cl := cfg.CommunityLists[e.List]
+		if cl == nil {
+			return nil, false
+		}
+		start, end, ind, ok := spanRegion(entrySpans(len(cl.Entries), func(i int) ir.TextSpan { return cl.Entries[i].Span }))
+		if !ok {
+			return nil, false
+		}
+		lines, ok := juniperCommunityLines(e.List, e.Entries, ind)
+		if !ok {
+			return nil, false
+		}
+		return []textOp{{start: start, end: end, lines: lines}}, true
+
+	case ReplaceASPathList:
+		al := cfg.ASPathLists[e.List]
+		if al == nil || !spanOK(al.Span) {
+			return nil, false
+		}
+		if len(e.Entries) != 1 || e.Entries[0].Action != ir.Permit {
+			return nil, false // JunOS as-path holds one regex; groups are out of scope
+		}
+		ind := indentOf(al.Span.Lines[0])
+		return []textOp{{start: al.Span.StartLine, end: al.Span.EndLine,
+			lines: []string{fmt.Sprintf("%sas-path %s \"%s\";", ind, e.List, e.Entries[0].Regex)}}}, true
+	}
+	return nil, false
+}
+
+func juniperReplaceTerm(cfg *ir.Config, rm *ir.RouteMap, old, mod *ir.RouteMapClause) ([]textOp, bool) {
+	ind := indentOf(old.Span.Lines[0])
+	block, ok := juniperTermBlock(cfg, mod, ind)
+	if !ok {
+		return nil, false
+	}
+	return []textOp{{start: old.Span.StartLine, end: old.Span.EndLine, lines: block}}, true
+}
+
+// juniperTermName replicates InsertClause.Apply's collision renaming and
+// names anonymous (IOS-origin) clauses.
+func juniperTermName(rm *ir.RouteMap, name string, at int) string {
+	if name == "" {
+		name = fmt.Sprintf("repair_%d", at)
+	}
+	for _, existing := range rm.Clauses {
+		if existing.Name == name {
+			name += "_r"
+		}
+	}
+	return name
+}
+
+func juniperInsertLine(rm *ir.RouteMap, at int) (int, bool) {
+	if at < len(rm.Clauses) {
+		if !spanOK(rm.Clauses[at].Span) {
+			return 0, false
+		}
+		return rm.Clauses[at].Span.StartLine, true
+	}
+	// Append: before the policy-statement's closing brace.
+	return rm.Span.EndLine, true
+}
+
+// juniperTermBlock renders a term from IR.
+func juniperTermBlock(cfg *ir.Config, cl *ir.RouteMapClause, ind string) ([]string, bool) {
+	name := cl.Name
+	if name == "" {
+		return nil, false
+	}
+	step := "    "
+	lines := []string{ind + "term " + name + " {"}
+	if len(cl.Matches) > 0 {
+		lines = append(lines, ind+step+"from {")
+		for _, m := range cl.Matches {
+			ls, ok := juniperFromLines(m, ind+step+step)
+			if !ok {
+				return nil, false
+			}
+			lines = append(lines, ls...)
+		}
+		lines = append(lines, ind+step+"}")
+	}
+	lines = append(lines, ind+step+"then {")
+	for _, s := range cl.Sets {
+		ls, ok := juniperThenLines(cfg, s, ind+step+step)
+		if !ok {
+			return nil, false
+		}
+		lines = append(lines, ls...)
+	}
+	switch cl.Action {
+	case ir.ClausePermit:
+		lines = append(lines, ind+step+step+"accept;")
+	case ir.ClauseDeny:
+		lines = append(lines, ind+step+step+"reject;")
+	case ir.ClauseFallthrough:
+		lines = append(lines, ind+step+step+"next term;")
+	}
+	lines = append(lines, ind+step+"}")
+	lines = append(lines, ind+"}")
+	return lines, true
+}
+
+func juniperFromLines(m ir.Match, ind string) ([]string, bool) {
+	switch m := m.(type) {
+	case ir.MatchPrefixList:
+		// Several names would render as ANDed from-statements, changing
+		// the IR's any-list-matches semantics — refuse.
+		if len(m.Lists) != 1 {
+			return nil, false
+		}
+		return []string{ind + "prefix-list " + m.Lists[0] + ";"}, true
+	case ir.MatchPrefixListFilter:
+		switch m.Modifier {
+		case "exact", "orlonger", "longer":
+			return []string{ind + "prefix-list-filter " + m.List + " " + m.Modifier + ";"}, true
+		}
+		return nil, false
+	case ir.MatchPrefixRanges:
+		var lines []string
+		for _, r := range m.Ranges {
+			l, ok := juniperRouteFilter(r)
+			if !ok {
+				return nil, false
+			}
+			lines = append(lines, ind+l)
+		}
+		return lines, true
+	case ir.MatchCommunity:
+		return []string{ind + "community " + juniperNameList(m.Lists) + ";"}, true
+	case ir.MatchASPath:
+		return []string{ind + "as-path " + juniperNameList(m.Lists) + ";"}, true
+	case ir.MatchMED:
+		return []string{ind + fmt.Sprintf("metric %d;", m.Value)}, true
+	case ir.MatchTag:
+		return []string{ind + fmt.Sprintf("tag %d;", m.Value)}, true
+	case ir.MatchProtocol:
+		parts := make([]string, len(m.Protocols))
+		for i, p := range m.Protocols {
+			w, ok := juniperProtoWord(p)
+			if !ok {
+				return nil, false
+			}
+			parts[i] = w
+		}
+		return []string{ind + "protocol " + juniperNameList(parts) + ";"}, true
+	case ir.MatchNextHop:
+		if len(m.Lists) != 1 || !strings.HasPrefix(m.Lists[0], "__nh_") {
+			return nil, false
+		}
+		return []string{ind + "next-hop " + strings.TrimPrefix(m.Lists[0], "__nh_") + ";"}, true
+	}
+	return nil, false
+}
+
+func juniperNameList(names []string) string {
+	if len(names) == 1 {
+		return names[0]
+	}
+	return "[ " + strings.Join(names, " ") + " ]"
+}
+
+func juniperProtoWord(p ir.Protocol) (string, bool) {
+	switch p {
+	case ir.ProtoBGP:
+		return "bgp", true
+	case ir.ProtoOSPF:
+		return "ospf", true
+	case ir.ProtoStatic:
+		return "static", true
+	case ir.ProtoConnected:
+		return "direct", true
+	case ir.ProtoAggregate:
+		return "aggregate", true
+	case ir.ProtoLocal:
+		return "local", true
+	}
+	return "", false
+}
+
+func juniperRouteFilter(r netaddr.PrefixRange) (string, bool) {
+	p := r.Prefix
+	switch {
+	case r.Lo == p.Len && r.Hi == p.Len:
+		return fmt.Sprintf("route-filter %s exact;", p), true
+	case r.Lo == p.Len && r.Hi == 32:
+		return fmt.Sprintf("route-filter %s orlonger;", p), true
+	case r.Lo == p.Len+1 && r.Hi == 32:
+		return fmt.Sprintf("route-filter %s longer;", p), true
+	case r.Lo == p.Len:
+		return fmt.Sprintf("route-filter %s upto /%d;", p, r.Hi), true
+	case r.Lo >= p.Len:
+		return fmt.Sprintf("route-filter %s prefix-length-range /%d-/%d;", p, r.Lo, r.Hi), true
+	}
+	return "", false
+}
+
+func juniperThenLines(cfg *ir.Config, s ir.SetAction, ind string) ([]string, bool) {
+	switch s := s.(type) {
+	case ir.SetLocalPref:
+		return []string{ind + fmt.Sprintf("local-preference %d;", s.Value)}, true
+	case ir.SetMED:
+		return []string{ind + fmt.Sprintf("metric %d;", s.Value)}, true
+	case ir.SetTag:
+		return []string{ind + fmt.Sprintf("tag %d;", s.Value)}, true
+	case ir.SetNextHop:
+		return []string{ind + "next-hop " + s.Addr.String() + ";"}, true
+	case ir.SetASPathPrepend:
+		parts := make([]string, len(s.ASNs))
+		for i, a := range s.ASNs {
+			parts[i] = fmt.Sprintf("%d", a)
+		}
+		return []string{ind + "as-path-prepend " + strings.Join(parts, " ") + ";"}, true
+	case ir.DeleteCommunity:
+		return []string{ind + "community delete " + s.List + ";"}, true
+	case ir.SetCommunities:
+		return juniperSetCommunities(cfg, s, ind)
+	}
+	// SetWeight: Cisco-proprietary, no JunOS rendering.
+	return nil, false
+}
+
+// juniperSetCommunities renders a community set/add action. A defined
+// list whose literal members equal the action's communities is referenced
+// by name; otherwise each community renders as an inline literal, which
+// the parser resolves as a literal exactly when the name is undefined.
+func juniperSetCommunities(cfg *ir.Config, s ir.SetCommunities, ind string) ([]string, bool) {
+	if len(s.Communities) == 0 {
+		return nil, false
+	}
+	verb := "set"
+	if s.Additive {
+		verb = "add"
+	}
+	for name, cl := range cfg.CommunityLists {
+		if sameStrings(communityLiterals(cl), s.Communities) {
+			return []string{ind + "community " + verb + " " + name + ";"}, true
+		}
+	}
+	for _, c := range s.Communities {
+		if cfg.CommunityLists[c] != nil {
+			return nil, false // literal collides with a defined list name
+		}
+	}
+	lines := []string{ind + "community " + verb + " " + s.Communities[0] + ";"}
+	for _, c := range s.Communities[1:] {
+		lines = append(lines, ind+"community add "+c+";")
+	}
+	return lines, true
+}
+
+func communityLiterals(cl *ir.CommunityList) []string {
+	var out []string
+	for _, e := range cl.Entries {
+		for _, m := range e.Conjuncts {
+			if m.Literal != "" {
+				out = append(out, m.Literal)
+			}
+		}
+	}
+	return out
+}
+
+func sameStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func juniperExactPermit(e ir.PrefixListEntry) bool {
+	return e.Action == ir.Permit && e.Range.Lo == e.Range.Prefix.Len && e.Range.Hi == e.Range.Prefix.Len
+}
+
+func juniperPrefixListBlock(name string, entries []ir.PrefixListEntry, ind string) ([]string, bool) {
+	lines := []string{ind + "prefix-list " + name + " {"}
+	for _, e := range entries {
+		if !juniperExactPermit(e) {
+			return nil, false // JunOS prefix-list entries are exact permits
+		}
+		lines = append(lines, ind+"    "+e.Range.Prefix.String()+";")
+	}
+	return append(lines, ind+"}"), true
+}
+
+func juniperCommunityLines(name string, entries []ir.CommunityListEntry, ind string) ([]string, bool) {
+	var lines []string
+	for _, e := range entries {
+		if e.Action != ir.Permit || len(e.Conjuncts) == 0 {
+			return nil, false // JunOS communities have no deny entries
+		}
+		parts := make([]string, len(e.Conjuncts))
+		for i, m := range e.Conjuncts {
+			if m.Regex != "" {
+				parts[i] = m.Regex
+			} else {
+				parts[i] = m.Literal
+			}
+		}
+		lines = append(lines, fmt.Sprintf("%scommunity %s members %s;", ind, name, juniperNameList(parts)))
+	}
+	return lines, true
+}
+
+// juniperBundleOps renders donor list definitions before the
+// policy-statement that needs them (same policy-options scope).
+func juniperBundleOps(cfg *ir.Config, rm *ir.RouteMap, b ListBundle) ([]textOp, bool) {
+	if b.empty() {
+		return nil, true
+	}
+	if !spanOK(rm.Span) {
+		return nil, false
+	}
+	ind := indentOf(rm.Span.Lines[0])
+	var lines []string
+	for _, pl := range b.Prefix {
+		if cfg.PrefixLists[pl.Name] != nil {
+			continue
+		}
+		ls, ok := juniperPrefixListBlock(pl.Name, pl.Entries, ind)
+		if !ok {
+			return nil, false
+		}
+		lines = append(lines, ls...)
+	}
+	for _, cl := range b.Community {
+		if cfg.CommunityLists[cl.Name] != nil {
+			continue
+		}
+		ls, ok := juniperCommunityLines(cl.Name, cl.Entries, ind)
+		if !ok {
+			return nil, false
+		}
+		lines = append(lines, ls...)
+	}
+	for _, al := range b.ASPath {
+		if cfg.ASPathLists[al.Name] != nil {
+			continue
+		}
+		if len(al.Entries) != 1 || al.Entries[0].Action != ir.Permit {
+			return nil, false
+		}
+		lines = append(lines, fmt.Sprintf("%sas-path %s \"%s\";", ind, al.Name, al.Entries[0].Regex))
+	}
+	if len(lines) == 0 {
+		return nil, true
+	}
+	at := rm.Span.StartLine
+	return []textOp{{start: at, end: at - 1, lines: lines}}, true
+}

@@ -1,0 +1,145 @@
+package repair
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/campiontest"
+	"repro/internal/ir"
+	"repro/internal/obs"
+)
+
+func mustFigure1(t *testing.T) (*ir.Config, *ir.Config) {
+	t.Helper()
+	a, err := campiontest.ParseCisco(campiontest.Figure1Cisco)
+	if err != nil {
+		t.Fatalf("parse cisco: %v", err)
+	}
+	b, err := campiontest.ParseJuniper(campiontest.Figure1Juniper)
+	if err != nil {
+		t.Fatalf("parse juniper: %v", err)
+	}
+	return a, b
+}
+
+// TestRepairFigure1 is the package's core promise: the search finds a
+// verified, renderable repair for the paper's Figure 1 translation bug
+// within the default 2-edit budget, and the repaired config is
+// equivalent to the Cisco original under both engines.
+func TestRepairFigure1(t *testing.T) {
+	a, b := mustFigure1(t)
+	j := obs.NewJournal(nil)
+	var evs []obs.Event
+	j.Listen(func(e obs.Event) { evs = append(evs, e) })
+	reg := obs.NewRegistry()
+	res, err := Run(context.Background(), a, b, Options{
+		Timeout: 2 * time.Minute, Journal: j, Metrics: reg,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.Pairs) != 1 {
+		t.Fatalf("got %d pairs, want 1: %+v", len(res.Pairs), res.Pairs)
+	}
+	pr := res.Pairs[0]
+	if pr.Err != nil {
+		t.Fatalf("pair degraded: %v", pr.Err)
+	}
+	if pr.InitialDiffs == 0 {
+		t.Fatal("Figure 1 pair reported no initial diffs")
+	}
+	if pr.Repair == nil {
+		t.Fatalf("no repair found (kind %s, alternatives %v)", pr.Kind(), pr.Alternatives)
+	}
+	if !pr.Repair.Verified {
+		t.Fatal("accepted repair not oracle-verified")
+	}
+	if !pr.Repair.Renderable {
+		t.Fatalf("minimal repair not renderable: %s", pr.Repair.Describe())
+	}
+	if len(pr.Repair.Edits) > 2 {
+		t.Fatalf("repair uses %d edits, budget is 2: %s", len(pr.Repair.Edits), pr.Repair.Describe())
+	}
+	if !res.Repaired() {
+		t.Fatalf("result not repaired: conflicts %v", res.Conflicts)
+	}
+	if res.PatchedB == nil {
+		t.Fatal("PatchedB not set")
+	}
+	if err := VerifyEquivalent(a, res.PatchedB, Options{}); err != nil {
+		t.Fatalf("patched IR not equivalent: %v", err)
+	}
+
+	// The known-minimal fix touches rule1's prefix matching and the COMM
+	// conjunction; whatever exact form wins, it must mention both.
+	desc := pr.Repair.Describe()
+	if !strings.Contains(desc, "NETS") || !strings.Contains(desc, "COMM") {
+		t.Errorf("repair %q does not touch both NETS and COMM", desc)
+	}
+
+	// Journal and metrics surfaced the outcome.
+	if len(evs) != 1 || evs[0].Type != obs.EvRepair || evs[0].Kind != "repaired" {
+		t.Errorf("journal events = %+v, want one repaired EvRepair", evs)
+	}
+	if got := reg.Counter("campion_repair_pairs_total", "", obs.L("outcome", "repaired")).Value(); got != 1 {
+		t.Errorf("campion_repair_pairs_total{outcome=repaired} = %d, want 1", got)
+	}
+	if got := reg.Counter("campion_repair_candidates_total", "").Value(); got == 0 {
+		t.Error("campion_repair_candidates_total = 0")
+	}
+}
+
+// TestRepairFigure1Patch round-trips the repair through vendor text:
+// render the patch, re-parse the patched JunOS, and verify equivalence
+// of the re-parsed IR — proving the emitted text, not just the in-memory
+// edit, fixes the difference.
+func TestRepairFigure1Patch(t *testing.T) {
+	a, b := mustFigure1(t)
+	res, err := Run(context.Background(), a, b, Options{Timeout: 2 * time.Minute})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.Repaired() {
+		t.Fatalf("not repaired: %+v", res.Pairs)
+	}
+	p, err := res.Patch(campiontest.Figure1Juniper)
+	if err != nil {
+		t.Fatalf("Patch: %v", err)
+	}
+	if !strings.Contains(p.Text, "@@ juniper.cfg:") {
+		t.Errorf("patch has no hunks:\n%s", p.Text)
+	}
+	if _, err := ReparseVerify(a, ir.VendorJuniper, "patched.cfg", p.Patched, Options{}); err != nil {
+		t.Fatalf("patched text fails verification: %v\npatched:\n%s", err, p.Patched)
+	}
+}
+
+// TestRepairClean checks an already-equivalent pair reports clean pairs
+// and no patch.
+func TestRepairClean(t *testing.T) {
+	a, err := campiontest.ParseCisco(campiontest.Figure1Cisco)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := campiontest.ParseCisco(campiontest.Figure1Cisco)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(context.Background(), a, b, Options{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, p := range res.Pairs {
+		if p.Kind() != "clean" {
+			t.Errorf("pair %s kind = %s, want clean", p.Pair, p.Kind())
+		}
+	}
+	if !res.Repaired() {
+		t.Error("clean pair should count as repaired")
+	}
+	if res.PatchedB != nil {
+		t.Error("clean pair should not produce a patch")
+	}
+}

@@ -39,6 +39,15 @@ func pathActionsDiffer(p1, p2 *symbolic.RoutePath) bool {
 // maps under their respective configurations. The two configurations must
 // share the given encoding (constructed over both).
 func DiffRouteMaps(enc *symbolic.RouteEncoding, cfg1 *ir.Config, rm1 *ir.RouteMap, cfg2 *ir.Config, rm2 *ir.RouteMap) ([]RouteMapDiff, error) {
+	return DiffRouteMapsLimit(enc, cfg1, rm1, cfg2, rm2, 0)
+}
+
+// DiffRouteMapsLimit is DiffRouteMaps that stops as soon as limit
+// differences have been found (limit <= 0 means no bound). The repair
+// search drives it with limit 1 as an emptiness probe and with the
+// current best residual count as a scoring cutoff — a candidate already
+// worse than the best does not need its remaining class product.
+func DiffRouteMapsLimit(enc *symbolic.RouteEncoding, cfg1 *ir.Config, rm1 *ir.RouteMap, cfg2 *ir.Config, rm2 *ir.RouteMap, limit int) ([]RouteMapDiff, error) {
 	paths1, err := enc.EnumeratePaths(cfg1, rm1)
 	if err != nil {
 		return nil, err
@@ -47,7 +56,7 @@ func DiffRouteMaps(enc *symbolic.RouteEncoding, cfg1 *ir.Config, rm1 *ir.RouteMa
 	if err != nil {
 		return nil, err
 	}
-	return DiffRouteMapPaths(enc, paths1, paths2), nil
+	return diffRouteMapPaths(enc, paths1, paths2, limit), nil
 }
 
 // DiffRouteMapPaths is DiffRouteMaps over already-compiled path
@@ -55,6 +64,10 @@ func DiffRouteMaps(enc *symbolic.RouteEncoding, cfg1 *ir.Config, rm1 *ir.RouteMa
 // that cache compiled chains (core's cross-pair compiled-policy cache)
 // enter here to skip re-enumeration.
 func DiffRouteMapPaths(enc *symbolic.RouteEncoding, paths1, paths2 []symbolic.RoutePath) []RouteMapDiff {
+	return diffRouteMapPaths(enc, paths1, paths2, 0)
+}
+
+func diffRouteMapPaths(enc *symbolic.RouteEncoding, paths1, paths2 []symbolic.RoutePath, limit int) []RouteMapDiff {
 	var diffs []RouteMapDiff
 	// Pointer iteration: RoutePath is a large struct and the product
 	// visits |paths1|×|paths2| cells, so by-value ranging would copy two
@@ -77,6 +90,9 @@ func DiffRouteMapPaths(enc *symbolic.RouteEncoding, paths1, paths2 []symbolic.Ro
 				continue
 			}
 			diffs = append(diffs, RouteMapDiff{Inputs: inter, Path1: *p1, Path2: *p2})
+			if limit > 0 && len(diffs) >= limit {
+				return diffs
+			}
 		}
 	}
 	return diffs
